@@ -1,0 +1,178 @@
+//! Hybrid encryption: ElGamal KEM + HKDF keystream + HMAC tag.
+//!
+//! A layer of the mix-net onion. The KEM encapsulates a random group
+//! element; HKDF expands its encoding into an XOR keystream and a MAC
+//! key. Tampering with any byte is detected by the tag, which is what the
+//! original construction relies on (an IND-CCA2 layer) to keep HBC mixers
+//! honest-verifiable.
+
+use ppgr_elgamal::{Ciphertext, ElGamal};
+use ppgr_group::{Element, Group, Scalar};
+use ppgr_hash::{hkdf_sha256, hmac_sha256};
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Domain label for key derivation.
+const KDF_INFO: &[u8] = b"ppgr/anon/hybrid/v1";
+
+/// A hybrid ciphertext: KEM part + masked body + tag.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct HybridCiphertext {
+    /// ElGamal encapsulation of the session element.
+    pub kem: Ciphertext,
+    /// Body XOR keystream.
+    pub body: Vec<u8>,
+    /// HMAC over the masked body.
+    pub tag: [u8; 32],
+}
+
+/// Decryption failure.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum HybridError {
+    /// The authentication tag did not verify.
+    BadTag,
+}
+
+impl fmt::Display for HybridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HybridError::BadTag => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl Error for HybridError {}
+
+fn derive_keys(group: &Group, session: &Element, len: usize) -> (Vec<u8>, [u8; 32]) {
+    let okm = hkdf_sha256(b"", &group.encode(session), KDF_INFO, len + 32);
+    let mut mac_key = [0u8; 32];
+    mac_key.copy_from_slice(&okm[len..]);
+    (okm[..len].to_vec(), mac_key)
+}
+
+/// Encrypts `plaintext` to `public_key`.
+pub fn encrypt<R: Rng + ?Sized>(
+    group: &Group,
+    public_key: &Element,
+    plaintext: &[u8],
+    rng: &mut R,
+) -> HybridCiphertext {
+    let scheme = ElGamal::new(group.clone());
+    // Random session element: g^s for random s.
+    let s: Scalar = group.random_nonzero_scalar(rng);
+    let session = group.exp_gen(&s);
+    let kem = scheme.encrypt(public_key, &session, rng);
+    let (stream, mac_key) = derive_keys(group, &session, plaintext.len());
+    let body: Vec<u8> = plaintext.iter().zip(&stream).map(|(p, k)| p ^ k).collect();
+    let tag = hmac_sha256(&mac_key, &body);
+    HybridCiphertext { kem, body, tag }
+}
+
+/// Decrypts one layer.
+///
+/// # Errors
+///
+/// [`HybridError::BadTag`] if the ciphertext was modified or the wrong
+/// key is used.
+pub fn decrypt(
+    group: &Group,
+    secret_key: &Scalar,
+    ct: &HybridCiphertext,
+) -> Result<Vec<u8>, HybridError> {
+    let scheme = ElGamal::new(group.clone());
+    let session = scheme.decrypt(secret_key, &ct.kem);
+    let (stream, mac_key) = derive_keys(group, &session, ct.body.len());
+    let expect = hmac_sha256(&mac_key, &ct.body);
+    if expect != ct.tag {
+        return Err(HybridError::BadTag);
+    }
+    Ok(ct.body.iter().zip(&stream).map(|(c, k)| c ^ k).collect())
+}
+
+/// Serializes to bytes (`kem ‖ tag ‖ body`), the onion layer format.
+pub fn to_bytes(group: &Group, ct: &HybridCiphertext) -> Vec<u8> {
+    let mut out = ct.kem.encode(group);
+    out.extend_from_slice(&ct.tag);
+    out.extend_from_slice(&ct.body);
+    out
+}
+
+/// Parses bytes produced by [`to_bytes`]. Returns `None` on malformed
+/// framing (body may be empty).
+pub fn from_bytes(group: &Group, bytes: &[u8]) -> Option<HybridCiphertext> {
+    let elen = group.element_len();
+    let header = 2 * elen + 32;
+    if bytes.len() < header {
+        return None;
+    }
+    let alpha = group.decode(&bytes[..elen]).ok()?;
+    let beta = group.decode(&bytes[elen..2 * elen]).ok()?;
+    let mut tag = [0u8; 32];
+    tag.copy_from_slice(&bytes[2 * elen..header]);
+    Some(HybridCiphertext {
+        kem: Ciphertext { alpha, beta },
+        body: bytes[header..].to_vec(),
+        tag,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppgr_elgamal::KeyPair;
+    use ppgr_group::GroupKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Group, KeyPair, StdRng) {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(&group, &mut rng);
+        (group, kp, rng)
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let (group, kp, mut rng) = setup();
+        for msg in [&b""[..], b"x", b"hello world", &[0xAA; 1000]] {
+            let ct = encrypt(&group, kp.public_key(), msg, &mut rng);
+            assert_eq!(decrypt(&group, kp.secret_key(), &ct).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let (group, kp, mut rng) = setup();
+        let mut ct = encrypt(&group, kp.public_key(), b"secret", &mut rng);
+        ct.body[0] ^= 1;
+        assert_eq!(decrypt(&group, kp.secret_key(), &ct), Err(HybridError::BadTag));
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let (group, kp, mut rng) = setup();
+        let other = KeyPair::generate(&group, &mut rng);
+        let ct = encrypt(&group, kp.public_key(), b"secret", &mut rng);
+        assert_eq!(decrypt(&group, other.secret_key(), &ct), Err(HybridError::BadTag));
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let (group, kp, mut rng) = setup();
+        let a = encrypt(&group, kp.public_key(), b"same", &mut rng);
+        let b = encrypt(&group, kp.public_key(), b"same", &mut rng);
+        assert_ne!(a, b);
+        assert_ne!(a.body, b.body, "keystream must differ per encryption");
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let (group, kp, mut rng) = setup();
+        let ct = encrypt(&group, kp.public_key(), b"framed", &mut rng);
+        let bytes = to_bytes(&group, &ct);
+        let back = from_bytes(&group, &bytes).unwrap();
+        assert_eq!(back, ct);
+        assert!(from_bytes(&group, &bytes[..10]).is_none());
+    }
+}

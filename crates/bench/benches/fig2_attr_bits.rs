@@ -1,0 +1,36 @@
+//! Fig. 2(c) — the attribute-width sweep.
+//!
+//! `d₁` feeds the masked-gain bit length `l = h + ⌈log m⌉ + d₁ + 2d₂ + 2`
+//! linearly, and the comparison workload is linear in `l`. This bench
+//! measures the two `l`-proportional kernels a participant runs per
+//! opponent: bitwise encryption and the comparison circuit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppgr_bigint::BigUint;
+use ppgr_core::circuit::compare_encrypted;
+use ppgr_core::bit_length;
+use ppgr_elgamal::{encrypt_bits, ExpElGamal, KeyPair};
+use ppgr_group::GroupKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_compare_vs_d1(c: &mut Criterion) {
+    let group = GroupKind::Ecc160.group();
+    let mut rng = StdRng::seed_from_u64(1);
+    let kp = KeyPair::generate(&group, &mut rng);
+    let scheme = ExpElGamal::new(group);
+    let mut g = c.benchmark_group("fig2c_compare_circuit");
+    g.sample_size(10);
+    for d1 in [10u32, 20, 30] {
+        let l = bit_length(10, d1, 8, 15);
+        let own = BigUint::from(0x1234u64);
+        let other = encrypt_bits(&scheme, kp.public_key(), &BigUint::from(0xBEEFu64), l, &mut rng);
+        g.bench_with_input(BenchmarkId::new("one_opponent", d1), &d1, |b, _| {
+            b.iter(|| compare_encrypted(&scheme, &own, &other, l));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compare_vs_d1);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 2(a) — end-to-end framework runs as the group grows.
+//!
+//! Criterion measures full three-phase executions (real cryptography) at
+//! reduced scale; the `reproduce` binary extrapolates the full figure via
+//! the calibrated model. The benchmarked quantity is one complete run;
+//! divide by `n` for the per-participant cost the paper plots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppgr_core::{FrameworkParams, GroupRanking, Questionnaire};
+use ppgr_group::GroupKind;
+
+fn run_once(n: usize, kind: GroupKind, seed: u64) {
+    let params = FrameworkParams::builder(Questionnaire::synthetic(1, 2))
+        .participants(n)
+        .top_k(1)
+        .attr_bits(6)
+        .weight_bits(3)
+        .mask_bits(6)
+        .group(kind)
+        .seed(seed)
+        .build()
+        .expect("valid parameters");
+    let outcome = GroupRanking::new(params)
+        .with_random_population()
+        .run()
+        .expect("honest run succeeds");
+    std::hint::black_box(outcome.ranks().len());
+}
+
+fn bench_fig2a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2a_full_framework");
+    g.sample_size(10);
+    for n in [2usize, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("ecc160", n), &n, |b, &n| {
+            b.iter(|| run_once(n, GroupKind::Ecc160, 1));
+        });
+    }
+    g.bench_with_input(BenchmarkId::new("dl1024", 3usize), &3, |b, &n| {
+        b.iter(|| run_once(n, GroupKind::Dl1024, 1));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2a);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 2(d) — the mask-width (`h`) sweep.
+//!
+//! `h` enters the cost the same way `d₁` does: through `l`. The dominant
+//! `l`-proportional work is the shuffle-decrypt chain, so this bench
+//! measures one chain hop over a whole comparison set as `h` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppgr_core::bit_length;
+use ppgr_elgamal::{ExpElGamal, KeyPair};
+use ppgr_group::GroupKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_chain_hop_vs_h(c: &mut Criterion) {
+    let group = GroupKind::Ecc160.group();
+    let mut rng = StdRng::seed_from_u64(1);
+    let kp = KeyPair::generate(&group, &mut rng);
+    let scheme = ExpElGamal::new(group.clone());
+    let n = 5usize; // opponents per set
+    let mut g = c.benchmark_group("fig2d_chain_hop");
+    g.sample_size(10);
+    for h in [10u32, 20, 30] {
+        let l = bit_length(10, 15, 8, h);
+        let set: Vec<_> = (0..(n - 1) * l)
+            .map(|i| scheme.encrypt(kp.public_key(), &group.scalar_from_u64(i as u64 % 7), &mut rng))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("process_set", h), &h, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                set.iter()
+                    .map(|ct| {
+                        let c = scheme.partial_decrypt(ct, kp.secret_key());
+                        let r = group.random_nonzero_scalar(&mut rng);
+                        scheme.randomize_plaintext(&c, &r)
+                    })
+                    .count()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain_hop_vs_h);
+criterion_main!(benches);

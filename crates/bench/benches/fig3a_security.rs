@@ -1,0 +1,30 @@
+//! Fig. 3(a) — DL vs ECC at equivalent security levels.
+//!
+//! The per-participant cost scales with the per-exponentiation cost of
+//! the chosen group, so the figure's driver is exactly this bench: one
+//! exponentiation in each of the six groups (80/112/128-bit levels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppgr_group::SecurityLevel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3a_exp_by_level");
+    g.sample_size(10);
+    for level in SecurityLevel::all() {
+        for kind in [level.dl(), level.ecc()] {
+            let group = kind.group();
+            let mut rng = StdRng::seed_from_u64(1);
+            let x = group.random_scalar(&mut rng);
+            let base = group.exp_gen(&x);
+            g.bench_function(format!("{level}/{kind}"), |b| {
+                b.iter(|| group.exp(&base, &x));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_levels);
+criterion_main!(benches);

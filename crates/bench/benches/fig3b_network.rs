@@ -1,0 +1,35 @@
+//! Fig. 3(b) — network-simulation throughput.
+//!
+//! Benches the discrete-event simulator itself over the synthetic traces
+//! of all three frameworks (the figure's series are printed by the
+//! `reproduce` binary; this bench tracks the simulator's cost and keeps
+//! the trace generators honest).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppgr_bench::traces;
+use ppgr_group::GroupKind;
+use ppgr_net::sim::NetworkSim;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3b_simulate");
+    g.sample_size(10);
+    for n in [10usize, 25] {
+        let sim = NetworkSim::paper_setup(n + 1, 7);
+        let ecc = traces::framework_trace(GroupKind::Ecc160, n, 52, 10, 3, 3);
+        let dl = traces::framework_trace(GroupKind::Dl1024, n, 52, 10, 3, 3);
+        let ss = traces::ss_trace(n, 52, 10, 3);
+        g.bench_with_input(BenchmarkId::new("ecc160", n), &n, |b, _| {
+            b.iter(|| sim.simulate(&ecc).completion_s)
+        });
+        g.bench_with_input(BenchmarkId::new("dl1024", n), &n, |b, _| {
+            b.iter(|| sim.simulate(&dl).completion_s)
+        });
+        g.bench_with_input(BenchmarkId::new("ss", n), &n, |b, _| {
+            b.iter(|| sim.simulate(&ss).completion_s)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

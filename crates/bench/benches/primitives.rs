@@ -1,0 +1,121 @@
+//! Microbenchmarks of every cryptographic primitive the framework uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppgr_bigint::BigUint;
+use ppgr_dotprod::{default_field, DotProduct};
+use ppgr_elgamal::{encrypt_bits, ExpElGamal, KeyPair};
+use ppgr_group::GroupKind;
+use ppgr_smc::SsEngine;
+use ppgr_zkp::MultiVerifierProof;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_group_exp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_exp");
+    g.sample_size(10);
+    for kind in [GroupKind::Ecc160, GroupKind::Dl1024] {
+        let group = kind.group();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = group.random_scalar(&mut rng);
+        let base = group.exp_gen(&x);
+        g.bench_function(kind.to_string(), |b| {
+            b.iter(|| group.exp(&base, &x));
+        });
+    }
+    g.finish();
+}
+
+fn bench_elgamal(c: &mut Criterion) {
+    let group = GroupKind::Ecc160.group();
+    let mut rng = StdRng::seed_from_u64(2);
+    let kp = KeyPair::generate(&group, &mut rng);
+    let scheme = ExpElGamal::new(group.clone());
+    let m = group.scalar_from_u64(1);
+    let ct = scheme.encrypt(kp.public_key(), &m, &mut rng);
+    let r = group.random_nonzero_scalar(&mut rng);
+
+    let mut g = c.benchmark_group("elgamal_ecc160");
+    g.sample_size(20);
+    g.bench_function("encrypt", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| scheme.encrypt(kp.public_key(), &m, &mut rng));
+    });
+    g.bench_function("partial_decrypt", |b| {
+        b.iter(|| scheme.partial_decrypt(&ct, kp.secret_key()));
+    });
+    g.bench_function("randomize_plaintext", |b| {
+        b.iter(|| scheme.randomize_plaintext(&ct, &r));
+    });
+    g.bench_function("homomorphic_add", |b| {
+        b.iter(|| scheme.add(&ct, &ct));
+    });
+    g.finish();
+}
+
+fn bench_zkp(c: &mut Criterion) {
+    let group = GroupKind::Ecc160.group();
+    let mut rng = StdRng::seed_from_u64(4);
+    let x = group.random_scalar(&mut rng);
+    let y = group.exp_gen(&x);
+    let t = MultiVerifierProof::run(&group, &x, 24, &mut rng);
+    let mut g = c.benchmark_group("zkp");
+    g.sample_size(20);
+    g.bench_function("prove_24_verifiers", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| MultiVerifierProof::run(&group, &x, 24, &mut rng));
+    });
+    g.bench_function("verify", |b| b.iter(|| t.verify(&group, &y)));
+    g.finish();
+}
+
+fn bench_dotprod(c: &mut Criterion) {
+    let field = default_field();
+    let proto = DotProduct::new(field.clone());
+    let w: Vec<_> = (0..13u64).map(|i| field.from_u64(i)).collect();
+    let v: Vec<_> = (0..13u64).map(|i| field.from_u64(i * 7)).collect();
+    let mut g = c.benchmark_group("dotprod_m10_t3");
+    g.bench_function("full_exchange", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| proto.mutual(&w, &v, &mut rng));
+    });
+    g.finish();
+}
+
+fn bench_bit_encryption(c: &mut Criterion) {
+    let group = GroupKind::Ecc160.group();
+    let mut rng = StdRng::seed_from_u64(7);
+    let kp = KeyPair::generate(&group, &mut rng);
+    let scheme = ExpElGamal::new(group);
+    let value = BigUint::from(0xDEAD_BEEFu64);
+    let mut g = c.benchmark_group("bitwise");
+    g.sample_size(10);
+    g.bench_function("encrypt_52_bits", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        b.iter(|| encrypt_bits(&scheme, kp.public_key(), &value, 52, &mut rng));
+    });
+    g.finish();
+}
+
+fn bench_shamir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shamir_n7_t3");
+    g.sample_size(20);
+    g.bench_function("bgw_mul", |b| {
+        let mut e = SsEngine::new(7, 3, 9).unwrap();
+        let f = e.field().clone();
+        let x = e.input(&f.from_u64(123));
+        let y = e.input(&f.from_u64(456));
+        b.iter(|| e.mul(&x, &y));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_group_exp,
+    bench_elgamal,
+    bench_zkp,
+    bench_dotprod,
+    bench_bit_encryption,
+    bench_shamir
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Step-by-step DL-1024 diagnostic (hunting a hang in the framework path).
+
+use ppgr_bigint::BigUint;
+use ppgr_core::{unlinkable_sort, PartyTimer};
+use ppgr_elgamal::{encrypt_bits, ExpElGamal, JointKey, KeyPair};
+use ppgr_group::GroupKind;
+use ppgr_net::TrafficLog;
+use ppgr_zkp::MultiVerifierProof;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn step(name: &str, f: impl FnOnce()) {
+    let t = Instant::now();
+    f();
+    eprintln!("{name}: {:?}", t.elapsed());
+}
+
+fn main() {
+    let group = GroupKind::Dl1024.group();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let kp1 = KeyPair::generate(&group, &mut rng);
+    let kp2 = KeyPair::generate(&group, &mut rng);
+    eprintln!("keygen done");
+
+    step("zkp", || {
+        let t = MultiVerifierProof::run(&group, kp1.secret_key(), 1, &mut StdRng::seed_from_u64(2));
+        assert!(t.verify(&group, kp1.public_key()));
+    });
+
+    let joint = JointKey::combine(&group, &[kp1.public_key().clone(), kp2.public_key().clone()]);
+    let scheme = ExpElGamal::new(group.clone());
+
+    let mut cts = Vec::new();
+    step("encrypt_bits l=4", || {
+        cts = encrypt_bits(&scheme, joint.public_key(), &BigUint::from(5u64), 4, &mut rng);
+    });
+
+    step("compare circuit", || {
+        let taus = ppgr_core::circuit::compare_encrypted(&scheme, &BigUint::from(3u64), &cts, 4);
+        assert_eq!(taus.len(), 4);
+    });
+
+    step("partial_decrypt + randomize", || {
+        let c = scheme.partial_decrypt(&cts[0], kp1.secret_key());
+        let r = group.random_nonzero_scalar(&mut rng);
+        let _ = scheme.randomize_plaintext(&c, &r);
+    });
+
+    step("decrypts_to_zero", || {
+        let c = scheme.partial_decrypt(&cts[0], kp1.secret_key());
+        let _ = scheme.decrypts_to_zero(kp2.secret_key(), &c);
+    });
+
+    step("full sort n=2 l=4", || {
+        let log = TrafficLog::new();
+        let mut timer = PartyTimer::new(3);
+        let out = unlinkable_sort(
+            &group,
+            &[BigUint::from(3u64), BigUint::from(9u64)],
+            4,
+            &mut StdRng::seed_from_u64(3),
+            &log,
+            &mut timer,
+            0,
+        )
+        .unwrap();
+        eprintln!("ranks: {:?}", out.ranks);
+    });
+    eprintln!("ALL OK");
+}

@@ -1,0 +1,29 @@
+//! Quick per-exponentiation timing probe for all six groups
+//! (the minimal version of what `reproduce`'s calibration does).
+
+use ppgr_group::{Group, GroupKind};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn probe(kind: GroupKind) {
+    let g: Group = kind.group();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let x = g.random_scalar(&mut rng);
+    let base = g.exp_gen(&x);
+    let n = 200;
+    let start = Instant::now();
+    let mut acc = base.clone();
+    for _ in 0..n {
+        let s = g.random_scalar(&mut rng);
+        acc = g.exp(&acc, &s);
+    }
+    let per = start.elapsed() / n;
+    println!("{kind}: {per:?} per exp");
+    let _ = acc;
+}
+
+fn main() {
+    for k in GroupKind::all() {
+        probe(k);
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-operation cost measurement on the current machine.
+
+use ppgr_bigint::FpCtx;
+use ppgr_dotprod::default_field;
+use ppgr_group::GroupKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Measures the cost of one group exponentiation (random base, full-width
+/// random exponent) for `kind`, averaged over `samples`.
+pub fn exp_time(kind: GroupKind, samples: u32) -> Duration {
+    let g = kind.group();
+    let mut rng = StdRng::seed_from_u64(0xCA11B7A7E);
+    let x = g.random_scalar(&mut rng);
+    let mut acc = g.exp_gen(&x);
+    let start = Instant::now();
+    for _ in 0..samples {
+        let s = g.random_scalar(&mut rng);
+        acc = g.exp(&acc, &s);
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(acc);
+    elapsed / samples
+}
+
+/// Measures one 256-bit field multiplication (the SS baseline's integer
+/// multiplication unit), averaged over `samples`.
+pub fn field_mul_time(samples: u32) -> Duration {
+    let field: Arc<FpCtx> = default_field();
+    let mut rng = StdRng::seed_from_u64(0xF1E1D);
+    let mut acc = field.random(&mut rng);
+    let b = field.random_nonzero(&mut rng);
+    let start = Instant::now();
+    for _ in 0..samples {
+        acc = &acc * &b;
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(acc);
+    elapsed / samples
+}
+
+/// A calibration bundle for all six groups plus the field unit.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// Per-exponentiation time, indexed by [`GroupKind::all`] order.
+    pub exp: [(GroupKind, Duration); 6],
+    /// Per-field-multiplication time (SS baseline unit).
+    pub field_mul: Duration,
+}
+
+impl Calibration {
+    /// Runs the full calibration (`quick` uses fewer samples).
+    pub fn measure(quick: bool) -> Self {
+        let samples = if quick { 20 } else { 100 };
+        let kinds = GroupKind::all();
+        let exp = kinds.map(|k| {
+            // The slow DL groups get fewer samples to bound wall time.
+            let s = if k.is_dl() { samples.min(25) } else { samples };
+            (k, exp_time(k, s))
+        });
+        Calibration { exp, field_mul: field_mul_time(20_000) }
+    }
+
+    /// Per-exponentiation time for `kind`.
+    pub fn exp_for(&self, kind: GroupKind) -> Duration {
+        self.exp
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, d)| *d)
+            .expect("all kinds calibrated")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_time_positive_and_ordered() {
+        let ecc = exp_time(GroupKind::Ecc160, 5);
+        let dl = exp_time(GroupKind::Dl1024, 5);
+        assert!(ecc > Duration::ZERO);
+        assert!(dl > ecc, "DL-1024 must cost more than ECC-160");
+    }
+
+    #[test]
+    fn field_mul_is_microseconds() {
+        let t = field_mul_time(1000);
+        assert!(t > Duration::ZERO);
+        assert!(t < Duration::from_millis(1), "field mul should be ≪ 1 ms, got {t:?}");
+    }
+}

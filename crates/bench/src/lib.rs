@@ -1,0 +1,26 @@
+//! Benchmark harness: calibration, calibrated cost models, synthetic
+//! network traces, and table formatting for the `reproduce` binary.
+//!
+//! ## Methodology
+//!
+//! The paper's testbed was a Pentium 4; ours is whatever container this
+//! runs in. Absolute times therefore differ, but every figure's *shape*
+//! is driven by operation counts × per-operation cost, so the harness:
+//!
+//! 1. **measures** per-operation costs on this machine
+//!    ([`calibrate::exp_time`], [`calibrate::field_mul_time`]);
+//! 2. **runs the real protocol end-to-end** at small scales and checks the
+//!    calibrated model against those measurements ([`model::validate`]);
+//! 3. **extrapolates** each figure's series with the validated model at
+//!    the paper's scales, where a full run on one core would take hours;
+//! 4. for Fig. 3(b), feeds **synthetic wire traces** (exact message sizes
+//!    and round structure of each framework — no cryptography needed)
+//!    through the discrete-event network simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod model;
+pub mod table;
+pub mod traces;

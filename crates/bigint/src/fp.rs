@@ -1,0 +1,335 @@
+//! A prime-field element type [`Fp`] with a shared field context [`FpCtx`].
+//!
+//! Used by the secure dot-product protocol (all protocol algebra happens in
+//! `Z_p`) and by the Shamir/BGW secret-sharing baseline.
+
+use crate::modular::mod_inverse;
+use crate::montgomery::Montgomery;
+use crate::random::random_below;
+use crate::uint::BigUint;
+use rand::Rng;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::sync::Arc;
+
+/// Shared context for a prime field `Z_p`.
+#[derive(Debug)]
+pub struct FpCtx {
+    p: BigUint,
+    mont: Montgomery,
+}
+
+impl FpCtx {
+    /// Creates a field context for the odd prime `p`.
+    ///
+    /// Primality is the caller's responsibility (contexts are typically
+    /// built from fixed, vetted constants); only oddness is checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is even or `p < 3`.
+    pub fn new(p: BigUint) -> Arc<Self> {
+        assert!(p.is_odd() && p > BigUint::from(2u64), "field modulus must be an odd prime");
+        let mont = Montgomery::new(p.clone());
+        Arc::new(FpCtx { p, mont })
+    }
+
+    /// The field modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.p
+    }
+
+    /// Number of bits of the modulus.
+    pub fn bits(&self) -> usize {
+        self.p.bits()
+    }
+
+    /// The additive identity.
+    pub fn zero(self: &Arc<Self>) -> Fp {
+        Fp { ctx: self.clone(), v: BigUint::zero() }
+    }
+
+    /// The multiplicative identity.
+    pub fn one(self: &Arc<Self>) -> Fp {
+        Fp { ctx: self.clone(), v: BigUint::one() }
+    }
+
+    /// Embeds an unsigned integer, reducing mod `p`.
+    pub fn element(self: &Arc<Self>, v: BigUint) -> Fp {
+        Fp { ctx: self.clone(), v: &v % &self.p }
+    }
+
+    /// Embeds a `u64`.
+    pub fn from_u64(self: &Arc<Self>, v: u64) -> Fp {
+        self.element(BigUint::from(v))
+    }
+
+    /// Embeds a signed `i128` using the natural embedding of negatives as
+    /// `p - |v|` (centered representatives).
+    pub fn from_i128(self: &Arc<Self>, v: i128) -> Fp {
+        if v >= 0 {
+            self.element(BigUint::from(v as u128))
+        } else {
+            -self.element(BigUint::from(v.unsigned_abs()))
+        }
+    }
+
+    /// A uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(self: &Arc<Self>, rng: &mut R) -> Fp {
+        Fp { ctx: self.clone(), v: random_below(rng, &self.p) }
+    }
+
+    /// A uniformly random *nonzero* field element.
+    pub fn random_nonzero<R: Rng + ?Sized>(self: &Arc<Self>, rng: &mut R) -> Fp {
+        loop {
+            let v = self.random(rng);
+            if !v.is_zero() {
+                return v;
+            }
+        }
+    }
+}
+
+/// An element of a prime field `Z_p`.
+///
+/// Elements carry an `Arc` to their field context; mixing elements of
+/// different fields panics (it is always a logic error).
+///
+/// # Example
+///
+/// ```
+/// use ppgr_bigint::{BigUint, FpCtx};
+///
+/// let f = FpCtx::new(BigUint::from(1_000_003u64));
+/// let a = f.from_u64(7);
+/// let b = a.inv().expect("nonzero");
+/// assert_eq!(&a * &b, f.one());
+/// ```
+#[derive(Clone)]
+pub struct Fp {
+    ctx: Arc<FpCtx>,
+    v: BigUint,
+}
+
+impl Fp {
+    /// The canonical representative in `[0, p)`.
+    pub fn value(&self) -> &BigUint {
+        &self.v
+    }
+
+    /// The field context.
+    pub fn ctx(&self) -> &Arc<FpCtx> {
+        &self.ctx
+    }
+
+    /// Returns `true` for the additive identity.
+    pub fn is_zero(&self) -> bool {
+        self.v.is_zero()
+    }
+
+    /// Interprets the element as a centered signed integer in
+    /// `(-p/2, p/2]`, returning `None` if it does not fit in `i128`.
+    ///
+    /// This inverts [`FpCtx::from_i128`] for values of small magnitude and
+    /// is how masked gains are read back out of the dot-product protocol.
+    pub fn to_i128_centered(&self) -> Option<i128> {
+        let half = self.ctx.p.shr(1);
+        if self.v <= half {
+            self.v.to_u128().and_then(|u| i128::try_from(u).ok())
+        } else {
+            let mag = &self.ctx.p - &self.v;
+            mag.to_u128()
+                .and_then(|u| i128::try_from(u).ok())
+                .map(|m| -m)
+        }
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    pub fn inv(&self) -> Option<Fp> {
+        mod_inverse(&self.v, &self.ctx.p).map(|v| Fp { ctx: self.ctx.clone(), v })
+    }
+
+    /// Exponentiation by an unsigned integer.
+    pub fn pow(&self, e: &BigUint) -> Fp {
+        Fp { ctx: self.ctx.clone(), v: self.ctx.mont.pow(&self.v, e) }
+    }
+
+    fn check_same_field(&self, other: &Fp) {
+        assert!(
+            Arc::ptr_eq(&self.ctx, &other.ctx) || self.ctx.p == other.ctx.p,
+            "mixed elements of different fields"
+        );
+    }
+}
+
+impl PartialEq for Fp {
+    fn eq(&self, other: &Self) -> bool {
+        self.ctx.p == other.ctx.p && self.v == other.v
+    }
+}
+
+impl Eq for Fp {}
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp(0x{:x} mod {} bits)", self.v, self.ctx.bits())
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.v)
+    }
+}
+
+impl Add for &Fp {
+    type Output = Fp;
+    fn add(self, rhs: &Fp) -> Fp {
+        self.check_same_field(rhs);
+        let mut v = &self.v + &rhs.v;
+        if v >= self.ctx.p {
+            v = &v - &self.ctx.p;
+        }
+        Fp { ctx: self.ctx.clone(), v }
+    }
+}
+
+impl Sub for &Fp {
+    type Output = Fp;
+    fn sub(self, rhs: &Fp) -> Fp {
+        self.check_same_field(rhs);
+        let v = if self.v >= rhs.v {
+            &self.v - &rhs.v
+        } else {
+            &(&self.v + &self.ctx.p) - &rhs.v
+        };
+        Fp { ctx: self.ctx.clone(), v }
+    }
+}
+
+impl Mul for &Fp {
+    type Output = Fp;
+    fn mul(self, rhs: &Fp) -> Fp {
+        self.check_same_field(rhs);
+        Fp { ctx: self.ctx.clone(), v: self.ctx.mont.mul(&self.v, &rhs.v) }
+    }
+}
+
+impl Neg for Fp {
+    type Output = Fp;
+    fn neg(self) -> Fp {
+        if self.v.is_zero() {
+            self
+        } else {
+            let v = &self.ctx.p - &self.v;
+            Fp { ctx: self.ctx, v }
+        }
+    }
+}
+
+impl Neg for &Fp {
+    type Output = Fp;
+    fn neg(self) -> Fp {
+        -self.clone()
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Fp {
+            type Output = Fp;
+            fn $method(self, rhs: Fp) -> Fp {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Fp> for Fp {
+            type Output = Fp;
+            fn $method(self, rhs: &Fp) -> Fp {
+                (&self).$method(rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn field() -> Arc<FpCtx> {
+        FpCtx::new(BigUint::from(1_000_003u64))
+    }
+
+    #[test]
+    fn ring_axioms_spot_check() {
+        let f = field();
+        let a = f.from_u64(999_999);
+        let b = f.from_u64(12345);
+        let c = f.from_u64(678_901);
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        assert_eq!(&a - &a, f.zero());
+        assert_eq!(&a + &(-a.clone()), f.zero());
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        let f = field();
+        let a = f.from_u64(3);
+        let b = f.from_u64(5);
+        assert_eq!(&(&a - &b) + &b, a);
+    }
+
+    #[test]
+    fn inverse_and_division() {
+        let f = field();
+        let a = f.from_u64(424_242);
+        assert_eq!(&a * &a.inv().unwrap(), f.one());
+        assert!(f.zero().inv().is_none());
+    }
+
+    #[test]
+    fn signed_embedding_round_trips() {
+        let f = field();
+        for v in [-499_000i128, -1, 0, 1, 499_000] {
+            assert_eq!(f.from_i128(v).to_i128_centered(), Some(v));
+        }
+        // Arithmetic on embedded signed values matches integer arithmetic.
+        let x = f.from_i128(-1234);
+        let y = f.from_i128(999);
+        assert_eq!((&x * &y).to_i128_centered(), Some(-1234 * 999 % 1_000_003));
+    }
+
+    #[test]
+    fn fermat_via_pow() {
+        let f = field();
+        let a = f.from_u64(777);
+        let e = f.modulus().checked_sub(&BigUint::one()).unwrap();
+        assert_eq!(a.pow(&e), f.one());
+    }
+
+    #[test]
+    fn random_elements_in_range() {
+        let f = field();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let x = f.random(&mut rng);
+            assert!(x.value() < f.modulus());
+        }
+        assert!(!f.random_nonzero(&mut rng).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "different fields")]
+    fn mixing_fields_panics() {
+        let f1 = field();
+        let f2 = FpCtx::new(BigUint::from(97u64));
+        let _ = &f1.one() + &f2.one();
+    }
+}

@@ -1,0 +1,156 @@
+//! Probabilistic primality testing (Miller–Rabin) and prime generation.
+
+use crate::montgomery::Montgomery;
+use crate::random::{random_below, random_nbit};
+use crate::uint::BigUint;
+use rand::Rng;
+
+/// Small primes used for trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Runs `rounds` of Miller–Rabin with random bases.
+///
+/// A composite passes with probability at most `4^-rounds`; 40 rounds is the
+/// conventional "cryptographic certainty" setting.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    let two = BigUint::from(2u64);
+    if n < &two {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p = BigUint::from(p);
+        if n == &p {
+            return true;
+        }
+        if (n % &p).is_zero() {
+            return false;
+        }
+    }
+    // n - 1 = d · 2^s
+    let one = BigUint::one();
+    let n_minus_1 = n.checked_sub(&one).expect("n >= 2");
+    let s = n_minus_1.trailing_zeros();
+    let d = n_minus_1.shr(s);
+    let mont = Montgomery::new(n.clone());
+
+    let n_minus_3 = n.checked_sub(&BigUint::from(3u64)).expect("n > 3");
+    'witness: for _ in 0..rounds {
+        // a uniform in [2, n-2]
+        let a = &random_below(rng, &n_minus_3) + &two;
+        let mut x = mont.pow(&a, &d);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = mont.sqr(&x);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// The candidate stream is odd `bits`-bit integers; each is trial-divided and
+/// then subjected to 40 Miller–Rabin rounds.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = random_nbit(rng, bits);
+        candidate.set_bit(0, true);
+        if is_probable_prime(&candidate, 40, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a random *safe* prime `p = 2q + 1` (`q` also prime) of `bits` bits.
+///
+/// Exposed for completeness/tests; the framework itself ships fixed RFC 3526
+/// safe primes because live safe-prime generation at 1024+ bits is slow.
+pub fn random_safe_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 3, "safe primes need at least 3 bits");
+    loop {
+        let q = random_prime(rng, bits - 1);
+        let p = &q.shl(1) + &BigUint::one();
+        if p.bits() == bits && is_probable_prime(&p, 40, rng) {
+            return p;
+        }
+    }
+}
+
+/// Checks whether `p` is a safe prime (`p` and `(p-1)/2` both probable primes).
+pub fn is_safe_prime<R: Rng + ?Sized>(p: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if p.is_even() || !is_probable_prime(p, rounds, rng) {
+        return false;
+    }
+    let q = p.checked_sub(&BigUint::one()).expect("p >= 3").shr(1);
+    is_probable_prime(&q, rounds, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classifies_small_numbers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let primes = [2u64, 3, 5, 7, 11, 13, 257, 65537, 1_000_003];
+        let composites = [0u64, 1, 4, 9, 15, 91, 561, 6601, 62745, 1_000_001];
+        for p in primes {
+            assert!(is_probable_prime(&BigUint::from(p), 20, &mut rng), "{p}");
+        }
+        // 561, 6601, 62745 are Carmichael numbers — MR must still reject them.
+        for c in composites {
+            assert!(!is_probable_prime(&BigUint::from(c), 20, &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn recognizes_mersenne_prime() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m521 = BigUint::power_of_two(521).checked_sub(&BigUint::one()).unwrap();
+        assert!(is_probable_prime(&m521, 10, &mut rng));
+        let m523 = BigUint::power_of_two(523).checked_sub(&BigUint::one()).unwrap();
+        assert!(!is_probable_prime(&m523, 10, &mut rng));
+    }
+
+    #[test]
+    fn generates_primes_of_requested_size() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for bits in [8usize, 32, 64, 128] {
+            let p = random_prime(&mut rng, bits);
+            assert_eq!(p.bits(), bits);
+            assert!(is_probable_prime(&p, 20, &mut rng));
+        }
+    }
+
+    #[test]
+    fn generates_safe_prime() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let p = random_safe_prime(&mut rng, 48);
+        assert!(is_safe_prime(&p, 20, &mut rng));
+        assert_eq!(p.bits(), 48);
+    }
+
+    #[test]
+    fn known_safe_prime_detected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // 23 = 2·11 + 1 is safe; 13 is prime but not safe.
+        assert!(is_safe_prime(&BigUint::from(23u64), 20, &mut rng));
+        assert!(!is_safe_prime(&BigUint::from(13u64), 20, &mut rng));
+    }
+}

@@ -1,0 +1,98 @@
+//! Uniform random [`BigUint`] generation, generic over any [`rand::Rng`].
+
+use crate::uint::BigUint;
+use rand::Rng;
+
+/// A uniformly random value with exactly `bits` random bits (may have
+/// leading zero bits, i.e. the result is uniform in `[0, 2^bits)`).
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let limbs = bits.div_ceil(64);
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+    let extra = limbs * 64 - bits;
+    if extra > 0 {
+        let last = v.last_mut().expect("at least one limb");
+        *last &= u64::MAX >> extra;
+    }
+    BigUint::from_limbs(v)
+}
+
+/// A uniformly random value of exactly `bits` significant bits
+/// (top bit forced to one). `bits` must be at least 1.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn random_nbit<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 1, "need at least one bit");
+    let mut v = random_bits(rng, bits);
+    v.set_bit(bits - 1, true);
+    v
+}
+
+/// A uniformly random value in `[0, bound)` by rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bits();
+    loop {
+        let candidate = random_bits(rng, bits);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [1usize, 7, 64, 65, 257] {
+            for _ in 0..20 {
+                let v = random_bits(&mut rng, bits);
+                assert!(v.bits() <= bits);
+            }
+        }
+        assert!(random_bits(&mut rng, 0).is_zero());
+    }
+
+    #[test]
+    fn random_nbit_exact_width() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [1usize, 8, 64, 100] {
+            for _ in 0..20 {
+                assert_eq!(random_nbit(&mut rng, bits).bits(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn random_below_is_below_and_covers_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = BigUint::from(10u64);
+        let mut seen = [false; 10];
+        for _ in 0..400 {
+            let v = random_below(&mut rng, &bound);
+            assert!(v < bound);
+            seen[v.to_u64().unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = random_bits(&mut StdRng::seed_from_u64(42), 256);
+        let b = random_bits(&mut StdRng::seed_from_u64(42), 256);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,485 @@
+//! The [`BigUint`] representation: little-endian `u64` limbs plus
+//! construction, conversion, comparison, bit access and formatting.
+
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Limbs are stored little-endian in a `Vec<u64>` and kept *normalized*: the
+/// most significant limb is never zero, and zero is the empty vector. All
+/// public constructors and operators maintain this invariant.
+///
+/// # Example
+///
+/// ```
+/// use ppgr_bigint::BigUint;
+///
+/// let x = BigUint::from(0xdead_beefu64);
+/// assert_eq!(format!("{x:x}"), "deadbeef");
+/// assert_eq!(x.bits(), 32);
+/// ```
+#[derive(Clone, Default, Eq, PartialEq)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+/// Error returned when parsing a [`BigUint`] from a string fails.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct ParseBigUintError {
+    pub(crate) kind: &'static str,
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid big integer literal: {}", self.kind)
+    }
+}
+
+impl Error for ParseBigUintError {}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// `2` raised to `exp`, i.e. a single set bit at position `exp`.
+    pub fn power_of_two(exp: usize) -> Self {
+        let mut limbs = vec![0u64; exp / 64 + 1];
+        limbs[exp / 64] = 1u64 << (exp % 64);
+        BigUint { limbs }
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut v = BigUint { limbs };
+        v.normalize();
+        v
+    }
+
+    /// Borrows the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Returns `true` if the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (`0` for the value zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(hi) => self.limbs.len() * 64 - hi.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`, growing the limb vector if needed.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            if !value {
+                return;
+            }
+            self.limbs.resize(limb + 1, 0);
+        }
+        if value {
+            self.limbs[limb] |= 1u64 << (i % 64);
+        } else {
+            self.limbs[limb] &= !(1u64 << (i % 64));
+            self.normalize();
+        }
+    }
+
+    /// Little-endian bit vector of the low `n` bits.
+    ///
+    /// This is the binary decomposition `[β^1, β^2, …, β^n]` (least
+    /// significant first) used by the bitwise encryption step of the
+    /// framework.
+    pub fn to_bits_le(&self, n: usize) -> Vec<bool> {
+        (0..n).map(|i| self.bit(i)).collect()
+    }
+
+    /// Reconstructs a value from little-endian bits.
+    pub fn from_bits_le(bits: &[bool]) -> Self {
+        let mut v = BigUint::zero();
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set_bit(i, true);
+            }
+        }
+        v
+    }
+
+    /// Converts to `u64`, returning `None` on overflow.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128`, returning `None` on overflow.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Big-endian byte representation without leading zeros (zero → empty).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.drain(..skip);
+        out
+    }
+
+    /// Parses a big-endian byte string.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = limb << 8 | b as u64;
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Parses a hexadecimal string (no prefix, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] if the string is empty or contains a
+    /// non-hex character. Embedded ASCII whitespace is ignored so that
+    /// multi-line constants (e.g. RFC 3526 primes) can be pasted verbatim.
+    pub fn from_hex_str(s: &str) -> Result<Self, ParseBigUintError> {
+        let digits: Vec<u8> = s
+            .bytes()
+            .filter(|b| !b.is_ascii_whitespace())
+            .map(|b| match b {
+                b'0'..=b'9' => Ok(b - b'0'),
+                b'a'..=b'f' => Ok(b - b'a' + 10),
+                b'A'..=b'F' => Ok(b - b'A' + 10),
+                _ => Err(ParseBigUintError { kind: "non-hex digit" }),
+            })
+            .collect::<Result<_, _>>()?;
+        if digits.is_empty() {
+            return Err(ParseBigUintError { kind: "empty literal" });
+        }
+        let mut v = BigUint::zero();
+        for d in digits {
+            v = v.shl(4);
+            if d != 0 {
+                v = &v + &BigUint::from(d as u64);
+            }
+        }
+        Ok(v)
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] if the string is empty or contains a
+    /// non-decimal character.
+    pub fn from_dec_str(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError { kind: "empty literal" });
+        }
+        let mut v = BigUint::zero();
+        for b in s.bytes() {
+            if !b.is_ascii_digit() {
+                return Err(ParseBigUintError { kind: "non-decimal digit" });
+            }
+            v = v.mul_small(10);
+            v = &v + &BigUint::from((b - b'0') as u64);
+        }
+        Ok(v)
+    }
+
+    /// Lowercase hexadecimal representation (zero → `"0"`).
+    pub fn to_hex_str(&self) -> String {
+        format!("{self:x}")
+    }
+
+    /// Decimal representation.
+    pub fn to_dec_str(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for BigUint {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.limbs.hash(state);
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{self:x})")
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::UpperHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format!("{self:x}").to_uppercase())
+    }
+}
+
+impl fmt::Binary for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut s = String::with_capacity(self.bits());
+        for i in (0..self.bits()).rev() {
+            s.push(if self.bit(i) { '1' } else { '0' });
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Repeated division by 10^19 (largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut rest = self.clone();
+        let mut chunks: Vec<u64> = Vec::new();
+        while !rest.is_zero() {
+            let (q, r) = rest.div_rem_small(CHUNK);
+            chunks.push(r);
+            rest = q;
+        }
+        let mut s = String::new();
+        for (i, chunk) in chunks.iter().enumerate().rev() {
+            if i == chunks.len() - 1 {
+                s.push_str(&format!("{chunk}"));
+            } else {
+                s.push_str(&format!("{chunk:019}"));
+            }
+        }
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_normalized_and_even() {
+        let z = BigUint::zero();
+        assert!(z.is_zero());
+        assert!(z.is_even());
+        assert_eq!(z.bits(), 0);
+        assert_eq!(z.to_bytes_be(), Vec::<u8>::new());
+        assert_eq!(format!("{z}"), "0");
+        assert_eq!(format!("{z:x}"), "0");
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let v = BigUint::from_limbs(vec![5, 0, 0]);
+        assert_eq!(v.limbs(), &[5]);
+        assert_eq!(v, BigUint::from(5u64));
+    }
+
+    #[test]
+    fn bit_access_round_trips() {
+        let mut v = BigUint::zero();
+        v.set_bit(0, true);
+        v.set_bit(65, true);
+        assert!(v.bit(0) && v.bit(65) && !v.bit(64));
+        assert_eq!(v.bits(), 66);
+        v.set_bit(65, false);
+        assert_eq!(v, BigUint::one());
+    }
+
+    #[test]
+    fn bits_le_round_trip() {
+        let v = BigUint::from(0b1011_0110u64);
+        let bits = v.to_bits_le(8);
+        assert_eq!(BigUint::from_bits_le(&bits), v);
+        // Truncation keeps only the low bits.
+        let low = BigUint::from_bits_le(&v.to_bits_le(4));
+        assert_eq!(low, BigUint::from(0b0110u64));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let v = BigUint::from(0x0102_0304_0506_0708u64);
+        assert_eq!(v.to_bytes_be(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+        // Leading zero bytes are accepted on input, stripped on output.
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 1]), BigUint::one());
+    }
+
+    #[test]
+    fn hex_parse_and_format() {
+        let v = BigUint::from_hex_str("DeadBeef").unwrap();
+        assert_eq!(v, BigUint::from(0xdeadbeefu64));
+        assert_eq!(format!("{v:x}"), "deadbeef");
+        assert_eq!(format!("{v:X}"), "DEADBEEF");
+        assert!(BigUint::from_hex_str("xyz").is_err());
+        assert!(BigUint::from_hex_str("").is_err());
+        // Whitespace tolerated for multi-line constants.
+        let w = BigUint::from_hex_str("dead\n beef").unwrap();
+        assert_eq!(w, v);
+    }
+
+    #[test]
+    fn dec_parse_and_format() {
+        let v = BigUint::from_dec_str("340282366920938463463374607431768211456").unwrap();
+        assert_eq!(v, BigUint::power_of_two(128));
+        assert_eq!(format!("{v}"), "340282366920938463463374607431768211456");
+        assert!(BigUint::from_dec_str("12a").is_err());
+    }
+
+    #[test]
+    fn ordering_ignores_limb_content_when_lengths_differ() {
+        let small = BigUint::from(u64::MAX);
+        let big = BigUint::power_of_two(64);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn u128_round_trip() {
+        let v = BigUint::from(u128::MAX);
+        assert_eq!(v.to_u128(), Some(u128::MAX));
+        assert_eq!(v.to_u64(), None);
+        assert_eq!(BigUint::from(7u64).to_u64(), Some(7));
+    }
+
+    #[test]
+    fn power_of_two_bit_position() {
+        for e in [0usize, 1, 63, 64, 65, 127, 1000] {
+            let v = BigUint::power_of_two(e);
+            assert_eq!(v.bits(), e + 1);
+            assert!(v.bit(e));
+        }
+    }
+
+    #[test]
+    fn binary_format() {
+        assert_eq!(format!("{:b}", BigUint::from(10u64)), "1010");
+        assert_eq!(format!("{:b}", BigUint::zero()), "0");
+    }
+}

@@ -1,0 +1,116 @@
+//! Operation-count analysis of the framework (paper Sec. VI-B).
+//!
+//! These formulas serve two purposes:
+//!
+//! 1. they regenerate the in-text complexity comparison (`O(l²n + ln²λ)`
+//!    group multiplications and `O(n)` rounds for the framework versus
+//!    `O(l·t·n²(log n)³)` and `O((279l+5)n(log n)²)` for the SS baseline —
+//!    the `analysis` experiment of the reproduce harness);
+//! 2. they drive the *calibrated model* timings for figure scales that
+//!    are impractical to run end-to-end on one core: the harness measures
+//!    the per-exponentiation cost of each group and multiplies by
+//!    [`participant_ops`].
+
+/// Exponentiation counts one participant performs, by phase.
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub struct ParticipantOps {
+    /// Key generation + proving + verifying (step 5).
+    pub setup_exps: u64,
+    /// Bitwise encryption (step 6).
+    pub encrypt_exps: u64,
+    /// Comparison circuit scalar multiplications (step 7).
+    pub compare_exps: u64,
+    /// Shuffle-decrypt chain (step 8) — the dominant term.
+    pub chain_exps: u64,
+    /// Final decryption of the returned set (step 9).
+    pub final_exps: u64,
+}
+
+impl ParticipantOps {
+    /// Total exponentiations.
+    pub fn total(&self) -> u64 {
+        self.setup_exps + self.encrypt_exps + self.compare_exps + self.chain_exps + self.final_exps
+    }
+}
+
+/// Exponentiations a participant performs for group size `n` and bit
+/// length `l`.
+///
+/// Derivation (each ElGamal ciphertext op = component-wise):
+/// * setup: 1 keygen + 1 proof commitment + 1 response check-side is
+///   verifier work: verifying `n−1` proofs costs 2 exps each;
+/// * encryption: `l` bits × 2 exps;
+/// * comparison: per opponent, `l` scalar-multiplications of ciphertexts
+///   (2 exps each) — the additions are multiplications, not exps;
+/// * chain: `(n−1)` sets × `(n−1)·l` ciphertexts × 3 exps (one partial
+///   decryption + two plaintext-randomization exps);
+/// * final: `(n−1)·l` single-component exponentiations.
+pub fn participant_ops(n: usize, l: usize) -> ParticipantOps {
+    let (n, l) = (n as u64, l as u64);
+    ParticipantOps {
+        setup_exps: 2 + 2 * (n - 1),
+        encrypt_exps: 2 * l,
+        compare_exps: 2 * l * (n - 1),
+        chain_exps: 3 * l * (n - 1) * (n - 1),
+        final_exps: l * (n - 1),
+    }
+}
+
+/// Communication rounds of the framework: `n + O(1)` (paper: `O(n)`).
+pub fn framework_rounds(n: usize) -> u64 {
+    n as u64 + 5
+}
+
+/// Bytes one participant sends during the comparison phase
+/// (`O(l·S_c·n²)`, Sec. VI-B), with `ciphertext_bytes = 2·element_len`.
+pub fn participant_comm_bytes(n: usize, l: usize, ciphertext_bytes: usize) -> u64 {
+    let (n, l, sc) = (n as u64, l as u64, ciphertext_bytes as u64);
+    // l ciphertexts broadcast (n−1 receivers) + the set to P₁ + one full
+    // vector hop of the chain (n sets × (n−1)·l each).
+    l * sc * (n - 1) + (n - 1) * l * sc + n * (n - 1) * l * sc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_dominates_at_scale() {
+        let ops = participant_ops(25, 52);
+        assert!(ops.chain_exps > ops.compare_exps * 10);
+        assert!(ops.chain_exps > ops.encrypt_exps * 100);
+        assert_eq!(ops.total(),
+            ops.setup_exps + ops.encrypt_exps + ops.compare_exps + ops.chain_exps + ops.final_exps);
+    }
+
+    #[test]
+    fn quadratic_growth_in_n() {
+        // Fig. 2(a): our framework grows ~quadratically in n.
+        let a = participant_ops(10, 52).total();
+        let b = participant_ops(20, 52).total();
+        let ratio = b as f64 / a as f64;
+        assert!((3.0..5.0).contains(&ratio), "expected ≈4×, got {ratio}");
+    }
+
+    #[test]
+    fn linear_growth_in_l() {
+        // Fig. 2(c)/(d): linear in l (which d₁ and h feed).
+        let a = participant_ops(25, 30).total();
+        let b = participant_ops(25, 60).total();
+        let ratio = b as f64 / a as f64;
+        assert!((1.8..2.2).contains(&ratio), "expected ≈2×, got {ratio}");
+    }
+
+    #[test]
+    fn rounds_linear() {
+        assert_eq!(framework_rounds(25), 30);
+        assert_eq!(framework_rounds(70), 75);
+    }
+
+    #[test]
+    fn comm_quadratic() {
+        let a = participant_comm_bytes(10, 52, 42);
+        let b = participant_comm_bytes(20, 52, 42);
+        assert!((3.0..5.0).contains(&(b as f64 / a as f64)));
+    }
+}

@@ -1,0 +1,385 @@
+//! The attribute/gain model of Sec. III-A (Definition 1).
+
+use std::error::Error;
+use std::fmt;
+
+/// How the initiator scores an attribute (paper Sec. III-A).
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
+pub enum AttributeKind {
+    /// "Equal to": the closer to the criterion value the better
+    /// (quadratic penalty) — e.g. age, blood pressure.
+    EqualTo,
+    /// "Greater than": the larger beyond the criterion the better
+    /// (linear reward) — e.g. number of friends, annual income.
+    GreaterThan,
+}
+
+/// One named attribute of the questionnaire.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct AttributeSpec {
+    /// Human-readable name (published by the initiator).
+    pub name: String,
+    /// Scoring kind.
+    pub kind: AttributeKind,
+}
+
+/// Errors constructing questionnaires or vectors.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum VectorError {
+    /// The questionnaire has no attributes.
+    Empty,
+    /// Two attributes share a name.
+    DuplicateName(String),
+    /// A vector's length does not match the questionnaire dimension.
+    DimensionMismatch {
+        /// Expected dimension `m`.
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// A value does not fit the declared bit width.
+    ValueTooWide {
+        /// The offending value.
+        value: u64,
+        /// Allowed bits.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for VectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorError::Empty => write!(f, "questionnaire needs at least one attribute"),
+            VectorError::DuplicateName(n) => write!(f, "duplicate attribute name {n:?}"),
+            VectorError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} attribute values, got {got}")
+            }
+            VectorError::ValueTooWide { value, bits } => {
+                write!(f, "value {value} does not fit in {bits} bits")
+            }
+        }
+    }
+}
+
+impl Error for VectorError {}
+
+/// The published questionnaire: an ordered attribute-name vector with the
+/// "equal to" attributes first (the paper's convention: dimensions
+/// `1..=t` are equal-to, the rest greater-than).
+///
+/// The builder accepts attributes in any order and canonicalizes.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Questionnaire {
+    attrs: Vec<AttributeSpec>,
+    equal_to: usize,
+}
+
+/// Builder for [`Questionnaire`].
+#[derive(Clone, Debug, Default)]
+pub struct QuestionnaireBuilder {
+    attrs: Vec<AttributeSpec>,
+}
+
+impl Questionnaire {
+    /// Starts building a questionnaire.
+    pub fn builder() -> QuestionnaireBuilder {
+        QuestionnaireBuilder::default()
+    }
+
+    /// A synthetic questionnaire with `equal_to` + `greater_than`
+    /// attributes (used by benchmarks and population generators).
+    pub fn synthetic(equal_to: usize, greater_than: usize) -> Self {
+        let mut b = Self::builder();
+        for i in 0..equal_to {
+            b = b.attribute(format!("eq_{i}"), AttributeKind::EqualTo);
+        }
+        for i in 0..greater_than {
+            b = b.attribute(format!("gt_{i}"), AttributeKind::GreaterThan);
+        }
+        b.build().expect("synthetic questionnaire is valid")
+    }
+
+    /// Total dimension `m`.
+    pub fn dimension(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number `t` of equal-to attributes (they occupy indices `0..t`).
+    pub fn equal_to_count(&self) -> usize {
+        self.equal_to
+    }
+
+    /// The canonicalized attribute list (equal-to first).
+    pub fn attributes(&self) -> &[AttributeSpec] {
+        &self.attrs
+    }
+}
+
+impl QuestionnaireBuilder {
+    /// Adds an attribute.
+    pub fn attribute(mut self, name: impl Into<String>, kind: AttributeKind) -> Self {
+        self.attrs.push(AttributeSpec { name: name.into(), kind });
+        self
+    }
+
+    /// Finalizes, reordering so equal-to attributes come first.
+    ///
+    /// # Errors
+    ///
+    /// [`VectorError::Empty`] or [`VectorError::DuplicateName`].
+    pub fn build(self) -> Result<Questionnaire, VectorError> {
+        if self.attrs.is_empty() {
+            return Err(VectorError::Empty);
+        }
+        let mut names = std::collections::HashSet::new();
+        for a in &self.attrs {
+            if !names.insert(a.name.clone()) {
+                return Err(VectorError::DuplicateName(a.name.clone()));
+            }
+        }
+        let (eq, gt): (Vec<_>, Vec<_>) = self
+            .attrs
+            .into_iter()
+            .partition(|a| a.kind == AttributeKind::EqualTo);
+        let equal_to = eq.len();
+        let mut attrs = eq;
+        attrs.extend(gt);
+        Ok(Questionnaire { attrs, equal_to })
+    }
+}
+
+fn check_width(values: &[u64], bits: u32) -> Result<(), VectorError> {
+    for &v in values {
+        if bits < 64 && v >= 1u64 << bits {
+            return Err(VectorError::ValueTooWide { value: v, bits });
+        }
+    }
+    Ok(())
+}
+
+/// A participant's answers (the information vector `v_j`), ordered like the
+/// questionnaire; each value is a `d₁`-bit unsigned integer.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct InfoVector {
+    values: Vec<u64>,
+}
+
+impl InfoVector {
+    /// Validates length against the questionnaire and width against `d₁`.
+    ///
+    /// # Errors
+    ///
+    /// [`VectorError::DimensionMismatch`] or [`VectorError::ValueTooWide`].
+    pub fn new(q: &Questionnaire, values: Vec<u64>, attr_bits: u32) -> Result<Self, VectorError> {
+        if values.len() != q.dimension() {
+            return Err(VectorError::DimensionMismatch { expected: q.dimension(), got: values.len() });
+        }
+        check_width(&values, attr_bits)?;
+        Ok(InfoVector { values })
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+/// The initiator's criterion vector `v₀` (same shape as an info vector).
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct CriterionVector {
+    values: Vec<u64>,
+}
+
+impl CriterionVector {
+    /// Validates like [`InfoVector::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`VectorError::DimensionMismatch`] or [`VectorError::ValueTooWide`].
+    pub fn new(q: &Questionnaire, values: Vec<u64>, attr_bits: u32) -> Result<Self, VectorError> {
+        if values.len() != q.dimension() {
+            return Err(VectorError::DimensionMismatch { expected: q.dimension(), got: values.len() });
+        }
+        check_width(&values, attr_bits)?;
+        Ok(CriterionVector { values })
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+/// The initiator's weight vector `w` (`d₂`-bit entries).
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct WeightVector {
+    values: Vec<u64>,
+}
+
+impl WeightVector {
+    /// Validates like [`InfoVector::new`] but against `d₂`.
+    ///
+    /// # Errors
+    ///
+    /// [`VectorError::DimensionMismatch`] or [`VectorError::ValueTooWide`].
+    pub fn new(q: &Questionnaire, values: Vec<u64>, weight_bits: u32) -> Result<Self, VectorError> {
+        if values.len() != q.dimension() {
+            return Err(VectorError::DimensionMismatch { expected: q.dimension(), got: values.len() });
+        }
+        check_width(&values, weight_bits)?;
+        Ok(WeightVector { values })
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+/// The initiator's private inputs: criterion + weights.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct InitiatorProfile {
+    /// Criterion vector `v₀`.
+    pub criterion: CriterionVector,
+    /// Weight vector `w`.
+    pub weights: WeightVector,
+}
+
+/// The gain of Definition 1:
+/// `g = Σ_{k>t} w_k (v_k − v⁰_k) − Σ_{k≤t} w_k (v_k − v⁰_k)²`.
+pub fn gain(q: &Questionnaire, profile: &InitiatorProfile, info: &InfoVector) -> i128 {
+    let t = q.equal_to_count();
+    let w = profile.weights.values();
+    let v0 = profile.criterion.values();
+    let v = info.values();
+    let mut g = 0i128;
+    for k in 0..q.dimension() {
+        let diff = v[k] as i128 - v0[k] as i128;
+        if k < t {
+            g -= w[k] as i128 * diff * diff;
+        } else {
+            g += w[k] as i128 * diff;
+        }
+    }
+    g
+}
+
+/// The partial gain of Sec. III-A:
+/// `p = Σ_{k>t} w_k v_k − Σ_{k≤t} (w_k v_k² − 2 w_k v_k v⁰_k)`.
+///
+/// Differs from [`gain`] by a participant-independent constant, so it
+/// ranks identically while hiding part of the criterion.
+pub fn partial_gain(q: &Questionnaire, profile: &InitiatorProfile, info: &InfoVector) -> i128 {
+    let t = q.equal_to_count();
+    let w = profile.weights.values();
+    let v0 = profile.criterion.values();
+    let v = info.values();
+    let mut p = 0i128;
+    for k in 0..q.dimension() {
+        let (wk, vk) = (w[k] as i128, v[k] as i128);
+        if k < t {
+            p -= wk * vk * vk - 2 * wk * vk * v0[k] as i128;
+        } else {
+            p += wk * vk;
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q2() -> Questionnaire {
+        Questionnaire::builder()
+            .attribute("friends", AttributeKind::GreaterThan)
+            .attribute("age", AttributeKind::EqualTo)
+            .build()
+            .unwrap()
+    }
+
+    fn profile(q: &Questionnaire, v0: Vec<u64>, w: Vec<u64>) -> InitiatorProfile {
+        InitiatorProfile {
+            criterion: CriterionVector::new(q, v0, 15).unwrap(),
+            weights: WeightVector::new(q, w, 8).unwrap(),
+        }
+    }
+
+    #[test]
+    fn builder_canonicalizes_equal_to_first() {
+        let q = q2();
+        assert_eq!(q.dimension(), 2);
+        assert_eq!(q.equal_to_count(), 1);
+        assert_eq!(q.attributes()[0].name, "age");
+        assert_eq!(q.attributes()[1].name, "friends");
+    }
+
+    #[test]
+    fn builder_rejects_empty_and_duplicates() {
+        assert_eq!(Questionnaire::builder().build(), Err(VectorError::Empty));
+        let err = Questionnaire::builder()
+            .attribute("x", AttributeKind::EqualTo)
+            .attribute("x", AttributeKind::GreaterThan)
+            .build();
+        assert_eq!(err, Err(VectorError::DuplicateName("x".into())));
+    }
+
+    #[test]
+    fn synthetic_shape() {
+        let q = Questionnaire::synthetic(3, 7);
+        assert_eq!(q.dimension(), 10);
+        assert_eq!(q.equal_to_count(), 3);
+    }
+
+    #[test]
+    fn vector_validation() {
+        let q = q2();
+        assert!(InfoVector::new(&q, vec![1], 15).is_err());
+        assert_eq!(
+            InfoVector::new(&q, vec![1, 1 << 15], 15),
+            Err(VectorError::ValueTooWide { value: 1 << 15, bits: 15 })
+        );
+        assert!(InfoVector::new(&q, vec![30, 500], 15).is_ok());
+        assert!(WeightVector::new(&q, vec![255, 255], 8).is_ok());
+        assert!(WeightVector::new(&q, vec![256, 0], 8).is_err());
+    }
+
+    #[test]
+    fn gain_hand_computed() {
+        // Canonical order: [age (eq), friends (gt)].
+        let q = q2();
+        let p = profile(&q, vec![30, 100], vec![2, 3]);
+        let info = InfoVector::new(&q, vec![25, 180], 15).unwrap();
+        // g = 3·(180−100) − 2·(25−30)² = 240 − 50 = 190
+        assert_eq!(gain(&q, &p, &info), 190);
+    }
+
+    #[test]
+    fn partial_gain_preserves_order_and_differs_by_constant() {
+        let q = Questionnaire::synthetic(2, 3);
+        let p = profile(&q, vec![10, 20, 0, 0, 0], vec![3, 1, 2, 5, 4]);
+        let infos: Vec<InfoVector> = [
+            vec![10u64, 20, 9, 9, 9],
+            vec![11, 19, 2, 2, 2],
+            vec![0, 0, 31, 31, 31],
+            vec![10, 25, 0, 0, 0],
+        ]
+        .into_iter()
+        .map(|v| InfoVector::new(&q, v, 15).unwrap())
+        .collect();
+        let constant = partial_gain(&q, &p, &infos[0]) - gain(&q, &p, &infos[0]);
+        for info in &infos {
+            assert_eq!(partial_gain(&q, &p, info) - gain(&q, &p, info), constant);
+        }
+    }
+
+    #[test]
+    fn perfect_match_maximizes_equal_to_terms() {
+        let q = Questionnaire::synthetic(1, 0);
+        let p = profile(&q, vec![100], vec![5]);
+        let exact = InfoVector::new(&q, vec![100], 15).unwrap();
+        let off = InfoVector::new(&q, vec![101], 15).unwrap();
+        assert!(gain(&q, &p, &exact) > gain(&q, &p, &off));
+        assert_eq!(gain(&q, &p, &exact), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! The homomorphic bitwise comparison circuit (paper Fig. 1, step 7).
+//!
+//! Party `P_j` holds her own bits `β_j` in plaintext and the other party's
+//! bits only as exponential-ElGamal ciphertexts `E(β_i^t)`. She computes,
+//! for every bit position `t` (1-based from the LSB, `t = l` the MSB):
+//!
+//! ```text
+//! γ^t = β_j^t ⊕ β_i^t                      (linear: own bit is plaintext)
+//! ω^t = (l − t + 1)·(1 − γ^t) + Σ_{v>t} γ^v
+//! τ^t = ω^t + β_j^t
+//! ```
+//!
+//! `τ^t = 0` at exactly one position iff `β_j < β_i` (the most significant
+//! differing bit has `β_i = 1`); all `τ` values are non-negative and at
+//! most `2l`. Counting zero decryptions across all her comparisons
+//! gives `P_j` the number of parties ranked above her.
+
+use ppgr_bigint::BigUint;
+use ppgr_elgamal::{Ciphertext, ExpElGamal};
+
+/// Computes the encrypted `τ` vector for one comparison.
+///
+/// * `own` — `P_j`'s value (plaintext, low `l` bits used);
+/// * `other_bits` — `E(β_i)` bitwise, LSB first, exactly `l` ciphertexts.
+///
+/// Returns `l` ciphertexts `E(τ^1) … E(τ^l)` (LSB-position first).
+///
+/// # Panics
+///
+/// Panics if `other_bits.len() != l` or `own` exceeds `l` bits.
+pub fn compare_encrypted(
+    scheme: &ExpElGamal,
+    own: &BigUint,
+    other_bits: &[Ciphertext],
+    l: usize,
+) -> Vec<Ciphertext> {
+    assert_eq!(other_bits.len(), l, "bitwise encryption length mismatch");
+    assert!(own.bits() <= l, "own value exceeds l bits");
+    let group = scheme.group().clone();
+    let one = group.scalar_from_u64(1);
+
+    // γ^t, each a ciphertext: own bit 0 → E(β_i^t); own bit 1 → E(1 − β_i^t).
+    let gammas: Vec<Ciphertext> = (0..l)
+        .map(|idx| {
+            if own.bit(idx) {
+                scheme.add_plaintext(&scheme.neg(&other_bits[idx]), &one)
+            } else {
+                other_bits[idx].clone()
+            }
+        })
+        .collect();
+
+    // Suffix sums S^t = Σ_{v>t} γ^v, computed MSB-down.
+    let zero_ct = Ciphertext { alpha: group.identity(), beta: group.identity() };
+    let mut suffix = vec![zero_ct; l];
+    for idx in (0..l.saturating_sub(1)).rev() {
+        suffix[idx] = scheme.add(&suffix[idx + 1], &gammas[idx + 1]);
+    }
+
+    // τ^t = (l − t + 1)(1 − γ^t) + S^t + β_j^t, with t = idx + 1.
+    (0..l)
+        .map(|idx| {
+            let weight = (l - idx) as u64; // l − t + 1
+            // (l−t+1) − (l−t+1)·γ^t
+            let neg_scaled = scheme.scalar_mul(
+                &gammas[idx],
+                &group.scalar_neg(&group.scalar_from_u64(weight)),
+            );
+            let mut tau = scheme.add_plaintext(&neg_scaled, &group.scalar_from_u64(weight));
+            tau = scheme.add(&tau, &suffix[idx]);
+            if own.bit(idx) {
+                tau = scheme.add_plaintext(&tau, &one);
+            }
+            tau
+        })
+        .collect()
+}
+
+/// Plaintext reference model of the same circuit (tests/verification):
+/// returns the `τ` values as integers.
+pub fn compare_plain(own: &BigUint, other: &BigUint, l: usize) -> Vec<u64> {
+    let mut gammas = vec![0u64; l];
+    for idx in 0..l {
+        gammas[idx] = u64::from(own.bit(idx) != other.bit(idx));
+    }
+    (0..l)
+        .map(|idx| {
+            let weight = (l - idx) as u64;
+            let suffix: u64 = gammas[idx + 1..].iter().sum();
+            weight * (1 - gammas[idx]) + suffix + u64::from(own.bit(idx))
+        })
+        .collect()
+}
+
+/// Whether a plaintext `τ` vector signals `own < other` (contains a zero).
+pub fn signals_less_than(taus: &[u64]) -> bool {
+    taus.contains(&0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppgr_elgamal::{encrypt_bits, KeyPair};
+    use ppgr_group::GroupKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plain_circuit_matches_comparison_exhaustively() {
+        let l = 5;
+        for a in 0u64..32 {
+            for b in 0u64..32 {
+                let taus = compare_plain(&BigUint::from(a), &BigUint::from(b), l);
+                assert_eq!(
+                    signals_less_than(&taus),
+                    a < b,
+                    "a={a} b={b} taus={taus:?}"
+                );
+                // At most one zero (paper's claim).
+                assert!(taus.iter().filter(|&&t| t == 0).count() <= 1);
+                // Bounded values: τ ≤ 2l (weight + suffix + own bit).
+                assert!(taus.iter().all(|&t| t <= 2 * l as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn encrypted_circuit_matches_plain_model() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group.clone());
+        let l = 6;
+        for (a, b) in [(0u64, 0u64), (5, 9), (9, 5), (63, 62), (31, 32), (1, 63)] {
+            let own = BigUint::from(a);
+            let other = BigUint::from(b);
+            let other_ct = encrypt_bits(&scheme, kp.public_key(), &other, l, &mut rng);
+            let taus_ct = compare_encrypted(&scheme, &own, &other_ct, l);
+            let expect = compare_plain(&own, &other, l);
+            for (ct, &want) in taus_ct.iter().zip(&expect) {
+                let got = scheme
+                    .decrypt_small(kp.secret_key(), ct, 2 * l as u64 + 4)
+                    .expect("τ is small");
+                assert_eq!(got, want, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_detection_through_decryption() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(6);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group.clone());
+        let l = 8;
+        let own = BigUint::from(100u64);
+        let bigger = BigUint::from(200u64);
+        let smaller = BigUint::from(50u64);
+        for (other, expect_zero) in [(&bigger, true), (&smaller, false), (&own, false)] {
+            let cts = encrypt_bits(&scheme, kp.public_key(), other, l, &mut rng);
+            let taus = compare_encrypted(&scheme, &own, &cts, l);
+            let zeros = taus
+                .iter()
+                .filter(|ct| scheme.decrypts_to_zero(kp.secret_key(), ct))
+                .count();
+            assert_eq!(zeros == 1, expect_zero, "other={other:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_bit_count_panics() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(7);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group);
+        let cts = encrypt_bits(&scheme, kp.public_key(), &BigUint::from(1u64), 4, &mut rng);
+        let _ = compare_encrypted(&scheme, &BigUint::from(1u64), &cts, 5);
+    }
+}

@@ -1,0 +1,528 @@
+//! A genuinely distributed execution of the framework: every party is an
+//! OS thread, and every protocol message crosses a channel as *encoded
+//! bytes* ([`crate::wire`]) — no shared state beyond the public
+//! parameters.
+//!
+//! The orchestrated runner ([`crate::GroupRanking`]) is the instrumented
+//! reference (per-party timing, traffic logs); this module demonstrates
+//! that the very same protocol runs correctly as a message-passing system
+//! and is the starting point for a networked deployment. Integration
+//! tests assert both runners produce identical rankings.
+
+use crate::attrs::{InfoVector, InitiatorProfile};
+use crate::circuit::compare_encrypted;
+use crate::gain::to_unsigned;
+use crate::params::FrameworkParams;
+use crate::submit::{verify_submissions, Submission, VerificationReport};
+use crate::timing::PartyTimer;
+use crate::wire::{Reader, Writer};
+use ppgr_bigint::Fp;
+use ppgr_dotprod::{default_field, DotProduct, Round1Message, Round2Message};
+use ppgr_elgamal::{encrypt_bits, Ciphertext, ExpElGamal, JointKey, KeyPair};
+use ppgr_group::Group;
+use ppgr_hash::HashDrbg;
+use ppgr_net::{LocalMesh, PartyHandle, TrafficLog};
+use ppgr_zkp::SchnorrProver;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+use std::thread;
+
+/// Error from the distributed execution.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct DistributedError {
+    party: usize,
+    what: String,
+}
+
+impl fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "party {} failed: {}", self.party, self.what)
+    }
+}
+
+impl Error for DistributedError {}
+
+/// Outcome of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistributedOutcome {
+    /// Each participant's self-computed rank (index `j−1` for party `j`).
+    pub ranks: Vec<usize>,
+    /// The initiator's verification report over the received submissions.
+    pub report: VerificationReport,
+}
+
+type Net = PartyHandle<bytes::Bytes>;
+
+fn err<T>(party: usize, what: impl Into<String>) -> Result<T, DistributedError> {
+    Err(DistributedError { party, what: what.into() })
+}
+
+macro_rules! wire_try {
+    ($party:expr, $e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(e) => return err($party, e.to_string()),
+        }
+    };
+}
+
+/// Runs the full framework with one thread per party over a channel mesh.
+///
+/// # Errors
+///
+/// Returns [`DistributedError`] if any party hits a malformed message, a
+/// failed proof, or a disconnected peer.
+pub fn run_distributed(
+    params: &FrameworkParams,
+    profile: InitiatorProfile,
+    infos: Vec<InfoVector>,
+) -> Result<DistributedOutcome, DistributedError> {
+    let n = params.participants();
+    assert_eq!(infos.len(), n, "population size mismatch");
+    let handles = LocalMesh::new::<bytes::Bytes>(n + 1);
+    let mut handles: Vec<Option<Net>> = handles.into_iter().map(Some).collect();
+
+    let initiator_net = handles[0].take().expect("initiator handle");
+    let params0 = params.clone();
+    let initiator = thread::spawn(move || initiator_thread(params0, profile, initiator_net));
+
+    let mut participants = Vec::with_capacity(n);
+    for (idx, info) in infos.into_iter().enumerate() {
+        let net = handles[idx + 1].take().expect("participant handle");
+        let params_j = params.clone();
+        participants.push(thread::spawn(move || participant_thread(params_j, info, net)));
+    }
+
+    let report = initiator
+        .join()
+        .map_err(|_| DistributedError { party: 0, what: "initiator thread panicked".into() })??;
+    let mut ranks = vec![0usize; n];
+    for (idx, t) in participants.into_iter().enumerate() {
+        let rank = t
+            .join()
+            .map_err(|_| DistributedError { party: idx + 1, what: "thread panicked".into() })??;
+        ranks[idx] = rank;
+    }
+    Ok(DistributedOutcome { ranks, report })
+}
+
+/// The initiator (`P₀`): answers dot-product rounds, then collects and
+/// verifies submissions.
+fn initiator_thread(
+    params: FrameworkParams,
+    profile: InitiatorProfile,
+    net: Net,
+) -> Result<VerificationReport, DistributedError> {
+    let me = 0usize;
+    let n = params.participants();
+    let field = default_field();
+    let proto = DotProduct::new(field.clone());
+    let mut rng = HashDrbg::seed_from_u64(params.seed()).fork(b"party-0");
+    let q = params.questionnaire();
+    let (m, t) = (q.dimension(), q.equal_to_count());
+    let h = params.mask_bits();
+    let top = 1u64 << (h - 1);
+    let rho = top | rng.gen_range(0..top);
+
+    // ρ-scaled receiver vector (shared across participants).
+    let w = profile.weights.values();
+    let v0 = profile.criterion.values();
+    let mut v_recv: Vec<Fp> = Vec::with_capacity(m + t);
+    for k in t..m {
+        v_recv.push(field.from_i128(rho as i128 * w[k] as i128));
+    }
+    for k in 0..t {
+        v_recv.push(field.from_i128(-(rho as i128) * w[k] as i128));
+    }
+    for k in 0..t {
+        v_recv.push(field.from_i128(2 * rho as i128 * w[k] as i128 * v0[k] as i128));
+    }
+
+    // Phase 1: serve each participant's dot product, in party order.
+    for j in 1..=n {
+        let bytes = wire_try!(me, net.recv_from(j));
+        let mut r = Reader::new(bytes);
+        let rows = wire_try!(me, r.len());
+        let mut qx = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            qx.push(wire_try!(me, r.fp_vec(&field)));
+        }
+        let c_prime = wire_try!(me, r.fp_vec(&field));
+        let g = wire_try!(me, r.fp_vec(&field));
+        wire_try!(me, r.done());
+        let msg1 = Round1Message { qx, c_prime, g };
+
+        let rho_j = rng.gen_range(0..rho);
+        let alpha = field.from_i128(rho_j as i128);
+        let msg2 = proto.receiver_round2(&v_recv, &alpha, &msg1, &mut rng);
+        let mut w_out = Writer::new();
+        w_out.put_fp(&msg2.a);
+        w_out.put_fp(&msg2.h);
+        wire_try!(me, net.send(j, w_out.finish()));
+    }
+
+    // Phase 3: gather one submission-or-decline from every participant.
+    let mut submissions = Vec::new();
+    for j in 1..=n {
+        let bytes = wire_try!(me, net.recv_from(j));
+        let mut r = Reader::new(bytes);
+        let claimed = wire_try!(me, r.u64()) as usize;
+        if claimed == 0 {
+            wire_try!(me, r.done());
+            continue; // decline
+        }
+        let count = wire_try!(me, r.len());
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(wire_try!(me, r.u64()));
+        }
+        wire_try!(me, r.done());
+        let info = match InfoVector::new(q, values, params.attr_bits()) {
+            Ok(i) => i,
+            Err(e) => return err(me, format!("bad submission from {j}: {e}")),
+        };
+        submissions.push(Submission { party: j, claimed_rank: claimed, info });
+    }
+    let log = TrafficLog::new();
+    let mut timer = PartyTimer::new(1);
+    Ok(verify_submissions(q, &profile, &submissions, params.top_k(), &log, &mut timer, 0))
+}
+
+/// One participant (`P_j`): full three-phase protocol.
+fn participant_thread(
+    params: FrameworkParams,
+    info: InfoVector,
+    net: Net,
+) -> Result<usize, DistributedError> {
+    let me = net.id(); // 1..=n
+    let n = params.participants();
+    let l = params.beta_bits();
+    let group: Group = params.group().group();
+    let scheme = ExpElGamal::new(group.clone());
+    let field = default_field();
+    let proto = DotProduct::new(field.clone());
+    let mut rng =
+        HashDrbg::seed_from_u64(params.seed()).fork(format!("party-{me}").as_bytes());
+    let q = params.questionnaire();
+    let (m, t) = (q.dimension(), q.equal_to_count());
+
+    // ---- Phase 1: masked gain via the secure dot product. -------------
+    let vj = info.values();
+    let mut w_vec: Vec<Fp> = Vec::with_capacity(m + t);
+    for k in t..m {
+        w_vec.push(field.from_i128(vj[k] as i128));
+    }
+    for k in 0..t {
+        w_vec.push(field.from_i128(vj[k] as i128 * vj[k] as i128));
+    }
+    for k in 0..t {
+        w_vec.push(field.from_i128(vj[k] as i128));
+    }
+    let (state, msg1) = proto.sender_round1(&w_vec, &mut rng);
+    let mut w_out = Writer::new();
+    w_out.put_len(msg1.qx.len());
+    for row in &msg1.qx {
+        w_out.put_fp_vec(row);
+    }
+    w_out.put_fp_vec(&msg1.c_prime);
+    w_out.put_fp_vec(&msg1.g);
+    wire_try!(me, net.send(0, w_out.finish()));
+
+    let bytes = wire_try!(me, net.recv_from(0));
+    let mut r = Reader::new(bytes);
+    let a = wire_try!(me, r.fp(&field));
+    let hh = wire_try!(me, r.fp(&field));
+    wire_try!(me, r.done());
+    let beta_signed = state
+        .finish(&Round2Message { a, h: hh })
+        .to_i128_centered()
+        .expect("masked gain fits i128");
+    let beta = to_unsigned(beta_signed, l);
+
+    // ---- Phase 2, step 5: keys + proofs of knowledge. ------------------
+    let kp = KeyPair::generate(&group, &mut rng);
+    {
+        let mut w_out = Writer::new();
+        w_out.put_element(&group, kp.public_key());
+        wire_try!(me, broadcast_participants(&net, n, w_out.finish()));
+    }
+    let mut public_shares: Vec<ppgr_group::Element> = vec![group.identity(); n + 1];
+    public_shares[me] = kp.public_key().clone();
+    for j in participants_except(n, me) {
+        let bytes = wire_try!(me, net.recv_from(j));
+        let mut r = Reader::new(bytes);
+        public_shares[j] = wire_try!(me, r.element(&group));
+        wire_try!(me, r.done());
+    }
+
+    // Sequential proofs, prover order 1..=n. Verifier challenge shares are
+    // broadcast so every verifier can form the same challenge sum.
+    for prover in 1..=n {
+        if prover == me {
+            let (st, commitment) = SchnorrProver::commit(&group, kp.secret_key().clone(), &mut rng);
+            let mut w_out = Writer::new();
+            w_out.put_element(&group, &commitment);
+            wire_try!(me, broadcast_participants(&net, n, w_out.finish()));
+            let mut total = group.scalar_from_u64(0);
+            for j in participants_except(n, me) {
+                let bytes = wire_try!(me, net.recv_from(j));
+                let mut r = Reader::new(bytes);
+                total = group.scalar_add(&total, &wire_try!(me, r.scalar(&group)));
+                wire_try!(me, r.done());
+            }
+            let transcript = st.respond(&total, commitment);
+            let mut w_out = Writer::new();
+            w_out.put_scalar(&group, &transcript.response);
+            wire_try!(me, broadcast_participants(&net, n, w_out.finish()));
+        } else {
+            let bytes = wire_try!(me, net.recv_from(prover));
+            let mut r = Reader::new(bytes);
+            let commitment = wire_try!(me, r.element(&group));
+            wire_try!(me, r.done());
+            // My challenge share, broadcast to everyone.
+            let c_mine = group.random_scalar(&mut rng);
+            let mut w_out = Writer::new();
+            w_out.put_scalar(&group, &c_mine);
+            wire_try!(me, broadcast_participants(&net, n, w_out.finish()));
+            // Gather the other verifiers' shares.
+            let mut total = c_mine;
+            for j in participants_except(n, me) {
+                if j == prover {
+                    continue;
+                }
+                let bytes = wire_try!(me, net.recv_from(j));
+                let mut r = Reader::new(bytes);
+                total = group.scalar_add(&total, &wire_try!(me, r.scalar(&group)));
+                wire_try!(me, r.done());
+            }
+            let bytes = wire_try!(me, net.recv_from(prover));
+            let mut r = Reader::new(bytes);
+            let response = wire_try!(me, r.scalar(&group));
+            wire_try!(me, r.done());
+            // g^z = h · y^Σc
+            let lhs = group.exp_gen(&response);
+            let rhs = group.op(&commitment, &group.exp(&public_shares[prover], &total));
+            if lhs != rhs {
+                return err(me, format!("proof of key knowledge by {prover} rejected"));
+            }
+        }
+    }
+    let joint = JointKey::combine(
+        &group,
+        &(1..=n).map(|j| public_shares[j].clone()).collect::<Vec<_>>(),
+    );
+
+    // ---- Step 6: bitwise encryption, broadcast. ------------------------
+    let my_bits = encrypt_bits(&scheme, joint.public_key(), &beta, l, &mut rng);
+    {
+        let mut w_out = Writer::new();
+        w_out.put_ciphertexts(&group, &my_bits);
+        wire_try!(me, broadcast_participants(&net, n, w_out.finish()));
+    }
+    let mut all_bits: Vec<Vec<Ciphertext>> = vec![Vec::new(); n + 1];
+    all_bits[me] = my_bits;
+    for j in participants_except(n, me) {
+        let bytes = wire_try!(me, net.recv_from(j));
+        let mut r = Reader::new(bytes);
+        all_bits[j] = wire_try!(me, r.ciphertexts(&group));
+        wire_try!(me, r.done());
+        if all_bits[j].len() != l {
+            return err(me, format!("party {j} published {} bit ciphertexts", all_bits[j].len()));
+        }
+    }
+
+    // ---- Step 7: comparisons against every opponent. --------------------
+    let mut my_set: Vec<Ciphertext> = Vec::with_capacity((n - 1) * l);
+    for j in participants_except(n, me) {
+        my_set.extend(compare_encrypted(&scheme, &beta, &all_bits[j], l));
+    }
+
+    // ---- Step 8: the shuffle-decrypt chain. -----------------------------
+    let process = |sets: &mut Vec<Vec<Ciphertext>>, rng: &mut HashDrbg| {
+        for (owner_minus_1, set) in sets.iter_mut().enumerate() {
+            if owner_minus_1 + 1 == me {
+                continue;
+            }
+            for ct in set.iter_mut() {
+                let c = scheme.partial_decrypt(ct, kp.secret_key());
+                let rr = group.random_nonzero_scalar(rng);
+                *ct = scheme.randomize_plaintext(&c, &rr);
+            }
+            use rand::seq::SliceRandom;
+            set.shuffle(rng);
+        }
+    };
+    let encode_sets = |sets: &[Vec<Ciphertext>]| {
+        let mut w_out = Writer::new();
+        w_out.put_len(sets.len());
+        for set in sets {
+            w_out.put_ciphertexts(&group, set);
+        }
+        w_out.finish()
+    };
+    let my_final_set: Vec<Ciphertext>;
+    if me == 1 {
+        // Collect everyone's set, process, pass on.
+        let mut sets: Vec<Vec<Ciphertext>> = vec![Vec::new(); n];
+        sets[0] = my_set;
+        for j in 2..=n {
+            let bytes = wire_try!(me, net.recv_from(j));
+            let mut r = Reader::new(bytes);
+            sets[j - 1] = wire_try!(me, r.ciphertexts(&group));
+            wire_try!(me, r.done());
+        }
+        process(&mut sets, &mut rng);
+        if n >= 2 {
+            wire_try!(me, net.send(2, encode_sets(&sets)));
+        }
+        // My set comes back from P_n at the end.
+        let bytes = wire_try!(me, net.recv_from(n));
+        let mut r = Reader::new(bytes);
+        my_final_set = wire_try!(me, r.ciphertexts(&group));
+        wire_try!(me, r.done());
+    } else {
+        // Send my comparison set to P₁ first.
+        let mut w_out = Writer::new();
+        w_out.put_ciphertexts(&group, &my_set);
+        wire_try!(me, net.send(1, w_out.finish()));
+        // Receive V from my predecessor, process, forward.
+        let bytes = wire_try!(me, net.recv_from(me - 1));
+        let mut r = Reader::new(bytes);
+        let count = wire_try!(me, r.len());
+        if count != n {
+            return err(me, "chain vector has wrong arity");
+        }
+        let mut sets = Vec::with_capacity(n);
+        for _ in 0..n {
+            sets.push(wire_try!(me, r.ciphertexts(&group)));
+        }
+        wire_try!(me, r.done());
+        process(&mut sets, &mut rng);
+        if me < n {
+            wire_try!(me, net.send(me + 1, encode_sets(&sets)));
+            // Own set returns from P_n.
+            let bytes = wire_try!(me, net.recv_from(n));
+            let mut r = Reader::new(bytes);
+            my_final_set = wire_try!(me, r.ciphertexts(&group));
+            wire_try!(me, r.done());
+        } else {
+            // I am P_n: return every set to its owner; keep mine.
+            for owner in 1..n {
+                let mut w_out = Writer::new();
+                w_out.put_ciphertexts(&group, &sets[owner - 1]);
+                wire_try!(me, net.send(owner, w_out.finish()));
+            }
+            my_final_set = sets.pop().expect("own set present");
+        }
+    }
+
+    // ---- Step 9: count zeros → rank. ------------------------------------
+    let zeros = my_final_set
+        .iter()
+        .filter(|ct| scheme.decrypts_to_zero(kp.secret_key(), ct))
+        .count();
+    let rank = zeros + 1;
+
+    // ---- Phase 3: submit or decline. ------------------------------------
+    let mut w_out = Writer::new();
+    if rank <= params.top_k() {
+        w_out.put_u64(rank as u64);
+        w_out.put_len(info.values().len());
+        for &v in info.values() {
+            w_out.put_u64(v);
+        }
+    } else {
+        w_out.put_u64(0); // decline
+    }
+    wire_try!(me, net.send(0, w_out.finish()));
+
+    Ok(rank)
+}
+
+/// Participant ids `1..=n` except `me`.
+fn participants_except(n: usize, me: usize) -> impl Iterator<Item = usize> {
+    (1..=n).filter(move |&j| j != me)
+}
+
+/// Broadcast to participant ids only (not the initiator).
+fn broadcast_participants(
+    net: &Net,
+    n: usize,
+    bytes: bytes::Bytes,
+) -> Result<(), ppgr_net::MeshError> {
+    for j in 1..=n {
+        if j != net.id() {
+            net.send(j, bytes.clone())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Questionnaire;
+    use crate::framework::GroupRanking;
+    use ppgr_group::GroupKind;
+
+    fn params(n: usize, seed: u64) -> FrameworkParams {
+        FrameworkParams::builder(Questionnaire::synthetic(1, 2))
+            .participants(n)
+            .top_k(2)
+            .attr_bits(6)
+            .weight_bits(3)
+            .mask_bits(6)
+            .group(GroupKind::Ecc160)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn distributed_run_produces_valid_ranking() {
+        let p = params(4, 51);
+        let mut rng = HashDrbg::seed_from_u64(p.seed());
+        let (profile, infos) = p.random_population(&mut rng);
+        let out = run_distributed(&p, profile.clone(), infos.clone()).unwrap();
+
+        // Validate against plaintext gains.
+        let q = p.questionnaire();
+        let gains: Vec<i128> =
+            infos.iter().map(|i| crate::attrs::gain(q, &profile, i)).collect();
+        for a in 0..gains.len() {
+            for b in 0..gains.len() {
+                if gains[a] > gains[b] {
+                    assert!(out.ranks[a] < out.ranks[b], "gains {gains:?} ranks {:?}", out.ranks);
+                }
+            }
+        }
+        assert!(out.report.is_clean());
+        assert!(!out.report.accepted.is_empty());
+    }
+
+    #[test]
+    fn distributed_matches_orchestrated() {
+        let p = params(3, 77);
+        let mut rng = HashDrbg::seed_from_u64(p.seed());
+        let (profile, infos) = p.random_population(&mut rng);
+
+        let orchestrated = GroupRanking::new(p.clone())
+            .with_random_population()
+            .run()
+            .unwrap();
+        let distributed = run_distributed(&p, profile, infos).unwrap();
+        assert_eq!(orchestrated.ranks(), &distributed.ranks[..]);
+    }
+
+    #[test]
+    fn two_party_chain_works() {
+        let p = params(2, 5);
+        let mut rng = HashDrbg::seed_from_u64(p.seed());
+        let (profile, infos) = p.random_population(&mut rng);
+        let out = run_distributed(&p, profile, infos).unwrap();
+        let mut sorted = out.ranks.clone();
+        sorted.sort_unstable();
+        assert!(sorted == vec![1, 2] || sorted == vec![1, 1]);
+    }
+}

@@ -1,0 +1,329 @@
+//! The end-to-end framework orchestrator.
+
+use crate::attrs::{InfoVector, InitiatorProfile, VectorError};
+use crate::gain::{run_gain_phase, GainPhaseOutput};
+use crate::params::FrameworkParams;
+use crate::sorting::{unlinkable_sort, SortError};
+use crate::submit::{honest_submissions, verify_submissions, AcceptedSubmission};
+use crate::timing::PartyTimer;
+use ppgr_hash::HashDrbg;
+use ppgr_net::{TrafficLog, TrafficSummary};
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors from a framework run.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum RunError {
+    /// No population was supplied (call `with_random_population` or
+    /// `with_population`).
+    MissingPopulation,
+    /// A supplied vector was malformed.
+    Vector(VectorError),
+    /// The sorting phase failed.
+    Sort(SortError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::MissingPopulation => write!(f, "no population supplied"),
+            RunError::Vector(e) => write!(f, "invalid population vector: {e}"),
+            RunError::Sort(e) => write!(f, "sorting phase failed: {e}"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+impl From<VectorError> for RunError {
+    fn from(e: VectorError) -> Self {
+        RunError::Vector(e)
+    }
+}
+
+impl From<SortError> for RunError {
+    fn from(e: SortError) -> Self {
+        RunError::Sort(e)
+    }
+}
+
+/// Per-phase mean participant computation time (what Fig. 2 plots) plus
+/// the initiator's total.
+#[derive(Clone, Debug)]
+pub struct PhaseTimings {
+    /// Phase 1 mean participant time.
+    pub gain: Duration,
+    /// Phase 2 mean participant time.
+    pub sort: Duration,
+    /// Phase 3 initiator verification time.
+    pub submit: Duration,
+    /// Total initiator time across phases.
+    pub initiator: Duration,
+    /// Per-party totals (index 0 = initiator).
+    pub per_party: Vec<Duration>,
+}
+
+impl PhaseTimings {
+    /// Mean participant computation across all phases.
+    pub fn mean_participant_total(&self) -> Duration {
+        self.gain + self.sort
+    }
+}
+
+/// Result of a framework run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    ranks: Vec<usize>,
+    top_k: Vec<AcceptedSubmission>,
+    traffic: TrafficSummary,
+    timings: PhaseTimings,
+    gain_output: GainPhaseOutput,
+}
+
+impl Outcome {
+    /// Each participant's rank (index `j-1` for party `j`; rank 1 =
+    /// highest gain; ties share a rank).
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// The verified top-k submissions the initiator accepted.
+    pub fn top_k(&self) -> &[AcceptedSubmission] {
+        &self.top_k
+    }
+
+    /// Traffic accounting for the whole run.
+    pub fn traffic(&self) -> &TrafficSummary {
+        &self.traffic
+    }
+
+    /// Computation-time accounting.
+    pub fn timings(&self) -> &PhaseTimings {
+        &self.timings
+    }
+
+    /// The masked gains (diagnostics; a real deployment never aggregates
+    /// these — they are each participant's private state).
+    pub fn masked_gains(&self) -> &GainPhaseOutput {
+        &self.gain_output
+    }
+}
+
+/// The orchestrator: configure, then [`run`](GroupRanking::run).
+///
+/// Runs every party's computation in-process, charging wall-clock per
+/// party and logging every wire message, which is exactly what the
+/// paper's evaluation measures.
+#[derive(Clone, Debug)]
+pub struct GroupRanking {
+    params: FrameworkParams,
+    population: Option<(InitiatorProfile, Vec<InfoVector>)>,
+    log: TrafficLog,
+}
+
+impl GroupRanking {
+    /// Creates an orchestrator for the given parameters.
+    pub fn new(params: FrameworkParams) -> Self {
+        GroupRanking { params, population: None, log: TrafficLog::new() }
+    }
+
+    /// Generates a seeded random population (deterministic per
+    /// `params.seed()`).
+    pub fn with_random_population(mut self) -> Self {
+        let mut rng = HashDrbg::seed_from_u64(self.params.seed());
+        self.population = Some(self.params.random_population(&mut rng));
+        self
+    }
+
+    /// Supplies an explicit population.
+    ///
+    /// # Errors
+    ///
+    /// [`VectorError::DimensionMismatch`] if the number of info vectors
+    /// does not match `params.participants()`.
+    pub fn with_population(
+        mut self,
+        profile: InitiatorProfile,
+        infos: Vec<InfoVector>,
+    ) -> Result<Self, VectorError> {
+        if infos.len() != self.params.participants() {
+            return Err(VectorError::DimensionMismatch {
+                expected: self.params.participants(),
+                got: infos.len(),
+            });
+        }
+        self.population = Some((profile, infos));
+        Ok(self)
+    }
+
+    /// Shares this run's traffic log (e.g. to feed the network simulator
+    /// afterwards).
+    pub fn traffic_log(&self) -> TrafficLog {
+        self.log.clone()
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &FrameworkParams {
+        &self.params
+    }
+
+    /// Executes all three phases.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn run(self) -> Result<Outcome, RunError> {
+        let (profile, infos) = self.population.ok_or(RunError::MissingPopulation)?;
+        let params = &self.params;
+        let n = params.participants();
+        let l = params.beta_bits();
+        let group = params.group().group();
+        let mut rng = HashDrbg::seed_from_u64(params.seed()).fork(b"protocol");
+        let log = self.log;
+
+        // Phase 1: secure gain computation.
+        let mut gain_timer = PartyTimer::new(n + 1);
+        let gain_out =
+            run_gain_phase(params, &profile, &infos, &mut rng, &log, &mut gain_timer, 0);
+
+        // Phase 2: unlinkable comparison / sorting.
+        let mut sort_timer = PartyTimer::new(n + 1);
+        let sort_out = unlinkable_sort(
+            &group,
+            &gain_out.betas,
+            l,
+            &mut rng,
+            &log,
+            &mut sort_timer,
+            2,
+        )?;
+
+        // Phase 3: submission + verification.
+        let mut submit_timer = PartyTimer::new(n + 1);
+        let submissions = honest_submissions(&infos, &sort_out.ranks, params.top_k());
+        let report = verify_submissions(
+            params.questionnaire(),
+            &profile,
+            &submissions,
+            params.top_k(),
+            &log,
+            &mut submit_timer,
+            100,
+        );
+        debug_assert!(report.is_clean(), "honest run must verify cleanly");
+
+        let per_party: Vec<Duration> = (0..=n)
+            .map(|p| gain_timer.spent(p) + sort_timer.spent(p) + submit_timer.spent(p))
+            .collect();
+        let timings = PhaseTimings {
+            gain: gain_timer.mean_participant(),
+            sort: sort_timer.mean_participant(),
+            submit: submit_timer.spent(0),
+            initiator: per_party[0],
+            per_party,
+        };
+        Ok(Outcome {
+            ranks: sort_out.ranks,
+            top_k: report.accepted,
+            traffic: log.summary(),
+            timings,
+            gain_output: gain_out,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{gain, Questionnaire};
+    use ppgr_group::GroupKind;
+
+    fn small_params(n: usize, k: usize, seed: u64) -> FrameworkParams {
+        FrameworkParams::builder(Questionnaire::synthetic(1, 2))
+            .participants(n)
+            .top_k(k)
+            .attr_bits(6)
+            .weight_bits(3)
+            .mask_bits(6)
+            .group(GroupKind::Ecc160)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_ranks_match_plaintext_gains() {
+        let params = small_params(4, 2, 11);
+        let runner = GroupRanking::new(params.clone()).with_random_population();
+        let q = params.questionnaire().clone();
+        let outcome = runner.run().unwrap();
+
+        // Recompute plaintext gains to validate ranking.
+        let mut rng = HashDrbg::seed_from_u64(params.seed());
+        let (profile, infos) = params.random_population(&mut rng);
+        let gains: Vec<i128> = infos.iter().map(|i| gain(&q, &profile, i)).collect();
+        for a in 0..gains.len() {
+            for b in 0..gains.len() {
+                if gains[a] > gains[b] {
+                    assert!(
+                        outcome.ranks()[a] < outcome.ranks()[b],
+                        "gain order violated: {:?} vs ranks {:?}",
+                        gains,
+                        outcome.ranks()
+                    );
+                }
+            }
+        }
+        // Top-k are the k best gains.
+        assert_eq!(outcome.top_k().len(), 2);
+        for acc in outcome.top_k() {
+            assert!(acc.submission.claimed_rank <= 2);
+        }
+    }
+
+    #[test]
+    fn missing_population_errors() {
+        let params = small_params(3, 1, 1);
+        assert_eq!(GroupRanking::new(params).run().unwrap_err(), RunError::MissingPopulation);
+    }
+
+    #[test]
+    fn population_size_checked() {
+        let params = small_params(3, 1, 1);
+        let mut rng = HashDrbg::seed_from_u64(5);
+        let (profile, mut infos) = params.random_population(&mut rng);
+        infos.pop();
+        assert!(matches!(
+            GroupRanking::new(params).with_population(profile, infos),
+            Err(VectorError::DimensionMismatch { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GroupRanking::new(small_params(3, 1, 77))
+            .with_random_population()
+            .run()
+            .unwrap();
+        let b = GroupRanking::new(small_params(3, 1, 77))
+            .with_random_population()
+            .run()
+            .unwrap();
+        assert_eq!(a.ranks(), b.ranks());
+        assert_eq!(a.traffic(), b.traffic());
+    }
+
+    #[test]
+    fn traffic_and_timing_populated() {
+        let outcome = GroupRanking::new(small_params(3, 1, 9))
+            .with_random_population()
+            .run()
+            .unwrap();
+        assert!(outcome.traffic().total_bytes > 0);
+        assert!(outcome.timings().sort > Duration::ZERO);
+        assert!(outcome.timings().mean_participant_total() >= outcome.timings().sort);
+        assert_eq!(outcome.timings().per_party.len(), 4);
+    }
+}

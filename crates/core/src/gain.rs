@@ -1,0 +1,238 @@
+//! Phase 1 — secure gain computation (paper Fig. 1, steps 1–4).
+//!
+//! Each participant runs the secure dot product with the initiator:
+//! the participant supplies `w′_j = [vg_j, ve_j∗ve_j, ve_j]` (her data),
+//! the initiator supplies `v′_j = [ρ·wg, −ρ·we, 2ρ(w∗ve₀)]` and the mask
+//! `α = ρ_j`, and the participant ends up with the masked partial gain
+//! `β_j = ρ·p_j + ρ_j`, converted to an unsigned `l`-bit integer.
+//!
+//! `ρ` (an `h`-bit secret of the initiator) is shared across participants;
+//! `ρ_j ∈ [0, ρ)` varies per participant. Because `ρ_j < ρ`, the masking
+//! preserves the *strict* order of distinct partial gains. *Equal* partial
+//! gains end up with distinct `β` values almost surely, i.e. the masking
+//! breaks gain ties into an arbitrary strict order — exactly what the
+//! paper allows ("If `p_i = p_j`, it does not matter if `P_i` ranks higher
+//! or lower than `P_j`", Sec. V).
+
+use crate::attrs::{partial_gain, InfoVector, InitiatorProfile};
+use crate::params::FrameworkParams;
+use crate::timing::PartyTimer;
+use ppgr_bigint::{BigUint, Fp};
+use ppgr_dotprod::{default_field, DotProduct};
+use ppgr_net::TrafficLog;
+use rand::Rng;
+
+/// Bytes of one serialized field element on the wire (256-bit field).
+const FIELD_BYTES: usize = 32;
+
+/// Output of the gain phase, held by the orchestrator: each participant's
+/// private masked gain (in real deployments each `β_j` exists only at
+/// `P_j`; the orchestrator model keeps them together for the next phase).
+#[derive(Clone, Debug)]
+pub struct GainPhaseOutput {
+    /// `β_j` as unsigned `l`-bit integers, index `j-1` for participant `j`.
+    pub betas: Vec<BigUint>,
+    /// The masked signed values `ρ·p_j + ρ_j` (diagnostics/tests only).
+    pub masked_signed: Vec<i128>,
+}
+
+/// Runs phase 1 for all participants.
+///
+/// Traffic is recorded into `log` (phase label `"gain"`), computation time
+/// into `timer` (party 0 = initiator).
+///
+/// # Panics
+///
+/// Panics if `infos.len()` differs from `params.participants()` — the
+/// orchestrator constructs both, so a mismatch is a bug, not input error.
+pub fn run_gain_phase<R: Rng + ?Sized>(
+    params: &FrameworkParams,
+    profile: &InitiatorProfile,
+    infos: &[InfoVector],
+    rng: &mut R,
+    log: &TrafficLog,
+    timer: &mut PartyTimer,
+    round_base: u32,
+) -> GainPhaseOutput {
+    assert_eq!(infos.len(), params.participants(), "population size mismatch");
+    let field = default_field();
+    let proto = DotProduct::new(field.clone());
+    let q = params.questionnaire();
+    let t = q.equal_to_count();
+    let m = q.dimension();
+    let l = params.beta_bits();
+
+    // Initiator secret ρ: exactly h bits (top bit set ⇒ ρ ≥ 2^{h−1} > 0).
+    let h = params.mask_bits();
+    let rho: u64 = timer.time(0, || {
+        let top = 1u64 << (h - 1);
+        top | rng.gen_range(0..top)
+    });
+
+    // Initiator's reusable vector pieces.
+    let w = profile.weights.values();
+    let v0 = profile.criterion.values();
+    let initiator_v: Vec<Fp> = timer.time(0, || {
+        let mut v = Vec::with_capacity(m + t);
+        // ρ·wg  (greater-than weights)
+        for k in t..m {
+            v.push(field.from_i128(rho as i128 * w[k] as i128));
+        }
+        // −ρ·we (equal-to weights)
+        for k in 0..t {
+            v.push(field.from_i128(-(rho as i128) * w[k] as i128));
+        }
+        // 2ρ·(we ∗ ve₀)
+        for k in 0..t {
+            v.push(field.from_i128(2 * rho as i128 * w[k] as i128 * v0[k] as i128));
+        }
+        v
+    });
+
+    let mut betas = Vec::with_capacity(infos.len());
+    let mut masked_signed = Vec::with_capacity(infos.len());
+    for (idx, info) in infos.iter().enumerate() {
+        let party = idx + 1;
+        // Participant's vector w′ = [vg_j, ve_j∗ve_j, ve_j].
+        let vj = info.values();
+        let (state, msg1) = timer.time(party, || {
+            let mut wv = Vec::with_capacity(m + t);
+            for k in t..m {
+                wv.push(field.from_i128(vj[k] as i128));
+            }
+            for k in 0..t {
+                wv.push(field.from_i128(vj[k] as i128 * vj[k] as i128));
+            }
+            for k in 0..t {
+                wv.push(field.from_i128(vj[k] as i128));
+            }
+            proto.sender_round1(&wv, rng)
+        });
+        log.record(round_base, party, 0, msg1.element_count() * FIELD_BYTES, "gain");
+
+        let rho_j = rng.gen_range(0..rho);
+        let msg2 = timer.time(0, || {
+            let alpha = field.from_i128(rho_j as i128);
+            proto.receiver_round2(&initiator_v, &alpha, &msg1, rng)
+        });
+        log.record(round_base + 1, 0, party, 2 * FIELD_BYTES, "gain");
+
+        let beta = timer.time(party, || {
+            let beta = state.finish(&msg2);
+            let signed = beta
+                .to_i128_centered()
+                .expect("masked gain fits the bit-length calculus");
+            // Sanity versus the local plaintext model.
+            debug_assert_eq!(signed, rho as i128 * partial_gain(q, profile, info) + rho_j as i128);
+            signed
+        });
+        masked_signed.push(beta);
+        betas.push(to_unsigned(beta, l));
+    }
+    GainPhaseOutput { betas, masked_signed }
+}
+
+/// Converts a signed masked gain to the unsigned `l`-bit representation by
+/// adding `2^{l−1}` (paper Sec. III-A) — order-preserving.
+///
+/// # Panics
+///
+/// Panics if the value falls outside `[−2^{l−1}, 2^{l−1})`, which would
+/// mean the bit-length calculus was violated.
+pub fn to_unsigned(value: i128, l: usize) -> BigUint {
+    let offset = 1i128 << (l - 1);
+    let shifted = value.checked_add(offset).expect("l <= 120");
+    assert!(
+        (0..(1i128 << l)).contains(&shifted),
+        "masked gain {value} exceeds {l}-bit budget"
+    );
+    BigUint::from(shifted as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Questionnaire;
+    use crate::params::FrameworkParams;
+    use crate::timing::PartyTimer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, seed: u64) -> (FrameworkParams, InitiatorProfile, Vec<InfoVector>, StdRng) {
+        let q = Questionnaire::synthetic(2, 3);
+        let params = FrameworkParams::builder(q)
+            .participants(n)
+            .top_k(1)
+            .attr_bits(8)
+            .weight_bits(4)
+            .mask_bits(8)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (profile, infos) = params.random_population(&mut rng);
+        (params, profile, infos, rng)
+    }
+
+    #[test]
+    fn masked_gains_preserve_partial_gain_order() {
+        let (params, profile, infos, mut rng) = setup(8, 1);
+        let log = TrafficLog::new();
+        let mut timer = PartyTimer::new(9);
+        let out = run_gain_phase(&params, &profile, &infos, &mut rng, &log, &mut timer, 0);
+
+        let q = params.questionnaire();
+        let gains: Vec<i128> = infos.iter().map(|i| partial_gain(q, &profile, i)).collect();
+        for a in 0..infos.len() {
+            for b in 0..infos.len() {
+                if gains[a] > gains[b] {
+                    assert!(
+                        out.betas[a] > out.betas[b],
+                        "order broken between {a} ({}) and {b} ({})",
+                        gains[a],
+                        gains[b]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn betas_fit_bit_length() {
+        let (params, profile, infos, mut rng) = setup(5, 2);
+        let log = TrafficLog::new();
+        let mut timer = PartyTimer::new(6);
+        let out = run_gain_phase(&params, &profile, &infos, &mut rng, &log, &mut timer, 0);
+        let l = params.beta_bits();
+        for b in &out.betas {
+            assert!(b.bits() <= l);
+        }
+    }
+
+    #[test]
+    fn traffic_is_logged_per_participant() {
+        let (params, profile, infos, mut rng) = setup(4, 3);
+        let log = TrafficLog::new();
+        let mut timer = PartyTimer::new(5);
+        let _ = run_gain_phase(&params, &profile, &infos, &mut rng, &log, &mut timer, 0);
+        let s = log.summary();
+        assert_eq!(s.messages, 8, "one exchange per participant");
+        assert!(s.bytes_by_phase["gain"] > 0);
+        // Initiator replies are small (2 elements); participant messages dominate.
+        assert!(s.bytes_sent_by_party[&1] > s.bytes_sent_by_party[&0] / 4);
+    }
+
+    #[test]
+    fn to_unsigned_is_monotone() {
+        assert!(to_unsigned(-5, 8) < to_unsigned(-4, 8));
+        assert!(to_unsigned(-1, 8) < to_unsigned(0, 8));
+        assert!(to_unsigned(0, 8) < to_unsigned(127, 8));
+        assert_eq!(to_unsigned(0, 8), BigUint::from(128u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "bit budget")]
+    fn to_unsigned_overflow_panics() {
+        let _ = to_unsigned(1 << 20, 8);
+    }
+}

@@ -1,0 +1,422 @@
+//! Phase 2 — the identity-unlinkable multiparty sorting protocol
+//! (paper Fig. 1, steps 5–9; the paper's stand-alone contribution).
+//!
+//! `n` parties each hold an `l`-bit value; at the end each party knows the
+//! rank of her own value (rank 1 = largest) and — crucially — nobody can
+//! link another party's value or rank to that party's identity, assuming
+//! at least two honest parties.
+//!
+//! Protocol outline:
+//!
+//! 1. every party generates an ElGamal key share and proves knowledge of
+//!    it to everyone (multi-verifier Schnorr);
+//! 2. every party publishes her value encrypted bit-by-bit under the
+//!    *joint* key;
+//! 3. every party homomorphically compares her plaintext value against
+//!    every other party's encrypted bits ([`circuit`](crate::circuit)),
+//!    producing an encrypted `τ` set, and sends it to `P₁`;
+//! 4. the sets travel a chain through all parties; each hop partially
+//!    decrypts with its key share, multiplies every plaintext by a fresh
+//!    random scalar (zero is a fixed point), and shuffles each set;
+//! 5. `P_n` returns each set to its owner, who strips her own key layer
+//!    and counts zeros: `rank = zeros + 1`.
+
+use crate::circuit::compare_encrypted;
+use crate::timing::PartyTimer;
+use ppgr_bigint::BigUint;
+use ppgr_elgamal::{encrypt_bits, Ciphertext, ExpElGamal, JointKey, KeyPair};
+use ppgr_group::Group;
+use ppgr_net::TrafficLog;
+use ppgr_zkp::MultiVerifierProof;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the sorting protocol.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum SortError {
+    /// The chain needs at least two parties.
+    TooFewParties(usize),
+    /// A value exceeds the declared bit length.
+    ValueTooWide {
+        /// Offending party (1-based).
+        party: usize,
+    },
+    /// A party's proof of key knowledge failed verification (would abort
+    /// the protocol in deployment; only reachable here via the game
+    /// harness's dishonest provers).
+    ProofRejected {
+        /// The accused prover (1-based).
+        party: usize,
+    },
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::TooFewParties(n) => write!(f, "sorting needs at least 2 parties, got {n}"),
+            SortError::ValueTooWide { party } => {
+                write!(f, "party {party}'s value exceeds the declared bit length")
+            }
+            SortError::ProofRejected { party } => {
+                write!(f, "party {party} failed the proof of key knowledge")
+            }
+        }
+    }
+}
+
+impl Error for SortError {}
+
+/// Result of a sorting run.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct SortOutcome {
+    /// `ranks[j]` is party `j+1`'s rank; rank 1 = largest value; ties get
+    /// the same rank (paper: equal `β` values are all eligible).
+    pub ranks: Vec<usize>,
+}
+
+/// Protocol knobs used by the security-game harness; honest executions use
+/// [`SortOptions::default`] (everything on).
+#[derive(Clone, Copy, Debug)]
+pub struct SortOptions {
+    /// Shuffle each set at every hop (the identity-unlinkability
+    /// mechanism). Disabling models a protocol *without* Brickell–
+    /// Shmatikov mixing.
+    pub shuffle: bool,
+    /// Multiply plaintexts by a fresh random at every hop (the gain-hiding
+    /// mechanism for non-zero `τ`).
+    pub randomize: bool,
+}
+
+impl Default for SortOptions {
+    fn default() -> Self {
+        SortOptions { shuffle: true, randomize: true }
+    }
+}
+
+/// Everything a run exposes beyond the ranks — consumed by the
+/// security-game harness (an adversary's view is a subset of this).
+#[derive(Clone, Debug)]
+pub struct SortTrace {
+    /// Per-party key pairs (index `j-1` → party `j`).
+    pub keys: Vec<KeyPair>,
+    /// The final set returned to each owner (after the full chain),
+    /// *before* the owner's own final decryption.
+    pub returned_sets: Vec<Vec<Ciphertext>>,
+    /// The comparison opponent order used when each owner built her set
+    /// (identity ↔ position mapping before any shuffling).
+    pub opponent_order: Vec<Vec<usize>>,
+}
+
+/// Runs the protocol with default options and no trace capture.
+///
+/// `values[j]` is party `j+1`'s private `l`-bit value.
+///
+/// # Errors
+///
+/// See [`SortError`].
+pub fn unlinkable_sort<R: Rng + ?Sized>(
+    group: &Group,
+    values: &[BigUint],
+    l: usize,
+    rng: &mut R,
+    log: &TrafficLog,
+    timer: &mut PartyTimer,
+    round_base: u32,
+) -> Result<SortOutcome, SortError> {
+    run_sort(group, values, l, SortOptions::default(), rng, log, timer, round_base)
+        .map(|(outcome, _trace)| outcome)
+}
+
+/// Full-control entry point: options + trace (used by games and tests).
+///
+/// # Errors
+///
+/// See [`SortError`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_sort<R: Rng + ?Sized>(
+    group: &Group,
+    values: &[BigUint],
+    l: usize,
+    options: SortOptions,
+    rng: &mut R,
+    log: &TrafficLog,
+    timer: &mut PartyTimer,
+    round_base: u32,
+) -> Result<(SortOutcome, SortTrace), SortError> {
+    let n = values.len();
+    if n < 2 {
+        return Err(SortError::TooFewParties(n));
+    }
+    for (idx, v) in values.iter().enumerate() {
+        if v.bits() > l {
+            return Err(SortError::ValueTooWide { party: idx + 1 });
+        }
+    }
+    let scheme = ExpElGamal::new(group.clone());
+    let ct_len = Ciphertext::encoded_len(group);
+    let elem_len = group.element_len();
+    let scalar_len = group.order().bits().div_ceil(8);
+    let mut round = round_base;
+
+    // Step 5: key generation + proofs of knowledge.
+    let keys: Vec<KeyPair> = (1..=n)
+        .map(|party| timer.time(party, || KeyPair::generate(group, rng)))
+        .collect();
+    for party in 1..=n {
+        // Publish y_j.
+        for other in 1..=n {
+            if other != party {
+                log.record(round, party, other, elem_len, "sort/keys");
+            }
+        }
+    }
+    round += 1;
+    for (idx, kp) in keys.iter().enumerate() {
+        let party = idx + 1;
+        let transcript = timer.time(party, || {
+            MultiVerifierProof::run(group, kp.secret_key(), n - 1, rng)
+        });
+        // Commitment broadcast, n−1 challenge shares, response broadcast.
+        for other in 1..=n {
+            if other != party {
+                log.record(round, party, other, elem_len, "sort/zkp");
+                log.record(round + 1, other, party, scalar_len, "sort/zkp");
+                log.record(round + 2, party, other, scalar_len, "sort/zkp");
+            }
+        }
+        for (vidx, _) in keys.iter().enumerate() {
+            if vidx == idx {
+                continue;
+            }
+            let ok = timer.time(vidx + 1, || transcript.verify(group, kp.public_key()));
+            if !ok {
+                return Err(SortError::ProofRejected { party });
+            }
+        }
+    }
+    round += 3;
+
+    let shares: Vec<_> = keys.iter().map(|k| k.public_key().clone()).collect();
+    let joint = JointKey::combine(group, &shares);
+
+    // Step 6: bitwise encryption under the joint key, published to all.
+    let encrypted_bits: Vec<Vec<Ciphertext>> = values
+        .iter()
+        .enumerate()
+        .map(|(idx, v)| {
+            let party = idx + 1;
+            let cts = timer.time(party, || {
+                encrypt_bits(&scheme, joint.public_key(), v, l, rng)
+            });
+            for other in 1..=n {
+                if other != party {
+                    log.record(round, party, other, l * ct_len, "sort/bits");
+                }
+            }
+            cts
+        })
+        .collect();
+    round += 1;
+
+    // Step 7: comparisons. Party j compares her plaintext value against
+    // every other party's encrypted bits; her set is the concatenation in
+    // `opponent_order`.
+    let mut sets: Vec<Vec<Ciphertext>> = Vec::with_capacity(n);
+    let mut opponent_order: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for idx in 0..n {
+        let party = idx + 1;
+        let opponents: Vec<usize> = (0..n).filter(|&i| i != idx).collect();
+        let set = timer.time(party, || {
+            let mut set = Vec::with_capacity((n - 1) * l);
+            for &opp in &opponents {
+                set.extend(compare_encrypted(&scheme, &values[idx], &encrypted_bits[opp], l));
+            }
+            set
+        });
+        if party != 1 {
+            log.record(round, party, 1, set.len() * ct_len, "sort/collect");
+        }
+        sets.push(set);
+        opponent_order.push(opponents);
+    }
+    round += 1;
+
+    // Step 8: the shuffle-decrypt chain P₁ → P₂ → … → P_n.
+    for idx in 0..n {
+        let party = idx + 1;
+        timer.time(party, || {
+            for (owner, set) in sets.iter_mut().enumerate() {
+                if owner == idx {
+                    continue; // a party never processes her own set
+                }
+                for ct in set.iter_mut() {
+                    let mut c = scheme.partial_decrypt(ct, keys[idx].secret_key());
+                    if options.randomize {
+                        let r = group.random_nonzero_scalar(rng);
+                        c = scheme.randomize_plaintext(&c, &r);
+                    }
+                    *ct = c;
+                }
+                if options.shuffle {
+                    set.shuffle(rng);
+                }
+            }
+        });
+        // Hand the whole vector V to the next party in the chain.
+        if party < n {
+            let v_bytes: usize = sets.iter().map(|s| s.len() * ct_len).sum();
+            log.record(round, party, party + 1, v_bytes, "sort/chain");
+            round += 1;
+        }
+    }
+    // P_n returns each set to its owner.
+    for owner in 0..n {
+        let party = owner + 1;
+        if party != n {
+            log.record(round, n, party, sets[owner].len() * ct_len, "sort/return");
+        }
+    }
+    round += 1;
+
+    // Step 9: each owner strips her own layer and counts zeros.
+    let trace = SortTrace {
+        keys: keys.clone(),
+        returned_sets: sets.clone(),
+        opponent_order,
+    };
+    let mut ranks = Vec::with_capacity(n);
+    for idx in 0..n {
+        let party = idx + 1;
+        let zeros = timer.time(party, || {
+            sets[idx]
+                .iter()
+                .filter(|ct| scheme.decrypts_to_zero(keys[idx].secret_key(), ct))
+                .count()
+        });
+        ranks.push(zeros + 1);
+    }
+    let _ = round;
+    Ok((SortOutcome { ranks }, trace))
+}
+
+/// Reference ranking (plaintext): rank 1 for the largest, ties equal.
+pub fn plain_ranks(values: &[BigUint]) -> Vec<usize> {
+    values
+        .iter()
+        .map(|v| values.iter().filter(|w| *w > v).count() + 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppgr_group::GroupKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sort_values(vals: &[u64], l: usize, seed: u64) -> SortOutcome {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<BigUint> = vals.iter().map(|&v| BigUint::from(v)).collect();
+        let log = TrafficLog::new();
+        let mut timer = PartyTimer::new(vals.len() + 1);
+        unlinkable_sort(&group, &values, l, &mut rng, &log, &mut timer, 0).unwrap()
+    }
+
+    #[test]
+    fn ranks_match_plaintext_reference() {
+        let vals = [13u64, 200, 78, 200, 0];
+        let out = sort_values(&vals, 8, 1);
+        let values: Vec<BigUint> = vals.iter().map(|&v| BigUint::from(v)).collect();
+        assert_eq!(out.ranks, plain_ranks(&values));
+        assert_eq!(out.ranks, vec![4, 1, 3, 1, 5]);
+    }
+
+    #[test]
+    fn two_party_minimum() {
+        let out = sort_values(&[5, 9], 4, 2);
+        assert_eq!(out.ranks, vec![2, 1]);
+    }
+
+    #[test]
+    fn all_equal_values_all_rank_one() {
+        let out = sort_values(&[7, 7, 7], 4, 3);
+        assert_eq!(out.ranks, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn errors() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(4);
+        let log = TrafficLog::new();
+        let mut timer = PartyTimer::new(2);
+        assert_eq!(
+            unlinkable_sort(&group, &[BigUint::from(1u64)], 4, &mut rng, &log, &mut timer, 0),
+            Err(SortError::TooFewParties(1))
+        );
+        let mut timer = PartyTimer::new(3);
+        assert_eq!(
+            unlinkable_sort(
+                &group,
+                &[BigUint::from(16u64), BigUint::from(1u64)],
+                4,
+                &mut rng,
+                &log,
+                &mut timer,
+                0
+            ),
+            Err(SortError::ValueTooWide { party: 1 })
+        );
+    }
+
+    #[test]
+    fn traffic_shape_matches_protocol() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 4;
+        let values: Vec<BigUint> = (0..n as u64).map(BigUint::from).collect();
+        let log = TrafficLog::new();
+        let mut timer = PartyTimer::new(n + 1);
+        let _ = unlinkable_sort(&group, &values, 6, &mut rng, &log, &mut timer, 0).unwrap();
+        let s = log.summary();
+        // Chain traffic dominates: n−1 hops of the full vector V.
+        let chain = s.bytes_by_phase["sort/chain"];
+        let bits = s.bytes_by_phase["sort/bits"];
+        assert!(chain > bits, "chain {chain} should dominate bits {bits}");
+        // Every party spent compute time.
+        for p in 1..=n {
+            assert!(timer.spent(p) > std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sort_values(&[3, 1, 4, 1, 5], 4, 42);
+        let b = sort_values(&[3, 1, 4, 1, 5], 4, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn options_off_still_rank_correctly() {
+        // Shuffle/randomize protect privacy, not correctness.
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(6);
+        let values: Vec<BigUint> = [9u64, 2, 5].iter().map(|&v| BigUint::from(v)).collect();
+        let log = TrafficLog::new();
+        let mut timer = PartyTimer::new(4);
+        let (out, _) = run_sort(
+            &group,
+            &values,
+            4,
+            SortOptions { shuffle: false, randomize: false },
+            &mut rng,
+            &log,
+            &mut timer,
+            0,
+        )
+        .unwrap();
+        assert_eq!(out.ranks, vec![1, 3, 2]);
+    }
+}

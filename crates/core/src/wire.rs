@@ -1,0 +1,271 @@
+//! Wire encoding for the distributed (thread-per-party) execution.
+//!
+//! Fixed, self-describing little formats built on [`bytes`]: every field
+//! element is a 32-byte big-endian block, group elements and scalars use
+//! the group's fixed-length encodings, and sequences are length-prefixed.
+//! This is deliberately simple — the point is that the distributed runner
+//! exchanges *real bytes*, not shared memory.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ppgr_bigint::{BigUint, Fp, FpCtx};
+use ppgr_elgamal::Ciphertext;
+use ppgr_group::{Group, Scalar};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Bytes per serialized field element.
+pub const FIELD_BYTES: usize = 32;
+
+/// Decoding failure.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct WireError {
+    what: &'static str,
+}
+
+impl WireError {
+    fn new(what: &'static str) -> Self {
+        WireError { what }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed wire message: {}", self.what)
+    }
+}
+
+impl Error for WireError {}
+
+/// Serializer over a growable buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u32` length/count.
+    pub fn put_len(&mut self, len: usize) {
+        self.buf.put_u32(u32::try_from(len).expect("length fits u32"));
+    }
+
+    /// Appends one field element (32-byte big-endian).
+    pub fn put_fp(&mut self, v: &Fp) {
+        let bytes = v.value().to_bytes_be();
+        assert!(bytes.len() <= FIELD_BYTES, "field element exceeds 32 bytes");
+        self.buf.put_bytes(0, FIELD_BYTES - bytes.len());
+        self.buf.put_slice(&bytes);
+    }
+
+    /// Appends a slice of field elements, length-prefixed.
+    pub fn put_fp_vec(&mut self, vs: &[Fp]) {
+        self.put_len(vs.len());
+        for v in vs {
+            self.put_fp(v);
+        }
+    }
+
+    /// Appends a group element (fixed length for the group).
+    pub fn put_element(&mut self, group: &Group, e: &ppgr_group::Element) {
+        self.buf.put_slice(&group.encode(e));
+    }
+
+    /// Appends a scalar, padded to the group's scalar width.
+    pub fn put_scalar(&mut self, group: &Group, s: &Scalar) {
+        let width = group.order().bits().div_ceil(8);
+        let bytes = s.value().to_bytes_be();
+        assert!(bytes.len() <= width);
+        self.buf.put_bytes(0, width - bytes.len());
+        self.buf.put_slice(&bytes);
+    }
+
+    /// Appends a ciphertext (two group elements).
+    pub fn put_ciphertext(&mut self, group: &Group, ct: &Ciphertext) {
+        self.put_element(group, &ct.alpha);
+        self.put_element(group, &ct.beta);
+    }
+
+    /// Appends a ciphertext vector, length-prefixed.
+    pub fn put_ciphertexts(&mut self, group: &Group, cts: &[Ciphertext]) {
+        self.put_len(cts.len());
+        for ct in cts {
+            self.put_ciphertext(group, ct);
+        }
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+
+    /// Finishes, returning the frozen byte buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Deserializer over a received byte buffer.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Wraps received bytes.
+    pub fn new(bytes: Bytes) -> Self {
+        Reader { buf: bytes }
+    }
+
+    fn need(&self, n: usize, what: &'static str) -> Result<(), WireError> {
+        if self.buf.remaining() < n {
+            return Err(WireError::new(what));
+        }
+        Ok(())
+    }
+
+    /// Reads a `u32` length/count.
+    pub fn len(&mut self) -> Result<usize, WireError> {
+        self.need(4, "truncated length")?;
+        Ok(self.buf.get_u32() as usize)
+    }
+
+    /// Reads one field element.
+    pub fn fp(&mut self, field: &Arc<FpCtx>) -> Result<Fp, WireError> {
+        self.need(FIELD_BYTES, "truncated field element")?;
+        let mut raw = [0u8; FIELD_BYTES];
+        self.buf.copy_to_slice(&mut raw);
+        let v = BigUint::from_bytes_be(&raw);
+        if &v >= field.modulus() {
+            return Err(WireError::new("field element out of range"));
+        }
+        Ok(field.element(v))
+    }
+
+    /// Reads a length-prefixed field-element vector.
+    pub fn fp_vec(&mut self, field: &Arc<FpCtx>) -> Result<Vec<Fp>, WireError> {
+        let n = self.len()?;
+        (0..n).map(|_| self.fp(field)).collect()
+    }
+
+    /// Reads a group element.
+    pub fn element(&mut self, group: &Group) -> Result<ppgr_group::Element, WireError> {
+        let n = group.element_len();
+        self.need(n, "truncated group element")?;
+        let raw = self.buf.copy_to_bytes(n);
+        group.decode(&raw).map_err(|_| WireError::new("invalid group element"))
+    }
+
+    /// Reads a scalar.
+    pub fn scalar(&mut self, group: &Group) -> Result<Scalar, WireError> {
+        let width = group.order().bits().div_ceil(8);
+        self.need(width, "truncated scalar")?;
+        let raw = self.buf.copy_to_bytes(width);
+        let v = BigUint::from_bytes_be(&raw);
+        if &v >= group.order() {
+            return Err(WireError::new("scalar out of range"));
+        }
+        Ok(group.scalar_from(&v))
+    }
+
+    /// Reads a ciphertext.
+    pub fn ciphertext(&mut self, group: &Group) -> Result<Ciphertext, WireError> {
+        Ok(Ciphertext { alpha: self.element(group)?, beta: self.element(group)? })
+    }
+
+    /// Reads a length-prefixed ciphertext vector.
+    pub fn ciphertexts(&mut self, group: &Group) -> Result<Vec<Ciphertext>, WireError> {
+        let n = self.len()?;
+        (0..n).map(|_| self.ciphertext(group)).collect()
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        self.need(8, "truncated u64")?;
+        Ok(self.buf.get_u64())
+    }
+
+    /// Asserts the buffer was fully consumed.
+    pub fn done(&self) -> Result<(), WireError> {
+        if self.buf.has_remaining() {
+            return Err(WireError::new("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppgr_dotprod::default_field;
+    use ppgr_elgamal::{ExpElGamal, KeyPair};
+    use ppgr_group::GroupKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fp_round_trip() {
+        let field = default_field();
+        let mut rng = StdRng::seed_from_u64(1);
+        let vs: Vec<Fp> = (0..5).map(|_| field.random(&mut rng)).collect();
+        let mut w = Writer::new();
+        w.put_fp_vec(&vs);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(r.fp_vec(&field).unwrap(), vs);
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn element_scalar_ciphertext_round_trip() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group.clone());
+        let ct = scheme.encrypt(kp.public_key(), &group.scalar_from_u64(7), &mut rng);
+        let s = group.random_scalar(&mut rng);
+
+        let mut w = Writer::new();
+        w.put_element(&group, kp.public_key());
+        w.put_scalar(&group, &s);
+        w.put_ciphertexts(&group, &[ct.clone()]);
+        w.put_u64(42);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(&r.element(&group).unwrap(), kp.public_key());
+        assert_eq!(r.scalar(&group).unwrap(), s);
+        assert_eq!(r.ciphertexts(&group).unwrap(), vec![ct]);
+        assert_eq!(r.u64().unwrap(), 42);
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let field = default_field();
+        let mut w = Writer::new();
+        w.put_fp(&field.from_u64(5));
+        let bytes = w.finish();
+        let mut r = Reader::new(bytes.slice(..10));
+        assert!(r.fp(&field).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let field = default_field();
+        // 32 bytes of 0xff is ≥ the modulus (2^256 − 189).
+        let mut r = Reader::new(Bytes::from(vec![0xffu8; 32]));
+        assert!(r.fp(&field).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        w.put_u64(2);
+        let mut r = Reader::new(w.finish());
+        let _ = r.u64().unwrap();
+        assert!(r.done().is_err());
+    }
+}

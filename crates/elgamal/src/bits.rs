@@ -1,0 +1,98 @@
+//! Bitwise encryption of integers (paper Fig. 1, step 6).
+//!
+//! Each participant encrypts the binary representation of her masked gain
+//! `β` bit by bit under the joint key: `E(β)_B = [E(β^l), …, E(β^1)]`.
+//! We store bits least-significant-first internally; the comparison circuit
+//! in `ppgr-core` indexes them accordingly.
+
+use crate::cipher::{Ciphertext, ExpElGamal};
+use ppgr_bigint::BigUint;
+use ppgr_group::{Element, Scalar};
+use rand::Rng;
+
+/// Encrypts the low `l` bits of `value` under `public_key`.
+///
+/// Returns `l` ciphertexts, least-significant bit first.
+///
+/// # Panics
+///
+/// Panics if `value` does not fit in `l` bits — a protocol-parameter bug
+/// that must not be silently truncated.
+pub fn encrypt_bits<R: Rng + ?Sized>(
+    scheme: &ExpElGamal,
+    public_key: &Element,
+    value: &BigUint,
+    l: usize,
+    rng: &mut R,
+) -> Vec<Ciphertext> {
+    assert!(value.bits() <= l, "value exceeds the declared bit length l");
+    let group = scheme.group();
+    let zero = group.scalar_from_u64(0);
+    let one = group.scalar_from_u64(1);
+    (0..l)
+        .map(|i| {
+            let bit: &Scalar = if value.bit(i) { &one } else { &zero };
+            scheme.encrypt(public_key, bit, rng)
+        })
+        .collect()
+}
+
+/// Decrypts a bitwise encryption back to the integer (test helper: requires
+/// the full secret key, which no protocol party ever holds).
+pub fn decrypt_bits(scheme: &ExpElGamal, secret_key: &Scalar, bits: &[Ciphertext]) -> BigUint {
+    let mut v = BigUint::zero();
+    for (i, ct) in bits.iter().enumerate() {
+        if !scheme.decrypts_to_zero(secret_key, ct) {
+            v.set_bit(i, true);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use ppgr_group::GroupKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group);
+        for v in [0u64, 1, 0b1011, 0xffff, 0x8000_0000] {
+            let v = BigUint::from(v);
+            let cts = encrypt_bits(&scheme, kp.public_key(), &v, 32, &mut rng);
+            assert_eq!(cts.len(), 32);
+            assert_eq!(decrypt_bits(&scheme, kp.secret_key(), &cts), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the declared bit length")]
+    fn oversized_value_panics() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group);
+        let _ = encrypt_bits(&scheme, kp.public_key(), &BigUint::from(16u64), 4, &mut rng);
+    }
+
+    #[test]
+    fn bit_ciphertexts_are_all_distinct() {
+        // Even equal bits must encrypt to distinct ciphertexts (fresh r).
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group);
+        let cts = encrypt_bits(&scheme, kp.public_key(), &BigUint::zero(), 16, &mut rng);
+        for i in 0..cts.len() {
+            for j in i + 1..cts.len() {
+                assert_ne!(cts[i], cts[j]);
+            }
+        }
+    }
+}

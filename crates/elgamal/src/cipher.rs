@@ -1,0 +1,341 @@
+//! Standard and exponential ElGamal ciphertexts and their homomorphic ops.
+
+use ppgr_group::{Element, Group, Scalar};
+use rand::Rng;
+
+/// An ElGamal ciphertext `(α, β)`.
+///
+/// * standard form: `α = M·y^r`, `β = g^r`
+/// * exponential form: `α = g^m·y^r`, `β = g^r`
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Ciphertext {
+    /// First component (`M·y^r` or `g^m·y^r`).
+    pub alpha: Element,
+    /// Second component (`g^r`).
+    pub beta: Element,
+}
+
+impl Ciphertext {
+    /// Total encoded size in bytes (two group elements).
+    pub fn encoded_len(group: &Group) -> usize {
+        2 * group.element_len()
+    }
+
+    /// Fixed-length wire encoding (`encode(α) || encode(β)`).
+    pub fn encode(&self, group: &Group) -> Vec<u8> {
+        let mut out = group.encode(&self.alpha);
+        out.extend_from_slice(&group.encode(&self.beta));
+        out
+    }
+}
+
+/// Standard (multiplicatively homomorphic) ElGamal over `group`.
+#[derive(Clone, Debug)]
+pub struct ElGamal {
+    group: Group,
+}
+
+impl ElGamal {
+    /// Creates the scheme over the given group.
+    pub fn new(group: Group) -> Self {
+        ElGamal { group }
+    }
+
+    /// Encrypts a group element `M` under public key `y`.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        public_key: &Element,
+        message: &Element,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let r = self.group.random_scalar(rng);
+        Ciphertext {
+            alpha: self.group.op(message, &self.group.exp(public_key, &r)),
+            beta: self.group.exp_gen(&r),
+        }
+    }
+
+    /// Decrypts: `M = α / β^x`.
+    pub fn decrypt(&self, secret_key: &Scalar, ct: &Ciphertext) -> Element {
+        let mask = self.group.exp(&ct.beta, secret_key);
+        self.group.div(&ct.alpha, &mask)
+    }
+}
+
+/// Exponential ("modified", paper Sec. IV-D) ElGamal: additively
+/// homomorphic in the exponent. Decryption yields `g^m`; the framework only
+/// ever needs the `m = 0` test ([`ExpElGamal::decrypts_to_zero`]).
+#[derive(Clone, Debug)]
+pub struct ExpElGamal {
+    group: Group,
+}
+
+impl ExpElGamal {
+    /// Creates the scheme over the given group.
+    pub fn new(group: Group) -> Self {
+        ExpElGamal { group }
+    }
+
+    /// The underlying group.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// Encrypts the scalar message `m` as `(g^m·y^r, g^r)`.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        public_key: &Element,
+        m: &Scalar,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let r = self.group.random_scalar(rng);
+        self.encrypt_with_randomness(public_key, m, &r)
+    }
+
+    /// Encryption with caller-chosen randomness (used by tests and the
+    /// security-game simulator, never by honest protocol parties).
+    pub fn encrypt_with_randomness(
+        &self,
+        public_key: &Element,
+        m: &Scalar,
+        r: &Scalar,
+    ) -> Ciphertext {
+        Ciphertext {
+            alpha: self.group.op(&self.group.exp_gen(m), &self.group.exp(public_key, r)),
+            beta: self.group.exp_gen(r),
+        }
+    }
+
+    /// Homomorphic addition: `E(m₁) ∘ E(m₂) = E(m₁+m₂)`.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext {
+            alpha: self.group.op(&a.alpha, &b.alpha),
+            beta: self.group.op(&a.beta, &b.beta),
+        }
+    }
+
+    /// Homomorphic subtraction: `E(m₁−m₂)`.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext {
+            alpha: self.group.div(&a.alpha, &b.alpha),
+            beta: self.group.div(&a.beta, &b.beta),
+        }
+    }
+
+    /// Homomorphic negation: `E(−m)`.
+    pub fn neg(&self, a: &Ciphertext) -> Ciphertext {
+        Ciphertext { alpha: self.group.inv(&a.alpha), beta: self.group.inv(&a.beta) }
+    }
+
+    /// Plaintext-scalar multiplication: `E(k·m)` from `E(m)`.
+    pub fn scalar_mul(&self, a: &Ciphertext, k: &Scalar) -> Ciphertext {
+        Ciphertext { alpha: self.group.exp(&a.alpha, k), beta: self.group.exp(&a.beta, k) }
+    }
+
+    /// Adds a *known* plaintext without re-encrypting: `E(m) → E(m+k)`.
+    pub fn add_plaintext(&self, a: &Ciphertext, k: &Scalar) -> Ciphertext {
+        Ciphertext { alpha: self.group.op(&a.alpha, &self.group.exp_gen(k)), beta: a.beta.clone() }
+    }
+
+    /// Fresh re-randomization under `y`: same plaintext, new randomness.
+    pub fn rerandomize<R: Rng + ?Sized>(
+        &self,
+        public_key: &Element,
+        a: &Ciphertext,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let r = self.group.random_scalar(rng);
+        Ciphertext {
+            alpha: self.group.op(&a.alpha, &self.group.exp(public_key, &r)),
+            beta: self.group.op(&a.beta, &self.group.exp_gen(&r)),
+        }
+    }
+
+    /// Strips one layer of a joint-key encryption: `α ← α / β^{x_j}`.
+    ///
+    /// After every key-share holder has applied this, `α = g^m`
+    /// (paper Fig. 1, step 8, first bullet).
+    pub fn partial_decrypt(&self, a: &Ciphertext, secret_share: &Scalar) -> Ciphertext {
+        let mask = self.group.exp(&a.beta, secret_share);
+        Ciphertext { alpha: self.group.div(&a.alpha, &mask), beta: a.beta.clone() }
+    }
+
+    /// Multiplies the plaintext by `r` by raising both components:
+    /// `E(m) → E(r·m)`. Zero is a fixed point — the step-8 randomization.
+    pub fn randomize_plaintext(&self, a: &Ciphertext, r: &Scalar) -> Ciphertext {
+        self.scalar_mul(a, r)
+    }
+
+    /// Full decryption to the group element `g^m`.
+    pub fn decrypt_to_element(&self, secret_key: &Scalar, ct: &Ciphertext) -> Element {
+        let mask = self.group.exp(&ct.beta, secret_key);
+        self.group.div(&ct.alpha, &mask)
+    }
+
+    /// Decrypts and tests `m = 0` (i.e. `g^m = 1`) — all the framework needs.
+    pub fn decrypts_to_zero(&self, secret_key: &Scalar, ct: &Ciphertext) -> bool {
+        self.group.is_identity(&self.decrypt_to_element(secret_key, ct))
+    }
+
+    /// Brute-force discrete log for *small* plaintexts (test helper).
+    ///
+    /// Tries `m = 0..bound` and returns the match, if any. Honest protocol
+    /// code never needs this; tests use it to verify homomorphic algebra.
+    pub fn decrypt_small(&self, secret_key: &Scalar, ct: &Ciphertext, bound: u64) -> Option<u64> {
+        let gm = self.decrypt_to_element(secret_key, ct);
+        let mut acc = self.group.identity();
+        let g = self.group.generator().clone();
+        for m in 0..bound {
+            if acc == gm {
+                return Some(m);
+            }
+            acc = self.group.op(&acc, &g);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{JointKey, KeyPair};
+    use ppgr_group::GroupKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ExpElGamal, KeyPair, StdRng) {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(42);
+        let kp = KeyPair::generate(&group, &mut rng);
+        (ExpElGamal::new(group), kp, rng)
+    }
+
+    #[test]
+    fn standard_elgamal_round_trip() {
+        let group = GroupKind::Dl1024.group();
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ElGamal::new(group.clone());
+        let msg = group.exp_gen(&group.scalar_from_u64(777));
+        let ct = scheme.encrypt(kp.public_key(), &msg, &mut rng);
+        assert_eq!(scheme.decrypt(kp.secret_key(), &ct), msg);
+    }
+
+    #[test]
+    fn exp_elgamal_zero_test() {
+        let (scheme, kp, mut rng) = setup();
+        let g = scheme.group().clone();
+        let zero = scheme.encrypt(kp.public_key(), &g.scalar_from_u64(0), &mut rng);
+        let one = scheme.encrypt(kp.public_key(), &g.scalar_from_u64(1), &mut rng);
+        assert!(scheme.decrypts_to_zero(kp.secret_key(), &zero));
+        assert!(!scheme.decrypts_to_zero(kp.secret_key(), &one));
+    }
+
+    #[test]
+    fn homomorphic_algebra() {
+        let (scheme, kp, mut rng) = setup();
+        let g = scheme.group().clone();
+        let e5 = scheme.encrypt(kp.public_key(), &g.scalar_from_u64(5), &mut rng);
+        let e3 = scheme.encrypt(kp.public_key(), &g.scalar_from_u64(3), &mut rng);
+
+        let sum = scheme.add(&e5, &e3);
+        assert_eq!(scheme.decrypt_small(kp.secret_key(), &sum, 100), Some(8));
+
+        let diff = scheme.sub(&e5, &e3);
+        assert_eq!(scheme.decrypt_small(kp.secret_key(), &diff, 100), Some(2));
+
+        let scaled = scheme.scalar_mul(&e5, &g.scalar_from_u64(7));
+        assert_eq!(scheme.decrypt_small(kp.secret_key(), &scaled, 100), Some(35));
+
+        let shifted = scheme.add_plaintext(&e3, &g.scalar_from_u64(10));
+        assert_eq!(scheme.decrypt_small(kp.secret_key(), &shifted, 100), Some(13));
+
+        // 5 - 5 = 0 via neg.
+        let zero = scheme.add(&e5, &scheme.neg(&e5));
+        assert!(scheme.decrypts_to_zero(kp.secret_key(), &zero));
+    }
+
+    #[test]
+    fn rerandomization_changes_ciphertext_not_plaintext() {
+        let (scheme, kp, mut rng) = setup();
+        let g = scheme.group().clone();
+        let ct = scheme.encrypt(kp.public_key(), &g.scalar_from_u64(9), &mut rng);
+        let ct2 = scheme.rerandomize(kp.public_key(), &ct, &mut rng);
+        assert_ne!(ct, ct2);
+        assert_eq!(scheme.decrypt_small(kp.secret_key(), &ct2, 100), Some(9));
+    }
+
+    #[test]
+    fn plaintext_randomization_fixes_zero_only() {
+        let (scheme, kp, mut rng) = setup();
+        let g = scheme.group().clone();
+        let r = g.random_nonzero_scalar(&mut rng);
+
+        let zero = scheme.encrypt(kp.public_key(), &g.scalar_from_u64(0), &mut rng);
+        let z = scheme.randomize_plaintext(&zero, &r);
+        assert!(scheme.decrypts_to_zero(kp.secret_key(), &z));
+
+        let five = scheme.encrypt(kp.public_key(), &g.scalar_from_u64(5), &mut rng);
+        let f = scheme.randomize_plaintext(&five, &r);
+        assert!(!scheme.decrypts_to_zero(kp.secret_key(), &f));
+        // And the non-zero plaintext is no longer 5·anything recognisable:
+        // it became 5r, a essentially-random scalar.
+        assert_ne!(scheme.decrypt_small(kp.secret_key(), &f, 1000), Some(5));
+    }
+
+    #[test]
+    fn joint_key_chain_decryption() {
+        // n parties; encrypt under Πy_j; strip layers one by one.
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(3);
+        let scheme = ExpElGamal::new(group.clone());
+        let kps: Vec<KeyPair> = (0..6).map(|_| KeyPair::generate(&group, &mut rng)).collect();
+        let shares: Vec<_> = kps.iter().map(|k| k.public_key().clone()).collect();
+        let joint = JointKey::combine(&group, &shares);
+
+        let ct = scheme.encrypt(joint.public_key(), &group.scalar_from_u64(0), &mut rng);
+        let ct_nz = scheme.encrypt(joint.public_key(), &group.scalar_from_u64(4), &mut rng);
+
+        // First n-1 parties partially decrypt; the last does the final test.
+        let mut c0 = ct;
+        let mut c4 = ct_nz;
+        for kp in &kps[..5] {
+            c0 = scheme.partial_decrypt(&c0, kp.secret_key());
+            c4 = scheme.partial_decrypt(&c4, kp.secret_key());
+        }
+        assert!(scheme.decrypts_to_zero(kps[5].secret_key(), &c0));
+        assert!(!scheme.decrypts_to_zero(kps[5].secret_key(), &c4));
+    }
+
+    #[test]
+    fn chain_with_randomization_preserves_zero_pattern() {
+        // Full step-8 pipeline on one ciphertext pair.
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(4);
+        let scheme = ExpElGamal::new(group.clone());
+        let kps: Vec<KeyPair> = (0..4).map(|_| KeyPair::generate(&group, &mut rng)).collect();
+        let shares: Vec<_> = kps.iter().map(|k| k.public_key().clone()).collect();
+        let joint = JointKey::combine(&group, &shares);
+
+        let mut zero = scheme.encrypt(joint.public_key(), &group.scalar_from_u64(0), &mut rng);
+        let mut five = scheme.encrypt(joint.public_key(), &group.scalar_from_u64(5), &mut rng);
+        for kp in &kps[..3] {
+            let r = group.random_nonzero_scalar(&mut rng);
+            zero = scheme.randomize_plaintext(&scheme.partial_decrypt(&zero, kp.secret_key()), &r);
+            let r = group.random_nonzero_scalar(&mut rng);
+            five = scheme.randomize_plaintext(&scheme.partial_decrypt(&five, kp.secret_key()), &r);
+        }
+        assert!(scheme.decrypts_to_zero(kps[3].secret_key(), &zero));
+        assert!(!scheme.decrypts_to_zero(kps[3].secret_key(), &five));
+    }
+
+    #[test]
+    fn ciphertext_encoding_length() {
+        let (scheme, kp, mut rng) = setup();
+        let g = scheme.group().clone();
+        let ct = scheme.encrypt(kp.public_key(), &g.scalar_from_u64(1), &mut rng);
+        let enc = ct.encode(&g);
+        assert_eq!(enc.len(), Ciphertext::encoded_len(&g));
+        assert_eq!(enc.len(), 42); // 2 × (1 + 20) bytes on secp160r1
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the homomorphic algebra: for random small
+//! plaintexts, every ciphertext-level operation must commute with the
+//! corresponding plaintext operation.
+
+use ppgr_elgamal::{decrypt_bits, encrypt_bits, ExpElGamal, JointKey, KeyPair};
+use ppgr_bigint::BigUint;
+use ppgr_group::GroupKind;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn add_sub_scale_commute_with_plaintext(a in 0u64..50, b in 0u64..50, k in 1u64..20, seed in 0u64..1000) {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group.clone());
+        let ea = scheme.encrypt(kp.public_key(), &group.scalar_from_u64(a), &mut rng);
+        let eb = scheme.encrypt(kp.public_key(), &group.scalar_from_u64(b), &mut rng);
+
+        let sum = scheme.add(&ea, &eb);
+        prop_assert_eq!(scheme.decrypt_small(kp.secret_key(), &sum, 200), Some(a + b));
+
+        let scaled = scheme.scalar_mul(&ea, &group.scalar_from_u64(k));
+        prop_assert_eq!(scheme.decrypt_small(kp.secret_key(), &scaled, 2000), Some(a * k));
+
+        let shifted = scheme.add_plaintext(&eb, &group.scalar_from_u64(k));
+        prop_assert_eq!(scheme.decrypt_small(kp.secret_key(), &shifted, 200), Some(b + k));
+
+        // a − a = 0 regardless of randomness.
+        let zero = scheme.sub(&ea, &scheme.rerandomize(kp.public_key(), &ea, &mut rng));
+        prop_assert!(scheme.decrypts_to_zero(kp.secret_key(), &zero));
+    }
+
+    #[test]
+    fn bitwise_round_trip_random_values(v in any::<u32>(), seed in 0u64..1000) {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group);
+        let v = BigUint::from(v as u64);
+        let cts = encrypt_bits(&scheme, kp.public_key(), &v, 32, &mut rng);
+        prop_assert_eq!(decrypt_bits(&scheme, kp.secret_key(), &cts), v);
+    }
+
+    #[test]
+    fn joint_key_chain_any_order(parties in 2usize..6, m in 0u64..2, seed in 0u64..1000) {
+        // Partial decryption layers commute: any strip order works.
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scheme = ExpElGamal::new(group.clone());
+        let kps: Vec<KeyPair> = (0..parties).map(|_| KeyPair::generate(&group, &mut rng)).collect();
+        let shares: Vec<_> = kps.iter().map(|k| k.public_key().clone()).collect();
+        let joint = JointKey::combine(&group, &shares);
+        let ct = scheme.encrypt(joint.public_key(), &group.scalar_from_u64(m), &mut rng);
+
+        // Forward order.
+        let mut c1 = ct.clone();
+        for kp in &kps[..parties - 1] {
+            c1 = scheme.partial_decrypt(&c1, kp.secret_key());
+        }
+        // Reverse order (skipping the last holder both times).
+        let mut c2 = ct;
+        for kp in kps[..parties - 1].iter().rev() {
+            c2 = scheme.partial_decrypt(&c2, kp.secret_key());
+        }
+        let last = kps[parties - 1].secret_key();
+        prop_assert_eq!(
+            scheme.decrypts_to_zero(last, &c1),
+            scheme.decrypts_to_zero(last, &c2)
+        );
+        prop_assert_eq!(scheme.decrypts_to_zero(last, &c1), m == 0);
+    }
+
+    #[test]
+    fn randomize_plaintext_preserves_zeroness(m in 0u64..5, seed in 0u64..1000) {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group.clone());
+        let ct = scheme.encrypt(kp.public_key(), &group.scalar_from_u64(m), &mut rng);
+        let r = group.random_nonzero_scalar(&mut rng);
+        let rand_ct = scheme.randomize_plaintext(&ct, &r);
+        prop_assert_eq!(
+            scheme.decrypts_to_zero(kp.secret_key(), &rand_ct),
+            m == 0
+        );
+    }
+}

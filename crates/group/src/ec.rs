@@ -1,0 +1,555 @@
+//! Short-Weierstrass elliptic curves over prime fields, from scratch.
+//!
+//! Curves `y² = x³ + ax + b` over `F_p` with prime group order `n`
+//! (cofactor 1). Points are exposed in affine form; internally, scalar
+//! multiplication and addition run in Jacobian coordinates with all field
+//! elements kept in Montgomery form, which is what makes the ECC framework
+//! instantiation markedly faster than the DL one (the paper's Fig. 2/3).
+
+use crate::traits::DecodeElementError;
+use crate::Element;
+use ppgr_bigint::{modular, BigUint, MontElem, Montgomery};
+
+/// Parameters of a named curve.
+#[derive(Clone, Debug)]
+pub struct CurveParams {
+    /// SECG name, e.g. `"secp256r1"`.
+    pub name: &'static str,
+    /// Field prime `p`.
+    pub p: BigUint,
+    /// Curve coefficient `a`.
+    pub a: BigUint,
+    /// Curve coefficient `b`.
+    pub b: BigUint,
+    /// Base-point x-coordinate.
+    pub gx: BigUint,
+    /// Base-point y-coordinate.
+    pub gy: BigUint,
+    /// Prime group order `n` (cofactor is 1 for all shipped curves).
+    pub n: BigUint,
+}
+
+fn hex(s: &str) -> BigUint {
+    BigUint::from_hex_str(s).expect("vetted constant")
+}
+
+impl CurveParams {
+    /// SECG secp160r1 — the paper's "160-bit ECC group" (80-bit security).
+    pub fn secp160r1() -> Self {
+        CurveParams {
+            name: "secp160r1",
+            p: hex("ffffffffffffffffffffffffffffffff7fffffff"),
+            a: hex("ffffffffffffffffffffffffffffffff7ffffffc"),
+            b: hex("1c97befc54bd7a8b65acf89f81d4d4adc565fa45"),
+            gx: hex("4a96b5688ef573284664698968c38bb913cbfc82"),
+            gy: hex("23a628553168947d59dcc912042351377ac5fb32"),
+            n: hex("0100000000000000000001f4c8f927aed3ca752257"),
+        }
+    }
+
+    /// SECG secp224r1 / NIST P-224 (112-bit security).
+    pub fn secp224r1() -> Self {
+        CurveParams {
+            name: "secp224r1",
+            p: hex("ffffffffffffffffffffffffffffffff000000000000000000000001"),
+            a: hex("fffffffffffffffffffffffffffffffefffffffffffffffffffffffe"),
+            b: hex("b4050a850c04b3abf54132565044b0b7d7bfd8ba270b39432355ffb4"),
+            gx: hex("b70e0cbd6bb4bf7f321390b94a03c1d356c21122343280d6115c1d21"),
+            gy: hex("bd376388b5f723fb4c22dfe6cd4375a05a07476444d5819985007e34"),
+            n: hex("ffffffffffffffffffffffffffff16a2e0b8f03e13dd29455c5c2a3d"),
+        }
+    }
+
+    /// SECG secp256r1 / NIST P-256 (128-bit security).
+    pub fn secp256r1() -> Self {
+        CurveParams {
+            name: "secp256r1",
+            p: hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"),
+            a: hex("ffffffff00000001000000000000000000000000fffffffffffffffffffffffc"),
+            b: hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b"),
+            gx: hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
+            gy: hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"),
+            n: hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"),
+        }
+    }
+}
+
+/// An affine curve point (or the point at infinity).
+#[derive(Clone, Eq, PartialEq, Hash)]
+pub struct EcPoint {
+    /// `None` is the point at infinity (group identity).
+    coords: Option<(BigUint, BigUint)>,
+}
+
+impl EcPoint {
+    /// The point at infinity.
+    pub fn infinity() -> Self {
+        EcPoint { coords: None }
+    }
+
+    /// An affine point; coordinate validity is checked by [`EcGroup`] APIs.
+    pub fn affine(x: BigUint, y: BigUint) -> Self {
+        EcPoint { coords: Some((x, y)) }
+    }
+
+    /// Returns `true` for the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.coords.is_none()
+    }
+
+    /// The affine coordinates, or `None` for infinity.
+    pub fn xy(&self) -> Option<(&BigUint, &BigUint)> {
+        self.coords.as_ref().map(|(x, y)| (x, y))
+    }
+}
+
+impl std::fmt::Debug for EcPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.coords {
+            None => write!(f, "EcPoint::Infinity"),
+            Some((x, y)) => write!(f, "EcPoint(0x{x:x}, 0x{y:x})"),
+        }
+    }
+}
+
+/// A Jacobian point with Montgomery-form coordinates: `(X : Y : Z)`,
+/// representing affine `(X/Z², Y/Z³)`; `Z = 0` is infinity.
+#[derive(Clone, Debug)]
+struct Jacobian {
+    x: MontElem,
+    y: MontElem,
+    z: MontElem,
+}
+
+/// A prime-order elliptic-curve group.
+#[derive(Debug)]
+pub struct EcGroup {
+    params: CurveParams,
+    fp: Montgomery,
+    /// `a` in Montgomery form.
+    a_m: MontElem,
+    generator: Element,
+    element_len: usize,
+    /// Comb table for fixed-base scalar multiplication:
+    /// `gen_table[i][d] = (d·16^i)·G` in Jacobian coordinates.
+    gen_table: std::sync::OnceLock<Vec<Vec<Jacobian>>>,
+}
+
+impl EcGroup {
+    /// Builds the group for the given curve parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base point does not satisfy the curve equation
+    /// (defensive check on the constants).
+    pub fn new(params: CurveParams) -> Self {
+        let fp = Montgomery::new(params.p.clone());
+        let a_m = fp.enter(&params.a);
+        let element_len = 1 + params.p.bits().div_ceil(8);
+        let g = EcGroup {
+            generator: Element::Ec(EcPoint::affine(params.gx.clone(), params.gy.clone())),
+            params,
+            fp,
+            a_m,
+            element_len,
+            gen_table: std::sync::OnceLock::new(),
+        };
+        let Element::Ec(base) = &g.generator else { unreachable!() };
+        assert!(g.is_on_curve(base), "base point not on curve");
+        g
+    }
+
+    /// The curve parameters.
+    pub fn params(&self) -> &CurveParams {
+        &self.params
+    }
+
+    /// The prime group order `n`.
+    pub fn order(&self) -> &BigUint {
+        &self.params.n
+    }
+
+    /// The base point.
+    pub fn generator(&self) -> &Element {
+        &self.generator
+    }
+
+    pub(crate) fn element_len(&self) -> usize {
+        self.element_len
+    }
+
+    /// Checks the affine curve equation `y² = x³ + ax + b`.
+    pub fn is_on_curve(&self, p: &EcPoint) -> bool {
+        let Some((x, y)) = p.xy() else { return true };
+        if x >= &self.params.p || y >= &self.params.p {
+            return false;
+        }
+        let f = &self.fp;
+        let xm = f.enter(x);
+        let ym = f.enter(y);
+        let lhs = f.msqr(&ym);
+        let x3 = f.mmul(&f.msqr(&xm), &xm);
+        let ax = f.mmul(&self.a_m, &xm);
+        let rhs = f.madd(&f.madd(&x3, &ax), &f.enter(&self.params.b));
+        lhs == rhs
+    }
+
+    fn to_jacobian(&self, p: &EcPoint) -> Jacobian {
+        match p.xy() {
+            None => Jacobian {
+                x: self.fp.one_elem(),
+                y: self.fp.one_elem(),
+                z: self.fp.zero_elem(),
+            },
+            Some((x, y)) => Jacobian {
+                x: self.fp.enter(x),
+                y: self.fp.enter(y),
+                z: self.fp.one_elem(),
+            },
+        }
+    }
+
+    fn to_affine(&self, p: &Jacobian) -> EcPoint {
+        let f = &self.fp;
+        if f.is_zero_elem(&p.z) {
+            return EcPoint::infinity();
+        }
+        let z = f.leave(&p.z);
+        let z_inv = z.modinv(&self.params.p).expect("nonzero z");
+        let zi = f.enter(&z_inv);
+        let zi2 = f.msqr(&zi);
+        let zi3 = f.mmul(&zi2, &zi);
+        let x = f.leave(&f.mmul(&p.x, &zi2));
+        let y = f.leave(&f.mmul(&p.y, &zi3));
+        EcPoint::affine(x, y)
+    }
+
+    /// Jacobian doubling (generic `a`):
+    /// `S = 4XY²; M = 3X² + aZ⁴; X' = M² − 2S; Y' = M(S − X') − 8Y⁴; Z' = 2YZ`.
+    fn jac_double(&self, p: &Jacobian) -> Jacobian {
+        let f = &self.fp;
+        if f.is_zero_elem(&p.z) || f.is_zero_elem(&p.y) {
+            return Jacobian { x: f.one_elem(), y: f.one_elem(), z: f.zero_elem() };
+        }
+        let y2 = f.msqr(&p.y);
+        let s = f.msmall(&f.mmul(&p.x, &y2), 4);
+        let z2 = f.msqr(&p.z);
+        let m = f.madd(
+            &f.msmall(&f.msqr(&p.x), 3),
+            &f.mmul(&self.a_m, &f.msqr(&z2)),
+        );
+        let x3 = f.msub(&f.msqr(&m), &f.mdbl(&s));
+        let y4 = f.msqr(&y2);
+        let y3 = f.msub(&f.mmul(&m, &f.msub(&s, &x3)), &f.msmall(&y4, 8));
+        let z3 = f.mdbl(&f.mmul(&p.y, &p.z));
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// General Jacobian addition.
+    fn jac_add(&self, p: &Jacobian, q: &Jacobian) -> Jacobian {
+        let f = &self.fp;
+        if f.is_zero_elem(&p.z) {
+            return q.clone();
+        }
+        if f.is_zero_elem(&q.z) {
+            return p.clone();
+        }
+        let z1z1 = f.msqr(&p.z);
+        let z2z2 = f.msqr(&q.z);
+        let u1 = f.mmul(&p.x, &z2z2);
+        let u2 = f.mmul(&q.x, &z1z1);
+        let s1 = f.mmul(&f.mmul(&p.y, &q.z), &z2z2);
+        let s2 = f.mmul(&f.mmul(&q.y, &p.z), &z1z1);
+        let h = f.msub(&u2, &u1);
+        let r = f.msub(&s2, &s1);
+        if f.is_zero_elem(&h) {
+            if f.is_zero_elem(&r) {
+                return self.jac_double(p);
+            }
+            return Jacobian { x: f.one_elem(), y: f.one_elem(), z: f.zero_elem() };
+        }
+        let hh = f.msqr(&h);
+        let hhh = f.mmul(&h, &hh);
+        let v = f.mmul(&u1, &hh);
+        let x3 = f.msub(&f.msub(&f.msqr(&r), &hhh), &f.mdbl(&v));
+        let y3 = f.msub(&f.mmul(&r, &f.msub(&v, &x3)), &f.mmul(&s1, &hhh));
+        let z3 = f.mmul(&f.mmul(&p.z, &q.z), &h);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// Affine point addition.
+    pub fn add(&self, p: &EcPoint, q: &EcPoint) -> EcPoint {
+        self.to_affine(&self.jac_add(&self.to_jacobian(p), &self.to_jacobian(q)))
+    }
+
+    /// Point negation.
+    pub fn neg(&self, p: &EcPoint) -> EcPoint {
+        match p.xy() {
+            None => EcPoint::infinity(),
+            Some((x, y)) => {
+                let ny = if y.is_zero() { BigUint::zero() } else { &self.params.p - y };
+                EcPoint::affine(x.clone(), ny)
+            }
+        }
+    }
+
+    /// Scalar multiplication `k·P` with a 4-bit window.
+    pub fn scalar_mul(&self, p: &EcPoint, k: &BigUint) -> EcPoint {
+        let k = k % &self.params.n;
+        if k.is_zero() || p.is_infinity() {
+            return EcPoint::infinity();
+        }
+        let base = self.to_jacobian(p);
+        // Table of 0·P .. 15·P.
+        let f = &self.fp;
+        let inf = Jacobian { x: f.one_elem(), y: f.one_elem(), z: f.zero_elem() };
+        let mut table = Vec::with_capacity(16);
+        table.push(inf);
+        table.push(base.clone());
+        for i in 2..16usize {
+            let prev = self.jac_add(&table[i - 1], &base);
+            table.push(prev);
+        }
+        let bits = k.bits();
+        let mut acc: Option<Jacobian> = None;
+        let mut i = bits;
+        while i > 0 {
+            let take = if i % 4 == 0 { 4 } else { i % 4 };
+            let mut window = 0usize;
+            for t in 0..take {
+                window = window << 1 | k.bit(i - 1 - t) as usize;
+            }
+            acc = Some(match acc {
+                None => table[window].clone(),
+                Some(mut a) => {
+                    for _ in 0..take {
+                        a = self.jac_double(&a);
+                    }
+                    if window != 0 {
+                        a = self.jac_add(&a, &table[window]);
+                    }
+                    a
+                }
+            });
+            i -= take;
+        }
+        self.to_affine(&acc.expect("nonzero scalar"))
+    }
+
+    /// Fixed-base scalar multiplication `k·G` via a lazily built comb
+    /// table: one Jacobian addition per 4 scalar bits, no doublings.
+    pub fn scalar_mul_gen(&self, k: &BigUint) -> EcPoint {
+        let table = self.gen_table.get_or_init(|| {
+            let rows = self.params.n.bits().div_ceil(4);
+            let f = &self.fp;
+            let inf = Jacobian { x: f.one_elem(), y: f.one_elem(), z: f.zero_elem() };
+            let Element::Ec(gen) = &self.generator else { unreachable!() };
+            let mut base = self.to_jacobian(gen);
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let mut row = Vec::with_capacity(16);
+                row.push(inf.clone());
+                for d in 1..16 {
+                    let prev = self.jac_add(&row[d - 1], &base);
+                    row.push(prev);
+                }
+                base = self.jac_add(&row[15], &base);
+                out.push(row);
+            }
+            out
+        });
+        let k = k % &self.params.n;
+        let f = &self.fp;
+        let mut acc = Jacobian { x: f.one_elem(), y: f.one_elem(), z: f.zero_elem() };
+        for (i, row) in table.iter().enumerate() {
+            let mut window = 0usize;
+            for b in 0..4 {
+                window |= (k.bit(4 * i + b) as usize) << b;
+            }
+            if window != 0 {
+                acc = self.jac_add(&acc, &row[window]);
+            }
+        }
+        self.to_affine(&acc)
+    }
+
+    /// SEC1 compressed encoding (`0x02/0x03 || x`); infinity is all zeros.
+    pub fn encode(&self, p: &EcPoint) -> Vec<u8> {
+        let mut out = vec![0u8; self.element_len];
+        let Some((x, y)) = p.xy() else { return out };
+        out[0] = if y.is_even() { 0x02 } else { 0x03 };
+        let xb = x.to_bytes_be();
+        out[self.element_len - xb.len()..].copy_from_slice(&xb);
+        out
+    }
+
+    /// Decodes a compressed point, recovering `y` by Tonelli–Shanks.
+    pub fn decode(&self, bytes: &[u8]) -> Result<EcPoint, DecodeElementError> {
+        if bytes.len() != self.element_len {
+            return Err(DecodeElementError { reason: "wrong length" });
+        }
+        match bytes[0] {
+            0x00 => {
+                if bytes.iter().all(|&b| b == 0) {
+                    Ok(EcPoint::infinity())
+                } else {
+                    Err(DecodeElementError { reason: "bad infinity encoding" })
+                }
+            }
+            tag @ (0x02 | 0x03) => {
+                let x = BigUint::from_bytes_be(&bytes[1..]);
+                if x >= self.params.p {
+                    return Err(DecodeElementError { reason: "x out of range" });
+                }
+                // y² = x³ + ax + b
+                let f = &self.fp;
+                let xm = f.enter(&x);
+                let rhs = f.madd(
+                    &f.madd(&f.mmul(&f.msqr(&xm), &xm), &f.mmul(&self.a_m, &xm)),
+                    &f.enter(&self.params.b),
+                );
+                let rhs = f.leave(&rhs);
+                let y = modular::sqrt_mod_prime(&rhs, &self.params.p)
+                    .ok_or(DecodeElementError { reason: "x not on curve" })?;
+                let want_odd = tag == 0x03;
+                let y = if y.is_odd() == want_odd { y } else { &self.params.p - &y };
+                Ok(EcPoint::affine(x, y))
+            }
+            _ => Err(DecodeElementError { reason: "bad tag byte" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups() -> Vec<EcGroup> {
+        vec![
+            EcGroup::new(CurveParams::secp160r1()),
+            EcGroup::new(CurveParams::secp224r1()),
+            EcGroup::new(CurveParams::secp256r1()),
+        ]
+    }
+
+    fn gen_point(g: &EcGroup) -> EcPoint {
+        let Element::Ec(p) = g.generator().clone() else { unreachable!() };
+        p
+    }
+
+    #[test]
+    fn base_points_on_curve() {
+        for g in groups() {
+            assert!(g.is_on_curve(&gen_point(&g)), "{}", g.params().name);
+        }
+    }
+
+    #[test]
+    fn order_annihilates_generator() {
+        for g in groups() {
+            let n = g.order().clone();
+            let p = g.scalar_mul(&gen_point(&g), &n);
+            assert!(p.is_infinity(), "{}", g.params().name);
+            // (n-1)·G = -G
+            let n1 = n.checked_sub(&BigUint::one()).unwrap();
+            assert_eq!(
+                g.scalar_mul(&gen_point(&g), &n1),
+                g.neg(&gen_point(&g)),
+                "{}",
+                g.params().name
+            );
+        }
+    }
+
+    #[test]
+    fn small_multiples_consistent() {
+        for g in groups() {
+            let p = gen_point(&g);
+            let two_p = g.add(&p, &p);
+            assert_eq!(g.scalar_mul(&p, &BigUint::from(2u64)), two_p);
+            let three_p = g.add(&two_p, &p);
+            assert_eq!(g.scalar_mul(&p, &BigUint::from(3u64)), three_p);
+            assert!(g.is_on_curve(&two_p) && g.is_on_curve(&three_p));
+            // 5P = 2P + 3P
+            assert_eq!(
+                g.scalar_mul(&p, &BigUint::from(5u64)),
+                g.add(&two_p, &three_p)
+            );
+        }
+    }
+
+    #[test]
+    fn addition_identities() {
+        let g = EcGroup::new(CurveParams::secp160r1());
+        let p = gen_point(&g);
+        let inf = EcPoint::infinity();
+        assert_eq!(g.add(&p, &inf), p);
+        assert_eq!(g.add(&inf, &p), p);
+        assert!(g.add(&p, &g.neg(&p)).is_infinity());
+        assert!(g.add(&inf, &inf).is_infinity());
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let g = EcGroup::new(CurveParams::secp160r1());
+        let p = gen_point(&g);
+        let a = BigUint::from(123_456_789u64);
+        let b = BigUint::from(987_654_321u64);
+        let lhs = g.scalar_mul(&p, &(&a + &b));
+        let rhs = g.add(&g.scalar_mul(&p, &a), &g.scalar_mul(&p, &b));
+        assert_eq!(lhs, rhs);
+        // (ab)·P == a·(b·P)
+        let ab = g.scalar_mul(&p, &(&a * &b));
+        let a_bp = g.scalar_mul(&g.scalar_mul(&p, &b), &a);
+        assert_eq!(ab, a_bp);
+    }
+
+    #[test]
+    fn p256_known_answer_2g() {
+        // 2·G on P-256 (public test vector).
+        let g = EcGroup::new(CurveParams::secp256r1());
+        let two_g = g.scalar_mul(&gen_point(&g), &BigUint::from(2u64));
+        let (x, y) = two_g.xy().unwrap();
+        assert_eq!(
+            format!("{x:x}"),
+            "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978"
+        );
+        assert_eq!(
+            format!("{y:x}"),
+            "7775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1"
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for g in groups() {
+            for k in [1u64, 2, 12345, 999_999_999] {
+                let p = g.scalar_mul(&gen_point(&g), &BigUint::from(k));
+                let enc = g.encode(&p);
+                assert_eq!(g.decode(&enc).unwrap(), p, "{} k={k}", g.params().name);
+            }
+            let inf_enc = g.encode(&EcPoint::infinity());
+            assert!(g.decode(&inf_enc).unwrap().is_infinity());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let g = EcGroup::new(CurveParams::secp160r1());
+        assert!(g.decode(&[]).is_err());
+        let mut bad = g.encode(&gen_point(&g));
+        bad[0] = 0x07;
+        assert!(g.decode(&bad).is_err());
+        // x ≡ p (out of range)
+        let mut oob = vec![0x02u8];
+        oob.extend_from_slice(&g.params().p.to_bytes_be());
+        assert!(g.decode(&oob).is_err());
+    }
+
+    #[test]
+    fn off_curve_point_detected() {
+        let g = EcGroup::new(CurveParams::secp160r1());
+        let p = EcPoint::affine(BigUint::from(5u64), BigUint::from(5u64));
+        assert!(!g.is_on_curve(&p));
+    }
+}

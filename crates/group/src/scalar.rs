@@ -1,0 +1,37 @@
+//! Exponent scalars modulo the group order `q`.
+
+use ppgr_bigint::BigUint;
+use std::fmt;
+
+/// An exponent in `Z_q`, where `q` is the order of the enclosing [`Group`].
+///
+/// `Scalar`s are created and combined through [`Group`] methods (which know
+/// `q`); the type itself is a thin, always-reduced wrapper.
+///
+/// [`Group`]: crate::Group
+#[derive(Clone, Eq, PartialEq, Hash)]
+pub struct Scalar(pub(crate) BigUint);
+
+impl Scalar {
+    /// The canonical representative in `[0, q)`.
+    pub fn value(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Returns `true` for the zero scalar.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+}
+
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scalar(0x{:x})", self.0)
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the group abstraction: the group laws must
+//! hold for random elements and scalars in both families.
+
+use ppgr_bigint::BigUint;
+use ppgr_group::{Group, GroupKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn element_from_seed(g: &Group, seed: u64) -> ppgr_group::Element {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = g.random_scalar(&mut rng);
+    g.exp_gen(&s)
+}
+
+fn check_group_laws(g: &Group, s1: u64, s2: u64, s3: u64) {
+    let a = element_from_seed(g, s1);
+    let b = element_from_seed(g, s2);
+    let c = element_from_seed(g, s3);
+    // Associativity and commutativity (the group is abelian).
+    assert_eq!(g.op(&g.op(&a, &b), &c), g.op(&a, &g.op(&b, &c)));
+    assert_eq!(g.op(&a, &b), g.op(&b, &a));
+    // Identity and inverses.
+    assert_eq!(g.op(&a, &g.identity()), a);
+    assert!(g.is_identity(&g.op(&a, &g.inv(&a))));
+    // Exponent laws.
+    let x = g.scalar_from(&BigUint::from(s1 | 1));
+    let y = g.scalar_from(&BigUint::from(s2 | 1));
+    let lhs = g.exp(&a, &g.scalar_add(&x, &y));
+    let rhs = g.op(&g.exp(&a, &x), &g.exp(&a, &y));
+    assert_eq!(lhs, rhs, "a^(x+y) = a^x · a^y");
+    let lhs = g.exp(&g.exp(&a, &x), &y);
+    let rhs = g.exp(&a, &g.scalar_mul(&x, &y));
+    assert_eq!(lhs, rhs, "(a^x)^y = a^(xy)");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn ecc160_group_laws(s1 in 1u64.., s2 in 1u64.., s3 in 1u64..) {
+        check_group_laws(&GroupKind::Ecc160.group(), s1, s2, s3);
+    }
+
+    #[test]
+    fn dl1024_group_laws(s1 in 1u64.., s2 in 1u64.., s3 in 1u64..) {
+        check_group_laws(&GroupKind::Dl1024.group(), s1, s2, s3);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_random_elements(seed in 0u64..1000, dl in any::<bool>()) {
+        let g = if dl { GroupKind::Dl1024.group() } else { GroupKind::Ecc224.group() };
+        let e = element_from_seed(&g, seed);
+        let enc = g.encode(&e);
+        prop_assert_eq!(enc.len(), g.element_len());
+        prop_assert_eq!(g.decode(&enc).unwrap(), e);
+    }
+
+    #[test]
+    fn scalar_field_laws(a in 1u64.., b in 1u64.., c in 1u64..) {
+        let g = GroupKind::Ecc160.group();
+        let (a, b, c) = (g.scalar_from_u64(a), g.scalar_from_u64(b), g.scalar_from_u64(c));
+        // Distributivity in Z_q.
+        let lhs = g.scalar_mul(&a, &g.scalar_add(&b, &c));
+        let rhs = g.scalar_add(&g.scalar_mul(&a, &b), &g.scalar_mul(&a, &c));
+        prop_assert_eq!(lhs, rhs);
+        // Inverse.
+        if !a.is_zero() {
+            let inv = g.scalar_inv(&a).unwrap();
+            prop_assert_eq!(g.scalar_mul(&a, &inv), g.scalar_from_u64(1));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! RFC 5869 HKDF with SHA-256.
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: expands a pseudorandom key to `len` output bytes.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (RFC 5869 limit).
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "HKDF output limit exceeded");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut msg = t.clone();
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        t = block.to_vec();
+        out.extend_from_slice(&block);
+        counter += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Full HKDF: extract-then-expand.
+pub fn hkdf_sha256(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    hkdf_expand(&hkdf_extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_hex;
+
+    // RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            to_hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            to_hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0b; 22];
+        let okm = hkdf_sha256(&[], &ikm, &[], 42);
+        assert_eq!(
+            to_hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_multi_block_and_truncation() {
+        let prk = hkdf_extract(b"salt", b"ikm");
+        let long = hkdf_expand(&prk, b"ctx", 100);
+        assert_eq!(long.len(), 100);
+        // Prefix property: shorter outputs are prefixes of longer ones.
+        let short = hkdf_expand(&prk, b"ctx", 33);
+        assert_eq!(&long[..33], &short[..]);
+        // Different info → different stream.
+        assert_ne!(hkdf_expand(&prk, b"other", 33), short);
+    }
+
+    #[test]
+    #[should_panic(expected = "HKDF output limit")]
+    fn expand_over_limit_panics() {
+        let prk = [0u8; 32];
+        let _ = hkdf_expand(&prk, b"", 255 * 32 + 1);
+    }
+}

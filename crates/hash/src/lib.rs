@@ -1,0 +1,40 @@
+//! SHA-256, HMAC-SHA-256, HKDF and a hash-based DRBG, from scratch.
+//!
+//! The allowed dependency set for this reproduction contains no hash crate,
+//! so the few places in `ppgr` that need hashing get it from here:
+//!
+//! * deterministic, seedable randomness for reproducible experiments
+//!   ([`HashDrbg`] implements [`rand::RngCore`]);
+//! * key derivation for the secure-channel model ([`hkdf_sha256`]);
+//! * the optional Fiat–Shamir (non-interactive) variant of the Schnorr
+//!   proof in `ppgr-zkp` ([`sha256`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ppgr_hash::{sha256, to_hex};
+//!
+//! let digest = sha256(b"abc");
+//! assert_eq!(
+//!     to_hex(&digest),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drbg;
+mod hkdf;
+mod hmac;
+mod sha256;
+
+pub use drbg::HashDrbg;
+pub use hkdf::{hkdf_expand, hkdf_extract, hkdf_sha256};
+pub use hmac::{hmac_sha256, HmacSha256};
+pub use sha256::{sha256, Sha256};
+
+/// Hex-encodes a byte slice (lowercase), convenience for tests and logs.
+pub fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

@@ -1,0 +1,240 @@
+//! A crossbeam-channel full mesh for thread-per-party executions.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::error::Error;
+use std::fmt;
+
+/// Error from mesh operations.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum MeshError {
+    /// Target party id out of range.
+    UnknownParty(usize),
+    /// The peer hung up (its handle was dropped).
+    Disconnected {
+        /// The peer that is gone.
+        peer: usize,
+    },
+    /// A party tried to message itself.
+    SelfMessage,
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::UnknownParty(p) => write!(f, "unknown party {p}"),
+            MeshError::Disconnected { peer } => write!(f, "party {peer} disconnected"),
+            MeshError::SelfMessage => write!(f, "a party cannot message itself"),
+        }
+    }
+}
+
+impl Error for MeshError {}
+
+/// One party's endpoint in the mesh.
+///
+/// Channels model the paper's pairwise secure channels: each ordered pair
+/// of parties gets its own FIFO lane, so `recv_from` is deterministic per
+/// sender.
+#[derive(Debug)]
+pub struct PartyHandle<T> {
+    id: usize,
+    n: usize,
+    /// `senders[j]` sends to party `j` (`None` at our own index).
+    senders: Vec<Option<Sender<T>>>,
+    /// `receivers[j]` receives from party `j`.
+    receivers: Vec<Option<Receiver<T>>>,
+}
+
+impl<T> PartyHandle<T> {
+    /// This party's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of parties in the mesh.
+    pub fn parties(&self) -> usize {
+        self.n
+    }
+
+    /// Sends `message` to party `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::SelfMessage`], [`MeshError::UnknownParty`], or
+    /// [`MeshError::Disconnected`] if the peer's handle was dropped.
+    pub fn send(&self, to: usize, message: T) -> Result<(), MeshError> {
+        if to == self.id {
+            return Err(MeshError::SelfMessage);
+        }
+        let sender = self
+            .senders
+            .get(to)
+            .ok_or(MeshError::UnknownParty(to))?
+            .as_ref()
+            .expect("non-self entries are populated");
+        sender
+            .send(message)
+            .map_err(|_| MeshError::Disconnected { peer: to })
+    }
+
+    /// Blocks until a message from party `from` arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::SelfMessage`], [`MeshError::UnknownParty`], or
+    /// [`MeshError::Disconnected`] if the peer hung up with no queued
+    /// messages.
+    pub fn recv_from(&self, from: usize) -> Result<T, MeshError> {
+        if from == self.id {
+            return Err(MeshError::SelfMessage);
+        }
+        let receiver = self
+            .receivers
+            .get(from)
+            .ok_or(MeshError::UnknownParty(from))?
+            .as_ref()
+            .expect("non-self entries are populated");
+        receiver
+            .recv()
+            .map_err(|_| MeshError::Disconnected { peer: from })
+    }
+
+    /// Broadcasts clones of `message` to every other party.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first send failure.
+    pub fn broadcast(&self, message: &T) -> Result<(), MeshError>
+    where
+        T: Clone,
+    {
+        for to in 0..self.n {
+            if to != self.id {
+                self.send(to, message.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Receives one message from every other party, in party order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first receive failure.
+    pub fn gather(&self) -> Result<Vec<(usize, T)>, MeshError> {
+        let mut out = Vec::with_capacity(self.n - 1);
+        for from in 0..self.n {
+            if from != self.id {
+                out.push((from, self.recv_from(from)?));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Constructs a full mesh of `n` parties.
+#[derive(Debug)]
+pub struct LocalMesh;
+
+impl LocalMesh {
+    /// Builds handles for `n` parties; hand one to each thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new<T>(n: usize) -> Vec<PartyHandle<T>> {
+        assert!(n > 0, "mesh needs at least one party");
+        // channel[i][j] carries i → j.
+        let mut txs: Vec<Vec<Option<Sender<T>>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut rxs: Vec<Vec<Option<Receiver<T>>>> = (0..n).map(|_| Vec::new()).collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    txs[i].push(None);
+                    rxs[j].push(None);
+                } else {
+                    let (tx, rx) = unbounded();
+                    txs[i].push(Some(tx));
+                    rxs[j].push(Some(rx));
+                }
+            }
+        }
+        // rxs[j][i] currently holds the receiver for i → j at position i —
+        // but we pushed in i-major order, so rxs[j] was filled at index i
+        // only when the outer loop visited i. Reorder: rxs[j] is indexed by
+        // sender already because we push exactly once per (i, j) pair in
+        // ascending i. Sanity: each rxs[j] has n entries after the loops.
+        txs.into_iter()
+            .zip(rxs)
+            .enumerate()
+            .map(|(id, (senders, receivers))| PartyHandle { id, n, senders, receivers })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_send_recv() {
+        let mut handles = LocalMesh::new::<u32>(3);
+        let h2 = handles.pop().unwrap();
+        let h1 = handles.pop().unwrap();
+        let h0 = handles.pop().unwrap();
+        h0.send(1, 42).unwrap();
+        h2.send(1, 7).unwrap();
+        assert_eq!(h1.recv_from(0).unwrap(), 42);
+        assert_eq!(h1.recv_from(2).unwrap(), 7);
+    }
+
+    #[test]
+    fn per_sender_fifo_ordering() {
+        let handles = LocalMesh::new::<u32>(2);
+        let (h0, h1) = {
+            let mut it = handles.into_iter();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        for v in 0..10 {
+            h0.send(1, v).unwrap();
+        }
+        for v in 0..10 {
+            assert_eq!(h1.recv_from(0).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_gather_across_threads() {
+        let n = 4;
+        let handles = LocalMesh::new::<String>(n);
+        let joined: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                thread::spawn(move || {
+                    h.broadcast(&format!("hello from {}", h.id())).unwrap();
+                    let got = h.gather().unwrap();
+                    assert_eq!(got.len(), n - 1);
+                    for (from, msg) in got {
+                        assert_eq!(msg, format!("hello from {from}"));
+                    }
+                })
+            })
+            .collect();
+        for j in joined {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut handles = LocalMesh::new::<u8>(2);
+        let h1 = handles.pop().unwrap();
+        let h0 = handles.pop().unwrap();
+        assert_eq!(h0.send(0, 1), Err(MeshError::SelfMessage));
+        assert_eq!(h0.send(9, 1), Err(MeshError::UnknownParty(9)));
+        drop(h1);
+        assert_eq!(h0.send(1, 1), Err(MeshError::Disconnected { peer: 1 }));
+        assert_eq!(h0.recv_from(1), Err(MeshError::Disconnected { peer: 1 }));
+    }
+}

@@ -1,0 +1,131 @@
+//! Traffic accounting shared by all protocol executions.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Party identifier: `0` is the initiator, `1..=n` are participants.
+pub type PartyId = usize;
+
+/// One recorded wire message.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct TrafficRecord {
+    /// Logical round (messages in the same round may be concurrent;
+    /// consecutive rounds are barrier-ordered).
+    pub round: u32,
+    /// Sender.
+    pub from: PartyId,
+    /// Receiver.
+    pub to: PartyId,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Protocol phase label (for reporting).
+    pub phase: &'static str,
+}
+
+/// A thread-safe log of protocol traffic.
+///
+/// Cloning shares the log (`Arc` internally), so one log can be handed to
+/// every party of a threaded execution.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficLog {
+    inner: Arc<Mutex<Vec<TrafficRecord>>>,
+}
+
+impl TrafficLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message.
+    pub fn record(&self, round: u32, from: PartyId, to: PartyId, bytes: usize, phase: &'static str) {
+        self.inner
+            .lock()
+            .push(TrafficRecord { round, from, to, bytes, phase });
+    }
+
+    /// Snapshot of all records, in insertion order.
+    pub fn records(&self) -> Vec<TrafficRecord> {
+        self.inner.lock().clone()
+    }
+
+    /// Clears the log.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Aggregated view.
+    pub fn summary(&self) -> TrafficSummary {
+        let records = self.inner.lock();
+        let mut by_party: BTreeMap<PartyId, u64> = BTreeMap::new();
+        let mut by_phase: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut max_round = 0;
+        let mut total = 0u64;
+        for r in records.iter() {
+            total += r.bytes as u64;
+            *by_party.entry(r.from).or_default() += r.bytes as u64;
+            *by_phase.entry(r.phase).or_default() += r.bytes as u64;
+            max_round = max_round.max(r.round);
+        }
+        TrafficSummary {
+            messages: records.len() as u64,
+            total_bytes: total,
+            rounds: if records.is_empty() { 0 } else { max_round + 1 },
+            bytes_sent_by_party: by_party,
+            bytes_by_phase: by_phase,
+        }
+    }
+}
+
+/// Aggregate statistics over a [`TrafficLog`].
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct TrafficSummary {
+    /// Total number of messages.
+    pub messages: u64,
+    /// Total payload bytes.
+    pub total_bytes: u64,
+    /// Number of logical rounds observed.
+    pub rounds: u32,
+    /// Bytes sent, keyed by sending party.
+    pub bytes_sent_by_party: BTreeMap<PartyId, u64>,
+    /// Bytes per protocol phase.
+    pub bytes_by_phase: BTreeMap<&'static str, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let log = TrafficLog::new();
+        log.record(0, 1, 2, 100, "setup");
+        log.record(0, 2, 1, 50, "setup");
+        log.record(1, 1, 0, 25, "submit");
+        let s = log.summary();
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.total_bytes, 175);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.bytes_sent_by_party[&1], 125);
+        assert_eq!(s.bytes_by_phase["setup"], 150);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let log = TrafficLog::new();
+        let log2 = log.clone();
+        log2.record(0, 0, 1, 10, "x");
+        assert_eq!(log.summary().messages, 1);
+        log.clear();
+        assert_eq!(log2.summary().messages, 0);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = TrafficLog::new().summary();
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.rounds, 0);
+        assert!(s.bytes_sent_by_party.is_empty());
+    }
+}

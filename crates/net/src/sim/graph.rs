@@ -1,0 +1,218 @@
+//! Random connected topologies and shortest-path routing.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An undirected multigraph-free topology with uniform links.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    nodes: usize,
+    /// Edge list, each `(a, b)` with `a < b`.
+    edges: Vec<(usize, usize)>,
+    /// Adjacency: `adj[v]` = list of `(neighbour, edge_index)`.
+    adj: Vec<Vec<(usize, usize)>>,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, duplicate edges, or out-of-range endpoints.
+    pub fn from_edges(nodes: usize, edges: Vec<(usize, usize)>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let mut adj = vec![Vec::new(); nodes];
+        let mut normalized = Vec::with_capacity(edges.len());
+        for (idx, &(a, b)) in edges.iter().enumerate() {
+            assert!(a != b, "self-loop at node {a}");
+            assert!(a < nodes && b < nodes, "edge endpoint out of range");
+            let key = (a.min(b), a.max(b));
+            assert!(seen.insert(key), "duplicate edge {key:?}");
+            normalized.push(key);
+            adj[a].push((b, idx));
+            adj[b].push((a, idx));
+        }
+        Topology { nodes, edges: normalized, adj }
+    }
+
+    /// The paper's construction: a connected random graph with `nodes`
+    /// vertices and exactly `edges` edges (a random spanning tree plus
+    /// random extra edges — equivalent to deleting edges from the complete
+    /// graph while preserving connectivity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges < nodes − 1` (cannot be connected) or more edges
+    /// than the complete graph are requested.
+    pub fn random_connected(nodes: usize, edges: usize, seed: u64) -> Self {
+        assert!(nodes >= 2, "need at least two nodes");
+        assert!(edges >= nodes - 1, "too few edges for connectivity");
+        assert!(edges <= nodes * (nodes - 1) / 2, "more edges than complete graph");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Random spanning tree over a shuffled node order.
+        let mut order: Vec<usize> = (0..nodes).collect();
+        order.shuffle(&mut rng);
+        let mut edge_set = std::collections::HashSet::new();
+        let mut edge_list = Vec::with_capacity(edges);
+        for i in 1..nodes {
+            let parent = order[rng.gen_range(0..i)];
+            let child = order[i];
+            let key = (parent.min(child), parent.max(child));
+            edge_set.insert(key);
+            edge_list.push(key);
+        }
+        // Random extra edges.
+        while edge_list.len() < edges {
+            let a = rng.gen_range(0..nodes);
+            let b = rng.gen_range(0..nodes);
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if edge_set.insert(key) {
+                edge_list.push(key);
+            }
+        }
+        Topology::from_edges(nodes, edge_list)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Endpoints of edge `idx`.
+    pub fn edge(&self, idx: usize) -> (usize, usize) {
+        self.edges[idx]
+    }
+
+    /// Returns `true` if every node can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &(w, _) in &self.adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.nodes
+    }
+
+    /// Minimum-hop route from `src` to `dst` as a list of edge indices
+    /// (Dijkstra over unit weights — links are uniform in the paper's
+    /// setup). Returns `None` if unreachable.
+    pub fn route(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let mut dist = vec![usize::MAX; self.nodes];
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; self.nodes]; // (node, edge)
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0;
+        heap.push(Reverse((0usize, src)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > dist[v] {
+                continue;
+            }
+            if v == dst {
+                break;
+            }
+            for &(w, e) in &self.adj[v] {
+                if d + 1 < dist[w] {
+                    dist[w] = d + 1;
+                    prev[w] = Some((v, e));
+                    heap.push(Reverse((d + 1, w)));
+                }
+            }
+        }
+        if dist[dst] == usize::MAX {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let (p, e) = prev[cur].expect("path reconstruction");
+            path.push(e);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_is_connected_with_exact_edges() {
+        let t = Topology::random_connected(80, 320, 7);
+        assert_eq!(t.nodes(), 80);
+        assert_eq!(t.edge_count(), 320);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Topology::random_connected(20, 40, 1);
+        let b = Topology::random_connected(20, 40, 1);
+        let c = Topology::random_connected(20, 40, 2);
+        assert_eq!(a.edges, b.edges);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn spanning_tree_minimum() {
+        let t = Topology::random_connected(10, 9, 3);
+        assert!(t.is_connected());
+        assert_eq!(t.edge_count(), 9);
+    }
+
+    #[test]
+    fn route_on_line_graph() {
+        // 0 - 1 - 2 - 3
+        let t = Topology::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let r = t.route(0, 3).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(t.route(2, 2).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn route_prefers_shortcut() {
+        // Ring with a chord.
+        let t = Topology::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        assert_eq!(t.route(0, 2).unwrap().len(), 1);
+        assert_eq!(t.route(1, 4).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn disconnected_route_is_none() {
+        let t = Topology::from_edges(4, vec![(0, 1), (2, 3)]);
+        assert!(!t.is_connected());
+        assert!(t.route(0, 3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edges_rejected() {
+        let _ = Topology::from_edges(3, vec![(0, 1), (1, 0)]);
+    }
+}

@@ -1,0 +1,259 @@
+//! FIFO store-and-forward queueing over a [`Topology`].
+
+use super::graph::Topology;
+use crate::metrics::{PartyId, TrafficLog};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Link and transport parameters (paper defaults: 2 Mbps, 50 ms, TCP).
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Link bandwidth in bits per second (each direction — duplex).
+    pub bandwidth_bps: f64,
+    /// One-way per-link propagation delay in seconds.
+    pub latency_s: f64,
+    /// Per-segment protocol overhead in bytes (TCP/IP headers).
+    pub header_bytes: usize,
+    /// Maximum segment payload in bytes (Ethernet MSS).
+    pub mss_bytes: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            bandwidth_bps: 2_000_000.0,
+            latency_s: 0.050,
+            header_bytes: 40,
+            mss_bytes: 1460,
+        }
+    }
+}
+
+/// One message of a trace round.
+#[derive(Clone, Debug)]
+pub struct TraceMessage {
+    /// Sending party.
+    pub from: PartyId,
+    /// Receiving party.
+    pub to: PartyId,
+    /// Payload bytes.
+    pub bytes: usize,
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Wall-clock completion time in seconds.
+    pub completion_s: f64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Total bytes on the wire including protocol headers, summed over
+    /// every traversed link (counts congestion-relevant load).
+    pub link_bytes: u64,
+    /// Largest per-round delivery time observed (the slowest barrier).
+    pub slowest_round_s: f64,
+}
+
+/// The simulator: a topology plus a placement of protocol parties onto
+/// nodes.
+#[derive(Clone, Debug)]
+pub struct NetworkSim {
+    topology: Topology,
+    config: SimConfig,
+    /// `placement[party]` = topology node hosting that party.
+    placement: Vec<usize>,
+}
+
+impl NetworkSim {
+    /// Places `parties` parties on distinct random nodes of `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more parties than nodes.
+    pub fn new(topology: Topology, parties: usize, config: SimConfig, seed: u64) -> Self {
+        assert!(parties <= topology.nodes(), "more parties than nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nodes: Vec<usize> = (0..topology.nodes()).collect();
+        nodes.shuffle(&mut rng);
+        nodes.truncate(parties);
+        NetworkSim { topology, config, placement: nodes }
+    }
+
+    /// The paper's Fig. 3(b) setup: 80 nodes, 320 edges, 2 Mbps / 50 ms.
+    pub fn paper_setup(parties: usize, seed: u64) -> Self {
+        let topo = Topology::random_connected(80, 320, seed);
+        NetworkSim::new(topo, parties, SimConfig::default(), seed.wrapping_add(1))
+    }
+
+    /// Node hosting `party`.
+    pub fn node_of(&self, party: PartyId) -> usize {
+        self.placement[party]
+    }
+
+    /// Bytes on the wire for a payload, including per-segment headers.
+    fn wire_bytes(&self, payload: usize) -> usize {
+        let segments = payload.div_ceil(self.config.mss_bytes).max(1);
+        payload + segments * self.config.header_bytes
+    }
+
+    /// Plays a round-barrier trace: all messages of round `k+1` start only
+    /// after every message of round `k` has been delivered (this models
+    /// the lockstep structure of both frameworks; the shuffle-decrypt
+    /// chain appears as `n` single-message rounds).
+    ///
+    /// Within a round, messages contend for links in FIFO order of
+    /// arrival; each hop costs serialization (`bytes·8 / bandwidth`) plus
+    /// propagation latency, per direction of the duplex link.
+    pub fn simulate(&self, rounds: &[Vec<TraceMessage>]) -> SimReport {
+        // next_free[edge][direction]: earliest time the link half is idle.
+        let mut next_free = vec![[0.0f64; 2]; self.topology.edge_count()];
+        let mut clock = 0.0f64;
+        let mut messages = 0u64;
+        let mut link_bytes = 0u64;
+        let mut slowest_round = 0.0f64;
+
+        for round in rounds {
+            let round_start = clock;
+            let mut round_end = round_start;
+            for msg in round {
+                if msg.from == msg.to {
+                    continue;
+                }
+                let src = self.placement[msg.from];
+                let dst = self.placement[msg.to];
+                let path = self
+                    .topology
+                    .route(src, dst)
+                    .expect("topology is connected");
+                let bytes = self.wire_bytes(msg.bytes);
+                let tx_time = bytes as f64 * 8.0 / self.config.bandwidth_bps;
+                let mut t = round_start;
+                let mut prev_node = src;
+                for &edge in &path {
+                    let (a, b) = self.topology.edge(edge);
+                    let next_node = if prev_node == a { b } else { a };
+                    let dir = usize::from(prev_node != a);
+                    // Wait for the link half, serialize, propagate.
+                    let start = t.max(next_free[edge][dir]);
+                    let done_tx = start + tx_time;
+                    next_free[edge][dir] = done_tx;
+                    t = done_tx + self.config.latency_s;
+                    link_bytes += bytes as u64;
+                    prev_node = next_node;
+                }
+                debug_assert_eq!(prev_node, dst);
+                round_end = round_end.max(t);
+                messages += 1;
+            }
+            slowest_round = slowest_round.max(round_end - round_start);
+            clock = round_end;
+        }
+        SimReport { completion_s: clock, messages, link_bytes, slowest_round_s: slowest_round }
+    }
+
+    /// Converts a [`TrafficLog`] into a round-barrier trace and simulates
+    /// it.
+    pub fn simulate_log(&self, log: &TrafficLog) -> SimReport {
+        let records = log.records();
+        let max_round = records.iter().map(|r| r.round).max().map_or(0, |r| r + 1);
+        let mut rounds: Vec<Vec<TraceMessage>> = vec![Vec::new(); max_round as usize];
+        for r in records {
+            rounds[r.round as usize].push(TraceMessage { from: r.from, to: r.to, bytes: r.bytes });
+        }
+        self.simulate(&rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_sim() -> NetworkSim {
+        // Two nodes, one link; parties 0 and 1 on the two nodes.
+        let topo = Topology::from_edges(2, vec![(0, 1)]);
+        NetworkSim::new(topo, 2, SimConfig::default(), 1)
+    }
+
+    #[test]
+    fn single_message_time_is_tx_plus_latency() {
+        let sim = line_sim();
+        let report = sim.simulate(&[vec![TraceMessage { from: 0, to: 1, bytes: 1000 }]]);
+        // 1000 payload + 1 header(40) = 1040 B → 8320 bits / 2 Mbps = 4.16 ms; + 50 ms.
+        let expect = 8320.0 / 2_000_000.0 + 0.050;
+        assert!((report.completion_s - expect).abs() < 1e-9, "{}", report.completion_s);
+        assert_eq!(report.messages, 1);
+    }
+
+    #[test]
+    fn same_direction_messages_queue() {
+        let sim = line_sim();
+        let msg = TraceMessage { from: 0, to: 1, bytes: 1000 };
+        let one = sim.simulate(&[vec![msg.clone()]]).completion_s;
+        let two = sim.simulate(&[vec![msg.clone(), msg.clone()]]).completion_s;
+        // Second message waits for serialization of the first, but latency overlaps.
+        let tx = 8320.0 / 2_000_000.0;
+        assert!((two - (one + tx)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplex_directions_do_not_contend() {
+        let sim = line_sim();
+        let a = TraceMessage { from: 0, to: 1, bytes: 1000 };
+        let b = TraceMessage { from: 1, to: 0, bytes: 1000 };
+        let both = sim.simulate(&[vec![a.clone(), b]]).completion_s;
+        let alone = sim.simulate(&[vec![a]]).completion_s;
+        assert!((both - alone).abs() < 1e-12, "duplex halves are independent");
+    }
+
+    #[test]
+    fn rounds_are_barriers() {
+        let sim = line_sim();
+        let msg = TraceMessage { from: 0, to: 1, bytes: 1000 };
+        let one_round = sim.simulate(&[vec![msg.clone(), msg.clone()]]).completion_s;
+        let two_rounds = sim.simulate(&[vec![msg.clone()], vec![msg.clone()]]).completion_s;
+        // Across a barrier, latency cannot be overlapped → strictly slower.
+        assert!(two_rounds > one_round);
+    }
+
+    #[test]
+    fn multi_hop_accumulates_latency() {
+        let topo = Topology::from_edges(3, vec![(0, 1), (1, 2)]);
+        let mut sim = NetworkSim::new(topo, 3, SimConfig::default(), 1);
+        // Force placement party i → node i for determinism.
+        sim.placement = vec![0, 1, 2];
+        let r = sim.simulate(&[vec![TraceMessage { from: 0, to: 2, bytes: 100 }]]);
+        let tx = (100.0 + 40.0) * 8.0 / 2_000_000.0;
+        let expect = 2.0 * (tx + 0.050);
+        assert!((r.completion_s - expect).abs() < 1e-9);
+        assert_eq!(r.link_bytes, 2 * 140);
+    }
+
+    #[test]
+    fn paper_setup_runs() {
+        let sim = NetworkSim::paper_setup(25, 7);
+        let trace = vec![vec![TraceMessage { from: 0, to: 24, bytes: 4096 }]];
+        let r = sim.simulate(&trace);
+        assert!(r.completion_s > 0.05, "at least one hop of latency");
+        assert!(r.completion_s < 5.0, "sane upper bound");
+    }
+
+    #[test]
+    fn simulate_log_round_grouping() {
+        let sim = line_sim();
+        let log = TrafficLog::new();
+        log.record(0, 0, 1, 500, "a");
+        log.record(1, 1, 0, 500, "b");
+        let r = sim.simulate_log(&log);
+        assert_eq!(r.messages, 2);
+        assert!(r.slowest_round_s > 0.0);
+    }
+
+    #[test]
+    fn segmentation_overhead_counted() {
+        let sim = line_sim();
+        // 3000 B payload → 3 segments → 120 B headers.
+        let r = sim.simulate(&[vec![TraceMessage { from: 0, to: 1, bytes: 3000 }]]);
+        assert_eq!(r.link_bytes, 3120);
+    }
+}

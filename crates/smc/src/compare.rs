@@ -1,0 +1,225 @@
+//! Secure comparison on shared `l`-bit integers.
+//!
+//! Constant-rounds masked comparison in the style of Nishide–Ohta /
+//! Damgård et al.: to compare `[a] ≥ [b]`, form `[d] = 2^l + [a] − [b]`,
+//! mask it with a bitwise-known random `[r]`, open `e = d + r`, and
+//! recover bit `l` of `d` from the public `e` and the shared bits of `r`
+//! with a linear-round prefix-OR circuit. The opened value is
+//! statistically hidden with security `κ =` [`STATISTICAL_SECURITY`].
+//!
+//! This is the comparison primitive that powers the runnable SS-framework
+//! baseline; the *analytical* cost model in [`crate::cost`] charges the
+//! paper's published Nishide–Ohta counts instead (see DESIGN.md §3).
+
+use crate::engine::{Shared, SsEngine};
+use ppgr_bigint::BigUint;
+
+/// Statistical hiding parameter `κ` for masked openings.
+pub const STATISTICAL_SECURITY: usize = 40;
+
+/// Generates `count` shared random bits.
+pub fn random_bits(engine: &mut SsEngine, count: usize) -> Vec<Shared> {
+    (0..count).map(|_| engine.random_bit()).collect()
+}
+
+/// Bitwise less-than `[e < r]` between a *public* value `e` and a shared
+/// value given by its bits `[r_i]` (LSB first).
+///
+/// Uses a sequential prefix-OR over the XOR bits; the XOR with a public
+/// bit and the final selection are both linear, so the cost is exactly
+/// `len − 1` multiplications.
+pub fn bitwise_lt_public(engine: &mut SsEngine, e: &BigUint, r_bits: &[Shared]) -> Shared {
+    let field = engine.field().clone();
+    let len = r_bits.len();
+    // x_i = e_i XOR r_i, linear because e_i is public.
+    let xor_bits: Vec<Shared> = (0..len)
+        .map(|i| {
+            if e.bit(i) {
+                // 1 - r_i
+                let neg = engine.mul_public(&r_bits[i], &(-field.one()));
+                engine.add_public(&neg, &field.one())
+            } else {
+                r_bits[i].clone()
+            }
+        })
+        .collect();
+    // Prefix OR from the MSB: s_i = OR(x_{len-1} … x_i).
+    let mut prefix: Vec<Shared> = vec![engine.constant_u64(0); len + 1];
+    for i in (0..len).rev() {
+        // s_i = s_{i+1} + x_i − s_{i+1}·x_i
+        let prod = engine.mul(&prefix[i + 1], &xor_bits[i]);
+        let sum = engine.add(&prefix[i + 1], &xor_bits[i]);
+        prefix[i] = engine.sub(&sum, &prod);
+    }
+    // f_i = s_i − s_{i+1} marks the most significant differing bit;
+    // e < r exactly when the differing bit of e is 0: Σ_{e_i=0} f_i.
+    let mut result = engine.constant_u64(0);
+    for i in 0..len {
+        if !e.bit(i) {
+            let f_i = engine.sub(&prefix[i], &prefix[i + 1]);
+            result = engine.add(&result, &f_i);
+        }
+    }
+    result
+}
+
+/// Secure comparison `[a ≥ b]` for shared values known to be `< 2^l`.
+///
+/// Returns a sharing of the indicator bit.
+///
+/// # Panics
+///
+/// Panics if the field is too small for the masked opening
+/// (`l + κ + 2` bits required).
+pub fn cmp_ge(engine: &mut SsEngine, a: &Shared, b: &Shared, l: usize) -> Shared {
+    let field = engine.field().clone();
+    assert!(
+        l + STATISTICAL_SECURITY + 2 < field.bits(),
+        "field too small for masked comparison at l = {l}"
+    );
+    // d = 2^l + a − b ∈ (0, 2^{l+1});   d ≥ 2^l ⇔ a ≥ b.
+    let two_l = field.element(BigUint::power_of_two(l));
+    let d = engine.add_public(&engine.sub(a, b), &two_l);
+
+    // Bitwise-known random mask r of l + κ + 1 bits.
+    let mask_bits = l + STATISTICAL_SECURITY + 1;
+    let r_bits = random_bits(engine, mask_bits);
+    let mut r = engine.constant_u64(0);
+    for (i, bit) in r_bits.iter().enumerate() {
+        let scaled = engine.mul_public(bit, &field.element(BigUint::power_of_two(i)));
+        r = engine.add(&r, &scaled);
+    }
+
+    // Open e = d + r; statistically hides d.
+    let e = engine.open(&engine.add(&d, &r));
+    let e_int = e.value().clone();
+
+    // u = [e mod 2^l < r mod 2^l]  (borrow bit of the low-l subtraction).
+    let e_low = &e_int % &BigUint::power_of_two(l);
+    let u = bitwise_lt_public(engine, &e_low, &r_bits[..l]);
+
+    // [d mod 2^l] = e_low − [r mod 2^l] + 2^l·[u]
+    let mut r_low = engine.constant_u64(0);
+    for (i, bit) in r_bits[..l].iter().enumerate() {
+        let scaled = engine.mul_public(bit, &field.element(BigUint::power_of_two(i)));
+        r_low = engine.add(&r_low, &scaled);
+    }
+    let d_low = {
+        let t = engine.sub(&engine.constant(&field.element(e_low)), &r_low);
+        let shifted_u = engine.mul_public(&u, &two_l);
+        engine.add(&t, &shifted_u)
+    };
+
+    // [a ≥ b] = ([d] − [d mod 2^l]) / 2^l  ∈ {0, 1}.
+    let diff = engine.sub(&d, &d_low);
+    let inv_2l = two_l.inv().expect("2^l invertible");
+    engine.mul_public(&diff, &inv_2l)
+}
+
+/// Secure strict comparison `[a < b]` (complement of [`cmp_ge`]).
+pub fn cmp_lt(engine: &mut SsEngine, a: &Shared, b: &Shared, l: usize) -> Shared {
+    let field = engine.field().clone();
+    let ge = cmp_ge(engine, a, b, l);
+    let neg = engine.mul_public(&ge, &(-field.one()));
+    engine.add_public(&neg, &field.one())
+}
+
+/// Secure equality `[a = b]` via two comparisons (`a ≥ b ∧ b ≥ a`).
+pub fn cmp_eq(engine: &mut SsEngine, a: &Shared, b: &Shared, l: usize) -> Shared {
+    let ge = cmp_ge(engine, a, b, l);
+    let le = cmp_ge(engine, b, a, l);
+    engine.mul(&ge, &le)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SsEngine {
+        SsEngine::new(5, 2, 7).unwrap()
+    }
+
+    fn check_ge(e: &mut SsEngine, a: u64, b: u64, l: usize) {
+        let f = e.field().clone();
+        let sa = e.input(&f.from_u64(a));
+        let sb = e.input(&f.from_u64(b));
+        let c = cmp_ge(e, &sa, &sb, l);
+        let expect = if a >= b { f.one() } else { f.zero() };
+        assert_eq!(e.open(&c), expect, "a={a} b={b} l={l}");
+    }
+
+    #[test]
+    fn comparison_small_exhaustive() {
+        let mut e = engine();
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                check_ge(&mut e, a, b, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_boundary_values() {
+        let mut e = engine();
+        let l = 16;
+        let max = (1u64 << l) - 1;
+        for (a, b) in [(0, 0), (0, max), (max, 0), (max, max), (max / 2, max / 2 + 1)] {
+            check_ge(&mut e, a, b, l);
+        }
+    }
+
+    #[test]
+    fn comparison_wide_values() {
+        let mut e = engine();
+        check_ge(&mut e, 0xdead_beef, 0xcafe_babe, 32);
+        check_ge(&mut e, 0xcafe_babe, 0xdead_beef, 32);
+        check_ge(&mut e, (1 << 52) - 1, 1 << 51, 53);
+    }
+
+    #[test]
+    fn lt_and_eq() {
+        let mut e = engine();
+        let f = e.field().clone();
+        let a = e.input(&f.from_u64(9));
+        let b = e.input(&f.from_u64(12));
+        let lt = cmp_lt(&mut e, &a, &b, 5);
+        assert_eq!(e.open(&lt), f.one());
+        let eq = cmp_eq(&mut e, &a, &b, 5);
+        assert_eq!(e.open(&eq), f.zero());
+        let a2 = e.input(&f.from_u64(9));
+        let eq2 = cmp_eq(&mut e, &a, &a2, 5);
+        assert_eq!(e.open(&eq2), f.one());
+    }
+
+    #[test]
+    fn bitwise_lt_public_matches_integer_lt() {
+        let mut e = engine();
+        let f = e.field().clone();
+        for r in [0u64, 1, 7, 8, 12, 15] {
+            // Share the bits of r.
+            let bits: Vec<Shared> = (0..4)
+                .map(|i| e.input(&f.from_u64(r >> i & 1)))
+                .collect();
+            for pubv in [0u64, 3, 7, 11, 12, 15] {
+                let lt = bitwise_lt_public(&mut e, &BigUint::from(pubv), &bits);
+                let expect = if pubv < r { f.one() } else { f.zero() };
+                assert_eq!(e.open(&lt), expect, "pub={pubv} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_cost_scales_with_l() {
+        let mut e = engine();
+        let f = e.field().clone();
+        let a = e.input(&f.from_u64(5));
+        let b = e.input(&f.from_u64(3));
+        e.reset_metrics();
+        let _ = cmp_ge(&mut e, &a, &b, 8);
+        let m8 = e.metrics().multiplications;
+        e.reset_metrics();
+        let _ = cmp_ge(&mut e, &a, &b, 32);
+        let m32 = e.metrics().multiplications;
+        assert!(m32 > m8, "larger l must cost more mults ({m8} vs {m32})");
+    }
+}

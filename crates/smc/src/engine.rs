@@ -1,0 +1,391 @@
+//! A synchronous `n`-party Shamir/BGW execution engine.
+//!
+//! The engine holds every party's share of every live secret and executes
+//! the protocol in lockstep, which is the standard way to test MPC
+//! arithmetic without real networking. All communication a real deployment
+//! would perform is *accounted* in [`SsMetrics`] (share distributions,
+//! openings, multiplication resharings, rounds) so the benchmark harness
+//! can charge honest traffic numbers to the SS baseline.
+
+use crate::shamir::{lagrange_at_zero, share_secret};
+use ppgr_bigint::{modular, BigUint, Fp, FpCtx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error type for engine operations.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum SsError {
+    /// `n`, `t` violate `n ≥ 2t + 1` (BGW degree reduction needs it).
+    BadThreshold {
+        /// Parties.
+        n: usize,
+        /// Corruption threshold.
+        t: usize,
+    },
+    /// An opened value was expected to be a bit/bounded but was not —
+    /// indicates mixing shares from different engines.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsError::BadThreshold { n, t } => {
+                write!(f, "invalid threshold: need n >= 2t+1, got n={n}, t={t}")
+            }
+            SsError::Corrupt(what) => write!(f, "inconsistent share state: {what}"),
+        }
+    }
+}
+
+impl Error for SsError {}
+
+/// A secret shared among the engine's parties (degree ≤ t polynomial).
+#[derive(Clone, Debug)]
+pub struct Shared {
+    /// Share of party `i` at index `i` (evaluation point `i+1`).
+    pub(crate) shares: Vec<Fp>,
+}
+
+/// Communication/computation accounting for a protocol run.
+#[derive(Clone, Debug, Default, Eq, PartialEq)]
+pub struct SsMetrics {
+    /// BGW multiplications executed.
+    pub multiplications: u64,
+    /// Secrets opened (each costs one all-to-all round).
+    pub openings: u64,
+    /// Fresh sharings distributed (input sharing + resharing).
+    pub sharings: u64,
+    /// Communication rounds (sequential message exchanges).
+    pub rounds: u64,
+    /// Field elements sent point-to-point, in total across all parties.
+    pub field_elements_sent: u64,
+}
+
+/// The synchronous engine: `n` parties, corruption threshold `t`,
+/// `n ≥ 2t+1`.
+#[derive(Debug)]
+pub struct SsEngine {
+    field: Arc<FpCtx>,
+    n: usize,
+    t: usize,
+    rng: StdRng,
+    lagrange_full: Vec<Fp>,
+    metrics: SsMetrics,
+}
+
+impl SsEngine {
+    /// Creates an engine over the default 256-bit field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsError::BadThreshold`] unless `n ≥ 2t + 1`.
+    pub fn new(n: usize, t: usize, seed: u64) -> Result<Self, SsError> {
+        let prime = BigUint::from_hex_str(
+            "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff43",
+        )
+        .expect("vetted constant");
+        Self::with_field(FpCtx::new(prime), n, t, seed)
+    }
+
+    /// Creates an engine over a caller-supplied field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsError::BadThreshold`] unless `n ≥ 2t + 1`.
+    pub fn with_field(field: Arc<FpCtx>, n: usize, t: usize, seed: u64) -> Result<Self, SsError> {
+        if n < 2 * t + 1 {
+            return Err(SsError::BadThreshold { n, t });
+        }
+        let points: Vec<u64> = (1..=n as u64).collect();
+        let lagrange_full =
+            lagrange_at_zero(&field, &points).expect("distinct nonzero points");
+        Ok(SsEngine { field, n, t, rng: StdRng::seed_from_u64(seed), lagrange_full, metrics: SsMetrics::default() })
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &Arc<FpCtx> {
+        &self.field
+    }
+
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.n
+    }
+
+    /// Corruption threshold `t`.
+    pub fn threshold(&self) -> usize {
+        self.t
+    }
+
+    /// Accumulated cost metrics.
+    pub fn metrics(&self) -> &SsMetrics {
+        &self.metrics
+    }
+
+    /// Resets the metric counters (e.g. between benchmark phases).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = SsMetrics::default();
+    }
+
+    /// A party contributes `secret` as a fresh sharing (one round: the
+    /// dealer sends one share to each other party).
+    pub fn input(&mut self, secret: &Fp) -> Shared {
+        let shares = share_secret(&self.field, secret, self.t, self.n, &mut self.rng);
+        self.metrics.sharings += 1;
+        self.metrics.rounds += 1;
+        self.metrics.field_elements_sent += self.n as u64 - 1;
+        Shared { shares: shares.into_iter().map(|s| s.value).collect() }
+    }
+
+    /// Shares a public constant (no communication: the constant polynomial).
+    pub fn constant(&self, value: &Fp) -> Shared {
+        Shared { shares: vec![value.clone(); self.n] }
+    }
+
+    /// Embeds a public `u64` constant.
+    pub fn constant_u64(&self, value: u64) -> Shared {
+        self.constant(&self.field.from_u64(value))
+    }
+
+    /// `[a] + [b]` — local, free.
+    pub fn add(&self, a: &Shared, b: &Shared) -> Shared {
+        Shared { shares: a.shares.iter().zip(&b.shares).map(|(x, y)| x + y).collect() }
+    }
+
+    /// `[a] − [b]` — local, free.
+    pub fn sub(&self, a: &Shared, b: &Shared) -> Shared {
+        Shared { shares: a.shares.iter().zip(&b.shares).map(|(x, y)| x - y).collect() }
+    }
+
+    /// `[a] + c` for public `c` — local, free.
+    pub fn add_public(&self, a: &Shared, c: &Fp) -> Shared {
+        Shared { shares: a.shares.iter().map(|x| x + c).collect() }
+    }
+
+    /// `c·[a]` for public `c` — local, free.
+    pub fn mul_public(&self, a: &Shared, c: &Fp) -> Shared {
+        Shared { shares: a.shares.iter().map(|x| x * c).collect() }
+    }
+
+    /// BGW multiplication `[a]·[b]` with Gennaro–Rabin–Rabin degree
+    /// reduction: each party multiplies locally (degree `2t`), reshares the
+    /// product share with degree `t`, and everyone recombines with the
+    /// public Lagrange coefficients.
+    pub fn mul(&mut self, a: &Shared, b: &Shared) -> Shared {
+        // Local products, degree-2t sharing of a·b.
+        let products: Vec<Fp> =
+            a.shares.iter().zip(&b.shares).map(|(x, y)| x * y).collect();
+        // Each party reshares its product share (degree t).
+        let resharings: Vec<Vec<Fp>> = products
+            .iter()
+            .map(|p| {
+                share_secret(&self.field, p, self.t, self.n, &mut self.rng)
+                    .into_iter()
+                    .map(|s| s.value)
+                    .collect()
+            })
+            .collect();
+        // Party j's new share: Σ_i λ_i · subshare_{i→j}.
+        let shares: Vec<Fp> = (0..self.n)
+            .map(|j| {
+                let mut acc = self.field.zero();
+                for (i, lambda) in self.lagrange_full.iter().enumerate() {
+                    acc = &acc + &(&resharings[i][j] * lambda);
+                }
+                acc
+            })
+            .collect();
+        self.metrics.multiplications += 1;
+        self.metrics.sharings += self.n as u64;
+        self.metrics.rounds += 1;
+        self.metrics.field_elements_sent += (self.n * (self.n - 1)) as u64;
+        Shared { shares }
+    }
+
+    /// Opens `[a]` to all parties (all-to-all share broadcast).
+    pub fn open(&mut self, a: &Shared) -> Fp {
+        self.metrics.openings += 1;
+        self.metrics.rounds += 1;
+        self.metrics.field_elements_sent += (self.n * (self.n - 1)) as u64;
+        let mut acc = self.field.zero();
+        for (share, lambda) in a.shares.iter().zip(&self.lagrange_full) {
+            acc = &acc + &(share * lambda);
+        }
+        acc
+    }
+
+    /// Joint random shared value: every party contributes a sharing of a
+    /// random element; the sum is uniform and unknown to any coalition of
+    /// `≤ t` parties.
+    pub fn random(&mut self) -> Shared {
+        // All n dealer rounds happen in parallel → one round.
+        let mut acc = self.constant(&self.field.zero());
+        for _ in 0..self.n {
+            let r = self.field.random(&mut self.rng);
+            let sh = share_secret(&self.field, &r, self.t, self.n, &mut self.rng);
+            let shared = Shared { shares: sh.into_iter().map(|s| s.value).collect() };
+            acc = self.add(&acc, &shared);
+        }
+        self.metrics.sharings += self.n as u64;
+        self.metrics.rounds += 1;
+        self.metrics.field_elements_sent += (self.n * (self.n - 1)) as u64;
+        acc
+    }
+
+    /// Joint random shared *bit* via the `r²` trick: sample `[r]`, open
+    /// `c = r²`, retry on zero, and output `(r/√c + 1)/2 ∈ {0, 1}`.
+    pub fn random_bit(&mut self) -> Shared {
+        loop {
+            let r = self.random();
+            let r2 = self.mul(&r, &r);
+            let c = self.open(&r2);
+            if c.is_zero() {
+                continue;
+            }
+            let root = modular::sqrt_mod_prime(c.value(), self.field.modulus())
+                .expect("square always has a root");
+            // Canonical root choice: the even representative, so all parties
+            // agree deterministically.
+            let root = if root.is_even() {
+                root
+            } else {
+                self.field.modulus().checked_sub(&root).expect("root < p")
+            };
+            let root_inv = self
+                .field
+                .element(root)
+                .inv()
+                .expect("nonzero root");
+            // b = (r·root⁻¹ + 1) / 2
+            let half = self
+                .field
+                .from_u64(2)
+                .inv()
+                .expect("2 invertible in odd field");
+            let signed = self.mul_public(&r, &root_inv);
+            let shifted = self.add_public(&signed, &self.field.one());
+            return self.mul_public(&shifted, &half);
+        }
+    }
+
+    /// Direct RNG access for protocol-level sampling.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SsEngine {
+        SsEngine::new(7, 3, 42).unwrap()
+    }
+
+    #[test]
+    fn threshold_validation() {
+        assert!(SsEngine::new(7, 3, 1).is_ok());
+        assert_eq!(
+            SsEngine::new(6, 3, 1).unwrap_err(),
+            SsError::BadThreshold { n: 6, t: 3 }
+        );
+    }
+
+    #[test]
+    fn input_open_round_trip() {
+        let mut e = engine();
+        let secret = e.field().from_u64(777);
+        let sh = e.input(&secret);
+        assert_eq!(e.open(&sh), secret);
+    }
+
+    #[test]
+    fn linear_ops() {
+        let mut e = engine();
+        let f = e.field().clone();
+        let a = e.input(&f.from_u64(100));
+        let b = e.input(&f.from_u64(30));
+        assert_eq!(e.open(&e.add(&a, &b)), f.from_u64(130));
+        assert_eq!(e.open(&e.sub(&a, &b)), f.from_u64(70));
+        assert_eq!(e.open(&e.add_public(&a, &f.from_u64(5))), f.from_u64(105));
+        assert_eq!(e.open(&e.mul_public(&a, &f.from_u64(3))), f.from_u64(300));
+        let c = e.constant_u64(9);
+        assert_eq!(e.open(&c), f.from_u64(9));
+    }
+
+    #[test]
+    fn bgw_multiplication() {
+        let mut e = engine();
+        let f = e.field().clone();
+        let a = e.input(&f.from_i128(-12));
+        let b = e.input(&f.from_u64(12));
+        let ab = e.mul(&a, &b);
+        assert_eq!(e.open(&ab).to_i128_centered(), Some(-144));
+        assert_eq!(e.metrics().multiplications, 1);
+    }
+
+    #[test]
+    fn multiplication_chain_keeps_degree_bounded() {
+        // Repeated mults would blow up the degree without reduction; ten in
+        // a row must still reconstruct from t+1 shares.
+        let mut e = engine();
+        let f = e.field().clone();
+        let two = e.input(&f.from_u64(2));
+        let mut acc = e.constant(&f.one());
+        for _ in 0..10 {
+            acc = e.mul(&acc, &two);
+        }
+        assert_eq!(e.open(&acc), f.from_u64(1024));
+        // Degree check: reconstruct from only t+1 = 4 shares.
+        let f4: Vec<u64> = (1..=4).collect();
+        let lambdas = crate::shamir::lagrange_at_zero(&f, &f4).unwrap();
+        let mut v = f.zero();
+        for (i, l) in lambdas.iter().enumerate() {
+            v = &v + &(&acc.shares[i] * l);
+        }
+        assert_eq!(v, f.from_u64(1024));
+    }
+
+    #[test]
+    fn random_bit_is_binary_and_varies() {
+        let mut e = engine();
+        let f = e.field().clone();
+        let mut seen = [false; 2];
+        for _ in 0..20 {
+            let b = e.random_bit();
+            let v = e.open(&b);
+            assert!(v == f.zero() || v == f.one(), "non-binary bit {v:?}");
+            seen[if v.is_zero() { 0 } else { 1 }] = true;
+        }
+        assert!(seen[0] && seen[1], "both bit values should occur in 20 draws");
+    }
+
+    #[test]
+    fn random_values_are_uniformish() {
+        let mut e = engine();
+        let a = e.random();
+        let b = e.random();
+        assert_ne!(e.open(&a), e.open(&b));
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut e = engine();
+        let f = e.field().clone();
+        let a = e.input(&f.one());
+        let b = e.input(&f.one());
+        let _ = e.mul(&a, &b);
+        let _ = e.open(&a);
+        let m = e.metrics().clone();
+        assert_eq!(m.multiplications, 1);
+        assert_eq!(m.openings, 1);
+        assert!(m.rounds >= 4);
+        assert!(m.field_elements_sent > 0);
+        e.reset_metrics();
+        assert_eq!(e.metrics(), &SsMetrics::default());
+    }
+}

@@ -1,0 +1,43 @@
+//! The secret-sharing baseline ("SS framework") the paper compares against.
+//!
+//! The paper's evaluation pits its ElGamal-based framework against a
+//! Shamir-secret-sharing stack: Nishide–Ohta-style comparison primitives
+//! embedded in Jónsson et al.'s sorting network. This crate provides that
+//! baseline twice over:
+//!
+//! * a **runnable** implementation — [`SsEngine`] simulates `n` parties
+//!   holding Shamir shares and executes BGW multiplication with
+//!   Gennaro–Rabin–Rabin degree reduction, joint coin flipping, shared
+//!   random bits, a constant-rounds masked comparison, and a Batcher
+//!   odd-even merge-sort network ([`sort`]) — used for correctness tests
+//!   and small-`n` timing;
+//! * an **analytical cost model** ([`cost`]) charging the paper's published
+//!   counts (`279l+5` multiplication invocations per `l`-bit comparison,
+//!   `O(n (log n)²)` comparisons for the sorting network, `O(n·t·log n)`
+//!   integer multiplications per BGW multiplication) — used to regenerate
+//!   the SS curves of Fig. 2/3 at the paper's scales.
+//!
+//! # Example
+//!
+//! ```
+//! use ppgr_smc::sort::ss_group_rank;
+//!
+//! // 5 parties rank their private 8-bit values without revealing them.
+//! let values = vec![17u64, 250, 3, 17, 99];
+//! let ranks = ss_group_rank(&values, 8, 7).expect("valid parameters");
+//! // Non-increasing rank order: 250 first, 3 last.
+//! assert_eq!(ranks[1], 1);
+//! assert_eq!(ranks[2], 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod cost;
+mod engine;
+mod shamir;
+pub mod sort;
+
+pub use engine::{Shared, SsEngine, SsError, SsMetrics};
+pub use shamir::{reconstruct, share_secret, Share};

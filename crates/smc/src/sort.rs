@@ -1,0 +1,332 @@
+//! Oblivious sorting on shared values: a Batcher odd-even merge-sort
+//! network with secure compare-exchange, standing in for the Jónsson et
+//! al. sorting protocol the paper uses as the SS-framework baseline
+//! (same `O(n (log n)²)` comparator asymptotics).
+
+use crate::compare::cmp_lt;
+use crate::engine::{Shared, SsEngine, SsError};
+use ppgr_bigint::BigUint;
+
+/// A shared record: a sort key plus an opaque payload that travels with it
+/// (the framework uses the party identity as payload).
+#[derive(Clone, Debug)]
+pub struct SharedRecord {
+    /// The sort key (an `l`-bit value).
+    pub key: Shared,
+    /// The payload moved together with the key.
+    pub payload: Shared,
+}
+
+/// Generates the comparator network of Batcher's odd-even merge sort for
+/// `n = 2^k` wires. Each pair `(i, j)` with `i < j` orders wire `i` before
+/// wire `j`.
+pub fn batcher_network(n: usize) -> Vec<(usize, usize)> {
+    assert!(n.is_power_of_two(), "Batcher network needs a power of two");
+    let mut comparators = Vec::new();
+    let mut p = 1;
+    while p < n {
+        let mut k = p;
+        while k >= 1 {
+            for j in (k % p..n - k).step_by(2 * k) {
+                for i in 0..k.min(n - j - k) {
+                    if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                        comparators.push((i + j, i + j + k));
+                    }
+                }
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+    comparators
+}
+
+/// Number of comparators in the network for `n` wires (after padding to a
+/// power of two) — the baseline's comparison count.
+pub fn comparator_count(n: usize) -> usize {
+    batcher_network(n.next_power_of_two()).len()
+}
+
+/// Obliviously sorts shared records by key, ascending.
+///
+/// Records are padded to a power of two with the public sentinel key
+/// `2^l` — strictly above every real (`< 2^l`) key, so no real record can
+/// be displaced past the truncation boundary by a tie with the padding.
+/// Comparisons therefore run at `l+1` bits. One comparison and three
+/// multiplications per comparator.
+pub fn oblivious_sort(
+    engine: &mut SsEngine,
+    mut records: Vec<SharedRecord>,
+    l: usize,
+) -> Vec<SharedRecord> {
+    let n = records.len();
+    if n <= 1 {
+        return records;
+    }
+    let field = engine.field().clone();
+    let padded = n.next_power_of_two();
+    let sentinel = field.element(BigUint::power_of_two(l));
+    while records.len() < padded {
+        records.push(SharedRecord {
+            key: engine.constant(&sentinel),
+            payload: engine.constant(&field.zero()),
+        });
+    }
+    for (i, j) in batcher_network(padded) {
+        let (lo, hi) = compare_exchange(engine, &records[i], &records[j], l + 1);
+        records[i] = lo;
+        records[j] = hi;
+    }
+    records.truncate(n);
+    records
+}
+
+/// Secure compare-exchange: returns `(min-record, max-record)` by key.
+///
+/// `c = [a.key < b.key]`; then `min = b + c·(a−b)` and `max = a + b − min`,
+/// with the payload multiplexed by the same bit.
+fn compare_exchange(
+    engine: &mut SsEngine,
+    a: &SharedRecord,
+    b: &SharedRecord,
+    l: usize,
+) -> (SharedRecord, SharedRecord) {
+    let c = cmp_lt(engine, &a.key, &b.key, l);
+
+    let key_diff = engine.sub(&a.key, &b.key);
+    let key_sel = engine.mul(&c, &key_diff);
+    let min_key = engine.add(&b.key, &key_sel);
+    let max_key = engine.sub(&engine.add(&a.key, &b.key), &min_key);
+
+    let pay_diff = engine.sub(&a.payload, &b.payload);
+    let pay_sel = engine.mul(&c, &pay_diff);
+    let min_pay = engine.add(&b.payload, &pay_sel);
+    let max_pay = engine.sub(&engine.add(&a.payload, &b.payload), &min_pay);
+
+    (
+        SharedRecord { key: min_key, payload: min_pay },
+        SharedRecord { key: max_key, payload: max_pay },
+    )
+}
+
+/// The SS-framework group-ranking service: party `j` contributes
+/// `values[j]` (an `l`-bit integer); returns each party's rank with rank 1
+/// for the *largest* value (the paper ranks by non-increasing gain).
+///
+/// This is what the paper's "SS framework" computes after the gain phase:
+/// the masked gains are fed into the sorting protocol and the sorted
+/// identity permutation is opened.
+///
+/// # Errors
+///
+/// Propagates [`SsError`] from engine construction (`n ≥ 2t+1` is chosen
+/// internally as `t = ⌊(n−1)/2⌋`).
+pub fn ss_group_rank(values: &[u64], l: usize, seed: u64) -> Result<Vec<usize>, SsError> {
+    let n = values.len();
+    // The engine needs at least 3 parties for t ≥ 1; tiny groups still work
+    // with t = 0 (no privacy, but degenerate cases should not error).
+    let t = if n >= 3 { (n - 1) / 2 } else { 0 };
+    let mut engine = SsEngine::with_metrics_seed(n.max(1), t, seed)?;
+    let field = engine.field().clone();
+
+    let records: Vec<SharedRecord> = values
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| SharedRecord {
+            key: engine.input(&field.from_u64(v)),
+            payload: engine.input(&field.from_u64(j as u64 + 1)),
+        })
+        .collect();
+
+    let sorted = oblivious_sort(&mut engine, records, l);
+
+    // Open the identity permutation (ascending by key) and convert to
+    // non-increasing ranks: the largest value gets rank 1.
+    let mut ranks = vec![0usize; n];
+    for (pos, record) in sorted.iter().enumerate() {
+        let id = engine.open(&record.payload);
+        let id = id.value().to_u64().expect("payload is a small index") as usize;
+        assert!((1..=n).contains(&id), "corrupt payload");
+        ranks[id - 1] = n - pos;
+    }
+    Ok(ranks)
+}
+
+impl SsEngine {
+    /// Constructor used by [`ss_group_rank`]; thin alias of
+    /// [`SsEngine::new`] kept separate so the sorting service can evolve
+    /// its seeding independently.
+    pub fn with_metrics_seed(n: usize, t: usize, seed: u64) -> Result<Self, SsError> {
+        SsEngine::new(n, t, seed)
+    }
+}
+
+/// Top-k selection on the SS baseline: sorts obliviously but opens only
+/// the identities of the `k` largest values, leaving every other
+/// position's identity and value shared (unopened).
+///
+/// This is what the paper's comparison target actually needs for group
+/// ranking (cf. the Burkhart–Dimitropoulos top-k discussion in Sec. II —
+/// their probabilistic construction is faster but "cannot be guaranteed
+/// to terminate with a correct result"; this one is exact).
+///
+/// Returns the 1-based party ids of the winners, best first.
+///
+/// # Errors
+///
+/// Propagates [`SsError`] from engine construction.
+pub fn ss_top_k(values: &[u64], l: usize, k: usize, seed: u64) -> Result<Vec<usize>, SsError> {
+    let n = values.len();
+    let k = k.min(n);
+    let t = if n >= 3 { (n - 1) / 2 } else { 0 };
+    let mut engine = SsEngine::new(n.max(1), t, seed)?;
+    let field = engine.field().clone();
+    let records: Vec<SharedRecord> = values
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| SharedRecord {
+            key: engine.input(&field.from_u64(v)),
+            payload: engine.input(&field.from_u64(j as u64 + 1)),
+        })
+        .collect();
+    let sorted = oblivious_sort(&mut engine, records, l);
+    // Open only the identities at the top-k positions (largest last in
+    // ascending order).
+    let mut winners = Vec::with_capacity(k);
+    for record in sorted.iter().rev().take(k) {
+        let id = engine.open(&record.payload);
+        winners.push(id.value().to_u64().expect("small index") as usize);
+    }
+    Ok(winners)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_sorts_all_permutations_of_4() {
+        // A comparator network sorts all inputs iff it sorts all 0/1
+        // sequences (0-1 principle) — test exhaustively for n = 4 and 8.
+        for n in [4usize, 8] {
+            let net = batcher_network(n);
+            for mask in 0u32..1 << n {
+                let mut v: Vec<u32> = (0..n).map(|i| mask >> i & 1).collect();
+                for &(i, j) in &net {
+                    if v[i] > v[j] {
+                        v.swap(i, j);
+                    }
+                }
+                assert!(v.windows(2).all(|w| w[0] <= w[1]), "n={n} mask={mask:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_count_matches_asymptotics() {
+        // Batcher: n/4 (log²n + log n) exactly for powers of two… just
+        // check known small values.
+        assert_eq!(comparator_count(2), 1);
+        assert_eq!(comparator_count(4), 5);
+        assert_eq!(comparator_count(8), 19);
+        assert_eq!(comparator_count(16), 63);
+    }
+
+    #[test]
+    fn oblivious_sort_orders_keys() {
+        let mut e = SsEngine::new(5, 2, 3).unwrap();
+        let f = e.field().clone();
+        let vals = [9u64, 1, 250, 4, 4, 77, 0];
+        let recs: Vec<SharedRecord> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| SharedRecord {
+                key: e.input(&f.from_u64(v)),
+                payload: e.input(&f.from_u64(i as u64)),
+            })
+            .collect();
+        let sorted = oblivious_sort(&mut e, recs, 8);
+        let opened: Vec<u64> = sorted
+            .iter()
+            .map(|r| e.open(&r.key).value().to_u64().unwrap())
+            .collect();
+        let mut expect = vals.to_vec();
+        expect.sort_unstable();
+        assert_eq!(opened, expect);
+    }
+
+    #[test]
+    fn group_rank_simple() {
+        let ranks = ss_group_rank(&[10, 40, 20, 30], 6, 9).unwrap();
+        assert_eq!(ranks, vec![4, 1, 3, 2]);
+    }
+
+    #[test]
+    fn group_rank_with_ties_is_a_permutation() {
+        let ranks = ss_group_rank(&[5, 5, 5], 4, 1).unwrap();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn group_rank_singleton_and_pair() {
+        assert_eq!(ss_group_rank(&[7], 4, 1).unwrap(), vec![1]);
+        assert_eq!(ss_group_rank(&[1, 2], 4, 1).unwrap(), vec![2, 1]);
+    }
+
+    #[test]
+    fn top_k_returns_best_first() {
+        let winners = ss_top_k(&[10, 40, 20, 30], 6, 2, 5).unwrap();
+        assert_eq!(winners, vec![2, 4]);
+        // k clamped to n.
+        let all = ss_top_k(&[1, 2], 4, 10, 5).unwrap();
+        assert_eq!(all, vec![2, 1]);
+    }
+
+    #[test]
+    fn top_k_opens_fewer_values_than_full_rank() {
+        // The privacy win: top-k opens k payloads instead of n.
+        let mut e_full = SsEngine::new(4, 1, 1).unwrap();
+        let mut e_topk = SsEngine::new(4, 1, 1).unwrap();
+        let f = e_full.field().clone();
+        let mk = |e: &mut SsEngine| -> Vec<SharedRecord> {
+            (0..4u64)
+                .map(|i| SharedRecord {
+                    key: e.input(&f.from_u64(i * 3)),
+                    payload: e.input(&f.from_u64(i + 1)),
+                })
+                .collect()
+        };
+        let r_full = mk(&mut e_full);
+        let r_topk = mk(&mut e_topk);
+        let s_full = oblivious_sort(&mut e_full, r_full, 4);
+        let s_topk = oblivious_sort(&mut e_topk, r_topk, 4);
+        e_full.reset_metrics();
+        e_topk.reset_metrics();
+        for r in &s_full {
+            let _ = e_full.open(&r.payload);
+        }
+        for r in s_topk.iter().rev().take(1) {
+            let _ = e_topk.open(&r.payload);
+        }
+        assert!(e_topk.metrics().openings < e_full.metrics().openings);
+    }
+
+    #[test]
+    fn metrics_scale_with_n() {
+        // More parties → more comparators → more multiplications; just
+        // check the engine counts something plausible for n = 4.
+        let mut e = SsEngine::new(5, 2, 3).unwrap();
+        let f = e.field().clone();
+        let recs: Vec<SharedRecord> = (0..4)
+            .map(|i| SharedRecord {
+                key: e.input(&f.from_u64(i)),
+                payload: e.input(&f.from_u64(i)),
+            })
+            .collect();
+        e.reset_metrics();
+        let _ = oblivious_sort(&mut e, recs, 4);
+        assert!(e.metrics().multiplications > 5 * 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! The paper's multi-verifier Schnorr extension (Sec. IV-E).
+//!
+//! One prover convinces `n` verifiers at once:
+//!
+//! 1. prover publishes `h = g^r`;
+//! 2. every verifier `j` publishes a challenge share `c_j`;
+//! 3. prover publishes `z = r + x·Σc_j mod q`;
+//! 4. every verifier checks `g^z = h·y^{Σc_j}`.
+//!
+//! Special soundness carries over: two accepting transcripts with the same
+//! commitment and different challenge *sums* yield the witness.
+
+use crate::schnorr::SchnorrTranscript;
+use ppgr_group::{Element, Group, Scalar};
+use rand::Rng;
+
+/// A complete multi-verifier transcript `(h, {c_j}, z)`.
+#[derive(Clone, Debug)]
+pub struct MultiVerifierTranscript {
+    /// Commitment `h = g^r`.
+    pub commitment: Element,
+    /// One challenge share per verifier.
+    pub challenges: Vec<Scalar>,
+    /// Response `z = r + x·Σc_j`.
+    pub response: Scalar,
+}
+
+/// Runs the whole multi-verifier protocol with honest verifier challenges
+/// drawn from `rng` (the HBC setting of the paper).
+///
+/// Returns the transcript each verifier observes.
+#[derive(Debug)]
+pub struct MultiVerifierProof;
+
+impl MultiVerifierProof {
+    /// Executes the protocol: `witness` is the prover's secret, `verifiers`
+    /// is the number of challenge shares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `verifiers == 0`.
+    pub fn run<R: Rng + ?Sized>(
+        group: &Group,
+        witness: &Scalar,
+        verifiers: usize,
+        rng: &mut R,
+    ) -> MultiVerifierTranscript {
+        assert!(verifiers > 0, "need at least one verifier");
+        let nonce = group.random_scalar(rng);
+        let commitment = group.exp_gen(&nonce);
+        let challenges: Vec<Scalar> = (0..verifiers).map(|_| group.random_scalar(rng)).collect();
+        let total = Self::challenge_sum(group, &challenges);
+        let response = group.scalar_add(&nonce, &group.scalar_mul(witness, &total));
+        MultiVerifierTranscript { commitment, challenges, response }
+    }
+
+    fn challenge_sum(group: &Group, challenges: &[Scalar]) -> Scalar {
+        let mut total = group.scalar_from_u64(0);
+        for c in challenges {
+            total = group.scalar_add(&total, c);
+        }
+        total
+    }
+}
+
+impl MultiVerifierTranscript {
+    /// A single verifier's check: `g^z = h·y^{Σc_j}`.
+    pub fn verify(&self, group: &Group, statement: &Element) -> bool {
+        self.as_single(group).verify(group, statement)
+    }
+
+    /// Collapses to an equivalent single-verifier transcript with
+    /// `c = Σc_j` (used for extraction and analysis).
+    pub fn as_single(&self, group: &Group) -> SchnorrTranscript {
+        SchnorrTranscript {
+            commitment: self.commitment.clone(),
+            challenge: MultiVerifierProof::challenge_sum(group, &self.challenges),
+            response: self.response.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schnorr::extract_witness;
+    use ppgr_group::GroupKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn completeness_many_verifiers() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = group.random_scalar(&mut rng);
+        let y = group.exp_gen(&x);
+        for n in [1usize, 2, 10, 25] {
+            let t = MultiVerifierProof::run(&group, &x, n, &mut rng);
+            assert_eq!(t.challenges.len(), n);
+            assert!(t.verify(&group, &y), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn wrong_statement_rejected() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(22);
+        let x = group.random_scalar(&mut rng);
+        let other = group.exp_gen(&group.scalar_add(&x, &group.scalar_from_u64(1)));
+        let t = MultiVerifierProof::run(&group, &x, 5, &mut rng);
+        assert!(!t.verify(&group, &other));
+    }
+
+    #[test]
+    fn extractor_works_on_collapsed_transcripts() {
+        // Rewind with the same nonce, fresh challenge shares.
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(23);
+        let x = group.random_scalar(&mut rng);
+        let y = group.exp_gen(&x);
+
+        let nonce = group.random_scalar(&mut rng);
+        let h = group.exp_gen(&nonce);
+        let mut run_with = |rng: &mut StdRng| {
+            let challenges: Vec<Scalar> = (0..4).map(|_| group.random_scalar(rng)).collect();
+            let total = challenges
+                .iter()
+                .fold(group.scalar_from_u64(0), |acc, c| group.scalar_add(&acc, c));
+            MultiVerifierTranscript {
+                commitment: h.clone(),
+                challenges,
+                response: group.scalar_add(&nonce, &group.scalar_mul(&x, &total)),
+            }
+        };
+        let t1 = run_with(&mut rng).as_single(&group);
+        let t2 = run_with(&mut rng).as_single(&group);
+        assert!(t1.verify(&group, &y) && t2.verify(&group, &y));
+        assert_eq!(extract_witness(&group, &t1, &t2), Some(x));
+    }
+}

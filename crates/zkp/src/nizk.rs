@@ -1,0 +1,80 @@
+//! Fiat–Shamir non-interactive Schnorr proof.
+//!
+//! The challenge is derived as `c = H(domain ‖ g ‖ y ‖ h)` with SHA-256.
+//! Not used by the interactive HBC framework, but provided so that
+//! applications built on this crate can run without a challenge round.
+
+use crate::schnorr::SchnorrTranscript;
+use ppgr_bigint::BigUint;
+use ppgr_group::{Element, Group, Scalar};
+use ppgr_hash::Sha256;
+use rand::Rng;
+
+/// Domain-separation tag for the Fiat–Shamir hash.
+const DOMAIN: &[u8] = b"ppgr/nizk/schnorr/v1";
+
+fn derive_challenge(group: &Group, statement: &Element, commitment: &Element) -> Scalar {
+    let mut h = Sha256::new();
+    h.update(DOMAIN);
+    h.update(&group.encode(group.generator()));
+    h.update(&group.encode(statement));
+    h.update(&group.encode(commitment));
+    let digest = h.finalize();
+    group.scalar_from(&BigUint::from_bytes_be(&digest))
+}
+
+/// Produces a non-interactive proof of knowledge of `witness = log_g y`.
+pub fn prove<R: Rng + ?Sized>(group: &Group, witness: &Scalar, rng: &mut R) -> SchnorrTranscript {
+    let statement = group.exp_gen(witness);
+    let nonce = group.random_scalar(rng);
+    let commitment = group.exp_gen(&nonce);
+    let challenge = derive_challenge(group, &statement, &commitment);
+    let response = group.scalar_add(&nonce, &group.scalar_mul(witness, &challenge));
+    SchnorrTranscript { commitment, challenge, response }
+}
+
+/// Verifies a non-interactive proof: recomputes the challenge and checks
+/// the Schnorr equation.
+pub fn verify(group: &Group, statement: &Element, proof: &SchnorrTranscript) -> bool {
+    let expected = derive_challenge(group, statement, &proof.commitment);
+    expected == proof.challenge && proof.verify(group, statement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppgr_group::GroupKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(31);
+        let x = group.random_scalar(&mut rng);
+        let y = group.exp_gen(&x);
+        let proof = prove(&group, &x, &mut rng);
+        assert!(verify(&group, &y, &proof));
+    }
+
+    #[test]
+    fn proof_does_not_transfer_to_other_statement() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(32);
+        let x = group.random_scalar(&mut rng);
+        let proof = prove(&group, &x, &mut rng);
+        let other = group.exp_gen(&group.scalar_add(&x, &group.scalar_from_u64(1)));
+        assert!(!verify(&group, &other, &proof));
+    }
+
+    #[test]
+    fn challenge_tampering_detected() {
+        let group = GroupKind::Dl1024.group();
+        let mut rng = StdRng::seed_from_u64(33);
+        let x = group.random_scalar(&mut rng);
+        let y = group.exp_gen(&x);
+        let mut proof = prove(&group, &x, &mut rng);
+        proof.challenge = group.scalar_add(&proof.challenge, &group.scalar_from_u64(1));
+        assert!(!verify(&group, &y, &proof));
+    }
+}

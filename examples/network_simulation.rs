@@ -1,0 +1,45 @@
+//! Replays a real protocol run's traffic over the paper's NS2-style
+//! network (80 nodes, 320 edges, 2 Mbps duplex, 50 ms latency) and
+//! contrasts DL vs ECC completion times (the Fig. 3(b) effect).
+//!
+//! ```text
+//! cargo run --release --example network_simulation
+//! ```
+
+use ppgr::core::{FrameworkParams, GroupRanking, Questionnaire};
+use ppgr::group::GroupKind;
+use ppgr::net::sim::NetworkSim;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 5;
+    println!("running the real protocol (n={n}) in both groups and replaying its traffic…\n");
+    for kind in [GroupKind::Ecc160, GroupKind::Dl1024] {
+        let params = FrameworkParams::builder(Questionnaire::synthetic(1, 2))
+            .participants(n)
+            .top_k(2)
+            .attr_bits(6)
+            .weight_bits(3)
+            .mask_bits(6)
+            .group(kind)
+            .seed(5)
+            .build()?;
+        let runner = GroupRanking::new(params).with_random_population();
+        let log = runner.traffic_log();
+        let outcome = runner.run()?;
+
+        let sim = NetworkSim::paper_setup(n + 1, 42);
+        let report = sim.simulate_log(&log);
+        println!(
+            "{kind}: {} msgs, {:>10} payload bytes → network completion {:.2} s (slowest round {:.2} s)",
+            outcome.traffic().messages,
+            outcome.traffic().total_bytes,
+            report.completion_s,
+            report.slowest_round_s,
+        );
+    }
+    println!(
+        "\nsame protocol, same rounds — the DL run ships ~6× bigger ciphertexts, \
+         so serialization over 2 Mbps links dominates its completion time."
+    );
+    Ok(())
+}

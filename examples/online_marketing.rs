@@ -1,0 +1,88 @@
+//! The paper's motivating scenario (Sec. I): a health-and-nutrition
+//! company recruits trial-program participants from an online community
+//! without seeing the losers' private data.
+//!
+//! ```text
+//! cargo run --release --example online_marketing
+//! ```
+
+use ppgr::core::{
+    AttributeKind, CriterionVector, FrameworkParams, GroupRanking, InfoVector,
+    InitiatorProfile, Questionnaire, WeightVector,
+};
+use ppgr::group::GroupKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Questionnaire: the company wants people *around* age 45 with blood
+    // pressure *around* 120, and values many friends / high income
+    // (influence on the target demographic).
+    let q = Questionnaire::builder()
+        .attribute("age", AttributeKind::EqualTo)
+        .attribute("blood_pressure", AttributeKind::EqualTo)
+        .attribute("friends", AttributeKind::GreaterThan)
+        .attribute("income_k", AttributeKind::GreaterThan)
+        .build()?;
+
+    // The company's private criterion and weights. Canonical attribute
+    // order is: [age, blood_pressure, friends, income_k].
+    let profile = InitiatorProfile {
+        criterion: CriterionVector::new(&q, vec![45, 120, 0, 0], 9)?,
+        weights: WeightVector::new(&q, vec![5, 3, 2, 4], 3)?,
+    };
+
+    // Six community members and their private answers.
+    let people = [
+        ("alice", [44u64, 118, 210, 95]),
+        ("bob", [67, 150, 40, 120]),
+        ("carol", [46, 121, 180, 60]),
+        ("dave", [30, 115, 350, 45]),
+        ("erin", [45, 125, 90, 80]),
+        ("frank", [52, 135, 150, 110]),
+    ];
+    let infos: Vec<InfoVector> = people
+        .iter()
+        .map(|(_, vals)| InfoVector::new(&q, vals.to_vec(), 9))
+        .collect::<Result<_, _>>()?;
+
+    let params = FrameworkParams::builder(q)
+        .participants(people.len())
+        .top_k(2)
+        .attr_bits(9)
+        .weight_bits(3)
+        .mask_bits(8)
+        .group(GroupKind::Ecc160)
+        .seed(7)
+        .build()?;
+
+    println!(
+        "privacy-preserving trial-candidate selection: n={}, k={}, l={} bits\n",
+        params.participants(),
+        params.top_k(),
+        params.beta_bits()
+    );
+
+    let outcome = GroupRanking::new(params)
+        .with_population(profile, infos)?
+        .run()?;
+
+    println!("every member learned only her own rank:");
+    for ((name, _), rank) in people.iter().zip(outcome.ranks()) {
+        println!("  {name:>6} → rank {rank}");
+    }
+
+    println!("\nthe company sees only the winners (verified submissions):");
+    for acc in outcome.top_k() {
+        let (name, vals) = people[acc.submission.party - 1];
+        println!(
+            "  {name} (rank {}): age={}, bp={}, friends={}, income={}k — gain {}",
+            acc.submission.claimed_rank, vals[0], vals[1], vals[2], vals[3], acc.gain
+        );
+    }
+
+    println!(
+        "\nnobody else's answers ever left their machine in the clear; \
+         {} encrypted messages crossed the wire.",
+        outcome.traffic().messages
+    );
+    Ok(())
+}

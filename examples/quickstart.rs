@@ -1,0 +1,64 @@
+//! Quickstart: rank 5 participants privately, pick the top 2.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ppgr::core::{AttributeKind, FrameworkParams, GroupRanking, Questionnaire};
+use ppgr::group::GroupKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The initiator publishes a questionnaire: one "equal to" attribute
+    // (age — closer is better) and one "greater than" (friends — more is
+    // better).
+    let questionnaire = Questionnaire::builder()
+        .attribute("age", AttributeKind::EqualTo)
+        .attribute("friends", AttributeKind::GreaterThan)
+        .build()?;
+
+    let params = FrameworkParams::builder(questionnaire)
+        .participants(5)
+        .top_k(2)
+        .group(GroupKind::Ecc160)
+        .attr_bits(7) // small demo widths keep the run fast
+        .weight_bits(3)
+        .mask_bits(7)
+        .seed(2026)
+        .build()?;
+
+    println!(
+        "running the framework: n={}, k={}, group={}, l={} bits",
+        params.participants(),
+        params.top_k(),
+        params.group(),
+        params.beta_bits()
+    );
+
+    let outcome = GroupRanking::new(params).with_random_population().run()?;
+
+    println!("\neach participant privately learned her own rank:");
+    for (idx, rank) in outcome.ranks().iter().enumerate() {
+        println!("  P{} → rank {rank}", idx + 1);
+    }
+
+    println!("\nthe initiator received (and verified) the top-k submissions:");
+    for acc in outcome.top_k() {
+        println!(
+            "  P{} claimed rank {} — recomputed gain {}",
+            acc.submission.party, acc.submission.claimed_rank, acc.gain
+        );
+    }
+
+    let t = outcome.traffic();
+    println!(
+        "\ntraffic: {} messages, {} bytes over {} rounds",
+        t.messages, t.total_bytes, t.rounds
+    );
+    println!(
+        "mean participant compute: {:?} (gain {:?} + sort {:?})",
+        outcome.timings().mean_participant_total(),
+        outcome.timings().gain,
+        outcome.timings().sort
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Business-OSN recruiting (paper Sec. I): an employer screens candidates
+//! for a physically demanding position with a sensitive health
+//! requirement, without collecting health data from rejected candidates.
+//!
+//! ```text
+//! cargo run --release --example recruiting
+//! ```
+
+use ppgr::core::{
+    AttributeKind, CriterionVector, FrameworkParams, GroupRanking, InfoVector,
+    InitiatorProfile, Questionnaire, WeightVector,
+};
+use ppgr::group::GroupKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let q = Questionnaire::builder()
+        .attribute("years_experience", AttributeKind::GreaterThan)
+        .attribute("fitness_score", AttributeKind::GreaterThan)
+        .attribute("resting_heart_rate", AttributeKind::EqualTo) // around 60 is ideal
+        .attribute("commute_km", AttributeKind::EqualTo) // close to the site
+        .build()?;
+
+    // Canonical order: equal-to first → [heart_rate, commute, years, fitness].
+    let profile = InitiatorProfile {
+        criterion: CriterionVector::new(&q, vec![60, 5, 0, 0], 8)?,
+        weights: WeightVector::new(&q, vec![6, 2, 5, 7], 3)?,
+    };
+
+    let candidates = [
+        ("kim", [58u64, 12, 9, 88]),
+        ("lee", [71, 3, 15, 70]),
+        ("max", [62, 6, 4, 95]),
+        ("noa", [60, 40, 11, 82]),
+        ("oli", [66, 8, 2, 60]),
+    ];
+    let infos: Vec<InfoVector> = candidates
+        .iter()
+        .map(|(_, v)| InfoVector::new(&q, v.to_vec(), 8))
+        .collect::<Result<_, _>>()?;
+
+    let params = FrameworkParams::builder(q)
+        .participants(candidates.len())
+        .top_k(1)
+        .attr_bits(8)
+        .weight_bits(3)
+        .mask_bits(7)
+        .group(GroupKind::Ecc160)
+        .seed(99)
+        .build()?;
+
+    let outcome = GroupRanking::new(params)
+        .with_population(profile, infos)?
+        .run()?;
+
+    println!("candidates learn only their own standing:");
+    for ((name, _), rank) in candidates.iter().zip(outcome.ranks()) {
+        println!("  {name}: rank {rank} of {}", candidates.len());
+    }
+
+    let winner = &outcome.top_k()[0];
+    let (name, _) = candidates[winner.submission.party - 1];
+    println!(
+        "\nthe employer learns exactly one medical record — the hire's: \
+         {name} (verified gain {}).",
+        winner.gain
+    );
+    println!("rejected candidates' heart rates never left their devices.");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! The SS-framework baseline in action: Shamir/BGW oblivious sorting
+//! (the protocol family the paper compares against), with its cost
+//! metrics next to the paper's analytical model.
+//!
+//! ```text
+//! cargo run --release --example ss_baseline
+//! ```
+
+use ppgr::smc::sort::{comparator_count, oblivious_sort, SharedRecord};
+use ppgr::smc::{cost, SsEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let values = [23u64, 200, 5, 148, 90, 90];
+    let n = values.len();
+    let l = 8;
+
+    println!("{n} parties sort {l}-bit values with Shamir shares (t = {}):\n", (n - 1) / 2);
+    let mut engine = SsEngine::new(n, (n - 1) / 2, 7)?;
+    let field = engine.field().clone();
+    let records: Vec<SharedRecord> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| SharedRecord {
+            key: engine.input(&field.from_u64(v)),
+            payload: engine.input(&field.from_u64(i as u64 + 1)),
+        })
+        .collect();
+
+    engine.reset_metrics();
+    let sorted = oblivious_sort(&mut engine, records, l);
+
+    print!("sorted (opened): ");
+    for r in &sorted {
+        let v = engine.open(&r.key);
+        print!("{v} ");
+    }
+    println!();
+
+    let m = engine.metrics();
+    println!("\nruntime cost of this run:");
+    println!("  BGW multiplications : {}", m.multiplications);
+    println!("  openings            : {}", m.openings);
+    println!("  rounds              : {}", m.rounds);
+    println!("  field elements sent : {}", m.field_elements_sent);
+
+    println!("\nthe paper's analytical model at the same shape:");
+    println!("  comparator count (Batcher, n={n}): {}", comparator_count(n));
+    println!(
+        "  Nishide–Ohta mult invocations per {l}-bit comparison: {}",
+        cost::no07_mults_per_comparison(l)
+    );
+    println!(
+        "  SS framework per-party integer mults at paper scale (n=25, l=52): {}",
+        cost::ss_sort_int_mults(25, 52)
+    );
+    println!(
+        "  versus ours (group mults, n=25, l=52, λ=160): {}",
+        cost::framework_group_mults(25, 52, 160)
+    );
+    Ok(())
+}

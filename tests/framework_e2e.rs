@@ -1,0 +1,135 @@
+//! End-to-end integration tests spanning every crate: full framework runs
+//! validated against the plaintext gain model.
+
+use ppgr::core::{
+    compute_gain as gain, AttributeKind, CriterionVector, FrameworkParams, GroupRanking, InfoVector,
+    InitiatorProfile, Questionnaire, WeightVector,
+};
+use ppgr::group::GroupKind;
+use ppgr::hash::HashDrbg;
+use rand::SeedableRng;
+
+fn small_params(n: usize, k: usize, kind: GroupKind, seed: u64) -> FrameworkParams {
+    FrameworkParams::builder(Questionnaire::synthetic(1, 2))
+        .participants(n)
+        .top_k(k)
+        .attr_bits(6)
+        .weight_bits(3)
+        .mask_bits(6)
+        .group(kind)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+fn assert_ranks_match_gains(params: &FrameworkParams, ranks: &[usize]) {
+    let mut rng = HashDrbg::seed_from_u64(params.seed());
+    let (profile, infos) = params.random_population(&mut rng);
+    let q = params.questionnaire();
+    let gains: Vec<i128> = infos.iter().map(|i| gain(q, &profile, i)).collect();
+    for a in 0..gains.len() {
+        for b in 0..gains.len() {
+            if gains[a] > gains[b] {
+                assert!(ranks[a] < ranks[b], "gains {gains:?} vs ranks {ranks:?}");
+            }
+            // Equal gains may rank either way: the per-participant masks
+            // ρ_j break gain ties into an arbitrary strict order (the
+            // paper's Sec. V explicitly allows this).
+        }
+    }
+}
+
+#[test]
+fn ecc160_run_is_correct() {
+    let params = small_params(5, 2, GroupKind::Ecc160, 21);
+    let outcome = GroupRanking::new(params.clone()).with_random_population().run().unwrap();
+    assert_ranks_match_gains(&params, outcome.ranks());
+    assert!(!outcome.top_k().is_empty());
+}
+
+#[test]
+fn dl1024_run_is_correct() {
+    let params = small_params(3, 1, GroupKind::Dl1024, 22);
+    let outcome = GroupRanking::new(params.clone()).with_random_population().run().unwrap();
+    assert_ranks_match_gains(&params, outcome.ranks());
+}
+
+#[test]
+fn ecc224_run_is_correct() {
+    let params = small_params(3, 1, GroupKind::Ecc224, 23);
+    let outcome = GroupRanking::new(params.clone()).with_random_population().run().unwrap();
+    assert_ranks_match_gains(&params, outcome.ranks());
+}
+
+#[test]
+fn several_seeds_all_consistent() {
+    for seed in [1u64, 7, 1234] {
+        let params = small_params(4, 2, GroupKind::Ecc160, seed);
+        let outcome = GroupRanking::new(params.clone()).with_random_population().run().unwrap();
+        assert_ranks_match_gains(&params, outcome.ranks());
+    }
+}
+
+#[test]
+fn explicit_population_with_known_winner() {
+    // One attribute, greater-than, weight 1 → gain = value; clear order.
+    let q = Questionnaire::builder()
+        .attribute("score", AttributeKind::GreaterThan)
+        .build()
+        .unwrap();
+    let profile = InitiatorProfile {
+        criterion: CriterionVector::new(&q, vec![0], 6).unwrap(),
+        weights: WeightVector::new(&q, vec![1], 3).unwrap(),
+    };
+    let infos: Vec<InfoVector> = [10u64, 40, 25]
+        .iter()
+        .map(|&v| InfoVector::new(&q, vec![v], 6).unwrap())
+        .collect();
+    let params = FrameworkParams::builder(q)
+        .participants(3)
+        .top_k(1)
+        .attr_bits(6)
+        .weight_bits(3)
+        .mask_bits(6)
+        .group(GroupKind::Ecc160)
+        .seed(31)
+        .build()
+        .unwrap();
+    let outcome = GroupRanking::new(params)
+        .with_population(profile, infos)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(outcome.ranks(), &[3, 1, 2]);
+    assert_eq!(outcome.top_k().len(), 1);
+    assert_eq!(outcome.top_k()[0].submission.party, 2);
+    assert_eq!(outcome.top_k()[0].gain, 40);
+}
+
+#[test]
+fn top_k_equals_n_takes_everyone() {
+    let params = small_params(3, 3, GroupKind::Ecc160, 8);
+    let outcome = GroupRanking::new(params).with_random_population().run().unwrap();
+    assert_eq!(outcome.top_k().len(), 3);
+}
+
+#[test]
+fn traffic_grows_with_group_element_size() {
+    let ecc = GroupRanking::new(small_params(3, 1, GroupKind::Ecc160, 4))
+        .with_random_population()
+        .run()
+        .unwrap();
+    let dl = GroupRanking::new(small_params(3, 1, GroupKind::Dl1024, 4))
+        .with_random_population()
+        .run()
+        .unwrap();
+    assert!(
+        dl.traffic().total_bytes > 3 * ecc.traffic().total_bytes,
+        "DL ciphertexts are much larger: {} vs {}",
+        dl.traffic().total_bytes,
+        ecc.traffic().total_bytes
+    );
+    // Same logical structure though: identical message counts and rounds.
+    assert_eq!(dl.traffic().messages, ecc.traffic().messages);
+    assert_eq!(dl.traffic().rounds, ecc.traffic().rounds);
+}
