@@ -146,7 +146,10 @@ mod tests {
         let (group, kp, mut rng) = setup();
         let mut ct = encrypt(&group, kp.public_key(), b"secret", &mut rng);
         ct.body[0] ^= 1;
-        assert_eq!(decrypt(&group, kp.secret_key(), &ct), Err(HybridError::BadTag));
+        assert_eq!(
+            decrypt(&group, kp.secret_key(), &ct),
+            Err(HybridError::BadTag)
+        );
     }
 
     #[test]
@@ -154,7 +157,10 @@ mod tests {
         let (group, kp, mut rng) = setup();
         let other = KeyPair::generate(&group, &mut rng);
         let ct = encrypt(&group, kp.public_key(), b"secret", &mut rng);
-        assert_eq!(decrypt(&group, other.secret_key(), &ct), Err(HybridError::BadTag));
+        assert_eq!(
+            decrypt(&group, other.secret_key(), &ct),
+            Err(HybridError::BadTag)
+        );
     }
 
     #[test]

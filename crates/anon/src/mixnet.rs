@@ -43,7 +43,11 @@ impl AnonymousCollection {
     /// Creates a session with `n` members, generating their keys.
     pub fn setup<R: Rng + ?Sized>(group: Group, n: usize, rng: &mut R) -> Self {
         let keys = (0..n).map(|_| KeyPair::generate(&group, rng)).collect();
-        AnonymousCollection { group, keys, shuffling: vec![true; n] }
+        AnonymousCollection {
+            group,
+            keys,
+            shuffling: vec![true; n],
+        }
     }
 
     /// Number of members.
@@ -63,11 +67,7 @@ impl AnonymousCollection {
     ///
     /// Infallible in practice; `Result` mirrors the deployment API where
     /// remote keys may be invalid.
-    pub fn wrap<R: Rng + ?Sized>(
-        &self,
-        message: &[u8],
-        rng: &mut R,
-    ) -> Result<Vec<u8>, MixError> {
+    pub fn wrap<R: Rng + ?Sized>(&self, message: &[u8], rng: &mut R) -> Result<Vec<u8>, MixError> {
         let mut onion = message.to_vec();
         for kp in self.keys.iter().rev() {
             let ct = hybrid::encrypt(&self.group, kp.public_key(), &onion, rng);
@@ -90,8 +90,8 @@ impl AnonymousCollection {
     ) -> Result<Vec<Vec<u8>>, MixError> {
         let mut out = Vec::with_capacity(batch.len());
         for onion in batch {
-            let ct: HybridCiphertext = hybrid::from_bytes(&self.group, &onion)
-                .ok_or(MixError::Malformed(mixer))?;
+            let ct: HybridCiphertext =
+                hybrid::from_bytes(&self.group, &onion).ok_or(MixError::Malformed(mixer))?;
             let inner = hybrid::decrypt(&self.group, self.keys[mixer].secret_key(), &ct)
                 .map_err(|e| MixError::Layer(mixer, e))?;
             out.push(inner);
@@ -200,7 +200,10 @@ mod tests {
             s.wrap(b"third", &mut rng).unwrap(),
         ];
         let got = s.mix_and_collect(onions, &mut rng).unwrap();
-        assert_eq!(got, vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]);
+        assert_eq!(
+            got,
+            vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]
+        );
     }
 
     #[test]

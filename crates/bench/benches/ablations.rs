@@ -27,7 +27,13 @@ fn bench_chain_mechanisms(c: &mut Criterion) {
     let kp = KeyPair::generate(&group, &mut rng);
     let scheme = ExpElGamal::new(group.clone());
     let set: Vec<Ciphertext> = (0..L)
-        .map(|i| scheme.encrypt(kp.public_key(), &group.scalar_from_u64(i as u64 % 3), &mut rng))
+        .map(|i| {
+            scheme.encrypt(
+                kp.public_key(),
+                &group.scalar_from_u64(i as u64 % 3),
+                &mut rng,
+            )
+        })
         .collect();
 
     let mut g = c.benchmark_group("ablation_chain_hop");
@@ -75,7 +81,13 @@ fn bench_circuit_suffix_sums(c: &mut Criterion) {
     let kp = KeyPair::generate(&group, &mut rng);
     let scheme = ExpElGamal::new(group.clone());
     let own = BigUint::from(0x1234_5678u64);
-    let other = encrypt_bits(&scheme, kp.public_key(), &BigUint::from(0x8765_4321u64), L, &mut rng);
+    let other = encrypt_bits(
+        &scheme,
+        kp.public_key(),
+        &BigUint::from(0x8765_4321u64),
+        L,
+        &mut rng,
+    );
 
     let mut g = c.benchmark_group("ablation_comparison_circuit");
     g.sample_size(10);
@@ -100,8 +112,10 @@ fn bench_circuit_suffix_sums(c: &mut Criterion) {
             (0..L)
                 .map(|idx| {
                     let weight = (L - idx) as u64;
-                    let mut suffix =
-                        Ciphertext { alpha: group.identity(), beta: group.identity() };
+                    let mut suffix = Ciphertext {
+                        alpha: group.identity(),
+                        beta: group.identity(),
+                    };
                     for g_v in &gammas[idx + 1..] {
                         suffix = scheme.add(&suffix, g_v);
                     }

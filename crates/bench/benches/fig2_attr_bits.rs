@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppgr_bigint::BigUint;
-use ppgr_core::circuit::compare_encrypted;
 use ppgr_core::bit_length;
+use ppgr_core::circuit::compare_encrypted;
 use ppgr_elgamal::{encrypt_bits, ExpElGamal, KeyPair};
 use ppgr_group::GroupKind;
 use rand::rngs::StdRng;
@@ -24,7 +24,13 @@ fn bench_compare_vs_d1(c: &mut Criterion) {
     for d1 in [10u32, 20, 30] {
         let l = bit_length(10, d1, 8, 15);
         let own = BigUint::from(0x1234u64);
-        let other = encrypt_bits(&scheme, kp.public_key(), &BigUint::from(0xBEEFu64), l, &mut rng);
+        let other = encrypt_bits(
+            &scheme,
+            kp.public_key(),
+            &BigUint::from(0xBEEFu64),
+            l,
+            &mut rng,
+        );
         g.bench_with_input(BenchmarkId::new("one_opponent", d1), &d1, |b, _| {
             b.iter(|| compare_encrypted(&scheme, &own, &other, l));
         });

@@ -22,7 +22,13 @@ fn bench_chain_hop_vs_h(c: &mut Criterion) {
     for h in [10u32, 20, 30] {
         let l = bit_length(10, 15, 8, h);
         let set: Vec<_> = (0..(n - 1) * l)
-            .map(|i| scheme.encrypt(kp.public_key(), &group.scalar_from_u64(i as u64 % 7), &mut rng))
+            .map(|i| {
+                scheme.encrypt(
+                    kp.public_key(),
+                    &group.scalar_from_u64(i as u64 % 7),
+                    &mut rng,
+                )
+            })
             .collect();
         g.bench_with_input(BenchmarkId::new("process_set", h), &h, |b, _| {
             let mut rng = StdRng::seed_from_u64(2);

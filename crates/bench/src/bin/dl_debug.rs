@@ -29,12 +29,21 @@ fn main() {
         assert!(t.verify(&group, kp1.public_key()));
     });
 
-    let joint = JointKey::combine(&group, &[kp1.public_key().clone(), kp2.public_key().clone()]);
+    let joint = JointKey::combine(
+        &group,
+        &[kp1.public_key().clone(), kp2.public_key().clone()],
+    );
     let scheme = ExpElGamal::new(group.clone());
 
     let mut cts = Vec::new();
     step("encrypt_bits l=4", || {
-        cts = encrypt_bits(&scheme, joint.public_key(), &BigUint::from(5u64), 4, &mut rng);
+        cts = encrypt_bits(
+            &scheme,
+            joint.public_key(),
+            &BigUint::from(5u64),
+            4,
+            &mut rng,
+        );
     });
 
     step("compare circuit", || {

@@ -14,9 +14,7 @@
 //! network simulator on exact synthetic wire traces.
 
 use ppgr_bench::calibrate::Calibration;
-use ppgr_bench::model::{
-    self, framework_participant_time, ss_participant_time, PaperDefaults,
-};
+use ppgr_bench::model::{self, framework_participant_time, ss_participant_time, PaperDefaults};
 use ppgr_bench::table::{fmt_bytes, fmt_duration, Table};
 use ppgr_bench::traces;
 use ppgr_core::analysis;
@@ -29,12 +27,23 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut figs: Vec<&str> = args.iter().map(String::as_str).collect();
     if figs.is_empty() || figs.contains(&"all") {
-        figs = vec!["validate", "fig2a", "fig2b", "fig2c", "fig2d", "fig3a", "fig3b", "analysis"];
+        figs = vec![
+            "validate", "fig2a", "fig2b", "fig2c", "fig2d", "fig3a", "fig3b", "analysis",
+        ];
     }
     println!("calibrating per-operation costs on this machine…");
     let cal = Calibration::measure(true);
-    for (kind, dur) in &cal.exp {
-        println!("  {kind}: {} per exponentiation", fmt_duration(*dur));
+    for ((kind, var), ((_, fixed), (_, hop))) in cal
+        .exp
+        .iter()
+        .zip(cal.fixed_exp.iter().zip(cal.chain_hop.iter()))
+    {
+        println!(
+            "  {kind}: {} per exponentiation ({} fixed-base, {} fused chain hop)",
+            fmt_duration(*var),
+            fmt_duration(*fixed),
+            fmt_duration(*hop),
+        );
     }
     println!("  field mul (SS unit): {}\n", fmt_duration(cal.field_mul));
 
@@ -59,7 +68,11 @@ fn validate(cal: &Calibration) {
         "validate — measured full protocol vs calibrated model",
         &["group", "n", "measured", "model", "ratio"],
     );
-    for (kind, n) in [(GroupKind::Ecc160, 5usize), (GroupKind::Ecc160, 8), (GroupKind::Dl1024, 4)] {
+    for (kind, n) in [
+        (GroupKind::Ecc160, 5usize),
+        (GroupKind::Ecc160, 8),
+        (GroupKind::Dl1024, 4),
+    ] {
         let v = model::validate(cal, kind, n);
         t.row(vec![
             kind.to_string(),
@@ -78,7 +91,7 @@ fn validate(cal: &Calibration) {
         "—".into(),
         "—".into(),
     ]);
-    t.note("model = exponentiation count × measured per-exp cost; acceptable within 3×");
+    t.note("model = per-phase op counts × measured rates (fixed-base tables, fused chain hops, variable-base exps); acceptable within 3×");
     println!("{}", t.render());
 }
 
@@ -233,7 +246,13 @@ fn analysis_table() {
     let lambda = 160usize;
     let mut t = Table::new(
         "Sec. VI-B — asymptotic cost comparison (concrete counts)",
-        &["n", "ours: group mults", "ours: rounds", "SS: int mults", "SS: rounds"],
+        &[
+            "n",
+            "ours: group mults",
+            "ours: rounds",
+            "SS: int mults",
+            "SS: rounds",
+        ],
     );
     for n in [10usize, 25, 45, 70] {
         t.row(vec![
@@ -253,7 +272,10 @@ fn analysis_table() {
     ops.row(vec!["setup (keys+ZKP)".into(), b.setup_exps.to_string()]);
     ops.row(vec!["bit encryption".into(), b.encrypt_exps.to_string()]);
     ops.row(vec!["comparisons".into(), b.compare_exps.to_string()]);
-    ops.row(vec!["shuffle-decrypt chain".into(), b.chain_exps.to_string()]);
+    ops.row(vec![
+        "shuffle-decrypt chain".into(),
+        b.chain_exps.to_string(),
+    ]);
     ops.row(vec!["final decryption".into(), b.final_exps.to_string()]);
     ops.row(vec!["total".into(), b.total().to_string()]);
     println!("{}", t.render());

@@ -2,6 +2,7 @@
 
 use ppgr_bigint::FpCtx;
 use ppgr_dotprod::default_field;
+use ppgr_elgamal::{ExpElGamal, KeyPair};
 use ppgr_group::GroupKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,6 +26,49 @@ pub fn exp_time(kind: GroupKind, samples: u32) -> Duration {
     elapsed / samples
 }
 
+/// Measures the table-amortized fixed-base exponentiation cost: one comb
+/// table is built for a fresh base and `samples` exponentiations run
+/// through it, so the (one-off) precomputation is spread across the batch
+/// exactly as the protocol spreads the joint-key table across all of a
+/// party's encryptions.
+pub fn fixed_base_exp_time(kind: GroupKind, samples: u32) -> Duration {
+    let g = kind.group();
+    let mut rng = StdRng::seed_from_u64(0xF18ED);
+    let base = g.exp_gen(&g.random_scalar(&mut rng));
+    let scalars: Vec<_> = (0..samples).map(|_| g.random_scalar(&mut rng)).collect();
+    let start = Instant::now();
+    let table = g.prepare_base(&base);
+    let mut acc = g.identity();
+    for s in &scalars {
+        acc = g.op(&acc, &g.exp_prepared(&table, s));
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(acc);
+    elapsed / samples
+}
+
+/// Measures one fused shuffle-chain hop (partial decryption + plaintext
+/// randomization of a single ciphertext) — the unit the protocol's
+/// dominant step-8 term is made of. The op-count analysis books this as
+/// 3 exponentiations; the dual-exponentiation engine does it in ≈1.7.
+pub fn chain_hop_time(kind: GroupKind, samples: u32) -> Duration {
+    let g = kind.group();
+    let mut rng = StdRng::seed_from_u64(0xC4A17);
+    let kp = KeyPair::generate(&g, &mut rng);
+    let scheme = ExpElGamal::new(g.clone());
+    let mut ct = scheme.encrypt(kp.public_key(), &g.scalar_from_u64(0), &mut rng);
+    let rs: Vec<_> = (0..samples)
+        .map(|_| g.random_nonzero_scalar(&mut rng))
+        .collect();
+    let start = Instant::now();
+    for r in &rs {
+        ct = scheme.partial_decrypt_randomize(&ct, kp.secret_key(), r);
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(ct);
+    elapsed / samples
+}
+
 /// Measures one 256-bit field multiplication (the SS baseline's integer
 /// multiplication unit), averaged over `samples`.
 pub fn field_mul_time(samples: u32) -> Duration {
@@ -44,8 +88,15 @@ pub fn field_mul_time(samples: u32) -> Duration {
 /// A calibration bundle for all six groups plus the field unit.
 #[derive(Clone, Debug)]
 pub struct Calibration {
-    /// Per-exponentiation time, indexed by [`GroupKind::all`] order.
+    /// Variable-base per-exponentiation time, indexed by
+    /// [`GroupKind::all`] order.
     pub exp: [(GroupKind, Duration); 6],
+    /// Table-amortized fixed-base per-exponentiation time (the rate paid
+    /// for generator and joint-key exponentiations), same order.
+    pub fixed_exp: [(GroupKind, Duration); 6],
+    /// Fused per-ciphertext shuffle-chain hop time (books as 3
+    /// exponentiations in the op counts), same order.
+    pub chain_hop: [(GroupKind, Duration); 6],
     /// Per-field-multiplication time (SS baseline unit).
     pub field_mul: Duration,
 }
@@ -55,17 +106,36 @@ impl Calibration {
     pub fn measure(quick: bool) -> Self {
         let samples = if quick { 20 } else { 100 };
         let kinds = GroupKind::all();
-        let exp = kinds.map(|k| {
-            // The slow DL groups get fewer samples to bound wall time.
-            let s = if k.is_dl() { samples.min(25) } else { samples };
-            (k, exp_time(k, s))
-        });
-        Calibration { exp, field_mul: field_mul_time(20_000) }
+        // The slow DL groups get fewer samples to bound wall time.
+        let budget = |k: GroupKind| if k.is_dl() { samples.min(25) } else { samples };
+        let exp = kinds.map(|k| (k, exp_time(k, budget(k))));
+        let fixed_exp = kinds.map(|k| (k, fixed_base_exp_time(k, budget(k))));
+        let chain_hop = kinds.map(|k| (k, chain_hop_time(k, budget(k))));
+        Calibration {
+            exp,
+            fixed_exp,
+            chain_hop,
+            field_mul: field_mul_time(20_000),
+        }
     }
 
-    /// Per-exponentiation time for `kind`.
+    /// Variable-base per-exponentiation time for `kind`.
     pub fn exp_for(&self, kind: GroupKind) -> Duration {
-        self.exp
+        Self::lookup(&self.exp, kind)
+    }
+
+    /// Table-amortized fixed-base per-exponentiation time for `kind`.
+    pub fn fixed_exp_for(&self, kind: GroupKind) -> Duration {
+        Self::lookup(&self.fixed_exp, kind)
+    }
+
+    /// Fused per-ciphertext chain-hop time for `kind`.
+    pub fn chain_hop_for(&self, kind: GroupKind) -> Duration {
+        Self::lookup(&self.chain_hop, kind)
+    }
+
+    fn lookup(table: &[(GroupKind, Duration); 6], kind: GroupKind) -> Duration {
+        table
             .iter()
             .find(|(k, _)| *k == kind)
             .map(|(_, d)| *d)
@@ -89,6 +159,33 @@ mod tests {
     fn field_mul_is_microseconds() {
         let t = field_mul_time(1000);
         assert!(t > Duration::ZERO);
-        assert!(t < Duration::from_millis(1), "field mul should be ≪ 1 ms, got {t:?}");
+        assert!(
+            t < Duration::from_millis(1),
+            "field mul should be ≪ 1 ms, got {t:?}"
+        );
+    }
+
+    #[test]
+    fn fixed_base_amortizes_below_variable_base() {
+        // With enough exponentiations per table, the fixed-base rate must
+        // beat the variable-base rate — that is the point of the tables.
+        let fixed = fixed_base_exp_time(GroupKind::Ecc160, 50);
+        let var = exp_time(GroupKind::Ecc160, 50);
+        assert!(fixed > Duration::ZERO);
+        assert!(
+            fixed < var,
+            "fixed-base {fixed:?} should beat variable-base {var:?}"
+        );
+    }
+
+    #[test]
+    fn fused_chain_hop_beats_three_exps() {
+        let hop = chain_hop_time(GroupKind::Ecc160, 30);
+        let var = exp_time(GroupKind::Ecc160, 30);
+        assert!(hop > Duration::ZERO);
+        assert!(
+            hop < var * 3,
+            "fused hop {hop:?} should undercut 3 exps ({var:?} each)"
+        );
     }
 }

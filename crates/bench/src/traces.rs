@@ -19,7 +19,14 @@ const DOTPROD_S: usize = 8;
 ///
 /// Parties: `0` = initiator, `1..=n` participants. Each inner vector is a
 /// barrier round.
-pub fn framework_trace(kind: GroupKind, n: usize, l: usize, m: usize, t: usize, k: usize) -> Vec<Vec<TraceMessage>> {
+pub fn framework_trace(
+    kind: GroupKind,
+    n: usize,
+    l: usize,
+    m: usize,
+    t: usize,
+    k: usize,
+) -> Vec<Vec<TraceMessage>> {
     let group = kind.group();
     let elem = group.element_len();
     let ct = 2 * elem;
@@ -31,12 +38,20 @@ pub fn framework_trace(kind: GroupKind, n: usize, l: usize, m: usize, t: usize, 
     let round1_elems = DOTPROD_S * d + 2 * d;
     rounds.push(
         (1..=n)
-            .map(|p| TraceMessage { from: p, to: 0, bytes: round1_elems * FIELD_BYTES })
+            .map(|p| TraceMessage {
+                from: p,
+                to: 0,
+                bytes: round1_elems * FIELD_BYTES,
+            })
             .collect(),
     );
     rounds.push(
         (1..=n)
-            .map(|p| TraceMessage { from: 0, to: p, bytes: 2 * FIELD_BYTES })
+            .map(|p| TraceMessage {
+                from: 0,
+                to: p,
+                bytes: 2 * FIELD_BYTES,
+            })
             .collect(),
     );
 
@@ -63,26 +78,42 @@ pub fn framework_trace(kind: GroupKind, n: usize, l: usize, m: usize, t: usize, 
     // Step 7: sets to P₁.
     rounds.push(
         (2..=n)
-            .map(|p| TraceMessage { from: p, to: 1, bytes: (n - 1) * l * ct })
+            .map(|p| TraceMessage {
+                from: p,
+                to: 1,
+                bytes: (n - 1) * l * ct,
+            })
             .collect(),
     );
 
     // Step 8: the chain — n−1 sequential hops of the full vector V.
     let v_bytes = n * (n - 1) * l * ct;
     for hop in 1..n {
-        rounds.push(vec![TraceMessage { from: hop, to: hop + 1, bytes: v_bytes }]);
+        rounds.push(vec![TraceMessage {
+            from: hop,
+            to: hop + 1,
+            bytes: v_bytes,
+        }]);
     }
     // Return each set to its owner.
     rounds.push(
         (1..n)
-            .map(|p| TraceMessage { from: n, to: p, bytes: (n - 1) * l * ct })
+            .map(|p| TraceMessage {
+                from: n,
+                to: p,
+                bytes: (n - 1) * l * ct,
+            })
             .collect(),
     );
 
     // Phase 3: top-k submissions.
     rounds.push(
         (1..=k.min(n))
-            .map(|p| TraceMessage { from: p, to: 0, bytes: m * 8 + 8 })
+            .map(|p| TraceMessage {
+                from: p,
+                to: 0,
+                bytes: m * 8 + 8,
+            })
             .collect(),
     );
     rounds
@@ -107,12 +138,20 @@ pub fn ss_trace(n: usize, l: usize, m: usize, t: usize) -> Vec<Vec<TraceMessage>
     let round1_elems = DOTPROD_S * d + 2 * d;
     rounds.push(
         (1..=n)
-            .map(|p| TraceMessage { from: p, to: 0, bytes: round1_elems * FIELD_BYTES })
+            .map(|p| TraceMessage {
+                from: p,
+                to: 0,
+                bytes: round1_elems * FIELD_BYTES,
+            })
             .collect(),
     );
     rounds.push(
         (1..=n)
-            .map(|p| TraceMessage { from: 0, to: p, bytes: 2 * FIELD_BYTES })
+            .map(|p| TraceMessage {
+                from: 0,
+                to: p,
+                bytes: 2 * FIELD_BYTES,
+            })
             .collect(),
     );
 
@@ -130,7 +169,11 @@ pub fn ss_trace(n: usize, l: usize, m: usize, t: usize) -> Vec<Vec<TraceMessage>
             for from in 1..=n {
                 for to in 1..=n {
                     if from != to {
-                        msgs.push(TraceMessage { from, to, bytes: bytes_per_pair_per_round });
+                        msgs.push(TraceMessage {
+                            from,
+                            to,
+                            bytes: bytes_per_pair_per_round,
+                        });
                     }
                 }
             }

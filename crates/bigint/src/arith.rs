@@ -261,9 +261,7 @@ impl BigUint {
             let num = (un[j + n] as u128) << 64 | un[j + n - 1] as u128;
             let mut qhat = num / v_hi as u128;
             let mut rhat = num % v_hi as u128;
-            while qhat >> 64 != 0
-                || qhat * v_lo as u128 > (rhat << 64 | un[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * v_lo as u128 > (rhat << 64 | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_hi as u128;
                 if rhat >> 64 != 0 {
@@ -600,8 +598,14 @@ mod tests {
             BigUint::from(48u64).gcd(&BigUint::from(36u64)),
             BigUint::from(12u64)
         );
-        assert_eq!(BigUint::zero().gcd(&BigUint::from(5u64)), BigUint::from(5u64));
-        assert_eq!(BigUint::from(5u64).gcd(&BigUint::zero()), BigUint::from(5u64));
+        assert_eq!(
+            BigUint::zero().gcd(&BigUint::from(5u64)),
+            BigUint::from(5u64)
+        );
+        assert_eq!(
+            BigUint::from(5u64).gcd(&BigUint::zero()),
+            BigUint::from(5u64)
+        );
         let a = n("123456789012345678901234567890");
         assert_eq!(a.gcd(&a), a);
     }

@@ -29,7 +29,10 @@ impl FpCtx {
     ///
     /// Panics if `p` is even or `p < 3`.
     pub fn new(p: BigUint) -> Arc<Self> {
-        assert!(p.is_odd() && p > BigUint::from(2u64), "field modulus must be an odd prime");
+        assert!(
+            p.is_odd() && p > BigUint::from(2u64),
+            "field modulus must be an odd prime"
+        );
         let mont = Montgomery::new(p.clone());
         Arc::new(FpCtx { p, mont })
     }
@@ -46,17 +49,26 @@ impl FpCtx {
 
     /// The additive identity.
     pub fn zero(self: &Arc<Self>) -> Fp {
-        Fp { ctx: self.clone(), v: BigUint::zero() }
+        Fp {
+            ctx: self.clone(),
+            v: BigUint::zero(),
+        }
     }
 
     /// The multiplicative identity.
     pub fn one(self: &Arc<Self>) -> Fp {
-        Fp { ctx: self.clone(), v: BigUint::one() }
+        Fp {
+            ctx: self.clone(),
+            v: BigUint::one(),
+        }
     }
 
     /// Embeds an unsigned integer, reducing mod `p`.
     pub fn element(self: &Arc<Self>, v: BigUint) -> Fp {
-        Fp { ctx: self.clone(), v: &v % &self.p }
+        Fp {
+            ctx: self.clone(),
+            v: &v % &self.p,
+        }
     }
 
     /// Embeds a `u64`.
@@ -76,7 +88,10 @@ impl FpCtx {
 
     /// A uniformly random field element.
     pub fn random<R: Rng + ?Sized>(self: &Arc<Self>, rng: &mut R) -> Fp {
-        Fp { ctx: self.clone(), v: random_below(rng, &self.p) }
+        Fp {
+            ctx: self.clone(),
+            v: random_below(rng, &self.p),
+        }
     }
 
     /// A uniformly random *nonzero* field element.
@@ -146,12 +161,18 @@ impl Fp {
 
     /// Multiplicative inverse, or `None` for zero.
     pub fn inv(&self) -> Option<Fp> {
-        mod_inverse(&self.v, &self.ctx.p).map(|v| Fp { ctx: self.ctx.clone(), v })
+        mod_inverse(&self.v, &self.ctx.p).map(|v| Fp {
+            ctx: self.ctx.clone(),
+            v,
+        })
     }
 
     /// Exponentiation by an unsigned integer.
     pub fn pow(&self, e: &BigUint) -> Fp {
-        Fp { ctx: self.ctx.clone(), v: self.ctx.mont.pow(&self.v, e) }
+        Fp {
+            ctx: self.ctx.clone(),
+            v: self.ctx.mont.pow(&self.v, e),
+        }
     }
 
     fn check_same_field(&self, other: &Fp) {
@@ -190,7 +211,10 @@ impl Add for &Fp {
         if v >= self.ctx.p {
             v = &v - &self.ctx.p;
         }
-        Fp { ctx: self.ctx.clone(), v }
+        Fp {
+            ctx: self.ctx.clone(),
+            v,
+        }
     }
 }
 
@@ -203,7 +227,10 @@ impl Sub for &Fp {
         } else {
             &(&self.v + &self.ctx.p) - &rhs.v
         };
-        Fp { ctx: self.ctx.clone(), v }
+        Fp {
+            ctx: self.ctx.clone(),
+            v,
+        }
     }
 }
 
@@ -211,7 +238,10 @@ impl Mul for &Fp {
     type Output = Fp;
     fn mul(self, rhs: &Fp) -> Fp {
         self.check_same_field(rhs);
-        Fp { ctx: self.ctx.clone(), v: self.ctx.mont.mul(&self.v, &rhs.v) }
+        Fp {
+            ctx: self.ctx.clone(),
+            v: self.ctx.mont.mul(&self.v, &rhs.v),
+        }
     }
 }
 

@@ -84,10 +84,18 @@ fn mod_inverse_odd(a: &BigUint, n: &BigUint) -> Option<BigUint> {
         if u >= v {
             u = &u - &v;
             // x1 = x1 - x2 mod n
-            x1 = if x1 >= x2 { &x1 - &x2 } else { &(&x1 + n) - &x2 };
+            x1 = if x1 >= x2 {
+                &x1 - &x2
+            } else {
+                &(&x1 + n) - &x2
+            };
         } else {
             v = &v - &u;
-            x2 = if x2 >= x1 { &x2 - &x1 } else { &(&x2 + n) - &x1 };
+            x2 = if x2 >= x1 {
+                &x2 - &x1
+            } else {
+                &(&x2 + n) - &x1
+            };
         }
         // gcd(a, n) > 1: the subtraction chain bottoms out at zero before
         // either side reaches one.
@@ -264,7 +272,9 @@ mod tests {
 
     #[test]
     fn modinv_large_prime() {
-        let p = BigUint::power_of_two(521).checked_sub(&BigUint::one()).unwrap();
+        let p = BigUint::power_of_two(521)
+            .checked_sub(&BigUint::one())
+            .unwrap();
         let a = BigUint::from_dec_str("123456789012345678901234567890").unwrap();
         let inv = mod_inverse(&a, &p).unwrap();
         assert_eq!(&(&a * &inv) % &p, BigUint::one());

@@ -6,6 +6,11 @@
 //! loops work on fixed-capacity stack buffers ([`MAX_LIMBS`]) — no heap
 //! allocation per multiplication.
 
+// The limb kernels walk several same-index arrays (operand, modulus,
+// accumulator) while threading a carry/borrow; indexed loops are the
+// clearest rendering and clippy's zip/iterator rewrite obscures them.
+#![allow(clippy::needless_range_loop)]
+
 use crate::uint::BigUint;
 
 /// Maximum modulus size in limbs (3072-bit DL group = 48 limbs).
@@ -97,8 +102,80 @@ impl Montgomery {
         &self.n
     }
 
+    /// CIOS Montgomery multiplication specialised to an `S`-limb modulus.
+    ///
+    /// The working buffer is `S` limbs plus two scalar overflow words, so
+    /// small moduli (the elliptic-curve fields) never touch — or zero — the
+    /// full [`MAX_LIMBS`] scratch space. This monomorphised kernel is what
+    /// makes ECC field arithmetic several times faster than the generic
+    /// path: at 3 limbs the memset/copy overhead of 48-limb buffers costs
+    /// more than the multiplication itself.
+    #[inline]
+    fn mont_mul_small<const S: usize>(
+        &self,
+        a: &[u64; MAX_LIMBS],
+        b: &[u64; MAX_LIMBS],
+    ) -> [u64; MAX_LIMBS] {
+        let n = &self.n_limbs;
+        let mut t = [0u64; S];
+        let mut t_hi = 0u64; // t[S]
+        for i in 0..S {
+            let ai = a[i];
+            let mut carry = 0u128;
+            for j in 0..S {
+                let v = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = v as u64;
+                carry = v >> 64;
+            }
+            let v = t_hi as u128 + carry;
+            t_hi = v as u64;
+            let t_top = (v >> 64) as u64; // t[S+1]
+            let m = t[0].wrapping_mul(self.n_prime);
+            let mut carry = (t[0] as u128 + m as u128 * n[0] as u128) >> 64;
+            for j in 1..S {
+                let v = t[j] as u128 + m as u128 * n[j] as u128 + carry;
+                t[j - 1] = v as u64;
+                carry = v >> 64;
+            }
+            let v = t_hi as u128 + carry;
+            t[S - 1] = v as u64;
+            t_hi = t_top + ((v >> 64) as u64);
+        }
+        // Conditional subtraction: t may be in [0, 2n).
+        let ge = t_hi != 0 || {
+            let mut ge = true;
+            for i in (0..S).rev() {
+                if t[i] != n[i] {
+                    ge = t[i] > n[i];
+                    break;
+                }
+            }
+            ge
+        };
+        if ge {
+            let mut borrow = 0u64;
+            for i in 0..S {
+                let v = (t[i] as u128).wrapping_sub(n[i] as u128 + borrow as u128);
+                t[i] = v as u64;
+                borrow = ((v >> 64) as u64) & 1;
+            }
+        }
+        let mut out = [0u64; MAX_LIMBS];
+        out[..S].copy_from_slice(&t);
+        out
+    }
+
     /// CIOS Montgomery multiplication on fixed buffers.
     fn mont_mul_fixed(&self, a: &[u64; MAX_LIMBS], b: &[u64; MAX_LIMBS]) -> [u64; MAX_LIMBS] {
+        // The elliptic-curve fields (3–4 limbs) dominate the framework's
+        // runtime; give them fully unrolled kernels.
+        match self.limbs {
+            1 => return self.mont_mul_small::<1>(a, b),
+            2 => return self.mont_mul_small::<2>(a, b),
+            3 => return self.mont_mul_small::<3>(a, b),
+            4 => return self.mont_mul_small::<4>(a, b),
+            _ => {}
+        }
         let s = self.limbs;
         let n = &self.n_limbs;
         let mut t = [0u64; MAX_LIMBS + 2];
@@ -167,7 +244,9 @@ impl Montgomery {
         assert!(a < &self.n, "operand must be reduced");
         let mut buf = [0u64; MAX_LIMBS];
         buf[..a.limbs().len()].copy_from_slice(a.limbs());
-        MontElem { limbs: self.mont_mul_fixed(&buf, &self.r2.limbs) }
+        MontElem {
+            limbs: self.mont_mul_fixed(&buf, &self.r2.limbs),
+        }
     }
 
     /// Leaves Montgomery form.
@@ -185,7 +264,9 @@ impl Montgomery {
 
     /// Montgomery form of `0`.
     pub fn zero_elem(&self) -> MontElem {
-        MontElem { limbs: [0u64; MAX_LIMBS] }
+        MontElem {
+            limbs: [0u64; MAX_LIMBS],
+        }
     }
 
     /// Returns `true` if the element is zero (zero is fixed by the domain map).
@@ -195,7 +276,9 @@ impl Montgomery {
 
     /// In-domain multiplication.
     pub fn mmul(&self, a: &MontElem, b: &MontElem) -> MontElem {
-        MontElem { limbs: self.mont_mul_fixed(&a.limbs, &b.limbs) }
+        MontElem {
+            limbs: self.mont_mul_fixed(&a.limbs, &b.limbs),
+        }
     }
 
     /// In-domain squaring.
@@ -203,8 +286,72 @@ impl Montgomery {
         self.mmul(a, a)
     }
 
+    /// Modular addition on an `S`-limb modulus (small-size kernel).
+    #[inline]
+    fn add_small<const S: usize>(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        let n = &self.n_limbs;
+        let mut t = [0u64; S];
+        let mut carry = 0u128;
+        for i in 0..S {
+            let v = a.limbs[i] as u128 + b.limbs[i] as u128 + carry;
+            t[i] = v as u64;
+            carry = v >> 64;
+        }
+        let ge = carry != 0 || {
+            let mut ge = true;
+            for i in (0..S).rev() {
+                if t[i] != n[i] {
+                    ge = t[i] > n[i];
+                    break;
+                }
+            }
+            ge
+        };
+        if ge {
+            let mut borrow = 0u64;
+            for i in 0..S {
+                let v = (t[i] as u128).wrapping_sub(n[i] as u128 + borrow as u128);
+                t[i] = v as u64;
+                borrow = ((v >> 64) as u64) & 1;
+            }
+        }
+        let mut out = [0u64; MAX_LIMBS];
+        out[..S].copy_from_slice(&t);
+        MontElem { limbs: out }
+    }
+
+    /// Modular subtraction on an `S`-limb modulus (small-size kernel).
+    #[inline]
+    fn sub_small<const S: usize>(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        let mut t = [0u64; S];
+        let mut borrow = 0u64;
+        for i in 0..S {
+            let v = (a.limbs[i] as u128).wrapping_sub(b.limbs[i] as u128 + borrow as u128);
+            t[i] = v as u64;
+            borrow = ((v >> 64) as u64) & 1;
+        }
+        if borrow != 0 {
+            let mut carry = 0u128;
+            for i in 0..S {
+                let v = t[i] as u128 + self.n_limbs[i] as u128 + carry;
+                t[i] = v as u64;
+                carry = v >> 64;
+            }
+        }
+        let mut out = [0u64; MAX_LIMBS];
+        out[..S].copy_from_slice(&t);
+        MontElem { limbs: out }
+    }
+
     /// In-domain addition (Montgomery form is linear, so plain modular add).
     pub fn madd(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        match self.limbs {
+            1 => return self.add_small::<1>(a, b),
+            2 => return self.add_small::<2>(a, b),
+            3 => return self.add_small::<3>(a, b),
+            4 => return self.add_small::<4>(a, b),
+            _ => {}
+        }
         let s = self.limbs;
         let mut out = [0u64; MAX_LIMBS];
         let mut carry = 0u128;
@@ -221,6 +368,13 @@ impl Montgomery {
 
     /// In-domain subtraction.
     pub fn msub(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        match self.limbs {
+            1 => return self.sub_small::<1>(a, b),
+            2 => return self.sub_small::<2>(a, b),
+            3 => return self.sub_small::<3>(a, b),
+            4 => return self.sub_small::<4>(a, b),
+            _ => {}
+        }
         let s = self.limbs;
         let mut out = [0u64; MAX_LIMBS];
         let mut borrow = 0u64;
@@ -263,6 +417,102 @@ impl Montgomery {
         acc
     }
 
+    /// In-domain windowed exponentiation: `a^exp` staying in Montgomery
+    /// form throughout (no per-call domain conversions).
+    pub fn mpow(&self, base: &MontElem, exp: &BigUint) -> MontElem {
+        if exp.is_zero() {
+            return self.one_elem();
+        }
+        let bits = exp.bits();
+        if bits <= 32 {
+            // Small exponent: plain square-and-multiply beats building a
+            // 16-entry window table.
+            let mut acc = base.clone();
+            for i in (0..bits - 1).rev() {
+                acc = self.msqr(&acc);
+                if exp.bit(i) {
+                    acc = self.mmul(&acc, base);
+                }
+            }
+            return acc;
+        }
+        // Precompute base^0..base^15.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.one_elem());
+        table.push(base.clone());
+        for i in 2..16 {
+            let prev = self.mmul(&table[i - 1], base);
+            table.push(prev);
+        }
+        let mut acc: Option<MontElem> = None;
+        let mut i = bits;
+        while i > 0 {
+            let take = if i.is_multiple_of(4) { 4 } else { i % 4 };
+            let mut window = 0usize;
+            for k in 0..take {
+                window = window << 1 | exp.bit(i - 1 - k) as usize;
+            }
+            acc = Some(match acc {
+                None => table[window].clone(),
+                Some(mut a) => {
+                    for _ in 0..take {
+                        a = self.msqr(&a);
+                    }
+                    if window != 0 {
+                        a = self.mmul(&a, &table[window]);
+                    }
+                    a
+                }
+            });
+            i -= take;
+        }
+        acc.expect("nonzero exponent")
+    }
+
+    /// In-domain inverse of a nonzero element via Fermat's little theorem
+    /// (`a^{n-2}`); the modulus must be prime, which holds for every modulus
+    /// the framework inverts under (curve fields, DL primes, group orders).
+    ///
+    /// This is several times faster than a [`BigUint`] extended-GCD inverse
+    /// because it runs entirely on fixed-size Montgomery limbs.
+    pub fn minv(&self, a: &MontElem) -> MontElem {
+        let e = self
+            .n
+            .checked_sub(&BigUint::from(2u64))
+            .expect("modulus is at least 3");
+        self.mpow(a, &e)
+    }
+
+    /// Batch in-domain inversion by Montgomery's trick: one [`Self::minv`]
+    /// plus three multiplications per element instead of one inversion each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is zero.
+    pub fn batch_minv(&self, elems: &[MontElem]) -> Vec<MontElem> {
+        if elems.is_empty() {
+            return Vec::new();
+        }
+        // prefix[i] = elems[0]·…·elems[i]
+        let mut prefix = Vec::with_capacity(elems.len());
+        let mut acc = elems[0].clone();
+        assert!(!self.is_zero_elem(&acc), "cannot invert zero");
+        prefix.push(acc.clone());
+        for e in &elems[1..] {
+            assert!(!self.is_zero_elem(e), "cannot invert zero");
+            acc = self.mmul(&acc, e);
+            prefix.push(acc.clone());
+        }
+        let mut inv_acc = self.minv(prefix.last().expect("nonempty"));
+        let mut out = vec![self.zero_elem(); elems.len()];
+        for i in (1..elems.len()).rev() {
+            out[i] = self.mmul(&inv_acc, &prefix[i - 1]);
+            inv_acc = self.mmul(&inv_acc, &elems[i]);
+        }
+        out[0] = inv_acc;
+        out
+    }
+
     /// Modular multiplication `a·b mod n` (operands in plain form).
     pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
         let am = self.enter(&(a % &self.n));
@@ -284,40 +534,7 @@ impl Montgomery {
         }
         let base = base % &self.n;
         let bm = self.enter(&base);
-
-        // Precompute base^0..base^15 in Montgomery form.
-        let mut table = Vec::with_capacity(16);
-        table.push(self.one_elem());
-        table.push(bm.clone());
-        for i in 2..16 {
-            let prev = self.mmul(&table[i - 1], &bm);
-            table.push(prev);
-        }
-
-        let bits = exp.bits();
-        let mut acc: Option<MontElem> = None;
-        let mut i = bits;
-        while i > 0 {
-            let take = if i % 4 == 0 { 4 } else { i % 4 };
-            let mut window = 0usize;
-            for k in 0..take {
-                window = window << 1 | exp.bit(i - 1 - k) as usize;
-            }
-            acc = Some(match acc {
-                None => table[window].clone(),
-                Some(mut a) => {
-                    for _ in 0..take {
-                        a = self.msqr(&a);
-                    }
-                    if window != 0 {
-                        a = self.mmul(&a, &table[window]);
-                    }
-                    a
-                }
-            });
-            i -= take;
-        }
-        self.leave(&acc.expect("nonzero exponent"))
+        self.leave(&self.mpow(&bm, exp))
     }
 }
 
@@ -359,10 +576,8 @@ mod tests {
 
     #[test]
     fn pow_matches_naive_multilimb() {
-        let n = BigUint::from_hex_str(
-            "f0000000000000000000000000000000000000000000000000000001d",
-        )
-        .unwrap();
+        let n = BigUint::from_hex_str("f0000000000000000000000000000000000000000000000000000001d")
+            .unwrap();
         let n = if n.is_even() { &n + &BigUint::one() } else { n };
         let m = Montgomery::new(n.clone());
         let b = BigUint::from_hex_str("abcdef0123456789abcdef0123456789abcdef").unwrap();
@@ -390,7 +605,9 @@ mod tests {
     #[test]
     fn fermat_little_theorem_on_prime() {
         // 2^521 - 1 is prime (Mersenne).
-        let p = BigUint::power_of_two(521).checked_sub(&BigUint::one()).unwrap();
+        let p = BigUint::power_of_two(521)
+            .checked_sub(&BigUint::one())
+            .unwrap();
         let m = Montgomery::new(p.clone());
         let a = BigUint::from(123456789u64);
         let e = p.checked_sub(&BigUint::one()).unwrap();
@@ -435,9 +652,63 @@ mod tests {
     }
 
     #[test]
+    fn mpow_matches_pow_across_limb_sizes() {
+        // Exercises the 1-, 2-, 3-, 4-limb kernels and the generic path.
+        for hex in [
+            "65",                                                               // 1 limb
+            "7fffffffffffffffffffffffffffffff",                                 // 2 limbs
+            "ffffffffffffffffffffffffffffffff7fffffff", // 3 limbs (secp160r1 p)
+            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff", // 4 limbs
+        ] {
+            let n = BigUint::from_hex_str(hex).unwrap();
+            let m = Montgomery::new(n.clone());
+            let b = BigUint::from(0x1234_5678_9abcu64) % &n;
+            for e in [0u64, 1, 2, 7, 15, 16, 255, 65537] {
+                let e = BigUint::from(e);
+                let via_mpow = m.leave(&m.mpow(&m.enter(&b), &e));
+                assert_eq!(via_mpow, naive_modpow(&b, &e, &n), "n={hex} e={e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn minv_inverts_mod_prime() {
+        let p = BigUint::from_hex_str("ffffffffffffffffffffffffffffffff7fffffff").unwrap();
+        let m = Montgomery::new(p);
+        let a = m.enter(&BigUint::from(123_456_789u64));
+        let inv = m.minv(&a);
+        assert_eq!(m.leave(&m.mmul(&a, &inv)), BigUint::one());
+    }
+
+    #[test]
+    fn batch_minv_matches_minv() {
+        let p = BigUint::from(1_000_003u64);
+        let m = Montgomery::new(p);
+        let elems: Vec<MontElem> = [3u64, 999_999, 42, 1, 500_001]
+            .iter()
+            .map(|&v| m.enter(&BigUint::from(v)))
+            .collect();
+        let batch = m.batch_minv(&elems);
+        assert_eq!(batch.len(), elems.len());
+        for (e, inv) in elems.iter().zip(&batch) {
+            assert_eq!(m.leave(&m.mmul(e, inv)), BigUint::one());
+        }
+        assert!(m.batch_minv(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invert zero")]
+    fn batch_minv_rejects_zero() {
+        let m = Montgomery::new(BigUint::from(97u64));
+        let _ = m.batch_minv(&[m.zero_elem()]);
+    }
+
+    #[test]
     fn large_modulus_boundary_48_limbs() {
         // A 3072-bit odd modulus (exactly MAX_LIMBS limbs).
-        let n = BigUint::power_of_two(3072).checked_sub(&BigUint::from(1105u64)).unwrap();
+        let n = BigUint::power_of_two(3072)
+            .checked_sub(&BigUint::from(1105u64))
+            .unwrap();
         assert!(n.is_odd());
         let m = Montgomery::new(n.clone());
         let a = BigUint::power_of_two(3000);

@@ -7,9 +7,9 @@ use rand::Rng;
 
 /// Small primes used for trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Runs `rounds` of Miller–Rabin with random bases.
@@ -122,9 +122,13 @@ mod tests {
     #[test]
     fn recognizes_mersenne_prime() {
         let mut rng = StdRng::seed_from_u64(8);
-        let m521 = BigUint::power_of_two(521).checked_sub(&BigUint::one()).unwrap();
+        let m521 = BigUint::power_of_two(521)
+            .checked_sub(&BigUint::one())
+            .unwrap();
         assert!(is_probable_prime(&m521, 10, &mut rng));
-        let m523 = BigUint::power_of_two(523).checked_sub(&BigUint::one()).unwrap();
+        let m523 = BigUint::power_of_two(523)
+            .checked_sub(&BigUint::one())
+            .unwrap();
         assert!(!is_probable_prime(&m523, 10, &mut rng));
     }
 

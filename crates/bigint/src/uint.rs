@@ -88,7 +88,7 @@ impl BigUint {
 
     /// Returns `true` if the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Returns `true` if the value is odd.
@@ -211,11 +211,15 @@ impl BigUint {
                 b'0'..=b'9' => Ok(b - b'0'),
                 b'a'..=b'f' => Ok(b - b'a' + 10),
                 b'A'..=b'F' => Ok(b - b'A' + 10),
-                _ => Err(ParseBigUintError { kind: "non-hex digit" }),
+                _ => Err(ParseBigUintError {
+                    kind: "non-hex digit",
+                }),
             })
             .collect::<Result<_, _>>()?;
         if digits.is_empty() {
-            return Err(ParseBigUintError { kind: "empty literal" });
+            return Err(ParseBigUintError {
+                kind: "empty literal",
+            });
         }
         let mut v = BigUint::zero();
         for d in digits {
@@ -235,12 +239,16 @@ impl BigUint {
     /// non-decimal character.
     pub fn from_dec_str(s: &str) -> Result<Self, ParseBigUintError> {
         if s.is_empty() {
-            return Err(ParseBigUintError { kind: "empty literal" });
+            return Err(ParseBigUintError {
+                kind: "empty literal",
+            });
         }
         let mut v = BigUint::zero();
         for b in s.bytes() {
             if !b.is_ascii_digit() {
-                return Err(ParseBigUintError { kind: "non-decimal digit" });
+                return Err(ParseBigUintError {
+                    kind: "non-decimal digit",
+                });
             }
             v = v.mul_small(10);
             v = &v + &BigUint::from((b - b'0') as u64);

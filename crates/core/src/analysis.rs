@@ -79,8 +79,10 @@ mod tests {
         let ops = participant_ops(25, 52);
         assert!(ops.chain_exps > ops.compare_exps * 10);
         assert!(ops.chain_exps > ops.encrypt_exps * 100);
-        assert_eq!(ops.total(),
-            ops.setup_exps + ops.encrypt_exps + ops.compare_exps + ops.chain_exps + ops.final_exps);
+        assert_eq!(
+            ops.total(),
+            ops.setup_exps + ops.encrypt_exps + ops.compare_exps + ops.chain_exps + ops.final_exps
+        );
     }
 
     #[test]

@@ -118,7 +118,10 @@ impl Questionnaire {
 impl QuestionnaireBuilder {
     /// Adds an attribute.
     pub fn attribute(mut self, name: impl Into<String>, kind: AttributeKind) -> Self {
-        self.attrs.push(AttributeSpec { name: name.into(), kind });
+        self.attrs.push(AttributeSpec {
+            name: name.into(),
+            kind,
+        });
         self
     }
 
@@ -172,7 +175,10 @@ impl InfoVector {
     /// [`VectorError::DimensionMismatch`] or [`VectorError::ValueTooWide`].
     pub fn new(q: &Questionnaire, values: Vec<u64>, attr_bits: u32) -> Result<Self, VectorError> {
         if values.len() != q.dimension() {
-            return Err(VectorError::DimensionMismatch { expected: q.dimension(), got: values.len() });
+            return Err(VectorError::DimensionMismatch {
+                expected: q.dimension(),
+                got: values.len(),
+            });
         }
         check_width(&values, attr_bits)?;
         Ok(InfoVector { values })
@@ -198,7 +204,10 @@ impl CriterionVector {
     /// [`VectorError::DimensionMismatch`] or [`VectorError::ValueTooWide`].
     pub fn new(q: &Questionnaire, values: Vec<u64>, attr_bits: u32) -> Result<Self, VectorError> {
         if values.len() != q.dimension() {
-            return Err(VectorError::DimensionMismatch { expected: q.dimension(), got: values.len() });
+            return Err(VectorError::DimensionMismatch {
+                expected: q.dimension(),
+                got: values.len(),
+            });
         }
         check_width(&values, attr_bits)?;
         Ok(CriterionVector { values })
@@ -224,7 +233,10 @@ impl WeightVector {
     /// [`VectorError::DimensionMismatch`] or [`VectorError::ValueTooWide`].
     pub fn new(q: &Questionnaire, values: Vec<u64>, weight_bits: u32) -> Result<Self, VectorError> {
         if values.len() != q.dimension() {
-            return Err(VectorError::DimensionMismatch { expected: q.dimension(), got: values.len() });
+            return Err(VectorError::DimensionMismatch {
+                expected: q.dimension(),
+                got: values.len(),
+            });
         }
         check_width(&values, weight_bits)?;
         Ok(WeightVector { values })
@@ -337,7 +349,10 @@ mod tests {
         assert!(InfoVector::new(&q, vec![1], 15).is_err());
         assert_eq!(
             InfoVector::new(&q, vec![1, 1 << 15], 15),
-            Err(VectorError::ValueTooWide { value: 1 << 15, bits: 15 })
+            Err(VectorError::ValueTooWide {
+                value: 1 << 15,
+                bits: 15
+            })
         );
         assert!(InfoVector::new(&q, vec![30, 500], 15).is_ok());
         assert!(WeightVector::new(&q, vec![255, 255], 8).is_ok());

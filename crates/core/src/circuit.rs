@@ -51,7 +51,10 @@ pub fn compare_encrypted(
         .collect();
 
     // Suffix sums S^t = Σ_{v>t} γ^v, computed MSB-down.
-    let zero_ct = Ciphertext { alpha: group.identity(), beta: group.identity() };
+    let zero_ct = Ciphertext {
+        alpha: group.identity(),
+        beta: group.identity(),
+    };
     let mut suffix = vec![zero_ct; l];
     for idx in (0..l.saturating_sub(1)).rev() {
         suffix[idx] = scheme.add(&suffix[idx + 1], &gammas[idx + 1]);
@@ -60,12 +63,15 @@ pub fn compare_encrypted(
     // τ^t = (l − t + 1)(1 − γ^t) + S^t + β_j^t, with t = idx + 1.
     (0..l)
         .map(|idx| {
-            let weight = (l - idx) as u64; // l − t + 1
-            // (l−t+1) − (l−t+1)·γ^t
-            let neg_scaled = scheme.scalar_mul(
-                &gammas[idx],
-                &group.scalar_neg(&group.scalar_from_u64(weight)),
-            );
+            // weight = l − t + 1. The term (l−t+1) − (l−t+1)·γ^t scales by
+            // the small weight first and negates the ciphertext afterwards,
+            // keeping the exponent at ⌈log₂ l⌉ bits instead of a full-width
+            // scalar `q − weight`, which the group backends exponentiate
+            // orders of magnitude faster; the two orderings yield identical
+            // group elements.
+            let weight = (l - idx) as u64;
+            let neg_scaled =
+                scheme.neg(&scheme.scalar_mul(&gammas[idx], &group.scalar_from_u64(weight)));
             let mut tau = scheme.add_plaintext(&neg_scaled, &group.scalar_from_u64(weight));
             tau = scheme.add(&tau, &suffix[idx]);
             if own.bit(idx) {
@@ -80,8 +86,8 @@ pub fn compare_encrypted(
 /// returns the `τ` values as integers.
 pub fn compare_plain(own: &BigUint, other: &BigUint, l: usize) -> Vec<u64> {
     let mut gammas = vec![0u64; l];
-    for idx in 0..l {
-        gammas[idx] = u64::from(own.bit(idx) != other.bit(idx));
+    for (idx, gamma) in gammas.iter_mut().enumerate() {
+        *gamma = u64::from(own.bit(idx) != other.bit(idx));
     }
     (0..l)
         .map(|idx| {
@@ -111,11 +117,7 @@ mod tests {
         for a in 0u64..32 {
             for b in 0u64..32 {
                 let taus = compare_plain(&BigUint::from(a), &BigUint::from(b), l);
-                assert_eq!(
-                    signals_less_than(&taus),
-                    a < b,
-                    "a={a} b={b} taus={taus:?}"
-                );
+                assert_eq!(signals_less_than(&taus), a < b, "a={a} b={b} taus={taus:?}");
                 // At most one zero (paper's claim).
                 assert!(taus.iter().filter(|&&t| t == 0).count() <= 1);
                 // Bounded values: τ ≤ 2l (weight + suffix + own bit).

@@ -55,7 +55,10 @@ pub struct DistributedOutcome {
 type Net = PartyHandle<bytes::Bytes>;
 
 fn err<T>(party: usize, what: impl Into<String>) -> Result<T, DistributedError> {
-    Err(DistributedError { party, what: what.into() })
+    Err(DistributedError {
+        party,
+        what: what.into(),
+    })
 }
 
 macro_rules! wire_try {
@@ -91,17 +94,21 @@ pub fn run_distributed(
     for (idx, info) in infos.into_iter().enumerate() {
         let net = handles[idx + 1].take().expect("participant handle");
         let params_j = params.clone();
-        participants.push(thread::spawn(move || participant_thread(params_j, info, net)));
+        participants.push(thread::spawn(move || {
+            participant_thread(params_j, info, net)
+        }));
     }
 
-    let report = initiator
-        .join()
-        .map_err(|_| DistributedError { party: 0, what: "initiator thread panicked".into() })??;
+    let report = initiator.join().map_err(|_| DistributedError {
+        party: 0,
+        what: "initiator thread panicked".into(),
+    })??;
     let mut ranks = vec![0usize; n];
     for (idx, t) in participants.into_iter().enumerate() {
-        let rank = t
-            .join()
-            .map_err(|_| DistributedError { party: idx + 1, what: "thread panicked".into() })??;
+        let rank = t.join().map_err(|_| DistributedError {
+            party: idx + 1,
+            what: "thread panicked".into(),
+        })??;
         ranks[idx] = rank;
     }
     Ok(DistributedOutcome { ranks, report })
@@ -129,11 +136,11 @@ fn initiator_thread(
     let w = profile.weights.values();
     let v0 = profile.criterion.values();
     let mut v_recv: Vec<Fp> = Vec::with_capacity(m + t);
-    for k in t..m {
-        v_recv.push(field.from_i128(rho as i128 * w[k] as i128));
+    for &wk in &w[t..m] {
+        v_recv.push(field.from_i128(rho as i128 * wk as i128));
     }
-    for k in 0..t {
-        v_recv.push(field.from_i128(-(rho as i128) * w[k] as i128));
+    for &wk in &w[..t] {
+        v_recv.push(field.from_i128(-(rho as i128) * wk as i128));
     }
     for k in 0..t {
         v_recv.push(field.from_i128(2 * rho as i128 * w[k] as i128 * v0[k] as i128));
@@ -182,11 +189,23 @@ fn initiator_thread(
             Ok(i) => i,
             Err(e) => return err(me, format!("bad submission from {j}: {e}")),
         };
-        submissions.push(Submission { party: j, claimed_rank: claimed, info });
+        submissions.push(Submission {
+            party: j,
+            claimed_rank: claimed,
+            info,
+        });
     }
     let log = TrafficLog::new();
     let mut timer = PartyTimer::new(1);
-    Ok(verify_submissions(q, &profile, &submissions, params.top_k(), &log, &mut timer, 0))
+    Ok(verify_submissions(
+        q,
+        &profile,
+        &submissions,
+        params.top_k(),
+        &log,
+        &mut timer,
+        0,
+    ))
 }
 
 /// One participant (`P_j`): full three-phase protocol.
@@ -202,22 +221,21 @@ fn participant_thread(
     let scheme = ExpElGamal::new(group.clone());
     let field = default_field();
     let proto = DotProduct::new(field.clone());
-    let mut rng =
-        HashDrbg::seed_from_u64(params.seed()).fork(format!("party-{me}").as_bytes());
+    let mut rng = HashDrbg::seed_from_u64(params.seed()).fork(format!("party-{me}").as_bytes());
     let q = params.questionnaire();
     let (m, t) = (q.dimension(), q.equal_to_count());
 
     // ---- Phase 1: masked gain via the secure dot product. -------------
     let vj = info.values();
     let mut w_vec: Vec<Fp> = Vec::with_capacity(m + t);
-    for k in t..m {
-        w_vec.push(field.from_i128(vj[k] as i128));
+    for &vk in &vj[t..m] {
+        w_vec.push(field.from_i128(vk as i128));
     }
-    for k in 0..t {
-        w_vec.push(field.from_i128(vj[k] as i128 * vj[k] as i128));
+    for &vk in &vj[..t] {
+        w_vec.push(field.from_i128(vk as i128 * vk as i128));
     }
-    for k in 0..t {
-        w_vec.push(field.from_i128(vj[k] as i128));
+    for &vk in &vj[..t] {
+        w_vec.push(field.from_i128(vk as i128));
     }
     let (state, msg1) = proto.sender_round1(&w_vec, &mut rng);
     let mut w_out = Writer::new();
@@ -258,6 +276,7 @@ fn participant_thread(
 
     // Sequential proofs, prover order 1..=n. Verifier challenge shares are
     // broadcast so every verifier can form the same challenge sum.
+    #[allow(clippy::needless_range_loop)] // protocol round over 1-based party IDs
     for prover in 1..=n {
         if prover == me {
             let (st, commitment) = SchnorrProver::commit(&group, kp.secret_key().clone(), &mut rng);
@@ -310,7 +329,9 @@ fn participant_thread(
     }
     let joint = JointKey::combine(
         &group,
-        &(1..=n).map(|j| public_shares[j].clone()).collect::<Vec<_>>(),
+        &(1..=n)
+            .map(|j| public_shares[j].clone())
+            .collect::<Vec<_>>(),
     );
 
     // ---- Step 6: bitwise encryption, broadcast. ------------------------
@@ -328,7 +349,10 @@ fn participant_thread(
         all_bits[j] = wire_try!(me, r.ciphertexts(&group));
         wire_try!(me, r.done());
         if all_bits[j].len() != l {
-            return err(me, format!("party {j} published {} bit ciphertexts", all_bits[j].len()));
+            return err(
+                me,
+                format!("party {j} published {} bit ciphertexts", all_bits[j].len()),
+            );
         }
     }
 
@@ -488,12 +512,18 @@ mod tests {
 
         // Validate against plaintext gains.
         let q = p.questionnaire();
-        let gains: Vec<i128> =
-            infos.iter().map(|i| crate::attrs::gain(q, &profile, i)).collect();
+        let gains: Vec<i128> = infos
+            .iter()
+            .map(|i| crate::attrs::gain(q, &profile, i))
+            .collect();
         for a in 0..gains.len() {
             for b in 0..gains.len() {
                 if gains[a] > gains[b] {
-                    assert!(out.ranks[a] < out.ranks[b], "gains {gains:?} ranks {:?}", out.ranks);
+                    assert!(
+                        out.ranks[a] < out.ranks[b],
+                        "gains {gains:?} ranks {:?}",
+                        out.ranks
+                    );
                 }
             }
         }

@@ -126,7 +126,11 @@ pub struct GroupRanking {
 impl GroupRanking {
     /// Creates an orchestrator for the given parameters.
     pub fn new(params: FrameworkParams) -> Self {
-        GroupRanking { params, population: None, log: TrafficLog::new() }
+        GroupRanking {
+            params,
+            population: None,
+            log: TrafficLog::new(),
+        }
     }
 
     /// Generates a seeded random population (deterministic per
@@ -185,8 +189,7 @@ impl GroupRanking {
 
         // Phase 1: secure gain computation.
         let mut gain_timer = PartyTimer::new(n + 1);
-        let gain_out =
-            run_gain_phase(params, &profile, &infos, &mut rng, &log, &mut gain_timer, 0);
+        let gain_out = run_gain_phase(params, &profile, &infos, &mut rng, &log, &mut gain_timer, 0);
 
         // Phase 2: unlinkable comparison / sorting.
         let mut sort_timer = PartyTimer::new(n + 1);
@@ -286,7 +289,10 @@ mod tests {
     #[test]
     fn missing_population_errors() {
         let params = small_params(3, 1, 1);
-        assert_eq!(GroupRanking::new(params).run().unwrap_err(), RunError::MissingPopulation);
+        assert_eq!(
+            GroupRanking::new(params).run().unwrap_err(),
+            RunError::MissingPopulation
+        );
     }
 
     #[test]
@@ -297,7 +303,10 @@ mod tests {
         infos.pop();
         assert!(matches!(
             GroupRanking::new(params).with_population(profile, infos),
-            Err(VectorError::DimensionMismatch { expected: 3, got: 2 })
+            Err(VectorError::DimensionMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
     }
 

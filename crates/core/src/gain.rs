@@ -54,7 +54,11 @@ pub fn run_gain_phase<R: Rng + ?Sized>(
     timer: &mut PartyTimer,
     round_base: u32,
 ) -> GainPhaseOutput {
-    assert_eq!(infos.len(), params.participants(), "population size mismatch");
+    assert_eq!(
+        infos.len(),
+        params.participants(),
+        "population size mismatch"
+    );
     let field = default_field();
     let proto = DotProduct::new(field.clone());
     let q = params.questionnaire();
@@ -63,7 +67,14 @@ pub fn run_gain_phase<R: Rng + ?Sized>(
     let l = params.beta_bits();
 
     // Initiator secret ρ: exactly h bits (top bit set ⇒ ρ ≥ 2^{h−1} > 0).
+    // `FrameworkParams::build` already rejects h = 0 and h ≥ 64; the
+    // checked shift keeps an uncomposed call (e.g. a hand-rolled params
+    // struct in a fuzz harness) from silently wrapping.
     let h = params.mask_bits();
+    assert!(
+        (1..64).contains(&h),
+        "mask width h={h} outside supported 1..64"
+    );
     let rho: u64 = timer.time(0, || {
         let top = 1u64 << (h - 1);
         top | rng.gen_range(0..top)
@@ -73,18 +84,22 @@ pub fn run_gain_phase<R: Rng + ?Sized>(
     let w = profile.weights.values();
     let v0 = profile.criterion.values();
     let initiator_v: Vec<Fp> = timer.time(0, || {
+        let mul = |a: i128, b: i128| {
+            a.checked_mul(b)
+                .expect("initiator vector term exceeds exact i128 gain arithmetic")
+        };
         let mut v = Vec::with_capacity(m + t);
         // ρ·wg  (greater-than weights)
-        for k in t..m {
-            v.push(field.from_i128(rho as i128 * w[k] as i128));
+        for &wk in &w[t..m] {
+            v.push(field.from_i128(mul(rho as i128, wk as i128)));
         }
         // −ρ·we (equal-to weights)
-        for k in 0..t {
-            v.push(field.from_i128(-(rho as i128) * w[k] as i128));
+        for &wk in &w[..t] {
+            v.push(field.from_i128(mul(-(rho as i128), wk as i128)));
         }
         // 2ρ·(we ∗ ve₀)
         for k in 0..t {
-            v.push(field.from_i128(2 * rho as i128 * w[k] as i128 * v0[k] as i128));
+            v.push(field.from_i128(mul(mul(2 * rho as i128, w[k] as i128), v0[k] as i128)));
         }
         v
     });
@@ -97,18 +112,24 @@ pub fn run_gain_phase<R: Rng + ?Sized>(
         let vj = info.values();
         let (state, msg1) = timer.time(party, || {
             let mut wv = Vec::with_capacity(m + t);
-            for k in t..m {
-                wv.push(field.from_i128(vj[k] as i128));
+            for &vk in &vj[t..m] {
+                wv.push(field.from_i128(vk as i128));
             }
-            for k in 0..t {
-                wv.push(field.from_i128(vj[k] as i128 * vj[k] as i128));
+            for &vk in &vj[..t] {
+                wv.push(field.from_i128(vk as i128 * vk as i128));
             }
-            for k in 0..t {
-                wv.push(field.from_i128(vj[k] as i128));
+            for &vk in &vj[..t] {
+                wv.push(field.from_i128(vk as i128));
             }
             proto.sender_round1(&wv, rng)
         });
-        log.record(round_base, party, 0, msg1.element_count() * FIELD_BYTES, "gain");
+        log.record(
+            round_base,
+            party,
+            0,
+            msg1.element_count() * FIELD_BYTES,
+            "gain",
+        );
 
         let rho_j = rng.gen_range(0..rho);
         let msg2 = timer.time(0, || {
@@ -123,13 +144,19 @@ pub fn run_gain_phase<R: Rng + ?Sized>(
                 .to_i128_centered()
                 .expect("masked gain fits the bit-length calculus");
             // Sanity versus the local plaintext model.
-            debug_assert_eq!(signed, rho as i128 * partial_gain(q, profile, info) + rho_j as i128);
+            debug_assert_eq!(
+                signed,
+                rho as i128 * partial_gain(q, profile, info) + rho_j as i128
+            );
             signed
         });
         masked_signed.push(beta);
         betas.push(to_unsigned(beta, l));
     }
-    GainPhaseOutput { betas, masked_signed }
+    GainPhaseOutput {
+        betas,
+        masked_signed,
+    }
 }
 
 /// Converts a signed masked gain to the unsigned `l`-bit representation by
@@ -137,11 +164,19 @@ pub fn run_gain_phase<R: Rng + ?Sized>(
 ///
 /// # Panics
 ///
-/// Panics if the value falls outside `[−2^{l−1}, 2^{l−1})`, which would
-/// mean the bit-length calculus was violated.
+/// Panics if `l` is outside `1..=120` (the exact-`i128` regime enforced by
+/// [`FrameworkParams`](crate::params::FrameworkParams)) or the value falls
+/// outside `[−2^{l−1}, 2^{l−1})`, which would mean the bit-length calculus
+/// was violated.
 pub fn to_unsigned(value: i128, l: usize) -> BigUint {
+    assert!(
+        (1..=120).contains(&l),
+        "bit length l={l} outside supported 1..=120"
+    );
     let offset = 1i128 << (l - 1);
-    let shifted = value.checked_add(offset).expect("l <= 120");
+    let shifted = value
+        .checked_add(offset)
+        .unwrap_or_else(|| panic!("masked gain {value} exceeds {l}-bit budget"));
     assert!(
         (0..(1i128 << l)).contains(&shifted),
         "masked gain {value} exceeds {l}-bit budget"
@@ -234,5 +269,34 @@ mod tests {
     #[should_panic(expected = "bit budget")]
     fn to_unsigned_overflow_panics() {
         let _ = to_unsigned(1 << 20, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported 1..=120")]
+    fn to_unsigned_rejects_zero_width() {
+        let _ = to_unsigned(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported 1..=120")]
+    fn to_unsigned_rejects_oversized_width() {
+        // l = 127 would make `1i128 << l` overflow; the guard fires first.
+        let _ = to_unsigned(0, 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit budget")]
+    fn to_unsigned_underflow_panics() {
+        // More negative than −2^{l−1}: below the representable window.
+        let _ = to_unsigned(-(1 << 20), 8);
+    }
+
+    #[test]
+    fn to_unsigned_accepts_window_extremes() {
+        assert_eq!(to_unsigned(-(1 << 7), 8), BigUint::zero());
+        assert_eq!(to_unsigned((1 << 7) - 1, 8), BigUint::from(255u64));
+        // The widest supported budget round-trips without i128 overflow.
+        let top = (1i128 << 119) - 1;
+        assert_eq!(to_unsigned(top, 120).bits(), 120);
     }
 }

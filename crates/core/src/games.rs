@@ -54,7 +54,13 @@ impl GameReport {
 /// `(P₁, P₂)` or `(P₂, P₁)`; `P₃`'s value lies strictly between. `P₃`
 /// decrypts her returned set and guesses from the *position* of the zero:
 /// block 0 ↔ opponent `P₁`, block 1 ↔ opponent `P₂`.
-pub fn unlinkability_attack(group: &Group, l: usize, trials: u32, shuffle: bool, seed: u64) -> GameReport {
+pub fn unlinkability_attack(
+    group: &Group,
+    l: usize,
+    trials: u32,
+    shuffle: bool,
+    seed: u64,
+) -> GameReport {
     let mut rng = HashDrbg::seed_from_u64(seed);
     let scheme = ExpElGamal::new(group.clone());
     let (v_hi, v_lo, v_adv) = (40u64, 10u64, 25u64);
@@ -62,14 +68,16 @@ pub fn unlinkability_attack(group: &Group, l: usize, trials: u32, shuffle: bool,
     for _ in 0..trials {
         let b = rng.gen_bool(0.5);
         let (p1, p2) = if b { (v_lo, v_hi) } else { (v_hi, v_lo) };
-        let values: Vec<BigUint> =
-            [p1, p2, v_adv].iter().map(|&v| BigUint::from(v)).collect();
+        let values: Vec<BigUint> = [p1, p2, v_adv].iter().map(|&v| BigUint::from(v)).collect();
         let log = TrafficLog::new();
         let mut timer = PartyTimer::new(4);
-        let options = SortOptions { shuffle, randomize: true };
-        let (_out, trace) =
-            run_sort(group, &values, l, options, &mut rng, &log, &mut timer, 0)
-                .expect("valid game setup");
+        let options = SortOptions {
+            shuffle,
+            randomize: true,
+            ..SortOptions::default()
+        };
+        let (_out, trace) = run_sort(group, &values, l, options, &mut rng, &log, &mut timer, 0)
+            .expect("valid game setup");
 
         // The colluder is party 3 (index 2); she owns her secret key.
         let own_key = trace.keys[2].secret_key();
@@ -98,7 +106,11 @@ pub fn value_recovery_rate(group: &Group, l: usize, randomize: bool, seed: u64) 
     let values: Vec<BigUint> = [40u64, 10, 25].iter().map(|&v| BigUint::from(v)).collect();
     let log = TrafficLog::new();
     let mut timer = PartyTimer::new(4);
-    let options = SortOptions { shuffle: true, randomize };
+    let options = SortOptions {
+        shuffle: true,
+        randomize,
+        ..SortOptions::default()
+    };
     let (_out, trace) = run_sort(group, &values, l, options, &mut rng, &log, &mut timer, 0)
         .expect("valid game setup");
 
@@ -111,7 +123,10 @@ pub fn value_recovery_rate(group: &Group, l: usize, randomize: bool, seed: u64) 
             continue;
         }
         nonzero += 1;
-        if scheme.decrypt_small(own_key, ct, 2 * l as u64 + 4).is_some() {
+        if scheme
+            .decrypt_small(own_key, ct, 2 * l as u64 + 4)
+            .is_some()
+        {
             recovered += 1;
         }
     }
@@ -131,9 +146,9 @@ pub fn indcpa_statistic_advantage(group: &Group, trials: u32, with_key: bool, se
     let shares: Vec<_> = keys.iter().map(|k| k.public_key().clone()).collect();
     let joint = JointKey::combine(group, &shares);
     // Full secret only exists for the positive control.
-    let full_secret = keys
-        .iter()
-        .fold(group.scalar_from_u64(0), |acc, k| group.scalar_add(&acc, k.secret_key()));
+    let full_secret = keys.iter().fold(group.scalar_from_u64(0), |acc, k| {
+        group.scalar_add(&acc, k.secret_key())
+    });
 
     let mut correct = 0u32;
     for _ in 0..trials {
@@ -218,7 +233,10 @@ mod tests {
         let group = GroupKind::Ecc160.group();
         let report = unlinkability_attack(&group, L, 30, true, 2);
         let acc = report.accuracy();
-        assert!((0.2..=0.8).contains(&acc), "shuffle should force ≈½, got {acc}");
+        assert!(
+            (0.2..=0.8).contains(&acc),
+            "shuffle should force ≈½, got {acc}"
+        );
     }
 
     #[test]
@@ -231,7 +249,10 @@ mod tests {
     fn tau_values_hidden_with_randomization() {
         let group = GroupKind::Ecc160.group();
         let rate = value_recovery_rate(&group, L, true, 4);
-        assert!(rate < 0.10, "randomized τ should be unrecoverable, rate {rate}");
+        assert!(
+            rate < 0.10,
+            "randomized τ should be unrecoverable, rate {rate}"
+        );
     }
 
     #[test]

@@ -64,12 +64,12 @@ mod timing;
 pub mod wire;
 
 pub use attrs::{
-    gain as compute_gain, partial_gain as compute_partial_gain,
-    AttributeKind, AttributeSpec, CriterionVector, InfoVector, InitiatorProfile, Questionnaire,
-    QuestionnaireBuilder, VectorError, WeightVector,
+    gain as compute_gain, partial_gain as compute_partial_gain, AttributeKind, AttributeSpec,
+    CriterionVector, InfoVector, InitiatorProfile, Questionnaire, QuestionnaireBuilder,
+    VectorError, WeightVector,
 };
+pub use distributed::{run_distributed, DistributedOutcome};
 pub use framework::{GroupRanking, Outcome, PhaseTimings, RunError};
 pub use params::{bit_length, FrameworkParams, FrameworkParamsBuilder, ParamError};
 pub use sorting::{unlinkable_sort, SortError, SortOutcome};
-pub use distributed::{run_distributed, DistributedOutcome};
 pub use timing::PartyTimer;

@@ -20,6 +20,13 @@ pub enum ParamError {
     },
     /// Bit widths must be positive.
     ZeroWidth(&'static str),
+    /// The mask width `h` must stay below 64: the initiator's secret `ρ`
+    /// is sampled as an exactly-`h`-bit `u64`
+    /// (see [`crate::gain::run_gain_phase`]).
+    MaskTooWide {
+        /// requested h
+        h: u32,
+    },
     /// The masked-gain bit length `l` exceeds what exact `i128` gain
     /// arithmetic supports.
     BitLengthTooLarge {
@@ -34,8 +41,16 @@ impl fmt::Display for ParamError {
             ParamError::TooFewParticipants(n) => {
                 write!(f, "need at least 2 participants, got {n}")
             }
-            ParamError::BadTopK { k, n } => write!(f, "top-k must satisfy 1 <= k <= n, got k={k}, n={n}"),
+            ParamError::BadTopK { k, n } => {
+                write!(f, "top-k must satisfy 1 <= k <= n, got k={k}, n={n}")
+            }
             ParamError::ZeroWidth(which) => write!(f, "{which} bit width must be positive"),
+            ParamError::MaskTooWide { h } => {
+                write!(
+                    f,
+                    "mask width h={h} too wide: the secret rho is an h-bit u64, so h < 64"
+                )
+            }
             ParamError::BitLengthTooLarge { l } => {
                 write!(f, "masked gain needs {l} bits; maximum supported is 120")
             }
@@ -246,7 +261,10 @@ impl FrameworkParamsBuilder {
             return Err(ParamError::TooFewParticipants(self.n));
         }
         if self.k == 0 || self.k > self.n {
-            return Err(ParamError::BadTopK { k: self.k, n: self.n });
+            return Err(ParamError::BadTopK {
+                k: self.k,
+                n: self.n,
+            });
         }
         if self.attr_bits == 0 {
             return Err(ParamError::ZeroWidth("attribute"));
@@ -256,6 +274,9 @@ impl FrameworkParamsBuilder {
         }
         if self.mask_bits == 0 {
             return Err(ParamError::ZeroWidth("mask"));
+        }
+        if self.mask_bits >= 64 {
+            return Err(ParamError::MaskTooWide { h: self.mask_bits });
         }
         let l = bit_length(
             self.questionnaire.dimension(),
@@ -334,7 +355,10 @@ mod tests {
             Err(ParamError::TooFewParticipants(1))
         ));
         assert!(matches!(
-            FrameworkParams::builder(q()).participants(5).top_k(6).build(),
+            FrameworkParams::builder(q())
+                .participants(5)
+                .top_k(6)
+                .build(),
             Err(ParamError::BadTopK { .. })
         ));
         assert!(matches!(
@@ -342,8 +366,25 @@ mod tests {
             Err(ParamError::ZeroWidth("attribute"))
         ));
         assert!(matches!(
-            FrameworkParams::builder(q()).attr_bits(60).weight_bits(30).build(),
+            FrameworkParams::builder(q())
+                .attr_bits(60)
+                .weight_bits(30)
+                .build(),
             Err(ParamError::BitLengthTooLarge { .. })
+        ));
+        // h = 64 would overflow the u64 sampling of ρ before the bit-length
+        // check could catch it; the dedicated variant rejects it first.
+        assert!(matches!(
+            FrameworkParams::builder(q()).mask_bits(64).build(),
+            Err(ParamError::MaskTooWide { h: 64 })
+        ));
+        assert!(matches!(
+            FrameworkParams::builder(q())
+                .mask_bits(63)
+                .attr_bits(1)
+                .weight_bits(1)
+                .build(),
+            Ok(_)
         ));
     }
 
@@ -359,9 +400,7 @@ mod tests {
         let (profile, infos) = p.random_population(&mut rng);
         assert_eq!(infos.len(), 6);
         assert!(profile.weights.values().iter().all(|&w| w < 8));
-        assert!(infos
-            .iter()
-            .all(|i| i.values().iter().all(|&v| v < 32)));
+        assert!(infos.iter().all(|i| i.values().iter().all(|&v| v < 32)));
     }
 
     #[test]

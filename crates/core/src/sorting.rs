@@ -24,14 +24,16 @@
 use crate::circuit::compare_encrypted;
 use crate::timing::PartyTimer;
 use ppgr_bigint::BigUint;
-use ppgr_elgamal::{encrypt_bits, Ciphertext, ExpElGamal, JointKey, KeyPair};
-use ppgr_group::Group;
+use ppgr_elgamal::{encrypt_bits_prepared, Ciphertext, ExpElGamal, JointKey, KeyPair};
+use ppgr_group::{Group, Scalar};
 use ppgr_net::TrafficLog;
 use ppgr_zkp::MultiVerifierProof;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Errors from the sorting protocol.
 #[derive(Clone, Debug, Eq, PartialEq)]
@@ -87,12 +89,81 @@ pub struct SortOptions {
     /// Multiply plaintexts by a fresh random at every hop (the gain-hiding
     /// mechanism for non-zero `τ`).
     pub randomize: bool,
+    /// Worker threads for each party's local crypto (`0` = one per
+    /// available core, `1` = serial). Randomness is pre-drawn serially, so
+    /// every thread count produces bit-identical transcripts and ranks.
+    /// Only *local* work parallelizes: the hop-to-hop chain itself stays
+    /// sequential because each hop must shuffle and re-randomize the
+    /// previous hop's output before anyone else may see it — pipelining
+    /// hops would let a party observe pre-shuffle sets and break
+    /// unlinkability.
+    pub threads: usize,
 }
 
 impl Default for SortOptions {
     fn default() -> Self {
-        SortOptions { shuffle: true, randomize: true }
+        SortOptions {
+            shuffle: true,
+            randomize: true,
+            threads: 0,
+        }
     }
+}
+
+/// Resolves [`SortOptions::threads`] to a concrete worker count.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Runs `f` over `items` on up to `workers` scoped threads, preserving
+/// item order in the output. Returns the results plus the total CPU time
+/// summed across workers (for [`PartyTimer::record`]). `f` must not touch
+/// the protocol RNG — callers pre-draw any randomness serially.
+fn parallel_map<T: Sync, U: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(&T) -> U + Sync,
+) -> (Vec<U>, Duration) {
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        let start = Instant::now();
+        let out: Vec<U> = items.iter().map(&f).collect();
+        return (out, start.elapsed());
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    let mut cpu = Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let start = Instant::now();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    (out, start.elapsed())
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (part, spent) = handle.join().expect("sort worker panicked");
+            indexed.extend(part);
+            cpu += spent;
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    (indexed.into_iter().map(|(_, u)| u).collect(), cpu)
 }
 
 /// Everything a run exposes beyond the ranks — consumed by the
@@ -125,8 +196,17 @@ pub fn unlinkable_sort<R: Rng + ?Sized>(
     timer: &mut PartyTimer,
     round_base: u32,
 ) -> Result<SortOutcome, SortError> {
-    run_sort(group, values, l, SortOptions::default(), rng, log, timer, round_base)
-        .map(|(outcome, _trace)| outcome)
+    run_sort(
+        group,
+        values,
+        l,
+        SortOptions::default(),
+        rng,
+        log,
+        timer,
+        round_base,
+    )
+    .map(|(outcome, _trace)| outcome)
 }
 
 /// Full-control entry point: options + trace (used by games and tests).
@@ -200,15 +280,23 @@ pub fn run_sort<R: Rng + ?Sized>(
 
     let shares: Vec<_> = keys.iter().map(|k| k.public_key().clone()).collect();
     let joint = JointKey::combine(group, &shares);
+    let workers = resolve_threads(options.threads);
+
+    // The fixed-base table for the joint key `y` is public precomputation:
+    // every party derives it from the published key shares, so its (small,
+    // amortized) cost is not charged to any single party's ledger.
+    let key_table = scheme.prepare_key(joint.public_key());
 
     // Step 6: bitwise encryption under the joint key, published to all.
+    // The prepared-table batch path draws the per-bit randomness in the
+    // same order as per-bit `encrypt_bits`, so transcripts are unchanged.
     let encrypted_bits: Vec<Vec<Ciphertext>> = values
         .iter()
         .enumerate()
         .map(|(idx, v)| {
             let party = idx + 1;
             let cts = timer.time(party, || {
-                encrypt_bits(&scheme, joint.public_key(), v, l, rng)
+                encrypt_bits_prepared(&scheme, &key_table, v, l, rng)
             });
             for other in 1..=n {
                 if other != party {
@@ -222,19 +310,19 @@ pub fn run_sort<R: Rng + ?Sized>(
 
     // Step 7: comparisons. Party j compares her plaintext value against
     // every other party's encrypted bits; her set is the concatenation in
-    // `opponent_order`.
+    // `opponent_order`. The n−1 comparisons are independent and consume no
+    // randomness, so they fan out across worker threads.
     let mut sets: Vec<Vec<Ciphertext>> = Vec::with_capacity(n);
     let mut opponent_order: Vec<Vec<usize>> = Vec::with_capacity(n);
-    for idx in 0..n {
+    for (idx, value) in values.iter().enumerate() {
         let party = idx + 1;
         let opponents: Vec<usize> = (0..n).filter(|&i| i != idx).collect();
-        let set = timer.time(party, || {
-            let mut set = Vec::with_capacity((n - 1) * l);
-            for &opp in &opponents {
-                set.extend(compare_encrypted(&scheme, &values[idx], &encrypted_bits[opp], l));
-            }
-            set
+        let start = Instant::now();
+        let (chunks, cpu) = parallel_map(&opponents, workers, |&opp| {
+            compare_encrypted(&scheme, value, &encrypted_bits[opp], l)
         });
+        timer.record(party, start.elapsed(), cpu);
+        let set: Vec<Ciphertext> = chunks.into_iter().flatten().collect();
         if party != 1 {
             log.record(round, party, 1, set.len() * ct_len, "sort/collect");
         }
@@ -243,27 +331,61 @@ pub fn run_sort<R: Rng + ?Sized>(
     }
     round += 1;
 
-    // Step 8: the shuffle-decrypt chain P₁ → P₂ → … → P_n.
-    for idx in 0..n {
+    // Step 8: the shuffle-decrypt chain P₁ → P₂ → … → P_n. Within a hop
+    // the n−1 foreign sets are independent; the randomness (plaintext
+    // randomizers, then the shuffle permutation, per set) is pre-drawn in
+    // the serial order so the transcript is identical for any thread
+    // count, then the exponentiations run batched — the fused
+    // decrypt-and-randomize hop costs ~1.7 exponentiations per ciphertext
+    // instead of 3.
+    for (idx, key) in keys.iter().enumerate() {
         let party = idx + 1;
-        timer.time(party, || {
-            for (owner, set) in sets.iter_mut().enumerate() {
-                if owner == idx {
-                    continue; // a party never processes her own set
-                }
-                for ct in set.iter_mut() {
-                    let mut c = scheme.partial_decrypt(ct, keys[idx].secret_key());
-                    if options.randomize {
-                        let r = group.random_nonzero_scalar(rng);
-                        c = scheme.randomize_plaintext(&c, &r);
-                    }
-                    *ct = c;
-                }
-                if options.shuffle {
-                    set.shuffle(rng);
-                }
+        let start = Instant::now();
+        let draw_start = Instant::now();
+        // (owner, randomizers, shuffle permutation) per foreign set.
+        let jobs: Vec<(usize, Vec<Scalar>, Option<Vec<usize>>)> = sets
+            .iter()
+            .enumerate()
+            .filter(|&(owner, _)| owner != idx) // never her own set
+            .map(|(owner, set)| {
+                let rs: Vec<Scalar> = if options.randomize {
+                    set.iter()
+                        .map(|_| group.random_nonzero_scalar(rng))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                // A permutation shuffled with the same draws the in-place
+                // `shuffle` would consume (Fisher–Yates swaps depend only
+                // on the length), applied to the processed set below.
+                let perm = options.shuffle.then(|| {
+                    let mut p: Vec<usize> = (0..set.len()).collect();
+                    p.shuffle(rng);
+                    p
+                });
+                (owner, rs, perm)
+            })
+            .collect();
+        let draw_cpu = draw_start.elapsed();
+        let secret = key.secret_key();
+        let (processed, cpu) = parallel_map(&jobs, workers, |(owner, rs, perm)| {
+            let set = &sets[*owner];
+            let hopped = if options.randomize {
+                scheme.partial_decrypt_randomize_batch(set, secret, rs)
+            } else {
+                set.iter()
+                    .map(|ct| scheme.partial_decrypt(ct, secret))
+                    .collect::<Vec<_>>()
+            };
+            match perm {
+                Some(p) => p.iter().map(|&i| hopped[i].clone()).collect(),
+                None => hopped,
             }
         });
+        for ((owner, _, _), hopped) in jobs.iter().zip(processed) {
+            sets[*owner] = hopped;
+        }
+        timer.record(party, start.elapsed(), draw_cpu + cpu);
         // Hand the whole vector V to the next party in the chain.
         if party < n {
             let v_bytes: usize = sets.iter().map(|s| s.len() * ct_len).sum();
@@ -272,10 +394,10 @@ pub fn run_sort<R: Rng + ?Sized>(
         }
     }
     // P_n returns each set to its owner.
-    for owner in 0..n {
+    for (owner, set) in sets.iter().enumerate() {
         let party = owner + 1;
         if party != n {
-            log.record(round, n, party, sets[owner].len() * ct_len, "sort/return");
+            log.record(round, n, party, set.len() * ct_len, "sort/return");
         }
     }
     round += 1;
@@ -289,12 +411,13 @@ pub fn run_sort<R: Rng + ?Sized>(
     let mut ranks = Vec::with_capacity(n);
     for idx in 0..n {
         let party = idx + 1;
-        let zeros = timer.time(party, || {
-            sets[idx]
-                .iter()
-                .filter(|ct| scheme.decrypts_to_zero(keys[idx].secret_key(), ct))
-                .count()
+        let start = Instant::now();
+        let secret = keys[idx].secret_key();
+        let (flags, cpu) = parallel_map(&sets[idx], workers, |ct| {
+            scheme.decrypts_to_zero(secret, ct)
         });
+        timer.record(party, start.elapsed(), cpu);
+        let zeros = flags.into_iter().filter(|&zero| zero).count();
         ranks.push(zeros + 1);
     }
     let _ = round;
@@ -353,7 +476,15 @@ mod tests {
         let log = TrafficLog::new();
         let mut timer = PartyTimer::new(2);
         assert_eq!(
-            unlinkable_sort(&group, &[BigUint::from(1u64)], 4, &mut rng, &log, &mut timer, 0),
+            unlinkable_sort(
+                &group,
+                &[BigUint::from(1u64)],
+                4,
+                &mut rng,
+                &log,
+                &mut timer,
+                0
+            ),
             Err(SortError::TooFewParties(1))
         );
         let mut timer = PartyTimer::new(3);
@@ -399,6 +530,43 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_the_transcript() {
+        // All randomness is pre-drawn serially, so serial and fanned-out
+        // executions must agree ciphertext-for-ciphertext, not just on
+        // the ranks.
+        let group = GroupKind::Ecc160.group();
+        let values: Vec<BigUint> = [13u64, 200, 78, 200, 0]
+            .iter()
+            .map(|&v| BigUint::from(v))
+            .collect();
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(21);
+            let log = TrafficLog::new();
+            let mut timer = PartyTimer::new(values.len() + 1);
+            run_sort(
+                &group,
+                &values,
+                8,
+                SortOptions {
+                    threads,
+                    ..SortOptions::default()
+                },
+                &mut rng,
+                &log,
+                &mut timer,
+                0,
+            )
+            .unwrap()
+        };
+        let (serial_out, serial_trace) = run(1);
+        let (parallel_out, parallel_trace) = run(4);
+        assert_eq!(serial_out, parallel_out);
+        assert_eq!(serial_out.ranks, vec![4, 1, 3, 1, 5]);
+        assert_eq!(serial_trace.returned_sets, parallel_trace.returned_sets);
+        assert_eq!(serial_trace.opponent_order, parallel_trace.opponent_order);
+    }
+
+    #[test]
     fn options_off_still_rank_correctly() {
         // Shuffle/randomize protect privacy, not correctness.
         let group = GroupKind::Ecc160.group();
@@ -410,7 +578,11 @@ mod tests {
             &group,
             &values,
             4,
-            SortOptions { shuffle: false, randomize: false },
+            SortOptions {
+                shuffle: false,
+                randomize: false,
+                ..SortOptions::default()
+            },
             &mut rng,
             &log,
             &mut timer,

@@ -72,11 +72,7 @@ impl VerificationReport {
 }
 
 /// Honest phase-3 behaviour: parties with `rank ≤ k` submit.
-pub fn honest_submissions(
-    infos: &[InfoVector],
-    ranks: &[usize],
-    k: usize,
-) -> Vec<Submission> {
+pub fn honest_submissions(infos: &[InfoVector], ranks: &[usize], k: usize) -> Vec<Submission> {
     infos
         .iter()
         .zip(ranks)
@@ -114,7 +110,9 @@ pub fn verify_submissions(
 
         for (s, _) in &scored {
             if s.claimed_rank > k || s.claimed_rank == 0 {
-                report.flags.push(SubmissionFlag::RankOutOfRange { party: s.party });
+                report
+                    .flags
+                    .push(SubmissionFlag::RankOutOfRange { party: s.party });
             }
         }
 
@@ -131,7 +129,9 @@ pub fn verify_submissions(
             }
             // Lower claimed rank must mean gain at least as large.
             if a.claimed_rank < b.claimed_rank && ga < gb {
-                report.flags.push(SubmissionFlag::OrderInversion { party: a.party });
+                report
+                    .flags
+                    .push(SubmissionFlag::OrderInversion { party: a.party });
             }
         }
 
@@ -142,7 +142,10 @@ pub fn verify_submissions(
                 SubmissionFlag::RankOutOfRange { party } => *party == s.party,
             });
             if !flagged {
-                report.accepted.push(AcceptedSubmission { submission: s.clone(), gain: g });
+                report.accepted.push(AcceptedSubmission {
+                    submission: s.clone(),
+                    gain: g,
+                });
             }
         }
         report.accepted.sort_by_key(|a| a.submission.claimed_rank);
@@ -190,8 +193,10 @@ mod tests {
     #[test]
     fn tied_gains_may_share_a_rank() {
         let (q, profile, _) = setup();
-        let tied: Vec<InfoVector> =
-            [25u64, 25].iter().map(|&v| InfoVector::new(&q, vec![v], 15).unwrap()).collect();
+        let tied: Vec<InfoVector> = [25u64, 25]
+            .iter()
+            .map(|&v| InfoVector::new(&q, vec![v], 15).unwrap())
+            .collect();
         let subs = honest_submissions(&tied, &[1, 1], 1);
         let log = TrafficLog::new();
         let mut timer = PartyTimer::new(3);
@@ -205,15 +210,19 @@ mod tests {
         let (q, profile, infos) = setup();
         // True ranks: party1→1, party3→2. Party 2 (lowest gain) claims rank 2.
         let mut subs = honest_submissions(&infos, &[1, 4, 2, 3], 2);
-        subs.push(Submission { party: 2, claimed_rank: 2, info: infos[1].clone() });
+        subs.push(Submission {
+            party: 2,
+            claimed_rank: 2,
+            info: infos[1].clone(),
+        });
         let log = TrafficLog::new();
         let mut timer = PartyTimer::new(5);
         let report = verify_submissions(&q, &profile, &subs, 2, &log, &mut timer, 0);
         assert!(!report.is_clean());
-        assert!(report.flags.iter().any(|f| matches!(
-            f,
-            SubmissionFlag::RankCollision { rank: 2, .. }
-        )));
+        assert!(report
+            .flags
+            .iter()
+            .any(|f| matches!(f, SubmissionFlag::RankCollision { rank: 2, .. })));
         // The honest rank-1 submission survives.
         assert!(report.accepted.iter().any(|a| a.submission.party == 1));
     }
@@ -223,8 +232,16 @@ mod tests {
         let (q, profile, infos) = setup();
         // Party 2 (gain 10) claims rank 1; party 1 (gain 40) claims rank 2.
         let subs = vec![
-            Submission { party: 2, claimed_rank: 1, info: infos[1].clone() },
-            Submission { party: 1, claimed_rank: 2, info: infos[0].clone() },
+            Submission {
+                party: 2,
+                claimed_rank: 1,
+                info: infos[1].clone(),
+            },
+            Submission {
+                party: 1,
+                claimed_rank: 2,
+                info: infos[0].clone(),
+            },
         ];
         let log = TrafficLog::new();
         let mut timer = PartyTimer::new(5);
@@ -238,7 +255,11 @@ mod tests {
     #[test]
     fn rank_out_of_range_detected() {
         let (q, profile, infos) = setup();
-        let subs = vec![Submission { party: 4, claimed_rank: 9, info: infos[3].clone() }];
+        let subs = vec![Submission {
+            party: 4,
+            claimed_rank: 9,
+            info: infos[3].clone(),
+        }];
         let log = TrafficLog::new();
         let mut timer = PartyTimer::new(5);
         let report = verify_submissions(&q, &profile, &subs, 2, &log, &mut timer, 0);
@@ -259,7 +280,10 @@ mod tests {
                 .attribute("score", AttributeKind::GreaterThan)
                 .build()
                 .unwrap();
-            [9u64, 5, 5, 1].iter().map(|&v| InfoVector::new(&q, vec![v], 15).unwrap()).collect()
+            [9u64, 5, 5, 1]
+                .iter()
+                .map(|&v| InfoVector::new(&q, vec![v], 15).unwrap())
+                .collect()
         };
         let subs = honest_submissions(&infos, &ranks, 2);
         assert_eq!(subs.len(), 3, "both rank-2 ties submit");

@@ -51,7 +51,8 @@ impl Writer {
 
     /// Appends a `u32` length/count.
     pub fn put_len(&mut self, len: usize) {
-        self.buf.put_u32(u32::try_from(len).expect("length fits u32"));
+        self.buf
+            .put_u32(u32::try_from(len).expect("length fits u32"));
     }
 
     /// Appends one field element (32-byte big-endian).
@@ -129,6 +130,7 @@ impl Reader {
     }
 
     /// Reads a `u32` length/count.
+    #[allow(clippy::len_without_is_empty)] // decodes a length prefix, not a container size
     pub fn len(&mut self) -> Result<usize, WireError> {
         self.need(4, "truncated length")?;
         Ok(self.buf.get_u32() as usize)
@@ -157,7 +159,9 @@ impl Reader {
         let n = group.element_len();
         self.need(n, "truncated group element")?;
         let raw = self.buf.copy_to_bytes(n);
-        group.decode(&raw).map_err(|_| WireError::new("invalid group element"))
+        group
+            .decode(&raw)
+            .map_err(|_| WireError::new("invalid group element"))
     }
 
     /// Reads a scalar.
@@ -174,7 +178,10 @@ impl Reader {
 
     /// Reads a ciphertext.
     pub fn ciphertext(&mut self, group: &Group) -> Result<Ciphertext, WireError> {
-        Ok(Ciphertext { alpha: self.element(group)?, beta: self.element(group)? })
+        Ok(Ciphertext {
+            alpha: self.element(group)?,
+            beta: self.element(group)?,
+        })
     }
 
     /// Reads a length-prefixed ciphertext vector.

@@ -52,8 +52,7 @@ use std::sync::Arc;
 
 /// A 256-bit prime for the protocol field: `2^256 − 189` (the largest
 /// 256-bit prime of the form `2^256 − c`).
-const FIELD_PRIME_HEX: &str =
-    "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff43";
+const FIELD_PRIME_HEX: &str = "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff43";
 
 /// The default protocol field `Z_{2^256 − 189}`.
 pub fn default_field() -> Arc<FpCtx> {
@@ -120,7 +119,10 @@ impl DotProduct {
 
     /// Creates the protocol over `field` with the default `s`.
     pub fn new(field: Arc<FpCtx>) -> Self {
-        DotProduct { field, s: Self::DEFAULT_S }
+        DotProduct {
+            field,
+            s: Self::DEFAULT_S,
+        }
     }
 
     /// Overrides the hidden-matrix size `s`.
@@ -223,7 +225,11 @@ impl DotProduct {
         let fvec: Vec<Fp> = (0..d).map(|_| f.random(rng)).collect();
         let r1r2 = &r1 * &r2;
         let r1r3 = &r1 * &r3;
-        let c_prime: Vec<Fp> = c.iter().zip(&fvec).map(|(ci, fi)| ci + &(&r1r2 * fi)).collect();
+        let c_prime: Vec<Fp> = c
+            .iter()
+            .zip(&fvec)
+            .map(|(ci, fi)| ci + &(&r1r2 * fi))
+            .collect();
         let g: Vec<Fp> = fvec.iter().map(|fi| &r1r3 * fi).collect();
 
         (SenderState { b, r2, r3 }, Round1Message { qx, c_prime, g })
@@ -248,9 +254,7 @@ impl DotProduct {
         let f = &self.field;
         let d = v.len() + 1;
         assert!(
-            msg.qx.iter().all(|row| row.len() == d)
-                && msg.c_prime.len() == d
-                && msg.g.len() == d,
+            msg.qx.iter().all(|row| row.len() == d) && msg.c_prime.len() == d && msg.g.len() == d,
             "dimension mismatch between sender and receiver vectors"
         );
         let mut v_prime: Vec<Fp> = v.to_vec();

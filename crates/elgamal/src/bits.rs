@@ -7,7 +7,7 @@
 
 use crate::cipher::{Ciphertext, ExpElGamal};
 use ppgr_bigint::BigUint;
-use ppgr_group::{Element, Scalar};
+use ppgr_group::{Element, FixedBaseTable, Scalar};
 use rand::Rng;
 
 /// Encrypts the low `l` bits of `value` under `public_key`.
@@ -33,6 +33,47 @@ pub fn encrypt_bits<R: Rng + ?Sized>(
         .map(|i| {
             let bit: &Scalar = if value.bit(i) { &one } else { &zero };
             scheme.encrypt(public_key, bit, rng)
+        })
+        .collect()
+}
+
+/// [`encrypt_bits`] through a prepared public-key table, batched.
+///
+/// Draws the per-bit randomness in the same order as [`encrypt_bits`]
+/// (least-significant bit first), then computes all `2l` exponentiations
+/// through comb tables with shared affine conversions. For the same
+/// randomness stream the output is bit-identical to [`encrypt_bits`].
+///
+/// # Panics
+///
+/// Panics if `value` does not fit in `l` bits.
+pub fn encrypt_bits_prepared<R: Rng + ?Sized>(
+    scheme: &ExpElGamal,
+    key_table: &FixedBaseTable,
+    value: &BigUint,
+    l: usize,
+    rng: &mut R,
+) -> Vec<Ciphertext> {
+    assert!(value.bits() <= l, "value exceeds the declared bit length l");
+    let group = scheme.group();
+    // Same draw order as the per-bit loop in `encrypt_bits`.
+    let rs: Vec<Scalar> = (0..l).map(|_| group.random_scalar(rng)).collect();
+    let masks = group.exp_prepared_batch(key_table, &rs); // y^r_i
+    let betas = group.exp_gen_batch(&rs); // g^r_i
+    let g1 = group.generator();
+    masks
+        .into_iter()
+        .zip(betas)
+        .enumerate()
+        .map(|(i, (mask, beta))| {
+            // α = g^bit · y^r; g^0 is the identity, so only set bits cost
+            // a group operation.
+            let alpha = if value.bit(i) {
+                group.op(g1, &mask)
+            } else {
+                mask
+            };
+            Ciphertext { alpha, beta }
         })
         .collect()
 }
@@ -69,6 +110,24 @@ mod tests {
             assert_eq!(cts.len(), 32);
             assert_eq!(decrypt_bits(&scheme, kp.secret_key(), &cts), v);
         }
+    }
+
+    #[test]
+    fn prepared_batch_matches_per_bit_encryption() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group);
+        let table = scheme.prepare_key(kp.public_key());
+        let v = BigUint::from(0b1010_1100u64);
+        // Identical seed → identical randomness stream → identical wire
+        // ciphertexts from both paths.
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let serial = encrypt_bits(&scheme, kp.public_key(), &v, 12, &mut rng_a);
+        let batched = encrypt_bits_prepared(&scheme, &table, &v, 12, &mut rng_b);
+        assert_eq!(serial, batched);
+        assert_eq!(decrypt_bits(&scheme, kp.secret_key(), &batched), v);
     }
 
     #[test]

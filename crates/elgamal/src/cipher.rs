@@ -1,6 +1,6 @@
 //! Standard and exponential ElGamal ciphertexts and their homomorphic ops.
 
-use ppgr_group::{Element, Group, Scalar};
+use ppgr_group::{Element, FixedBaseTable, Group, Scalar};
 use rand::Rng;
 
 /// An ElGamal ciphertext `(α, β)`.
@@ -101,8 +101,43 @@ impl ExpElGamal {
         r: &Scalar,
     ) -> Ciphertext {
         Ciphertext {
-            alpha: self.group.op(&self.group.exp_gen(m), &self.group.exp(public_key, r)),
+            alpha: self
+                .group
+                .op(&self.group.exp_gen(m), &self.group.exp(public_key, r)),
             beta: self.group.exp_gen(r),
+        }
+    }
+
+    /// Builds (or fetches from the process-wide cache) a fixed-base
+    /// exponentiation table for a public key.
+    ///
+    /// Every encryption and re-randomization under key `y` computes `y^r`;
+    /// with a prepared table that costs about a quarter of a generic
+    /// exponentiation. The build cost amortizes after a few uses, so
+    /// prepare long-lived keys (the joint key of a protocol run), not
+    /// one-shot ones.
+    pub fn prepare_key(&self, public_key: &Element) -> FixedBaseTable {
+        self.group.prepare_base(public_key)
+    }
+
+    /// [`ExpElGamal::encrypt`] through a prepared public-key table.
+    ///
+    /// Draws the same single scalar from `rng` as `encrypt`, so it is a
+    /// drop-in replacement producing bit-identical ciphertexts for the same
+    /// randomness stream.
+    pub fn encrypt_prepared<R: Rng + ?Sized>(
+        &self,
+        key_table: &FixedBaseTable,
+        m: &Scalar,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let r = self.group.random_scalar(rng);
+        Ciphertext {
+            alpha: self.group.op(
+                &self.group.exp_gen(m),
+                &self.group.exp_prepared(key_table, &r),
+            ),
+            beta: self.group.exp_gen(&r),
         }
     }
 
@@ -124,17 +159,26 @@ impl ExpElGamal {
 
     /// Homomorphic negation: `E(−m)`.
     pub fn neg(&self, a: &Ciphertext) -> Ciphertext {
-        Ciphertext { alpha: self.group.inv(&a.alpha), beta: self.group.inv(&a.beta) }
+        Ciphertext {
+            alpha: self.group.inv(&a.alpha),
+            beta: self.group.inv(&a.beta),
+        }
     }
 
     /// Plaintext-scalar multiplication: `E(k·m)` from `E(m)`.
     pub fn scalar_mul(&self, a: &Ciphertext, k: &Scalar) -> Ciphertext {
-        Ciphertext { alpha: self.group.exp(&a.alpha, k), beta: self.group.exp(&a.beta, k) }
+        Ciphertext {
+            alpha: self.group.exp(&a.alpha, k),
+            beta: self.group.exp(&a.beta, k),
+        }
     }
 
     /// Adds a *known* plaintext without re-encrypting: `E(m) → E(m+k)`.
     pub fn add_plaintext(&self, a: &Ciphertext, k: &Scalar) -> Ciphertext {
-        Ciphertext { alpha: self.group.op(&a.alpha, &self.group.exp_gen(k)), beta: a.beta.clone() }
+        Ciphertext {
+            alpha: self.group.op(&a.alpha, &self.group.exp_gen(k)),
+            beta: a.beta.clone(),
+        }
     }
 
     /// Fresh re-randomization under `y`: same plaintext, new randomness.
@@ -151,19 +195,124 @@ impl ExpElGamal {
         }
     }
 
+    /// [`ExpElGamal::rerandomize`] through a prepared public-key table;
+    /// draws the same single scalar from `rng`.
+    pub fn rerandomize_prepared<R: Rng + ?Sized>(
+        &self,
+        key_table: &FixedBaseTable,
+        a: &Ciphertext,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let r = self.group.random_scalar(rng);
+        Ciphertext {
+            alpha: self
+                .group
+                .op(&a.alpha, &self.group.exp_prepared(key_table, &r)),
+            beta: self.group.op(&a.beta, &self.group.exp_gen(&r)),
+        }
+    }
+
     /// Strips one layer of a joint-key encryption: `α ← α / β^{x_j}`.
     ///
     /// After every key-share holder has applied this, `α = g^m`
     /// (paper Fig. 1, step 8, first bullet).
     pub fn partial_decrypt(&self, a: &Ciphertext, secret_share: &Scalar) -> Ciphertext {
         let mask = self.group.exp(&a.beta, secret_share);
-        Ciphertext { alpha: self.group.div(&a.alpha, &mask), beta: a.beta.clone() }
+        Ciphertext {
+            alpha: self.group.div(&a.alpha, &mask),
+            beta: a.beta.clone(),
+        }
     }
 
     /// Multiplies the plaintext by `r` by raising both components:
     /// `E(m) → E(r·m)`. Zero is a fixed point — the step-8 randomization.
     pub fn randomize_plaintext(&self, a: &Ciphertext, r: &Scalar) -> Ciphertext {
         self.scalar_mul(a, r)
+    }
+
+    /// Batch [`ExpElGamal::randomize_plaintext`]: all 2·n component
+    /// exponentiations share one batched affine conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cts` and `rs` have different lengths.
+    pub fn randomize_plaintext_batch(&self, cts: &[Ciphertext], rs: &[Scalar]) -> Vec<Ciphertext> {
+        assert_eq!(cts.len(), rs.len(), "one randomizer per ciphertext");
+        let pairs: Vec<(&Element, &Scalar)> = cts
+            .iter()
+            .zip(rs)
+            .flat_map(|(ct, r)| [(&ct.alpha, r), (&ct.beta, r)])
+            .collect();
+        let mut exps = self.group.exp_batch(&pairs).into_iter();
+        cts.iter()
+            .map(|_| {
+                let alpha = exps.next().expect("two elements per ciphertext");
+                let beta = exps.next().expect("two elements per ciphertext");
+                Ciphertext { alpha, beta }
+            })
+            .collect()
+    }
+
+    /// Fused `randomize_plaintext(partial_decrypt(a, x), r)` — one shuffle
+    /// chain hop (paper Fig. 1 step 8) in a single pass:
+    ///
+    /// `α′ = α^r · β^{−x·r}`,  `β′ = β^r`.
+    ///
+    /// The double exponentiation shares one squaring ladder, so the hop
+    /// costs ≈ 1.7 exponentiations instead of the 3 paid by composing the
+    /// two primitive calls. The output is element-for-element identical to
+    /// the composition.
+    pub fn partial_decrypt_randomize(
+        &self,
+        a: &Ciphertext,
+        secret_share: &Scalar,
+        r: &Scalar,
+    ) -> Ciphertext {
+        let neg_xr = self
+            .group
+            .scalar_neg(&self.group.scalar_mul(secret_share, r));
+        Ciphertext {
+            alpha: self.group.exp_dual(&a.alpha, r, &a.beta, &neg_xr),
+            beta: self.group.exp(&a.beta, r),
+        }
+    }
+
+    /// Batch [`ExpElGamal::partial_decrypt_randomize`] over a whole
+    /// ciphertext set: elliptic-curve results additionally share their
+    /// affine conversions (two field inversions per set instead of two per
+    /// ciphertext).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cts` and `rs` have different lengths.
+    pub fn partial_decrypt_randomize_batch(
+        &self,
+        cts: &[Ciphertext],
+        secret_share: &Scalar,
+        rs: &[Scalar],
+    ) -> Vec<Ciphertext> {
+        assert_eq!(cts.len(), rs.len(), "one randomizer per ciphertext");
+        let neg_xrs: Vec<Scalar> = rs
+            .iter()
+            .map(|r| {
+                self.group
+                    .scalar_neg(&self.group.scalar_mul(secret_share, r))
+            })
+            .collect();
+        let dual_items: Vec<(&Element, &Scalar, &Element, &Scalar)> = cts
+            .iter()
+            .zip(rs.iter().zip(&neg_xrs))
+            .map(|(ct, (r, neg_xr))| (&ct.alpha, r, &ct.beta, neg_xr))
+            .collect();
+        let alphas = self.group.exp_dual_batch(&dual_items);
+        let beta_pairs: Vec<(&Element, &Scalar)> =
+            cts.iter().zip(rs).map(|(ct, r)| (&ct.beta, r)).collect();
+        let betas = self.group.exp_batch(&beta_pairs);
+        alphas
+            .into_iter()
+            .zip(betas)
+            .map(|(alpha, beta)| Ciphertext { alpha, beta })
+            .collect()
     }
 
     /// Full decryption to the group element `g^m`.
@@ -174,7 +323,8 @@ impl ExpElGamal {
 
     /// Decrypts and tests `m = 0` (i.e. `g^m = 1`) — all the framework needs.
     pub fn decrypts_to_zero(&self, secret_key: &Scalar, ct: &Ciphertext) -> bool {
-        self.group.is_identity(&self.decrypt_to_element(secret_key, ct))
+        self.group
+            .is_identity(&self.decrypt_to_element(secret_key, ct))
     }
 
     /// Brute-force discrete log for *small* plaintexts (test helper).
@@ -245,10 +395,16 @@ mod tests {
         assert_eq!(scheme.decrypt_small(kp.secret_key(), &diff, 100), Some(2));
 
         let scaled = scheme.scalar_mul(&e5, &g.scalar_from_u64(7));
-        assert_eq!(scheme.decrypt_small(kp.secret_key(), &scaled, 100), Some(35));
+        assert_eq!(
+            scheme.decrypt_small(kp.secret_key(), &scaled, 100),
+            Some(35)
+        );
 
         let shifted = scheme.add_plaintext(&e3, &g.scalar_from_u64(10));
-        assert_eq!(scheme.decrypt_small(kp.secret_key(), &shifted, 100), Some(13));
+        assert_eq!(
+            scheme.decrypt_small(kp.secret_key(), &shifted, 100),
+            Some(13)
+        );
 
         // 5 - 5 = 0 via neg.
         let zero = scheme.add(&e5, &scheme.neg(&e5));
@@ -289,7 +445,9 @@ mod tests {
         let group = GroupKind::Ecc160.group();
         let mut rng = StdRng::seed_from_u64(3);
         let scheme = ExpElGamal::new(group.clone());
-        let kps: Vec<KeyPair> = (0..6).map(|_| KeyPair::generate(&group, &mut rng)).collect();
+        let kps: Vec<KeyPair> = (0..6)
+            .map(|_| KeyPair::generate(&group, &mut rng))
+            .collect();
         let shares: Vec<_> = kps.iter().map(|k| k.public_key().clone()).collect();
         let joint = JointKey::combine(&group, &shares);
 
@@ -313,7 +471,9 @@ mod tests {
         let group = GroupKind::Ecc160.group();
         let mut rng = StdRng::seed_from_u64(4);
         let scheme = ExpElGamal::new(group.clone());
-        let kps: Vec<KeyPair> = (0..4).map(|_| KeyPair::generate(&group, &mut rng)).collect();
+        let kps: Vec<KeyPair> = (0..4)
+            .map(|_| KeyPair::generate(&group, &mut rng))
+            .collect();
         let shares: Vec<_> = kps.iter().map(|k| k.public_key().clone()).collect();
         let joint = JointKey::combine(&group, &shares);
 
@@ -327,6 +487,76 @@ mod tests {
         }
         assert!(scheme.decrypts_to_zero(kps[3].secret_key(), &zero));
         assert!(!scheme.decrypts_to_zero(kps[3].secret_key(), &five));
+    }
+
+    #[test]
+    fn fused_hop_identical_to_composed_hop() {
+        // The fused chain hop must be element-for-element identical to
+        // partial_decrypt followed by randomize_plaintext — the sorting
+        // phase relies on this to keep serial and batched paths bit-equal.
+        for kind in [GroupKind::Ecc160, GroupKind::Dl1024] {
+            let group = kind.group();
+            let mut rng = StdRng::seed_from_u64(7);
+            let kp = KeyPair::generate(&group, &mut rng);
+            let scheme = ExpElGamal::new(group.clone());
+            let cts: Vec<Ciphertext> = (0..4)
+                .map(|m| scheme.encrypt(kp.public_key(), &group.scalar_from_u64(m), &mut rng))
+                .collect();
+            let rs: Vec<_> = (0..4)
+                .map(|_| group.random_nonzero_scalar(&mut rng))
+                .collect();
+            let composed: Vec<Ciphertext> = cts
+                .iter()
+                .zip(&rs)
+                .map(|(ct, r)| {
+                    scheme.randomize_plaintext(&scheme.partial_decrypt(ct, kp.secret_key()), r)
+                })
+                .collect();
+            for (i, (ct, r)) in cts.iter().zip(&rs).enumerate() {
+                assert_eq!(
+                    scheme.partial_decrypt_randomize(ct, kp.secret_key(), r),
+                    composed[i],
+                    "{kind} fused hop #{i}"
+                );
+            }
+            assert_eq!(
+                scheme.partial_decrypt_randomize_batch(&cts, kp.secret_key(), &rs),
+                composed,
+                "{kind} batched hop"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_key_paths_match_generic_paths() {
+        let (scheme, kp, _rng) = setup();
+        let g = scheme.group().clone();
+        let table = scheme.prepare_key(kp.public_key());
+        // Same seed → same randomness stream → identical ciphertexts.
+        let mut rng2 = StdRng::seed_from_u64(123);
+        let mut rng3 = StdRng::seed_from_u64(123);
+        let m = g.scalar_from_u64(6);
+        let a = scheme.encrypt(kp.public_key(), &m, &mut rng2);
+        let b = scheme.encrypt_prepared(&table, &m, &mut rng3);
+        assert_eq!(a, b);
+        let a2 = scheme.rerandomize(kp.public_key(), &a, &mut rng2);
+        let b2 = scheme.rerandomize_prepared(&table, &b, &mut rng3);
+        assert_eq!(a2, b2);
+        assert_eq!(scheme.decrypt_small(kp.secret_key(), &b2, 100), Some(6));
+    }
+
+    #[test]
+    fn randomize_plaintext_batch_matches_singles() {
+        let (scheme, kp, mut rng) = setup();
+        let g = scheme.group().clone();
+        let cts: Vec<Ciphertext> = (0..3)
+            .map(|m| scheme.encrypt(kp.public_key(), &g.scalar_from_u64(m), &mut rng))
+            .collect();
+        let rs: Vec<_> = (0..3).map(|_| g.random_nonzero_scalar(&mut rng)).collect();
+        let batch = scheme.randomize_plaintext_batch(&cts, &rs);
+        for ((ct, r), got) in cts.iter().zip(&rs).zip(&batch) {
+            assert_eq!(got, &scheme.randomize_plaintext(ct, r));
+        }
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl JointKey {
         for s in &shares[1..] {
             combined = group.op(&combined, s);
         }
-        JointKey { shares: shares.to_vec(), combined }
+        JointKey {
+            shares: shares.to_vec(),
+            combined,
+        }
     }
 
     /// The combined public key `y`.
@@ -99,7 +102,9 @@ mod tests {
     fn joint_key_is_product_of_shares() {
         let group = GroupKind::Ecc160.group();
         let mut rng = StdRng::seed_from_u64(2);
-        let kps: Vec<KeyPair> = (0..5).map(|_| KeyPair::generate(&group, &mut rng)).collect();
+        let kps: Vec<KeyPair> = (0..5)
+            .map(|_| KeyPair::generate(&group, &mut rng))
+            .collect();
         let shares: Vec<Element> = kps.iter().map(|k| k.public_key().clone()).collect();
         let joint = JointKey::combine(&group, &shares);
         // g^(Σ x_j) == Π y_j

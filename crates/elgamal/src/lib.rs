@@ -44,6 +44,6 @@ mod bits;
 mod cipher;
 mod keys;
 
-pub use bits::{decrypt_bits, encrypt_bits};
+pub use bits::{decrypt_bits, encrypt_bits, encrypt_bits_prepared};
 pub use cipher::{Ciphertext, ElGamal, ExpElGamal};
 pub use keys::{JointKey, KeyPair};

@@ -2,8 +2,8 @@
 //! plaintexts, every ciphertext-level operation must commute with the
 //! corresponding plaintext operation.
 
-use ppgr_elgamal::{decrypt_bits, encrypt_bits, ExpElGamal, JointKey, KeyPair};
 use ppgr_bigint::BigUint;
+use ppgr_elgamal::{decrypt_bits, encrypt_bits, ExpElGamal, JointKey, KeyPair};
 use ppgr_group::GroupKind;
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -64,6 +64,18 @@ const MODP_3072: &str = "
     BBE11757 7A615D6C 770988C0 BAD946E2 08E24FA0 74E5AB31
     43DB5BFC E0FD108E 4B82D120 A93AD2CA FFFFFFFF FFFFFFFF";
 
+/// A fixed-base comb table for one subgroup element:
+/// `rows[i][d] = a^(d·16^i)` in Montgomery form.
+///
+/// Built with [`DlGroup::build_comb`]; afterwards every exponentiation by
+/// that base costs one Montgomery multiplication per 4 exponent bits and no
+/// squarings — roughly a quarter the work of a generic windowed
+/// exponentiation. The build cost amortizes after a few exponentiations.
+#[derive(Debug)]
+pub struct DlComb {
+    rows: Vec<Vec<MontElem>>,
+}
+
 /// The quadratic-residue subgroup of a safe prime.
 #[derive(Debug)]
 pub struct DlGroup {
@@ -73,9 +85,11 @@ pub struct DlGroup {
     generator: Element,
     mont: Montgomery,
     element_len: usize,
-    /// Comb table for fixed-base exponentiation:
-    /// `gen_table[i][d] = g^(d·16^i)` in Montgomery form.
-    gen_table: OnceLock<Vec<Vec<MontElem>>>,
+    /// Comb table for fixed-base exponentiation by the generator.
+    gen_table: OnceLock<DlComb>,
+    /// Bounded FIFO cache of comb tables for other frequently used bases
+    /// (joint public keys); shared process-wide via the group singleton.
+    comb_cache: std::sync::Mutex<Vec<(BigUint, std::sync::Arc<DlComb>)>>,
 }
 
 impl DlGroup {
@@ -98,32 +112,52 @@ impl DlGroup {
             mont,
             element_len,
             gen_table: OnceLock::new(),
+            comb_cache: std::sync::Mutex::new(Vec::new()),
         }
     }
 
-    /// Fixed-base exponentiation `g^e` via a lazily built comb table:
-    /// one Montgomery multiplication per 4 exponent bits, no squarings.
-    pub(crate) fn pow_gen(&self, e: &BigUint) -> BigUint {
-        let table = self.gen_table.get_or_init(|| {
-            let rows = self.q.bits().div_ceil(4);
-            let mut out = Vec::with_capacity(rows);
-            let mut base = self.mont.enter(&BigUint::from(4u64));
-            for _ in 0..rows {
-                let mut row = Vec::with_capacity(16);
-                row.push(self.mont.one_elem());
-                for d in 1..16 {
-                    let prev: &MontElem = &row[d - 1];
-                    row.push(self.mont.mmul(prev, &base));
-                }
-                // Next row's unit: base^16.
-                base = self.mont.mmul(&row[15], &base);
-                out.push(row);
+    /// Capacity of the per-group comb-table cache.
+    pub const COMB_CACHE_CAP: usize = 16;
+
+    /// Returns (building and caching on first use) the comb table for `a`.
+    pub fn comb_for(&self, a: &BigUint) -> std::sync::Arc<DlComb> {
+        let mut cache = self.comb_cache.lock().expect("comb cache poisoned");
+        if let Some((_, comb)) = cache.iter().find(|(base, _)| base == a) {
+            return comb.clone();
+        }
+        let comb = std::sync::Arc::new(self.build_comb(a));
+        if cache.len() >= Self::COMB_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((a.clone(), comb.clone()));
+        comb
+    }
+
+    /// Builds a fixed-base comb table for `a` (an element below `p`).
+    pub fn build_comb(&self, a: &BigUint) -> DlComb {
+        let rows = self.q.bits().div_ceil(4);
+        let mut out = Vec::with_capacity(rows);
+        let mut base = self.mont.enter(&(a % &self.p));
+        for _ in 0..rows {
+            let mut row = Vec::with_capacity(16);
+            row.push(self.mont.one_elem());
+            for d in 1..16 {
+                let prev: &MontElem = &row[d - 1];
+                row.push(self.mont.mmul(prev, &base));
             }
-            out
-        });
+            // Next row's unit: base^16.
+            base = self.mont.mmul(&row[15], &base);
+            out.push(row);
+        }
+        DlComb { rows: out }
+    }
+
+    /// Fixed-base exponentiation via a prebuilt comb table: one Montgomery
+    /// multiplication per 4 exponent bits, no squarings.
+    pub fn pow_comb(&self, comb: &DlComb, e: &BigUint) -> BigUint {
         let e = e % &self.q;
         let mut acc = self.mont.one_elem();
-        for (i, row) in table.iter().enumerate() {
+        for (i, row) in comb.rows.iter().enumerate() {
             let mut window = 0usize;
             for k in 0..4 {
                 window |= (e.bit(4 * i + k) as usize) << k;
@@ -133,6 +167,67 @@ impl DlGroup {
             }
         }
         self.mont.leave(&acc)
+    }
+
+    fn gen_comb(&self) -> &DlComb {
+        self.gen_table
+            .get_or_init(|| self.build_comb(&BigUint::from(4u64)))
+    }
+
+    /// Fixed-base exponentiation `g^e` via a lazily built comb table.
+    pub(crate) fn pow_gen(&self, e: &BigUint) -> BigUint {
+        self.pow_comb(self.gen_comb(), e)
+    }
+
+    /// Simultaneous double-base exponentiation `a^ea · b^eb` with one
+    /// shared squaring ladder (Shamir's trick) — roughly two-thirds the
+    /// cost of two independent exponentiations.
+    pub fn pow_dual(&self, a: &BigUint, ea: &BigUint, b: &BigUint, eb: &BigUint) -> BigUint {
+        let ea = ea % &self.q;
+        let eb = eb % &self.q;
+        if ea.is_zero() {
+            return self.pow(b, &eb);
+        }
+        if eb.is_zero() {
+            return self.pow(a, &ea);
+        }
+        let m = &self.mont;
+        let build_table = |base: &BigUint| {
+            let bm = m.enter(&(base % &self.p));
+            let mut table = Vec::with_capacity(16);
+            table.push(m.one_elem());
+            table.push(bm.clone());
+            for i in 2..16usize {
+                let prev = m.mmul(&table[i - 1], &bm);
+                table.push(prev);
+            }
+            table
+        };
+        let table_a = build_table(a);
+        let table_b = build_table(b);
+        let bits = ea.bits().max(eb.bits());
+        let windows = bits.div_ceil(4);
+        let mut acc: Option<MontElem> = None;
+        for w in (0..windows).rev() {
+            if let Some(v) = acc.as_mut() {
+                for _ in 0..4 {
+                    *v = m.msqr(v);
+                }
+            }
+            for (e, table) in [(&ea, &table_a), (&eb, &table_b)] {
+                let mut window = 0usize;
+                for k in 0..4 {
+                    window |= (e.bit(4 * w + k) as usize) << k;
+                }
+                if window != 0 {
+                    acc = Some(match acc {
+                        None => table[window].clone(),
+                        Some(v) => m.mmul(&v, &table[window]),
+                    });
+                }
+            }
+        }
+        m.leave(&acc.unwrap_or_else(|| m.one_elem()))
     }
 
     /// The named parameter set.
@@ -164,7 +259,11 @@ impl DlGroup {
     }
 
     pub(crate) fn inv(&self, a: &BigUint) -> BigUint {
-        a.modinv(&self.p).expect("group elements are units")
+        // Fermat inversion on Montgomery limbs (p is prime): considerably
+        // faster than a BigUint extended GCD.
+        let a = a % &self.p;
+        assert!(!a.is_zero(), "group elements are units");
+        self.mont.leave(&self.mont.minv(&self.mont.enter(&a)))
     }
 
     pub(crate) fn element_len(&self) -> usize {
@@ -180,14 +279,20 @@ impl DlGroup {
 
     pub(crate) fn decode(&self, bytes: &[u8]) -> Result<BigUint, DecodeElementError> {
         if bytes.len() != self.element_len {
-            return Err(DecodeElementError { reason: "wrong length" });
+            return Err(DecodeElementError {
+                reason: "wrong length",
+            });
         }
         let v = BigUint::from_bytes_be(bytes);
         if v.is_zero() || v >= self.p {
-            return Err(DecodeElementError { reason: "out of range" });
+            return Err(DecodeElementError {
+                reason: "out of range",
+            });
         }
         if modular::jacobi(&v, &self.p) != 1 {
-            return Err(DecodeElementError { reason: "not a quadratic residue" });
+            return Err(DecodeElementError {
+                reason: "not a quadratic residue",
+            });
         }
         Ok(v)
     }
@@ -219,7 +324,9 @@ mod tests {
     #[test]
     fn generator_has_order_q() {
         let g = DlGroup::new(DlParams::Modp1024);
-        let Element::Dl(gen) = g.generator().clone() else { unreachable!() };
+        let Element::Dl(gen) = g.generator().clone() else {
+            unreachable!()
+        };
         // g^q = 1 and g ≠ 1 → order exactly q (q prime).
         assert!(g.pow(&gen, g.order()).is_one());
         assert!(!gen.is_one());
@@ -229,6 +336,45 @@ mod tests {
     fn generator_is_residue() {
         let g = DlGroup::new(DlParams::Modp1024);
         assert_eq!(modular::jacobi(&BigUint::from(4u64), g.modulus()), 1);
+    }
+
+    #[test]
+    fn pow_dual_matches_two_pows() {
+        let g = DlGroup::new(DlParams::Modp1024);
+        let a = g.pow(&BigUint::from(4u64), &BigUint::from(123u64));
+        let b = g.pow(&BigUint::from(4u64), &BigUint::from(45_678u64));
+        for (ea, eb) in [
+            (0u64, 0u64),
+            (0, 9),
+            (9, 0),
+            (1, 1),
+            (123_456_789, 987_654_321),
+        ] {
+            let (ea, eb) = (BigUint::from(ea), BigUint::from(eb));
+            let expect = g.mul(&g.pow(&a, &ea), &g.pow(&b, &eb));
+            assert_eq!(g.pow_dual(&a, &ea, &b, &eb), expect, "ea={ea:?} eb={eb:?}");
+        }
+    }
+
+    #[test]
+    fn comb_matches_pow() {
+        let g = DlGroup::new(DlParams::Modp1024);
+        let a = g.pow(&BigUint::from(4u64), &BigUint::from(777u64));
+        let comb = g.build_comb(&a);
+        for e in [0u64, 1, 15, 16, 123_456_789] {
+            let e = BigUint::from(e);
+            assert_eq!(g.pow_comb(&comb, &e), g.pow(&a, &e), "e={e:?}");
+        }
+        // Exponents reduce mod q: a^(q+1) = a.
+        let q1 = g.order() + &BigUint::one();
+        assert_eq!(g.pow_comb(&comb, &q1), a);
+    }
+
+    #[test]
+    fn inv_matches_fermat() {
+        let g = DlGroup::new(DlParams::Modp1024);
+        let a = g.pow(&BigUint::from(4u64), &BigUint::from(31_337u64));
+        assert!(g.mul(&a, &g.inv(&a)).is_one());
     }
 
     #[test]

@@ -89,7 +89,9 @@ impl EcPoint {
 
     /// An affine point; coordinate validity is checked by [`EcGroup`] APIs.
     pub fn affine(x: BigUint, y: BigUint) -> Self {
-        EcPoint { coords: Some((x, y)) }
+        EcPoint {
+            coords: Some((x, y)),
+        }
     }
 
     /// Returns `true` for the point at infinity.
@@ -121,6 +123,18 @@ struct Jacobian {
     z: MontElem,
 }
 
+/// A fixed-base comb table for one curve point: `rows[i][d] = (d·16^i)·P`.
+///
+/// Built once per base with [`EcGroup::build_comb`]; afterwards every
+/// scalar multiplication by that base costs one Jacobian addition per four
+/// scalar bits and no doublings. Building costs 15 additions per row
+/// (≈ 40 rows·15 for a 160-bit order), so a table amortizes after roughly
+/// three scalar multiplications.
+#[derive(Debug)]
+pub struct EcComb {
+    rows: Vec<Vec<Jacobian>>,
+}
+
 /// A prime-order elliptic-curve group.
 #[derive(Debug)]
 pub struct EcGroup {
@@ -128,11 +142,16 @@ pub struct EcGroup {
     fp: Montgomery,
     /// `a` in Montgomery form.
     a_m: MontElem,
+    /// All shipped curves have `a = p − 3`, enabling the faster doubling
+    /// `M = 3(X − Z²)(X + Z²)`.
+    a_is_minus3: bool,
     generator: Element,
     element_len: usize,
-    /// Comb table for fixed-base scalar multiplication:
-    /// `gen_table[i][d] = (d·16^i)·G` in Jacobian coordinates.
-    gen_table: std::sync::OnceLock<Vec<Vec<Jacobian>>>,
+    /// Comb table for fixed-base scalar multiplication by the generator.
+    gen_table: std::sync::OnceLock<EcComb>,
+    /// Bounded FIFO cache of comb tables for other frequently used bases
+    /// (joint public keys); shared process-wide via the group singleton.
+    comb_cache: std::sync::Mutex<Vec<(EcPoint, std::sync::Arc<EcComb>)>>,
 }
 
 impl EcGroup {
@@ -145,16 +164,24 @@ impl EcGroup {
     pub fn new(params: CurveParams) -> Self {
         let fp = Montgomery::new(params.p.clone());
         let a_m = fp.enter(&params.a);
+        let a_is_minus3 = {
+            let three = BigUint::from(3u64);
+            params.p.checked_sub(&three).as_ref() == Some(&params.a)
+        };
         let element_len = 1 + params.p.bits().div_ceil(8);
         let g = EcGroup {
             generator: Element::Ec(EcPoint::affine(params.gx.clone(), params.gy.clone())),
             params,
             fp,
             a_m,
+            a_is_minus3,
             element_len,
             gen_table: std::sync::OnceLock::new(),
+            comb_cache: std::sync::Mutex::new(Vec::new()),
         };
-        let Element::Ec(base) = &g.generator else { unreachable!() };
+        let Element::Ec(base) = &g.generator else {
+            unreachable!()
+        };
         assert!(g.is_on_curve(base), "base point not on curve");
         g
     }
@@ -209,14 +236,23 @@ impl EcGroup {
         }
     }
 
+    fn jac_infinity(&self) -> Jacobian {
+        let f = &self.fp;
+        Jacobian {
+            x: f.one_elem(),
+            y: f.one_elem(),
+            z: f.zero_elem(),
+        }
+    }
+
     fn to_affine(&self, p: &Jacobian) -> EcPoint {
         let f = &self.fp;
         if f.is_zero_elem(&p.z) {
             return EcPoint::infinity();
         }
-        let z = f.leave(&p.z);
-        let z_inv = z.modinv(&self.params.p).expect("nonzero z");
-        let zi = f.enter(&z_inv);
+        // In-domain Fermat inversion: much faster than a BigUint extended
+        // GCD, and it avoids two domain conversions.
+        let zi = f.minv(&p.z);
         let zi2 = f.msqr(&zi);
         let zi3 = f.mmul(&zi2, &zi);
         let x = f.leave(&f.mmul(&p.x, &zi2));
@@ -224,25 +260,57 @@ impl EcGroup {
         EcPoint::affine(x, y)
     }
 
-    /// Jacobian doubling (generic `a`):
+    /// Normalizes many Jacobian points with a single field inversion
+    /// (Montgomery's batch-inversion trick): three multiplications per
+    /// point replace one inversion each.
+    fn to_affine_batch(&self, points: &[Jacobian]) -> Vec<EcPoint> {
+        let f = &self.fp;
+        let finite: Vec<usize> = (0..points.len())
+            .filter(|&i| !f.is_zero_elem(&points[i].z))
+            .collect();
+        let zs: Vec<MontElem> = finite.iter().map(|&i| points[i].z.clone()).collect();
+        let z_invs = f.batch_minv(&zs);
+        let mut out = vec![EcPoint::infinity(); points.len()];
+        for (&i, zi) in finite.iter().zip(&z_invs) {
+            let zi2 = f.msqr(zi);
+            let zi3 = f.mmul(&zi2, zi);
+            let x = f.leave(&f.mmul(&points[i].x, &zi2));
+            let y = f.leave(&f.mmul(&points[i].y, &zi3));
+            out[i] = EcPoint::affine(x, y);
+        }
+        out
+    }
+
+    /// Jacobian doubling:
     /// `S = 4XY²; M = 3X² + aZ⁴; X' = M² − 2S; Y' = M(S − X') − 8Y⁴; Z' = 2YZ`.
+    ///
+    /// For `a = p − 3` (all shipped curves), `M = 3(X − Z²)(X + Z²)`, which
+    /// trades two squarings and a multiplication for one multiplication.
     fn jac_double(&self, p: &Jacobian) -> Jacobian {
         let f = &self.fp;
         if f.is_zero_elem(&p.z) || f.is_zero_elem(&p.y) {
-            return Jacobian { x: f.one_elem(), y: f.one_elem(), z: f.zero_elem() };
+            return self.jac_infinity();
         }
         let y2 = f.msqr(&p.y);
         let s = f.msmall(&f.mmul(&p.x, &y2), 4);
         let z2 = f.msqr(&p.z);
-        let m = f.madd(
-            &f.msmall(&f.msqr(&p.x), 3),
-            &f.mmul(&self.a_m, &f.msqr(&z2)),
-        );
+        let m = if self.a_is_minus3 {
+            f.msmall(&f.mmul(&f.msub(&p.x, &z2), &f.madd(&p.x, &z2)), 3)
+        } else {
+            f.madd(
+                &f.msmall(&f.msqr(&p.x), 3),
+                &f.mmul(&self.a_m, &f.msqr(&z2)),
+            )
+        };
         let x3 = f.msub(&f.msqr(&m), &f.mdbl(&s));
         let y4 = f.msqr(&y2);
         let y3 = f.msub(&f.mmul(&m, &f.msub(&s, &x3)), &f.msmall(&y4, 8));
         let z3 = f.mdbl(&f.mmul(&p.y, &p.z));
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General Jacobian addition.
@@ -266,7 +334,11 @@ impl EcGroup {
             if f.is_zero_elem(&r) {
                 return self.jac_double(p);
             }
-            return Jacobian { x: f.one_elem(), y: f.one_elem(), z: f.zero_elem() };
+            return Jacobian {
+                x: f.one_elem(),
+                y: f.one_elem(),
+                z: f.zero_elem(),
+            };
         }
         let hh = f.msqr(&h);
         let hhh = f.mmul(&h, &hh);
@@ -274,7 +346,11 @@ impl EcGroup {
         let x3 = f.msub(&f.msub(&f.msqr(&r), &hhh), &f.mdbl(&v));
         let y3 = f.msub(&f.mmul(&r, &f.msub(&v, &x3)), &f.mmul(&s1, &hhh));
         let z3 = f.mmul(&f.mmul(&p.z, &q.z), &h);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Affine point addition.
@@ -287,34 +363,52 @@ impl EcGroup {
         match p.xy() {
             None => EcPoint::infinity(),
             Some((x, y)) => {
-                let ny = if y.is_zero() { BigUint::zero() } else { &self.params.p - y };
+                let ny = if y.is_zero() {
+                    BigUint::zero()
+                } else {
+                    &self.params.p - y
+                };
                 EcPoint::affine(x.clone(), ny)
             }
         }
     }
 
-    /// Scalar multiplication `k·P` with a 4-bit window.
-    pub fn scalar_mul(&self, p: &EcPoint, k: &BigUint) -> EcPoint {
-        let k = k % &self.params.n;
-        if k.is_zero() || p.is_infinity() {
-            return EcPoint::infinity();
-        }
-        let base = self.to_jacobian(p);
-        // Table of 0·P .. 15·P.
-        let f = &self.fp;
-        let inf = Jacobian { x: f.one_elem(), y: f.one_elem(), z: f.zero_elem() };
+    /// Builds the `1·P .. 15·P` window table (index 0 is infinity).
+    fn window_table(&self, base: &Jacobian) -> Vec<Jacobian> {
         let mut table = Vec::with_capacity(16);
-        table.push(inf);
+        table.push(self.jac_infinity());
         table.push(base.clone());
         for i in 2..16usize {
-            let prev = self.jac_add(&table[i - 1], &base);
+            let prev = self.jac_add(&table[i - 1], base);
             table.push(prev);
         }
+        table
+    }
+
+    /// Core variable-base scalar multiplication; `k` must already be
+    /// reduced modulo the group order.
+    fn scalar_mul_jac(&self, base: &Jacobian, k: &BigUint) -> Jacobian {
+        if k.is_zero() || self.fp.is_zero_elem(&base.z) {
+            return self.jac_infinity();
+        }
         let bits = k.bits();
+        if bits <= 32 {
+            // Small scalars (circuit weights, decode probes): plain binary
+            // double-and-add beats amortizing a 15-addition window table.
+            let mut acc = base.clone();
+            for i in (0..bits - 1).rev() {
+                acc = self.jac_double(&acc);
+                if k.bit(i) {
+                    acc = self.jac_add(&acc, base);
+                }
+            }
+            return acc;
+        }
+        let table = self.window_table(base);
         let mut acc: Option<Jacobian> = None;
         let mut i = bits;
         while i > 0 {
-            let take = if i % 4 == 0 { 4 } else { i % 4 };
+            let take = if i.is_multiple_of(4) { 4 } else { i % 4 };
             let mut window = 0usize;
             for t in 0..take {
                 window = window << 1 | k.bit(i - 1 - t) as usize;
@@ -333,35 +427,86 @@ impl EcGroup {
             });
             i -= take;
         }
-        self.to_affine(&acc.expect("nonzero scalar"))
+        acc.expect("nonzero scalar")
     }
 
-    /// Fixed-base scalar multiplication `k·G` via a lazily built comb
-    /// table: one Jacobian addition per 4 scalar bits, no doublings.
-    pub fn scalar_mul_gen(&self, k: &BigUint) -> EcPoint {
-        let table = self.gen_table.get_or_init(|| {
-            let rows = self.params.n.bits().div_ceil(4);
-            let f = &self.fp;
-            let inf = Jacobian { x: f.one_elem(), y: f.one_elem(), z: f.zero_elem() };
-            let Element::Ec(gen) = &self.generator else { unreachable!() };
-            let mut base = self.to_jacobian(gen);
-            let mut out = Vec::with_capacity(rows);
-            for _ in 0..rows {
-                let mut row = Vec::with_capacity(16);
-                row.push(inf.clone());
-                for d in 1..16 {
-                    let prev = self.jac_add(&row[d - 1], &base);
-                    row.push(prev);
-                }
-                base = self.jac_add(&row[15], &base);
-                out.push(row);
-            }
-            out
-        });
+    /// Scalar multiplication `k·P` with a 4-bit window.
+    pub fn scalar_mul(&self, p: &EcPoint, k: &BigUint) -> EcPoint {
         let k = k % &self.params.n;
-        let f = &self.fp;
-        let mut acc = Jacobian { x: f.one_elem(), y: f.one_elem(), z: f.zero_elem() };
-        for (i, row) in table.iter().enumerate() {
+        if k.is_zero() || p.is_infinity() {
+            return EcPoint::infinity();
+        }
+        self.to_affine(&self.scalar_mul_jac(&self.to_jacobian(p), &k))
+    }
+
+    /// Simultaneous double-base multiplication `k₁·P + k₂·Q` (Shamir's
+    /// trick): both scalars share one doubling ladder, so the combined cost
+    /// is roughly one scalar multiplication plus one extra table and one
+    /// extra addition per window — about two-thirds the cost of two
+    /// independent multiplications.
+    pub fn scalar_mul_dual(&self, p: &EcPoint, k1: &BigUint, q: &EcPoint, k2: &BigUint) -> EcPoint {
+        let k1 = k1 % &self.params.n;
+        let k2 = k2 % &self.params.n;
+        self.to_affine(&self.dual_mul_jac(p, &k1, q, &k2))
+    }
+
+    fn dual_mul_jac(&self, p: &EcPoint, k1: &BigUint, q: &EcPoint, k2: &BigUint) -> Jacobian {
+        if k1.is_zero() || p.is_infinity() {
+            return self.scalar_mul_jac(&self.to_jacobian(q), k2);
+        }
+        if k2.is_zero() || q.is_infinity() {
+            return self.scalar_mul_jac(&self.to_jacobian(p), k1);
+        }
+        let table_p = self.window_table(&self.to_jacobian(p));
+        let table_q = self.window_table(&self.to_jacobian(q));
+        let bits = k1.bits().max(k2.bits());
+        let windows = bits.div_ceil(4);
+        let mut acc: Option<Jacobian> = None;
+        for w in (0..windows).rev() {
+            if let Some(a) = acc.as_mut() {
+                for _ in 0..4 {
+                    *a = self.jac_double(a);
+                }
+            }
+            for (k, table) in [(&k1, &table_p), (&k2, &table_q)] {
+                let mut window = 0usize;
+                for b in 0..4 {
+                    window |= (k.bit(4 * w + b) as usize) << b;
+                }
+                if window != 0 {
+                    acc = Some(match acc {
+                        None => table[window].clone(),
+                        Some(a) => self.jac_add(&a, &table[window]),
+                    });
+                }
+            }
+        }
+        acc.unwrap_or_else(|| self.jac_infinity())
+    }
+
+    /// Builds a fixed-base comb table for `p`: `rows[i][d] = (d·16^i)·P`.
+    pub fn build_comb(&self, p: &EcPoint) -> EcComb {
+        let rows = self.params.n.bits().div_ceil(4);
+        let inf = self.jac_infinity();
+        let mut base = self.to_jacobian(p);
+        let mut out = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let mut row = Vec::with_capacity(16);
+            row.push(inf.clone());
+            for d in 1..16 {
+                let prev = self.jac_add(&row[d - 1], &base);
+                row.push(prev);
+            }
+            base = self.jac_add(&row[15], &base);
+            out.push(row);
+        }
+        EcComb { rows: out }
+    }
+
+    fn comb_mul_jac(&self, comb: &EcComb, k: &BigUint) -> Jacobian {
+        let k = k % &self.params.n;
+        let mut acc = self.jac_infinity();
+        for (i, row) in comb.rows.iter().enumerate() {
             let mut window = 0usize;
             for b in 0..4 {
                 window |= (k.bit(4 * i + b) as usize) << b;
@@ -370,7 +515,84 @@ impl EcGroup {
                 acc = self.jac_add(&acc, &row[window]);
             }
         }
-        self.to_affine(&acc)
+        acc
+    }
+
+    /// Fixed-base scalar multiplication via a prebuilt comb table: one
+    /// Jacobian addition per 4 scalar bits, no doublings.
+    pub fn scalar_mul_comb(&self, comb: &EcComb, k: &BigUint) -> EcPoint {
+        self.to_affine(&self.comb_mul_jac(comb, k))
+    }
+
+    /// Batch fixed-base multiplication: all results share one field
+    /// inversion for the final affine conversion.
+    pub fn scalar_mul_comb_batch(&self, comb: &EcComb, ks: &[BigUint]) -> Vec<EcPoint> {
+        let jacs: Vec<Jacobian> = ks.iter().map(|k| self.comb_mul_jac(comb, k)).collect();
+        self.to_affine_batch(&jacs)
+    }
+
+    /// Batch variable-base multiplication with one shared field inversion.
+    pub fn scalar_mul_batch(&self, pairs: &[(&EcPoint, &BigUint)]) -> Vec<EcPoint> {
+        let jacs: Vec<Jacobian> = pairs
+            .iter()
+            .map(|(p, k)| self.scalar_mul_jac(&self.to_jacobian(p), &(*k % &self.params.n)))
+            .collect();
+        self.to_affine_batch(&jacs)
+    }
+
+    /// Batch double-base multiplication `k₁·P + k₂·Q` per entry, sharing
+    /// one field inversion across all results.
+    pub fn scalar_mul_dual_batch(
+        &self,
+        items: &[(&EcPoint, &BigUint, &EcPoint, &BigUint)],
+    ) -> Vec<EcPoint> {
+        let jacs: Vec<Jacobian> = items
+            .iter()
+            .map(|(p, k1, q, k2)| {
+                self.dual_mul_jac(p, &(*k1 % &self.params.n), q, &(*k2 % &self.params.n))
+            })
+            .collect();
+        self.to_affine_batch(&jacs)
+    }
+
+    /// Returns (building and caching on first use) the comb table for `p`.
+    ///
+    /// The cache holds the most recent [`Self::COMB_CACHE_CAP`] bases in
+    /// FIFO order — enough for the handful of long-lived public keys a
+    /// protocol run exponentiates by.
+    pub fn comb_for(&self, p: &EcPoint) -> std::sync::Arc<EcComb> {
+        let mut cache = self.comb_cache.lock().expect("comb cache poisoned");
+        if let Some((_, comb)) = cache.iter().find(|(base, _)| base == p) {
+            return comb.clone();
+        }
+        let comb = std::sync::Arc::new(self.build_comb(p));
+        if cache.len() >= Self::COMB_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((p.clone(), comb.clone()));
+        comb
+    }
+
+    /// Capacity of the per-group comb-table cache.
+    pub const COMB_CACHE_CAP: usize = 16;
+
+    fn gen_comb(&self) -> &EcComb {
+        self.gen_table.get_or_init(|| {
+            let Element::Ec(gen) = &self.generator else {
+                unreachable!()
+            };
+            self.build_comb(gen)
+        })
+    }
+
+    /// Fixed-base scalar multiplication `k·G` via a lazily built comb table.
+    pub fn scalar_mul_gen(&self, k: &BigUint) -> EcPoint {
+        self.scalar_mul_comb(self.gen_comb(), k)
+    }
+
+    /// Batch fixed-base multiplication by the generator.
+    pub fn scalar_mul_gen_batch(&self, ks: &[BigUint]) -> Vec<EcPoint> {
+        self.scalar_mul_comb_batch(self.gen_comb(), ks)
     }
 
     /// SEC1 compressed encoding (`0x02/0x03 || x`); infinity is all zeros.
@@ -386,20 +608,26 @@ impl EcGroup {
     /// Decodes a compressed point, recovering `y` by Tonelli–Shanks.
     pub fn decode(&self, bytes: &[u8]) -> Result<EcPoint, DecodeElementError> {
         if bytes.len() != self.element_len {
-            return Err(DecodeElementError { reason: "wrong length" });
+            return Err(DecodeElementError {
+                reason: "wrong length",
+            });
         }
         match bytes[0] {
             0x00 => {
                 if bytes.iter().all(|&b| b == 0) {
                     Ok(EcPoint::infinity())
                 } else {
-                    Err(DecodeElementError { reason: "bad infinity encoding" })
+                    Err(DecodeElementError {
+                        reason: "bad infinity encoding",
+                    })
                 }
             }
             tag @ (0x02 | 0x03) => {
                 let x = BigUint::from_bytes_be(&bytes[1..]);
                 if x >= self.params.p {
-                    return Err(DecodeElementError { reason: "x out of range" });
+                    return Err(DecodeElementError {
+                        reason: "x out of range",
+                    });
                 }
                 // y² = x³ + ax + b
                 let f = &self.fp;
@@ -409,13 +637,21 @@ impl EcGroup {
                     &f.enter(&self.params.b),
                 );
                 let rhs = f.leave(&rhs);
-                let y = modular::sqrt_mod_prime(&rhs, &self.params.p)
-                    .ok_or(DecodeElementError { reason: "x not on curve" })?;
+                let y =
+                    modular::sqrt_mod_prime(&rhs, &self.params.p).ok_or(DecodeElementError {
+                        reason: "x not on curve",
+                    })?;
                 let want_odd = tag == 0x03;
-                let y = if y.is_odd() == want_odd { y } else { &self.params.p - &y };
+                let y = if y.is_odd() == want_odd {
+                    y
+                } else {
+                    &self.params.p - &y
+                };
                 Ok(EcPoint::affine(x, y))
             }
-            _ => Err(DecodeElementError { reason: "bad tag byte" }),
+            _ => Err(DecodeElementError {
+                reason: "bad tag byte",
+            }),
         }
     }
 }
@@ -433,7 +669,9 @@ mod tests {
     }
 
     fn gen_point(g: &EcGroup) -> EcPoint {
-        let Element::Ec(p) = g.generator().clone() else { unreachable!() };
+        let Element::Ec(p) = g.generator().clone() else {
+            unreachable!()
+        };
         p
     }
 
@@ -518,6 +756,85 @@ mod tests {
             format!("{y:x}"),
             "7775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1"
         );
+    }
+
+    #[test]
+    fn a_is_minus3_on_all_shipped_curves() {
+        // The fast-doubling path must actually be exercised by the shipped
+        // parameter sets.
+        for g in groups() {
+            assert!(g.a_is_minus3, "{}", g.params().name);
+        }
+    }
+
+    #[test]
+    fn dual_mul_matches_two_single_muls() {
+        for g in groups() {
+            let p = gen_point(&g);
+            let q = g.scalar_mul(&p, &BigUint::from(0xdead_beefu64));
+            for (k1, k2) in [
+                (0u64, 0u64),
+                (0, 5),
+                (7, 0),
+                (1, 1),
+                (123_456_789, 987_654_321),
+                (u64::MAX, 3),
+            ] {
+                let (k1, k2) = (BigUint::from(k1), BigUint::from(k2));
+                let expect = g.add(&g.scalar_mul(&p, &k1), &g.scalar_mul(&q, &k2));
+                assert_eq!(
+                    g.scalar_mul_dual(&p, &k1, &q, &k2),
+                    expect,
+                    "{} k1={k1:?} k2={k2:?}",
+                    g.params().name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comb_matches_scalar_mul() {
+        let g = EcGroup::new(CurveParams::secp160r1());
+        let p = g.scalar_mul(&gen_point(&g), &BigUint::from(31_337u64));
+        let comb = g.build_comb(&p);
+        for k in [0u64, 1, 2, 15, 16, 0xffff_ffff, u64::MAX] {
+            let k = BigUint::from(k);
+            assert_eq!(
+                g.scalar_mul_comb(&comb, &k),
+                g.scalar_mul(&p, &k),
+                "k={k:?}"
+            );
+        }
+        // Scalars at/above the order reduce first.
+        let n1 = g.order() + &BigUint::one();
+        assert_eq!(g.scalar_mul_comb(&comb, &n1), p);
+        assert!(g.scalar_mul_comb(&comb, g.order()).is_infinity());
+    }
+
+    #[test]
+    fn batch_apis_match_singles() {
+        let g = EcGroup::new(CurveParams::secp160r1());
+        let p = gen_point(&g);
+        let q = g.scalar_mul(&p, &BigUint::from(99u64));
+        let ks: Vec<BigUint> = [0u64, 1, 77, 123_456_789]
+            .iter()
+            .map(|&k| BigUint::from(k))
+            .collect();
+        let comb = g.build_comb(&q);
+        let batch = g.scalar_mul_comb_batch(&comb, &ks);
+        for (k, got) in ks.iter().zip(&batch) {
+            assert_eq!(got, &g.scalar_mul(&q, k));
+        }
+        assert_eq!(g.scalar_mul_gen_batch(&ks)[2], g.scalar_mul(&p, &ks[2]));
+        let pairs: Vec<(&EcPoint, &BigUint)> = ks.iter().map(|k| (&q, k)).collect();
+        let batch = g.scalar_mul_batch(&pairs);
+        for (k, got) in ks.iter().zip(&batch) {
+            assert_eq!(got, &g.scalar_mul(&q, k));
+        }
+        let items = vec![(&p, &ks[2], &q, &ks[3]), (&p, &ks[0], &q, &ks[0])];
+        let duals = g.scalar_mul_dual_batch(&items);
+        assert_eq!(duals[0], g.scalar_mul_dual(&p, &ks[2], &q, &ks[3]));
+        assert!(duals[1].is_infinity());
     }
 
     #[test]

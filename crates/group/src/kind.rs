@@ -74,7 +74,10 @@ impl GroupKind {
 
     /// Returns `true` for the DL family.
     pub fn is_dl(self) -> bool {
-        matches!(self, GroupKind::Dl1024 | GroupKind::Dl2048 | GroupKind::Dl3072)
+        matches!(
+            self,
+            GroupKind::Dl1024 | GroupKind::Dl2048 | GroupKind::Dl3072
+        )
     }
 
     /// The equivalent symmetric security level per NIST SP 800-57.
@@ -154,7 +157,11 @@ impl SecurityLevel {
 
     /// All levels in ascending order.
     pub fn all() -> [SecurityLevel; 3] {
-        [SecurityLevel::Bits80, SecurityLevel::Bits112, SecurityLevel::Bits128]
+        [
+            SecurityLevel::Bits80,
+            SecurityLevel::Bits112,
+            SecurityLevel::Bits128,
+        ]
     }
 }
 

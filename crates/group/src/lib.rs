@@ -39,8 +39,8 @@ mod kind;
 mod scalar;
 mod traits;
 
-pub use dl::{DlGroup, DlParams};
-pub use ec::{CurveParams, EcGroup, EcPoint};
+pub use dl::{DlComb, DlGroup, DlParams};
+pub use ec::{CurveParams, EcComb, EcGroup, EcPoint};
 pub use kind::{GroupKind, SecurityLevel};
 pub use scalar::Scalar;
-pub use traits::{DecodeElementError, Element, Group};
+pub use traits::{DecodeElementError, Element, FixedBaseTable, Group, GroupError};

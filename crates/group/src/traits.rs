@@ -44,6 +44,63 @@ impl fmt::Display for DecodeElementError {
 
 impl Error for DecodeElementError {}
 
+/// Error from a fallible group operation.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum GroupError {
+    /// An element of the other group family (DL vs. EC) was passed to this
+    /// group — e.g. a curve point handed to a safe-prime group. This means
+    /// elements from different [`Group`] instances were mixed, which the
+    /// protocol layers never do for honestly generated values but can
+    /// happen with adversarial wire input.
+    FamilyMismatch {
+        /// The operation that was attempted (`"op"`, `"exp"`, …).
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::FamilyMismatch { operation } => {
+                write!(f, "element/group family mismatch in `{operation}`")
+            }
+        }
+    }
+}
+
+impl Error for GroupError {}
+
+/// A precomputed fixed-base exponentiation table for one [`Element`].
+///
+/// Built with [`Group::prepare_base`]; pass it to [`Group::exp_prepared`]
+/// (or the batch variant) to exponentiate by that base at roughly a quarter
+/// of the generic [`Group::exp`] cost. The table build itself costs a few
+/// generic exponentiations, so prepare only bases that are reused — in this
+/// framework, the joint public key that every encryption and
+/// re-randomization exponentiates by.
+///
+/// Cloning is cheap (`Arc` internally). Tables are also cached inside the
+/// group singleton, so repeated `prepare_base` calls for the same base are
+/// shared across the process.
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable {
+    base: Element,
+    inner: TableImpl,
+}
+
+#[derive(Clone, Debug)]
+enum TableImpl {
+    Dl(Arc<crate::dl::DlComb>),
+    Ec(Arc<crate::ec::EcComb>),
+}
+
+impl FixedBaseTable {
+    /// The base this table exponentiates.
+    pub fn base(&self) -> &Element {
+        &self.base
+    }
+}
+
 /// A handle to a prime-order group in which DDH is assumed hard.
 ///
 /// Cloning is cheap (`Arc` internally). All protocol crates take a `&Group`
@@ -90,26 +147,52 @@ impl Group {
         }
     }
 
+    /// Fallible group operation `a · b` (point addition for ECC).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::FamilyMismatch`] if an element belongs to the
+    /// other group family.
+    pub fn try_op(&self, a: &Element, b: &Element) -> Result<Element, GroupError> {
+        match (&self.inner, a, b) {
+            (GroupImpl::Dl(g), Element::Dl(a), Element::Dl(b)) => Ok(Element::Dl(g.mul(a, b))),
+            (GroupImpl::Ec(g), Element::Ec(a), Element::Ec(b)) => Ok(Element::Ec(g.add(a, b))),
+            _ => Err(GroupError::FamilyMismatch { operation: "op" }),
+        }
+    }
+
     /// Group operation `a · b` (point addition for ECC).
     ///
     /// # Panics
     ///
-    /// Panics if an element belongs to the other group family.
+    /// Panics if an element belongs to the other group family; use
+    /// [`Group::try_op`] for untrusted input.
     pub fn op(&self, a: &Element, b: &Element) -> Element {
-        match (&self.inner, a, b) {
-            (GroupImpl::Dl(g), Element::Dl(a), Element::Dl(b)) => Element::Dl(g.mul(a, b)),
-            (GroupImpl::Ec(g), Element::Ec(a), Element::Ec(b)) => Element::Ec(g.add(a, b)),
-            _ => panic!("element/group family mismatch"),
+        self.try_op(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible inverse element `a^{-1}` (point negation for ECC).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::FamilyMismatch`] if the element belongs to the
+    /// other group family.
+    pub fn try_inv(&self, a: &Element) -> Result<Element, GroupError> {
+        match (&self.inner, a) {
+            (GroupImpl::Dl(g), Element::Dl(a)) => Ok(Element::Dl(g.inv(a))),
+            (GroupImpl::Ec(g), Element::Ec(a)) => Ok(Element::Ec(g.neg(a))),
+            _ => Err(GroupError::FamilyMismatch { operation: "inv" }),
         }
     }
 
     /// Inverse element `a^{-1}` (point negation for ECC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element belongs to the other group family; use
+    /// [`Group::try_inv`] for untrusted input.
     pub fn inv(&self, a: &Element) -> Element {
-        match (&self.inner, a) {
-            (GroupImpl::Dl(g), Element::Dl(a)) => Element::Dl(g.inv(a)),
-            (GroupImpl::Ec(g), Element::Ec(a)) => Element::Ec(g.neg(a)),
-            _ => panic!("element/group family mismatch"),
-        }
+        self.try_inv(a).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// `a / b`, i.e. `a · b^{-1}`.
@@ -117,12 +200,126 @@ impl Group {
         self.op(a, &self.inv(b))
     }
 
-    /// Exponentiation `a^s` (scalar multiplication for ECC).
-    pub fn exp(&self, a: &Element, s: &Scalar) -> Element {
+    /// Fallible exponentiation `a^s` (scalar multiplication for ECC).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::FamilyMismatch`] if the element belongs to the
+    /// other group family.
+    pub fn try_exp(&self, a: &Element, s: &Scalar) -> Result<Element, GroupError> {
         match (&self.inner, a) {
-            (GroupImpl::Dl(g), Element::Dl(a)) => Element::Dl(g.pow(a, &s.0)),
-            (GroupImpl::Ec(g), Element::Ec(a)) => Element::Ec(g.scalar_mul(a, &s.0)),
-            _ => panic!("element/group family mismatch"),
+            (GroupImpl::Dl(g), Element::Dl(a)) => Ok(Element::Dl(g.pow(a, &s.0))),
+            (GroupImpl::Ec(g), Element::Ec(a)) => Ok(Element::Ec(g.scalar_mul(a, &s.0))),
+            _ => Err(GroupError::FamilyMismatch { operation: "exp" }),
+        }
+    }
+
+    /// Exponentiation `a^s` (scalar multiplication for ECC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element belongs to the other group family; use
+    /// [`Group::try_exp`] for untrusted input.
+    pub fn exp(&self, a: &Element, s: &Scalar) -> Element {
+        self.try_exp(a, s).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Simultaneous double-base exponentiation `a^s · b^t`.
+    ///
+    /// Both exponentiations share one squaring/doubling ladder (Shamir's
+    /// trick), costing roughly two-thirds of two separate [`Group::exp`]
+    /// calls. This is the shape of a fused re-randomized partial decryption
+    /// (`α^r · β^{−x·r}`), the dominant operation of the shuffle chain.
+    pub fn exp_dual(&self, a: &Element, s: &Scalar, b: &Element, t: &Scalar) -> Element {
+        match (&self.inner, a, b) {
+            (GroupImpl::Dl(g), Element::Dl(a), Element::Dl(b)) => {
+                Element::Dl(g.pow_dual(a, &s.0, b, &t.0))
+            }
+            (GroupImpl::Ec(g), Element::Ec(a), Element::Ec(b)) => {
+                Element::Ec(g.scalar_mul_dual(a, &s.0, b, &t.0))
+            }
+            _ => panic!(
+                "{}",
+                GroupError::FamilyMismatch {
+                    operation: "exp_dual"
+                }
+            ),
+        }
+    }
+
+    /// Batch [`Group::exp_dual`]: elliptic-curve results share a single
+    /// field inversion for the final affine conversion.
+    pub fn exp_dual_batch(&self, items: &[(&Element, &Scalar, &Element, &Scalar)]) -> Vec<Element> {
+        match &self.inner {
+            GroupImpl::Dl(g) => items
+                .iter()
+                .map(|(a, s, b, t)| match (a, b) {
+                    (Element::Dl(a), Element::Dl(b)) => Element::Dl(g.pow_dual(a, &s.0, b, &t.0)),
+                    _ => panic!(
+                        "{}",
+                        GroupError::FamilyMismatch {
+                            operation: "exp_dual_batch"
+                        }
+                    ),
+                })
+                .collect(),
+            GroupImpl::Ec(g) => {
+                let pts: Vec<(&EcPoint, &BigUint, &EcPoint, &BigUint)> = items
+                    .iter()
+                    .map(|(a, s, b, t)| match (a, b) {
+                        (Element::Ec(a), Element::Ec(b)) => (a, &s.0, b, &t.0),
+                        _ => {
+                            panic!(
+                                "{}",
+                                GroupError::FamilyMismatch {
+                                    operation: "exp_dual_batch"
+                                }
+                            )
+                        }
+                    })
+                    .collect();
+                g.scalar_mul_dual_batch(&pts)
+                    .into_iter()
+                    .map(Element::Ec)
+                    .collect()
+            }
+        }
+    }
+
+    /// Batch [`Group::exp`] over independent (base, scalar) pairs;
+    /// elliptic-curve results share a single field inversion.
+    pub fn exp_batch(&self, pairs: &[(&Element, &Scalar)]) -> Vec<Element> {
+        match &self.inner {
+            GroupImpl::Dl(g) => pairs
+                .iter()
+                .map(|(a, s)| match a {
+                    Element::Dl(a) => Element::Dl(g.pow(a, &s.0)),
+                    _ => panic!(
+                        "{}",
+                        GroupError::FamilyMismatch {
+                            operation: "exp_batch"
+                        }
+                    ),
+                })
+                .collect(),
+            GroupImpl::Ec(g) => {
+                let pts: Vec<(&EcPoint, &BigUint)> = pairs
+                    .iter()
+                    .map(|(a, s)| match a {
+                        Element::Ec(a) => (a, &s.0),
+                        _ => panic!(
+                            "{}",
+                            GroupError::FamilyMismatch {
+                                operation: "exp_batch"
+                            }
+                        ),
+                    })
+                    .collect();
+                g.scalar_mul_batch(&pts)
+                    .into_iter()
+                    .map(Element::Ec)
+                    .collect()
+            }
         }
     }
 
@@ -139,6 +336,89 @@ impl Group {
         }
     }
 
+    /// Batch [`Group::exp_gen`]; elliptic-curve results share a single
+    /// field inversion.
+    pub fn exp_gen_batch(&self, scalars: &[Scalar]) -> Vec<Element> {
+        match &self.inner {
+            GroupImpl::Dl(g) => scalars
+                .iter()
+                .map(|s| Element::Dl(g.pow_gen(&s.0)))
+                .collect(),
+            GroupImpl::Ec(g) => {
+                let ks: Vec<BigUint> = scalars.iter().map(|s| s.0.clone()).collect();
+                g.scalar_mul_gen_batch(&ks)
+                    .into_iter()
+                    .map(Element::Ec)
+                    .collect()
+            }
+        }
+    }
+
+    /// Builds (or fetches from the per-group cache) a fixed-base comb table
+    /// for `base`, enabling [`Group::exp_prepared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element belongs to the other group family.
+    pub fn prepare_base(&self, base: &Element) -> FixedBaseTable {
+        let inner = match (&self.inner, base) {
+            (GroupImpl::Dl(g), Element::Dl(a)) => TableImpl::Dl(g.comb_for(a)),
+            (GroupImpl::Ec(g), Element::Ec(p)) => TableImpl::Ec(g.comb_for(p)),
+            _ => panic!(
+                "{}",
+                GroupError::FamilyMismatch {
+                    operation: "prepare_base"
+                }
+            ),
+        };
+        FixedBaseTable {
+            base: base.clone(),
+            inner,
+        }
+    }
+
+    /// Fixed-base exponentiation `base^s` through a prepared table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built by a group of the other family.
+    pub fn exp_prepared(&self, table: &FixedBaseTable, s: &Scalar) -> Element {
+        match (&self.inner, &table.inner) {
+            (GroupImpl::Dl(g), TableImpl::Dl(c)) => Element::Dl(g.pow_comb(c, &s.0)),
+            (GroupImpl::Ec(g), TableImpl::Ec(c)) => Element::Ec(g.scalar_mul_comb(c, &s.0)),
+            _ => panic!(
+                "{}",
+                GroupError::FamilyMismatch {
+                    operation: "exp_prepared"
+                }
+            ),
+        }
+    }
+
+    /// Batch [`Group::exp_prepared`]; elliptic-curve results share a single
+    /// field inversion.
+    pub fn exp_prepared_batch(&self, table: &FixedBaseTable, scalars: &[Scalar]) -> Vec<Element> {
+        match (&self.inner, &table.inner) {
+            (GroupImpl::Dl(g), TableImpl::Dl(c)) => scalars
+                .iter()
+                .map(|s| Element::Dl(g.pow_comb(c, &s.0)))
+                .collect(),
+            (GroupImpl::Ec(g), TableImpl::Ec(c)) => {
+                let ks: Vec<BigUint> = scalars.iter().map(|s| s.0.clone()).collect();
+                g.scalar_mul_comb_batch(c, &ks)
+                    .into_iter()
+                    .map(Element::Ec)
+                    .collect()
+            }
+            _ => panic!(
+                "{}",
+                GroupError::FamilyMismatch {
+                    operation: "exp_prepared_batch"
+                }
+            ),
+        }
+    }
+
     /// Returns `true` if `a` is the identity.
     pub fn is_identity(&self, a: &Element) -> bool {
         match a {
@@ -147,16 +427,33 @@ impl Group {
         }
     }
 
+    /// Fallible fixed-length wire encoding of an element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::FamilyMismatch`] if the element belongs to the
+    /// other group family.
+    pub fn try_encode(&self, a: &Element) -> Result<Vec<u8>, GroupError> {
+        match (&self.inner, a) {
+            (GroupImpl::Dl(g), Element::Dl(a)) => Ok(g.encode(a)),
+            (GroupImpl::Ec(g), Element::Ec(a)) => Ok(g.encode(a)),
+            _ => Err(GroupError::FamilyMismatch {
+                operation: "encode",
+            }),
+        }
+    }
+
     /// Fixed-length wire encoding of an element.
     ///
     /// DL elements are big-endian residues padded to the modulus width; EC
     /// points use SEC1 compressed form (`0x02/0x03 || x`, identity = `0x00…`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element belongs to the other group family; use
+    /// [`Group::try_encode`] for untrusted input.
     pub fn encode(&self, a: &Element) -> Vec<u8> {
-        match (&self.inner, a) {
-            (GroupImpl::Dl(g), Element::Dl(a)) => g.encode(a),
-            (GroupImpl::Ec(g), Element::Ec(a)) => g.encode(a),
-            _ => panic!("element/group family mismatch"),
-        }
+        self.try_encode(a).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Decodes an element produced by [`Group::encode`].
@@ -243,7 +540,7 @@ impl Group {
 
 #[cfg(test)]
 mod tests {
-    use crate::GroupKind;
+    use crate::{GroupError, GroupKind};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -288,5 +585,95 @@ mod tests {
         let e = ec.generator().clone();
         let d = dl.generator().clone();
         let _ = dl.op(&d, &e);
+    }
+
+    #[test]
+    fn try_ops_reject_cross_family_without_panicking() {
+        let dl = GroupKind::Dl1024.group();
+        let ec = GroupKind::Ecc160.group();
+        let e = ec.generator().clone();
+        let d = dl.generator().clone();
+        let s = dl.scalar_from_u64(3);
+        assert_eq!(
+            dl.try_op(&d, &e),
+            Err(GroupError::FamilyMismatch { operation: "op" })
+        );
+        assert_eq!(
+            dl.try_inv(&e),
+            Err(GroupError::FamilyMismatch { operation: "inv" })
+        );
+        assert_eq!(
+            dl.try_exp(&e, &s),
+            Err(GroupError::FamilyMismatch { operation: "exp" })
+        );
+        assert_eq!(
+            dl.try_encode(&e),
+            Err(GroupError::FamilyMismatch {
+                operation: "encode"
+            })
+        );
+        // The error's rendering is what the panicking wrappers print.
+        let msg = GroupError::FamilyMismatch { operation: "op" }.to_string();
+        assert!(msg.contains("element/group family mismatch"), "{msg}");
+        // Matching families still succeed.
+        assert!(dl.try_op(&d, &d).is_ok());
+        assert!(ec.try_exp(&e, &ec.scalar_from_u64(5)).is_ok());
+    }
+
+    #[test]
+    fn exp_dual_matches_separate_exps() {
+        for kind in [GroupKind::Ecc160, GroupKind::Dl1024] {
+            let g = kind.group();
+            let mut rng = StdRng::seed_from_u64(21);
+            let a = g.exp_gen(&g.random_scalar(&mut rng));
+            let b = g.exp_gen(&g.random_scalar(&mut rng));
+            let s = g.random_scalar(&mut rng);
+            let t = g.random_scalar(&mut rng);
+            let expect = g.op(&g.exp(&a, &s), &g.exp(&b, &t));
+            assert_eq!(g.exp_dual(&a, &s, &b, &t), expect, "{kind}");
+            let batch = g.exp_dual_batch(&[(&a, &s, &b, &t), (&b, &t, &a, &s)]);
+            assert_eq!(batch, vec![expect.clone(), expect], "{kind}");
+        }
+    }
+
+    #[test]
+    fn prepared_base_matches_generic_exp() {
+        for kind in [GroupKind::Ecc160, GroupKind::Dl1024] {
+            let g = kind.group();
+            let mut rng = StdRng::seed_from_u64(33);
+            let base = g.exp_gen(&g.random_scalar(&mut rng));
+            let table = g.prepare_base(&base);
+            assert_eq!(table.base(), &base);
+            let scalars: Vec<_> = (0..4).map(|_| g.random_scalar(&mut rng)).collect();
+            for s in &scalars {
+                assert_eq!(g.exp_prepared(&table, s), g.exp(&base, s), "{kind}");
+            }
+            let batch = g.exp_prepared_batch(&table, &scalars);
+            for (s, got) in scalars.iter().zip(&batch) {
+                assert_eq!(got, &g.exp(&base, s), "{kind}");
+            }
+            // Second prepare hits the cache (same underlying table).
+            let again = g.prepare_base(&base);
+            assert_eq!(
+                g.exp_prepared(&again, &scalars[0]),
+                g.exp(&base, &scalars[0])
+            );
+        }
+    }
+
+    #[test]
+    fn exp_batch_apis_match_singles() {
+        let g = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(44);
+        let a = g.exp_gen(&g.random_scalar(&mut rng));
+        let b = g.exp_gen(&g.random_scalar(&mut rng));
+        let s = g.random_scalar(&mut rng);
+        let t = g.scalar_from_u64(0);
+        let batch = g.exp_batch(&[(&a, &s), (&b, &t)]);
+        assert_eq!(batch[0], g.exp(&a, &s));
+        assert!(g.is_identity(&batch[1]));
+        let gen_batch = g.exp_gen_batch(&[s.clone(), t]);
+        assert_eq!(gen_batch[0], g.exp_gen(&s));
+        assert!(g.is_identity(&gen_batch[1]));
     }
 }

@@ -21,7 +21,11 @@ pub struct HashDrbg {
 impl HashDrbg {
     /// Instantiates from seed material of any length.
     pub fn new(seed_material: &[u8]) -> Self {
-        let mut drbg = HashDrbg { key: [0u8; 32], v: [1u8; 32], buffer: Vec::new() };
+        let mut drbg = HashDrbg {
+            key: [0u8; 32],
+            v: [1u8; 32],
+            buffer: Vec::new(),
+        };
         drbg.update(Some(seed_material));
         drbg
     }

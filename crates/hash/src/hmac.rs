@@ -38,7 +38,10 @@ impl HmacSha256 {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad);
-        HmacSha256 { inner, outer_key: opad }
+        HmacSha256 {
+            inner,
+            outer_key: opad,
+        }
     }
 
     /// Absorbs more message bytes.

@@ -142,20 +142,21 @@ impl LocalMesh {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[allow(clippy::new_ret_no_self)] // one handle per party, not a LocalMesh
     pub fn new<T>(n: usize) -> Vec<PartyHandle<T>> {
         assert!(n > 0, "mesh needs at least one party");
         // channel[i][j] carries i → j.
         let mut txs: Vec<Vec<Option<Sender<T>>>> = (0..n).map(|_| Vec::new()).collect();
         let mut rxs: Vec<Vec<Option<Receiver<T>>>> = (0..n).map(|_| Vec::new()).collect();
-        for i in 0..n {
-            for j in 0..n {
+        for (i, tx_row) in txs.iter_mut().enumerate() {
+            for (j, rx_row) in rxs.iter_mut().enumerate() {
                 if i == j {
-                    txs[i].push(None);
-                    rxs[j].push(None);
+                    tx_row.push(None);
+                    rx_row.push(None);
                 } else {
                     let (tx, rx) = unbounded();
-                    txs[i].push(Some(tx));
-                    rxs[j].push(Some(rx));
+                    tx_row.push(Some(tx));
+                    rx_row.push(Some(rx));
                 }
             }
         }
@@ -167,7 +168,12 @@ impl LocalMesh {
         txs.into_iter()
             .zip(rxs)
             .enumerate()
-            .map(|(id, (senders, receivers))| PartyHandle { id, n, senders, receivers })
+            .map(|(id, (senders, receivers))| PartyHandle {
+                id,
+                n,
+                senders,
+                receivers,
+            })
             .collect()
     }
 }

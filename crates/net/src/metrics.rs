@@ -39,10 +39,21 @@ impl TrafficLog {
     }
 
     /// Records one message.
-    pub fn record(&self, round: u32, from: PartyId, to: PartyId, bytes: usize, phase: &'static str) {
-        self.inner
-            .lock()
-            .push(TrafficRecord { round, from, to, bytes, phase });
+    pub fn record(
+        &self,
+        round: u32,
+        from: PartyId,
+        to: PartyId,
+        bytes: usize,
+        phase: &'static str,
+    ) {
+        self.inner.lock().push(TrafficRecord {
+            round,
+            from,
+            to,
+            bytes,
+            phase,
+        });
     }
 
     /// Snapshot of all records, in insertion order.

@@ -35,7 +35,11 @@ impl Topology {
             adj[a].push((b, idx));
             adj[b].push((a, idx));
         }
-        Topology { nodes, edges: normalized, adj }
+        Topology {
+            nodes,
+            edges: normalized,
+            adj,
+        }
     }
 
     /// The paper's construction: a connected random graph with `nodes`
@@ -50,7 +54,10 @@ impl Topology {
     pub fn random_connected(nodes: usize, edges: usize, seed: u64) -> Self {
         assert!(nodes >= 2, "need at least two nodes");
         assert!(edges >= nodes - 1, "too few edges for connectivity");
-        assert!(edges <= nodes * (nodes - 1) / 2, "more edges than complete graph");
+        assert!(
+            edges <= nodes * (nodes - 1) / 2,
+            "more edges than complete graph"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
 
         // Random spanning tree over a shuffled node order.

@@ -77,7 +77,11 @@ impl NetworkSim {
         let mut nodes: Vec<usize> = (0..topology.nodes()).collect();
         nodes.shuffle(&mut rng);
         nodes.truncate(parties);
-        NetworkSim { topology, config, placement: nodes }
+        NetworkSim {
+            topology,
+            config,
+            placement: nodes,
+        }
     }
 
     /// The paper's Fig. 3(b) setup: 80 nodes, 320 edges, 2 Mbps / 50 ms.
@@ -149,7 +153,12 @@ impl NetworkSim {
             slowest_round = slowest_round.max(round_end - round_start);
             clock = round_end;
         }
-        SimReport { completion_s: clock, messages, link_bytes, slowest_round_s: slowest_round }
+        SimReport {
+            completion_s: clock,
+            messages,
+            link_bytes,
+            slowest_round_s: slowest_round,
+        }
     }
 
     /// Converts a [`TrafficLog`] into a round-barrier trace and simulates
@@ -159,7 +168,11 @@ impl NetworkSim {
         let max_round = records.iter().map(|r| r.round).max().map_or(0, |r| r + 1);
         let mut rounds: Vec<Vec<TraceMessage>> = vec![Vec::new(); max_round as usize];
         for r in records {
-            rounds[r.round as usize].push(TraceMessage { from: r.from, to: r.to, bytes: r.bytes });
+            rounds[r.round as usize].push(TraceMessage {
+                from: r.from,
+                to: r.to,
+                bytes: r.bytes,
+            });
         }
         self.simulate(&rounds)
     }
@@ -178,17 +191,29 @@ mod tests {
     #[test]
     fn single_message_time_is_tx_plus_latency() {
         let sim = line_sim();
-        let report = sim.simulate(&[vec![TraceMessage { from: 0, to: 1, bytes: 1000 }]]);
+        let report = sim.simulate(&[vec![TraceMessage {
+            from: 0,
+            to: 1,
+            bytes: 1000,
+        }]]);
         // 1000 payload + 1 header(40) = 1040 B → 8320 bits / 2 Mbps = 4.16 ms; + 50 ms.
         let expect = 8320.0 / 2_000_000.0 + 0.050;
-        assert!((report.completion_s - expect).abs() < 1e-9, "{}", report.completion_s);
+        assert!(
+            (report.completion_s - expect).abs() < 1e-9,
+            "{}",
+            report.completion_s
+        );
         assert_eq!(report.messages, 1);
     }
 
     #[test]
     fn same_direction_messages_queue() {
         let sim = line_sim();
-        let msg = TraceMessage { from: 0, to: 1, bytes: 1000 };
+        let msg = TraceMessage {
+            from: 0,
+            to: 1,
+            bytes: 1000,
+        };
         let one = sim.simulate(&[vec![msg.clone()]]).completion_s;
         let two = sim.simulate(&[vec![msg.clone(), msg.clone()]]).completion_s;
         // Second message waits for serialization of the first, but latency overlaps.
@@ -199,19 +224,36 @@ mod tests {
     #[test]
     fn duplex_directions_do_not_contend() {
         let sim = line_sim();
-        let a = TraceMessage { from: 0, to: 1, bytes: 1000 };
-        let b = TraceMessage { from: 1, to: 0, bytes: 1000 };
+        let a = TraceMessage {
+            from: 0,
+            to: 1,
+            bytes: 1000,
+        };
+        let b = TraceMessage {
+            from: 1,
+            to: 0,
+            bytes: 1000,
+        };
         let both = sim.simulate(&[vec![a.clone(), b]]).completion_s;
         let alone = sim.simulate(&[vec![a]]).completion_s;
-        assert!((both - alone).abs() < 1e-12, "duplex halves are independent");
+        assert!(
+            (both - alone).abs() < 1e-12,
+            "duplex halves are independent"
+        );
     }
 
     #[test]
     fn rounds_are_barriers() {
         let sim = line_sim();
-        let msg = TraceMessage { from: 0, to: 1, bytes: 1000 };
+        let msg = TraceMessage {
+            from: 0,
+            to: 1,
+            bytes: 1000,
+        };
         let one_round = sim.simulate(&[vec![msg.clone(), msg.clone()]]).completion_s;
-        let two_rounds = sim.simulate(&[vec![msg.clone()], vec![msg.clone()]]).completion_s;
+        let two_rounds = sim
+            .simulate(&[vec![msg.clone()], vec![msg.clone()]])
+            .completion_s;
         // Across a barrier, latency cannot be overlapped → strictly slower.
         assert!(two_rounds > one_round);
     }
@@ -222,7 +264,11 @@ mod tests {
         let mut sim = NetworkSim::new(topo, 3, SimConfig::default(), 1);
         // Force placement party i → node i for determinism.
         sim.placement = vec![0, 1, 2];
-        let r = sim.simulate(&[vec![TraceMessage { from: 0, to: 2, bytes: 100 }]]);
+        let r = sim.simulate(&[vec![TraceMessage {
+            from: 0,
+            to: 2,
+            bytes: 100,
+        }]]);
         let tx = (100.0 + 40.0) * 8.0 / 2_000_000.0;
         let expect = 2.0 * (tx + 0.050);
         assert!((r.completion_s - expect).abs() < 1e-9);
@@ -232,7 +278,11 @@ mod tests {
     #[test]
     fn paper_setup_runs() {
         let sim = NetworkSim::paper_setup(25, 7);
-        let trace = vec![vec![TraceMessage { from: 0, to: 24, bytes: 4096 }]];
+        let trace = vec![vec![TraceMessage {
+            from: 0,
+            to: 24,
+            bytes: 4096,
+        }]];
         let r = sim.simulate(&trace);
         assert!(r.completion_s > 0.05, "at least one hop of latency");
         assert!(r.completion_s < 5.0, "sane upper bound");
@@ -253,7 +303,11 @@ mod tests {
     fn segmentation_overhead_counted() {
         let sim = line_sim();
         // 3000 B payload → 3 segments → 120 B headers.
-        let r = sim.simulate(&[vec![TraceMessage { from: 0, to: 1, bytes: 3000 }]]);
+        let r = sim.simulate(&[vec![TraceMessage {
+            from: 0,
+            to: 1,
+            bytes: 3000,
+        }]]);
         assert_eq!(r.link_bytes, 3120);
     }
 }

@@ -14,7 +14,11 @@ fn sim_with(topo: Topology, parties: usize, config: SimConfig) -> NetworkSim {
 }
 
 fn one_msg(bytes: usize) -> Vec<Vec<TraceMessage>> {
-    vec![vec![TraceMessage { from: 0, to: 1, bytes }]]
+    vec![vec![TraceMessage {
+        from: 0,
+        to: 1,
+        bytes,
+    }]]
 }
 
 proptest! {

@@ -154,7 +154,11 @@ impl Keypair {
         };
         let l_val = (&glambda - &one).div_rem(&n).0;
         let mu = modular::mod_inverse(&l_val, &n).expect("λ invertible for valid keys");
-        Keypair { public: PublicKey { n, n_squared, mont }, lambda, mu }
+        Keypair {
+            public: PublicKey { n, n_squared, mont },
+            lambda,
+            mu,
+        }
     }
 
     /// The public key.
@@ -184,7 +188,9 @@ impl Keypair {
             v.to_u128().and_then(|u| i128::try_from(u).ok())
         } else {
             let mag = &self.public.n - &v;
-            mag.to_u128().and_then(|u| i128::try_from(u).ok()).map(|m| -m)
+            mag.to_u128()
+                .and_then(|u| i128::try_from(u).ok())
+                .map(|m| -m)
         }
     }
 }

@@ -163,7 +163,13 @@ mod tests {
         let mut e = engine();
         let l = 16;
         let max = (1u64 << l) - 1;
-        for (a, b) in [(0, 0), (0, max), (max, 0), (max, max), (max / 2, max / 2 + 1)] {
+        for (a, b) in [
+            (0, 0),
+            (0, max),
+            (max, 0),
+            (max, max),
+            (max / 2, max / 2 + 1),
+        ] {
             check_ge(&mut e, a, b, l);
         }
     }
@@ -197,9 +203,7 @@ mod tests {
         let f = e.field().clone();
         for r in [0u64, 1, 7, 8, 12, 15] {
             // Share the bits of r.
-            let bits: Vec<Shared> = (0..4)
-                .map(|i| e.input(&f.from_u64(r >> i & 1)))
-                .collect();
+            let bits: Vec<Shared> = (0..4).map(|i| e.input(&f.from_u64(r >> i & 1))).collect();
             for pubv in [0u64, 3, 7, 11, 12, 15] {
                 let lt = bitwise_lt_public(&mut e, &BigUint::from(pubv), &bits);
                 let expect = if pubv < r { f.one() } else { f.zero() };

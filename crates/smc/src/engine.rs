@@ -101,9 +101,15 @@ impl SsEngine {
             return Err(SsError::BadThreshold { n, t });
         }
         let points: Vec<u64> = (1..=n as u64).collect();
-        let lagrange_full =
-            lagrange_at_zero(&field, &points).expect("distinct nonzero points");
-        Ok(SsEngine { field, n, t, rng: StdRng::seed_from_u64(seed), lagrange_full, metrics: SsMetrics::default() })
+        let lagrange_full = lagrange_at_zero(&field, &points).expect("distinct nonzero points");
+        Ok(SsEngine {
+            field,
+            n,
+            t,
+            rng: StdRng::seed_from_u64(seed),
+            lagrange_full,
+            metrics: SsMetrics::default(),
+        })
     }
 
     /// The underlying field.
@@ -138,12 +144,16 @@ impl SsEngine {
         self.metrics.sharings += 1;
         self.metrics.rounds += 1;
         self.metrics.field_elements_sent += self.n as u64 - 1;
-        Shared { shares: shares.into_iter().map(|s| s.value).collect() }
+        Shared {
+            shares: shares.into_iter().map(|s| s.value).collect(),
+        }
     }
 
     /// Shares a public constant (no communication: the constant polynomial).
     pub fn constant(&self, value: &Fp) -> Shared {
-        Shared { shares: vec![value.clone(); self.n] }
+        Shared {
+            shares: vec![value.clone(); self.n],
+        }
     }
 
     /// Embeds a public `u64` constant.
@@ -153,22 +163,30 @@ impl SsEngine {
 
     /// `[a] + [b]` — local, free.
     pub fn add(&self, a: &Shared, b: &Shared) -> Shared {
-        Shared { shares: a.shares.iter().zip(&b.shares).map(|(x, y)| x + y).collect() }
+        Shared {
+            shares: a.shares.iter().zip(&b.shares).map(|(x, y)| x + y).collect(),
+        }
     }
 
     /// `[a] − [b]` — local, free.
     pub fn sub(&self, a: &Shared, b: &Shared) -> Shared {
-        Shared { shares: a.shares.iter().zip(&b.shares).map(|(x, y)| x - y).collect() }
+        Shared {
+            shares: a.shares.iter().zip(&b.shares).map(|(x, y)| x - y).collect(),
+        }
     }
 
     /// `[a] + c` for public `c` — local, free.
     pub fn add_public(&self, a: &Shared, c: &Fp) -> Shared {
-        Shared { shares: a.shares.iter().map(|x| x + c).collect() }
+        Shared {
+            shares: a.shares.iter().map(|x| x + c).collect(),
+        }
     }
 
     /// `c·[a]` for public `c` — local, free.
     pub fn mul_public(&self, a: &Shared, c: &Fp) -> Shared {
-        Shared { shares: a.shares.iter().map(|x| x * c).collect() }
+        Shared {
+            shares: a.shares.iter().map(|x| x * c).collect(),
+        }
     }
 
     /// BGW multiplication `[a]·[b]` with Gennaro–Rabin–Rabin degree
@@ -177,8 +195,7 @@ impl SsEngine {
     /// public Lagrange coefficients.
     pub fn mul(&mut self, a: &Shared, b: &Shared) -> Shared {
         // Local products, degree-2t sharing of a·b.
-        let products: Vec<Fp> =
-            a.shares.iter().zip(&b.shares).map(|(x, y)| x * y).collect();
+        let products: Vec<Fp> = a.shares.iter().zip(&b.shares).map(|(x, y)| x * y).collect();
         // Each party reshares its product share (degree t).
         let resharings: Vec<Vec<Fp>> = products
             .iter()
@@ -227,7 +244,9 @@ impl SsEngine {
         for _ in 0..self.n {
             let r = self.field.random(&mut self.rng);
             let sh = share_secret(&self.field, &r, self.t, self.n, &mut self.rng);
-            let shared = Shared { shares: sh.into_iter().map(|s| s.value).collect() };
+            let shared = Shared {
+                shares: sh.into_iter().map(|s| s.value).collect(),
+            };
             acc = self.add(&acc, &shared);
         }
         self.metrics.sharings += self.n as u64;
@@ -255,11 +274,7 @@ impl SsEngine {
             } else {
                 self.field.modulus().checked_sub(&root).expect("root < p")
             };
-            let root_inv = self
-                .field
-                .element(root)
-                .inv()
-                .expect("nonzero root");
+            let root_inv = self.field.element(root).inv().expect("nonzero root");
             // b = (r·root⁻¹ + 1) / 2
             let half = self
                 .field
@@ -361,7 +376,10 @@ mod tests {
             assert!(v == f.zero() || v == f.one(), "non-binary bit {v:?}");
             seen[if v.is_zero() { 0 } else { 1 }] = true;
         }
-        assert!(seen[0] && seen[1], "both bit values should occur in 20 draws");
+        assert!(
+            seen[0] && seen[1],
+            "both bit values should occur in 20 draws"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn share_secret<R: Rng + ?Sized>(
                 acc = &(&acc * &x) + c;
             }
             acc = &(&acc * &x) + secret;
-            Share { index: i, value: acc }
+            Share {
+                index: i,
+                value: acc,
+            }
         })
         .collect()
 }
@@ -99,7 +102,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn field() -> Arc<FpCtx> {
-        FpCtx::new(BigUint::power_of_two(127).checked_sub(&BigUint::one()).unwrap())
+        FpCtx::new(
+            BigUint::power_of_two(127)
+                .checked_sub(&BigUint::one())
+                .unwrap(),
+        )
     }
 
     #[test]
@@ -110,7 +117,11 @@ mod tests {
         for (t, n) in [(1usize, 3usize), (2, 5), (3, 7), (0, 1)] {
             let shares = share_secret(&f, &secret, t, n, &mut rng);
             assert_eq!(shares.len(), n);
-            assert_eq!(reconstruct(&f, &shares[..t + 1]).unwrap(), secret, "t={t} n={n}");
+            assert_eq!(
+                reconstruct(&f, &shares[..t + 1]).unwrap(),
+                secret,
+                "t={t} n={n}"
+            );
             assert_eq!(reconstruct(&f, &shares).unwrap(), secret);
         }
     }
@@ -153,7 +164,10 @@ mod tests {
         let sum: Vec<Share> = sa
             .iter()
             .zip(&sb)
-            .map(|(x, y)| Share { index: x.index, value: &x.value + &y.value })
+            .map(|(x, y)| Share {
+                index: x.index,
+                value: &x.value + &y.value,
+            })
             .collect();
         assert_eq!(reconstruct(&f, &sum).unwrap(), f.from_u64(123));
     }
@@ -162,11 +176,20 @@ mod tests {
     fn malformed_sets_rejected() {
         let f = field();
         let dup = vec![
-            Share { index: 1, value: f.one() },
-            Share { index: 1, value: f.zero() },
+            Share {
+                index: 1,
+                value: f.one(),
+            },
+            Share {
+                index: 1,
+                value: f.zero(),
+            },
         ];
         assert!(reconstruct(&f, &dup).is_none());
-        let zero_idx = vec![Share { index: 0, value: f.one() }];
+        let zero_idx = vec![Share {
+            index: 0,
+            value: f.one(),
+        }];
         assert!(reconstruct(&f, &zero_idx).is_none());
     }
 

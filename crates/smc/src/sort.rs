@@ -104,8 +104,14 @@ fn compare_exchange(
     let max_pay = engine.sub(&engine.add(&a.payload, &b.payload), &min_pay);
 
     (
-        SharedRecord { key: min_key, payload: min_pay },
-        SharedRecord { key: max_key, payload: max_pay },
+        SharedRecord {
+            key: min_key,
+            payload: min_pay,
+        },
+        SharedRecord {
+            key: max_key,
+            payload: max_pay,
+        },
     )
 }
 

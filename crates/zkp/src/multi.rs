@@ -51,7 +51,11 @@ impl MultiVerifierProof {
         let challenges: Vec<Scalar> = (0..verifiers).map(|_| group.random_scalar(rng)).collect();
         let total = Self::challenge_sum(group, &challenges);
         let response = group.scalar_add(&nonce, &group.scalar_mul(witness, &total));
-        MultiVerifierTranscript { commitment, challenges, response }
+        MultiVerifierTranscript {
+            commitment,
+            challenges,
+            response,
+        }
     }
 
     fn challenge_sum(group: &Group, challenges: &[Scalar]) -> Scalar {
@@ -121,7 +125,7 @@ mod tests {
 
         let nonce = group.random_scalar(&mut rng);
         let h = group.exp_gen(&nonce);
-        let mut run_with = |rng: &mut StdRng| {
+        let run_with = |rng: &mut StdRng| {
             let challenges: Vec<Scalar> = (0..4).map(|_| group.random_scalar(rng)).collect();
             let total = challenges
                 .iter()

@@ -30,7 +30,11 @@ pub fn prove<R: Rng + ?Sized>(group: &Group, witness: &Scalar, rng: &mut R) -> S
     let commitment = group.exp_gen(&nonce);
     let challenge = derive_challenge(group, &statement, &commitment);
     let response = group.scalar_add(&nonce, &group.scalar_mul(witness, &challenge));
-    SchnorrTranscript { commitment, challenge, response }
+    SchnorrTranscript {
+        commitment,
+        challenge,
+        response,
+    }
 }
 
 /// Verifies a non-interactive proof: recomputes the challenge and checks

@@ -53,23 +53,45 @@ impl SchnorrProver {
     pub fn commit<R: Rng + ?Sized>(group: &Group, witness: Scalar, rng: &mut R) -> (Self, Element) {
         let nonce = group.random_scalar(rng);
         let commitment = group.exp_gen(&nonce);
-        (SchnorrProver { group: group.clone(), witness, nonce }, commitment)
+        (
+            SchnorrProver {
+                group: group.clone(),
+                witness,
+                nonce,
+            },
+            commitment,
+        )
     }
 
     /// Third move: answer the verifier's challenge.
     pub fn respond(self, challenge: &Scalar, commitment: Element) -> SchnorrTranscript {
-        let response = self
-            .group
-            .scalar_add(&self.nonce, &self.group.scalar_mul(&self.witness, challenge));
-        SchnorrTranscript { commitment, challenge: challenge.clone(), response }
+        let response = self.group.scalar_add(
+            &self.nonce,
+            &self.group.scalar_mul(&self.witness, challenge),
+        );
+        SchnorrTranscript {
+            commitment,
+            challenge: challenge.clone(),
+            response,
+        }
     }
 }
 
 impl SchnorrTranscript {
     /// Verifier's check: `g^z = h·y^c`.
+    ///
+    /// A transcript whose commitment (or a statement) comes from a
+    /// different group family can never be an accepting proof, so it is
+    /// rejected rather than treated as a programming error — a verifier
+    /// must survive arbitrary attacker-supplied messages.
     pub fn verify(&self, group: &Group, statement: &Element) -> bool {
         let lhs = group.exp_gen(&self.response);
-        let rhs = group.op(&self.commitment, &group.exp(statement, &self.challenge));
+        let Ok(yc) = group.try_exp(statement, &self.challenge) else {
+            return false;
+        };
+        let Ok(rhs) = group.try_op(&self.commitment, &yc) else {
+            return false;
+        };
         lhs == rhs
     }
 }
@@ -89,7 +111,11 @@ pub fn simulate_transcript<R: Rng + ?Sized>(
     let response = group.random_scalar(rng);
     // h = g^z / y^c
     let commitment = group.div(&group.exp_gen(&response), &group.exp(statement, &challenge));
-    SchnorrTranscript { commitment, challenge, response }
+    SchnorrTranscript {
+        commitment,
+        challenge,
+        response,
+    }
 }
 
 /// Special-soundness extractor: from two accepting transcripts with the
@@ -158,6 +184,26 @@ mod tests {
         let mut t = p.respond(&c, h);
         t.response = group.scalar_add(&t.response, &group.scalar_from_u64(1));
         assert!(!t.verify(&group, &y));
+    }
+
+    #[test]
+    fn cross_family_transcript_rejected_without_panicking() {
+        // An attacker handing a DL commitment to an ECC verifier gets a
+        // clean rejection, not a crash.
+        let (group, x, y, mut rng) = setup();
+        let dl = GroupKind::Dl1024.group();
+        let (p, h) = SchnorrProver::commit(&group, x, &mut rng);
+        let c = group.random_scalar(&mut rng);
+        let mut t = p.respond(&c, h);
+        t.commitment = dl.generator().clone();
+        assert!(!t.verify(&group, &y));
+        let foreign_statement = dl.generator().clone();
+        assert!(!SchnorrTranscript {
+            commitment: group.generator().clone(),
+            challenge: group.scalar_from_u64(1),
+            response: group.scalar_from_u64(1),
+        }
+        .verify(&group, &foreign_statement));
     }
 
     #[test]

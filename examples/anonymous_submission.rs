@@ -23,13 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let session = AnonymousCollection::setup(GroupKind::Ecc160.group(), members.len(), &mut rng);
-    println!("{} members wrap their answers in {}-layer onions…", members.len(), members.len());
+    println!(
+        "{} members wrap their answers in {}-layer onions…",
+        members.len(),
+        members.len()
+    );
 
     let onions: Vec<Vec<u8>> = answers
         .iter()
         .map(|a| session.wrap(a, &mut rng))
         .collect::<Result<_, _>>()?;
-    println!("onion size: {} bytes for a {}-byte answer", onions[0].len(), answers[0].len());
+    println!(
+        "onion size: {} bytes for a {}-byte answer",
+        onions[0].len(),
+        answers[0].len()
+    );
 
     let collected = session.mix_and_collect(onions, &mut rng)?;
 

@@ -10,8 +10,8 @@
 //! ```
 
 use ppgr::core::{
-    AttributeKind, CriterionVector, FrameworkParams, GroupRanking, InfoVector,
-    InitiatorProfile, Questionnaire, WeightVector,
+    AttributeKind, CriterionVector, FrameworkParams, GroupRanking, InfoVector, InitiatorProfile,
+    Questionnaire, WeightVector,
 };
 use ppgr::group::GroupKind;
 

@@ -7,8 +7,8 @@
 //! ```
 
 use ppgr::core::{
-    AttributeKind, CriterionVector, FrameworkParams, GroupRanking, InfoVector,
-    InitiatorProfile, Questionnaire, WeightVector,
+    AttributeKind, CriterionVector, FrameworkParams, GroupRanking, InfoVector, InitiatorProfile,
+    Questionnaire, WeightVector,
 };
 use ppgr::group::GroupKind;
 

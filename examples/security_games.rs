@@ -16,13 +16,22 @@ fn main() {
     println!("identity-linking attack (Definition 7):");
     let broken = games::unlinkability_attack(&group, l, 10, false, 1);
     let honest = games::unlinkability_attack(&group, l, 20, true, 2);
-    println!("  shuffle OFF → adversary links identity with accuracy {:.2}", broken.accuracy());
-    println!("  shuffle ON  → accuracy {:.2} (coin flip)", honest.accuracy());
+    println!(
+        "  shuffle OFF → adversary links identity with accuracy {:.2}",
+        broken.accuracy()
+    );
+    println!(
+        "  shuffle ON  → accuracy {:.2} (coin flip)",
+        honest.accuracy()
+    );
 
     println!("\nτ-value recovery (gain leakage, Lemma 3's mechanism):");
     let leak = games::value_recovery_rate(&group, l, false, 3);
     let safe = games::value_recovery_rate(&group, l, true, 4);
-    println!("  randomization OFF → {:.0}% of τ values brute-forced", leak * 100.0);
+    println!(
+        "  randomization OFF → {:.0}% of τ values brute-forced",
+        leak * 100.0
+    );
     println!("  randomization ON  → {:.0}% recovered", safe * 100.0);
 
     println!("\nIND-CPA bit guessing on the bitwise encryption (Lemma 2):");

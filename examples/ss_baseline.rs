@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = values.len();
     let l = 8;
 
-    println!("{n} parties sort {l}-bit values with Shamir shares (t = {}):\n", (n - 1) / 2);
+    println!(
+        "{n} parties sort {l}-bit values with Shamir shares (t = {}):\n",
+        (n - 1) / 2
+    );
     let mut engine = SsEngine::new(n, (n - 1) / 2, 7)?;
     let field = engine.field().clone();
     let records: Vec<SharedRecord> = values
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  field elements sent : {}", m.field_elements_sent);
 
     println!("\nthe paper's analytical model at the same shape:");
-    println!("  comparator count (Batcher, n={n}): {}", comparator_count(n));
+    println!(
+        "  comparator count (Batcher, n={n}): {}",
+        comparator_count(n)
+    );
     println!(
         "  Nishide–Ohta mult invocations per {l}-bit comparison: {}",
         cost::no07_mults_per_comparison(l)

@@ -23,49 +23,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .map(|h| {
             let group = group.clone();
-            thread::spawn(move || -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-                let scheme = ExpElGamal::new(group.clone());
-                let mut rng = StdRng::seed_from_u64(1000 + h.id() as u64);
-                let kp = KeyPair::generate(&group, &mut rng);
+            thread::spawn(
+                move || -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+                    let scheme = ExpElGamal::new(group.clone());
+                    let mut rng = StdRng::seed_from_u64(1000 + h.id() as u64);
+                    let kp = KeyPair::generate(&group, &mut rng);
 
-                // Round 1: broadcast our encoded public share, gather theirs.
-                h.broadcast(&group.encode(kp.public_key()))?;
-                let mut shares = vec![kp.public_key().clone()];
-                for (_, bytes) in h.gather()? {
-                    shares.push(group.decode(&bytes)?);
-                }
-                let joint = JointKey::combine(&group, &shares);
-
-                // Round 2: P0 encrypts m = 0 and starts a decryption chain.
-                let me = h.id();
-                if me == 0 {
-                    let ct = scheme.encrypt(joint.public_key(), &group.scalar_from_u64(0), &mut rng);
-                    let ct = scheme.partial_decrypt(&ct, kp.secret_key());
-                    h.send(1, ct.encode(&group))?;
-                    Ok(())
-                } else {
-                    let bytes = h.recv_from(me - 1)?;
-                    let (a, b) = bytes.split_at(group.element_len());
-                    let ct = Ciphertext { alpha: group.decode(a)?, beta: group.decode(b)? };
-                    let ct = scheme.partial_decrypt(&ct, kp.secret_key());
-                    if me + 1 < h.parties() {
-                        h.send(me + 1, ct.encode(&group))?;
-                    } else {
-                        // Last hop: after all n partial decryptions the
-                        // plaintext is exposed as g^m.
-                        let is_zero = group.is_identity(&ct.alpha);
-                        println!("P{me}: chain finished — decrypted bit is zero? {is_zero}");
-                        assert!(is_zero);
+                    // Round 1: broadcast our encoded public share, gather theirs.
+                    h.broadcast(&group.encode(kp.public_key()))?;
+                    let mut shares = vec![kp.public_key().clone()];
+                    for (_, bytes) in h.gather()? {
+                        shares.push(group.decode(&bytes)?);
                     }
-                    Ok(())
-                }
-            })
+                    let joint = JointKey::combine(&group, &shares);
+
+                    // Round 2: P0 encrypts m = 0 and starts a decryption chain.
+                    let me = h.id();
+                    if me == 0 {
+                        let ct =
+                            scheme.encrypt(joint.public_key(), &group.scalar_from_u64(0), &mut rng);
+                        let ct = scheme.partial_decrypt(&ct, kp.secret_key());
+                        h.send(1, ct.encode(&group))?;
+                        Ok(())
+                    } else {
+                        let bytes = h.recv_from(me - 1)?;
+                        let (a, b) = bytes.split_at(group.element_len());
+                        let ct = Ciphertext {
+                            alpha: group.decode(a)?,
+                            beta: group.decode(b)?,
+                        };
+                        let ct = scheme.partial_decrypt(&ct, kp.secret_key());
+                        if me + 1 < h.parties() {
+                            h.send(me + 1, ct.encode(&group))?;
+                        } else {
+                            // Last hop: after all n partial decryptions the
+                            // plaintext is exposed as g^m.
+                            let is_zero = group.is_identity(&ct.alpha);
+                            println!("P{me}: chain finished — decrypted bit is zero? {is_zero}");
+                            assert!(is_zero);
+                        }
+                        Ok(())
+                    }
+                },
+            )
         })
         .collect();
 
     for j in joined {
-        j.join().expect("thread panicked").map_err(|e| e.to_string())?;
+        j.join()
+            .expect("thread panicked")
+            .map_err(|e| e.to_string())?;
     }
-    println!("all threads joined cleanly; every byte crossed a channel encoded and was re-decoded.");
+    println!(
+        "all threads joined cleanly; every byte crossed a channel encoded and was re-decoded."
+    );
     Ok(())
 }

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let l = 17; // enough bits for the largest salary
     let group = GroupKind::Ecc160.group();
 
-    println!("{} parties sort privately over {l}-bit values on {}…", salaries.len(), group.kind());
+    println!(
+        "{} parties sort privately over {l}-bit values on {}…",
+        salaries.len(),
+        group.kind()
+    );
 
     let values: Vec<BigUint> = salaries.iter().map(|&s| BigUint::from(s)).collect();
     let log = TrafficLog::new();

@@ -88,9 +88,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
-    flags
-        .get(key)
-        .map_or(Ok(default), |v| v.parse().map_err(|_| format!("--{key}: bad number {v:?}")))
+    flags.get(key).map_or(Ok(default), |v| {
+        v.parse().map_err(|_| format!("--{key}: bad number {v:?}"))
+    })
 }
 
 fn get_group(flags: &HashMap<String, String>) -> Result<GroupKind, String> {
@@ -177,7 +177,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             );
         }
         let t = outcome.traffic();
-        println!("traffic: {} msgs / {} bytes / {} rounds", t.messages, t.total_bytes, t.rounds);
+        println!(
+            "traffic: {} msgs / {} bytes / {} rounds",
+            t.messages, t.total_bytes, t.rounds
+        );
         println!(
             "mean participant compute: {:?}",
             outcome.timings().mean_participant_total()
@@ -193,7 +196,11 @@ fn cmd_sort(args: &[String]) -> Result<(), String> {
         .split(',')
         .map(|v| v.parse().map_err(|_| format!("bad value {v:?}")))
         .collect::<Result<_, _>>()?;
-    let max_bits = values.iter().map(|v| 64 - v.leading_zeros()).max().unwrap_or(1) as usize;
+    let max_bits = values
+        .iter()
+        .map(|v| 64 - v.leading_zeros())
+        .max()
+        .unwrap_or(1) as usize;
     let l = get_usize(&flags, "bits", max_bits.max(1))?;
     let group = get_group(&flags)?.group();
     let seed = get_usize(&flags, "seed", 0)? as u64;

@@ -29,7 +29,10 @@ fn assert_refines(ss: &[usize], reference: &[usize], values: &[u64]) {
     for a in 0..values.len() {
         for b in 0..values.len() {
             if reference[a] < reference[b] {
-                assert!(ss[a] < ss[b], "SS broke a strict ordering on {values:?}: {ss:?}");
+                assert!(
+                    ss[a] < ss[b],
+                    "SS broke a strict ordering on {values:?}: {ss:?}"
+                );
             }
         }
     }
@@ -48,12 +51,13 @@ fn all_three_implementations_agree() {
     ];
     for (i, values) in cases.iter().enumerate() {
         let l = 8;
-        let reference = plain_ranks(
-            &values.iter().map(|&v| BigUint::from(v)).collect::<Vec<_>>(),
-        );
+        let reference = plain_ranks(&values.iter().map(|&v| BigUint::from(v)).collect::<Vec<_>>());
         let elgamal = elgamal_ranks(values, l, i as u64);
         let ss = ss_group_rank(values, l, i as u64 + 100).unwrap();
-        assert_eq!(elgamal, reference, "ElGamal protocol vs reference on {values:?}");
+        assert_eq!(
+            elgamal, reference,
+            "ElGamal protocol vs reference on {values:?}"
+        );
         assert_refines(&ss, &reference, values);
     }
 }
@@ -64,9 +68,7 @@ fn random_inputs_agree() {
     for trial in 0..3 {
         let n = rng.gen_range(3..6);
         let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
-        let reference = plain_ranks(
-            &values.iter().map(|&v| BigUint::from(v)).collect::<Vec<_>>(),
-        );
+        let reference = plain_ranks(&values.iter().map(|&v| BigUint::from(v)).collect::<Vec<_>>());
         assert_eq!(elgamal_ranks(&values, 6, trial), reference, "{values:?}");
         let ss = ss_group_rank(&values, 6, trial + 50).unwrap();
         assert_refines(&ss, &reference, &values);

@@ -7,9 +7,7 @@ use ppgr::core::{
 };
 use ppgr::group::GroupKind;
 
-fn scored_population(
-    scores: &[u64],
-) -> (Questionnaire, InitiatorProfile, Vec<InfoVector>) {
+fn scored_population(scores: &[u64]) -> (Questionnaire, InitiatorProfile, Vec<InfoVector>) {
     let q = Questionnaire::builder()
         .attribute("score", AttributeKind::GreaterThan)
         .build()
@@ -46,8 +44,12 @@ fn distributed_known_scores() {
     let out = run_distributed(&p, profile, infos).unwrap();
     assert_eq!(out.ranks, vec![3, 1, 2, 4]);
     assert!(out.report.is_clean());
-    let accepted: Vec<usize> =
-        out.report.accepted.iter().map(|a| a.submission.party).collect();
+    let accepted: Vec<usize> = out
+        .report
+        .accepted
+        .iter()
+        .map(|a| a.submission.party)
+        .collect();
     assert_eq!(accepted, vec![2, 3], "rank-1 then rank-2 submitters");
 }
 

@@ -2,8 +2,8 @@
 //! validated against the plaintext gain model.
 
 use ppgr::core::{
-    compute_gain as gain, AttributeKind, CriterionVector, FrameworkParams, GroupRanking, InfoVector,
-    InitiatorProfile, Questionnaire, WeightVector,
+    compute_gain as gain, AttributeKind, CriterionVector, FrameworkParams, GroupRanking,
+    InfoVector, InitiatorProfile, Questionnaire, WeightVector,
 };
 use ppgr::group::GroupKind;
 use ppgr::hash::HashDrbg;
@@ -42,7 +42,10 @@ fn assert_ranks_match_gains(params: &FrameworkParams, ranks: &[usize]) {
 #[test]
 fn ecc160_run_is_correct() {
     let params = small_params(5, 2, GroupKind::Ecc160, 21);
-    let outcome = GroupRanking::new(params.clone()).with_random_population().run().unwrap();
+    let outcome = GroupRanking::new(params.clone())
+        .with_random_population()
+        .run()
+        .unwrap();
     assert_ranks_match_gains(&params, outcome.ranks());
     assert!(!outcome.top_k().is_empty());
 }
@@ -50,14 +53,20 @@ fn ecc160_run_is_correct() {
 #[test]
 fn dl1024_run_is_correct() {
     let params = small_params(3, 1, GroupKind::Dl1024, 22);
-    let outcome = GroupRanking::new(params.clone()).with_random_population().run().unwrap();
+    let outcome = GroupRanking::new(params.clone())
+        .with_random_population()
+        .run()
+        .unwrap();
     assert_ranks_match_gains(&params, outcome.ranks());
 }
 
 #[test]
 fn ecc224_run_is_correct() {
     let params = small_params(3, 1, GroupKind::Ecc224, 23);
-    let outcome = GroupRanking::new(params.clone()).with_random_population().run().unwrap();
+    let outcome = GroupRanking::new(params.clone())
+        .with_random_population()
+        .run()
+        .unwrap();
     assert_ranks_match_gains(&params, outcome.ranks());
 }
 
@@ -65,7 +74,10 @@ fn ecc224_run_is_correct() {
 fn several_seeds_all_consistent() {
     for seed in [1u64, 7, 1234] {
         let params = small_params(4, 2, GroupKind::Ecc160, seed);
-        let outcome = GroupRanking::new(params.clone()).with_random_population().run().unwrap();
+        let outcome = GroupRanking::new(params.clone())
+            .with_random_population()
+            .run()
+            .unwrap();
         assert_ranks_match_gains(&params, outcome.ranks());
     }
 }
@@ -109,7 +121,10 @@ fn explicit_population_with_known_winner() {
 #[test]
 fn top_k_equals_n_takes_everyone() {
     let params = small_params(3, 3, GroupKind::Ecc160, 8);
-    let outcome = GroupRanking::new(params).with_random_population().run().unwrap();
+    let outcome = GroupRanking::new(params)
+        .with_random_population()
+        .run()
+        .unwrap();
     assert_eq!(outcome.top_k().len(), 3);
 }
 

@@ -1,10 +1,10 @@
 //! Integration-level security checks: the game harness run through the
 //! public facade, plus transcript-level invariants.
 
+use ppgr::bigint::BigUint;
 use ppgr::core::games;
 use ppgr::core::sorting::{run_sort, SortOptions};
 use ppgr::core::PartyTimer;
-use ppgr::bigint::BigUint;
 use ppgr::elgamal::ExpElGamal;
 use ppgr::group::GroupKind;
 use ppgr::net::TrafficLog;

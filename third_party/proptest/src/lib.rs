@@ -1,0 +1,524 @@
+//! Vendored, dependency-free re-implementation of the `proptest` API
+//! surface this workspace uses: the [`proptest!`] macro, integer-range and
+//! `any::<T>()` strategies, `prop::collection::vec`, `prop_map`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` assertion macros.
+//!
+//! Cases are generated from a deterministic per-test seed (derived from
+//! the test's file and name), so failures reproduce across runs. Unlike
+//! upstream proptest there is no shrinking: a failing case reports the
+//! case number and message and panics immediately.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Run configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum rejected (via [`prop_assume!`]) cases tolerated.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, max_global_rejects: 1024 }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self::with_cases(256)
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by [`prop_assume!`]; try another input.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic case generator (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds deterministically from the test's source location and name.
+    pub fn for_test(file: &str, name: &str) -> Self {
+        // FNV-1a over the identifying strings: stable across runs/platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes().chain([0u8]).chain(name.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, span)`; `span > 0`.
+    pub fn below(&mut self, span: u128) -> u128 {
+        assert!(span > 0, "empty strategy range");
+        if span.is_power_of_two() {
+            return self.next_u128() & (span - 1);
+        }
+        let zone = u128::MAX - (u128::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u128();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    fn next_u128(&mut self) -> u128 {
+        (self.next_u64() as u128) << 64 | self.next_u64() as u128
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// Generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Integer types with range/`any` strategies.
+pub trait ArbitraryInt: Copy + std::fmt::Debug {
+    /// Uniform over `[lo, hi)`.
+    fn below(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Uniform over `[lo, hi]`.
+    fn inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// The maximum value of the type.
+    fn max_value() -> Self;
+    /// Uniform over the full domain.
+    fn any_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty as $u:ty),* $(,)?) => {$(
+        impl ArbitraryInt for $t {
+            fn below(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty strategy range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u128;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+            fn inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u128 + 1;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+            fn any_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8 as u8, u16 as u16, u32 as u32, u64 as u64, usize as usize,
+    i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl ArbitraryInt for u128 {
+    fn below(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty strategy range");
+        lo + rng.below(hi - lo)
+    }
+    fn inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "empty strategy range");
+        let span = (hi - lo).wrapping_add(1);
+        if span == 0 {
+            return Self::any_value(rng);
+        }
+        lo + rng.below(span)
+    }
+    fn max_value() -> Self {
+        u128::MAX
+    }
+    fn any_value(rng: &mut TestRng) -> Self {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl ArbitraryInt for i128 {
+    fn below(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty strategy range");
+        let span = (hi as u128).wrapping_sub(lo as u128);
+        lo.wrapping_add(rng.below(span) as i128)
+    }
+    fn inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "empty strategy range");
+        let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+        if span == 0 {
+            return Self::any_value(rng);
+        }
+        lo.wrapping_add(rng.below(span) as i128)
+    }
+    fn max_value() -> Self {
+        i128::MAX
+    }
+    fn any_value(rng: &mut TestRng) -> Self {
+        u128::any_value(rng) as i128
+    }
+}
+
+impl<T: ArbitraryInt> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::below(rng, self.start, self.end)
+    }
+}
+
+impl<T: ArbitraryInt> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl<T: ArbitraryInt> Strategy for RangeFrom<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::inclusive(rng, self.start, T::max_value())
+    }
+}
+
+/// Types usable with [`any`].
+pub trait Arbitrary: std::fmt::Debug + Sized {
+    /// Uniform over the type's domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                <$t as ArbitraryInt>::any_value(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's whole domain: `any::<u32>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Namespaced combinators (`prop::collection::vec` etc.).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Length specifications accepted by [`vec`].
+        pub trait SizeRange {
+            /// Draws a length.
+            fn sample_len(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn sample_len(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for std::ops::Range<usize> {
+            fn sample_len(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start < self.end, "empty size range");
+                self.start + rng.below((self.end - self.start) as u128) as usize
+            }
+        }
+
+        impl SizeRange for std::ops::RangeInclusive<usize> {
+            fn sample_len(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start() <= self.end(), "empty size range");
+                self.start() + rng.below((self.end() - self.start()) as u128 + 1) as usize
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S, L> {
+            element: S,
+            size: L,
+        }
+
+        impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.size.sample_len(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Declares property tests.
+///
+/// Supports the upstream grammar subset used in this workspace: an
+/// optional `#![proptest_config(...)]` header and `fn name(arg in strategy,
+/// ...) { body }` items carrying arbitrary attributes (including `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal item muncher for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(file!(), stringify!($name));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case: u64 = 0;
+            while passed < config.cases {
+                case += 1;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let case_desc = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::TestCaseError::Reject(why)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest '{}': too many rejected cases ({}), last: {}",
+                                stringify!($name), rejected, why
+                            );
+                        }
+                    }
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case #{case}: {msg}\n  inputs: {}",
+                            stringify!($name), case_desc
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!($($fmt)+)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("f.rs", "t");
+        let mut b = TestRng::for_test("f.rs", "t");
+        let mut c = TestRng::for_test("f.rs", "u");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn strategies_respect_bounds() {
+        let mut rng = TestRng::for_test("f.rs", "bounds");
+        for _ in 0..200 {
+            let v = (3u64..10).generate(&mut rng);
+            assert!((3..10).contains(&v));
+            let w = (0u64..=5).generate(&mut rng);
+            assert!(w <= 5);
+            let x = (1u64..).generate(&mut rng);
+            assert!(x >= 1);
+            let ys = prop::collection::vec(0u32..4, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&ys.len()));
+            assert!(ys.iter().all(|&y| y < 4));
+            let m = (0u64..7).prop_map(|v| v * 2).generate(&mut rng);
+            assert!(m < 14 && m % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        #[test]
+        fn macro_end_to_end(a in 0u64..100, b in 1u64.., v in prop::collection::vec(any::<u32>(), 0..4)) {
+            prop_assume!(b > 0);
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + b - b, a);
+            prop_assert!(v.len() < 4, "vec len {} out of bounds", v.len());
+        }
+    }
+}

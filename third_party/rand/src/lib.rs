@@ -1,0 +1,384 @@
+//! Vendored, dependency-free re-implementation of the `rand` 0.8 API
+//! surface this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships the random-number traits it needs as a local path
+//! crate. The API is trait-compatible with `rand` 0.8 for the subset the
+//! ppgr crates consume: [`RngCore`], [`Rng`], [`CryptoRng`],
+//! [`SeedableRng`], [`rngs::StdRng`], and [`seq::SliceRandom`].
+//!
+//! [`rngs::StdRng`] is a ChaCha12 generator (the same core algorithm the
+//! real `rand` 0.8 `StdRng` uses). Streams are deterministic per seed but
+//! are not bit-identical to upstream `rand`; nothing in this workspace
+//! depends on the upstream stream values, only on seed-determinism.
+
+pub mod rngs;
+pub mod seq;
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (e.g. [`RngCore::try_fill_bytes`]).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw 32/64-bit output and byte
+/// filling.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible version of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Marker trait for generators suitable for cryptographic use.
+pub trait CryptoRng {}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+impl<R: CryptoRng + ?Sized> CryptoRng for Box<R> {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it to a full seed with
+    /// a PCG32 stream (the same expansion rand_core 0.6 uses).
+    fn seed_from_u64(state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut state = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly over their whole domain by
+/// [`Rng::gen`].
+pub trait SampleStandard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl SampleStandard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64,
+    isize => next_u64);
+
+impl SampleStandard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Low word first (matches upstream rand's stream layout).
+        let x = rng.next_u64() as u128;
+        let y = rng.next_u64() as u128;
+        (y << 64) | x
+    }
+}
+
+impl SampleStandard for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample without bias.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[low, high)`; `high > low`.
+    fn sample_below<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+// The sampling below reproduces upstream rand 0.8's `UniformInt`
+// `sample_single_inclusive` bit-for-bit (same raw-stream consumption, same
+// accept/reject decisions): draw one value of the type's "large" width,
+// widening-multiply by the span, accept when the low half falls inside the
+// unbiased zone. Seed-dependent tests in this workspace rely on the exact
+// value sequence, so the algorithm must not be "improved".
+macro_rules! impl_uniform_int {
+    ($($t:ty, $unsigned:ty, $large:ty, $wide:ty);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_below<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                Self::sample_inclusive(rng, low, high - 1)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let range = (high as $unsigned).wrapping_sub(low as $unsigned)
+                    .wrapping_add(1) as $large;
+                if range == 0 {
+                    // Full domain of the type.
+                    return <$t as SampleStandard>::sample(rng);
+                }
+                let zone = if <$unsigned>::MAX as $large <= u16::MAX as $large {
+                    let ints_to_reject = (<$unsigned>::MAX as $large + 1) % range;
+                    <$unsigned>::MAX as $large - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = <$large as SampleStandard>::sample(rng);
+                    let wide = (v as $wide) * (range as $wide);
+                    let hi = (wide >> <$large>::BITS) as $large;
+                    let lo = wide as $large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8, u8, u32, u64; u16, u16, u32, u64; u32, u32, u32, u64;
+    u64, u64, u64, u128; usize, usize, u64, u128;
+    i8, u8, u32, u64; i16, u16, u32, u64; i32, u32, u32, u64;
+    i64, u64, u64, u128; isize, usize, u64, u128;
+);
+
+/// 128×128→256-bit widening multiply, returning `(hi, lo)`.
+fn wmul_u128(a: u128, b: u128) -> (u128, u128) {
+    const LOWER_MASK: u128 = !0u64 as u128;
+    let mut low = (a & LOWER_MASK) * (b & LOWER_MASK);
+    let mut t = low >> 64;
+    low &= LOWER_MASK;
+    t += (a >> 64) * (b & LOWER_MASK);
+    low += (t & LOWER_MASK) << 64;
+    let mut high = t >> 64;
+    t = low >> 64;
+    low &= LOWER_MASK;
+    t += (b >> 64) * (a & LOWER_MASK);
+    low += (t & LOWER_MASK) << 64;
+    high += t >> 64;
+    high += (a >> 64) * (b >> 64);
+    (high, low)
+}
+
+macro_rules! impl_uniform_int_128 {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_below<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                Self::sample_inclusive(rng, low, high - 1)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let range = (high as u128).wrapping_sub(low as u128).wrapping_add(1);
+                if range == 0 {
+                    return <$t as SampleStandard>::sample(rng);
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = u128::sample(rng);
+                    let (hi, lo) = wmul_u128(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int_128!(u128, i128);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_below(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value over the whole domain of `T`.
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range`.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        // Bernoulli via a 64-bit fixed-point threshold (upstream-exact).
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Fills `dest` with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(3u64..13);
+            assert!((3..13).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+        for _ in 0..100 {
+            let v: usize = rng.gen_range(0..=4usize);
+            assert!(v <= 4);
+        }
+        let v: i64 = rng.gen_range(-5i64..5);
+        assert!((-5..5).contains(&v));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..50).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..50).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_deterministic_and_nontrivial() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let mut buf1 = [0u8; 37];
+        let mut buf2 = [0u8; 37];
+        a.fill_bytes(&mut buf1);
+        b.try_fill_bytes(&mut buf2).unwrap();
+        assert_eq!(buf1, buf2);
+        assert!(buf1.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,77 @@
+//! Sequence helpers: shuffling and random selection.
+
+use crate::{Rng, RngCore};
+
+/// Uniform index below `ubound`, consuming the raw stream exactly as
+/// upstream rand 0.8 does (a u32 draw when the bound fits in u32).
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        rng.gen_range(0..ubound as u32) as usize
+    } else {
+        rng.gen_range(0..ubound)
+    }
+}
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = gen_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(gen_index(rng, self.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation_and_seed_deterministic() {
+        let mut a: Vec<u32> = (0..20).collect();
+        let mut b: Vec<u32> = (0..20).collect();
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        a.shuffle(&mut r1);
+        b.shuffle(&mut r2);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "20 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_in_bounds() {
+        let v = [10u8, 20, 30];
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
