@@ -1,0 +1,183 @@
+//! Sessions/sec benchmark for the multi-session throughput runtime.
+//!
+//! Runs N independent ranking sessions two ways — back-to-back (one at a
+//! time, the PR 1 latency path) and pooled on the persistent work-stealing
+//! runtime — asserts the pooled outcomes are bit-identical to the solo
+//! runs, and writes machine-readable results to `BENCH_throughput.json`
+//! (schema: `crates/bench/schema/BENCH_throughput.schema.json`).
+//!
+//! ```text
+//! cargo run --release -p ppgr-bench --bin throughput
+//! cargo run --release -p ppgr-bench --bin throughput -- --sessions 8 --workers 4
+//! cargo run --release -p ppgr-bench --bin throughput -- --smoke   # CI: small + self-check
+//! ```
+
+use ppgr_core::{FrameworkParams, GroupRanking, Outcome, Questionnaire};
+use ppgr_group::GroupKind;
+use ppgr_runtime::Runtime;
+use std::time::{Duration, Instant};
+
+struct Config {
+    sessions: usize,
+    workers: usize,
+    participants: usize,
+    smoke: bool,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: throughput [--sessions N] [--workers W] [--n PARTICIPANTS] \
+         [--smoke] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        sessions: 8,
+        workers: 0,
+        participants: 8,
+        smoke: false,
+        out: "BENCH_throughput.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| usage_missing(name));
+        match arg.as_str() {
+            "--sessions" => cfg.sessions = value("--sessions").parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--n" => cfg.participants = value("--n").parse().unwrap_or_else(|_| usage()),
+            "--smoke" => cfg.smoke = true,
+            "--out" => cfg.out = value("--out"),
+            _ => usage(),
+        }
+    }
+    if cfg.smoke {
+        // Small enough for a CI debug-or-release smoke lap.
+        cfg.sessions = cfg.sessions.min(2);
+        cfg.participants = cfg.participants.min(3);
+    }
+    if cfg.sessions == 0 || cfg.participants < 2 {
+        usage();
+    }
+    cfg
+}
+
+fn usage_missing(name: &str) -> String {
+    eprintln!("missing value for {name}");
+    usage();
+}
+
+fn params_for(participants: usize, seed: u64) -> FrameworkParams {
+    FrameworkParams::builder(Questionnaire::synthetic(1, 2))
+        .participants(participants)
+        .top_k(2.min(participants))
+        .attr_bits(6)
+        .weight_bits(3)
+        .mask_bits(6)
+        .group(GroupKind::Ecc160)
+        .seed(seed)
+        .build()
+        .expect("valid params")
+}
+
+fn main() {
+    let cfg = parse_args();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let runtime = Runtime::with_workers(cfg.workers);
+    eprintln!(
+        "throughput: {} sessions, ECC-160 n={}, pool of {} workers ({} cores)",
+        cfg.sessions,
+        cfg.participants,
+        runtime.workers(),
+        cores
+    );
+
+    // Baseline: the same sessions back-to-back, one at a time.
+    let serial_start = Instant::now();
+    let solo: Vec<Outcome> = (0..cfg.sessions)
+        .map(|i| {
+            GroupRanking::new(params_for(cfg.participants, i as u64))
+                .with_random_population()
+                .run()
+                .expect("solo run")
+        })
+        .collect();
+    let serial = serial_start.elapsed();
+
+    // Pooled: submit everything up front, then join.
+    let pooled_start = Instant::now();
+    let handles: Vec<_> = (0..cfg.sessions)
+        .map(|i| runtime.submit(params_for(cfg.participants, i as u64)))
+        .collect();
+    let pooled: Vec<Outcome> = handles
+        .into_iter()
+        .map(|h| h.join().expect("pooled run"))
+        .collect();
+    let elapsed = pooled_start.elapsed();
+
+    let mut identical = true;
+    for (i, (p, s)) in pooled.iter().zip(&solo).enumerate() {
+        if p.ranks() != s.ranks() || p.traffic() != s.traffic() {
+            identical = false;
+            eprintln!("session {i}: pooled outcome diverged from solo run!");
+        }
+    }
+    assert!(identical, "pooled sessions must match solo serial runs");
+
+    let rate = |d: Duration| cfg.sessions as f64 / d.as_secs_f64();
+    let (serial_rate, pooled_rate) = (rate(serial), rate(elapsed));
+    let speedup = pooled_rate / serial_rate;
+    eprintln!(
+        "back-to-back: {serial:.2?} ({serial_rate:.3} sessions/s) | \
+         pooled: {elapsed:.2?} ({pooled_rate:.3} sessions/s) | speedup {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"crates/bench/schema/BENCH_throughput.schema.json\",\n  \
+         \"version\": 1,\n  \"config\": {{\n    \"group\": \"Ecc160\",\n    \
+         \"participants\": {},\n    \"sessions\": {},\n    \"workers\": {},\n    \
+         \"available_cores\": {},\n    \"smoke\": {}\n  }},\n  \
+         \"baseline\": {{\n    \"wall_seconds\": {:.6},\n    \"sessions_per_sec\": {:.6}\n  }},\n  \
+         \"pooled\": {{\n    \"wall_seconds\": {:.6},\n    \"sessions_per_sec\": {:.6}\n  }},\n  \
+         \"speedup\": {:.6},\n  \"ranks_identical\": {}\n}}\n",
+        cfg.participants,
+        cfg.sessions,
+        runtime.workers(),
+        cores,
+        cfg.smoke,
+        serial.as_secs_f64(),
+        serial_rate,
+        elapsed.as_secs_f64(),
+        pooled_rate,
+        speedup,
+        identical
+    );
+    std::fs::write(&cfg.out, &json).expect("write BENCH_throughput.json");
+    eprintln!("wrote {}", cfg.out);
+
+    // Self-check (what CI's smoke lap asserts): rates are positive finite
+    // and the emitted JSON is well-formed enough to round-trip its fields.
+    assert!(
+        pooled_rate > 0.0 && pooled_rate.is_finite(),
+        "rate not positive"
+    );
+    assert!(
+        serial_rate > 0.0 && serial_rate.is_finite(),
+        "rate not positive"
+    );
+    for field in [
+        "\"schema\"",
+        "\"config\"",
+        "\"baseline\"",
+        "\"pooled\"",
+        "\"sessions_per_sec\"",
+        "\"speedup\"",
+        "\"ranks_identical\": true",
+    ] {
+        assert!(json.contains(field), "JSON missing {field}");
+    }
+}

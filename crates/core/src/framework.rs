@@ -3,7 +3,7 @@
 use crate::attrs::{InfoVector, InitiatorProfile, VectorError};
 use crate::gain::{run_gain_phase, GainPhaseOutput};
 use crate::params::FrameworkParams;
-use crate::sorting::{unlinkable_sort, SortError};
+use crate::sorting::{SortError, SortMachine, SortOptions, SortStatus};
 use crate::submit::{honest_submissions, verify_submissions, AcceptedSubmission};
 use crate::timing::PartyTimer;
 use ppgr_hash::HashDrbg;
@@ -175,65 +175,217 @@ impl GroupRanking {
 
     /// Executes all three phases.
     ///
+    /// Drives a [`SessionMachine`] to completion; a machine stepped the
+    /// same way elsewhere (e.g. by the throughput runtime) produces
+    /// identical results.
+    ///
     /// # Errors
     ///
     /// See [`RunError`].
     pub fn run(self) -> Result<Outcome, RunError> {
+        let mut machine = self.into_machine()?;
+        while machine.step()? == SessionStatus::Pending {}
+        Ok(machine.into_outcome().expect("driven to completion"))
+    }
+
+    /// Converts the configured orchestrator into a resumable
+    /// [`SessionMachine`] with default sort options.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::MissingPopulation`] if no population was supplied.
+    pub fn into_machine(self) -> Result<SessionMachine, RunError> {
+        self.into_machine_with(SortOptions::default())
+    }
+
+    /// Converts the orchestrator into a [`SessionMachine`], overriding the
+    /// sorting options (the throughput runtime pins `threads: 1` so each
+    /// session is single-threaded and the pool supplies the parallelism).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::MissingPopulation`] if no population was supplied.
+    pub fn into_machine_with(self, sort_options: SortOptions) -> Result<SessionMachine, RunError> {
         let (profile, infos) = self.population.ok_or(RunError::MissingPopulation)?;
-        let params = &self.params;
-        let n = params.participants();
-        let l = params.beta_bits();
-        let group = params.group().group();
-        let mut rng = HashDrbg::seed_from_u64(params.seed()).fork(b"protocol");
-        let log = self.log;
-
-        // Phase 1: secure gain computation.
-        let mut gain_timer = PartyTimer::new(n + 1);
-        let gain_out = run_gain_phase(params, &profile, &infos, &mut rng, &log, &mut gain_timer, 0);
-
-        // Phase 2: unlinkable comparison / sorting.
-        let mut sort_timer = PartyTimer::new(n + 1);
-        let sort_out = unlinkable_sort(
-            &group,
-            &gain_out.betas,
-            l,
-            &mut rng,
-            &log,
-            &mut sort_timer,
-            2,
-        )?;
-
-        // Phase 3: submission + verification.
-        let mut submit_timer = PartyTimer::new(n + 1);
-        let submissions = honest_submissions(&infos, &sort_out.ranks, params.top_k());
-        let report = verify_submissions(
-            params.questionnaire(),
-            &profile,
-            &submissions,
-            params.top_k(),
-            &log,
-            &mut submit_timer,
-            100,
-        );
-        debug_assert!(report.is_clean(), "honest run must verify cleanly");
-
-        let per_party: Vec<Duration> = (0..=n)
-            .map(|p| gain_timer.spent(p) + sort_timer.spent(p) + submit_timer.spent(p))
-            .collect();
-        let timings = PhaseTimings {
-            gain: gain_timer.mean_participant(),
-            sort: sort_timer.mean_participant(),
-            submit: submit_timer.spent(0),
-            initiator: per_party[0],
-            per_party,
-        };
-        Ok(Outcome {
-            ranks: sort_out.ranks,
-            top_k: report.accepted,
-            traffic: log.summary(),
-            timings,
-            gain_output: gain_out,
+        let n = self.params.participants();
+        let rng = HashDrbg::seed_from_u64(self.params.seed()).fork(b"protocol");
+        Ok(SessionMachine {
+            params: self.params,
+            profile,
+            infos,
+            sort_options,
+            rng,
+            log: self.log,
+            phase: SessionPhase::Gain,
+            gain_timer: PartyTimer::new(n + 1),
+            sort_timer: PartyTimer::new(n + 1),
+            submit_timer: PartyTimer::new(n + 1),
+            gain_out: None,
+            sort: None,
+            ranks: None,
+            result: None,
         })
+    }
+}
+
+/// What a [`SessionMachine::step`] call left behind.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum SessionStatus {
+    /// More work remains; call [`SessionMachine::step`] again.
+    Pending,
+    /// The session finished; collect the result with
+    /// [`SessionMachine::into_outcome`].
+    Done,
+}
+
+/// Which phase a [`SessionMachine`] is in.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+enum SessionPhase {
+    /// Phase 1: secure gain computation (one step).
+    Gain,
+    /// Phase 2: unlinkable sorting (one step per [`SortMachine`] unit).
+    Sort,
+    /// Phase 3: submission + verification, then result assembly.
+    Submit,
+    /// Result available.
+    Done,
+}
+
+/// A resumable framework session.
+///
+/// One `step` call performs one unit of protocol work: the whole gain
+/// phase, one [`SortMachine`] step (key generation, bit encryption, a
+/// party's comparison batch, or a single chain hop), or the submission
+/// phase. The session owns its seeded DRBG, so however its steps are
+/// interleaved with *other* sessions' steps, its transcript and ranks are
+/// bit-identical to a solo [`GroupRanking::run`] with the same seed —
+/// within a session the steps are strictly sequential, which is exactly
+/// the unlinkability requirement on the shuffle-decrypt chain.
+#[derive(Debug)]
+pub struct SessionMachine {
+    params: FrameworkParams,
+    profile: InitiatorProfile,
+    infos: Vec<InfoVector>,
+    sort_options: SortOptions,
+    rng: HashDrbg,
+    log: TrafficLog,
+    phase: SessionPhase,
+    gain_timer: PartyTimer,
+    sort_timer: PartyTimer,
+    submit_timer: PartyTimer,
+    gain_out: Option<GainPhaseOutput>,
+    sort: Option<SortMachine>,
+    ranks: Option<Vec<usize>>,
+    result: Option<Outcome>,
+}
+
+impl SessionMachine {
+    /// Whether the session has completed.
+    pub fn is_done(&self) -> bool {
+        self.phase == SessionPhase::Done
+    }
+
+    /// The session parameters.
+    pub fn params(&self) -> &FrameworkParams {
+        &self.params
+    }
+
+    /// The outcome, once [`SessionMachine::step`] has returned
+    /// [`SessionStatus::Done`]. Consumes the machine; returns `None` if
+    /// the session has not finished.
+    pub fn into_outcome(self) -> Option<Outcome> {
+        self.result
+    }
+
+    /// Executes the next unit of protocol work.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn step(&mut self) -> Result<SessionStatus, RunError> {
+        match self.phase {
+            SessionPhase::Gain => {
+                // Phase 1: secure gain computation.
+                let gain_out = run_gain_phase(
+                    &self.params,
+                    &self.profile,
+                    &self.infos,
+                    &mut self.rng,
+                    &self.log,
+                    &mut self.gain_timer,
+                    0,
+                );
+                // Phase 2 setup: the sort machine validates inputs now.
+                let group = self.params.group().group();
+                let sort = SortMachine::new(
+                    &group,
+                    &gain_out.betas,
+                    self.params.beta_bits(),
+                    self.sort_options,
+                    2,
+                )?;
+                self.gain_out = Some(gain_out);
+                self.sort = Some(sort);
+                self.phase = SessionPhase::Sort;
+                Ok(SessionStatus::Pending)
+            }
+            SessionPhase::Sort => {
+                let sort = self.sort.as_mut().expect("sort machine in Sort phase");
+                let status = sort.step(&mut self.rng, &self.log, &mut self.sort_timer)?;
+                if status == SortStatus::Done {
+                    let (sort_out, _trace) = self
+                        .sort
+                        .take()
+                        .expect("sort machine in Sort phase")
+                        .into_result()
+                        .expect("sort machine reported Done");
+                    self.ranks = Some(sort_out.ranks);
+                    self.phase = SessionPhase::Submit;
+                }
+                Ok(SessionStatus::Pending)
+            }
+            SessionPhase::Submit => {
+                // Phase 3: submission + verification.
+                let ranks = self.ranks.take().expect("ranks after Sort phase");
+                let submissions = honest_submissions(&self.infos, &ranks, self.params.top_k());
+                let report = verify_submissions(
+                    self.params.questionnaire(),
+                    &self.profile,
+                    &submissions,
+                    self.params.top_k(),
+                    &self.log,
+                    &mut self.submit_timer,
+                    100,
+                );
+                debug_assert!(report.is_clean(), "honest run must verify cleanly");
+
+                let n = self.params.participants();
+                let per_party: Vec<Duration> = (0..=n)
+                    .map(|p| {
+                        self.gain_timer.spent(p)
+                            + self.sort_timer.spent(p)
+                            + self.submit_timer.spent(p)
+                    })
+                    .collect();
+                let timings = PhaseTimings {
+                    gain: self.gain_timer.mean_participant(),
+                    sort: self.sort_timer.mean_participant(),
+                    submit: self.submit_timer.spent(0),
+                    initiator: per_party[0],
+                    per_party,
+                };
+                self.result = Some(Outcome {
+                    ranks,
+                    top_k: report.accepted,
+                    traffic: self.log.summary(),
+                    timings,
+                    gain_output: self.gain_out.take().expect("gain output after Gain phase"),
+                });
+                self.phase = SessionPhase::Done;
+                Ok(SessionStatus::Done)
+            }
+            SessionPhase::Done => Ok(SessionStatus::Done),
+        }
     }
 }
 

@@ -69,7 +69,7 @@ pub use attrs::{
     VectorError, WeightVector,
 };
 pub use distributed::{run_distributed, DistributedOutcome};
-pub use framework::{GroupRanking, Outcome, PhaseTimings, RunError};
+pub use framework::{GroupRanking, Outcome, PhaseTimings, RunError, SessionMachine, SessionStatus};
 pub use params::{bit_length, FrameworkParams, FrameworkParamsBuilder, ParamError};
-pub use sorting::{unlinkable_sort, SortError, SortOutcome};
+pub use sorting::{unlinkable_sort, SortError, SortMachine, SortOptions, SortOutcome, SortStatus};
 pub use timing::PartyTimer;

@@ -211,6 +211,9 @@ pub fn unlinkable_sort<R: Rng + ?Sized>(
 
 /// Full-control entry point: options + trace (used by games and tests).
 ///
+/// Drives a [`SortMachine`] to completion; a machine stepped the same way
+/// with the same RNG produces bit-identical transcripts and ranks.
+///
 /// # Errors
 ///
 /// See [`SortError`].
@@ -225,140 +228,345 @@ pub fn run_sort<R: Rng + ?Sized>(
     timer: &mut PartyTimer,
     round_base: u32,
 ) -> Result<(SortOutcome, SortTrace), SortError> {
-    let n = values.len();
-    if n < 2 {
-        return Err(SortError::TooFewParties(n));
-    }
-    for (idx, v) in values.iter().enumerate() {
-        if v.bits() > l {
-            return Err(SortError::ValueTooWide { party: idx + 1 });
-        }
-    }
-    let scheme = ExpElGamal::new(group.clone());
-    let ct_len = Ciphertext::encoded_len(group);
-    let elem_len = group.element_len();
-    let scalar_len = group.order().bits().div_ceil(8);
-    let mut round = round_base;
+    let mut machine = SortMachine::new(group, values, l, options, round_base)?;
+    while machine.step(rng, log, timer)? == SortStatus::Pending {}
+    Ok(machine.into_result().expect("driven to completion"))
+}
 
-    // Step 5: key generation + proofs of knowledge.
-    let keys: Vec<KeyPair> = (1..=n)
-        .map(|party| timer.time(party, || KeyPair::generate(group, rng)))
-        .collect();
-    for party in 1..=n {
-        // Publish y_j.
-        for other in 1..=n {
-            if other != party {
-                log.record(round, party, other, elem_len, "sort/keys");
+/// What a [`SortMachine::step`] call left behind.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum SortStatus {
+    /// More protocol steps remain; call [`SortMachine::step`] again.
+    Pending,
+    /// The protocol finished; collect the result with
+    /// [`SortMachine::into_result`].
+    Done,
+}
+
+/// Where a [`SortMachine`] currently stands in the protocol.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+enum SortState {
+    /// Step 5: key generation + proofs of knowledge (all parties).
+    KeyGen,
+    /// Step 6: bitwise encryption under the joint key (all parties).
+    Encrypt,
+    /// Step 7: party `idx + 1` builds her τ-sets.
+    Compare { idx: usize },
+    /// Step 8: party `idx + 1` runs her shuffle-decrypt chain hop.
+    Hop { idx: usize },
+    /// Step 9: owners strip their layers, count zeros, assemble the result.
+    Finish,
+    /// Result available.
+    Done,
+}
+
+/// A resumable execution of the sorting protocol.
+///
+/// [`run_sort`] drives one machine to completion in a loop; the throughput
+/// runtime (`ppgr-runtime`) instead interleaves `step` calls from *many*
+/// machines on a persistent worker pool, so that while one session's
+/// strictly sequential shuffle-decrypt chain occupies a worker, other
+/// sessions' hops fill the remaining workers.
+///
+/// Granularity: one `step` call performs one protocol unit — all of key
+/// generation, all of bit encryption, or a single party's comparison batch
+/// / chain hop (the chain hops are ~89 % of the cost, so per-hop yields are
+/// what make cross-session pipelining effective). Every random draw happens
+/// inside `step` in the exact order the serial protocol would draw it, so a
+/// session's transcript and ranks are bit-identical no matter how its steps
+/// are interleaved with other sessions'.
+#[derive(Debug)]
+pub struct SortMachine {
+    // Fixed configuration.
+    group: Group,
+    scheme: ExpElGamal,
+    values: Vec<BigUint>,
+    l: usize,
+    options: SortOptions,
+    n: usize,
+    workers: usize,
+    ct_len: usize,
+    elem_len: usize,
+    scalar_len: usize,
+    // Protocol state.
+    state: SortState,
+    round: u32,
+    keys: Vec<KeyPair>,
+    key_table: Option<ppgr_group::FixedBaseTable>,
+    encrypted_bits: Vec<Vec<Ciphertext>>,
+    sets: Vec<Vec<Ciphertext>>,
+    opponent_order: Vec<Vec<usize>>,
+    /// Reusable hop output buffer (serial path): each hop writes the next
+    /// version of a set here, then swaps it with the live set, so the
+    /// chain's dominant loop reuses two buffers per set instead of
+    /// allocating and cloning fresh vectors every hop.
+    hop_scratch: Vec<Ciphertext>,
+    result: Option<(SortOutcome, SortTrace)>,
+}
+
+impl SortMachine {
+    /// Validates the inputs and prepares a machine at step 5.
+    ///
+    /// # Errors
+    ///
+    /// See [`SortError`] (`TooFewParties`, `ValueTooWide`).
+    pub fn new(
+        group: &Group,
+        values: &[BigUint],
+        l: usize,
+        options: SortOptions,
+        round_base: u32,
+    ) -> Result<Self, SortError> {
+        let n = values.len();
+        if n < 2 {
+            return Err(SortError::TooFewParties(n));
+        }
+        for (idx, v) in values.iter().enumerate() {
+            if v.bits() > l {
+                return Err(SortError::ValueTooWide { party: idx + 1 });
             }
         }
+        Ok(SortMachine {
+            scheme: ExpElGamal::new(group.clone()),
+            ct_len: Ciphertext::encoded_len(group),
+            elem_len: group.element_len(),
+            scalar_len: group.order().bits().div_ceil(8),
+            group: group.clone(),
+            values: values.to_vec(),
+            l,
+            options,
+            n,
+            workers: resolve_threads(options.threads),
+            state: SortState::KeyGen,
+            round: round_base,
+            keys: Vec::new(),
+            key_table: None,
+            encrypted_bits: Vec::new(),
+            sets: Vec::new(),
+            opponent_order: Vec::new(),
+            hop_scratch: Vec::new(),
+            result: None,
+        })
     }
-    round += 1;
-    for (idx, kp) in keys.iter().enumerate() {
-        let party = idx + 1;
-        let transcript = timer.time(party, || {
-            MultiVerifierProof::run(group, kp.secret_key(), n - 1, rng)
-        });
-        // Commitment broadcast, n−1 challenge shares, response broadcast.
-        for other in 1..=n {
-            if other != party {
-                log.record(round, party, other, elem_len, "sort/zkp");
-                log.record(round + 1, other, party, scalar_len, "sort/zkp");
-                log.record(round + 2, party, other, scalar_len, "sort/zkp");
+
+    /// Whether the protocol has completed.
+    pub fn is_done(&self) -> bool {
+        self.state == SortState::Done
+    }
+
+    /// The outcome and trace, once [`SortMachine::step`] has returned
+    /// [`SortStatus::Done`]. Consumes the machine; returns `None` if the
+    /// protocol has not finished.
+    pub fn into_result(self) -> Option<(SortOutcome, SortTrace)> {
+        self.result
+    }
+
+    /// Executes the next protocol unit.
+    ///
+    /// All randomness is drawn from `rng` inside this call, in serial
+    /// protocol order; wire traffic is logged to `log` and per-party
+    /// computation charged to `timer`.
+    ///
+    /// # Errors
+    ///
+    /// [`SortError::ProofRejected`] if a proof of key knowledge fails
+    /// (reachable only via dishonest provers in the game harness).
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        log: &TrafficLog,
+        timer: &mut PartyTimer,
+    ) -> Result<SortStatus, SortError> {
+        match self.state {
+            SortState::KeyGen => {
+                self.step_keygen(rng, log, timer)?;
+                self.state = SortState::Encrypt;
+                Ok(SortStatus::Pending)
             }
-        }
-        for (vidx, _) in keys.iter().enumerate() {
-            if vidx == idx {
-                continue;
+            SortState::Encrypt => {
+                self.step_encrypt(rng, log, timer);
+                self.state = SortState::Compare { idx: 0 };
+                Ok(SortStatus::Pending)
             }
-            let ok = timer.time(vidx + 1, || transcript.verify(group, kp.public_key()));
-            if !ok {
-                return Err(SortError::ProofRejected { party });
+            SortState::Compare { idx } => {
+                self.step_compare(idx, log, timer);
+                self.state = if idx + 1 < self.n {
+                    SortState::Compare { idx: idx + 1 }
+                } else {
+                    self.round += 1;
+                    SortState::Hop { idx: 0 }
+                };
+                Ok(SortStatus::Pending)
             }
+            SortState::Hop { idx } => {
+                self.step_hop(idx, rng, log, timer);
+                self.state = if idx + 1 < self.n {
+                    SortState::Hop { idx: idx + 1 }
+                } else {
+                    SortState::Finish
+                };
+                Ok(SortStatus::Pending)
+            }
+            SortState::Finish => {
+                self.step_finish(log, timer);
+                self.state = SortState::Done;
+                Ok(SortStatus::Done)
+            }
+            SortState::Done => Ok(SortStatus::Done),
         }
     }
-    round += 3;
 
-    let shares: Vec<_> = keys.iter().map(|k| k.public_key().clone()).collect();
-    let joint = JointKey::combine(group, &shares);
-    let workers = resolve_threads(options.threads);
-
-    // The fixed-base table for the joint key `y` is public precomputation:
-    // every party derives it from the published key shares, so its (small,
-    // amortized) cost is not charged to any single party's ledger.
-    let key_table = scheme.prepare_key(joint.public_key());
-
-    // Step 6: bitwise encryption under the joint key, published to all.
-    // The prepared-table batch path draws the per-bit randomness in the
-    // same order as per-bit `encrypt_bits`, so transcripts are unchanged.
-    let encrypted_bits: Vec<Vec<Ciphertext>> = values
-        .iter()
-        .enumerate()
-        .map(|(idx, v)| {
-            let party = idx + 1;
-            let cts = timer.time(party, || {
-                encrypt_bits_prepared(&scheme, &key_table, v, l, rng)
-            });
+    /// Step 5: key generation + proofs of knowledge.
+    fn step_keygen<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        log: &TrafficLog,
+        timer: &mut PartyTimer,
+    ) -> Result<(), SortError> {
+        let n = self.n;
+        let keys: Vec<KeyPair> = (1..=n)
+            .map(|party| timer.time(party, || KeyPair::generate(&self.group, rng)))
+            .collect();
+        for party in 1..=n {
+            // Publish y_j.
             for other in 1..=n {
                 if other != party {
-                    log.record(round, party, other, l * ct_len, "sort/bits");
+                    log.record(self.round, party, other, self.elem_len, "sort/keys");
                 }
             }
-            cts
-        })
-        .collect();
-    round += 1;
+        }
+        self.round += 1;
+        for (idx, kp) in keys.iter().enumerate() {
+            let party = idx + 1;
+            let transcript = timer.time(party, || {
+                MultiVerifierProof::run(&self.group, kp.secret_key(), n - 1, rng)
+            });
+            // Commitment broadcast, n−1 challenge shares, response broadcast.
+            for other in 1..=n {
+                if other != party {
+                    log.record(self.round, party, other, self.elem_len, "sort/zkp");
+                    log.record(self.round + 1, other, party, self.scalar_len, "sort/zkp");
+                    log.record(self.round + 2, party, other, self.scalar_len, "sort/zkp");
+                }
+            }
+            for (vidx, _) in keys.iter().enumerate() {
+                if vidx == idx {
+                    continue;
+                }
+                let ok = timer.time(vidx + 1, || transcript.verify(&self.group, kp.public_key()));
+                if !ok {
+                    return Err(SortError::ProofRejected { party });
+                }
+            }
+        }
+        self.round += 3;
+        self.keys = keys;
+        Ok(())
+    }
 
-    // Step 7: comparisons. Party j compares her plaintext value against
-    // every other party's encrypted bits; her set is the concatenation in
-    // `opponent_order`. The n−1 comparisons are independent and consume no
-    // randomness, so they fan out across worker threads.
-    let mut sets: Vec<Vec<Ciphertext>> = Vec::with_capacity(n);
-    let mut opponent_order: Vec<Vec<usize>> = Vec::with_capacity(n);
-    for (idx, value) in values.iter().enumerate() {
+    /// Step 6: bitwise encryption under the joint key, published to all.
+    fn step_encrypt<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        log: &TrafficLog,
+        timer: &mut PartyTimer,
+    ) {
+        let n = self.n;
+        let shares: Vec<_> = self.keys.iter().map(|k| k.public_key().clone()).collect();
+        let joint = JointKey::combine(&self.group, &shares);
+        // The fixed-base table for the joint key `y` is public
+        // precomputation: every party derives it from the published key
+        // shares, so its (small, amortized) cost is not charged to any
+        // single party's ledger.
+        let key_table = self.scheme.prepare_key(joint.public_key());
+        // The prepared-table batch path draws the per-bit randomness in the
+        // same order as per-bit `encrypt_bits`, so transcripts are
+        // unchanged.
+        self.encrypted_bits = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(idx, v)| {
+                let party = idx + 1;
+                let cts = timer.time(party, || {
+                    encrypt_bits_prepared(&self.scheme, &key_table, v, self.l, rng)
+                });
+                for other in 1..=n {
+                    if other != party {
+                        log.record(self.round, party, other, self.l * self.ct_len, "sort/bits");
+                    }
+                }
+                cts
+            })
+            .collect();
+        self.round += 1;
+        self.key_table = Some(key_table);
+    }
+
+    /// Step 7 for one party: she compares her plaintext value against every
+    /// other party's encrypted bits; her set is the concatenation in
+    /// `opponent_order`. The n−1 comparisons are independent and consume no
+    /// randomness, so they may fan out across worker threads.
+    fn step_compare(&mut self, idx: usize, log: &TrafficLog, timer: &mut PartyTimer) {
         let party = idx + 1;
-        let opponents: Vec<usize> = (0..n).filter(|&i| i != idx).collect();
+        let opponents: Vec<usize> = (0..self.n).filter(|&i| i != idx).collect();
+        let value = &self.values[idx];
         let start = Instant::now();
-        let (chunks, cpu) = parallel_map(&opponents, workers, |&opp| {
-            compare_encrypted(&scheme, value, &encrypted_bits[opp], l)
+        let (chunks, cpu) = parallel_map(&opponents, self.workers, |&opp| {
+            compare_encrypted(&self.scheme, value, &self.encrypted_bits[opp], self.l)
         });
         timer.record(party, start.elapsed(), cpu);
         let set: Vec<Ciphertext> = chunks.into_iter().flatten().collect();
         if party != 1 {
-            log.record(round, party, 1, set.len() * ct_len, "sort/collect");
+            log.record(
+                self.round,
+                party,
+                1,
+                set.len() * self.ct_len,
+                "sort/collect",
+            );
         }
-        sets.push(set);
-        opponent_order.push(opponents);
+        self.sets.push(set);
+        self.opponent_order.push(opponents);
     }
-    round += 1;
 
-    // Step 8: the shuffle-decrypt chain P₁ → P₂ → … → P_n. Within a hop
-    // the n−1 foreign sets are independent; the randomness (plaintext
-    // randomizers, then the shuffle permutation, per set) is pre-drawn in
-    // the serial order so the transcript is identical for any thread
-    // count, then the exponentiations run batched — the fused
-    // decrypt-and-randomize hop costs ~1.7 exponentiations per ciphertext
-    // instead of 3.
-    for (idx, key) in keys.iter().enumerate() {
+    /// Step 8 for one party: her hop of the shuffle-decrypt chain
+    /// P₁ → P₂ → … → P_n. Within the hop the n−1 foreign sets are
+    /// independent; the randomness (plaintext randomizers, then the shuffle
+    /// permutation, per set) is pre-drawn in the serial order so the
+    /// transcript is identical for any thread count, then the
+    /// exponentiations run batched — the fused decrypt-and-randomize hop
+    /// costs ~1.7 exponentiations per ciphertext instead of 3, and the
+    /// shuffle is fused into result placement so no permutation pass (or
+    /// its per-ciphertext clones) remains.
+    fn step_hop<R: Rng + ?Sized>(
+        &mut self,
+        idx: usize,
+        rng: &mut R,
+        log: &TrafficLog,
+        timer: &mut PartyTimer,
+    ) {
         let party = idx + 1;
         let start = Instant::now();
         let draw_start = Instant::now();
         // (owner, randomizers, shuffle permutation) per foreign set.
-        let jobs: Vec<(usize, Vec<Scalar>, Option<Vec<usize>>)> = sets
+        let jobs: Vec<(usize, Vec<Scalar>, Option<Vec<usize>>)> = self
+            .sets
             .iter()
             .enumerate()
             .filter(|&(owner, _)| owner != idx) // never her own set
             .map(|(owner, set)| {
-                let rs: Vec<Scalar> = if options.randomize {
+                let rs: Vec<Scalar> = if self.options.randomize {
                     set.iter()
-                        .map(|_| group.random_nonzero_scalar(rng))
+                        .map(|_| self.group.random_nonzero_scalar(rng))
                         .collect()
                 } else {
                     Vec::new()
                 };
                 // A permutation shuffled with the same draws the in-place
                 // `shuffle` would consume (Fisher–Yates swaps depend only
-                // on the length), applied to the processed set below.
-                let perm = options.shuffle.then(|| {
+                // on the length), fused into result placement below.
+                let perm = self.options.shuffle.then(|| {
                     let mut p: Vec<usize> = (0..set.len()).collect();
                     p.shuffle(rng);
                     p
@@ -367,61 +575,102 @@ pub fn run_sort<R: Rng + ?Sized>(
             })
             .collect();
         let draw_cpu = draw_start.elapsed();
-        let secret = key.secret_key();
-        let (processed, cpu) = parallel_map(&jobs, workers, |(owner, rs, perm)| {
-            let set = &sets[*owner];
-            let hopped = if options.randomize {
-                scheme.partial_decrypt_randomize_batch(set, secret, rs)
-            } else {
-                set.iter()
-                    .map(|ct| scheme.partial_decrypt(ct, secret))
-                    .collect::<Vec<_>>()
-            };
-            match perm {
-                Some(p) => p.iter().map(|&i| hopped[i].clone()).collect(),
-                None => hopped,
-            }
-        });
-        for ((owner, _, _), hopped) in jobs.iter().zip(processed) {
-            sets[*owner] = hopped;
-        }
-        timer.record(party, start.elapsed(), draw_cpu + cpu);
-        // Hand the whole vector V to the next party in the chain.
-        if party < n {
-            let v_bytes: usize = sets.iter().map(|s| s.len() * ct_len).sum();
-            log.record(round, party, party + 1, v_bytes, "sort/chain");
-            round += 1;
-        }
-    }
-    // P_n returns each set to its owner.
-    for (owner, set) in sets.iter().enumerate() {
-        let party = owner + 1;
-        if party != n {
-            log.record(round, n, party, set.len() * ct_len, "sort/return");
-        }
-    }
-    round += 1;
-
-    // Step 9: each owner strips her own layer and counts zeros.
-    let trace = SortTrace {
-        keys: keys.clone(),
-        returned_sets: sets.clone(),
-        opponent_order,
-    };
-    let mut ranks = Vec::with_capacity(n);
-    for idx in 0..n {
-        let party = idx + 1;
-        let start = Instant::now();
+        let Self {
+            sets,
+            hop_scratch,
+            scheme,
+            keys,
+            options,
+            workers,
+            ..
+        } = self;
         let secret = keys[idx].secret_key();
-        let (flags, cpu) = parallel_map(&sets[idx], workers, |ct| {
-            scheme.decrypts_to_zero(secret, ct)
-        });
-        timer.record(party, start.elapsed(), cpu);
-        let zeros = flags.into_iter().filter(|&zero| zero).count();
-        ranks.push(zeros + 1);
+        let randomize = options.randomize;
+        if *workers == 1 {
+            // Serial fast path: reuse one scratch buffer for every hop of
+            // the whole chain — the output is written straight into its
+            // shuffled order and swapped with the live set.
+            for (owner, rs, perm) in &jobs {
+                let set = &sets[*owner];
+                if randomize {
+                    scheme.partial_decrypt_randomize_gather_into(
+                        set,
+                        secret,
+                        rs,
+                        perm.as_deref(),
+                        hop_scratch,
+                    );
+                } else {
+                    scheme.partial_decrypt_gather_into(set, secret, perm.as_deref(), hop_scratch);
+                }
+                std::mem::swap(&mut sets[*owner], hop_scratch);
+            }
+            // Single-threaded: wall time is the CPU time (draws included).
+            let elapsed = start.elapsed();
+            timer.record(party, elapsed, elapsed);
+        } else {
+            let (processed, cpu) = parallel_map(&jobs, *workers, |(owner, rs, perm)| {
+                let set = &sets[*owner];
+                let mut out = Vec::with_capacity(set.len());
+                if randomize {
+                    scheme.partial_decrypt_randomize_gather_into(
+                        set,
+                        secret,
+                        rs,
+                        perm.as_deref(),
+                        &mut out,
+                    );
+                } else {
+                    scheme.partial_decrypt_gather_into(set, secret, perm.as_deref(), &mut out);
+                }
+                out
+            });
+            for ((owner, _, _), hopped) in jobs.iter().zip(processed) {
+                sets[*owner] = hopped;
+            }
+            timer.record(party, start.elapsed(), draw_cpu + cpu);
+        }
+        // Hand the whole vector V to the next party in the chain.
+        if party < self.n {
+            let v_bytes: usize = self.sets.iter().map(|s| s.len() * self.ct_len).sum();
+            log.record(self.round, party, party + 1, v_bytes, "sort/chain");
+            self.round += 1;
+        }
     }
-    let _ = round;
-    Ok((SortOutcome { ranks }, trace))
+
+    /// Return traffic + step 9: each owner strips her own layer and counts
+    /// zeros, then the result and trace are assembled (moving, not cloning,
+    /// the protocol state).
+    fn step_finish(&mut self, log: &TrafficLog, timer: &mut PartyTimer) {
+        let n = self.n;
+        // P_n returns each set to its owner.
+        for (owner, set) in self.sets.iter().enumerate() {
+            let party = owner + 1;
+            if party != n {
+                log.record(self.round, n, party, set.len() * self.ct_len, "sort/return");
+            }
+        }
+        self.round += 1;
+
+        let mut ranks = Vec::with_capacity(n);
+        for idx in 0..n {
+            let party = idx + 1;
+            let start = Instant::now();
+            let secret = self.keys[idx].secret_key();
+            let (flags, cpu) = parallel_map(&self.sets[idx], self.workers, |ct| {
+                self.scheme.decrypts_to_zero(secret, ct)
+            });
+            timer.record(party, start.elapsed(), cpu);
+            let zeros = flags.into_iter().filter(|&zero| zero).count();
+            ranks.push(zeros + 1);
+        }
+        let trace = SortTrace {
+            keys: std::mem::take(&mut self.keys),
+            returned_sets: std::mem::take(&mut self.sets),
+            opponent_order: std::mem::take(&mut self.opponent_order),
+        };
+        self.result = Some((SortOutcome { ranks }, trace));
+    }
 }
 
 /// Reference ranking (plaintext): rank 1 for the largest, ties equal.

@@ -224,10 +224,51 @@ impl ExpElGamal {
         }
     }
 
+    /// [`ExpElGamal::partial_decrypt`] without allocating a new ciphertext:
+    /// rewrites `α` in place and leaves `β` untouched (no clone).
+    pub fn partial_decrypt_in_place(&self, a: &mut Ciphertext, secret_share: &Scalar) {
+        let mask = self.group.exp(&a.beta, secret_share);
+        a.alpha = self.group.div(&a.alpha, &mask);
+    }
+
+    /// Gathered batch [`ExpElGamal::partial_decrypt`]: writes
+    /// `out[j] = partial_decrypt(cts[order[j]])` into the caller's reusable
+    /// buffer (`order = None` keeps input order). Fuses the chain hop's
+    /// shuffle into the output placement, so no separate permutation pass
+    /// (and none of its per-ciphertext clones) is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is given and is not the same length as `cts`.
+    pub fn partial_decrypt_gather_into(
+        &self,
+        cts: &[Ciphertext],
+        secret_share: &Scalar,
+        order: Option<&[usize]>,
+        out: &mut Vec<Ciphertext>,
+    ) {
+        if let Some(o) = order {
+            assert_eq!(o.len(), cts.len(), "one output slot per ciphertext");
+        }
+        out.clear();
+        out.reserve(cts.len());
+        for j in 0..cts.len() {
+            let i = order.map_or(j, |o| o[j]);
+            out.push(self.partial_decrypt(&cts[i], secret_share));
+        }
+    }
+
     /// Multiplies the plaintext by `r` by raising both components:
     /// `E(m) → E(r·m)`. Zero is a fixed point — the step-8 randomization.
     pub fn randomize_plaintext(&self, a: &Ciphertext, r: &Scalar) -> Ciphertext {
         self.scalar_mul(a, r)
+    }
+
+    /// [`ExpElGamal::randomize_plaintext`] without allocating a new
+    /// ciphertext: rewrites both components in place.
+    pub fn randomize_plaintext_in_place(&self, a: &mut Ciphertext, r: &Scalar) {
+        a.alpha = self.group.exp(&a.alpha, r);
+        a.beta = self.group.exp(&a.beta, r);
     }
 
     /// Batch [`ExpElGamal::randomize_plaintext`]: all 2·n component
@@ -291,28 +332,69 @@ impl ExpElGamal {
         secret_share: &Scalar,
         rs: &[Scalar],
     ) -> Vec<Ciphertext> {
+        let mut out = Vec::with_capacity(cts.len());
+        self.partial_decrypt_randomize_gather_into(cts, secret_share, rs, None, &mut out);
+        out
+    }
+
+    /// Gathered batch [`ExpElGamal::partial_decrypt_randomize`] writing into
+    /// a caller-provided buffer: `out[j]` is the fused hop applied to
+    /// `cts[order[j]]` with randomizer `rs[order[j]]` (`order = None` keeps
+    /// input order).
+    ///
+    /// This is the allocation-lean form of the chain hop: the shuffle
+    /// permutation is fused into the *placement* of each result, so the
+    /// caller never materializes the un-shuffled set and never clones a
+    /// ciphertext to reorder it, and `out`'s capacity is reused across
+    /// hops. Element-for-element the results equal
+    /// [`ExpElGamal::partial_decrypt_randomize_batch`] followed by a gather
+    /// (`permuted[j] = batch[order[j]]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rs` (or `order`, when given) is not the same length as
+    /// `cts`.
+    pub fn partial_decrypt_randomize_gather_into(
+        &self,
+        cts: &[Ciphertext],
+        secret_share: &Scalar,
+        rs: &[Scalar],
+        order: Option<&[usize]>,
+        out: &mut Vec<Ciphertext>,
+    ) {
         assert_eq!(cts.len(), rs.len(), "one randomizer per ciphertext");
-        let neg_xrs: Vec<Scalar> = rs
-            .iter()
-            .map(|r| {
+        if let Some(o) = order {
+            assert_eq!(o.len(), cts.len(), "one output slot per ciphertext");
+        }
+        let idx = |j: usize| order.map_or(j, |o| o[j]);
+        let neg_xrs: Vec<Scalar> = (0..cts.len())
+            .map(|j| {
                 self.group
-                    .scalar_neg(&self.group.scalar_mul(secret_share, r))
+                    .scalar_neg(&self.group.scalar_mul(secret_share, &rs[idx(j)]))
             })
             .collect();
-        let dual_items: Vec<(&Element, &Scalar, &Element, &Scalar)> = cts
-            .iter()
-            .zip(rs.iter().zip(&neg_xrs))
-            .map(|(ct, (r, neg_xr))| (&ct.alpha, r, &ct.beta, neg_xr))
+        let dual_items: Vec<(&Element, &Scalar, &Element, &Scalar)> = (0..cts.len())
+            .map(|j| {
+                let i = idx(j);
+                (&cts[i].alpha, &rs[i], &cts[i].beta, &neg_xrs[j])
+            })
             .collect();
         let alphas = self.group.exp_dual_batch(&dual_items);
-        let beta_pairs: Vec<(&Element, &Scalar)> =
-            cts.iter().zip(rs).map(|(ct, r)| (&ct.beta, r)).collect();
+        let beta_pairs: Vec<(&Element, &Scalar)> = (0..cts.len())
+            .map(|j| {
+                let i = idx(j);
+                (&cts[i].beta, &rs[i])
+            })
+            .collect();
         let betas = self.group.exp_batch(&beta_pairs);
-        alphas
-            .into_iter()
-            .zip(betas)
-            .map(|(alpha, beta)| Ciphertext { alpha, beta })
-            .collect()
+        out.clear();
+        out.reserve(cts.len());
+        out.extend(
+            alphas
+                .into_iter()
+                .zip(betas)
+                .map(|(alpha, beta)| Ciphertext { alpha, beta }),
+        );
     }
 
     /// Full decryption to the group element `g^m`.
@@ -525,6 +607,72 @@ mod tests {
                 "{kind} batched hop"
             );
         }
+    }
+
+    #[test]
+    fn gathered_hop_equals_batch_then_permute() {
+        // The sorting chain relies on this: computing each hop directly
+        // into its shuffled slot must give exactly the ciphertexts the
+        // compute-then-permute path produced.
+        for kind in [GroupKind::Ecc160, GroupKind::Dl1024] {
+            let group = kind.group();
+            let mut rng = StdRng::seed_from_u64(11);
+            let kp = KeyPair::generate(&group, &mut rng);
+            let scheme = ExpElGamal::new(group.clone());
+            let cts: Vec<Ciphertext> = (0..5)
+                .map(|m| scheme.encrypt(kp.public_key(), &group.scalar_from_u64(m), &mut rng))
+                .collect();
+            let rs: Vec<_> = (0..5)
+                .map(|_| group.random_nonzero_scalar(&mut rng))
+                .collect();
+            let perm = [3usize, 0, 4, 1, 2];
+            let batch = scheme.partial_decrypt_randomize_batch(&cts, kp.secret_key(), &rs);
+            let permuted: Vec<Ciphertext> = perm.iter().map(|&i| batch[i].clone()).collect();
+            let mut out = Vec::new();
+            scheme.partial_decrypt_randomize_gather_into(
+                &cts,
+                kp.secret_key(),
+                &rs,
+                Some(&perm),
+                &mut out,
+            );
+            assert_eq!(out, permuted, "{kind} gathered hop");
+            // Buffer reuse: a second gather into the same buffer replaces
+            // its contents.
+            scheme.partial_decrypt_randomize_gather_into(
+                &cts,
+                kp.secret_key(),
+                &rs,
+                None,
+                &mut out,
+            );
+            assert_eq!(out, batch, "{kind} identity-order gather");
+
+            // And the unrandomized gather matches partial_decrypt.
+            let singles: Vec<Ciphertext> = perm
+                .iter()
+                .map(|&i| scheme.partial_decrypt(&cts[i], kp.secret_key()))
+                .collect();
+            let mut plain = Vec::new();
+            scheme.partial_decrypt_gather_into(&cts, kp.secret_key(), Some(&perm), &mut plain);
+            assert_eq!(plain, singles, "{kind} unrandomized gather");
+        }
+    }
+
+    #[test]
+    fn in_place_variants_match_allocating_ones() {
+        let (scheme, kp, mut rng) = setup();
+        let g = scheme.group().clone();
+        let ct = scheme.encrypt(kp.public_key(), &g.scalar_from_u64(3), &mut rng);
+        let r = g.random_nonzero_scalar(&mut rng);
+
+        let mut a = ct.clone();
+        scheme.partial_decrypt_in_place(&mut a, kp.secret_key());
+        assert_eq!(a, scheme.partial_decrypt(&ct, kp.secret_key()));
+
+        let mut b = ct.clone();
+        scheme.randomize_plaintext_in_place(&mut b, &r);
+        assert_eq!(b, scheme.randomize_plaintext(&ct, &r));
     }
 
     #[test]

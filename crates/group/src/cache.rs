@@ -1,0 +1,217 @@
+//! A sharded, read-mostly LRU cache for expensive per-base precomputation
+//! (fixed-base comb tables).
+//!
+//! The previous comb-table cache was a `Mutex<Vec>` FIFO: every lookup —
+//! hit or miss — serialized on one lock, and eviction ignored recency, so
+//! two concurrent sessions rotating more distinct joint keys than the
+//! capacity would evict each other's hot tables on every insert.
+//!
+//! This cache fixes both:
+//!
+//! * **Reads don't serialize.** Keys hash to one of several shards, each
+//!   behind its own `RwLock`; a hit takes only that shard's *read* lock, so
+//!   concurrent sessions exponentiating under different joint keys proceed
+//!   without contention.
+//! * **Hits bump recency.** Each entry carries an atomic stamp from a
+//!   global clock; a hit stores a fresh stamp without upgrading to a write
+//!   lock. Eviction (on insert into a full shard) removes the entry with
+//!   the *oldest* stamp — true LRU, so a hot table survives a stream of
+//!   one-shot keys.
+//!
+//! Values are handed out as `Arc<V>`, so an evicted table stays alive for
+//! whoever is still using it.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+struct Entry<K, V> {
+    key: K,
+    value: Arc<V>,
+    /// Last-touch tick from the cache-wide clock (atomic so a read-locked
+    /// hit can bump it).
+    stamp: AtomicU64,
+}
+
+/// A sharded LRU map from `K` to `Arc<V>` with per-shard capacity bounds.
+pub struct ShardedLru<K, V> {
+    shards: Vec<RwLock<Vec<Entry<K, V>>>>,
+    cap_per_shard: usize,
+    clock: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
+    /// Creates a cache with `shards` independent shards holding at most
+    /// `cap_per_shard` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(shards: usize, cap_per_shard: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(cap_per_shard > 0, "need capacity for at least one entry");
+        ShardedLru {
+            shards: (0..shards).map(|_| RwLock::new(Vec::new())).collect(),
+            cap_per_shard,
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn shard_for(&self, key: &K) -> &RwLock<Vec<Entry<K, V>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Returns the cached value for `key`, building and inserting it on a
+    /// miss. The build runs under the shard's write lock, so concurrent
+    /// requests for the same key build it exactly once; requests for keys
+    /// in *other* shards are unaffected, and hits anywhere take only a
+    /// read lock.
+    pub fn get_or_insert_with(&self, key: &K, build: impl FnOnce() -> V) -> Arc<V> {
+        let shard = self.shard_for(key);
+        {
+            let guard = shard.read().expect("lru shard poisoned");
+            if let Some(e) = guard.iter().find(|e| &e.key == key) {
+                e.stamp.store(self.tick(), Ordering::Relaxed);
+                return e.value.clone();
+            }
+        }
+        let mut guard = shard.write().expect("lru shard poisoned");
+        // Another thread may have inserted while we waited for the lock.
+        if let Some(e) = guard.iter().find(|e| &e.key == key) {
+            e.stamp.store(self.tick(), Ordering::Relaxed);
+            return e.value.clone();
+        }
+        let value = Arc::new(build());
+        if guard.len() >= self.cap_per_shard {
+            let oldest = guard
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("full shard is non-empty");
+            guard.swap_remove(oldest);
+        }
+        guard.push(Entry {
+            key: key.clone(),
+            value: value.clone(),
+            stamp: AtomicU64::new(self.tick()),
+        });
+        value
+    }
+
+    /// Whether `key` is currently cached (does not bump recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard_for(key)
+            .read()
+            .expect("lru shard poisoned")
+            .iter()
+            .any(|e| &e.key == key)
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("lru shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K, V> std::fmt::Debug for ShardedLru<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedLru")
+            .field("shards", &self.shards.len())
+            .field("cap_per_shard", &self.cap_per_shard)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_same_arc() {
+        let cache: ShardedLru<u64, String> = ShardedLru::new(2, 4);
+        let a = cache.get_or_insert_with(&7, || "seven".into());
+        let b = cache.get_or_insert_with(&7, || panic!("must not rebuild"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_not_oldest_inserted() {
+        // Single shard so eviction is deterministic.
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(1, 3);
+        for k in 0..3 {
+            cache.get_or_insert_with(&k, || k * 10);
+        }
+        // Touch 0 — under FIFO it would still be the first evicted; under
+        // LRU the untouched 1 goes instead.
+        cache.get_or_insert_with(&0, || unreachable!());
+        cache.get_or_insert_with(&3, || 30);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.contains(&0), "recently hit entry must survive");
+        assert!(!cache.contains(&1), "least recently used entry evicted");
+        assert!(cache.contains(&2));
+        assert!(cache.contains(&3));
+    }
+
+    #[test]
+    fn rotation_beyond_capacity_keeps_the_hot_key() {
+        // The thrash scenario: one hot key plus a stream of one-shot keys
+        // larger than capacity. FIFO would evict the hot key every
+        // `capacity` inserts; LRU keeps it as long as it stays hot.
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(1, 4);
+        let mut hot_builds = 0u32;
+        for cold in 100..130 {
+            cache.get_or_insert_with(&1, || {
+                hot_builds += 1;
+                11
+            });
+            cache.get_or_insert_with(&cold, || cold);
+        }
+        assert_eq!(hot_builds, 1, "hot key must never be rebuilt");
+        assert!(cache.contains(&1));
+    }
+
+    #[test]
+    fn shards_bound_capacity_independently() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(4, 2);
+        for k in 0..64 {
+            cache.get_or_insert_with(&k, || k);
+        }
+        assert!(cache.len() <= 4 * 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_hits_and_misses_are_safe() {
+        let cache: Arc<ShardedLru<u64, u64>> = Arc::new(ShardedLru::new(4, 4));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = (i + t) % 8;
+                        let v = cache.get_or_insert_with(&k, || k * 2);
+                        assert_eq!(*v, k * 2);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 16);
+    }
+}

@@ -6,6 +6,7 @@
 //! 1024 (RFC 2409 Oakley group 2), 2048 and 3072 bits, with generator
 //! `4 = 2²` (a residue, hence a generator of the order-`q` subgroup).
 
+use crate::cache::ShardedLru;
 use crate::traits::DecodeElementError;
 use crate::Element;
 use ppgr_bigint::{modular, BigUint, MontElem, Montgomery};
@@ -87,9 +88,11 @@ pub struct DlGroup {
     element_len: usize,
     /// Comb table for fixed-base exponentiation by the generator.
     gen_table: OnceLock<DlComb>,
-    /// Bounded FIFO cache of comb tables for other frequently used bases
-    /// (joint public keys); shared process-wide via the group singleton.
-    comb_cache: std::sync::Mutex<Vec<(BigUint, std::sync::Arc<DlComb>)>>,
+    /// Sharded read-mostly LRU of comb tables for other frequently used
+    /// bases (joint public keys); shared process-wide via the group
+    /// singleton. Hits take a per-shard read lock only, so concurrent
+    /// sessions exponentiating under different joint keys don't serialize.
+    comb_cache: ShardedLru<BigUint, DlComb>,
 }
 
 impl DlGroup {
@@ -112,25 +115,22 @@ impl DlGroup {
             mont,
             element_len,
             gen_table: OnceLock::new(),
-            comb_cache: std::sync::Mutex::new(Vec::new()),
+            comb_cache: ShardedLru::new(Self::COMB_CACHE_SHARDS, Self::COMB_CACHE_CAP),
         }
     }
 
-    /// Capacity of the per-group comb-table cache.
+    /// Shards of the per-group comb-table cache.
+    pub const COMB_CACHE_SHARDS: usize = 4;
+    /// Per-shard capacity of the comb-table cache (LRU eviction).
     pub const COMB_CACHE_CAP: usize = 16;
 
     /// Returns (building and caching on first use) the comb table for `a`.
+    ///
+    /// Backed by a sharded LRU: cache hits take a shard read lock only and
+    /// bump the entry's recency, so a hot joint key survives streams of
+    /// one-shot bases and concurrent lookups don't serialize.
     pub fn comb_for(&self, a: &BigUint) -> std::sync::Arc<DlComb> {
-        let mut cache = self.comb_cache.lock().expect("comb cache poisoned");
-        if let Some((_, comb)) = cache.iter().find(|(base, _)| base == a) {
-            return comb.clone();
-        }
-        let comb = std::sync::Arc::new(self.build_comb(a));
-        if cache.len() >= Self::COMB_CACHE_CAP {
-            cache.remove(0);
-        }
-        cache.push((a.clone(), comb.clone()));
-        comb
+        self.comb_cache.get_or_insert_with(a, || self.build_comb(a))
     }
 
     /// Builds a fixed-base comb table for `a` (an element below `p`).

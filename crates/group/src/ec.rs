@@ -6,6 +6,7 @@
 //! elements kept in Montgomery form, which is what makes the ECC framework
 //! instantiation markedly faster than the DL one (the paper's Fig. 2/3).
 
+use crate::cache::ShardedLru;
 use crate::traits::DecodeElementError;
 use crate::Element;
 use ppgr_bigint::{modular, BigUint, MontElem, Montgomery};
@@ -149,9 +150,11 @@ pub struct EcGroup {
     element_len: usize,
     /// Comb table for fixed-base scalar multiplication by the generator.
     gen_table: std::sync::OnceLock<EcComb>,
-    /// Bounded FIFO cache of comb tables for other frequently used bases
-    /// (joint public keys); shared process-wide via the group singleton.
-    comb_cache: std::sync::Mutex<Vec<(EcPoint, std::sync::Arc<EcComb>)>>,
+    /// Sharded read-mostly LRU of comb tables for other frequently used
+    /// bases (joint public keys); shared process-wide via the group
+    /// singleton. Hits take a per-shard read lock only, so concurrent
+    /// sessions exponentiating under different joint keys don't serialize.
+    comb_cache: ShardedLru<EcPoint, EcComb>,
 }
 
 impl EcGroup {
@@ -177,7 +180,7 @@ impl EcGroup {
             a_is_minus3,
             element_len,
             gen_table: std::sync::OnceLock::new(),
-            comb_cache: std::sync::Mutex::new(Vec::new()),
+            comb_cache: ShardedLru::new(Self::COMB_CACHE_SHARDS, Self::COMB_CACHE_CAP),
         };
         let Element::Ec(base) = &g.generator else {
             unreachable!()
@@ -557,23 +560,16 @@ impl EcGroup {
 
     /// Returns (building and caching on first use) the comb table for `p`.
     ///
-    /// The cache holds the most recent [`Self::COMB_CACHE_CAP`] bases in
-    /// FIFO order — enough for the handful of long-lived public keys a
-    /// protocol run exponentiates by.
+    /// Backed by a sharded LRU: cache hits take a shard read lock only and
+    /// bump the entry's recency, so a hot joint key survives streams of
+    /// one-shot bases and concurrent sessions don't serialize on lookups.
     pub fn comb_for(&self, p: &EcPoint) -> std::sync::Arc<EcComb> {
-        let mut cache = self.comb_cache.lock().expect("comb cache poisoned");
-        if let Some((_, comb)) = cache.iter().find(|(base, _)| base == p) {
-            return comb.clone();
-        }
-        let comb = std::sync::Arc::new(self.build_comb(p));
-        if cache.len() >= Self::COMB_CACHE_CAP {
-            cache.remove(0);
-        }
-        cache.push((p.clone(), comb.clone()));
-        comb
+        self.comb_cache.get_or_insert_with(p, || self.build_comb(p))
     }
 
-    /// Capacity of the per-group comb-table cache.
+    /// Shards of the per-group comb-table cache.
+    pub const COMB_CACHE_SHARDS: usize = 4;
+    /// Per-shard capacity of the comb-table cache (LRU eviction).
     pub const COMB_CACHE_CAP: usize = 16;
 
     fn gen_comb(&self) -> &EcComb {

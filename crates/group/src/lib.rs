@@ -33,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod dl;
 mod ec;
 mod kind;
 mod scalar;
 mod traits;
 
+pub use cache::ShardedLru;
 pub use dl::{DlComb, DlGroup, DlParams};
 pub use ec::{CurveParams, EcComb, EcGroup, EcPoint};
 pub use kind::{GroupKind, SecurityLevel};

@@ -1,0 +1,77 @@
+//! Completion handles for submitted sessions.
+
+use ppgr_core::{Outcome, RunError};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One-shot result mailbox shared between a pool task and its handle.
+pub(crate) struct Slot {
+    result: Mutex<Option<Result<Outcome, RunError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Deposits the session result and wakes any joiner. Called exactly
+    /// once per slot (by the worker that finished or failed the session).
+    pub(crate) fn fill(&self, result: Result<Outcome, RunError>) {
+        let mut guard = self.result.lock().expect("slot mutex");
+        debug_assert!(guard.is_none(), "slot filled twice");
+        *guard = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Outcome, RunError> {
+        let mut guard = self.result.lock().expect("slot mutex");
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.ready.wait(guard).expect("slot condvar");
+        }
+    }
+
+    fn is_filled(&self) -> bool {
+        self.result.lock().expect("slot mutex").is_some()
+    }
+}
+
+/// A claim on the result of a session submitted to a
+/// [`Runtime`](crate::Runtime).
+///
+/// The session keeps running whether or not the handle is held; dropping
+/// the handle merely discards the result.
+pub struct SessionHandle {
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl SessionHandle {
+    /// Blocks until the session completes and returns its outcome.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`RunError`] the session itself produced (e.g.
+    /// [`RunError::MissingPopulation`] for a ranking submitted without a
+    /// population).
+    pub fn join(self) -> Result<Outcome, RunError> {
+        self.slot.wait()
+    }
+
+    /// Whether the session has already completed (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.slot.is_filled()
+    }
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}

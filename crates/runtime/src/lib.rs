@@ -1,0 +1,60 @@
+//! Multi-session throughput runtime.
+//!
+//! [`GroupRanking::run`](ppgr_core::GroupRanking::run) measures *latency*:
+//! one ranking session, every party's crypto fanned out over short-lived
+//! scoped threads. This crate measures *throughput*: many independent
+//! sessions executed concurrently on one **persistent work-stealing worker
+//! pool**, so a deployment serving many groups keeps every core busy
+//! without per-call thread churn.
+//!
+//! The key constraint is the paper's unlinkability argument: within a
+//! session, the shuffle-decrypt chain hop of party `P_{j+1}` may only start
+//! after `P_j`'s hop finished — pipelining hops *within* a session would
+//! expose pre-shuffle sets. Sessions, however, share nothing, so while
+//! session A's chain occupies one worker, the pool runs session B's hops on
+//! the rest. Each session is a resumable
+//! [`SessionMachine`](ppgr_core::SessionMachine) stepped at hop
+//! granularity; its seeded DRBG travels with it, so for *any* scheduling a
+//! session's transcript and ranks are bit-identical to its solo serial run
+//! (pinned by the workspace determinism proptests).
+//!
+//! # Example
+//!
+//! ```
+//! use ppgr_core::{FrameworkParams, Questionnaire};
+//! use ppgr_group::GroupKind;
+//! use ppgr_runtime::Runtime;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let runtime = Runtime::with_workers(2);
+//! let handles: Vec<_> = (0..3)
+//!     .map(|seed| {
+//!         let params = FrameworkParams::builder(Questionnaire::synthetic(1, 1))
+//!             .participants(3)
+//!             .top_k(1)
+//!             .attr_bits(4)
+//!             .weight_bits(2)
+//!             .mask_bits(4)
+//!             .group(GroupKind::Ecc160)
+//!             .seed(seed)
+//!             .build()
+//!             .expect("valid params");
+//!         runtime.submit(params)
+//!     })
+//!     .collect();
+//! for handle in handles {
+//!     let outcome = handle.join()?;
+//!     assert_eq!(outcome.ranks().len(), 3);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod handle;
+mod pool;
+
+pub use handle::SessionHandle;
+pub use pool::{Runtime, RuntimeConfig};

@@ -1,0 +1,336 @@
+//! The persistent work-stealing worker pool.
+//!
+//! Scheduling unit = one [`SessionMachine::step`] — key generation, bit
+//! encryption, one party's comparison batch, or one chain hop. A worker
+//! that steps a still-pending session pushes it back onto the *back* of
+//! its own deque and pops from the back too (LIFO), so the owner keeps
+//! driving the same session — warm caches, no gratuitous interleaving —
+//! while idle workers steal from the *front* of other workers' deques
+//! (FIFO), picking up whole sessions. The chain's sequential-hop invariant
+//! is preserved structurally: a session is owned by exactly one worker at
+//! a time, so its steps can never run concurrently with each other.
+
+use crate::handle::{SessionHandle, Slot};
+use ppgr_core::{FrameworkParams, GroupRanking, SessionMachine, SessionStatus, SortOptions};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long an idle worker sleeps between steal attempts. Short against a
+/// hop (milliseconds of exponentiations) but long enough not to spin.
+const IDLE_PARK: Duration = Duration::from_millis(1);
+
+/// Configuration for a [`Runtime`].
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub struct RuntimeConfig {
+    /// Worker threads in the pool (`0` = one per available core).
+    pub workers: usize,
+}
+
+impl RuntimeConfig {
+    fn resolve_workers(self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// A session plus the mailbox its outcome is delivered to.
+struct Task {
+    machine: SessionMachine,
+    slot: Arc<Slot>,
+}
+
+/// State shared by the submitters and every worker.
+struct Shared {
+    /// Global FIFO that `submit` feeds; workers drain it when their own
+    /// deque is empty.
+    injector: Mutex<VecDeque<Task>>,
+    /// Per-worker deques: owner pops LIFO (back), thieves pop FIFO (front).
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Parking lot for idle workers.
+    gate: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A persistent pool executing many ranking sessions concurrently.
+///
+/// Dropping the runtime drains it: workers finish every submitted session
+/// before exiting, so handles joined after the drop still resolve.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Starts a pool per `config`.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let workers = config.resolve_workers();
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            gate: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ppgr-runtime-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+        Runtime {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Starts a pool with exactly `workers` threads (`0` = one per core).
+    pub fn with_workers(workers: usize) -> Self {
+        Runtime::new(RuntimeConfig { workers })
+    }
+
+    /// The number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a session for `params` with its seeded random population —
+    /// the deployment shape: one call per group that wants a ranking.
+    ///
+    /// Each session runs single-threaded (`threads: 1`): under multi-session
+    /// load the pool itself supplies the parallelism, and per-party scoped
+    /// fan-out inside a session would only fight it for cores.
+    pub fn submit(&self, params: FrameworkParams) -> SessionHandle {
+        self.submit_ranking(GroupRanking::new(params).with_random_population())
+    }
+
+    /// Submits a fully configured orchestrator (custom population etc.).
+    ///
+    /// Configuration errors surface on [`SessionHandle::join`], keeping the
+    /// submit path non-blocking and uniform.
+    pub fn submit_ranking(&self, ranking: GroupRanking) -> SessionHandle {
+        let options = SortOptions {
+            threads: 1,
+            ..SortOptions::default()
+        };
+        let slot = Slot::new();
+        let handle = SessionHandle {
+            slot: Arc::clone(&slot),
+        };
+        match ranking.into_machine_with(options) {
+            Ok(machine) => self.inject(Task { machine, slot }),
+            Err(e) => slot.fill(Err(e)),
+        }
+        handle
+    }
+
+    /// Submits an already-built [`SessionMachine`] (full control over sort
+    /// options; a partially stepped machine resumes where it stood).
+    pub fn submit_session(&self, machine: SessionMachine) -> SessionHandle {
+        let slot = Slot::new();
+        let handle = SessionHandle {
+            slot: Arc::clone(&slot),
+        };
+        self.inject(Task { machine, slot });
+        handle
+    }
+
+    fn inject(&self, task: Task) {
+        self.shared
+            .injector
+            .lock()
+            .expect("injector mutex")
+            .push_back(task);
+        self.shared.wake.notify_all();
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new(RuntimeConfig::default())
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        if let Some(mut task) = find_task(shared, me) {
+            match task.machine.step() {
+                Ok(SessionStatus::Pending) => {
+                    // Back of our own deque: we pop LIFO, so we keep
+                    // driving this session unless a thief takes it first.
+                    shared.locals[me]
+                        .lock()
+                        .expect("local deque mutex")
+                        .push_back(task);
+                }
+                Ok(SessionStatus::Done) => {
+                    let Task { machine, slot } = task;
+                    let outcome = machine.into_outcome().expect("machine reported Done");
+                    slot.fill(Ok(outcome));
+                }
+                Err(e) => task.slot.fill(Err(e)),
+            }
+            continue;
+        }
+        // Nothing anywhere. Exit only on shutdown — and because a pending
+        // task is always either in some deque or held by the worker that
+        // will immediately re-enqueue it to its own deque, every submitted
+        // session still completes before the last busy worker exits
+        // (drain-on-shutdown).
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let guard = shared.gate.lock().expect("gate mutex");
+        // wait_timeout (not wait): a submit could slip in between our scan
+        // and the park, so cap the worst-case wakeup latency instead of
+        // relying on the notification alone.
+        let _ = shared
+            .wake
+            .wait_timeout(guard, IDLE_PARK)
+            .expect("gate condvar");
+    }
+}
+
+/// Own deque first (LIFO), then the global injector, then steal round-robin
+/// from the other workers' deque fronts.
+fn find_task(shared: &Shared, me: usize) -> Option<Task> {
+    if let Some(task) = shared.locals[me]
+        .lock()
+        .expect("local deque mutex")
+        .pop_back()
+    {
+        return Some(task);
+    }
+    if let Some(task) = shared.injector.lock().expect("injector mutex").pop_front() {
+        return Some(task);
+    }
+    let n = shared.locals.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        if let Some(task) = shared.locals[victim]
+            .lock()
+            .expect("local deque mutex")
+            .pop_front()
+        {
+            return Some(task);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppgr_core::{FrameworkParams, Questionnaire, RunError};
+    use ppgr_group::GroupKind;
+
+    fn small_params(n: usize, seed: u64) -> FrameworkParams {
+        FrameworkParams::builder(Questionnaire::synthetic(1, 2))
+            .participants(n)
+            .top_k(1)
+            .attr_bits(6)
+            .weight_bits(3)
+            .mask_bits(6)
+            .group(GroupKind::Ecc160)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pooled_sessions_match_solo_serial_runs() {
+        let runtime = Runtime::with_workers(3);
+        let handles: Vec<_> = (0..4)
+            .map(|i| runtime.submit(small_params(3, 1000 + i)))
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let pooled = handle.join().unwrap();
+            let solo = GroupRanking::new(small_params(3, 1000 + i as u64))
+                .with_random_population()
+                .run()
+                .unwrap();
+            assert_eq!(pooled.ranks(), solo.ranks());
+            assert_eq!(pooled.traffic(), solo.traffic());
+        }
+    }
+
+    #[test]
+    fn more_sessions_than_workers_all_complete() {
+        let runtime = Runtime::with_workers(2);
+        let handles: Vec<_> = (0..6)
+            .map(|i| runtime.submit(small_params(2, 50 + i)))
+            .collect();
+        for handle in handles {
+            let outcome = handle.join().unwrap();
+            assert_eq!(outcome.ranks().len(), 2);
+        }
+    }
+
+    #[test]
+    fn configuration_error_surfaces_on_join() {
+        let runtime = Runtime::with_workers(1);
+        // No population supplied → the session fails at machine creation.
+        let handle = runtime.submit_ranking(GroupRanking::new(small_params(3, 1)));
+        assert_eq!(handle.join().unwrap_err(), RunError::MissingPopulation);
+    }
+
+    #[test]
+    fn drop_drains_pending_sessions() {
+        let runtime = Runtime::with_workers(2);
+        let handles: Vec<_> = (0..3)
+            .map(|i| runtime.submit(small_params(2, 300 + i)))
+            .collect();
+        drop(runtime); // joins workers; they must finish everything first
+        for handle in handles {
+            assert!(handle.is_finished());
+            assert!(handle.join().is_ok());
+        }
+    }
+
+    #[test]
+    fn submit_session_resumes_a_prebuilt_machine() {
+        let mut machine = GroupRanking::new(small_params(3, 7))
+            .with_random_population()
+            .into_machine()
+            .unwrap();
+        // Step it part-way before handing it to the pool.
+        machine.step().unwrap();
+        machine.step().unwrap();
+        let runtime = Runtime::with_workers(1);
+        let pooled = runtime.submit_session(machine).join().unwrap();
+        let solo = GroupRanking::new(small_params(3, 7))
+            .with_random_population()
+            .run()
+            .unwrap();
+        assert_eq!(pooled.ranks(), solo.ranks());
+    }
+}

@@ -13,6 +13,9 @@
 //!   multiparty sorting protocol, security-game harness).
 //! * [`bigint`], [`group`], [`elgamal`], [`zkp`], [`dotprod`] — the
 //!   cryptographic substrates, all implemented from scratch.
+//! * [`runtime`] — the multi-session throughput runtime: a persistent
+//!   work-stealing worker pool executing many ranking sessions
+//!   concurrently with cross-session hop pipelining.
 //! * [`smc`] — the Shamir/BGW secret-sharing baseline (“SS framework”).
 //! * [`net`] — in-memory transports, traffic metrics, and the NS2-substitute
 //!   discrete-event network simulator.
@@ -60,5 +63,6 @@ pub use ppgr_group as group;
 pub use ppgr_hash as hash;
 pub use ppgr_net as net;
 pub use ppgr_paillier as paillier;
+pub use ppgr_runtime as runtime;
 pub use ppgr_smc as smc;
 pub use ppgr_zkp as zkp;

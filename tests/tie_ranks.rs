@@ -119,4 +119,45 @@ proptest! {
         let as_big: Vec<BigUint> = values.iter().map(|&v| BigUint::from(v)).collect();
         prop_assert_eq!(serial, plain_ranks(&as_big));
     }
+
+    /// N sessions interleaved on the throughput runtime are bit-identical
+    /// to the same sessions run solo and serially: same ranks, same wire
+    /// transcript (byte counts, rounds, labels). Each session owns its
+    /// seeded DRBG and its steps stay strictly sequential, so no worker
+    /// count or steal schedule can perturb a transcript.
+    #[test]
+    fn runtime_sessions_match_solo_serial_runs(
+        base_seed in 0u64..1_000,
+        workers in 1usize..5,
+        sessions in 2usize..5,
+    ) {
+        use ppgr::core::{FrameworkParams, GroupRanking, Questionnaire};
+        use ppgr::runtime::Runtime;
+
+        let params_for = |seed: u64| {
+            FrameworkParams::builder(Questionnaire::synthetic(1, 1))
+                .participants(3)
+                .top_k(1)
+                .attr_bits(4)
+                .weight_bits(2)
+                .mask_bits(4)
+                .group(GroupKind::Ecc160)
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        let runtime = Runtime::with_workers(workers);
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| runtime.submit(params_for(base_seed + i as u64)))
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let pooled = handle.join().unwrap();
+            let solo = GroupRanking::new(params_for(base_seed + i as u64))
+                .with_random_population()
+                .run()
+                .unwrap();
+            prop_assert_eq!(pooled.ranks(), solo.ranks());
+            prop_assert_eq!(pooled.traffic(), solo.traffic());
+        }
+    }
 }
