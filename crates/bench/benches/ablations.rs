@@ -42,7 +42,7 @@ fn bench_chain_mechanisms(c: &mut Criterion) {
         b.iter(|| {
             set.iter()
                 .map(|ct| scheme.partial_decrypt(ct, kp.secret_key()))
-                .count()
+                .collect::<Vec<_>>()
         });
     });
     g.bench_function("decrypt_randomize", |b| {

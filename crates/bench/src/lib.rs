@@ -18,6 +18,7 @@
 //!    through the discrete-event network simulator.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub mod calibrate;

@@ -1,0 +1,154 @@
+//! Best-effort constant-time limb operations.
+//!
+//! The secret-hygiene rule enforced by `ppgr-tidy` forbids `==`/`!=` on
+//! secret values: short-circuiting equality returns as soon as the first
+//! limb differs, so its timing leaks *where* two secrets diverge. The
+//! helpers here always walk every limb of both operands and fold the
+//! comparison through branch-free mask arithmetic, with
+//! [`core::hint::black_box`] applied to the accumulator each iteration to
+//! discourage the optimizer from re-introducing an early exit.
+//!
+//! Honesty note (also in `docs/ANALYSIS.md`): this workspace's big-integer
+//! arithmetic is *not* constant-time overall — limb vectors are
+//! normalized, so an operand's length already correlates with its
+//! magnitude, and multiplication/reduction take value-dependent time.
+//! `ct_eq`/`ct_select` remove the cheapest and most exploitable channel
+//! (equality short-circuits on attacker-queried comparisons) without
+//! claiming more than that; both still pad to the longer operand so equal
+//! values of different stored widths compare correctly.
+
+use crate::uint::BigUint;
+use core::hint::black_box;
+
+/// Constant-time limb-slice equality: always reads `max(a.len(), b.len())`
+/// limb pairs (missing limbs read as zero), regardless of where the first
+/// difference sits.
+pub fn ct_eq_limbs(a: &[u64], b: &[u64]) -> bool {
+    let n = a.len().max(b.len());
+    let mut acc: u64 = 0;
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        acc = black_box(acc | (x ^ y));
+    }
+    acc == 0
+}
+
+/// Branch-free limb select: `choice` picks `a` (true) or `b` (false).
+pub fn ct_select_limb(choice: bool, a: u64, b: u64) -> u64 {
+    // `choice as u64` is 0 or 1; wrapping negation turns 1 into all-ones.
+    let mask = (choice as u64).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+/// Branch-free slice select: returns `a` if `choice`, else `b`, touching
+/// every limb of both inputs either way. Shorter inputs read as
+/// zero-extended; the output has `max(a.len(), b.len())` limbs.
+pub fn ct_select_limbs(choice: bool, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len().max(b.len());
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        out.push(black_box(ct_select_limb(choice, x, y)));
+    }
+    out
+}
+
+impl BigUint {
+    /// Constant-time equality: reads every limb of both operands before
+    /// answering (see the module docs for exactly what is and is not
+    /// promised). Agrees with `==` on all inputs.
+    pub fn ct_eq(&self, other: &BigUint) -> bool {
+        ct_eq_limbs(self.limbs(), other.limbs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_picks_correct_side() {
+        assert_eq!(ct_select_limb(true, 7, 9), 7);
+        assert_eq!(ct_select_limb(false, 7, 9), 9);
+        assert_eq!(ct_select_limbs(true, &[1, 2], &[3]), vec![1, 2]);
+        assert_eq!(ct_select_limbs(false, &[1, 2], &[3]), vec![3, 0]);
+    }
+
+    #[test]
+    fn eq_handles_length_mismatch() {
+        assert!(ct_eq_limbs(&[5], &[5, 0, 0]));
+        assert!(!ct_eq_limbs(&[5], &[5, 1]));
+        assert!(ct_eq_limbs(&[], &[]));
+        assert!(!ct_eq_limbs(&[], &[1]));
+    }
+
+    /// Deterministic limb generator so the adversarial cases reproduce.
+    fn xorshift_limbs(seed: u64, n: usize) -> Vec<u64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eq_agrees_with_derived_eq_on_random_limbs() {
+        for seed in 1..50u64 {
+            let a = xorshift_limbs(seed, (seed % 7) as usize);
+            let b = xorshift_limbs(seed.wrapping_mul(31), (seed % 5) as usize);
+            let a_big = BigUint::from_limbs(a.clone());
+            let b_big = BigUint::from_limbs(b.clone());
+            assert_eq!(a_big.ct_eq(&b_big), a_big == b_big);
+            assert!(a_big.ct_eq(&a_big.clone()));
+            assert!(ct_eq_limbs(&a, &a));
+        }
+    }
+
+    #[test]
+    fn eq_catches_single_bit_difference_at_every_position() {
+        // The adversarial case for a short-circuiting comparison: operands
+        // that agree on a long prefix and differ in exactly one bit.
+        let base = xorshift_limbs(0xA5A5_A5A5, 6);
+        for limb in 0..base.len() {
+            for bit in [0u32, 1, 31, 63] {
+                let mut flipped = base.clone();
+                flipped[limb] ^= 1u64 << bit;
+                assert!(!ct_eq_limbs(&base, &flipped), "limb {limb} bit {bit}");
+                assert!(!ct_eq_limbs(&flipped, &base), "limb {limb} bit {bit}");
+            }
+        }
+        assert!(ct_eq_limbs(&base, &base.clone()));
+    }
+
+    #[test]
+    fn select_agrees_with_branching_select_on_random_limbs() {
+        for seed in 1..50u64 {
+            let a = xorshift_limbs(seed, (seed % 6) as usize);
+            let b = xorshift_limbs(seed.wrapping_mul(97), ((seed + 3) % 6) as usize);
+            let n = a.len().max(b.len());
+            let pad = |v: &[u64]| {
+                let mut p = v.to_vec();
+                p.resize(n, 0);
+                p
+            };
+            assert_eq!(ct_select_limbs(true, &a, &b), pad(&a));
+            assert_eq!(ct_select_limbs(false, &a, &b), pad(&b));
+        }
+    }
+
+    #[test]
+    fn select_handles_extreme_limb_patterns() {
+        for &x in &[0u64, 1, u64::MAX, u64::MAX - 1, 1u64 << 63] {
+            for &y in &[0u64, 1, u64::MAX, u64::MAX - 1, 1u64 << 63] {
+                assert_eq!(ct_select_limb(true, x, y), x);
+                assert_eq!(ct_select_limb(false, x, y), y);
+            }
+        }
+    }
+}

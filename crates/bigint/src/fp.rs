@@ -142,6 +142,19 @@ impl Fp {
         self.v.is_zero()
     }
 
+    /// Constant-time equality on the canonical representatives (see
+    /// [`crate::ct`] for what is and is not promised). Both elements are
+    /// expected to share a field; the context is not compared.
+    pub fn ct_eq(&self, other: &Fp) -> bool {
+        crate::ct::ct_eq_limbs(self.v.limbs(), other.v.limbs())
+    }
+
+    /// Best-effort scrub: zeroes the value's limbs, leaving the element
+    /// equal to `0`. Used by [`crate::Secret`]'s drop path.
+    pub fn wipe_value(&mut self) {
+        self.v.wipe_limbs();
+    }
+
     /// Interprets the element as a centered signed integer in
     /// `(-p/2, p/2]`, returning `None` if it does not fit in `i128`.
     ///

@@ -29,17 +29,22 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod arith;
+pub mod ct;
 mod fp;
 pub mod modular;
 mod montgomery;
 pub mod prime;
 mod random;
+pub mod secret;
 mod uint;
 
+pub use ct::{ct_eq_limbs, ct_select_limb, ct_select_limbs};
 pub use fp::{Fp, FpCtx};
 pub use montgomery::{MontElem, Montgomery};
 pub use random::{random_below, random_bits, random_nbit};
+pub use secret::{Secret, Wipe};
 pub use uint::{BigUint, ParseBigUintError};

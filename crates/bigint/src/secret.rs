@@ -1,0 +1,194 @@
+//! `Secret<T>`: a wrapper for secret-bearing values with a redacting
+//! `Debug` impl and a best-effort wipe on drop.
+//!
+//! The workspace forbids `unsafe`, so this cannot promise the compiler
+//! will not have copied the value elsewhere (moves, reallocation, spills
+//! to registers/stack are all out of our hands). What it does provide:
+//!
+//! * `{:?}` on a `Secret<T>` prints `Secret(<redacted>)` — composing with
+//!   the derive on any struct that embeds one, so secrets cannot leak
+//!   through logging by accident;
+//! * on drop, the inner value is overwritten via [`Wipe`] before its own
+//!   destructor runs, clearing the primary heap allocation (limb vectors,
+//!   byte buffers) in the common case;
+//! * access is explicit: call sites must write `.expose()`, which makes
+//!   secret reads grep-able and keeps them visible in review.
+//!
+//! There is deliberately no `into_inner`: once a value is a `Secret` it
+//! stays one, and consumers borrow what they need.
+
+use crate::uint::BigUint;
+
+/// Best-effort overwrite of a value with zeros / empty state.
+///
+/// Implementations must not allocate and must leave the value in a valid
+/// (if meaningless) state, since its own `Drop` still runs afterwards.
+pub trait Wipe {
+    /// Overwrite `self` in place.
+    fn wipe(&mut self);
+}
+
+impl Wipe for u64 {
+    fn wipe(&mut self) {
+        *self = 0;
+    }
+}
+
+impl Wipe for u32 {
+    fn wipe(&mut self) {
+        *self = 0;
+    }
+}
+
+impl Wipe for Vec<u64> {
+    fn wipe(&mut self) {
+        for limb in self.iter_mut() {
+            *limb = 0;
+        }
+        self.clear();
+    }
+}
+
+impl Wipe for Vec<u8> {
+    fn wipe(&mut self) {
+        for byte in self.iter_mut() {
+            *byte = 0;
+        }
+        self.clear();
+    }
+}
+
+impl Wipe for BigUint {
+    fn wipe(&mut self) {
+        self.wipe_limbs();
+    }
+}
+
+impl Wipe for crate::Fp {
+    fn wipe(&mut self) {
+        self.wipe_value();
+    }
+}
+
+impl<T: Wipe> Wipe for Option<T> {
+    fn wipe(&mut self) {
+        if let Some(inner) = self.as_mut() {
+            inner.wipe();
+        }
+        *self = None;
+    }
+}
+
+/// A secret-bearing value: redacted `Debug`, wiped on drop, exposed only
+/// through explicit accessors. See the module docs for the exact (and
+/// deliberately modest) guarantees.
+pub struct Secret<T: Wipe>(T);
+
+impl<T: Wipe> Secret<T> {
+    /// Wrap a value. The caller should treat the original binding as moved
+    /// (it is) and not keep copies around.
+    pub fn new(value: T) -> Self {
+        Secret(value)
+    }
+
+    /// Borrow the secret. Named so that secret reads stand out at call
+    /// sites and in `grep` output.
+    pub fn expose(&self) -> &T {
+        &self.0
+    }
+
+    /// Mutably borrow the secret (e.g. to rerandomize in place).
+    pub fn expose_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: Wipe> Drop for Secret<T> {
+    fn drop(&mut self) {
+        self.0.wipe();
+    }
+}
+
+impl<T: Wipe + Clone> Clone for Secret<T> {
+    fn clone(&self) -> Self {
+        Secret(self.0.clone())
+    }
+}
+
+impl<T: Wipe> core::fmt::Debug for Secret<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("Secret(<redacted>)")
+    }
+}
+
+impl<T: Wipe> From<T> for Secret<T> {
+    fn from(value: T) -> Self {
+        Secret::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_is_redacted() {
+        let s = Secret::new(0xdead_beef_u64);
+        let shown = format!("{s:?}");
+        assert_eq!(shown, "Secret(<redacted>)");
+        assert!(!shown.contains("dead"));
+    }
+
+    #[test]
+    fn expose_roundtrips() {
+        let mut s = Secret::new(vec![1u64, 2, 3]);
+        assert_eq!(s.expose(), &vec![1, 2, 3]);
+        s.expose_mut().push(4);
+        assert_eq!(s.expose().len(), 4);
+    }
+
+    #[test]
+    fn option_wipe_clears() {
+        let mut v: Option<Vec<u8>> = Some(vec![9, 9, 9]);
+        v.wipe();
+        assert!(v.is_none());
+    }
+
+    #[test]
+    fn drop_wipes_before_inner_drop() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        /// Records that `wipe` ran, so the test can observe the drop path.
+        #[derive(Clone)]
+        struct Probe {
+            wiped: Rc<Cell<bool>>,
+            payload: u64,
+        }
+        impl Wipe for Probe {
+            fn wipe(&mut self) {
+                self.payload = 0;
+                self.wiped.set(true);
+            }
+        }
+
+        let wiped = Rc::new(Cell::new(false));
+        {
+            let s = Secret::new(Probe {
+                wiped: Rc::clone(&wiped),
+                payload: 0xfeed,
+            });
+            assert_eq!(s.expose().payload, 0xfeed);
+            assert!(!wiped.get(), "wipe must not run while the Secret lives");
+        }
+        assert!(wiped.get(), "Secret::drop must call Wipe::wipe");
+    }
+
+    #[test]
+    fn wipe_zeroes_biguint_limbs() {
+        let mut n = BigUint::from_limbs(vec![0xdead, 0xbeef, 0x1234]);
+        n.wipe();
+        assert!(n.is_zero());
+        assert!(n.limbs().is_empty());
+    }
+}

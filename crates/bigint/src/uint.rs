@@ -70,6 +70,16 @@ impl BigUint {
         &self.limbs
     }
 
+    /// Overwrites every limb with zero and empties the vector, leaving the
+    /// value equal to `0`. Best-effort scrubbing used by
+    /// [`crate::Secret`]'s drop path.
+    pub fn wipe_limbs(&mut self) {
+        for limb in self.limbs.iter_mut() {
+            *limb = 0;
+        }
+        self.limbs.clear();
+    }
+
     pub(crate) fn normalize(&mut self) {
         while self.limbs.last() == Some(&0) {
             self.limbs.pop();

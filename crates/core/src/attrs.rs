@@ -96,7 +96,9 @@ impl Questionnaire {
         for i in 0..greater_than {
             b = b.attribute(format!("gt_{i}"), AttributeKind::GreaterThan);
         }
-        b.build().expect("synthetic questionnaire is valid")
+        b.build()
+            // tidy:allow(panic) — builder fed only statically well-formed attributes
+            .expect("synthetic questionnaire is valid")
     }
 
     /// Total dimension `m`.

@@ -86,13 +86,19 @@ pub fn run_distributed(
     let handles = LocalMesh::new::<bytes::Bytes>(n + 1);
     let mut handles: Vec<Option<Net>> = handles.into_iter().map(Some).collect();
 
-    let initiator_net = handles[0].take().expect("initiator handle");
+    let initiator_net = match handles[0].take() {
+        Some(h) => h,
+        None => return err(0, "missing initiator handle"),
+    };
     let params0 = params.clone();
     let initiator = thread::spawn(move || initiator_thread(params0, profile, initiator_net));
 
     let mut participants = Vec::with_capacity(n);
     for (idx, info) in infos.into_iter().enumerate() {
-        let net = handles[idx + 1].take().expect("participant handle");
+        let net = match handles[idx + 1].take() {
+            Some(h) => h,
+            None => return err(idx + 1, "missing participant handle"),
+        };
         let params_j = params.clone();
         participants.push(thread::spawn(move || {
             participant_thread(params_j, info, net)
@@ -239,12 +245,12 @@ fn participant_thread(
     }
     let (state, msg1) = proto.sender_round1(&w_vec, &mut rng);
     let mut w_out = Writer::new();
-    w_out.put_len(msg1.qx.len());
+    wire_try!(me, w_out.put_len(msg1.qx.len()));
     for row in &msg1.qx {
-        w_out.put_fp_vec(row);
+        wire_try!(me, w_out.put_fp_vec(row));
     }
-    w_out.put_fp_vec(&msg1.c_prime);
-    w_out.put_fp_vec(&msg1.g);
+    wire_try!(me, w_out.put_fp_vec(&msg1.c_prime));
+    wire_try!(me, w_out.put_fp_vec(&msg1.g));
     wire_try!(me, net.send(0, w_out.finish()));
 
     let bytes = wire_try!(me, net.recv_from(0));
@@ -252,10 +258,10 @@ fn participant_thread(
     let a = wire_try!(me, r.fp(&field));
     let hh = wire_try!(me, r.fp(&field));
     wire_try!(me, r.done());
-    let beta_signed = state
-        .finish(&Round2Message { a, h: hh })
-        .to_i128_centered()
-        .expect("masked gain fits i128");
+    let beta_signed = match state.finish(&Round2Message { a, h: hh }).to_i128_centered() {
+        Some(v) => v,
+        None => return err(me, "masked gain out of i128 range"),
+    };
     let beta = to_unsigned(beta_signed, l);
 
     // ---- Phase 2, step 5: keys + proofs of knowledge. ------------------
@@ -338,7 +344,7 @@ fn participant_thread(
     let my_bits = encrypt_bits(&scheme, joint.public_key(), &beta, l, &mut rng);
     {
         let mut w_out = Writer::new();
-        w_out.put_ciphertexts(&group, &my_bits);
+        wire_try!(me, w_out.put_ciphertexts(&group, &my_bits));
         wire_try!(me, broadcast_participants(&net, n, w_out.finish()));
     }
     let mut all_bits: Vec<Vec<Ciphertext>> = vec![Vec::new(); n + 1];
@@ -379,11 +385,11 @@ fn participant_thread(
     };
     let encode_sets = |sets: &[Vec<Ciphertext>]| {
         let mut w_out = Writer::new();
-        w_out.put_len(sets.len());
+        w_out.put_len(sets.len())?;
         for set in sets {
-            w_out.put_ciphertexts(&group, set);
+            w_out.put_ciphertexts(&group, set)?;
         }
-        w_out.finish()
+        Ok::<_, crate::wire::WireError>(w_out.finish())
     };
     let my_final_set: Vec<Ciphertext>;
     if me == 1 {
@@ -398,7 +404,8 @@ fn participant_thread(
         }
         process(&mut sets, &mut rng);
         if n >= 2 {
-            wire_try!(me, net.send(2, encode_sets(&sets)));
+            let encoded = wire_try!(me, encode_sets(&sets));
+            wire_try!(me, net.send(2, encoded));
         }
         // My set comes back from P_n at the end.
         let bytes = wire_try!(me, net.recv_from(n));
@@ -408,7 +415,7 @@ fn participant_thread(
     } else {
         // Send my comparison set to P₁ first.
         let mut w_out = Writer::new();
-        w_out.put_ciphertexts(&group, &my_set);
+        wire_try!(me, w_out.put_ciphertexts(&group, &my_set));
         wire_try!(me, net.send(1, w_out.finish()));
         // Receive V from my predecessor, process, forward.
         let bytes = wire_try!(me, net.recv_from(me - 1));
@@ -424,7 +431,8 @@ fn participant_thread(
         wire_try!(me, r.done());
         process(&mut sets, &mut rng);
         if me < n {
-            wire_try!(me, net.send(me + 1, encode_sets(&sets)));
+            let encoded = wire_try!(me, encode_sets(&sets));
+            wire_try!(me, net.send(me + 1, encoded));
             // Own set returns from P_n.
             let bytes = wire_try!(me, net.recv_from(n));
             let mut r = Reader::new(bytes);
@@ -434,10 +442,13 @@ fn participant_thread(
             // I am P_n: return every set to its owner; keep mine.
             for owner in 1..n {
                 let mut w_out = Writer::new();
-                w_out.put_ciphertexts(&group, &sets[owner - 1]);
+                wire_try!(me, w_out.put_ciphertexts(&group, &sets[owner - 1]));
                 wire_try!(me, net.send(owner, w_out.finish()));
             }
-            my_final_set = sets.pop().expect("own set present");
+            my_final_set = match sets.pop() {
+                Some(set) => set,
+                None => return err(me, "chain vector lost the final set"),
+            };
         }
     }
 
@@ -452,7 +463,7 @@ fn participant_thread(
     let mut w_out = Writer::new();
     if rank <= params.top_k() {
         w_out.put_u64(rank as u64);
-        w_out.put_len(info.values().len());
+        wire_try!(me, w_out.put_len(info.values().len()));
         for &v in info.values() {
             w_out.put_u64(v);
         }

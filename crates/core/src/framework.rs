@@ -23,6 +23,9 @@ pub enum RunError {
     Vector(VectorError),
     /// The sorting phase failed.
     Sort(SortError),
+    /// A session-machine invariant was violated (phase state out of sync).
+    /// Reaching this indicates a bug in the driver, not bad input.
+    Internal(&'static str),
 }
 
 impl fmt::Display for RunError {
@@ -31,6 +34,7 @@ impl fmt::Display for RunError {
             RunError::MissingPopulation => write!(f, "no population supplied"),
             RunError::Vector(e) => write!(f, "invalid population vector: {e}"),
             RunError::Sort(e) => write!(f, "sorting phase failed: {e}"),
+            RunError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }
@@ -185,7 +189,9 @@ impl GroupRanking {
     pub fn run(self) -> Result<Outcome, RunError> {
         let mut machine = self.into_machine()?;
         while machine.step()? == SessionStatus::Pending {}
-        Ok(machine.into_outcome().expect("driven to completion"))
+        machine
+            .into_outcome()
+            .ok_or(RunError::Internal("machine driven to Done but no outcome"))
     }
 
     /// Converts the configured orchestrator into a resumable
@@ -330,15 +336,18 @@ impl SessionMachine {
                 Ok(SessionStatus::Pending)
             }
             SessionPhase::Sort => {
-                let sort = self.sort.as_mut().expect("sort machine in Sort phase");
+                let sort = self
+                    .sort
+                    .as_mut()
+                    .ok_or(RunError::Internal("no sort machine in Sort phase"))?;
                 let status = sort.step(&mut self.rng, &self.log, &mut self.sort_timer)?;
                 if status == SortStatus::Done {
                     let (sort_out, _trace) = self
                         .sort
                         .take()
-                        .expect("sort machine in Sort phase")
+                        .ok_or(RunError::Internal("no sort machine in Sort phase"))?
                         .into_result()
-                        .expect("sort machine reported Done");
+                        .ok_or(RunError::Internal("sort machine Done without result"))?;
                     self.ranks = Some(sort_out.ranks);
                     self.phase = SessionPhase::Submit;
                 }
@@ -346,7 +355,10 @@ impl SessionMachine {
             }
             SessionPhase::Submit => {
                 // Phase 3: submission + verification.
-                let ranks = self.ranks.take().expect("ranks after Sort phase");
+                let ranks = self
+                    .ranks
+                    .take()
+                    .ok_or(RunError::Internal("no ranks after Sort phase"))?;
                 let submissions = honest_submissions(&self.infos, &ranks, self.params.top_k());
                 let report = verify_submissions(
                     self.params.questionnaire(),
@@ -359,6 +371,10 @@ impl SessionMachine {
                 );
                 debug_assert!(report.is_clean(), "honest run must verify cleanly");
 
+                let gain_output = self
+                    .gain_out
+                    .take()
+                    .ok_or(RunError::Internal("no gain output after Gain phase"))?;
                 let n = self.params.participants();
                 let per_party: Vec<Duration> = (0..=n)
                     .map(|p| {
@@ -379,7 +395,7 @@ impl SessionMachine {
                     top_k: report.accepted,
                     traffic: self.log.summary(),
                     timings,
-                    gain_output: self.gain_out.take().expect("gain output after Gain phase"),
+                    gain_output,
                 });
                 self.phase = SessionPhase::Done;
                 Ok(SessionStatus::Done)

@@ -86,6 +86,7 @@ pub fn run_gain_phase<R: Rng + ?Sized>(
     let initiator_v: Vec<Fp> = timer.time(0, || {
         let mul = |a: i128, b: i128| {
             a.checked_mul(b)
+                // tidy:allow(panic) — params' bit-length calculus bounds every term far below i128::MAX
                 .expect("initiator vector term exceeds exact i128 gain arithmetic")
         };
         let mut v = Vec::with_capacity(m + t);
@@ -142,10 +143,12 @@ pub fn run_gain_phase<R: Rng + ?Sized>(
             let beta = state.finish(&msg2);
             let signed = beta
                 .to_i128_centered()
+                // tidy:allow(panic) — params' bit-length calculus keeps masked gains inside i128
                 .expect("masked gain fits the bit-length calculus");
             // Sanity versus the local plaintext model.
             debug_assert_eq!(
                 signed,
+                // tidy:allow(secret-hygiene) — debug-only self-check against the plaintext model; compiled out of release builds
                 rho as i128 * partial_gain(q, profile, info) + rho_j as i128
             );
             signed
@@ -176,6 +179,7 @@ pub fn to_unsigned(value: i128, l: usize) -> BigUint {
     let offset = 1i128 << (l - 1);
     let shifted = value
         .checked_add(offset)
+        // tidy:allow(panic) — documented panicking contract: unreachable while the params calculus holds
         .unwrap_or_else(|| panic!("masked gain {value} exceeds {l}-bit budget"));
     assert!(
         (0..(1i128 << l)).contains(&shifted),

@@ -77,6 +77,7 @@ pub fn unlinkability_attack(
             ..SortOptions::default()
         };
         let (_out, trace) = run_sort(group, &values, l, options, &mut rng, &log, &mut timer, 0)
+            // tidy:allow(panic) — game harness drives fixed valid setups, not attacker input
             .expect("valid game setup");
 
         // The colluder is party 3 (index 2); she owns her secret key.
@@ -85,6 +86,7 @@ pub fn unlinkability_attack(
         let zero_pos = set
             .iter()
             .position(|ct| scheme.decrypts_to_zero(own_key, ct))
+            // tidy:allow(panic) — game fixture guarantees exactly one larger opponent value
             .expect("exactly one opponent beats the colluder");
         // Opponent order for P₃ was [P₁, P₂]: block = zero_pos / l.
         let guess_b = zero_pos / l != 0; // zero in P₂'s block → P₂ holds v_hi → b = true
@@ -112,6 +114,7 @@ pub fn value_recovery_rate(group: &Group, l: usize, randomize: bool, seed: u64) 
         ..SortOptions::default()
     };
     let (_out, trace) = run_sort(group, &values, l, options, &mut rng, &log, &mut timer, 0)
+        // tidy:allow(panic) — game harness drives fixed valid setups, not attacker input
         .expect("valid game setup");
 
     let own_key = trace.keys[2].secret_key();
@@ -197,6 +200,7 @@ pub fn interval_invariance_holds(group: &Group, l: usize, seed: u64) -> bool {
                 &mut timer,
                 0,
             )
+            // tidy:allow(panic) — game harness drives fixed valid setups, not attacker input
             .expect("valid game setup");
             // Colluders are parties 2 and 3: observe their ranks and the
             // zero counts of their returned sets.

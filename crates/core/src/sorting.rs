@@ -33,6 +33,7 @@ use rand::Rng;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+// tidy:allow(determinism) — wall-clock used for timing accounting only, never protocol state
 use std::time::{Duration, Instant};
 
 /// Errors from the sorting protocol.
@@ -52,6 +53,9 @@ pub enum SortError {
         /// The accused prover (1-based).
         party: usize,
     },
+    /// A sort-machine invariant was violated (state out of sync).
+    /// Reaching this indicates a bug in the driver, not bad input.
+    Internal(&'static str),
 }
 
 impl fmt::Display for SortError {
@@ -64,6 +68,7 @@ impl fmt::Display for SortError {
             SortError::ProofRejected { party } => {
                 write!(f, "party {party} failed the proof of key knowledge")
             }
+            SortError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }
@@ -132,6 +137,7 @@ fn parallel_map<T: Sync, U: Send>(
 ) -> (Vec<U>, Duration) {
     let workers = workers.clamp(1, items.len().max(1));
     if workers == 1 {
+        // tidy:allow(determinism) — wall-clock used for timing accounting only, never protocol state
         let start = Instant::now();
         let out: Vec<U> = items.iter().map(&f).collect();
         return (out, start.elapsed());
@@ -143,6 +149,7 @@ fn parallel_map<T: Sync, U: Send>(
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    // tidy:allow(determinism) — wall-clock used for timing accounting only, never protocol state
                     let start = Instant::now();
                     let mut out = Vec::new();
                     loop {
@@ -157,7 +164,13 @@ fn parallel_map<T: Sync, U: Send>(
             })
             .collect();
         for handle in handles {
-            let (part, spent) = handle.join().expect("sort worker panicked");
+            // A worker that panicked (e.g. an assert in `f`) must not be
+            // swallowed into a bogus result; re-raise its payload on the
+            // caller's thread instead.
+            let (part, spent) = match handle.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             indexed.extend(part);
             cpu += spent;
         }
@@ -230,7 +243,9 @@ pub fn run_sort<R: Rng + ?Sized>(
 ) -> Result<(SortOutcome, SortTrace), SortError> {
     let mut machine = SortMachine::new(group, values, l, options, round_base)?;
     while machine.step(rng, log, timer)? == SortStatus::Pending {}
-    Ok(machine.into_result().expect("driven to completion"))
+    machine
+        .into_result()
+        .ok_or(SortError::Internal("machine driven to Done but no result"))
 }
 
 /// What a [`SortMachine::step`] call left behind.
@@ -511,6 +526,7 @@ impl SortMachine {
         let party = idx + 1;
         let opponents: Vec<usize> = (0..self.n).filter(|&i| i != idx).collect();
         let value = &self.values[idx];
+        // tidy:allow(determinism) — wall-clock used for timing accounting only, never protocol state
         let start = Instant::now();
         let (chunks, cpu) = parallel_map(&opponents, self.workers, |&opp| {
             compare_encrypted(&self.scheme, value, &self.encrypted_bits[opp], self.l)
@@ -547,7 +563,9 @@ impl SortMachine {
         timer: &mut PartyTimer,
     ) {
         let party = idx + 1;
+        // tidy:allow(determinism) — wall-clock used for timing accounting only, never protocol state
         let start = Instant::now();
+        // tidy:allow(determinism) — wall-clock used for timing accounting only, never protocol state
         let draw_start = Instant::now();
         // (owner, randomizers, shuffle permutation) per foreign set.
         let jobs: Vec<(usize, Vec<Scalar>, Option<Vec<usize>>)> = self
@@ -655,6 +673,7 @@ impl SortMachine {
         let mut ranks = Vec::with_capacity(n);
         for idx in 0..n {
             let party = idx + 1;
+            // tidy:allow(determinism) — wall-clock used for timing accounting only, never protocol state
             let start = Instant::now();
             let secret = self.keys[idx].secret_key();
             let (flags, cpu) = parallel_map(&self.sets[idx], self.workers, |ct| {

@@ -50,9 +50,15 @@ impl Writer {
     }
 
     /// Appends a `u32` length/count.
-    pub fn put_len(&mut self, len: usize) {
-        self.buf
-            .put_u32(u32::try_from(len).expect("length fits u32"));
+    ///
+    /// # Errors
+    ///
+    /// Fails if `len` exceeds `u32::MAX` (no protocol message is remotely
+    /// that large; a count this big means the caller is corrupt).
+    pub fn put_len(&mut self, len: usize) -> Result<(), WireError> {
+        let len = u32::try_from(len).map_err(|_| WireError::new("length exceeds u32"))?;
+        self.buf.put_u32(len);
+        Ok(())
     }
 
     /// Appends one field element (32-byte big-endian).
@@ -64,11 +70,16 @@ impl Writer {
     }
 
     /// Appends a slice of field elements, length-prefixed.
-    pub fn put_fp_vec(&mut self, vs: &[Fp]) {
-        self.put_len(vs.len());
+    ///
+    /// # Errors
+    ///
+    /// Fails if the element count does not fit the `u32` prefix.
+    pub fn put_fp_vec(&mut self, vs: &[Fp]) -> Result<(), WireError> {
+        self.put_len(vs.len())?;
         for v in vs {
             self.put_fp(v);
         }
+        Ok(())
     }
 
     /// Appends a group element (fixed length for the group).
@@ -92,11 +103,16 @@ impl Writer {
     }
 
     /// Appends a ciphertext vector, length-prefixed.
-    pub fn put_ciphertexts(&mut self, group: &Group, cts: &[Ciphertext]) {
-        self.put_len(cts.len());
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ciphertext count does not fit the `u32` prefix.
+    pub fn put_ciphertexts(&mut self, group: &Group, cts: &[Ciphertext]) -> Result<(), WireError> {
+        self.put_len(cts.len())?;
         for ct in cts {
             self.put_ciphertext(group, ct);
         }
+        Ok(())
     }
 
     /// Appends a `u64`.
@@ -220,7 +236,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let vs: Vec<Fp> = (0..5).map(|_| field.random(&mut rng)).collect();
         let mut w = Writer::new();
-        w.put_fp_vec(&vs);
+        w.put_fp_vec(&vs).unwrap();
         let mut r = Reader::new(w.finish());
         assert_eq!(r.fp_vec(&field).unwrap(), vs);
         r.done().unwrap();
@@ -238,7 +254,8 @@ mod tests {
         let mut w = Writer::new();
         w.put_element(&group, kp.public_key());
         w.put_scalar(&group, &s);
-        w.put_ciphertexts(&group, &[ct.clone()]);
+        w.put_ciphertexts(&group, std::slice::from_ref(&ct))
+            .unwrap();
         w.put_u64(42);
         let mut r = Reader::new(w.finish());
         assert_eq!(&r.element(&group).unwrap(), kp.public_key());

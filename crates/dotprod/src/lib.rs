@@ -44,9 +44,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
-use ppgr_bigint::{BigUint, Fp, FpCtx};
+use ppgr_bigint::{BigUint, Fp, FpCtx, Secret};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -56,6 +57,7 @@ const FIELD_PRIME_HEX: &str = "fffffffffffffffffffffffffffffffffffffffffffffffff
 
 /// The default protocol field `Z_{2^256 − 189}`.
 pub fn default_field() -> Arc<FpCtx> {
+    // tidy:allow(panic) — parses a vetted compile-time prime constant; exercised by every test
     FpCtx::new(BigUint::from_hex_str(FIELD_PRIME_HEX).expect("vetted constant"))
 }
 
@@ -87,21 +89,38 @@ pub struct Round2Message {
 }
 
 /// Sender-side secret state between rounds.
-#[derive(Debug)]
+///
+/// The blinding factors are the sender's only protection for `w`; they are
+/// held in [`Secret`] wrappers so `{:?}` redacts them and the limbs are
+/// wiped (best-effort) when the state is dropped.
 pub struct SenderState {
     /// `b = Σ_i Q_{ir}` (column-`r` sum of `Q`).
-    b: Fp,
+    b: Secret<Fp>,
     /// Blinding factors.
-    r2: Fp,
-    r3: Fp,
+    r2: Secret<Fp>,
+    r3: Secret<Fp>,
+}
+
+impl std::fmt::Debug for SenderState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SenderState")
+            .field("b", &self.b)
+            .field("r2", &self.r2)
+            .field("r3", &self.r3)
+            .finish()
+    }
 }
 
 impl SenderState {
     /// Completes the protocol: `β = (a + h·R₂/R₃) / b = w·v + α`.
     pub fn finish(self, msg: &Round2Message) -> Fp {
-        let ratio = &self.r2 * &self.r3.inv().expect("R₃ is sampled nonzero");
+        let r2 = self.r2.expose();
+        let r3 = self.r3.expose();
+        // tidy:allow(panic) — R₃ is drawn with random_nonzero, so inversion cannot fail
+        let ratio = r2 * &r3.inv().expect("R₃ is sampled nonzero");
         let numerator = &msg.a + &(&msg.h * &ratio);
-        numerator * self.b.inv().expect("b is sampled nonzero")
+        // tidy:allow(panic) — Q is resampled in round 1 until b ≠ 0, so inversion cannot fail
+        numerator * self.b.expose().inv().expect("b is sampled nonzero")
     }
 }
 
@@ -232,7 +251,14 @@ impl DotProduct {
             .collect();
         let g: Vec<Fp> = fvec.iter().map(|fi| &r1r3 * fi).collect();
 
-        (SenderState { b, r2, r3 }, Round1Message { qx, c_prime, g })
+        (
+            SenderState {
+                b: Secret::new(b),
+                r2: Secret::new(r2),
+                r3: Secret::new(r3),
+            },
+            Round1Message { qx, c_prime, g },
+        )
     }
 
     /// Receiver (initiator) round 2: forms `v′ = [v, α]` and answers with

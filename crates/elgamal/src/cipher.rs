@@ -285,13 +285,14 @@ impl ExpElGamal {
             .flat_map(|(ct, r)| [(&ct.alpha, r), (&ct.beta, r)])
             .collect();
         let mut exps = self.group.exp_batch(&pairs).into_iter();
-        cts.iter()
-            .map(|_| {
-                let alpha = exps.next().expect("two elements per ciphertext");
-                let beta = exps.next().expect("two elements per ciphertext");
-                Ciphertext { alpha, beta }
-            })
-            .collect()
+        let mut out = Vec::with_capacity(cts.len());
+        // `exp_batch` returns exactly one element per input pair, and two
+        // pairs were pushed per ciphertext, so the iterator yields pairs
+        // until it is exhausted.
+        while let (Some(alpha), Some(beta)) = (exps.next(), exps.next()) {
+            out.push(Ciphertext { alpha, beta });
+        }
+        out
     }
 
     /// Fused `randomize_plaintext(partial_decrypt(a, x), r)` — one shuffle

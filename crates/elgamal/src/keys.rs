@@ -1,13 +1,27 @@
 //! Key material: single key pairs and distributed joint keys.
 
+use ppgr_bigint::Secret;
 use ppgr_group::{Element, Group, Scalar};
 use rand::Rng;
+use std::fmt;
 
 /// An ElGamal key pair `(x, y = g^x)`.
-#[derive(Clone, Debug)]
+///
+/// The secret exponent is held in a [`Secret`] wrapper: `{:?}` on a
+/// `KeyPair` redacts it, and the limbs are wiped (best-effort) on drop.
+#[derive(Clone)]
 pub struct KeyPair {
-    secret: Scalar,
+    secret: Secret<Scalar>,
     public: Element,
+}
+
+impl fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KeyPair")
+            .field("secret", &self.secret)
+            .field("public", &self.public)
+            .finish()
+    }
 }
 
 impl KeyPair {
@@ -15,19 +29,25 @@ impl KeyPair {
     pub fn generate<R: Rng + ?Sized>(group: &Group, rng: &mut R) -> Self {
         let secret = group.random_nonzero_scalar(rng);
         let public = group.exp_gen(&secret);
-        KeyPair { secret, public }
+        KeyPair {
+            secret: Secret::new(secret),
+            public,
+        }
     }
 
     /// Rebuilds a key pair from a known secret (used by test harnesses and
     /// the security-game simulator, which extracts colluder keys).
     pub fn from_secret(group: &Group, secret: Scalar) -> Self {
         let public = group.exp_gen(&secret);
-        KeyPair { secret, public }
+        KeyPair {
+            secret: Secret::new(secret),
+            public,
+        }
     }
 
     /// The secret exponent `x`.
     pub fn secret_key(&self) -> &Scalar {
-        &self.secret
+        self.secret.expose()
     }
 
     /// The public element `y = g^x`.
@@ -121,5 +141,19 @@ mod tests {
     fn empty_shares_panic() {
         let group = GroupKind::Ecc160.group();
         let _ = JointKey::combine(&group, &[]);
+    }
+
+    #[test]
+    fn debug_redacts_secret_key() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let dump = format!("{:?}", kp);
+        assert!(dump.contains("Secret(<redacted>)"), "got: {dump}");
+        let secret_digits = kp.secret_key().to_string();
+        assert!(
+            !dump.contains(&secret_digits),
+            "secret scalar value leaked through Debug: {dump}"
+        );
     }
 }

@@ -21,10 +21,11 @@
 //! Values are handed out as `Arc<V>`, so an evicted table stays alive for
 //! whoever is still using it.
 
+use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 struct Entry<K, V> {
     key: K,
@@ -76,13 +77,13 @@ impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
     pub fn get_or_insert_with(&self, key: &K, build: impl FnOnce() -> V) -> Arc<V> {
         let shard = self.shard_for(key);
         {
-            let guard = shard.read().expect("lru shard poisoned");
+            let guard = shard.read();
             if let Some(e) = guard.iter().find(|e| &e.key == key) {
                 e.stamp.store(self.tick(), Ordering::Relaxed);
                 return e.value.clone();
             }
         }
-        let mut guard = shard.write().expect("lru shard poisoned");
+        let mut guard = shard.write();
         // Another thread may have inserted while we waited for the lock.
         if let Some(e) = guard.iter().find(|e| &e.key == key) {
             e.stamp.store(self.tick(), Ordering::Relaxed);
@@ -90,13 +91,14 @@ impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
         }
         let value = Arc::new(build());
         if guard.len() >= self.cap_per_shard {
-            let oldest = guard
+            if let Some(oldest) = guard
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
                 .map(|(i, _)| i)
-                .expect("full shard is non-empty");
-            guard.swap_remove(oldest);
+            {
+                guard.swap_remove(oldest);
+            }
         }
         guard.push(Entry {
             key: key.clone(),
@@ -108,19 +110,12 @@ impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
 
     /// Whether `key` is currently cached (does not bump recency).
     pub fn contains(&self, key: &K) -> bool {
-        self.shard_for(key)
-            .read()
-            .expect("lru shard poisoned")
-            .iter()
-            .any(|e| &e.key == key)
+        self.shard_for(key).read().iter().any(|e| &e.key == key)
     }
 
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("lru shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Whether the cache is empty.

@@ -103,7 +103,9 @@ impl DlGroup {
             DlParams::Modp2048 => MODP_2048,
             DlParams::Modp3072 => MODP_3072,
         };
+        // tidy:allow(panic) — parses a vetted compile-time prime constant; exercised by every test
         let p = BigUint::from_hex_str(hex).expect("vetted constant");
+        // tidy:allow(panic) — p is a vetted 1024+-bit prime, so p − 1 cannot underflow
         let q = p.checked_sub(&BigUint::one()).expect("p > 1").shr(1);
         let element_len = p.bits().div_ceil(8);
         let mont = Montgomery::new(p.clone());

@@ -1,6 +1,6 @@
 //! Exponent scalars modulo the group order `q`.
 
-use ppgr_bigint::BigUint;
+use ppgr_bigint::{BigUint, Wipe};
 use std::fmt;
 
 /// An exponent in `Z_q`, where `q` is the order of the enclosing [`Group`].
@@ -21,6 +21,19 @@ impl Scalar {
     /// Returns `true` for the zero scalar.
     pub fn is_zero(&self) -> bool {
         self.0.is_zero()
+    }
+
+    /// Constant-time equality: reads every limb of both scalars before
+    /// answering (see `ppgr_bigint::ct`). Use this instead of `==` when
+    /// either operand is secret (key shares, Schnorr witnesses, masks).
+    pub fn ct_eq(&self, other: &Scalar) -> bool {
+        ppgr_bigint::ct_eq_limbs(self.0.limbs(), other.0.limbs())
+    }
+}
+
+impl Wipe for Scalar {
+    fn wipe(&mut self) {
+        self.0.wipe_limbs();
     }
 }
 

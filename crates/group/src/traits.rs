@@ -168,6 +168,7 @@ impl Group {
     /// Panics if an element belongs to the other group family; use
     /// [`Group::try_op`] for untrusted input.
     pub fn op(&self, a: &Element, b: &Element) -> Element {
+        // tidy:allow(panic) — documented panicking twin of try_op; protocol paths use try_* on untrusted input
         self.try_op(a, b).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -192,6 +193,7 @@ impl Group {
     /// Panics if the element belongs to the other group family; use
     /// [`Group::try_inv`] for untrusted input.
     pub fn inv(&self, a: &Element) -> Element {
+        // tidy:allow(panic) — documented panicking twin of try_inv; protocol paths use try_* on untrusted input
         self.try_inv(a).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -221,6 +223,7 @@ impl Group {
     /// Panics if the element belongs to the other group family; use
     /// [`Group::try_exp`] for untrusted input.
     pub fn exp(&self, a: &Element, s: &Scalar) -> Element {
+        // tidy:allow(panic) — documented panicking twin of try_exp; protocol paths use try_* on untrusted input
         self.try_exp(a, s).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -238,6 +241,7 @@ impl Group {
             (GroupImpl::Ec(g), Element::Ec(a), Element::Ec(b)) => {
                 Element::Ec(g.scalar_mul_dual(a, &s.0, b, &t.0))
             }
+            // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
             _ => panic!(
                 "{}",
                 GroupError::FamilyMismatch {
@@ -255,6 +259,7 @@ impl Group {
                 .iter()
                 .map(|(a, s, b, t)| match (a, b) {
                     (Element::Dl(a), Element::Dl(b)) => Element::Dl(g.pow_dual(a, &s.0, b, &t.0)),
+                    // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
                     _ => panic!(
                         "{}",
                         GroupError::FamilyMismatch {
@@ -269,6 +274,7 @@ impl Group {
                     .map(|(a, s, b, t)| match (a, b) {
                         (Element::Ec(a), Element::Ec(b)) => (a, &s.0, b, &t.0),
                         _ => {
+                            // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
                             panic!(
                                 "{}",
                                 GroupError::FamilyMismatch {
@@ -294,6 +300,7 @@ impl Group {
                 .iter()
                 .map(|(a, s)| match a {
                     Element::Dl(a) => Element::Dl(g.pow(a, &s.0)),
+                    // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
                     _ => panic!(
                         "{}",
                         GroupError::FamilyMismatch {
@@ -307,6 +314,7 @@ impl Group {
                     .iter()
                     .map(|(a, s)| match a {
                         Element::Ec(a) => (a, &s.0),
+                        // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
                         _ => panic!(
                             "{}",
                             GroupError::FamilyMismatch {
@@ -364,6 +372,7 @@ impl Group {
         let inner = match (&self.inner, base) {
             (GroupImpl::Dl(g), Element::Dl(a)) => TableImpl::Dl(g.comb_for(a)),
             (GroupImpl::Ec(g), Element::Ec(p)) => TableImpl::Ec(g.comb_for(p)),
+            // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
             _ => panic!(
                 "{}",
                 GroupError::FamilyMismatch {
@@ -386,6 +395,7 @@ impl Group {
         match (&self.inner, &table.inner) {
             (GroupImpl::Dl(g), TableImpl::Dl(c)) => Element::Dl(g.pow_comb(c, &s.0)),
             (GroupImpl::Ec(g), TableImpl::Ec(c)) => Element::Ec(g.scalar_mul_comb(c, &s.0)),
+            // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
             _ => panic!(
                 "{}",
                 GroupError::FamilyMismatch {
@@ -410,6 +420,7 @@ impl Group {
                     .map(Element::Ec)
                     .collect()
             }
+            // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
             _ => panic!(
                 "{}",
                 GroupError::FamilyMismatch {
@@ -453,6 +464,7 @@ impl Group {
     /// Panics if the element belongs to the other group family; use
     /// [`Group::try_encode`] for untrusted input.
     pub fn encode(&self, a: &Element) -> Vec<u8> {
+        // tidy:allow(panic) — documented panicking twin of try_encode; protocol paths use try_* on untrusted input
         self.try_encode(a).unwrap_or_else(|e| panic!("{e}"))
     }
 

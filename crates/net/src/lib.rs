@@ -16,6 +16,7 @@
 //!   trace reproduces the Fig. 3(b) experiment.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod mesh;

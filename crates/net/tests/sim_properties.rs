@@ -67,7 +67,7 @@ proptest! {
                     bytes: 500,
                 }))
                 .collect();
-            sim.simulate(&[round].to_vec()).completion_s
+            sim.simulate(&[round]).completion_s
         };
         prop_assert!(mk(long) > mk(short));
     }
@@ -77,7 +77,7 @@ proptest! {
         let sim = sim_with(line(2), 2, SimConfig::default());
         let round: Vec<TraceMessage> =
             (0..msgs).map(|_| TraceMessage { from: 0, to: 1, bytes: 5000 }).collect();
-        let one = sim.simulate(&[round.clone()]).to_owned();
+        let one = sim.simulate(std::slice::from_ref(&round)).to_owned();
         let double = sim.simulate(&[round.clone(), round]).to_owned();
         prop_assert!(double.completion_s > one.completion_s);
         prop_assert_eq!(double.link_bytes, 2 * one.link_bytes);

@@ -112,6 +112,7 @@ pub fn cmp_ge(engine: &mut SsEngine, a: &Shared, b: &Shared, l: usize) -> Shared
 
     // [a ≥ b] = ([d] − [d mod 2^l]) / 2^l  ∈ {0, 1}.
     let diff = engine.sub(&d, &d_low);
+    // tidy:allow(panic) — 2^l is nonzero in the odd prime field, so it is always invertible
     let inv_2l = two_l.inv().expect("2^l invertible");
     engine.mul_public(&diff, &inv_2l)
 }

@@ -87,6 +87,7 @@ impl SsEngine {
         let prime = BigUint::from_hex_str(
             "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff43",
         )
+        // tidy:allow(panic) — parses a vetted compile-time prime constant; exercised by every test
         .expect("vetted constant");
         Self::with_field(FpCtx::new(prime), n, t, seed)
     }
@@ -101,6 +102,7 @@ impl SsEngine {
             return Err(SsError::BadThreshold { n, t });
         }
         let points: Vec<u64> = (1..=n as u64).collect();
+        // tidy:allow(panic) — evaluation points 1..=n are distinct and nonzero by construction
         let lagrange_full = lagrange_at_zero(&field, &points).expect("distinct nonzero points");
         Ok(SsEngine {
             field,
@@ -266,20 +268,24 @@ impl SsEngine {
                 continue;
             }
             let root = modular::sqrt_mod_prime(c.value(), self.field.modulus())
+                // tidy:allow(panic) — c was opened as r² and is nonzero here, so a square root exists
                 .expect("square always has a root");
             // Canonical root choice: the even representative, so all parties
             // agree deterministically.
             let root = if root.is_even() {
                 root
             } else {
+                // tidy:allow(panic) — root is reduced mod p, so p − root cannot underflow
                 self.field.modulus().checked_sub(&root).expect("root < p")
             };
+            // tidy:allow(panic) — root of a nonzero square is nonzero, hence invertible
             let root_inv = self.field.element(root).inv().expect("nonzero root");
             // b = (r·root⁻¹ + 1) / 2
             let half = self
                 .field
                 .from_u64(2)
                 .inv()
+                // tidy:allow(panic) — 2 is invertible in any odd prime field
                 .expect("2 invertible in odd field");
             let signed = self.mul_public(&r, &root_inv);
             let shifted = self.add_public(&signed, &self.field.one());

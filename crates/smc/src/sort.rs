@@ -151,6 +151,7 @@ pub fn ss_group_rank(values: &[u64], l: usize, seed: u64) -> Result<Vec<usize>, 
     let mut ranks = vec![0usize; n];
     for (pos, record) in sorted.iter().enumerate() {
         let id = engine.open(&record.payload);
+        // tidy:allow(panic) — payloads are engine-generated party indices 1..=n, far below 2^64
         let id = id.value().to_u64().expect("payload is a small index") as usize;
         assert!((1..=n).contains(&id), "corrupt payload");
         ranks[id - 1] = n - pos;
@@ -201,6 +202,7 @@ pub fn ss_top_k(values: &[u64], l: usize, k: usize, seed: u64) -> Result<Vec<usi
     let mut winners = Vec::with_capacity(k);
     for record in sorted.iter().rev().take(k) {
         let id = engine.open(&record.payload);
+        // tidy:allow(panic) — payloads are engine-generated party indices 1..=n, far below 2^64
         winners.push(id.value().to_u64().expect("small index") as usize);
     }
     Ok(winners)

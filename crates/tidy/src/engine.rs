@@ -1,0 +1,387 @@
+//! Analysis driver: waiver parsing, `#[cfg(test)]` scoping, per-file rule
+//! dispatch, and workspace walking.
+
+use crate::lexer::{lex, Tok};
+use crate::rules;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding, addressed `path:line`.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule that fired (`panic`, `determinism`, `secret-hygiene`,
+    /// `headers`, `waiver`).
+    pub rule: &'static str,
+    /// Human-oriented explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// An inline waiver: `// tidy:allow(rule) — reason`.
+///
+/// A waiver on the same line as the flagged code covers that line; a
+/// waiver that is the whole line (a standalone comment) covers the next
+/// line. The reason text after the closing parenthesis is mandatory.
+#[derive(Debug)]
+struct Waiver {
+    /// Line the waiver covers.
+    covers: u32,
+    /// Line the waiver is written on (for diagnostics).
+    declared: u32,
+    rules: Vec<String>,
+    has_reason: bool,
+    used: bool,
+}
+
+const WAIVER_MARKER: &str = "tidy:allow(";
+
+/// Extracts waivers from raw source (comment-aware enough for real code:
+/// the marker is only meaningful inside a plain `//` comment — doc
+/// comments are prose, not waivers).
+fn parse_waivers(source: &str) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let Some(comment_at) = raw.find("//") else {
+            continue;
+        };
+        if raw[comment_at..].starts_with("///") || raw[comment_at..].starts_with("//!") {
+            continue;
+        }
+        let comment = &raw[comment_at..];
+        let Some(m) = comment.find(WAIVER_MARKER) else {
+            continue;
+        };
+        let after = &comment[m + WAIVER_MARKER.len()..];
+        let Some(close) = after.find(')') else {
+            // Malformed: treat as a reasonless waiver of nothing so the
+            // hygiene check reports it.
+            out.push(Waiver {
+                covers: line_no,
+                declared: line_no,
+                rules: Vec::new(),
+                has_reason: false,
+                used: false,
+            });
+            continue;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let reason = after[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+            .trim();
+        let standalone = raw[..comment_at].trim().is_empty();
+        out.push(Waiver {
+            covers: if standalone { line_no + 1 } else { line_no },
+            declared: line_no,
+            rules,
+            has_reason: !reason.is_empty(),
+            used: false,
+        });
+    }
+    out
+}
+
+/// Returns a parallel `bool` mask: `true` for tokens inside test-only code
+/// (`#[cfg(test)]` items, `#[test]` functions, `mod tests { … }`).
+fn test_scope_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `#[cfg(test)]` / `#[test]` (and `#[cfg(any(test, …))]`).
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            let attr_end = match matching(toks, i + 1, "[", "]") {
+                Some(e) => e,
+                None => toks.len() - 1,
+            };
+            let attr = &toks[i + 2..attr_end];
+            let is_test_attr = (attr.len() == 1 && attr[0].is_ident("test"))
+                || (attr.first().is_some_and(|t| t.is_ident("cfg"))
+                    && attr.iter().any(|t| t.is_ident("test")));
+            if is_test_attr {
+                let end = item_end(toks, attr_end + 1);
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        // A `mod tests { … }` block is test code even without the cfg.
+        if toks[i].is_ident("mod")
+            && i + 2 < toks.len()
+            && toks[i + 1].is_ident("tests")
+            && toks[i + 2].is_punct("{")
+        {
+            let end = matching(toks, i + 2, "{", "}").unwrap_or(toks.len() - 1);
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the token closing the bracket opened at `open` (which must
+/// hold the `open_t` punct), or `None` if unbalanced.
+pub(crate) fn matching(toks: &[Tok], open: usize, open_t: &str, close_t: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_t) {
+            depth += 1;
+        } else if t.is_punct(close_t) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the last token of the item starting at `start`: skips any
+/// further attributes, then runs to the first top-level `;` or through a
+/// balanced `{ … }` body.
+fn item_end(toks: &[Tok], start: usize) -> usize {
+    let mut i = start;
+    // Skip stacked attributes.
+    while i + 1 < toks.len() && toks[i].is_punct("#") && toks[i + 1].is_punct("[") {
+        match matching(toks, i + 1, "[", "]") {
+            Some(e) => i = e + 1,
+            None => return toks.len() - 1,
+        }
+    }
+    let mut depth = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            return matching(toks, i, "{", "}").unwrap_or(toks.len() - 1);
+        }
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(";") && depth == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Analyzes one file's source as though it lived at the workspace-relative
+/// `rel_path` (which decides rule applicability). This is the unit the
+/// fixture tests drive directly.
+pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let toks = lex(source);
+    let test_mask = if toks.is_empty() {
+        Vec::new()
+    } else {
+        test_scope_mask(&toks)
+    };
+    // Line ranges covered by test-only code: waivers written there (e.g. in
+    // a test's source-string fixture) are outside the rules' jurisdiction.
+    let mut test_ranges: Vec<(u32, u32)> = Vec::new();
+    let mut run_start: Option<u32> = None;
+    for (t, &masked) in toks.iter().zip(&test_mask) {
+        match (masked, run_start) {
+            (true, None) => run_start = Some(t.line),
+            (false, Some(s)) => {
+                test_ranges.push((s, t.line));
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let (Some(s), Some(last)) = (run_start, toks.last()) {
+        test_ranges.push((s, last.line));
+    }
+    let in_test_lines = |line: u32| test_ranges.iter().any(|&(s, e)| s <= line && line <= e);
+    let mut waivers = parse_waivers(source);
+    waivers.retain(|w| !in_test_lines(w.declared));
+
+    let mut raw = Vec::new();
+    let ctx = rules::FileCtx {
+        rel_path,
+        toks: &toks,
+        test_mask: &test_mask,
+    };
+    rules::check_headers(&ctx, &mut raw);
+    rules::check_determinism(&ctx, &mut raw);
+    rules::check_panic(&ctx, &mut raw);
+    rules::check_secret_hygiene(&ctx, &mut raw);
+
+    // Apply waivers.
+    let mut out = Vec::new();
+    for d in raw {
+        let waived = waivers.iter_mut().find(|w| {
+            w.covers == d.line && w.has_reason && w.rules.iter().any(|r| r == d.rule || r == "all")
+        });
+        match waived {
+            Some(w) => w.used = true,
+            None => out.push(d),
+        }
+    }
+    // Waiver hygiene: reasonless or unused waivers are themselves findings
+    // (a stale waiver silently re-opens the hole it documented).
+    for w in &waivers {
+        if !w.has_reason {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: w.declared,
+                rule: "waiver",
+                message: "waiver without a reason: document why the rule is safe to \
+                          silence here"
+                    .to_string(),
+            });
+        } else if !w.used {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: w.declared,
+                rule: "waiver",
+                message: format!(
+                    "unused waiver for ({}): nothing fires on the covered line — remove it",
+                    w.rules.join(", ")
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Directories never scanned: vendored code, build output, and test-only
+/// trees (fixtures deliberately contain rule violations).
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "third_party",
+    "tests",
+    "benches",
+    "examples",
+    "fixtures",
+    ".git",
+];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs_files(&p, out);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Walks the workspace at `root` (its `crates/` and `src/` trees) and
+/// returns every diagnostic.
+pub fn analyze_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut files = Vec::new();
+    for sub in ["crates", "src"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files);
+        }
+    }
+    let mut out = Vec::new();
+    for file in files {
+        let Ok(source) = std::fs::read(&file) else {
+            continue;
+        };
+        let source = String::from_utf8_lossy(&source);
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.extend(analyze_source(&rel, &source));
+    }
+    out.sort_by_key(|d| (d.path.clone(), d.line));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_same_line_and_next_line() {
+        let src = "\
+fn f() {
+    x.unwrap(); // tidy:allow(panic) — provably non-empty here
+    // tidy:allow(panic) — checked by caller
+    y.unwrap();
+}
+";
+        let d = analyze_source("crates/core/src/x.rs", src);
+        assert!(d.iter().all(|d| d.rule != "panic"), "{d:?}");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_flagged() {
+        let src = "fn f() { x.unwrap(); } // tidy:allow(panic)\n";
+        let d = analyze_source("crates/core/src/x.rs", src);
+        assert!(d.iter().any(|d| d.rule == "waiver"), "{d:?}");
+    }
+
+    #[test]
+    fn unused_waiver_is_flagged() {
+        let src = "// tidy:allow(panic) — stale\nfn f() {}\n";
+        let d = analyze_source("crates/core/src/x.rs", src);
+        assert!(
+            d.iter()
+                .any(|d| d.rule == "waiver" && d.message.contains("unused")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn cfg_test_mod_is_scoped_out() {
+        let src = "\
+fn good() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+";
+        let d = analyze_source("crates/core/src/x.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_attr_fn_is_scoped_out() {
+        let src = "#[test]\nfn t() { Some(1).unwrap(); }\n";
+        let d = analyze_source("crates/core/src/x.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

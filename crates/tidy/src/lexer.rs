@@ -1,0 +1,409 @@
+//! A small hand-rolled Rust tokenizer — just enough lexical structure for
+//! the tidy rules: it distinguishes identifiers, punctuation, numbers,
+//! lifetimes, and the *contents* of string literals, while skipping
+//! comments (line, nested block, doc) and correctly crossing raw strings
+//! (`r#"…"#`), byte strings, and char literals so that a `"` inside one
+//! never desynchronizes the scan.
+//!
+//! The lexer never panics, whatever bytes it is fed (a property pinned by
+//! a proptest in `tests/`): malformed input degrades to single-character
+//! punctuation tokens and the scan continues.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// Punctuation; multi-character only for `==` and `!=` (the two
+    /// operators the rules care about).
+    Punct,
+    /// A string or byte-string literal; `text` holds the literal contents
+    /// (escapes unprocessed, quotes and raw-string hashes stripped).
+    Str,
+    /// A character literal (contents, quotes stripped).
+    Char,
+    /// A numeric literal (digits and any suffix letters).
+    Num,
+    /// A lifetime such as `'a` (text excludes the leading quote).
+    Lifetime,
+}
+
+/// One token plus the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// 1-based line number.
+    pub line: u32,
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Lexeme text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+}
+
+impl Tok {
+    /// True if this token is an identifier equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is punctuation equal to `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `source`. Total function: any input yields a token stream.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if chars[i + 1] == '/' {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let mut depth = 1usize;
+                let start = i;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(&chars[start..i.min(n)]);
+                continue;
+            }
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, br#"…"#, b"…".
+        if c == 'r' || c == 'b' {
+            if let Some((tok_len, content, content_lines)) = scan_raw_or_byte_string(&chars[i..]) {
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Str,
+                    text: content,
+                });
+                line += content_lines;
+                i += tok_len;
+                continue;
+            }
+        }
+        // Ordinary string literal.
+        if c == '"' {
+            let (tok_len, content) = scan_string(&chars[i..]);
+            toks.push(Tok {
+                line,
+                kind: TokKind::Str,
+                text: content,
+            });
+            line += count_lines(&chars[i..(i + tok_len).min(n)]);
+            i += tok_len;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            match scan_char_or_lifetime(&chars[i..]) {
+                CharScan::Char(tok_len, content) => {
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Char,
+                        text: content,
+                    });
+                    i += tok_len;
+                    continue;
+                }
+                CharScan::Lifetime(tok_len, name) => {
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Lifetime,
+                        text: name,
+                    });
+                    i += tok_len;
+                    continue;
+                }
+                CharScan::Bare => {
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Punct,
+                        text: "'".to_string(),
+                    });
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Number (digits plus alphanumeric suffix like 0xff, 1u64).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_continue(chars[i])) {
+                i += 1;
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Num,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // `==` and `!=` are the only multi-character operators the rules
+        // inspect; everything else is single-character punctuation.
+        if (c == '=' || c == '!') && i + 1 < n && chars[i + 1] == '=' {
+            toks.push(Tok {
+                line,
+                kind: TokKind::Punct,
+                text: if c == '=' { "==".into() } else { "!=".into() },
+            });
+            i += 2;
+            continue;
+        }
+        toks.push(Tok {
+            line,
+            kind: TokKind::Punct,
+            text: c.to_string(),
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Scans a `"…"` string starting at `s[0] == '"'`. Returns (consumed
+/// chars, contents). Unterminated strings run to EOF without panicking.
+fn scan_string(s: &[char]) -> (usize, String) {
+    let mut i = 1usize;
+    let mut content = String::new();
+    while i < s.len() {
+        match s[i] {
+            '\\' => {
+                content.push('\\');
+                if i + 1 < s.len() {
+                    content.push(s[i + 1]);
+                }
+                i += 2;
+            }
+            '"' => return (i + 1, content),
+            c => {
+                content.push(c);
+                i += 1;
+            }
+        }
+    }
+    (s.len(), content)
+}
+
+/// Scans `b"…"`, `r"…"`, `r#"…"#`, `br##"…"##` style literals starting at
+/// `s[0]` ∈ {`b`, `r`}. Returns `(consumed, contents, newlines-inside)` or
+/// `None` if `s` does not start such a literal.
+fn scan_raw_or_byte_string(s: &[char]) -> Option<(usize, String, u32)> {
+    let mut i = 0usize;
+    let mut raw = false;
+    if s.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if s.get(i) == Some(&'r') {
+        raw = true;
+        i += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while s.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if s.get(i) != Some(&'"') {
+            return None;
+        }
+        i += 1;
+        let start = i;
+        // Find `"` followed by `hashes` hashes.
+        while i < s.len() {
+            if s[i] == '"'
+                && s[i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == '#')
+                    .count()
+                    == hashes
+            {
+                let content: String = s[start..i].iter().collect();
+                let nl = content.matches('\n').count() as u32;
+                return Some((i + 1 + hashes, content, nl));
+            }
+            i += 1;
+        }
+        let content: String = s[start..].iter().collect();
+        let nl = content.matches('\n').count() as u32;
+        Some((s.len(), content, nl))
+    } else {
+        // Only `b"…"` (with escapes) qualifies; a bare `b` or `r` ident
+        // falls through to identifier scanning.
+        if s.get(i) != Some(&'"') {
+            return None;
+        }
+        let (len, content) = scan_string(&s[i..]);
+        let nl = content.matches('\n').count() as u32;
+        Some((i + len, content, nl))
+    }
+}
+
+enum CharScan {
+    /// `(consumed, contents)`
+    Char(usize, String),
+    /// `(consumed, name)`
+    Lifetime(usize, String),
+    /// A stray `'` that is neither.
+    Bare,
+}
+
+/// Disambiguates a `'` at `s[0]`: char literal (`'x'`, `'\n'`, `'\u{1F}'`)
+/// versus lifetime (`'a`, `'static`).
+fn scan_char_or_lifetime(s: &[char]) -> CharScan {
+    match s.get(1) {
+        None => CharScan::Bare,
+        Some('\\') => {
+            // Escaped char literal: scan (bounded) for the closing quote.
+            let mut i = 2usize;
+            let limit = s.len().min(16);
+            while i < limit {
+                if s[i] == '\'' {
+                    return CharScan::Char(i + 1, s[1..i].iter().collect());
+                }
+                i += 1;
+            }
+            CharScan::Bare
+        }
+        Some(&c) if is_ident_start(c) => {
+            if s.get(2) == Some(&'\'') {
+                // 'x' — a one-character literal.
+                CharScan::Char(3, c.to_string())
+            } else {
+                let mut i = 2usize;
+                while i < s.len() && is_ident_continue(s[i]) {
+                    i += 1;
+                }
+                CharScan::Lifetime(i, s[1..i].iter().collect())
+            }
+        }
+        Some(&c) => {
+            // Non-identifier single char like '+' — literal if closed.
+            if s.get(2) == Some(&'\'') {
+                CharScan::Char(3, c.to_string())
+            } else {
+                CharScan::Bare
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = texts("a // thread_rng()\n/* Instant */ b /* /* nested */ */ c");
+        let idents: Vec<_> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let toks = texts(r#"let s = "unwrap() thread_rng";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| { *k != TokKind::Ident || (t != "unwrap" && t != "thread_rng") }));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unwrap()")));
+    }
+
+    #[test]
+    fn raw_strings_cross_quotes() {
+        let toks = texts(r###"let s = r#"a "quoted" b"#; x"###);
+        assert!(toks.iter().any(|(_, t)| t == "x"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quoted")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = texts("fn f<'a>(x: &'a u8) { let c = 'x'; let d = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "x"));
+    }
+
+    #[test]
+    fn eq_operators_merge() {
+        let toks = texts("a == b != c = d");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "="]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "'\\", "b\"", "'a"] {
+            let _ = lex(src);
+        }
+    }
+}

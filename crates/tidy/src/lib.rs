@@ -1,0 +1,44 @@
+//! `ppgr-tidy` — crypto-invariant static analysis for the ppgr workspace.
+//!
+//! The paper's central privacy claims (private input hiding, gain secrecy,
+//! identity unlinkability — Sec. IV/V) hold only while the implementation
+//! keeps a set of invariants no type system checks for us:
+//!
+//! * **secret-hygiene** — secrets (ElGamal key shares, Schnorr witnesses,
+//!   the ρ/ρ_j masks, shuffle permutations) never reach `Debug`/`Display`
+//!   output or a variable-time `==`;
+//! * **determinism** — all protocol randomness flows from an injected
+//!   `Rng`; no ambient `thread_rng()`/`OsRng`/wall-clock reads outside
+//!   sanctioned timing modules (the pooled runtime's bit-identical
+//!   transcript guarantee rests on this);
+//! * **panic** — the protocol surface returns typed errors instead of
+//!   panicking on attacker-reachable input;
+//! * **headers** — every crate keeps its `#![forbid(unsafe_code)]` /
+//!   `#![deny(unused_must_use)]` lint headers.
+//!
+//! The analyzer is dependency-free: a hand-rolled tokenizer ([`lexer`])
+//! feeds token-level rules ([`rules`]) driven per-file by [`engine`],
+//! which also implements `#[cfg(test)]` scoping and the inline waiver
+//! syntax:
+//!
+//! ```text
+//! do_thing().unwrap(); // tidy:allow(panic) — <why this cannot fire>
+//! ```
+//!
+//! A standalone `// tidy:allow(rule) — reason` comment line covers the
+//! next line. Reasonless and stale (unused) waivers are themselves
+//! diagnostics. See `docs/ANALYSIS.md` for the full rule catalogue and
+//! each rule's protocol rationale.
+//!
+//! Run as `cargo run --release -p ppgr-tidy`; the same pass also runs as a
+//! `#[test]` so `cargo test` gates it.
+
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{analyze_source, analyze_workspace, Diagnostic};

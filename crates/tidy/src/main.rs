@@ -1,0 +1,54 @@
+//! The `ppgr-tidy` binary: analyze the workspace, print `file:line`
+//! diagnostics, exit non-zero if any rule fires.
+//!
+//! Usage: `ppgr-tidy [workspace-root]` (default: walk up from the current
+//! directory to the first `Cargo.toml` containing `[workspace]`).
+
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("ppgr-tidy: no workspace root found (pass one explicitly)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if !root.is_dir() {
+        eprintln!("ppgr-tidy: {} is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let diags = ppgr_tidy::analyze_workspace(&root);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("ppgr-tidy: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("ppgr-tidy: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

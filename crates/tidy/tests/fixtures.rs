@@ -1,0 +1,128 @@
+//! The analyzer against a known-good/known-bad corpus: every rule has at
+//! least one fixture that must fire and one that must stay silent, plus
+//! waiver-handling and `#[cfg(test)]`-scoping cases.
+
+use ppgr_tidy::analyze_source;
+
+/// Rules fired by a fixture, in file order.
+fn rules_for(rel_path: &str, source: &str) -> Vec<&'static str> {
+    analyze_source(rel_path, source)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+macro_rules! fixture {
+    ($name:literal) => {
+        include_str!(concat!("fixtures/", $name))
+    };
+}
+
+/// A path inside a panic-free protocol crate (also exercises determinism
+/// and secret-hygiene, which apply everywhere).
+const PROTO: &str = "crates/core/src/fixture.rs";
+
+#[test]
+fn panic_bad_fires_once_per_site() {
+    let rules = rules_for(PROTO, fixture!("panic_bad.rs"));
+    assert_eq!(rules, vec!["panic", "panic", "panic"]);
+}
+
+#[test]
+fn panic_good_is_silent() {
+    assert!(rules_for(PROTO, fixture!("panic_good.rs")).is_empty());
+}
+
+#[test]
+fn panic_outside_protocol_crates_is_not_checked() {
+    // The same bad source in a non-protocol crate (e.g. the bench harness)
+    // does not fire the panic rule.
+    let rules = rules_for("crates/net/src/fixture.rs", fixture!("panic_bad.rs"));
+    assert!(rules.is_empty());
+}
+
+#[test]
+fn waivers_cover_same_line_and_next_line() {
+    assert!(rules_for(PROTO, fixture!("panic_waived.rs")).is_empty());
+}
+
+#[test]
+fn stale_waiver_is_flagged() {
+    let rules = rules_for(PROTO, fixture!("panic_stale_waiver.rs"));
+    assert_eq!(rules, vec!["waiver"]);
+}
+
+#[test]
+fn reasonless_waiver_is_flagged() {
+    // The unwrap is NOT excused (reasonless waivers don't apply), and the
+    // waiver itself is flagged.
+    let mut rules = rules_for(PROTO, fixture!("panic_reasonless_waiver.rs"));
+    rules.sort_unstable();
+    assert_eq!(rules, vec!["panic", "waiver"]);
+}
+
+#[test]
+fn cfg_test_scope_is_exempt() {
+    assert!(rules_for(PROTO, fixture!("panic_test_scoped.rs")).is_empty());
+}
+
+#[test]
+fn determinism_bad_fires() {
+    let rules = rules_for(PROTO, fixture!("determinism_bad.rs"));
+    assert!(!rules.is_empty());
+    assert!(rules.iter().all(|r| *r == "determinism"));
+}
+
+#[test]
+fn determinism_good_is_silent() {
+    assert!(rules_for(PROTO, fixture!("determinism_good.rs")).is_empty());
+}
+
+#[test]
+fn determinism_sanctioned_modules_are_exempt() {
+    let rules = rules_for(
+        "crates/bench/src/fixture.rs",
+        fixture!("determinism_bad.rs"),
+    );
+    assert!(rules.is_empty());
+}
+
+#[test]
+fn headers_bad_crate_root_fires_for_each_missing_header() {
+    let rules = rules_for("crates/fake/src/lib.rs", fixture!("headers_bad.rs"));
+    assert_eq!(rules, vec!["headers", "headers"]);
+}
+
+#[test]
+fn headers_good_crate_root_is_silent() {
+    assert!(rules_for("crates/fake/src/lib.rs", fixture!("headers_good.rs")).is_empty());
+}
+
+#[test]
+fn headers_only_checked_on_crate_roots() {
+    // The same header-less source as a non-root module is fine.
+    assert!(rules_for("crates/fake/src/other.rs", fixture!("headers_bad.rs")).is_empty());
+}
+
+#[test]
+fn derived_debug_on_secret_type_fires() {
+    let rules = rules_for(PROTO, fixture!("secret_derive_bad.rs"));
+    assert_eq!(rules, vec!["secret-hygiene"]);
+}
+
+#[test]
+fn secret_in_format_macro_fires() {
+    let rules = rules_for(PROTO, fixture!("secret_format_bad.rs"));
+    assert_eq!(rules, vec!["secret-hygiene", "secret-hygiene"]);
+}
+
+#[test]
+fn variable_time_eq_on_secret_fires() {
+    let rules = rules_for(PROTO, fixture!("secret_eq_bad.rs"));
+    assert_eq!(rules, vec!["secret-hygiene"]);
+}
+
+#[test]
+fn secret_good_is_silent() {
+    assert!(rules_for(PROTO, fixture!("secret_good.rs")).is_empty());
+}

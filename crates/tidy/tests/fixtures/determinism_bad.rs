@@ -1,0 +1,10 @@
+//! Bad: ambient randomness and wall-clock reads.
+
+pub fn bad_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn bad_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}

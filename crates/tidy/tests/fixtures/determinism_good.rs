@@ -1,0 +1,7 @@
+//! Good: randomness is injected by the caller.
+
+use rand::Rng;
+
+pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    rng.gen()
+}

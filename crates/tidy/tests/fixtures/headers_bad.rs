@@ -1,0 +1,3 @@
+//! Bad (as a crate root): missing both lint headers.
+
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//! Good (as a crate root): both lint headers present.
+
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
+pub fn noop() {}

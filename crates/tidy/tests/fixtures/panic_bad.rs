@@ -1,0 +1,13 @@
+//! Bad: panic-family calls on the protocol surface.
+
+pub fn decode(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+
+pub fn decode2(input: Option<u32>) -> u32 {
+    input.expect("always present")
+}
+
+pub fn never() {
+    unreachable!()
+}

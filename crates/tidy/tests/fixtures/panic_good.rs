@@ -1,0 +1,5 @@
+//! Good: typed errors instead of panics.
+
+pub fn decode(input: Option<u32>) -> Result<u32, &'static str> {
+    input.ok_or("missing")
+}

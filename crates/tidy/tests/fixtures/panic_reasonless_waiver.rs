@@ -1,0 +1,5 @@
+//! Bad: a waiver without a reason is itself flagged.
+
+pub fn decode(input: Option<u32>) -> u32 {
+    input.unwrap() // tidy:allow(panic)
+}

@@ -1,0 +1,6 @@
+//! Bad: a waiver that covers no diagnostic is itself flagged.
+
+// tidy:allow(panic) — nothing here actually panics
+pub fn quiet() -> u32 {
+    7
+}

@@ -1,0 +1,14 @@
+//! Good: panics inside test scope are fine.
+
+pub fn id(x: u32) -> u32 {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Good: a violation covered by a reasoned waiver, both spellings.
+
+pub fn decode(input: Option<u32>) -> u32 {
+    input.unwrap() // tidy:allow(panic) — input is produced two lines up and always Some
+}
+
+pub fn decode2(input: Option<u32>) -> u32 {
+    // tidy:allow(panic) — input is produced two lines up and always Some
+    input.expect("always present")
+}

@@ -1,0 +1,7 @@
+//! Bad: derived Debug on a registered secret-bearing type.
+
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    secret: u64,
+    public: u64,
+}

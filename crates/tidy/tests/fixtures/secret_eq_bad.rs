@@ -1,0 +1,5 @@
+//! Bad: variable-time comparison on secret-named operands.
+
+pub fn check(sk: u64, guess: u64) -> bool {
+    sk == guess
+}

@@ -1,0 +1,6 @@
+//! Bad: secret-named bindings reaching format macros.
+
+pub fn leak(secret_key: u64, witness: u64) {
+    println!("sk={secret_key}");
+    let _ = format!("{:x}", witness);
+}

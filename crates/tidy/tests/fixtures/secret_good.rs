@@ -1,0 +1,11 @@
+//! Good: secrets stay out of format macros and == comparisons.
+
+pub fn check_ct(a: &[u64], b: &[u64]) -> bool {
+    let mut acc = 0u64;
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        acc |= x ^ y;
+    }
+    acc == 0
+}

@@ -1,0 +1,42 @@
+//! The analyzer is fed every `.rs` file in the tree, including ones that
+//! don't parse — it must be total. Property: `analyze_source` never panics
+//! on arbitrary byte soup (lossily decoded, as the walker does).
+
+use ppgr_tidy::analyze_source;
+use proptest::prelude::*;
+
+/// Characters biased toward what trips lexers: quote/comment/brace tokens,
+/// so unterminated strings, half-opened comments, and stray escapes all
+/// get generated.
+const ROUGH_ALPHABET: &[u8] = br##"abcXYZ019_(){}[];:,."'`/\#!=- $
+r"##;
+
+fn rough_text(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..ROUGH_ALPHABET.len(), 0..max)
+        .prop_map(|idx| idx.into_iter().map(|i| ROUGH_ALPHABET[i] as char).collect())
+}
+
+proptest! {
+    #[test]
+    fn analyze_source_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = analyze_source("crates/core/src/soup.rs", &source);
+        let _ = analyze_source("crates/fake/src/lib.rs", &source);
+    }
+
+    #[test]
+    fn analyze_source_is_total_on_rust_shaped_text(s in rough_text(2048)) {
+        let _ = analyze_source("crates/core/src/soup.rs", &s);
+    }
+
+    #[test]
+    fn analyze_source_is_total_on_waiver_like_comments(reason in rough_text(60), pick in 0usize..6) {
+        let rule = ["panic", "determinism", "headers", "secret-hygiene", "bogus-rule", ""][pick];
+        // Waiver parsing sees well-formed and mangled variants alike.
+        let reason = reason.replace('\n', " ");
+        let src = format!(
+            "// tidy:allow({rule}) {reason}\nfn f() {{ x.unwrap() }}\n// tidy:allow({rule})\n"
+        );
+        let _ = analyze_source("crates/core/src/soup.rs", &src);
+    }
+}

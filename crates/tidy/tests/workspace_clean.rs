@@ -1,0 +1,21 @@
+//! The analyzer run as a test: `cargo test` fails if any workspace file
+//! violates a rule without a waiver. This is the same pass CI runs via
+//! `cargo run --release -p ppgr-tidy`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unwaived_diagnostics() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let diags = ppgr_tidy::analyze_workspace(&root);
+    assert!(
+        diags.is_empty(),
+        "ppgr-tidy found {} diagnostic(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -16,6 +16,7 @@
 //!   completeness).
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub mod multi;

@@ -8,8 +8,10 @@
 //!
 //! The verifier accepts iff `g^z = h·y^c`.
 
+use ppgr_bigint::Secret;
 use ppgr_group::{Element, Group, Scalar};
 use rand::Rng;
+use std::fmt;
 
 /// Prover state between the commitment and response moves.
 ///
@@ -30,11 +32,20 @@ use rand::Rng;
 /// let transcript = prover.respond(&challenge, commitment);
 /// assert!(transcript.verify(&group, &y));
 /// ```
-#[derive(Debug)]
 pub struct SchnorrProver {
     group: Group,
-    witness: Scalar,
-    nonce: Scalar,
+    witness: Secret<Scalar>,
+    nonce: Secret<Scalar>,
+}
+
+impl fmt::Debug for SchnorrProver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchnorrProver")
+            .field("group", &self.group)
+            .field("witness", &self.witness)
+            .field("nonce", &self.nonce)
+            .finish()
+    }
 }
 
 /// A complete transcript `(h, c, z)`; verification is stateless.
@@ -56,8 +67,8 @@ impl SchnorrProver {
         (
             SchnorrProver {
                 group: group.clone(),
-                witness,
-                nonce,
+                witness: Secret::new(witness),
+                nonce: Secret::new(nonce),
             },
             commitment,
         )
@@ -66,8 +77,8 @@ impl SchnorrProver {
     /// Third move: answer the verifier's challenge.
     pub fn respond(self, challenge: &Scalar, commitment: Element) -> SchnorrTranscript {
         let response = self.group.scalar_add(
-            &self.nonce,
-            &self.group.scalar_mul(&self.witness, challenge),
+            self.nonce.expose(),
+            &self.group.scalar_mul(self.witness.expose(), challenge),
         );
         SchnorrTranscript {
             commitment,
@@ -232,6 +243,19 @@ mod tests {
         let t2 = mk(&c2);
         assert!(t1.verify(&group, &y) && t2.verify(&group, &y));
         assert_eq!(extract_witness(&group, &t1, &t2), Some(x));
+    }
+
+    #[test]
+    fn debug_redacts_witness_and_nonce() {
+        let (group, x, _y, mut rng) = setup();
+        let witness_digits = x.to_string();
+        let (p, _h) = SchnorrProver::commit(&group, x, &mut rng);
+        let dump = format!("{:?}", p);
+        assert!(dump.contains("Secret(<redacted>)"), "got: {dump}");
+        assert!(
+            !dump.contains(&witness_digits),
+            "witness value leaked through Debug: {dump}"
+        );
     }
 
     #[test]

@@ -54,6 +54,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
 pub use ppgr_anon as anon;
 pub use ppgr_bigint as bigint;
 pub use ppgr_core as core;
