@@ -69,6 +69,31 @@ pub fn chain_hop_time(kind: GroupKind, samples: u32) -> Duration {
     elapsed / samples
 }
 
+/// Measures the amortized per-term cost of a multi-exponentiation at a
+/// representative batch width (32 terms, full-width scalars) — the rate
+/// batch Schnorr verification pays per MSM term, in place of a full
+/// variable-base exponentiation per proof.
+pub fn msm_term_time(kind: GroupKind, samples: u32) -> Duration {
+    const TERMS: usize = 32;
+    let g = kind.group();
+    let mut rng = StdRng::seed_from_u64(0x4D534D);
+    let bases: Vec<_> = (0..TERMS)
+        .map(|_| g.exp_gen(&g.random_scalar(&mut rng)))
+        .collect();
+    let scalar_sets: Vec<Vec<_>> = (0..samples)
+        .map(|_| (0..TERMS).map(|_| g.random_scalar(&mut rng)).collect())
+        .collect();
+    let mut acc = g.identity();
+    let start = Instant::now();
+    for scalars in &scalar_sets {
+        let pairs: Vec<_> = bases.iter().zip(scalars).collect();
+        acc = g.op(&acc, &g.multi_exp(&pairs));
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(acc);
+    elapsed / (samples * TERMS as u32)
+}
+
 /// Measures one 256-bit field multiplication (the SS baseline's integer
 /// multiplication unit), averaged over `samples`.
 pub fn field_mul_time(samples: u32) -> Duration {
@@ -97,6 +122,9 @@ pub struct Calibration {
     /// Fused per-ciphertext shuffle-chain hop time (books as 3
     /// exponentiations in the op counts), same order.
     pub chain_hop: [(GroupKind, Duration); 6],
+    /// Amortized per-term multi-exponentiation time (the batch
+    /// Schnorr-verification rate), same order.
+    pub msm_term: [(GroupKind, Duration); 6],
     /// Per-field-multiplication time (SS baseline unit).
     pub field_mul: Duration,
 }
@@ -111,10 +139,14 @@ impl Calibration {
         let exp = kinds.map(|k| (k, exp_time(k, budget(k))));
         let fixed_exp = kinds.map(|k| (k, fixed_base_exp_time(k, budget(k))));
         let chain_hop = kinds.map(|k| (k, chain_hop_time(k, budget(k))));
+        // Each msm_term sample is a full 32-term MSM, so a handful of
+        // samples already averages over a thousand terms.
+        let msm_term = kinds.map(|k| (k, msm_term_time(k, budget(k).min(5))));
         Calibration {
             exp,
             fixed_exp,
             chain_hop,
+            msm_term,
             field_mul: field_mul_time(20_000),
         }
     }
@@ -132,6 +164,11 @@ impl Calibration {
     /// Fused per-ciphertext chain-hop time for `kind`.
     pub fn chain_hop_for(&self, kind: GroupKind) -> Duration {
         Self::lookup(&self.chain_hop, kind)
+    }
+
+    /// Amortized per-MSM-term time for `kind`.
+    pub fn msm_term_for(&self, kind: GroupKind) -> Duration {
+        Self::lookup(&self.msm_term, kind)
     }
 
     fn lookup(table: &[(GroupKind, Duration); 6], kind: GroupKind) -> Duration {
@@ -175,6 +212,19 @@ mod tests {
         assert!(
             fixed < var,
             "fixed-base {fixed:?} should beat variable-base {var:?}"
+        );
+    }
+
+    #[test]
+    fn msm_term_beats_variable_base_exp() {
+        // The whole point of the engine: one 32-term MSM must be far
+        // cheaper than 32 independent exponentiations.
+        let term = msm_term_time(GroupKind::Ecc160, 5);
+        let var = exp_time(GroupKind::Ecc160, 30);
+        assert!(term > Duration::ZERO);
+        assert!(
+            term < var,
+            "per-term MSM {term:?} should beat a full exp ({var:?})"
         );
     }
 

@@ -49,11 +49,15 @@ impl PaperDefaults {
 /// Model: one participant's computation time in the paper's framework.
 ///
 /// Phases are priced at the rate the engine actually pays them:
-/// setup and bitwise encryption are fixed-base exponentiations through
-/// precomputed generator/joint-key tables; the shuffle chain runs the
-/// fused decrypt-and-randomize hop (booked as 3 exponentiations per
-/// ciphertext in [`participant_ops`], executed as ≈1.7); comparison and
-/// final decryption remain variable-base.
+/// bitwise encryption is fixed-base exponentiations through precomputed
+/// generator/joint-key tables; setup is the batch-verified key
+/// generation — three fixed-base exponentiations (own key share, own
+/// proof commitment, the aggregate verification's left side) plus two
+/// MSM terms per foreign proof, where [`participant_ops`] books two
+/// full exponentiations per proof; the shuffle chain runs the fused
+/// decrypt-and-randomize hop (booked as 3 exponentiations per
+/// ciphertext, executed as ≈1.7); comparison and final decryption
+/// remain variable-base.
 pub fn framework_participant_time(
     cal: &Calibration,
     kind: GroupKind,
@@ -61,15 +65,20 @@ pub fn framework_participant_time(
     l: usize,
 ) -> Duration {
     let ops = participant_ops(n, l);
-    let fixed = cal
-        .fixed_exp_for(kind)
-        .mul_f64((ops.setup_exps + ops.encrypt_exps) as f64);
+    // setup_exps = 2 own + 2(n−1) foreign-verification exps; the batch
+    // verifier replaces the latter with 2(n−1) MSM terms and one extra
+    // fixed-base exponentiation for the aggregate equation's left side.
+    let setup = cal.fixed_exp_for(kind).mul_f64(3.0)
+        + cal
+            .msm_term_for(kind)
+            .mul_f64(ops.setup_exps.saturating_sub(2) as f64);
+    let fixed = cal.fixed_exp_for(kind).mul_f64(ops.encrypt_exps as f64);
     let chain_cts = ops.chain_exps / 3; // ops books 3 exps per ciphertext hop
     let chain = cal.chain_hop_for(kind).mul_f64(chain_cts as f64);
     let variable = cal
         .exp_for(kind)
         .mul_f64((ops.compare_exps + ops.final_exps) as f64);
-    fixed + chain + variable
+    setup + fixed + chain + variable
 }
 
 /// Model: one party's computation time in the SS framework (per-party
@@ -204,6 +213,7 @@ mod tests {
             exp,
             fixed_exp: exp.map(|(k, d)| (k, d / 2)),
             chain_hop: exp.map(|(k, d)| (k, d.mul_f64(1.7))),
+            msm_term: exp.map(|(k, d)| (k, d / 8)),
             field_mul: Duration::from_micros(1),
         };
         let l = 52;

@@ -469,6 +469,62 @@ impl Montgomery {
         acc.expect("nonzero exponent")
     }
 
+    /// Shared-recoding batch exponentiation: raises every base to the
+    /// *same* exponent. The exponent's 4-bit window digits are recoded
+    /// once and replayed for every base, so each base pays only its own
+    /// 16-entry table plus the shared square-and-multiply schedule. This
+    /// is the shape of a partial decryption across a whole ciphertext
+    /// set: one secret key share, many `β` components.
+    pub fn mpow_many(&self, bases: &[MontElem], exp: &BigUint) -> Vec<MontElem> {
+        if bases.is_empty() {
+            return Vec::new();
+        }
+        if exp.is_zero() {
+            return vec![self.one_elem(); bases.len()];
+        }
+        // MSB-first window digits, identical to the `mpow` schedule.
+        let bits = exp.bits();
+        let mut digits: Vec<(usize, u32)> = Vec::with_capacity(bits.div_ceil(4));
+        let mut i = bits;
+        while i > 0 {
+            let take = if i.is_multiple_of(4) { 4 } else { i % 4 };
+            let mut window = 0usize;
+            for k in 0..take {
+                window = window << 1 | exp.bit(i - 1 - k) as usize;
+            }
+            digits.push((window, take as u32));
+            i -= take;
+        }
+        bases
+            .iter()
+            .map(|base| {
+                let mut table = Vec::with_capacity(16);
+                table.push(self.one_elem());
+                table.push(base.clone());
+                for i in 2..16 {
+                    let prev = self.mmul(&table[i - 1], base);
+                    table.push(prev);
+                }
+                let mut acc: Option<MontElem> = None;
+                for &(window, take) in &digits {
+                    acc = Some(match acc {
+                        None => table[window].clone(),
+                        Some(mut a) => {
+                            for _ in 0..take {
+                                a = self.msqr(&a);
+                            }
+                            if window != 0 {
+                                a = self.mmul(&a, &table[window]);
+                            }
+                            a
+                        }
+                    });
+                }
+                acc.expect("nonzero exponent")
+            })
+            .collect()
+    }
+
     /// In-domain inverse of a nonzero element via Fermat's little theorem
     /// (`a^{n-2}`); the modulus must be prime, which holds for every modulus
     /// the framework inverts under (curve fields, DL primes, group orders).
@@ -669,6 +725,25 @@ mod tests {
                 assert_eq!(via_mpow, naive_modpow(&b, &e, &n), "n={hex} e={e:?}");
             }
         }
+    }
+
+    #[test]
+    fn mpow_many_matches_mpow() {
+        let n = BigUint::from_hex_str("ffffffffffffffffffffffffffffffff7fffffff").unwrap();
+        let m = Montgomery::new(n.clone());
+        let bases: Vec<MontElem> = [2u64, 3, 0x1234_5678_9abc, 999_999_937, 1]
+            .iter()
+            .map(|&v| m.enter(&BigUint::from(v)))
+            .collect();
+        for e in [0u64, 1, 15, 65537, u64::MAX] {
+            let e = BigUint::from(e);
+            let batch = m.mpow_many(&bases, &e);
+            assert_eq!(batch.len(), bases.len());
+            for (b, out) in bases.iter().zip(&batch) {
+                assert_eq!(m.leave(out), m.leave(&m.mpow(b, &e)), "e={e:?}");
+            }
+        }
+        assert!(m.mpow_many(&[], &BigUint::from(7u64)).is_empty());
     }
 
     #[test]

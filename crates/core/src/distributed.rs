@@ -22,7 +22,7 @@ use ppgr_elgamal::{encrypt_bits, Ciphertext, ExpElGamal, JointKey, KeyPair};
 use ppgr_group::Group;
 use ppgr_hash::HashDrbg;
 use ppgr_net::{LocalMesh, PartyHandle, TrafficLog};
-use ppgr_zkp::SchnorrProver;
+use ppgr_zkp::{verify_batch, SchnorrProver, SchnorrTranscript};
 use rand::{Rng, SeedableRng};
 use std::error::Error;
 use std::fmt;
@@ -282,6 +282,11 @@ fn participant_thread(
 
     // Sequential proofs, prover order 1..=n. Verifier challenge shares are
     // broadcast so every verifier can form the same challenge sum.
+    // Transcripts are collected as they arrive and verified in one batch
+    // (a single aggregate multi-exponentiation) after the round; on
+    // rejection the fallback scan inside `verify_batch` runs in prover
+    // order, so the first dishonest prover is still the one named.
+    let mut foreign_proofs: Vec<(usize, SchnorrTranscript)> = Vec::with_capacity(n - 1);
     #[allow(clippy::needless_range_loop)] // protocol round over 1-based party IDs
     for prover in 1..=n {
         if prover == me {
@@ -325,12 +330,25 @@ fn participant_thread(
             let mut r = Reader::new(bytes);
             let response = wire_try!(me, r.scalar(&group));
             wire_try!(me, r.done());
-            // g^z = h · y^Σc
-            let lhs = group.exp_gen(&response);
-            let rhs = group.op(&commitment, &group.exp(&public_shares[prover], &total));
-            if lhs != rhs {
-                return err(me, format!("proof of key knowledge by {prover} rejected"));
-            }
+            // g^z = h · y^Σc, checked for all provers at once below.
+            foreign_proofs.push((
+                prover,
+                SchnorrTranscript {
+                    commitment,
+                    challenge: total,
+                    response,
+                },
+            ));
+        }
+    }
+    {
+        let items: Vec<(&ppgr_group::Element, &SchnorrTranscript)> = foreign_proofs
+            .iter()
+            .map(|(p, t)| (&public_shares[*p], t))
+            .collect();
+        if let Err(i) = verify_batch(&group, &items) {
+            let prover = foreign_proofs[i].0;
+            return err(me, format!("proof of key knowledge by {prover} rejected"));
         }
     }
     let joint = JointKey::combine(

@@ -25,9 +25,9 @@ use crate::circuit::compare_encrypted;
 use crate::timing::PartyTimer;
 use ppgr_bigint::BigUint;
 use ppgr_elgamal::{encrypt_bits_prepared, Ciphertext, ExpElGamal, JointKey, KeyPair};
-use ppgr_group::{Group, Scalar};
+use ppgr_group::{Element, Group, Scalar};
 use ppgr_net::TrafficLog;
-use ppgr_zkp::MultiVerifierProof;
+use ppgr_zkp::{verify_batch, MultiVerifierProof, SchnorrTranscript};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::error::Error;
@@ -432,6 +432,15 @@ impl SortMachine {
     }
 
     /// Step 5: key generation + proofs of knowledge.
+    ///
+    /// Proof *generation* (and all its wire traffic) runs prover by
+    /// prover in protocol order, so the RNG draw sequence and the logged
+    /// transcript are byte-identical to per-proof verification.
+    /// Verification is then batched per verifier: each party collapses
+    /// her n−1 foreign checks into one aggregate multi-exponentiation
+    /// ([`ppgr_zkp::verify_batch`]); on rejection a per-prover rescan in
+    /// protocol order reproduces exactly the attribution the old
+    /// verify-as-you-go loop gave.
     fn step_keygen<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
@@ -451,6 +460,7 @@ impl SortMachine {
             }
         }
         self.round += 1;
+        let mut proofs: Vec<SchnorrTranscript> = Vec::with_capacity(n);
         for (idx, kp) in keys.iter().enumerate() {
             let party = idx + 1;
             let transcript = timer.time(party, || {
@@ -464,14 +474,23 @@ impl SortMachine {
                     log.record(self.round + 2, party, other, self.scalar_len, "sort/zkp");
                 }
             }
-            for (vidx, _) in keys.iter().enumerate() {
-                if vidx == idx {
-                    continue;
-                }
-                let ok = timer.time(vidx + 1, || transcript.verify(&self.group, kp.public_key()));
-                if !ok {
-                    return Err(SortError::ProofRejected { party });
-                }
+            proofs.push(transcript.as_single(&self.group));
+        }
+        for vidx in 0..n {
+            let foreign: Vec<(&Element, &SchnorrTranscript)> = (0..n)
+                .filter(|&p| p != vidx)
+                .map(|p| (keys[p].public_key(), &proofs[p]))
+                .collect();
+            let ok = timer.time(vidx + 1, || verify_batch(&self.group, &foreign).is_ok());
+            if !ok {
+                // Rescan over *all* provers in protocol order so the error
+                // names the first dishonest one, exactly as the old
+                // verify-as-you-go loop did (a verifier's own batch skips
+                // her own proof, so the batch index alone is not enough).
+                let party = (0..n)
+                    .find(|&p| !proofs[p].verify(&self.group, keys[p].public_key()))
+                    .map_or(vidx + 1, |p| p + 1);
+                return Err(SortError::ProofRejected { party });
             }
         }
         self.round += 3;

@@ -237,6 +237,13 @@ impl ExpElGamal {
     /// shuffle into the output placement, so no separate permutation pass
     /// (and none of its per-ciphertext clones) is needed.
     ///
+    /// The whole set shares one exponent: every mask is computed as
+    /// `β^{q−x_j}` through [`Group::exp_same_batch`], so the key share's
+    /// digit recoding is done once per hop (not once per ciphertext),
+    /// elliptic-curve masks share a single field inversion, and the DL
+    /// family drops the per-ciphertext division (a Fermat inversion)
+    /// entirely — `α·β^{−x}` and `α/β^{x}` are the same group element.
+    ///
     /// # Panics
     ///
     /// Panics if `order` is given and is not the same length as `cts`.
@@ -250,12 +257,19 @@ impl ExpElGamal {
         if let Some(o) = order {
             assert_eq!(o.len(), cts.len(), "one output slot per ciphertext");
         }
+        let neg_share = self.group.scalar_neg(secret_share);
+        let idx = |j: usize| order.map_or(j, |o| o[j]);
+        let betas: Vec<&Element> = (0..cts.len()).map(|j| &cts[idx(j)].beta).collect();
+        let masks = self.group.exp_same_batch(&betas, &neg_share);
         out.clear();
         out.reserve(cts.len());
-        for j in 0..cts.len() {
-            let i = order.map_or(j, |o| o[j]);
-            out.push(self.partial_decrypt(&cts[i], secret_share));
-        }
+        out.extend(masks.into_iter().enumerate().map(|(j, mask)| {
+            let i = idx(j);
+            Ciphertext {
+                alpha: self.group.op(&cts[i].alpha, &mask),
+                beta: cts[i].beta.clone(),
+            }
+        }));
     }
 
     /// Multiplies the plaintext by `r` by raising both components:

@@ -260,6 +260,30 @@ impl DlGroup {
         self.mont.pow(a, e)
     }
 
+    /// The Montgomery context for arithmetic mod `p` (for the in-crate
+    /// multi-exponentiation engine, which stays in the Montgomery domain
+    /// across all terms).
+    pub(crate) fn mont(&self) -> &Montgomery {
+        &self.mont
+    }
+
+    /// Shared-recoding batch exponentiation: every base raised to the
+    /// *same* exponent. The exponent is reduced mod `q` once, its window
+    /// digits are recoded once ([`Montgomery::mpow_many`]), and the whole
+    /// batch stays in the Montgomery domain.
+    pub(crate) fn pow_same_batch(&self, bases: &[&BigUint], e: &BigUint) -> Vec<BigUint> {
+        let e = e % &self.q;
+        let ms: Vec<_> = bases
+            .iter()
+            .map(|b| self.mont.enter(&(*b % &self.p)))
+            .collect();
+        self.mont
+            .mpow_many(&ms, &e)
+            .iter()
+            .map(|m| self.mont.leave(m))
+            .collect()
+    }
+
     pub(crate) fn inv(&self, a: &BigUint) -> BigUint {
         // Fermat inversion on Montgomery limbs (p is prime): considerably
         // faster than a BigUint extended GCD.

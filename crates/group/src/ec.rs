@@ -119,10 +119,10 @@ impl std::fmt::Debug for EcPoint {
 /// A Jacobian point with Montgomery-form coordinates: `(X : Y : Z)`,
 /// representing affine `(X/Z², Y/Z³)`; `Z = 0` is infinity.
 #[derive(Clone, Debug)]
-struct Jacobian {
-    x: MontElem,
-    y: MontElem,
-    z: MontElem,
+pub(crate) struct Jacobian {
+    pub(crate) x: MontElem,
+    pub(crate) y: MontElem,
+    pub(crate) z: MontElem,
 }
 
 /// A fixed-base comb table for one curve point: `rows[i][d] = (d·16^i)·P`.
@@ -226,7 +226,7 @@ impl EcGroup {
         lhs == rhs
     }
 
-    fn to_jacobian(&self, p: &EcPoint) -> Jacobian {
+    pub(crate) fn to_jacobian(&self, p: &EcPoint) -> Jacobian {
         match p.xy() {
             None => Jacobian {
                 x: self.fp.one_elem(),
@@ -241,7 +241,7 @@ impl EcGroup {
         }
     }
 
-    fn jac_infinity(&self) -> Jacobian {
+    pub(crate) fn jac_infinity(&self) -> Jacobian {
         let f = &self.fp;
         Jacobian {
             x: f.one_elem(),
@@ -250,7 +250,7 @@ impl EcGroup {
         }
     }
 
-    fn to_affine(&self, p: &Jacobian) -> EcPoint {
+    pub(crate) fn to_affine(&self, p: &Jacobian) -> EcPoint {
         let f = &self.fp;
         if f.is_zero_elem(&p.z) {
             return EcPoint::infinity();
@@ -268,7 +268,7 @@ impl EcGroup {
     /// Normalizes many Jacobian points with a single field inversion
     /// (Montgomery's batch-inversion trick): three multiplications per
     /// point replace one inversion each.
-    fn to_affine_batch(&self, points: &[Jacobian]) -> Vec<EcPoint> {
+    pub(crate) fn to_affine_batch(&self, points: &[Jacobian]) -> Vec<EcPoint> {
         let f = &self.fp;
         let finite: Vec<usize> = (0..points.len())
             .filter(|&i| !f.is_zero_elem(&points[i].z))
@@ -291,7 +291,7 @@ impl EcGroup {
     ///
     /// For `a = p − 3` (all shipped curves), `M = 3(X − Z²)(X + Z²)`, which
     /// trades two squarings and a multiplication for one multiplication.
-    fn jac_double(&self, p: &Jacobian) -> Jacobian {
+    pub(crate) fn jac_double(&self, p: &Jacobian) -> Jacobian {
         let f = &self.fp;
         if f.is_zero_elem(&p.z) || f.is_zero_elem(&p.y) {
             return self.jac_infinity();
@@ -319,7 +319,7 @@ impl EcGroup {
     }
 
     /// General Jacobian addition.
-    fn jac_add(&self, p: &Jacobian, q: &Jacobian) -> Jacobian {
+    pub(crate) fn jac_add(&self, p: &Jacobian, q: &Jacobian) -> Jacobian {
         let f = &self.fp;
         if f.is_zero_elem(&p.z) {
             return q.clone();
@@ -531,8 +531,10 @@ impl EcGroup {
     }
 
     /// Batch fixed-base multiplication: all results share one field
-    /// inversion for the final affine conversion.
-    pub fn scalar_mul_comb_batch(&self, comb: &EcComb, ks: &[BigUint]) -> Vec<EcPoint> {
+    /// inversion for the final affine conversion. Takes scalar references
+    /// so callers holding scalars elsewhere (e.g. inside [`crate::Scalar`])
+    /// never clone them just to batch.
+    pub fn scalar_mul_comb_batch(&self, comb: &EcComb, ks: &[&BigUint]) -> Vec<EcPoint> {
         let jacs: Vec<Jacobian> = ks.iter().map(|k| self.comb_mul_jac(comb, k)).collect();
         self.to_affine_batch(&jacs)
     }
@@ -591,8 +593,75 @@ impl EcGroup {
     }
 
     /// Batch fixed-base multiplication by the generator.
-    pub fn scalar_mul_gen_batch(&self, ks: &[BigUint]) -> Vec<EcPoint> {
+    pub fn scalar_mul_gen_batch(&self, ks: &[&BigUint]) -> Vec<EcPoint> {
         self.scalar_mul_comb_batch(self.gen_comb(), ks)
+    }
+
+    /// Jacobian negation: `(X, −Y, Z)`. Free compared to a field
+    /// inversion — this is what makes signed (wNAF) digit recodings pay
+    /// off on the curve side.
+    pub(crate) fn jac_neg(&self, p: &Jacobian) -> Jacobian {
+        Jacobian {
+            x: p.x.clone(),
+            y: self.fp.msub(&self.fp.zero_elem(), &p.y),
+            z: p.z.clone(),
+        }
+    }
+
+    /// Shared-recoding batch multiplication: every point times the *same*
+    /// scalar. The scalar's width-4 wNAF digits are recoded once
+    /// ([`crate::msm::wnaf_digits`]) and replayed for every point; each
+    /// point then needs only its odd-multiple table `{P, 3P, …, 15P}`
+    /// (one doubling plus seven additions — signed digits make the
+    /// negative half free) and the shared double-and-add schedule. All
+    /// results are normalized through one batched field inversion.
+    ///
+    /// This is the shape of a decryption hop: one key share, many `β`s.
+    pub fn scalar_mul_same_batch(&self, points: &[&EcPoint], k: &BigUint) -> Vec<EcPoint> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let k = k % &self.params.n;
+        if k.is_zero() {
+            return vec![EcPoint::infinity(); points.len()];
+        }
+        let digits = crate::msm::wnaf_digits(&k, 4);
+        let jacs: Vec<Jacobian> = points
+            .iter()
+            .map(|p| {
+                if p.is_infinity() {
+                    return self.jac_infinity();
+                }
+                let base = self.to_jacobian(p);
+                let twice = self.jac_double(&base);
+                let mut odd = Vec::with_capacity(8);
+                odd.push(base);
+                for i in 1..8 {
+                    let next = self.jac_add(&odd[i - 1], &twice);
+                    odd.push(next);
+                }
+                let mut acc: Option<Jacobian> = None;
+                for &d in digits.iter().rev() {
+                    if let Some(a) = acc.as_mut() {
+                        *a = self.jac_double(a);
+                    }
+                    if d != 0 {
+                        let entry = &odd[d.unsigned_abs() as usize / 2];
+                        let term = if d > 0 {
+                            entry.clone()
+                        } else {
+                            self.jac_neg(entry)
+                        };
+                        acc = Some(match acc {
+                            None => term,
+                            Some(a) => self.jac_add(&a, &term),
+                        });
+                    }
+                }
+                acc.unwrap_or_else(|| self.jac_infinity())
+            })
+            .collect();
+        self.to_affine_batch(&jacs)
     }
 
     /// SEC1 compressed encoding (`0x02/0x03 || x`); infinity is all zeros.
@@ -821,11 +890,20 @@ mod tests {
             .map(|&k| BigUint::from(k))
             .collect();
         let comb = g.build_comb(&q);
-        let batch = g.scalar_mul_comb_batch(&comb, &ks);
+        let k_refs: Vec<&BigUint> = ks.iter().collect();
+        let batch = g.scalar_mul_comb_batch(&comb, &k_refs);
         for (k, got) in ks.iter().zip(&batch) {
             assert_eq!(got, &g.scalar_mul(&q, k));
         }
-        assert_eq!(g.scalar_mul_gen_batch(&ks)[2], g.scalar_mul(&p, &ks[2]));
+        assert_eq!(g.scalar_mul_gen_batch(&k_refs)[2], g.scalar_mul(&p, &ks[2]));
+        let same = g.scalar_mul_same_batch(&[&p, &q, &EcPoint::infinity()], &ks[3]);
+        assert_eq!(same[0], g.scalar_mul(&p, &ks[3]));
+        assert_eq!(same[1], g.scalar_mul(&q, &ks[3]));
+        assert!(same[2].is_infinity());
+        assert!(g
+            .scalar_mul_same_batch(&[&p, &q], &BigUint::zero())
+            .iter()
+            .all(EcPoint::is_infinity));
         let pairs: Vec<(&EcPoint, &BigUint)> = ks.iter().map(|k| (&q, k)).collect();
         let batch = g.scalar_mul_batch(&pairs);
         for (k, got) in ks.iter().zip(&batch) {

@@ -38,6 +38,7 @@ pub mod cache;
 mod dl;
 mod ec;
 mod kind;
+mod msm;
 mod scalar;
 mod traits;
 

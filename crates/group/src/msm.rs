@@ -1,0 +1,322 @@
+//! Multi-scalar multiplication: one engine, two backends.
+//!
+//! Computes `Π bᵢ^{kᵢ}` (multiplicative notation; `Σ kᵢ·Pᵢ` on curves) in
+//! a single pass instead of one exponentiation per term. Two classical
+//! algorithms cover the input-size spectrum:
+//!
+//! * **Straus interleaving** for small batches: a 16-entry 4-bit window
+//!   table per base, all bases sharing one doubling ladder. Cost is about
+//!   `15n` table additions plus `b` doublings plus one addition per
+//!   nonzero window per base (`b` = scalar bits, `n` = terms).
+//!
+//! * **Pippenger bucket aggregation** for large batches: per `c`-bit
+//!   window, every base is added into the bucket of its digit, and the
+//!   `2^c − 1` buckets are collapsed with the running-sum trick (two
+//!   additions per bucket). Cost is about `⌈b/c⌉·(n + 2^{c+1})` additions
+//!   plus `b` doublings — the per-term cost shrinks toward `⌈b/c⌉`
+//!   additions as `n` grows.
+//!
+//! The engine picks the algorithm (and Pippenger's window width `c`) by
+//! evaluating both cost models for the actual term count and scalar
+//! width and taking the cheapest — no hard-coded crossover tables.
+//!
+//! Both group families drive the same generic core: the EC family
+//! accumulates Jacobian buckets and normalizes once through the batched
+//! single-inversion affine conversion; the DL family accumulates
+//! Montgomery residues and leaves the domain once at the end.
+
+use crate::dl::DlGroup;
+use crate::ec::{EcGroup, EcPoint};
+use ppgr_bigint::BigUint;
+
+/// The accumulator operations one family exposes to the generic engine.
+trait MsmOps {
+    type Point: Clone;
+    fn identity(&self) -> Self::Point;
+    fn combine(&self, a: &Self::Point, b: &Self::Point) -> Self::Point;
+    fn double(&self, a: &Self::Point) -> Self::Point;
+}
+
+struct EcMsm<'a>(&'a EcGroup);
+
+impl MsmOps for EcMsm<'_> {
+    type Point = crate::ec::Jacobian;
+
+    fn identity(&self) -> Self::Point {
+        self.0.jac_infinity()
+    }
+
+    fn combine(&self, a: &Self::Point, b: &Self::Point) -> Self::Point {
+        self.0.jac_add(a, b)
+    }
+
+    fn double(&self, a: &Self::Point) -> Self::Point {
+        self.0.jac_double(a)
+    }
+}
+
+struct DlMsm<'a>(&'a DlGroup);
+
+impl MsmOps for DlMsm<'_> {
+    type Point = ppgr_bigint::MontElem;
+
+    fn identity(&self) -> Self::Point {
+        self.0.mont().one_elem()
+    }
+
+    fn combine(&self, a: &Self::Point, b: &Self::Point) -> Self::Point {
+        self.0.mont().mmul(a, b)
+    }
+
+    fn double(&self, a: &Self::Point) -> Self::Point {
+        self.0.mont().msqr(a)
+    }
+}
+
+/// Which algorithm (and window width) to run for a given input shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Plan {
+    Straus,
+    Pippenger { c: usize },
+}
+
+/// Straus cost model in group operations: per-base table build (15 adds),
+/// the shared doubling ladder, and one table addition per 4-bit window
+/// per base (bounding the nonzero-window fraction by 1 keeps the choice
+/// deterministic and slightly favors Pippenger at the margin).
+fn straus_cost(n: usize, bits: usize) -> usize {
+    15 * n + bits + bits.div_ceil(4) * n
+}
+
+/// Pippenger cost model for window width `c`: one bucket insertion per
+/// window per base, two additions per bucket for the running-sum
+/// aggregation, and the shared doubling ladder.
+fn pippenger_cost(n: usize, bits: usize, c: usize) -> usize {
+    bits.div_ceil(c) * (n + 2 * ((1usize << c) - 1)) + bits
+}
+
+/// Auto-selects the algorithm and window width from the input count and
+/// scalar bit-length by minimizing the two cost models.
+pub(crate) fn plan(n: usize, bits: usize) -> Plan {
+    let mut best = Plan::Straus;
+    let mut best_cost = straus_cost(n, bits);
+    for c in 2..=13 {
+        let cost = pippenger_cost(n, bits, c);
+        if cost < best_cost {
+            best_cost = cost;
+            best = Plan::Pippenger { c };
+        }
+    }
+    best
+}
+
+/// Width-`w` non-adjacent form: LSB-first signed digits, each either zero
+/// or odd in `±{1, 3, …, 2^w − 1}`, at most one nonzero digit in any `w`
+/// consecutive positions. Shared by the same-scalar batch paths, which
+/// recode once and replay the digits for every base.
+pub(crate) fn wnaf_digits(k: &BigUint, w: u32) -> Vec<i64> {
+    let modulus = 1u64 << (w + 1);
+    let half = 1u64 << w;
+    let mut k = k.clone();
+    let mut digits = Vec::with_capacity(k.bits() + 1);
+    while !k.is_zero() {
+        if k.bit(0) {
+            // Lowest w+1 bits as an unsigned value.
+            let mut low = 0u64;
+            for b in 0..=w {
+                low |= (k.bit(b as usize) as u64) << b;
+            }
+            let d = if low >= half {
+                // Negative digit: add its magnitude back so the borrow
+                // propagates as a carry.
+                let mag = modulus - low;
+                k = &k + &BigUint::from(mag);
+                -(mag as i64)
+            } else {
+                k = k
+                    .checked_sub(&BigUint::from(low))
+                    .unwrap_or_else(BigUint::zero);
+                low as i64
+            };
+            digits.push(d);
+        } else {
+            digits.push(0);
+        }
+        k = k.shr(1);
+    }
+    digits
+}
+
+/// The generic engine: dispatches on [`plan`] and returns the family's
+/// internal accumulator (Jacobian / Montgomery residue) so the caller
+/// controls the final (possibly batched) normalization.
+fn msm<G: MsmOps>(g: &G, bases: &[G::Point], scalars: &[&BigUint]) -> G::Point {
+    debug_assert_eq!(bases.len(), scalars.len());
+    let bits = scalars.iter().map(|s| s.bits()).max().unwrap_or(0);
+    if bases.is_empty() || bits == 0 {
+        return g.identity();
+    }
+    match plan(bases.len(), bits) {
+        Plan::Straus => straus(g, bases, scalars, bits),
+        Plan::Pippenger { c } => pippenger(g, bases, scalars, bits, c),
+    }
+}
+
+fn straus<G: MsmOps>(g: &G, bases: &[G::Point], scalars: &[&BigUint], bits: usize) -> G::Point {
+    // Per-base window tables: tables[i][d] = bᵢ^d for d in 0..16.
+    let tables: Vec<Vec<G::Point>> = bases
+        .iter()
+        .map(|p| {
+            let mut t = Vec::with_capacity(16);
+            t.push(g.identity());
+            t.push(p.clone());
+            for d in 2..16 {
+                let next = g.combine(&t[d - 1], p);
+                t.push(next);
+            }
+            t
+        })
+        .collect();
+    let windows = bits.div_ceil(4);
+    let mut acc: Option<G::Point> = None;
+    for w in (0..windows).rev() {
+        if let Some(a) = acc.as_mut() {
+            for _ in 0..4 {
+                *a = g.double(a);
+            }
+        }
+        for (table, k) in tables.iter().zip(scalars) {
+            let mut window = 0usize;
+            for b in 0..4 {
+                window |= (k.bit(4 * w + b) as usize) << b;
+            }
+            if window != 0 {
+                acc = Some(match acc {
+                    None => table[window].clone(),
+                    Some(a) => g.combine(&a, &table[window]),
+                });
+            }
+        }
+    }
+    acc.unwrap_or_else(|| g.identity())
+}
+
+fn pippenger<G: MsmOps>(
+    g: &G,
+    bases: &[G::Point],
+    scalars: &[&BigUint],
+    bits: usize,
+    c: usize,
+) -> G::Point {
+    let windows = bits.div_ceil(c);
+    let mut buckets: Vec<Option<G::Point>> = vec![None; (1 << c) - 1];
+    let mut acc: Option<G::Point> = None;
+    for w in (0..windows).rev() {
+        if let Some(a) = acc.as_mut() {
+            for _ in 0..c {
+                *a = g.double(a);
+            }
+        }
+        for b in buckets.iter_mut() {
+            *b = None;
+        }
+        for (p, k) in bases.iter().zip(scalars) {
+            let mut d = 0usize;
+            for t in 0..c {
+                d |= (k.bit(c * w + t) as usize) << t;
+            }
+            if d != 0 {
+                let slot = &mut buckets[d - 1];
+                *slot = Some(match slot.take() {
+                    None => p.clone(),
+                    Some(cur) => g.combine(&cur, p),
+                });
+            }
+        }
+        // Running-sum aggregation: scanning buckets from the highest digit
+        // down, `running` holds Σ_{d' ≥ d} bucket_{d'} and `sum` collects
+        // Σ d·bucket_d — two additions per occupied bucket, none for the
+        // empty ones.
+        let mut running: Option<G::Point> = None;
+        let mut sum: Option<G::Point> = None;
+        for b in buckets.iter().rev() {
+            if let Some(p) = b {
+                running = Some(match running.take() {
+                    None => p.clone(),
+                    Some(r) => g.combine(&r, p),
+                });
+            }
+            if let Some(r) = &running {
+                sum = Some(match sum.take() {
+                    None => r.clone(),
+                    Some(s) => g.combine(&s, r),
+                });
+            }
+        }
+        if let Some(s) = sum {
+            acc = Some(match acc {
+                None => s,
+                Some(a) => g.combine(&a, &s),
+            });
+        }
+    }
+    acc.unwrap_or_else(|| g.identity())
+}
+
+/// EC entry point: buckets accumulate in Jacobian coordinates; the single
+/// result is normalized through the Fermat-inversion affine conversion.
+pub(crate) fn msm_ec(g: &EcGroup, pairs: &[(&EcPoint, &BigUint)]) -> EcPoint {
+    let bases: Vec<_> = pairs.iter().map(|(p, _)| g.to_jacobian(p)).collect();
+    let scalars: Vec<&BigUint> = pairs.iter().map(|&(_, k)| k).collect();
+    g.to_affine(&msm(&EcMsm(g), &bases, &scalars))
+}
+
+/// DL entry point: the whole evaluation stays in the Montgomery domain;
+/// one `enter` per base, one `leave` for the result.
+pub(crate) fn msm_dl(g: &DlGroup, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+    let mont = g.mont();
+    let bases: Vec<_> = pairs
+        .iter()
+        .map(|(b, _)| mont.enter(&(*b % g.modulus())))
+        .collect();
+    let scalars: Vec<&BigUint> = pairs.iter().map(|&(_, k)| k).collect();
+    mont.leave(&msm(&DlMsm(g), &bases, &scalars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_prefers_straus_for_tiny_inputs_and_pippenger_for_large() {
+        assert_eq!(plan(1, 160), Plan::Straus);
+        assert_eq!(plan(2, 160), Plan::Straus);
+        let Plan::Pippenger { c } = plan(512, 160) else {
+            panic!("512-term MSM should bucket-aggregate");
+        };
+        assert!((4..=13).contains(&c), "c={c}");
+        // Wider scalars justify wider windows at the same term count.
+        let cost_at = |n: usize, bits: usize| match plan(n, bits) {
+            Plan::Straus => 0,
+            Plan::Pippenger { c } => c,
+        };
+        assert!(cost_at(4096, 1024) >= cost_at(4096, 160));
+    }
+
+    #[test]
+    fn wnaf_digits_reconstruct_scalar() {
+        for v in [0u64, 1, 2, 3, 15, 16, 31, 170, 0xdead_beef, u64::MAX] {
+            let digits = wnaf_digits(&BigUint::from(v), 4);
+            let mut acc: i128 = 0;
+            for (i, &d) in digits.iter().enumerate() {
+                acc += (d as i128) << i;
+                assert!(d == 0 || (d % 2 != 0 && d.unsigned_abs() < 16), "d={d}");
+            }
+            assert_eq!(acc, v as i128, "v={v}");
+            // Non-adjacency: no two nonzero digits within w positions.
+            for pair in digits.windows(4) {
+                assert!(pair.iter().filter(|&&d| d != 0).count() <= 1, "v={v}");
+            }
+        }
+    }
+}

@@ -353,8 +353,115 @@ impl Group {
                 .map(|s| Element::Dl(g.pow_gen(&s.0)))
                 .collect(),
             GroupImpl::Ec(g) => {
-                let ks: Vec<BigUint> = scalars.iter().map(|s| s.0.clone()).collect();
+                let ks: Vec<&BigUint> = scalars.iter().map(|s| &s.0).collect();
                 g.scalar_mul_gen_batch(&ks)
+                    .into_iter()
+                    .map(Element::Ec)
+                    .collect()
+            }
+        }
+    }
+
+    /// Multi-exponentiation `Π aᵢ^{sᵢ}` evaluated in a single pass.
+    ///
+    /// Backed by the in-crate MSM engine: Straus interleaving for small
+    /// batches, Pippenger bucket aggregation for large ones, with the
+    /// window width auto-selected from the term count and scalar
+    /// bit-length. Far cheaper than folding [`Group::exp`] results with
+    /// [`Group::op`] — the amortized per-term cost falls toward a few
+    /// dozen group operations — which is what makes batch Schnorr
+    /// verification (`ppgr-zkp`) collapse k proofs into one equation.
+    ///
+    /// The empty product is the identity.
+    ///
+    /// Returns [`GroupError::FamilyMismatch`] if any element belongs to
+    /// the other group family.
+    pub fn try_multi_exp(&self, pairs: &[(&Element, &Scalar)]) -> Result<Element, GroupError> {
+        match &self.inner {
+            GroupImpl::Dl(g) => {
+                let mut items: Vec<(&BigUint, &BigUint)> = Vec::with_capacity(pairs.len());
+                for (a, s) in pairs {
+                    let Element::Dl(a) = a else {
+                        return Err(GroupError::FamilyMismatch {
+                            operation: "multi_exp",
+                        });
+                    };
+                    items.push((a, &s.0));
+                }
+                Ok(Element::Dl(crate::msm::msm_dl(g, &items)))
+            }
+            GroupImpl::Ec(g) => {
+                let mut items: Vec<(&EcPoint, &BigUint)> = Vec::with_capacity(pairs.len());
+                for (a, s) in pairs {
+                    let Element::Ec(a) = a else {
+                        return Err(GroupError::FamilyMismatch {
+                            operation: "multi_exp",
+                        });
+                    };
+                    items.push((a, &s.0));
+                }
+                Ok(Element::Ec(crate::msm::msm_ec(g, &items)))
+            }
+        }
+    }
+
+    /// Multi-exponentiation `Π aᵢ^{sᵢ}` (see [`Group::try_multi_exp`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element belongs to the other group family.
+    pub fn multi_exp(&self, pairs: &[(&Element, &Scalar)]) -> Element {
+        // tidy:allow(panic) — documented panicking twin of try_multi_exp; protocol paths use try_* on untrusted input
+        self.try_multi_exp(pairs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Batch exponentiation of many bases by one *shared* scalar.
+    ///
+    /// The scalar's digit recoding is computed once and replayed for
+    /// every base (wNAF odd-multiple tables on the EC family, shared
+    /// window digits on the DL family), and the elliptic-curve results
+    /// share a single field inversion. This is the shape of a decryption
+    /// hop: one key share, every ciphertext's `β`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element belongs to the other group family.
+    pub fn exp_same_batch(&self, bases: &[&Element], s: &Scalar) -> Vec<Element> {
+        match &self.inner {
+            GroupImpl::Dl(g) => {
+                let bs: Vec<&BigUint> = bases
+                    .iter()
+                    .map(|a| match a {
+                        Element::Dl(a) => a,
+                        // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                        _ => panic!(
+                            "{}",
+                            GroupError::FamilyMismatch {
+                                operation: "exp_same_batch"
+                            }
+                        ),
+                    })
+                    .collect();
+                g.pow_same_batch(&bs, &s.0)
+                    .into_iter()
+                    .map(Element::Dl)
+                    .collect()
+            }
+            GroupImpl::Ec(g) => {
+                let pts: Vec<&EcPoint> = bases
+                    .iter()
+                    .map(|a| match a {
+                        Element::Ec(a) => a,
+                        // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                        _ => panic!(
+                            "{}",
+                            GroupError::FamilyMismatch {
+                                operation: "exp_same_batch"
+                            }
+                        ),
+                    })
+                    .collect();
+                g.scalar_mul_same_batch(&pts, &s.0)
                     .into_iter()
                     .map(Element::Ec)
                     .collect()
@@ -414,7 +521,7 @@ impl Group {
                 .map(|s| Element::Dl(g.pow_comb(c, &s.0)))
                 .collect(),
             (GroupImpl::Ec(g), TableImpl::Ec(c)) => {
-                let ks: Vec<BigUint> = scalars.iter().map(|s| s.0.clone()).collect();
+                let ks: Vec<&BigUint> = scalars.iter().map(|s| &s.0).collect();
                 g.scalar_mul_comb_batch(c, &ks)
                     .into_iter()
                     .map(Element::Ec)

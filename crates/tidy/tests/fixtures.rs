@@ -126,3 +126,24 @@ fn variable_time_eq_on_secret_fires() {
 fn secret_good_is_silent() {
     assert!(rules_for(PROTO, fixture!("secret_good.rs")).is_empty());
 }
+
+#[test]
+fn randomized_batch_combiner_fires_determinism_and_panic() {
+    // The textbook batch-verification combiner is drawn from OsRng; on the
+    // zkp protocol surface that breaks both the bit-identical-transcript
+    // rule and the panic-free rule (the unwrap on the aggregate verdict).
+    let rules = rules_for(
+        "crates/zkp/src/fixture.rs",
+        fixture!("batch_combiner_bad.rs"),
+    );
+    assert_eq!(rules, vec!["determinism", "panic"]);
+}
+
+#[test]
+fn deterministic_msm_batch_shape_is_silent() {
+    // The shape the real msm/batch modules use — hash-derived combiners,
+    // Option/Result fallbacks — is clean on both protocol crates involved.
+    for path in ["crates/zkp/src/fixture.rs", "crates/group/src/fixture.rs"] {
+        assert!(rules_for(path, fixture!("msm_batch_good.rs")).is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! Bad: a batch-verification combiner drawn from ambient entropy.
+//!
+//! Randomized combiners are the textbook construction, but this codebase
+//! forbids them: transcripts must be bit-identical across replays, so the
+//! combiners must be derived by hashing the transcript set instead
+//! (`ppgr_zkp::batch`). An `OsRng`-based combiner must trip the
+//! determinism rule, and the `unwrap` on the aggregate equation must trip
+//! the panic rule on the protocol surface.
+
+pub fn random_combiners(count: usize) -> Vec<u128> {
+    let mut rng = rand::rngs::OsRng;
+    (0..count).map(|_| rng.gen()).collect()
+}
+
+pub fn aggregate_check(lhs: Option<bool>) -> bool {
+    lhs.unwrap()
+}

@@ -1,0 +1,23 @@
+//! Good: the shape of the MSM engine and the batch verifier — combiners
+//! derived deterministically by hashing the transcript set, fallible
+//! paths returning `Result`/`Option` instead of panicking.
+
+pub fn derive_combiners(encodings: &[Vec<u8>]) -> Vec<u128> {
+    let mut out = Vec::with_capacity(encodings.len());
+    for (i, enc) in encodings.iter().enumerate() {
+        let mut acc: u128 = 0x6363_u128;
+        for &b in enc {
+            acc = acc.rotate_left(8) ^ u128::from(b) ^ (i as u128);
+        }
+        out.push(acc | 1);
+    }
+    out
+}
+
+pub fn bucket_index(digit: usize) -> Option<usize> {
+    digit.checked_sub(1)
+}
+
+pub fn aggregate_check(lhs: Option<bool>) -> bool {
+    lhs.unwrap_or(false)
+}

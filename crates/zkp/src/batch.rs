@@ -1,0 +1,163 @@
+//! Batch Schnorr verification: k transcripts, one multi-exponentiation.
+//!
+//! A single transcript `(h, c, z)` for statement `y` verifies as
+//! `g^z = h·y^c` — two full exponentiations per proof. Scaling each
+//! equation by an independent small combiner `wᵢ` and multiplying them
+//! together gives one aggregate check,
+//!
+//! ```text
+//!     g^{Σ wᵢzᵢ}  =  Π hᵢ^{wᵢ} · yᵢ^{wᵢcᵢ}
+//! ```
+//!
+//! whose right-hand side is a 2k-term multi-exponentiation
+//! ([`Group::try_multi_exp`]) with half the scalars only 128 bits wide,
+//! and whose left-hand side is a single fixed-base exponentiation. A
+//! cheater passes the aggregate check only by predicting its combiner —
+//! probability `≤ 2⁻¹²⁸` per attempt.
+//!
+//! The combiners are derived **deterministically** by hashing the whole
+//! transcript set (statements, commitments, challenges, responses) under
+//! a domain-separation tag. Ambient randomness (`thread_rng`, `OsRng`)
+//! is deliberately not used: the framework's transcripts must be
+//! bit-identical across replays (`ppgr-tidy` enforces this crate-wide),
+//! and deterministic combiners lose nothing — a prover cannot influence
+//! her combiner without also changing the hash input she must satisfy.
+//!
+//! Batch rejection falls back to per-proof verification, so the caller
+//! always learns *which* proof failed (`SortError::ProofRejected` in
+//! `ppgr-core` still names the culprit party). The individual checks are
+//! authoritative; the aggregate equation is purely an accelerator.
+
+use crate::multi::MultiVerifierTranscript;
+use crate::schnorr::SchnorrTranscript;
+use ppgr_bigint::BigUint;
+use ppgr_group::{Element, Group, Scalar};
+use ppgr_hash::Sha256;
+
+/// Domain-separation tag for combiner derivation.
+const DOMAIN: &[u8] = b"ppgr/zkp/batch/v1";
+
+/// Combiner width in bytes (128 bits): small enough that half the MSM
+/// scalars are cheap, large enough that forging the aggregate equation
+/// is as hard as forging a proof.
+const COMBINER_BYTES: usize = 16;
+
+/// Verifies `k` Schnorr transcripts in one aggregate equation.
+///
+/// Each item pairs a statement `yᵢ` with its transcript. Returns `Ok(())`
+/// if every proof verifies; otherwise `Err(i)` with the index of the
+/// first failing proof (established by the per-proof fallback scan, never
+/// by the aggregate equation alone).
+///
+/// The empty batch is vacuously valid. Cross-family or otherwise
+/// malformed inputs are handled like any rejection: the fallback scan
+/// attributes them.
+pub fn verify_batch(group: &Group, items: &[(&Element, &SchnorrTranscript)]) -> Result<(), usize> {
+    if items.is_empty() {
+        return Ok(());
+    }
+    if items.len() == 1 {
+        let (y, t) = items[0];
+        return if t.verify(group, y) { Ok(()) } else { Err(0) };
+    }
+    if batch_equation_holds(group, items) == Some(true) {
+        return Ok(());
+    }
+    scan(group, items)
+}
+
+/// Verifies `k` multi-verifier transcripts in one aggregate equation by
+/// first collapsing each to its single-verifier form (summed challenge).
+pub fn verify_multi_batch(
+    group: &Group,
+    items: &[(&Element, &MultiVerifierTranscript)],
+) -> Result<(), usize> {
+    let singles: Vec<SchnorrTranscript> = items.iter().map(|(_, t)| t.as_single(group)).collect();
+    let refs: Vec<(&Element, &SchnorrTranscript)> = items
+        .iter()
+        .zip(&singles)
+        .map(|((y, _), t)| (*y, t))
+        .collect();
+    verify_batch(group, &refs)
+}
+
+/// Per-proof fallback: authoritative, names the first failing index.
+/// Finding none is possible only on a combiner collision (`≤ 2⁻¹²⁸`) or
+/// after a transient aggregate mismatch that individual checks refute —
+/// either way the individual verdicts win.
+fn scan(group: &Group, items: &[(&Element, &SchnorrTranscript)]) -> Result<(), usize> {
+    match items.iter().position(|(y, t)| !t.verify(group, y)) {
+        Some(i) => Err(i),
+        None => Ok(()),
+    }
+}
+
+/// Evaluates the aggregate equation. `None` means the input could not be
+/// combined (e.g. a cross-family element) — the caller treats that like a
+/// rejection and lets the fallback scan attribute it.
+fn batch_equation_holds(group: &Group, items: &[(&Element, &SchnorrTranscript)]) -> Option<bool> {
+    let combiners = derive_combiners(group, items)?;
+    // Left side: g^{Σ wᵢzᵢ} — one fixed-base exponentiation.
+    let mut z_total = group.scalar_from_u64(0);
+    // Right side: the 2k MSM terms (hᵢ, wᵢ) and (yᵢ, wᵢ·cᵢ).
+    let mut scaled: Vec<(Scalar, Scalar)> = Vec::with_capacity(items.len());
+    for (w, (_, t)) in combiners.iter().zip(items) {
+        z_total = group.scalar_add(&z_total, &group.scalar_mul(w, &t.response));
+        scaled.push((w.clone(), group.scalar_mul(w, &t.challenge)));
+    }
+    let mut terms: Vec<(&Element, &Scalar)> = Vec::with_capacity(2 * items.len());
+    for ((y, t), (w, wc)) in items.iter().zip(&scaled) {
+        terms.push((&t.commitment, w));
+        terms.push((y, wc));
+    }
+    let lhs = group.exp_gen(&z_total);
+    let rhs = group.try_multi_exp(&terms).ok()?;
+    Some(lhs == rhs)
+}
+
+/// Derives the 128-bit combiners: one SHA-256 pass binds the entire
+/// transcript set into a seed, then each index is expanded from the seed.
+/// Returns `None` if any element cannot be encoded under this group.
+fn derive_combiners(
+    group: &Group,
+    items: &[(&Element, &SchnorrTranscript)],
+) -> Option<Vec<Scalar>> {
+    let scalar_len = group.order().bits().div_ceil(8);
+    let mut h = Sha256::new();
+    h.update(DOMAIN);
+    h.update(&(items.len() as u64).to_be_bytes());
+    for (y, t) in items {
+        h.update(&group.try_encode(y).ok()?);
+        h.update(&group.try_encode(&t.commitment).ok()?);
+        h.update(&scalar_bytes(scalar_len, &t.challenge));
+        h.update(&scalar_bytes(scalar_len, &t.response));
+    }
+    let seed = h.finalize();
+    Some(
+        (0..items.len())
+            .map(|i| {
+                let mut hi = Sha256::new();
+                hi.update(DOMAIN);
+                hi.update(&seed);
+                hi.update(&(i as u64).to_be_bytes());
+                let digest = hi.finalize();
+                let w = group.scalar_from(&BigUint::from_bytes_be(&digest[..COMBINER_BYTES]));
+                // A zero combiner would drop proof i from the aggregate
+                // equation entirely; map it to 1 (probability 2⁻¹²⁸).
+                if w.is_zero() {
+                    group.scalar_from_u64(1)
+                } else {
+                    w
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Fixed-width big-endian scalar bytes, so the hash input is unambiguous.
+fn scalar_bytes(width: usize, s: &Scalar) -> Vec<u8> {
+    let raw = s.value().to_bytes_be();
+    let mut out = vec![0u8; width.saturating_sub(raw.len())];
+    out.extend_from_slice(&raw);
+    out
+}

@@ -13,15 +13,21 @@
 //!   ([`multi`]);
 //! * a Fiat–Shamir non-interactive variant ([`nizk`]) for contexts without
 //!   interaction (not used by the HBC framework itself, provided for
-//!   completeness).
+//!   completeness);
+//! * **batch verification** ([`batch`]): k transcripts collapsed into a
+//!   single multi-exponentiation via deterministic 128-bit combiners,
+//!   falling back to per-proof checks so rejections still name the
+//!   culprit.
 
 #![forbid(unsafe_code)]
 #![deny(unused_must_use)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod multi;
 pub mod nizk;
 pub mod schnorr;
 
+pub use batch::{verify_batch, verify_multi_batch};
 pub use multi::{MultiVerifierProof, MultiVerifierTranscript};
 pub use schnorr::{extract_witness, simulate_transcript, SchnorrProver, SchnorrTranscript};

@@ -1,0 +1,118 @@
+//! Batch verification soundness and attribution: a valid batch passes, a
+//! tampered proof inside a batch of valid ones is rejected *and* pinned
+//! to the right index, and the aggregate equation never overrules the
+//! individual checks.
+
+use ppgr_group::{Element, Group, GroupKind, Scalar};
+use ppgr_zkp::{verify_batch, verify_multi_batch, MultiVerifierProof, SchnorrProver};
+use ppgr_zkp::{MultiVerifierTranscript, SchnorrTranscript};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn proofs(g: &Group, k: usize, seed: u64) -> (Vec<Element>, Vec<SchnorrTranscript>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut statements = Vec::with_capacity(k);
+    let mut transcripts = Vec::with_capacity(k);
+    for _ in 0..k {
+        let x = g.random_scalar(&mut rng);
+        statements.push(g.exp_gen(&x));
+        let (p, h) = SchnorrProver::commit(g, x, &mut rng);
+        let c = g.random_scalar(&mut rng);
+        transcripts.push(p.respond(&c, h));
+    }
+    (statements, transcripts)
+}
+
+fn items<'a>(
+    ys: &'a [Element],
+    ts: &'a [SchnorrTranscript],
+) -> Vec<(&'a Element, &'a SchnorrTranscript)> {
+    ys.iter().zip(ts).collect()
+}
+
+#[test]
+fn valid_batches_pass_on_both_families() {
+    for kind in [GroupKind::Ecc160, GroupKind::Dl1024] {
+        let g = kind.group();
+        for k in [0usize, 1, 2, 5, 15] {
+            let (ys, ts) = proofs(&g, k, 42 + k as u64);
+            assert_eq!(verify_batch(&g, &items(&ys, &ts)), Ok(()), "{kind:?} k={k}");
+        }
+    }
+}
+
+#[test]
+fn single_tampered_proof_is_attributed_to_the_right_index() {
+    for kind in [GroupKind::Ecc160, GroupKind::Dl1024] {
+        let g = kind.group();
+        for bad in [0usize, 3, 7] {
+            let (ys, mut ts) = proofs(&g, 8, 99);
+            ts[bad].response = g.scalar_add(&ts[bad].response, &g.scalar_from_u64(1));
+            assert_eq!(
+                verify_batch(&g, &items(&ys, &ts)),
+                Err(bad),
+                "{kind:?} bad={bad}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multiple_bad_proofs_report_the_first() {
+    let g = GroupKind::Ecc160.group();
+    let (ys, mut ts) = proofs(&g, 8, 7);
+    for bad in [2usize, 5] {
+        ts[bad].challenge = g.scalar_add(&ts[bad].challenge, &g.scalar_from_u64(3));
+    }
+    assert_eq!(verify_batch(&g, &items(&ys, &ts)), Err(2));
+}
+
+#[test]
+fn tampered_singleton_batch_is_rejected() {
+    let g = GroupKind::Ecc160.group();
+    let (ys, mut ts) = proofs(&g, 1, 1);
+    ts[0].response = g.scalar_add(&ts[0].response, &g.scalar_from_u64(1));
+    assert_eq!(verify_batch(&g, &items(&ys, &ts)), Err(0));
+}
+
+#[test]
+fn cross_family_element_is_rejected_not_panicking() {
+    let g = GroupKind::Ecc160.group();
+    let dl = GroupKind::Dl1024.group();
+    let (mut ys, ts) = proofs(&g, 4, 3);
+    ys[1] = dl.generator().clone();
+    assert_eq!(verify_batch(&g, &items(&ys, &ts)), Err(1));
+}
+
+#[test]
+fn batch_verdict_is_deterministic() {
+    // Same transcripts, same verdict, no ambient randomness: run twice.
+    let g = GroupKind::Ecc160.group();
+    let (ys, ts) = proofs(&g, 6, 1234);
+    let a = verify_batch(&g, &items(&ys, &ts));
+    let b = verify_batch(&g, &items(&ys, &ts));
+    assert_eq!(a, b);
+    assert_eq!(a, Ok(()));
+}
+
+#[test]
+fn multi_verifier_batch_collapses_and_attributes() {
+    for kind in [GroupKind::Ecc160, GroupKind::Dl1024] {
+        let g = kind.group();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut ys: Vec<Element> = Vec::new();
+        let mut ts: Vec<MultiVerifierTranscript> = Vec::new();
+        for _ in 0..5 {
+            let x = g.random_scalar(&mut rng);
+            ys.push(g.exp_gen(&x));
+            ts.push(MultiVerifierProof::run(&g, &x, 3, &mut rng));
+        }
+        let refs: Vec<(&Element, &MultiVerifierTranscript)> = ys.iter().zip(&ts).collect();
+        assert_eq!(verify_multi_batch(&g, &refs), Ok(()), "{kind:?}");
+
+        let bumped: Scalar = g.scalar_add(&ts[4].response, &g.scalar_from_u64(1));
+        ts[4].response = bumped;
+        let refs: Vec<(&Element, &MultiVerifierTranscript)> = ys.iter().zip(&ts).collect();
+        assert_eq!(verify_multi_batch(&g, &refs), Err(4), "{kind:?}");
+    }
+}
