@@ -19,13 +19,25 @@ fn bench_simulation(c: &mut Criterion) {
         let dl = traces::framework_trace(GroupKind::Dl1024, n, 52, 10, 3, 3);
         let ss = traces::ss_trace(n, 52, 10, 3);
         g.bench_with_input(BenchmarkId::new("ecc160", n), &n, |b, _| {
-            b.iter(|| sim.simulate(&ecc).completion_s)
+            b.iter(|| {
+                sim.simulate(&ecc)
+                    .expect("trace is well formed")
+                    .completion_s
+            })
         });
         g.bench_with_input(BenchmarkId::new("dl1024", n), &n, |b, _| {
-            b.iter(|| sim.simulate(&dl).completion_s)
+            b.iter(|| {
+                sim.simulate(&dl)
+                    .expect("trace is well formed")
+                    .completion_s
+            })
         });
         g.bench_with_input(BenchmarkId::new("ss", n), &n, |b, _| {
-            b.iter(|| sim.simulate(&ss).completion_s)
+            b.iter(|| {
+                sim.simulate(&ss)
+                    .expect("trace is well formed")
+                    .completion_s
+            })
         });
     }
     g.finish();

@@ -216,13 +216,27 @@ fn fig3b(cal: &Calibration) {
         let dl_trace = traces::framework_trace(GroupKind::Dl1024, n, l, d.m, d.t, 3);
         let ss_b = traces::ss_trace(n, l, d.m, d.t);
         let ss_u = traces::ss_trace_unbatched(n, l, d.m, d.t);
-        let ecc = sim.simulate(&ecc_trace).completion_s
+        let ecc = sim
+            .simulate(&ecc_trace)
+            .expect("trace is well formed")
+            .completion_s
             + framework_participant_time(cal, GroupKind::Ecc160, n, l).as_secs_f64();
-        let dl = sim.simulate(&dl_trace).completion_s
+        let dl = sim
+            .simulate(&dl_trace)
+            .expect("trace is well formed")
+            .completion_s
             + framework_participant_time(cal, GroupKind::Dl1024, n, l).as_secs_f64();
         let ss_compute = ss_participant_time(cal, n, l).as_secs_f64();
-        let ss_batched = sim.simulate(&ss_b).completion_s + ss_compute;
-        let ss_unbatched = sim.simulate(&ss_u).completion_s + ss_compute;
+        let ss_batched = sim
+            .simulate(&ss_b)
+            .expect("trace is well formed")
+            .completion_s
+            + ss_compute;
+        let ss_unbatched = sim
+            .simulate(&ss_u)
+            .expect("trace is well formed")
+            .completion_s
+            + ss_compute;
         t.row(vec![
             n.to_string(),
             fmt_duration(std::time::Duration::from_secs_f64(ecc)),

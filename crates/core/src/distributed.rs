@@ -8,6 +8,19 @@
 //! that the very same protocol runs correctly as a message-passing system
 //! and is the starting point for a networked deployment. Integration
 //! tests assert both runners produce identical rankings.
+//!
+//! # Fault tolerance
+//!
+//! The protocol is strictly lockstep, so a single crashed or silent party
+//! would block every other party forever if receives were unbounded.
+//! Every blocking wait here is bounded by a per-phase allowance
+//! ([`PhaseBudget`]), failures are typed with *blame*
+//! ([`DistributedError`]), and the first party to observe a failure
+//! broadcasts an abort frame ([`crate::wire::AbortFrame`]) so survivors
+//! exit within one deadline — adopting the original blame — instead of
+//! cascading timeouts that would blame innocent intermediaries.
+//! Deterministic fault injection ([`FaultPlan`]) exercises all of this in
+//! tests; see `docs/FAULTS.md` for the fault model.
 
 use crate::attrs::{InfoVector, InitiatorProfile};
 use crate::circuit::compare_encrypted;
@@ -15,33 +28,136 @@ use crate::gain::to_unsigned;
 use crate::params::FrameworkParams;
 use crate::submit::{verify_submissions, Submission, VerificationReport};
 use crate::timing::PartyTimer;
-use crate::wire::{Reader, Writer};
+use crate::wire::{parse_frame, AbortFrame, AbortKind, Frame, Reader, Writer};
+use bytes::Bytes;
 use ppgr_bigint::Fp;
 use ppgr_dotprod::{default_field, DotProduct, Round1Message, Round2Message};
 use ppgr_elgamal::{encrypt_bits, Ciphertext, ExpElGamal, JointKey, KeyPair};
 use ppgr_group::Group;
 use ppgr_hash::HashDrbg;
-use ppgr_net::{LocalMesh, PartyHandle, TrafficLog};
+use ppgr_net::{
+    CrashStash, FaultPlan, FaultyMesh, LocalMesh, MeshError, Phase, PhaseBudget, TrafficLog,
+};
 use ppgr_zkp::{verify_batch, SchnorrProver, SchnorrTranscript};
 use rand::{Rng, SeedableRng};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
-/// Error from the distributed execution.
+/// Error from the distributed execution, carrying blame: the party id
+/// each variant names is the party held responsible, not (necessarily)
+/// the party that reported it.
 #[derive(Clone, Debug, Eq, PartialEq)]
-pub struct DistributedError {
-    party: usize,
-    what: String,
+pub enum DistributedError {
+    /// The blamed party sent nothing before the phase deadline (a wedged
+    /// or silently-stopped process — its channels stayed open).
+    Timeout {
+        /// The party that stayed silent.
+        party: usize,
+        /// The phase in which the silence was observed.
+        phase: Phase,
+    },
+    /// The blamed party's channels tore down (a crashed process).
+    Disconnected {
+        /// The party that hung up.
+        party: usize,
+        /// The phase in which the disconnect was observed.
+        phase: Phase,
+    },
+    /// The blamed party presented a proof of key knowledge that failed
+    /// verification.
+    ProofRejected {
+        /// The prover whose proof was rejected.
+        party: usize,
+    },
+    /// The blamed party violated the protocol (malformed or unexpected
+    /// bytes).
+    Protocol {
+        /// The party whose bytes did not decode.
+        party: usize,
+        /// What was wrong.
+        what: String,
+    },
+    /// This party was stopped by injected fault (test harnesses only; a
+    /// crashed party blames itself and stays silent).
+    Crashed {
+        /// The party that was crashed.
+        party: usize,
+    },
+}
+
+impl DistributedError {
+    /// The party this error holds responsible.
+    pub fn blamed(&self) -> usize {
+        match self {
+            DistributedError::Timeout { party, .. }
+            | DistributedError::Disconnected { party, .. }
+            | DistributedError::ProofRejected { party }
+            | DistributedError::Protocol { party, .. }
+            | DistributedError::Crashed { party } => *party,
+        }
+    }
 }
 
 impl fmt::Display for DistributedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "party {} failed: {}", self.party, self.what)
+        match self {
+            DistributedError::Timeout { party, phase } => {
+                write!(f, "party {party} sent nothing before the {phase} deadline")
+            }
+            DistributedError::Disconnected { party, phase } => {
+                write!(f, "party {party} disconnected during {phase}")
+            }
+            DistributedError::ProofRejected { party } => {
+                write!(f, "proof of key knowledge by party {party} rejected")
+            }
+            DistributedError::Protocol { party, what } => {
+                write!(f, "party {party} violated the protocol: {what}")
+            }
+            DistributedError::Crashed { party } => {
+                write!(f, "party {party} was crashed by fault injection")
+            }
+        }
     }
 }
 
 impl Error for DistributedError {}
+
+/// Everything the driver learned from a failed session: one primary error
+/// (the consensus blame) plus what every individual thread observed.
+#[derive(Clone, Debug)]
+pub struct DistributedFailure {
+    /// The consensus failure: the first non-[`Crashed`]
+    /// (`DistributedError::Crashed`) observation in party order.
+    pub primary: DistributedError,
+    /// `(observer, error)` for every thread that failed, in party order.
+    /// Surviving threads that completed cleanly do not appear.
+    pub observations: Vec<(usize, DistributedError)>,
+}
+
+impl fmt::Display for DistributedFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} parties reported failures)",
+            self.primary,
+            self.observations.len()
+        )
+    }
+}
+
+impl Error for DistributedFailure {}
+
+/// Liveness configuration for a distributed run.
+#[derive(Clone, Debug, Default)]
+pub struct DistributedConfig {
+    /// Per-phase wall-clock allowances for blocking waits.
+    pub budget: PhaseBudget,
+    /// Scripted fault injection (tests only); `None` runs fault-free.
+    pub faults: Option<Arc<FaultPlan>>,
+}
 
 /// Outcome of a distributed run.
 #[derive(Clone, Debug)]
@@ -52,72 +168,313 @@ pub struct DistributedOutcome {
     pub report: VerificationReport,
 }
 
-type Net = PartyHandle<bytes::Bytes>;
+type Net = FaultyMesh<Bytes>;
 
-fn err<T>(party: usize, what: impl Into<String>) -> Result<T, DistributedError> {
-    Err(DistributedError {
-        party,
-        what: what.into(),
-    })
+/// Per-thread protocol context: the party's mesh endpoint plus the
+/// deadline budget, with failure paths that broadcast abort frames.
+struct Ctx {
+    net: Net,
+    me: usize,
+    /// Number of participants (the mesh holds `n + 1` parties).
+    n: usize,
+    budget: PhaseBudget,
 }
 
-macro_rules! wire_try {
-    ($party:expr, $e:expr) => {
+impl Ctx {
+    /// Declares entry into `phase` (scripted crashes fire here).
+    fn enter(&self, phase: Phase) -> Result<(), DistributedError> {
+        self.net
+            .enter_phase(phase)
+            .map_err(|_| DistributedError::Crashed { party: self.me })
+    }
+
+    /// Broadcasts an abort frame describing `e` (best-effort, to every
+    /// party) and returns `e`. The frame carries only blame — never
+    /// protocol state — so survivors learn *who* failed and nothing else.
+    fn fail(&self, e: DistributedError) -> DistributedError {
+        let frame = match &e {
+            DistributedError::Timeout { party, phase } => Some(AbortFrame {
+                blamed: *party,
+                phase: *phase,
+                kind: AbortKind::Timeout,
+            }),
+            DistributedError::Disconnected { party, phase } => Some(AbortFrame {
+                blamed: *party,
+                phase: *phase,
+                kind: AbortKind::Disconnected,
+            }),
+            DistributedError::ProofRejected { party } => Some(AbortFrame {
+                blamed: *party,
+                phase: self.net.phase(),
+                kind: AbortKind::ProofRejected,
+            }),
+            DistributedError::Protocol { party, .. } => Some(AbortFrame {
+                blamed: *party,
+                phase: self.net.phase(),
+                kind: AbortKind::Protocol,
+            }),
+            // A crashed party is dead: it must not speak.
+            DistributedError::Crashed { .. } => None,
+        };
+        if let Some(frame) = frame {
+            let _ = self.net.broadcast(&frame.encode());
+        }
+        e
+    }
+
+    /// Adopts a received abort frame: re-broadcasts it (so parties waiting
+    /// on *this* party's lanes learn the original blame rather than
+    /// blaming this party's exit) and converts it to the typed error.
+    fn adopt(&self, frame: AbortFrame) -> DistributedError {
+        let _ = self.net.broadcast(&frame.encode());
+        match frame.kind {
+            AbortKind::Timeout => DistributedError::Timeout {
+                party: frame.blamed,
+                phase: frame.phase,
+            },
+            AbortKind::Disconnected => DistributedError::Disconnected {
+                party: frame.blamed,
+                phase: frame.phase,
+            },
+            AbortKind::ProofRejected => DistributedError::ProofRejected {
+                party: frame.blamed,
+            },
+            AbortKind::Protocol => DistributedError::Protocol {
+                party: frame.blamed,
+                what: format!("protocol violation reported in {}", frame.phase),
+            },
+        }
+    }
+
+    /// A protocol-violation failure blaming `party` (abort broadcast).
+    fn protocol(&self, party: usize, what: impl fmt::Display) -> DistributedError {
+        self.fail(DistributedError::Protocol {
+            party,
+            what: what.to_string(),
+        })
+    }
+
+    /// Receives a data frame from `from`, waiting at most `timeout`; abort
+    /// frames are adopted, mesh failures blamed on the awaited party.
+    fn recv_within(&self, from: usize, timeout: Duration) -> Result<Bytes, DistributedError> {
+        let phase = self.net.phase();
+        let raw = self
+            .net
+            .recv_from_timeout(from, timeout)
+            .map_err(|e| match e {
+                MeshError::Timeout { peer } => {
+                    self.fail(DistributedError::Timeout { party: peer, phase })
+                }
+                MeshError::Disconnected { peer } => {
+                    self.fail(DistributedError::Disconnected { party: peer, phase })
+                }
+                MeshError::Crashed => DistributedError::Crashed { party: self.me },
+                other => self.fail(DistributedError::Protocol {
+                    party: self.me,
+                    what: other.to_string(),
+                }),
+            })?;
+        match parse_frame(&raw) {
+            Ok(Frame::Data(payload)) => Ok(payload),
+            Ok(Frame::Abort(frame)) => Err(self.adopt(frame)),
+            Err(e) => Err(self.protocol(from, e)),
+        }
+    }
+
+    /// Receives from `from` within `steps` allowances of the current
+    /// phase. `steps > 1` covers waits that legitimately span several
+    /// upstream parties' work (the shuffle chain, serial service loops).
+    fn recv_scaled(&self, from: usize, steps: u32) -> Result<Bytes, DistributedError> {
+        self.recv_within(from, self.budget.of(self.net.phase()) * steps.max(1))
+    }
+
+    /// Receives from `from` within one allowance of the current phase.
+    fn recv(&self, from: usize) -> Result<Bytes, DistributedError> {
+        self.recv_scaled(from, 1)
+    }
+
+    /// Sends `bytes` to `to`; a torn-down peer is blamed immediately.
+    fn send(&self, to: usize, bytes: Bytes) -> Result<(), DistributedError> {
+        let phase = self.net.phase();
+        self.net.send(to, bytes).map_err(|e| match e {
+            MeshError::Crashed => DistributedError::Crashed { party: self.me },
+            MeshError::Disconnected { peer } => {
+                self.fail(DistributedError::Disconnected { party: peer, phase })
+            }
+            other => self.fail(DistributedError::Protocol {
+                party: self.me,
+                what: other.to_string(),
+            }),
+        })
+    }
+
+    /// Broadcasts to every *participant* (not the initiator), attempting
+    /// all peers; the first torn-down peer is blamed.
+    fn bcast_participants(&self, bytes: &Bytes) -> Result<(), DistributedError> {
+        let phase = self.net.phase();
+        let mut failed = Vec::new();
+        for j in 1..=self.n {
+            if j == self.me {
+                continue;
+            }
+            match self.net.send(j, bytes.clone()) {
+                Ok(()) => {}
+                Err(MeshError::Crashed) => {
+                    return Err(DistributedError::Crashed { party: self.me })
+                }
+                Err(_) => failed.push(j),
+            }
+        }
+        match failed.first() {
+            None => Ok(()),
+            Some(&party) => Err(self.fail(DistributedError::Disconnected { party, phase })),
+        }
+    }
+}
+
+/// Decodes with `$e`; a failure is a protocol violation blamed on `$from`
+/// (use the local id for encoding failures).
+macro_rules! try_wire {
+    ($ctx:expr, $from:expr, $e:expr) => {
         match $e {
             Ok(v) => v,
-            Err(e) => return err($party, e.to_string()),
+            Err(e) => return Err($ctx.protocol($from, e)),
         }
     };
 }
 
-/// Runs the full framework with one thread per party over a channel mesh.
+/// Runs the full framework with one thread per party over a channel mesh,
+/// with default deadlines and no fault injection.
 ///
 /// # Errors
 ///
-/// Returns [`DistributedError`] if any party hits a malformed message, a
-/// failed proof, or a disconnected peer.
+/// Returns the primary [`DistributedError`] if any party hits a malformed
+/// message, a failed proof, a timeout, or a disconnected peer.
 pub fn run_distributed(
     params: &FrameworkParams,
     profile: InitiatorProfile,
     infos: Vec<InfoVector>,
 ) -> Result<DistributedOutcome, DistributedError> {
+    run_distributed_with(params, profile, infos, DistributedConfig::default())
+        .map_err(|f| f.primary)
+}
+
+/// Runs the distributed framework under an explicit [`DistributedConfig`]
+/// (deadline budget and optional fault injection).
+///
+/// Every thread is joined even when the session fails, so a returned
+/// [`DistributedFailure`] lists what *each* party observed — the liveness
+/// guarantee is that all of them return within their deadlines.
+///
+/// # Errors
+///
+/// [`DistributedFailure`] carrying the consensus blame and all per-party
+/// observations.
+pub fn run_distributed_with(
+    params: &FrameworkParams,
+    profile: InitiatorProfile,
+    infos: Vec<InfoVector>,
+    config: DistributedConfig,
+) -> Result<DistributedOutcome, DistributedFailure> {
     let n = params.participants();
     assert_eq!(infos.len(), n, "population size mismatch");
-    let handles = LocalMesh::new::<bytes::Bytes>(n + 1);
-    let mut handles: Vec<Option<Net>> = handles.into_iter().map(Some).collect();
+    let budget = config.budget;
+    let stash = CrashStash::new();
+    let plan = config.faults;
+    let wrap = |h| match &plan {
+        Some(p) => FaultyMesh::with_plan(h, Arc::clone(p), stash.clone()),
+        None => FaultyMesh::passthrough(h),
+    };
+    let mut nets: Vec<Net> = LocalMesh::new::<Bytes>(n + 1)
+        .into_iter()
+        .map(wrap)
+        .collect();
+    nets.reverse(); // pop() now yields party 0 first
 
-    let initiator_net = match handles[0].take() {
-        Some(h) => h,
-        None => return err(0, "missing initiator handle"),
+    let spawn_failure = |party: usize| DistributedFailure {
+        primary: DistributedError::Protocol {
+            party,
+            what: "missing mesh handle".into(),
+        },
+        observations: Vec::new(),
+    };
+
+    let Some(initiator_net) = nets.pop() else {
+        return Err(spawn_failure(0));
     };
     let params0 = params.clone();
-    let initiator = thread::spawn(move || initiator_thread(params0, profile, initiator_net));
+    let initiator =
+        thread::spawn(move || initiator_thread(params0, profile, initiator_net, budget));
 
     let mut participants = Vec::with_capacity(n);
     for (idx, info) in infos.into_iter().enumerate() {
-        let net = match handles[idx + 1].take() {
-            Some(h) => h,
-            None => return err(idx + 1, "missing participant handle"),
+        let Some(net) = nets.pop() else {
+            return Err(spawn_failure(idx + 1));
         };
         let params_j = params.clone();
         participants.push(thread::spawn(move || {
-            participant_thread(params_j, info, net)
+            participant_thread(params_j, info, net, budget)
         }));
     }
 
-    let report = initiator.join().map_err(|_| DistributedError {
-        party: 0,
-        what: "initiator thread panicked".into(),
-    })??;
-    let mut ranks = vec![0usize; n];
+    // Join *everything* before judging the outcome: the liveness guarantee
+    // is that every thread returns, not merely the first.
+    let panicked = |party: usize| DistributedError::Protocol {
+        party,
+        what: "thread panicked".into(),
+    };
+    let init_result = initiator.join().map_err(|_| panicked(0));
+    let mut part_results = Vec::with_capacity(n);
     for (idx, t) in participants.into_iter().enumerate() {
-        let rank = t.join().map_err(|_| DistributedError {
-            party: idx + 1,
-            what: "thread panicked".into(),
-        })??;
-        ranks[idx] = rank;
+        part_results.push(t.join().map_err(|_| panicked(idx + 1)));
     }
-    Ok(DistributedOutcome { ranks, report })
+    drop(stash); // silently-stalled handles may close only after all joins
+
+    let mut observations: Vec<(usize, DistributedError)> = Vec::new();
+    let report = match init_result {
+        Ok(Ok(report)) => Some(report),
+        Ok(Err(e)) | Err(e) => {
+            observations.push((0, e));
+            None
+        }
+    };
+    let mut ranks = vec![0usize; n];
+    for (idx, r) in part_results.into_iter().enumerate() {
+        match r {
+            Ok(Ok(rank)) => ranks[idx] = rank,
+            Ok(Err(e)) | Err(e) => observations.push((idx + 1, e)),
+        }
+    }
+
+    if let (Some(report), true) = (report, observations.is_empty()) {
+        return Ok(DistributedOutcome { ranks, report });
+    }
+    // Primary blame: the observation closest to the root cause. Direct
+    // evidence of misbehaviour (`ProofRejected` / `Protocol`) outranks
+    // liveness failures, and among timeouts/disconnects the earliest
+    // phase wins — a party wedged in `encrypt` also strands the
+    // initiator's `submit` gather, but `encrypt` is where it died.
+    // `Crashed` is a thread's own exit marker, never blame evidence.
+    let phase_rank = |e: &DistributedError| match e {
+        DistributedError::ProofRejected { .. } | DistributedError::Protocol { .. } => -1i32,
+        DistributedError::Timeout { phase, .. } | DistributedError::Disconnected { phase, .. } => {
+            Phase::ALL.iter().position(|p| p == phase).unwrap_or(0) as i32
+        }
+        DistributedError::Crashed { .. } => i32::MAX,
+    };
+    let primary = observations
+        .iter()
+        .enumerate()
+        .min_by_key(|(order, (_, e))| (phase_rank(e), *order))
+        .map(|(_, (_, e))| e.clone())
+        .unwrap_or(DistributedError::Protocol {
+            party: 0,
+            what: "session failed with no observations".into(),
+        });
+    Err(DistributedFailure {
+        primary,
+        observations,
+    })
 }
 
 /// The initiator (`P₀`): answers dot-product rounds, then collects and
@@ -126,9 +483,11 @@ fn initiator_thread(
     params: FrameworkParams,
     profile: InitiatorProfile,
     net: Net,
+    budget: PhaseBudget,
 ) -> Result<VerificationReport, DistributedError> {
     let me = 0usize;
     let n = params.participants();
+    let ctx = Ctx { net, me, n, budget };
     let field = default_field();
     let proto = DotProduct::new(field.clone());
     let mut rng = HashDrbg::seed_from_u64(params.seed()).fork(b"party-0");
@@ -153,47 +512,52 @@ fn initiator_thread(
     }
 
     // Phase 1: serve each participant's dot product, in party order.
+    ctx.enter(Phase::Gain)?;
     for j in 1..=n {
-        let bytes = wire_try!(me, net.recv_from(j));
+        let bytes = ctx.recv(j)?;
         let mut r = Reader::new(bytes);
-        let rows = wire_try!(me, r.len());
+        let rows = try_wire!(ctx, j, r.len());
         let mut qx = Vec::with_capacity(rows);
         for _ in 0..rows {
-            qx.push(wire_try!(me, r.fp_vec(&field)));
+            qx.push(try_wire!(ctx, j, r.fp_vec(&field)));
         }
-        let c_prime = wire_try!(me, r.fp_vec(&field));
-        let g = wire_try!(me, r.fp_vec(&field));
-        wire_try!(me, r.done());
+        let c_prime = try_wire!(ctx, j, r.fp_vec(&field));
+        let g = try_wire!(ctx, j, r.fp_vec(&field));
+        try_wire!(ctx, j, r.done());
         let msg1 = Round1Message { qx, c_prime, g };
 
         let rho_j = rng.gen_range(0..rho);
         let alpha = field.from_i128(rho_j as i128);
         let msg2 = proto.receiver_round2(&v_recv, &alpha, &msg1, &mut rng);
-        let mut w_out = Writer::new();
+        let mut w_out = Writer::framed();
         w_out.put_fp(&msg2.a);
         w_out.put_fp(&msg2.h);
-        wire_try!(me, net.send(j, w_out.finish()));
+        ctx.send(j, w_out.finish())?;
     }
 
     // Phase 3: gather one submission-or-decline from every participant.
+    // The first gather legitimately spans the participants' entire
+    // phase 2, so each wait is bounded by the whole-session budget.
+    ctx.enter(Phase::Submit)?;
+    let gather_window = budget.session_total(n);
     let mut submissions = Vec::new();
     for j in 1..=n {
-        let bytes = wire_try!(me, net.recv_from(j));
+        let bytes = ctx.recv_within(j, gather_window)?;
         let mut r = Reader::new(bytes);
-        let claimed = wire_try!(me, r.u64()) as usize;
+        let claimed = try_wire!(ctx, j, r.u64()) as usize;
         if claimed == 0 {
-            wire_try!(me, r.done());
+            try_wire!(ctx, j, r.done());
             continue; // decline
         }
-        let count = wire_try!(me, r.len());
+        let count = try_wire!(ctx, j, r.len());
         let mut values = Vec::with_capacity(count);
         for _ in 0..count {
-            values.push(wire_try!(me, r.u64()));
+            values.push(try_wire!(ctx, j, r.u64()));
         }
-        wire_try!(me, r.done());
+        try_wire!(ctx, j, r.done());
         let info = match InfoVector::new(q, values, params.attr_bits()) {
             Ok(i) => i,
-            Err(e) => return err(me, format!("bad submission from {j}: {e}")),
+            Err(e) => return Err(ctx.protocol(j, format!("bad submission: {e}"))),
         };
         submissions.push(Submission {
             party: j,
@@ -219,9 +583,11 @@ fn participant_thread(
     params: FrameworkParams,
     info: InfoVector,
     net: Net,
+    budget: PhaseBudget,
 ) -> Result<usize, DistributedError> {
     let me = net.id(); // 1..=n
     let n = params.participants();
+    let ctx = Ctx { net, me, n, budget };
     let l = params.beta_bits();
     let group: Group = params.group().group();
     let scheme = ExpElGamal::new(group.clone());
@@ -232,6 +598,7 @@ fn participant_thread(
     let (m, t) = (q.dimension(), q.equal_to_count());
 
     // ---- Phase 1: masked gain via the secure dot product. -------------
+    ctx.enter(Phase::Gain)?;
     let vj = info.values();
     let mut w_vec: Vec<Fp> = Vec::with_capacity(m + t);
     for &vk in &vj[t..m] {
@@ -244,40 +611,43 @@ fn participant_thread(
         w_vec.push(field.from_i128(vk as i128));
     }
     let (state, msg1) = proto.sender_round1(&w_vec, &mut rng);
-    let mut w_out = Writer::new();
-    wire_try!(me, w_out.put_len(msg1.qx.len()));
+    let mut w_out = Writer::framed();
+    try_wire!(ctx, me, w_out.put_len(msg1.qx.len()));
     for row in &msg1.qx {
-        wire_try!(me, w_out.put_fp_vec(row));
+        try_wire!(ctx, me, w_out.put_fp_vec(row));
     }
-    wire_try!(me, w_out.put_fp_vec(&msg1.c_prime));
-    wire_try!(me, w_out.put_fp_vec(&msg1.g));
-    wire_try!(me, net.send(0, w_out.finish()));
+    try_wire!(ctx, me, w_out.put_fp_vec(&msg1.c_prime));
+    try_wire!(ctx, me, w_out.put_fp_vec(&msg1.g));
+    ctx.send(0, w_out.finish())?;
 
-    let bytes = wire_try!(me, net.recv_from(0));
+    // The initiator serves parties in id order, so P_me waits behind
+    // `me − 1` earlier services.
+    let bytes = ctx.recv_scaled(0, me as u32)?;
     let mut r = Reader::new(bytes);
-    let a = wire_try!(me, r.fp(&field));
-    let hh = wire_try!(me, r.fp(&field));
-    wire_try!(me, r.done());
+    let a = try_wire!(ctx, 0, r.fp(&field));
+    let hh = try_wire!(ctx, 0, r.fp(&field));
+    try_wire!(ctx, 0, r.done());
     let beta_signed = match state.finish(&Round2Message { a, h: hh }).to_i128_centered() {
         Some(v) => v,
-        None => return err(me, "masked gain out of i128 range"),
+        None => return Err(ctx.protocol(me, "masked gain out of i128 range")),
     };
     let beta = to_unsigned(beta_signed, l);
 
     // ---- Phase 2, step 5: keys + proofs of knowledge. ------------------
+    ctx.enter(Phase::KeyGen)?;
     let kp = KeyPair::generate(&group, &mut rng);
     {
-        let mut w_out = Writer::new();
+        let mut w_out = Writer::framed();
         w_out.put_element(&group, kp.public_key());
-        wire_try!(me, broadcast_participants(&net, n, w_out.finish()));
+        ctx.bcast_participants(&w_out.finish())?;
     }
     let mut public_shares: Vec<ppgr_group::Element> = vec![group.identity(); n + 1];
     public_shares[me] = kp.public_key().clone();
     for j in participants_except(n, me) {
-        let bytes = wire_try!(me, net.recv_from(j));
+        let bytes = ctx.recv(j)?;
         let mut r = Reader::new(bytes);
-        public_shares[j] = wire_try!(me, r.element(&group));
-        wire_try!(me, r.done());
+        public_shares[j] = try_wire!(ctx, j, r.element(&group));
+        try_wire!(ctx, j, r.done());
     }
 
     // Sequential proofs, prover order 1..=n. Verifier challenge shares are
@@ -291,45 +661,45 @@ fn participant_thread(
     for prover in 1..=n {
         if prover == me {
             let (st, commitment) = SchnorrProver::commit(&group, kp.secret_key().clone(), &mut rng);
-            let mut w_out = Writer::new();
+            let mut w_out = Writer::framed();
             w_out.put_element(&group, &commitment);
-            wire_try!(me, broadcast_participants(&net, n, w_out.finish()));
+            ctx.bcast_participants(&w_out.finish())?;
             let mut total = group.scalar_from_u64(0);
             for j in participants_except(n, me) {
-                let bytes = wire_try!(me, net.recv_from(j));
+                let bytes = ctx.recv(j)?;
                 let mut r = Reader::new(bytes);
-                total = group.scalar_add(&total, &wire_try!(me, r.scalar(&group)));
-                wire_try!(me, r.done());
+                total = group.scalar_add(&total, &try_wire!(ctx, j, r.scalar(&group)));
+                try_wire!(ctx, j, r.done());
             }
             let transcript = st.respond(&total, commitment);
-            let mut w_out = Writer::new();
+            let mut w_out = Writer::framed();
             w_out.put_scalar(&group, &transcript.response);
-            wire_try!(me, broadcast_participants(&net, n, w_out.finish()));
+            ctx.bcast_participants(&w_out.finish())?;
         } else {
-            let bytes = wire_try!(me, net.recv_from(prover));
+            let bytes = ctx.recv(prover)?;
             let mut r = Reader::new(bytes);
-            let commitment = wire_try!(me, r.element(&group));
-            wire_try!(me, r.done());
+            let commitment = try_wire!(ctx, prover, r.element(&group));
+            try_wire!(ctx, prover, r.done());
             // My challenge share, broadcast to everyone.
             let c_mine = group.random_scalar(&mut rng);
-            let mut w_out = Writer::new();
+            let mut w_out = Writer::framed();
             w_out.put_scalar(&group, &c_mine);
-            wire_try!(me, broadcast_participants(&net, n, w_out.finish()));
+            ctx.bcast_participants(&w_out.finish())?;
             // Gather the other verifiers' shares.
             let mut total = c_mine;
             for j in participants_except(n, me) {
                 if j == prover {
                     continue;
                 }
-                let bytes = wire_try!(me, net.recv_from(j));
+                let bytes = ctx.recv(j)?;
                 let mut r = Reader::new(bytes);
-                total = group.scalar_add(&total, &wire_try!(me, r.scalar(&group)));
-                wire_try!(me, r.done());
+                total = group.scalar_add(&total, &try_wire!(ctx, j, r.scalar(&group)));
+                try_wire!(ctx, j, r.done());
             }
-            let bytes = wire_try!(me, net.recv_from(prover));
+            let bytes = ctx.recv(prover)?;
             let mut r = Reader::new(bytes);
-            let response = wire_try!(me, r.scalar(&group));
-            wire_try!(me, r.done());
+            let response = try_wire!(ctx, prover, r.scalar(&group));
+            try_wire!(ctx, prover, r.done());
             // g^z = h · y^Σc, checked for all provers at once below.
             foreign_proofs.push((
                 prover,
@@ -348,7 +718,7 @@ fn participant_thread(
             .collect();
         if let Err(i) = verify_batch(&group, &items) {
             let prover = foreign_proofs[i].0;
-            return err(me, format!("proof of key knowledge by {prover} rejected"));
+            return Err(ctx.fail(DistributedError::ProofRejected { party: prover }));
         }
     }
     let joint = JointKey::combine(
@@ -359,34 +729,40 @@ fn participant_thread(
     );
 
     // ---- Step 6: bitwise encryption, broadcast. ------------------------
+    ctx.enter(Phase::Encrypt)?;
     let my_bits = encrypt_bits(&scheme, joint.public_key(), &beta, l, &mut rng);
     {
-        let mut w_out = Writer::new();
-        wire_try!(me, w_out.put_ciphertexts(&group, &my_bits));
-        wire_try!(me, broadcast_participants(&net, n, w_out.finish()));
+        let mut w_out = Writer::framed();
+        try_wire!(ctx, me, w_out.put_ciphertexts(&group, &my_bits));
+        ctx.bcast_participants(&w_out.finish())?;
     }
     let mut all_bits: Vec<Vec<Ciphertext>> = vec![Vec::new(); n + 1];
     all_bits[me] = my_bits;
     for j in participants_except(n, me) {
-        let bytes = wire_try!(me, net.recv_from(j));
+        let bytes = ctx.recv(j)?;
         let mut r = Reader::new(bytes);
-        all_bits[j] = wire_try!(me, r.ciphertexts(&group));
-        wire_try!(me, r.done());
+        all_bits[j] = try_wire!(ctx, j, r.ciphertexts(&group));
+        try_wire!(ctx, j, r.done());
         if all_bits[j].len() != l {
-            return err(
-                me,
-                format!("party {j} published {} bit ciphertexts", all_bits[j].len()),
-            );
+            return Err(ctx.protocol(
+                j,
+                format!(
+                    "published {} bit ciphertexts, expected {l}",
+                    all_bits[j].len()
+                ),
+            ));
         }
     }
 
     // ---- Step 7: comparisons against every opponent. --------------------
+    ctx.enter(Phase::Compare)?;
     let mut my_set: Vec<Ciphertext> = Vec::with_capacity((n - 1) * l);
     for j in participants_except(n, me) {
         my_set.extend(compare_encrypted(&scheme, &beta, &all_bits[j], l));
     }
 
     // ---- Step 8: the shuffle-decrypt chain. -----------------------------
+    ctx.enter(Phase::Hop)?;
     let process = |sets: &mut Vec<Vec<Ciphertext>>, rng: &mut HashDrbg| {
         for (owner_minus_1, set) in sets.iter_mut().enumerate() {
             if owner_minus_1 + 1 == me {
@@ -402,7 +778,7 @@ fn participant_thread(
         }
     };
     let encode_sets = |sets: &[Vec<Ciphertext>]| {
-        let mut w_out = Writer::new();
+        let mut w_out = Writer::framed();
         w_out.put_len(sets.len())?;
         for set in sets {
             w_out.put_ciphertexts(&group, set)?;
@@ -415,57 +791,58 @@ fn participant_thread(
         let mut sets: Vec<Vec<Ciphertext>> = vec![Vec::new(); n];
         sets[0] = my_set;
         for j in 2..=n {
-            let bytes = wire_try!(me, net.recv_from(j));
+            let bytes = ctx.recv(j)?;
             let mut r = Reader::new(bytes);
-            sets[j - 1] = wire_try!(me, r.ciphertexts(&group));
-            wire_try!(me, r.done());
+            sets[j - 1] = try_wire!(ctx, j, r.ciphertexts(&group));
+            try_wire!(ctx, j, r.done());
         }
         process(&mut sets, &mut rng);
         if n >= 2 {
-            let encoded = wire_try!(me, encode_sets(&sets));
-            wire_try!(me, net.send(2, encoded));
+            let encoded = try_wire!(ctx, me, encode_sets(&sets));
+            ctx.send(2, encoded)?;
         }
-        // My set comes back from P_n at the end.
-        let bytes = wire_try!(me, net.recv_from(n));
+        // My set comes back from P_n after the whole chain: n − 1 hops.
+        let bytes = ctx.recv_scaled(n, n as u32)?;
         let mut r = Reader::new(bytes);
-        my_final_set = wire_try!(me, r.ciphertexts(&group));
-        wire_try!(me, r.done());
+        my_final_set = try_wire!(ctx, n, r.ciphertexts(&group));
+        try_wire!(ctx, n, r.done());
     } else {
         // Send my comparison set to P₁ first.
-        let mut w_out = Writer::new();
-        wire_try!(me, w_out.put_ciphertexts(&group, &my_set));
-        wire_try!(me, net.send(1, w_out.finish()));
-        // Receive V from my predecessor, process, forward.
-        let bytes = wire_try!(me, net.recv_from(me - 1));
+        let mut w_out = Writer::framed();
+        try_wire!(ctx, me, w_out.put_ciphertexts(&group, &my_set));
+        ctx.send(1, w_out.finish())?;
+        // Receive V from my predecessor (me − 1 upstream hops), process,
+        // forward.
+        let bytes = ctx.recv_scaled(me - 1, me as u32)?;
         let mut r = Reader::new(bytes);
-        let count = wire_try!(me, r.len());
+        let count = try_wire!(ctx, me - 1, r.len());
         if count != n {
-            return err(me, "chain vector has wrong arity");
+            return Err(ctx.protocol(me - 1, "chain vector has wrong arity"));
         }
         let mut sets = Vec::with_capacity(n);
         for _ in 0..n {
-            sets.push(wire_try!(me, r.ciphertexts(&group)));
+            sets.push(try_wire!(ctx, me - 1, r.ciphertexts(&group)));
         }
-        wire_try!(me, r.done());
+        try_wire!(ctx, me - 1, r.done());
         process(&mut sets, &mut rng);
         if me < n {
-            let encoded = wire_try!(me, encode_sets(&sets));
-            wire_try!(me, net.send(me + 1, encoded));
-            // Own set returns from P_n.
-            let bytes = wire_try!(me, net.recv_from(n));
+            let encoded = try_wire!(ctx, me, encode_sets(&sets));
+            ctx.send(me + 1, encoded)?;
+            // Own set returns from P_n at chain end.
+            let bytes = ctx.recv_scaled(n, n as u32)?;
             let mut r = Reader::new(bytes);
-            my_final_set = wire_try!(me, r.ciphertexts(&group));
-            wire_try!(me, r.done());
+            my_final_set = try_wire!(ctx, n, r.ciphertexts(&group));
+            try_wire!(ctx, n, r.done());
         } else {
             // I am P_n: return every set to its owner; keep mine.
             for owner in 1..n {
-                let mut w_out = Writer::new();
-                wire_try!(me, w_out.put_ciphertexts(&group, &sets[owner - 1]));
-                wire_try!(me, net.send(owner, w_out.finish()));
+                let mut w_out = Writer::framed();
+                try_wire!(ctx, me, w_out.put_ciphertexts(&group, &sets[owner - 1]));
+                ctx.send(owner, w_out.finish())?;
             }
             my_final_set = match sets.pop() {
                 Some(set) => set,
-                None => return err(me, "chain vector lost the final set"),
+                None => return Err(ctx.protocol(me, "chain vector lost the final set")),
             };
         }
     }
@@ -478,17 +855,18 @@ fn participant_thread(
     let rank = zeros + 1;
 
     // ---- Phase 3: submit or decline. ------------------------------------
-    let mut w_out = Writer::new();
+    ctx.enter(Phase::Submit)?;
+    let mut w_out = Writer::framed();
     if rank <= params.top_k() {
         w_out.put_u64(rank as u64);
-        wire_try!(me, w_out.put_len(info.values().len()));
+        try_wire!(ctx, me, w_out.put_len(info.values().len()));
         for &v in info.values() {
             w_out.put_u64(v);
         }
     } else {
         w_out.put_u64(0); // decline
     }
-    wire_try!(me, net.send(0, w_out.finish()));
+    ctx.send(0, w_out.finish())?;
 
     Ok(rank)
 }
@@ -496,20 +874,6 @@ fn participant_thread(
 /// Participant ids `1..=n` except `me`.
 fn participants_except(n: usize, me: usize) -> impl Iterator<Item = usize> {
     (1..=n).filter(move |&j| j != me)
-}
-
-/// Broadcast to participant ids only (not the initiator).
-fn broadcast_participants(
-    net: &Net,
-    n: usize,
-    bytes: bytes::Bytes,
-) -> Result<(), ppgr_net::MeshError> {
-    for j in 1..=n {
-        if j != net.id() {
-            net.send(j, bytes.clone())?;
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -583,5 +947,24 @@ mod tests {
         let mut sorted = out.ranks.clone();
         sorted.sort_unstable();
         assert!(sorted == vec![1, 2] || sorted == vec![1, 1]);
+    }
+
+    #[test]
+    fn blamed_names_the_party_for_every_variant() {
+        let e = DistributedError::Timeout {
+            party: 3,
+            phase: Phase::Hop,
+        };
+        assert_eq!(e.blamed(), 3);
+        assert_eq!(DistributedError::ProofRejected { party: 2 }.blamed(), 2);
+        assert_eq!(
+            DistributedError::Protocol {
+                party: 1,
+                what: "x".into()
+            }
+            .blamed(),
+            1
+        );
+        assert_eq!(DistributedError::Crashed { party: 4 }.blamed(), 4);
     }
 }

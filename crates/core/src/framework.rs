@@ -26,6 +26,12 @@ pub enum RunError {
     /// A session-machine invariant was violated (phase state out of sync).
     /// Reaching this indicates a bug in the driver, not bad input.
     Internal(&'static str),
+    /// The session was cancelled by its driver before completing.
+    Cancelled,
+    /// The session exceeded its wall-clock budget and was abandoned by its
+    /// driver (the session itself never observes this — a runtime enforces
+    /// it between steps).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for RunError {
@@ -35,6 +41,8 @@ impl fmt::Display for RunError {
             RunError::Vector(e) => write!(f, "invalid population vector: {e}"),
             RunError::Sort(e) => write!(f, "sorting phase failed: {e}"),
             RunError::Internal(what) => write!(f, "internal invariant violated: {what}"),
+            RunError::Cancelled => write!(f, "session cancelled"),
+            RunError::DeadlineExceeded => write!(f, "session exceeded its deadline"),
         }
     }
 }

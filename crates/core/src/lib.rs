@@ -69,7 +69,10 @@ pub use attrs::{
     CriterionVector, InfoVector, InitiatorProfile, Questionnaire, QuestionnaireBuilder,
     VectorError, WeightVector,
 };
-pub use distributed::{run_distributed, DistributedOutcome};
+pub use distributed::{
+    run_distributed, run_distributed_with, DistributedConfig, DistributedError, DistributedFailure,
+    DistributedOutcome,
+};
 pub use framework::{GroupRanking, Outcome, PhaseTimings, RunError, SessionMachine, SessionStatus};
 pub use params::{bit_length, FrameworkParams, FrameworkParamsBuilder, ParamError};
 pub use sorting::{unlinkable_sort, SortError, SortMachine, SortOptions, SortOutcome, SortStatus};

@@ -10,12 +10,19 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ppgr_bigint::{BigUint, Fp, FpCtx};
 use ppgr_elgamal::Ciphertext;
 use ppgr_group::{Group, Scalar};
+use ppgr_net::Phase;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
 /// Bytes per serialized field element.
 pub const FIELD_BYTES: usize = 32;
+
+/// Frame tag: an ordinary protocol message follows.
+pub const TAG_DATA: u8 = 0x01;
+
+/// Frame tag: an abort notification follows.
+pub const TAG_ABORT: u8 = 0x02;
 
 /// Decoding failure.
 #[derive(Clone, Debug, Eq, PartialEq)]
@@ -37,6 +44,137 @@ impl fmt::Display for WireError {
 
 impl Error for WireError {}
 
+/// Why a party aborted the session — carried inside an abort frame so
+/// survivors can adopt the original blame instead of blaming whoever
+/// relayed the news.
+///
+/// The frame deliberately carries nothing beyond liveness facts: who is
+/// blamed, which phase, what kind of failure. No protocol state, shares,
+/// or partial results ever ride on it.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum AbortKind {
+    /// The blamed party sent nothing before its phase deadline.
+    Timeout,
+    /// The blamed party's channels tore down.
+    Disconnected,
+    /// The blamed party presented a proof that failed verification.
+    ProofRejected,
+    /// The blamed party sent bytes that do not decode as the expected
+    /// message.
+    Protocol,
+}
+
+impl AbortKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            AbortKind::Timeout => 0,
+            AbortKind::Disconnected => 1,
+            AbortKind::ProofRejected => 2,
+            AbortKind::Protocol => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => AbortKind::Timeout,
+            1 => AbortKind::Disconnected,
+            2 => AbortKind::ProofRejected,
+            3 => AbortKind::Protocol,
+            _ => return Err(WireError::new("unknown abort kind")),
+        })
+    }
+}
+
+impl fmt::Display for AbortKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AbortKind::Timeout => "timeout",
+            AbortKind::Disconnected => "disconnect",
+            AbortKind::ProofRejected => "rejected proof",
+            AbortKind::Protocol => "protocol violation",
+        };
+        f.write_str(name)
+    }
+}
+
+fn phase_to_u8(phase: Phase) -> u8 {
+    match phase {
+        Phase::Gain => 0,
+        Phase::KeyGen => 1,
+        Phase::Encrypt => 2,
+        Phase::Compare => 3,
+        Phase::Hop => 4,
+        Phase::Submit => 5,
+    }
+}
+
+fn phase_from_u8(v: u8) -> Result<Phase, WireError> {
+    Phase::ALL
+        .get(v as usize)
+        .copied()
+        .ok_or(WireError::new("unknown phase"))
+}
+
+/// The poison pill a failing party broadcasts before unwinding, so every
+/// survivor exits within one deadline instead of a cascade of timeouts.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct AbortFrame {
+    /// The party held responsible for the failure.
+    pub blamed: usize,
+    /// The phase in which the failure was observed.
+    pub phase: Phase,
+    /// What kind of failure was observed.
+    pub kind: AbortKind,
+}
+
+impl AbortFrame {
+    /// Encodes the frame, tag included.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(7);
+        buf.put_u8(TAG_ABORT);
+        buf.put_u32(self.blamed as u32);
+        buf.put_u8(phase_to_u8(self.phase));
+        buf.put_u8(self.kind.to_u8());
+        buf.freeze()
+    }
+}
+
+/// A received distributed-runner message, tag decoded.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum Frame {
+    /// An ordinary protocol message; the payload has the tag stripped.
+    Data(Bytes),
+    /// A peer is telling us the session is dead.
+    Abort(AbortFrame),
+}
+
+/// Splits a raw mesh message into its tag and payload.
+///
+/// # Errors
+///
+/// [`WireError`] on an empty buffer, an unknown tag, or a malformed abort
+/// frame.
+pub fn parse_frame(bytes: &Bytes) -> Result<Frame, WireError> {
+    match bytes.first() {
+        None => Err(WireError::new("empty frame")),
+        Some(&TAG_DATA) => Ok(Frame::Data(bytes.slice(1..))),
+        Some(&TAG_ABORT) => {
+            let mut r = Reader::new(bytes.slice(1..));
+            r.need(6, "truncated abort frame")?;
+            let blamed = r.buf.get_u32() as usize;
+            let phase = phase_from_u8(r.buf.get_u8())?;
+            let kind = AbortKind::from_u8(r.buf.get_u8())?;
+            r.done()?;
+            Ok(Frame::Abort(AbortFrame {
+                blamed,
+                phase,
+                kind,
+            }))
+        }
+        Some(_) => Err(WireError::new("unknown frame tag")),
+    }
+}
+
 /// Serializer over a growable buffer.
 #[derive(Debug, Default)]
 pub struct Writer {
@@ -47,6 +185,15 @@ impl Writer {
     /// Creates an empty writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a writer whose output is a data frame: the buffer starts
+    /// with [`TAG_DATA`], and [`finish`](Self::finish) yields bytes that
+    /// [`parse_frame`] reads back as [`Frame::Data`].
+    pub fn framed() -> Self {
+        let mut w = Self::new();
+        w.buf.put_u8(TAG_DATA);
+        w
     }
 
     /// Appends a `u32` length/count.
@@ -281,6 +428,52 @@ mod tests {
         // 32 bytes of 0xff is ≥ the modulus (2^256 − 189).
         let mut r = Reader::new(Bytes::from(vec![0xffu8; 32]));
         assert!(r.fp(&field).is_err());
+    }
+
+    #[test]
+    fn data_frame_round_trip() {
+        let mut w = Writer::framed();
+        w.put_u64(77);
+        let bytes = w.finish();
+        assert_eq!(bytes[0], TAG_DATA);
+        let Frame::Data(payload) = parse_frame(&bytes).unwrap() else {
+            panic!("expected data frame");
+        };
+        let mut r = Reader::new(payload);
+        assert_eq!(r.u64().unwrap(), 77);
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn abort_frame_round_trip() {
+        for phase in Phase::ALL {
+            for kind in [
+                AbortKind::Timeout,
+                AbortKind::Disconnected,
+                AbortKind::ProofRejected,
+                AbortKind::Protocol,
+            ] {
+                let frame = AbortFrame {
+                    blamed: 3,
+                    phase,
+                    kind,
+                };
+                let bytes = frame.encode();
+                assert_eq!(parse_frame(&bytes).unwrap(), Frame::Abort(frame));
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert!(parse_frame(&Bytes::new()).is_err());
+        assert!(parse_frame(&Bytes::from(vec![0x7f, 0, 0])).is_err());
+        // Abort with a truncated body.
+        assert!(parse_frame(&Bytes::from(vec![TAG_ABORT, 0, 0])).is_err());
+        // Abort with an unknown phase.
+        assert!(parse_frame(&Bytes::from(vec![TAG_ABORT, 0, 0, 0, 3, 99, 0])).is_err());
+        // Abort with trailing bytes.
+        assert!(parse_frame(&Bytes::from(vec![TAG_ABORT, 0, 0, 0, 3, 0, 0, 9])).is_err());
     }
 
     #[test]

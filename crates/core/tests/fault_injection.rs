@@ -1,0 +1,182 @@
+//! Deterministic fault injection against the distributed runner: no
+//! crashed or wedged party may hang a ranking session. For every phase,
+//! crashing one participant must make every surviving thread exit within
+//! its configured deadline with a typed error blaming exactly that party.
+
+use ppgr_core::{
+    run_distributed, run_distributed_with, DistributedConfig, DistributedError, DistributedFailure,
+    FrameworkParams, Questionnaire,
+};
+use ppgr_group::GroupKind;
+use ppgr_hash::HashDrbg;
+use ppgr_net::{FaultPlan, Phase, PhaseBudget};
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A small session (initiator + 2 participants) so debug-mode compute
+/// stays far below even the tightest phase budget used here.
+fn params(seed: u64) -> FrameworkParams {
+    FrameworkParams::builder(Questionnaire::synthetic(1, 2))
+        .participants(2)
+        .top_k(1)
+        .attr_bits(5)
+        .weight_bits(3)
+        .mask_bits(5)
+        .group(GroupKind::Ecc160)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+fn run_with_plan(plan: FaultPlan, budget: PhaseBudget, seed: u64) -> DistributedFailure {
+    let p = params(seed);
+    let mut rng = HashDrbg::seed_from_u64(p.seed());
+    let (profile, infos) = p.random_population(&mut rng);
+    let config = DistributedConfig {
+        budget,
+        faults: Some(Arc::new(plan)),
+    };
+    run_distributed_with(&p, profile, infos, config)
+        .expect_err("a crashed party must fail the session")
+}
+
+/// Every recorded observation — including the victim's own `Crashed`
+/// marker — must blame the victim; nobody blames an innocent party.
+fn assert_unanimous_blame(failure: &DistributedFailure, victim: usize, phase: Phase) {
+    assert!(
+        !failure.observations.is_empty(),
+        "at least the victim reports at {phase}"
+    );
+    for (observer, error) in &failure.observations {
+        assert_eq!(
+            error.blamed(),
+            victim,
+            "party {observer} blamed {} instead of {victim} at {phase}: {error}",
+            error.blamed()
+        );
+    }
+    assert_eq!(failure.primary.blamed(), victim);
+}
+
+/// The phase where a party crashed at `phase` is first *observable*.
+///
+/// `compare` is communication-free (every party compares ciphertexts it
+/// already holds), so nobody can notice an absence until the first
+/// receive of the shuffle-decrypt chain that follows.
+fn first_observable(phase: Phase) -> Phase {
+    match phase {
+        Phase::Compare => Phase::Hop,
+        p => p,
+    }
+}
+
+#[test]
+fn crash_stop_at_every_phase_blames_the_victim() {
+    for (i, &phase) in Phase::ALL.iter().enumerate() {
+        // Alternate the victim so both participant roles (chain head and
+        // chain tail) get exercised.
+        let victim = 1 + (i % 2);
+        let plan = FaultPlan::new().crash_stop(victim, phase);
+        // Generous budget: a closed channel is observed immediately, so
+        // nothing here ever waits the budget out.
+        let budget = PhaseBudget::uniform(Duration::from_secs(5));
+        let started = Instant::now();
+        let failure = run_with_plan(plan, budget, 400 + i as u64);
+        assert_unanimous_blame(&failure, victim, phase);
+        match failure.primary {
+            DistributedError::Disconnected { party, phase: seen } => {
+                assert_eq!(party, victim);
+                assert_eq!(
+                    seen,
+                    first_observable(phase),
+                    "blame carries the crash phase"
+                );
+            }
+            ref other => panic!("crash-stop at {phase} surfaced as {other}"),
+        }
+        // Liveness: survivors exited promptly, nowhere near the budget.
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "crash-stop at {phase} took {:?}",
+            started.elapsed()
+        );
+    }
+}
+
+#[test]
+fn silent_stall_at_every_phase_times_out_blaming_the_victim() {
+    for (i, &phase) in Phase::ALL.iter().enumerate() {
+        let victim = 1 + (i % 2);
+        let plan = FaultPlan::new().silent_stall(victim, phase);
+        // A stall is only detected by waiting a deadline out, so the
+        // budget bounds the test's wall-clock directly. The initiator's
+        // submission gather waits `session_total(n)`, which sums every
+        // phase — keep the budget small enough that even that bound (8
+        // slots for n = 2) stays under two seconds.
+        let budget = PhaseBudget::uniform(Duration::from_millis(150));
+        let started = Instant::now();
+        let failure = run_with_plan(plan, budget, 500 + i as u64);
+        assert_unanimous_blame(&failure, victim, phase);
+        match failure.primary {
+            DistributedError::Timeout { party, phase: seen } => {
+                assert_eq!(party, victim);
+                assert_eq!(
+                    seen,
+                    first_observable(phase),
+                    "blame carries the stall phase"
+                );
+            }
+            ref other => panic!("silent stall at {phase} surfaced as {other}"),
+        }
+        // Liveness: every survivor exited within a small multiple of the
+        // per-wait bound (scaled waits reach n× a slot; the submission
+        // gather reaches session_total = 8 slots for n = 2).
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "silent stall at {phase} took {:?}",
+            started.elapsed()
+        );
+    }
+}
+
+#[test]
+fn seeded_plans_crash_a_real_participant_and_are_reproducible() {
+    for seed in [1u64, 7, 1234] {
+        let plan = FaultPlan::seeded(seed, 2);
+        let again = FaultPlan::seeded(seed, 2);
+        let scripted: Vec<_> = plan.crashes().collect();
+        assert_eq!(scripted, again.crashes().collect::<Vec<_>>());
+        assert_eq!(scripted.len(), 1, "seeded plans script exactly one crash");
+        let (victim, phase, _kind) = scripted[0];
+        assert!((1..=2).contains(&victim), "victim is a participant");
+
+        let budget = PhaseBudget::uniform(Duration::from_millis(150));
+        let failure = run_with_plan(plan, budget, 600 + seed);
+        assert_unanimous_blame(&failure, victim, phase);
+    }
+}
+
+#[test]
+fn fault_free_config_runs_clean_and_matches_the_default_runner() {
+    let p = params(71);
+    let mut rng = HashDrbg::seed_from_u64(p.seed());
+    let (profile, infos) = p.random_population(&mut rng);
+
+    let plain = run_distributed(&p, profile.clone(), infos.clone()).unwrap();
+    let explicit = run_distributed_with(
+        &p,
+        profile,
+        infos,
+        DistributedConfig {
+            budget: PhaseBudget::uniform(Duration::from_secs(30)),
+            faults: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        plain.ranks, explicit.ranks,
+        "deadlines must not perturb results"
+    );
+    assert!(explicit.report.is_clean());
+}

@@ -1,0 +1,212 @@
+//! Per-phase deadlines for the lockstep protocol.
+//!
+//! The paper's protocol is strictly lockstep (keygen → encrypt → compare
+//! → n-hop shuffle chain → submit), so a single crashed or silent party
+//! would block every other party forever if receives were unbounded.
+//! [`PhaseBudget`] assigns each protocol phase a wall-clock allowance and
+//! [`Deadline`] is the arithmetic on one concrete expiry instant.
+//!
+//! Deadlines are a pure *liveness* mechanism: they never feed protocol
+//! state or randomness, so the wall-clock reads here do not endanger the
+//! bit-identical-transcript guarantee (this module is sanctioned in the
+//! `ppgr-tidy` determinism registry — see `docs/ANALYSIS.md`).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The lockstep phases of a ranking session, in protocol order.
+///
+/// Used for deadline selection ([`PhaseBudget::of`]) and for blame
+/// attribution in timeout errors and abort frames.
+#[derive(Clone, Copy, Debug, Eq, Hash, Ord, PartialEq, PartialOrd)]
+pub enum Phase {
+    /// Phase 1: the masked-gain secure dot product.
+    Gain,
+    /// Phase 2, step 5: key shares and proofs of key knowledge.
+    KeyGen,
+    /// Phase 2, step 6: bitwise encryption broadcast.
+    Encrypt,
+    /// Phase 2, step 7: local comparison-set construction.
+    Compare,
+    /// Phase 2, step 8: the shuffle-decrypt chain.
+    Hop,
+    /// Phase 3: rank submission and verification.
+    Submit,
+}
+
+impl Phase {
+    /// All phases in protocol order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Gain,
+        Phase::KeyGen,
+        Phase::Encrypt,
+        Phase::Compare,
+        Phase::Hop,
+        Phase::Submit,
+    ];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::Gain => "gain",
+            Phase::KeyGen => "keygen",
+            Phase::Encrypt => "encrypt",
+            Phase::Compare => "compare",
+            Phase::Hop => "hop",
+            Phase::Submit => "submit",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A wall-clock expiry instant.
+///
+/// Thin wrapper over [`Instant`] so higher layers can wait against a fixed
+/// point in time without re-deriving remaining budgets themselves.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// Time left until expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.remaining() == Duration::ZERO
+    }
+}
+
+/// Wall-clock allowance per protocol phase.
+///
+/// Each allowance bounds a *single blocking wait* inside that phase, not
+/// the phase's total duration: a receive that sees no traffic for the
+/// phase's budget declares the awaited party faulty. Waits that
+/// legitimately span several parties' work (the shuffle chain, the
+/// initiator's submission gather) scale the relevant allowance by the
+/// number of upstream steps — see `session_total`.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct PhaseBudget {
+    /// Allowance for one gain-phase exchange.
+    pub gain: Duration,
+    /// Allowance for one keygen-round message.
+    pub keygen: Duration,
+    /// Allowance for one encryption broadcast.
+    pub encrypt: Duration,
+    /// Allowance for the comparison step (local compute; bounds skew).
+    pub compare: Duration,
+    /// Allowance for **one party's chain hop** (decrypt-randomize-shuffle
+    /// of all `n` sets plus its forward). Waits across `k` upstream hops
+    /// use `k` times this value.
+    pub hop: Duration,
+    /// Allowance for one submission message.
+    pub submit: Duration,
+}
+
+impl PhaseBudget {
+    /// A uniform budget: every phase gets `per_phase`.
+    pub fn uniform(per_phase: Duration) -> Self {
+        PhaseBudget {
+            gain: per_phase,
+            keygen: per_phase,
+            encrypt: per_phase,
+            compare: per_phase,
+            hop: per_phase,
+            submit: per_phase,
+        }
+    }
+
+    /// The allowance for `phase`.
+    pub fn of(&self, phase: Phase) -> Duration {
+        match phase {
+            Phase::Gain => self.gain,
+            Phase::KeyGen => self.keygen,
+            Phase::Encrypt => self.encrypt,
+            Phase::Compare => self.compare,
+            Phase::Hop => self.hop,
+            Phase::Submit => self.submit,
+        }
+    }
+
+    /// A deadline for one wait in `phase`, starting now.
+    pub fn deadline(&self, phase: Phase) -> Deadline {
+        Deadline::after(self.of(phase))
+    }
+
+    /// Upper bound on a fault-free session with `n` participants: the sum
+    /// of all phase allowances with the hop allowance scaled by the chain
+    /// length. The initiator's submission gather waits against this (its
+    /// first receive legitimately spans the participants' whole phase 2).
+    pub fn session_total(&self, n: usize) -> Duration {
+        self.gain
+            + self.keygen
+            + self.encrypt
+            + self.compare
+            + self.hop * (n.max(1) as u32).saturating_add(1)
+            + self.submit
+    }
+}
+
+impl Default for PhaseBudget {
+    /// Generous defaults (30 s per wait): far above any legitimate wait on
+    /// development hardware, so fault-free runs never trip them, while
+    /// still guaranteeing that no party blocks forever.
+    fn default() -> Self {
+        PhaseBudget::uniform(Duration::from_secs(30))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_expires() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert!(far.remaining() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn budget_lookup_matches_fields() {
+        let b = PhaseBudget {
+            gain: Duration::from_millis(1),
+            keygen: Duration::from_millis(2),
+            encrypt: Duration::from_millis(3),
+            compare: Duration::from_millis(4),
+            hop: Duration::from_millis(5),
+            submit: Duration::from_millis(6),
+        };
+        for (phase, ms) in Phase::ALL.iter().zip([1u64, 2, 3, 4, 5, 6]) {
+            assert_eq!(b.of(*phase), Duration::from_millis(ms));
+        }
+    }
+
+    #[test]
+    fn session_total_scales_with_parties() {
+        let b = PhaseBudget::uniform(Duration::from_secs(1));
+        assert!(b.session_total(8) > b.session_total(2));
+        // 5 fixed phases + (n+1) hops.
+        assert_eq!(b.session_total(3), Duration::from_secs(9));
+    }
+
+    #[test]
+    fn phase_order_and_display() {
+        assert!(Phase::Gain < Phase::Submit);
+        assert_eq!(Phase::Hop.to_string(), "hop");
+    }
+}

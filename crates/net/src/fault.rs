@@ -1,0 +1,477 @@
+//! Deterministic fault injection over a [`PartyHandle`].
+//!
+//! [`FaultyMesh`] implements the same send/receive surface as
+//! [`PartyHandle`] but consults a [`FaultPlan`] before every operation, so
+//! tests can reproduce — bit-for-bit, on every run — a party crashing at a
+//! chosen phase, a message being delayed, or a message being lost.
+//!
+//! Two crash models, mirroring real deployments:
+//!
+//! * **crash-stop** — the party dies and its connections tear down: peers
+//!   observe [`MeshError::Disconnected`] immediately.
+//! * **silent-stall** — the party stops participating but its connections
+//!   stay open (a wedged process, a malicious mute): peers observe only
+//!   [`MeshError::Timeout`] once their deadline lapses. The stalled
+//!   party's channels are parked in a [`CrashStash`] that the test driver
+//!   keeps alive until every surviving thread has exited.
+
+use crate::deadline::{Deadline, Phase};
+use crate::mesh::{MeshError, PartyHandle};
+use parking_lot::Mutex;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How an injected crash manifests to the other parties.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum FaultKind {
+    /// Connections tear down: peers see `Disconnected` at once.
+    CrashStop,
+    /// Connections stay open but fall silent: peers see `Timeout`.
+    SilentStall,
+}
+
+/// One injected message delay.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+struct DelayFault {
+    from: usize,
+    to: usize,
+    /// 0-based index on the `(from, to)` lane.
+    nth: u64,
+    delay: Duration,
+}
+
+/// One injected message loss.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+struct DropFault {
+    from: usize,
+    to: usize,
+    nth: u64,
+}
+
+/// A deterministic script of failures for one session.
+///
+/// Build explicitly via the combinators, or derive a single-crash plan
+/// from a seed with [`FaultPlan::seeded`]. Plans contain no ambient
+/// randomness, so a failing seed reproduces exactly.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    crashes: Vec<(usize, Phase, FaultKind)>,
+    delays: Vec<DelayFault>,
+    drops: Vec<DropFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no injected faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crash `party` (connections torn down) when it enters `phase`.
+    #[must_use]
+    pub fn crash_stop(mut self, party: usize, phase: Phase) -> Self {
+        self.crashes.push((party, phase, FaultKind::CrashStop));
+        self
+    }
+
+    /// Stall `party` (connections kept open, silence) at `phase` entry.
+    #[must_use]
+    pub fn silent_stall(mut self, party: usize, phase: Phase) -> Self {
+        self.crashes.push((party, phase, FaultKind::SilentStall));
+        self
+    }
+
+    /// Delay the `nth` (0-based) message on the `from → to` lane by
+    /// `delay` before it is handed to the channel.
+    #[must_use]
+    pub fn delay(mut self, from: usize, to: usize, nth: u64, delay: Duration) -> Self {
+        self.delays.push(DelayFault {
+            from,
+            to,
+            nth,
+            delay,
+        });
+        self
+    }
+
+    /// Silently lose the `nth` (0-based) message on the `from → to` lane.
+    #[must_use]
+    pub fn drop_nth(mut self, from: usize, to: usize, nth: u64) -> Self {
+        self.drops.push(DropFault { from, to, nth });
+        self
+    }
+
+    /// Derives a single-crash plan from `seed`: one participant (id in
+    /// `1..=participants`) crashing at a seed-chosen phase, alternating
+    /// crash-stop / silent-stall. The derivation is a fixed xorshift — no
+    /// ambient entropy — so a seed names one reproducible failure.
+    pub fn seeded(seed: u64, participants: usize) -> Self {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let victim = 1 + (next() as usize) % participants.max(1);
+        let phase = Phase::ALL[(next() as usize) % Phase::ALL.len()];
+        let plan = FaultPlan::new();
+        if next() & 1 == 0 {
+            plan.crash_stop(victim, phase)
+        } else {
+            plan.silent_stall(victim, phase)
+        }
+    }
+
+    /// The injected crash for `party` at `phase`, if any.
+    pub fn crash_at(&self, party: usize, phase: Phase) -> Option<FaultKind> {
+        self.crashes
+            .iter()
+            .find(|(p, ph, _)| *p == party && *ph == phase)
+            .map(|(_, _, k)| *k)
+    }
+
+    /// The scripted crash (party, phase, kind) entries, in insertion order.
+    pub fn crashes(&self) -> impl Iterator<Item = (usize, Phase, FaultKind)> + '_ {
+        self.crashes.iter().copied()
+    }
+
+    fn delay_for(&self, from: usize, to: usize, nth: u64) -> Option<Duration> {
+        self.delays
+            .iter()
+            .find(|d| d.from == from && d.to == to && d.nth == nth)
+            .map(|d| d.delay)
+    }
+
+    fn drops_message(&self, from: usize, to: usize, nth: u64) -> bool {
+        self.drops
+            .iter()
+            .any(|d| d.from == from && d.to == to && d.nth == nth)
+    }
+}
+
+/// Keeps the channels of silently-stalled parties alive.
+///
+/// A stalled party's thread exits, but its [`PartyHandle`] must not drop —
+/// that would close its channels and convert the stall into a visible
+/// disconnect. The driver holds the stash until all survivors have
+/// finished.
+pub struct CrashStash<T> {
+    parked: Arc<Mutex<Vec<PartyHandle<T>>>>,
+}
+
+impl<T> CrashStash<T> {
+    /// An empty stash.
+    pub fn new() -> Self {
+        CrashStash {
+            parked: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Number of parked handles.
+    pub fn parked(&self) -> usize {
+        self.parked.lock().len()
+    }
+
+    fn park(&self, handle: PartyHandle<T>) {
+        self.parked.lock().push(handle);
+    }
+}
+
+impl<T> Default for CrashStash<T> {
+    fn default() -> Self {
+        CrashStash::new()
+    }
+}
+
+impl<T> Clone for CrashStash<T> {
+    fn clone(&self) -> Self {
+        CrashStash {
+            parked: Arc::clone(&self.parked),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for CrashStash<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrashStash")
+            .field("parked", &self.parked())
+            .finish()
+    }
+}
+
+/// A [`PartyHandle`] with a [`FaultPlan`] wired into every operation.
+///
+/// With an empty plan this is a transparent pass-through, so protocol
+/// code can be written against `FaultyMesh` unconditionally. The wrapper
+/// is single-owner like the handle it wraps (interior mutability, `Send`
+/// but not `Sync`).
+#[derive(Debug)]
+pub struct FaultyMesh<T> {
+    id: usize,
+    n: usize,
+    /// `None` once this party crashed.
+    inner: RefCell<Option<PartyHandle<T>>>,
+    plan: Arc<FaultPlan>,
+    stash: CrashStash<T>,
+    phase: Cell<Phase>,
+    /// Per-destination sent-message counters (dense, self slot unused).
+    sent: RefCell<Vec<u64>>,
+}
+
+impl<T> FaultyMesh<T> {
+    /// Wraps `handle` with no faults (transparent pass-through).
+    pub fn passthrough(handle: PartyHandle<T>) -> Self {
+        FaultyMesh::with_plan(handle, Arc::new(FaultPlan::new()), CrashStash::new())
+    }
+
+    /// Wraps `handle` under `plan`; stalled handles park in `stash`.
+    pub fn with_plan(handle: PartyHandle<T>, plan: Arc<FaultPlan>, stash: CrashStash<T>) -> Self {
+        let (id, n) = (handle.id(), handle.parties());
+        FaultyMesh {
+            id,
+            n,
+            inner: RefCell::new(Some(handle)),
+            plan,
+            stash,
+            phase: Cell::new(Phase::Gain),
+            sent: RefCell::new(vec![0; n]),
+        }
+    }
+
+    /// This party's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of parties in the mesh.
+    pub fn parties(&self) -> usize {
+        self.n
+    }
+
+    /// The phase most recently entered.
+    pub fn phase(&self) -> Phase {
+        self.phase.get()
+    }
+
+    /// Declares entry into `phase`; the scripted crash for
+    /// `(self.id, phase)` fires here, *before* any message of the phase.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::Crashed`] if this party's crash fired (now or
+    /// earlier); the caller must unwind its protocol thread.
+    pub fn enter_phase(&self, phase: Phase) -> Result<(), MeshError> {
+        if self.inner.borrow().is_none() {
+            return Err(MeshError::Crashed);
+        }
+        self.phase.set(phase);
+        match self.plan.crash_at(self.id, phase) {
+            None => Ok(()),
+            Some(kind) => {
+                let handle = self.inner.borrow_mut().take();
+                if kind == FaultKind::SilentStall {
+                    if let Some(h) = handle {
+                        self.stash.park(h);
+                    }
+                } // CrashStop: dropping the handle closes every lane.
+                Err(MeshError::Crashed)
+            }
+        }
+    }
+
+    /// Sends `message` to party `to`, applying scripted drops and delays.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::Crashed`] if this party crashed, otherwise as
+    /// [`PartyHandle::send`].
+    pub fn send(&self, to: usize, message: T) -> Result<(), MeshError> {
+        let inner = self.inner.borrow();
+        let Some(handle) = inner.as_ref() else {
+            return Err(MeshError::Crashed);
+        };
+        let nth = {
+            let mut sent = self.sent.borrow_mut();
+            let Some(counter) = sent.get_mut(to) else {
+                return Err(MeshError::UnknownParty(to));
+            };
+            let nth = *counter;
+            *counter += 1;
+            nth
+        };
+        if self.plan.drops_message(self.id, to, nth) {
+            return Ok(()); // lost on the wire; the receiver's deadline decides
+        }
+        if let Some(delay) = self.plan.delay_for(self.id, to, nth) {
+            std::thread::sleep(delay);
+        }
+        handle.send(to, message)
+    }
+
+    /// Blocks until a message from party `from` arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::Crashed`] if this party crashed, otherwise as
+    /// [`PartyHandle::recv_from`].
+    pub fn recv_from(&self, from: usize) -> Result<T, MeshError> {
+        match self.inner.borrow().as_ref() {
+            None => Err(MeshError::Crashed),
+            Some(handle) => handle.recv_from(from),
+        }
+    }
+
+    /// Waits at most `timeout` for a message from party `from`.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::Crashed`] if this party crashed, otherwise as
+    /// [`PartyHandle::recv_from_timeout`].
+    pub fn recv_from_timeout(&self, from: usize, timeout: Duration) -> Result<T, MeshError> {
+        match self.inner.borrow().as_ref() {
+            None => Err(MeshError::Crashed),
+            Some(handle) => handle.recv_from_timeout(from, timeout),
+        }
+    }
+
+    /// Waits until `deadline` for a message from party `from`.
+    ///
+    /// # Errors
+    ///
+    /// As [`recv_from_timeout`](Self::recv_from_timeout).
+    pub fn recv_from_deadline(&self, from: usize, deadline: &Deadline) -> Result<T, MeshError> {
+        self.recv_from_timeout(from, deadline.remaining())
+    }
+
+    /// Broadcasts to every other party, attempting all peers; scripted
+    /// drops and delays apply per lane.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::Crashed`] if this party crashed, or
+    /// [`MeshError::Broadcast`] listing every unreachable peer.
+    pub fn broadcast(&self, message: &T) -> Result<(), MeshError>
+    where
+        T: Clone,
+    {
+        if self.inner.borrow().is_none() {
+            return Err(MeshError::Crashed);
+        }
+        let mut disconnected = Vec::new();
+        for to in 0..self.n {
+            if to == self.id {
+                continue;
+            }
+            match self.send(to, message.clone()) {
+                Ok(()) => {}
+                Err(MeshError::Crashed) => return Err(MeshError::Crashed),
+                Err(_) => disconnected.push(to),
+            }
+        }
+        if disconnected.is_empty() {
+            Ok(())
+        } else {
+            Err(MeshError::Broadcast { disconnected })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::LocalMesh;
+
+    fn pair(plan: FaultPlan) -> (FaultyMesh<u8>, FaultyMesh<u8>, CrashStash<u8>) {
+        let plan = Arc::new(plan);
+        let stash = CrashStash::new();
+        let mut handles = LocalMesh::new::<u8>(2);
+        let h1 = handles.pop().unwrap();
+        let h0 = handles.pop().unwrap();
+        (
+            FaultyMesh::with_plan(h0, Arc::clone(&plan), stash.clone()),
+            FaultyMesh::with_plan(h1, plan, stash.clone()),
+            stash,
+        )
+    }
+
+    #[test]
+    fn passthrough_is_transparent() {
+        let mut handles = LocalMesh::new::<u8>(2);
+        let h1 = FaultyMesh::passthrough(handles.pop().unwrap());
+        let h0 = FaultyMesh::passthrough(handles.pop().unwrap());
+        h0.enter_phase(Phase::KeyGen).unwrap();
+        h0.send(1, 3).unwrap();
+        assert_eq!(h1.recv_from(0).unwrap(), 3);
+        assert_eq!(h0.phase(), Phase::KeyGen);
+    }
+
+    #[test]
+    fn crash_stop_disconnects_peers_immediately() {
+        let (h0, h1, stash) = pair(FaultPlan::new().crash_stop(0, Phase::Encrypt));
+        h0.enter_phase(Phase::KeyGen).unwrap();
+        h0.send(1, 1).unwrap();
+        assert_eq!(h0.enter_phase(Phase::Encrypt), Err(MeshError::Crashed));
+        assert_eq!(h0.send(1, 2), Err(MeshError::Crashed));
+        // The queued message survives; after that the lane is dead.
+        assert_eq!(h1.recv_from(0).unwrap(), 1);
+        assert_eq!(
+            h1.recv_from_timeout(0, Duration::from_secs(1)),
+            Err(MeshError::Disconnected { peer: 0 })
+        );
+        assert_eq!(stash.parked(), 0);
+    }
+
+    #[test]
+    fn silent_stall_times_out_peers_and_parks_the_handle() {
+        let (h0, h1, stash) = pair(FaultPlan::new().silent_stall(0, Phase::Hop));
+        assert_eq!(h0.enter_phase(Phase::Hop), Err(MeshError::Crashed));
+        assert_eq!(stash.parked(), 1);
+        // Channels stay open: the peer sees silence, not a disconnect.
+        assert_eq!(
+            h1.recv_from_timeout(0, Duration::from_millis(20)),
+            Err(MeshError::Timeout { peer: 0 })
+        );
+    }
+
+    #[test]
+    fn dropped_message_is_silently_lost() {
+        let (h0, h1, _stash) = pair(FaultPlan::new().drop_nth(0, 1, 1));
+        h0.send(1, 10).unwrap();
+        h0.send(1, 11).unwrap(); // dropped
+        h0.send(1, 12).unwrap();
+        assert_eq!(h1.recv_from(0).unwrap(), 10);
+        assert_eq!(h1.recv_from(0).unwrap(), 12);
+    }
+
+    #[test]
+    fn delayed_message_still_arrives() {
+        let (h0, h1, _stash) = pair(FaultPlan::new().delay(0, 1, 0, Duration::from_millis(30)));
+        h0.send(1, 7).unwrap();
+        assert_eq!(h1.recv_from_timeout(0, Duration::from_secs(2)), Ok(7));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_target_participants() {
+        for seed in 0..32u64 {
+            let a = FaultPlan::seeded(seed, 4);
+            let b = FaultPlan::seeded(seed, 4);
+            let ca: Vec<_> = a.crashes().collect();
+            let cb: Vec<_> = b.crashes().collect();
+            assert_eq!(ca, cb);
+            assert_eq!(ca.len(), 1);
+            let (victim, _, _) = ca[0];
+            assert!((1..=4).contains(&victim), "victim {victim} out of range");
+        }
+        // Different seeds explore different faults.
+        let plans: std::collections::HashSet<String> = (0..32)
+            .map(|s| {
+                format!(
+                    "{:?}",
+                    FaultPlan::seeded(s, 4).crashes().collect::<Vec<_>>()
+                )
+            })
+            .collect();
+        assert!(plans.len() > 4, "seeds barely vary: {plans:?}");
+    }
+}

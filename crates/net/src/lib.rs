@@ -1,10 +1,15 @@
 //! Message-passing substrate and the NS2-substitute network simulator.
 //!
-//! Three layers, bottom-up:
+//! Four layers, bottom-up:
 //!
 //! * [`LocalMesh`] — a crossbeam-channel mesh for running protocol parties
 //!   as real threads exchanging owned messages (used by examples and
-//!   integration tests that want genuine concurrency).
+//!   integration tests that want genuine concurrency). Receives can be
+//!   bounded by a [`Deadline`] so a crashed peer cannot hang the session;
+//!   [`PhaseBudget`] assigns each lockstep [`Phase`] its allowance.
+//! * [`FaultyMesh`] — a deterministic fault-injection wrapper around a
+//!   party's mesh handle, driven by a [`FaultPlan`] (crash-stop, silent
+//!   stall, message delay, message drop) for liveness testing.
 //! * [`TrafficLog`] — a shared recorder of `(round, from, to, bytes)`
 //!   tuples; the framework logs every wire message here so the harness can
 //!   account bandwidth exactly.
@@ -19,9 +24,13 @@
 #![deny(unused_must_use)]
 #![warn(missing_docs)]
 
+mod deadline;
+mod fault;
 mod mesh;
 mod metrics;
 pub mod sim;
 
+pub use deadline::{Deadline, Phase, PhaseBudget};
+pub use fault::{CrashStash, FaultKind, FaultPlan, FaultyMesh};
 pub use mesh::{LocalMesh, MeshError, PartyHandle};
 pub use metrics::{PartyId, TrafficLog, TrafficSummary};

@@ -1,8 +1,10 @@
 //! A crossbeam-channel full mesh for thread-per-party executions.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::deadline::Deadline;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Error from mesh operations.
 #[derive(Clone, Debug, Eq, PartialEq)]
@@ -14,8 +16,24 @@ pub enum MeshError {
         /// The peer that is gone.
         peer: usize,
     },
+    /// No message arrived from the peer before the deadline.
+    Timeout {
+        /// The peer that stayed silent.
+        peer: usize,
+    },
     /// A party tried to message itself.
     SelfMessage,
+    /// A broadcast could not deliver to every peer; lists every failed
+    /// target (each failure is a disconnect — the only way a send to a
+    /// valid peer can fail).
+    Broadcast {
+        /// Peers the message could not be delivered to, ascending.
+        disconnected: Vec<usize>,
+    },
+    /// This party was stopped by an injected fault
+    /// ([`FaultyMesh`](crate::FaultyMesh)); it must exit its protocol
+    /// thread without further sends.
+    Crashed,
 }
 
 impl fmt::Display for MeshError {
@@ -23,7 +41,14 @@ impl fmt::Display for MeshError {
         match self {
             MeshError::UnknownParty(p) => write!(f, "unknown party {p}"),
             MeshError::Disconnected { peer } => write!(f, "party {peer} disconnected"),
+            MeshError::Timeout { peer } => {
+                write!(f, "party {peer} sent nothing before the deadline")
+            }
             MeshError::SelfMessage => write!(f, "a party cannot message itself"),
+            MeshError::Broadcast { disconnected } => {
+                write!(f, "broadcast failed to reach parties {disconnected:?}")
+            }
+            MeshError::Crashed => write!(f, "this party was crashed by fault injection"),
         }
     }
 }
@@ -35,14 +60,18 @@ impl Error for MeshError {}
 /// Channels model the paper's pairwise secure channels: each ordered pair
 /// of parties gets its own FIFO lane, so `recv_from` is deterministic per
 /// sender.
+///
+/// The self-slot is structurally absent: lanes are stored in a dense
+/// `n − 1` vector indexed by [`lane`](Self::lane), so "message to self"
+/// is unrepresentable rather than a runtime invariant.
 #[derive(Debug)]
 pub struct PartyHandle<T> {
     id: usize,
     n: usize,
-    /// `senders[j]` sends to party `j` (`None` at our own index).
-    senders: Vec<Option<Sender<T>>>,
-    /// `receivers[j]` receives from party `j`.
-    receivers: Vec<Option<Receiver<T>>>,
+    /// `senders[lane(j)]` sends to party `j` (no self lane).
+    senders: Vec<Sender<T>>,
+    /// `receivers[lane(j)]` receives from party `j` (no self lane).
+    receivers: Vec<Receiver<T>>,
 }
 
 impl<T> PartyHandle<T> {
@@ -56,6 +85,22 @@ impl<T> PartyHandle<T> {
         self.n
     }
 
+    /// Dense lane index for peer `j` (the self-slot does not exist).
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::SelfMessage`] for `j == id`, [`MeshError::UnknownParty`]
+    /// for out-of-range ids.
+    fn lane(&self, j: usize) -> Result<usize, MeshError> {
+        if j == self.id {
+            return Err(MeshError::SelfMessage);
+        }
+        if j >= self.n {
+            return Err(MeshError::UnknownParty(j));
+        }
+        Ok(if j < self.id { j } else { j - 1 })
+    }
+
     /// Sends `message` to party `to`.
     ///
     /// # Errors
@@ -63,16 +108,7 @@ impl<T> PartyHandle<T> {
     /// [`MeshError::SelfMessage`], [`MeshError::UnknownParty`], or
     /// [`MeshError::Disconnected`] if the peer's handle was dropped.
     pub fn send(&self, to: usize, message: T) -> Result<(), MeshError> {
-        if to == self.id {
-            return Err(MeshError::SelfMessage);
-        }
-        let sender = self
-            .senders
-            .get(to)
-            .ok_or(MeshError::UnknownParty(to))?
-            .as_ref()
-            .expect("non-self entries are populated");
-        sender
+        self.senders[self.lane(to)?]
             .send(message)
             .map_err(|_| MeshError::Disconnected { peer: to })
     }
@@ -85,35 +121,57 @@ impl<T> PartyHandle<T> {
     /// [`MeshError::Disconnected`] if the peer hung up with no queued
     /// messages.
     pub fn recv_from(&self, from: usize) -> Result<T, MeshError> {
-        if from == self.id {
-            return Err(MeshError::SelfMessage);
-        }
-        let receiver = self
-            .receivers
-            .get(from)
-            .ok_or(MeshError::UnknownParty(from))?
-            .as_ref()
-            .expect("non-self entries are populated");
-        receiver
+        self.receivers[self.lane(from)?]
             .recv()
             .map_err(|_| MeshError::Disconnected { peer: from })
     }
 
-    /// Broadcasts clones of `message` to every other party.
+    /// Waits at most `timeout` for a message from party `from`.
     ///
     /// # Errors
     ///
-    /// Propagates the first send failure.
+    /// [`MeshError::Timeout`] if nothing arrived in time, otherwise as
+    /// [`recv_from`](Self::recv_from).
+    pub fn recv_from_timeout(&self, from: usize, timeout: Duration) -> Result<T, MeshError> {
+        match self.receivers[self.lane(from)?].recv_timeout(timeout) {
+            Ok(v) => Ok(v),
+            Err(RecvTimeoutError::Timeout) => Err(MeshError::Timeout { peer: from }),
+            Err(RecvTimeoutError::Disconnected) => Err(MeshError::Disconnected { peer: from }),
+        }
+    }
+
+    /// Waits until `deadline` for a message from party `from`.
+    ///
+    /// # Errors
+    ///
+    /// As [`recv_from_timeout`](Self::recv_from_timeout).
+    pub fn recv_from_deadline(&self, from: usize, deadline: &Deadline) -> Result<T, MeshError> {
+        self.recv_from_timeout(from, deadline.remaining())
+    }
+
+    /// Broadcasts clones of `message` to every other party, attempting
+    /// delivery to **all** peers even when some fail.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::Broadcast`] listing every peer the message could not
+    /// reach (a partial broadcast would silently deadlock the skipped
+    /// peers inside [`gather`](Self::gather)).
     pub fn broadcast(&self, message: &T) -> Result<(), MeshError>
     where
         T: Clone,
     {
+        let mut disconnected = Vec::new();
         for to in 0..self.n {
-            if to != self.id {
-                self.send(to, message.clone())?;
+            if to != self.id && self.send(to, message.clone()).is_err() {
+                disconnected.push(to);
             }
         }
-        Ok(())
+        if disconnected.is_empty() {
+            Ok(())
+        } else {
+            Err(MeshError::Broadcast { disconnected })
+        }
     }
 
     /// Receives one message from every other party, in party order.
@@ -145,26 +203,19 @@ impl LocalMesh {
     #[allow(clippy::new_ret_no_self)] // one handle per party, not a LocalMesh
     pub fn new<T>(n: usize) -> Vec<PartyHandle<T>> {
         assert!(n > 0, "mesh needs at least one party");
-        // channel[i][j] carries i → j.
-        let mut txs: Vec<Vec<Option<Sender<T>>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut rxs: Vec<Vec<Option<Receiver<T>>>> = (0..n).map(|_| Vec::new()).collect();
+        // channel (i, j) carries i → j; build all n·(n−1) lanes, then deal
+        // them out with the self-slot structurally absent.
+        let mut txs: Vec<Vec<Sender<T>>> = (0..n).map(|_| Vec::with_capacity(n - 1)).collect();
+        let mut rxs: Vec<Vec<Receiver<T>>> = (0..n).map(|_| Vec::with_capacity(n - 1)).collect();
         for (i, tx_row) in txs.iter_mut().enumerate() {
             for (j, rx_row) in rxs.iter_mut().enumerate() {
-                if i == j {
-                    tx_row.push(None);
-                    rx_row.push(None);
-                } else {
+                if i != j {
                     let (tx, rx) = unbounded();
-                    tx_row.push(Some(tx));
-                    rx_row.push(Some(rx));
+                    tx_row.push(tx); // tx_row index: lane(j) for sender i
+                    rx_row.push(rx); // rx_row index: lane(i) for receiver j
                 }
             }
         }
-        // rxs[j][i] currently holds the receiver for i → j at position i —
-        // but we pushed in i-major order, so rxs[j] was filled at index i
-        // only when the outer loop visited i. Reorder: rxs[j] is indexed by
-        // sender already because we push exactly once per (i, j) pair in
-        // ascending i. Sanity: each rxs[j] has n entries after the loops.
         txs.into_iter()
             .zip(rxs)
             .enumerate()
@@ -242,5 +293,58 @@ mod tests {
         drop(h1);
         assert_eq!(h0.send(1, 1), Err(MeshError::Disconnected { peer: 1 }));
         assert_eq!(h0.recv_from(1), Err(MeshError::Disconnected { peer: 1 }));
+    }
+
+    #[test]
+    fn recv_timeout_fires_on_silence_but_not_on_queued_data() {
+        let mut handles = LocalMesh::new::<u8>(2);
+        let h1 = handles.pop().unwrap();
+        let h0 = handles.pop().unwrap();
+        assert_eq!(
+            h1.recv_from_timeout(0, Duration::from_millis(10)),
+            Err(MeshError::Timeout { peer: 0 })
+        );
+        h0.send(1, 9).unwrap();
+        assert_eq!(h1.recv_from_timeout(0, Duration::from_millis(10)), Ok(9));
+        // Queued messages survive a sender drop; only then Disconnected.
+        h0.send(1, 8).unwrap();
+        drop(h0);
+        assert_eq!(h1.recv_from_timeout(0, Duration::from_secs(1)), Ok(8));
+        assert_eq!(
+            h1.recv_from_timeout(0, Duration::from_secs(1)),
+            Err(MeshError::Disconnected { peer: 0 })
+        );
+    }
+
+    #[test]
+    fn recv_deadline_is_a_fixed_point_in_time() {
+        let mut handles = LocalMesh::new::<u8>(2);
+        let _h1 = handles.pop().unwrap();
+        let h0 = handles.pop().unwrap();
+        let d = Deadline::after(Duration::from_millis(5));
+        assert_eq!(
+            h0.recv_from_deadline(1, &d),
+            Err(MeshError::Timeout { peer: 1 })
+        );
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn broadcast_reports_every_failed_target_and_reaches_the_rest() {
+        let mut handles = LocalMesh::new::<u8>(4);
+        let h3 = handles.pop().unwrap();
+        let h2 = handles.pop().unwrap();
+        let h1 = handles.pop().unwrap();
+        let h0 = handles.pop().unwrap();
+        drop(h1);
+        drop(h3);
+        // Parties 1 and 3 are gone; 2 must still get the message.
+        assert_eq!(
+            h0.broadcast(&5),
+            Err(MeshError::Broadcast {
+                disconnected: vec![1, 3]
+            })
+        );
+        assert_eq!(h2.recv_from(0).unwrap(), 5);
     }
 }

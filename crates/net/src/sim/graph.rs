@@ -156,7 +156,9 @@ impl Topology {
         let mut path = Vec::new();
         let mut cur = dst;
         while cur != src {
-            let (p, e) = prev[cur].expect("path reconstruction");
+            // Reachable dst ⇒ the predecessor chain is complete; a gap
+            // would only mean a graph bug, reported as unreachable.
+            let (p, e) = prev[cur]?;
             path.push(e);
             cur = p;
         }

@@ -5,6 +5,46 @@ use crate::metrics::{PartyId, TrafficLog};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+
+/// Typed failure from a simulation run.
+///
+/// A trace is external input (it may come from a recorded log of another
+/// system), so malformed traces must surface as errors, not panics.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum SimError {
+    /// A message references a party id with no placement.
+    UnknownParty {
+        /// The out-of-range party id.
+        party: PartyId,
+        /// Number of placed parties.
+        parties: usize,
+    },
+    /// The topology has no path between two hosting nodes (disconnected
+    /// components in a [`Topology::from_edges`] graph).
+    Unreachable {
+        /// Node hosting the sender.
+        src_node: usize,
+        /// Node hosting the receiver.
+        dst_node: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownParty { party, parties } => {
+                write!(f, "trace references party {party}, only {parties} placed")
+            }
+            SimError::Unreachable { src_node, dst_node } => {
+                write!(f, "no route between nodes {src_node} and {dst_node}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
 
 /// Link and transport parameters (paper defaults: 2 Mbps, 50 ms, TCP).
 #[derive(Clone, Copy, Debug)]
@@ -90,9 +130,23 @@ impl NetworkSim {
         NetworkSim::new(topo, parties, SimConfig::default(), seed.wrapping_add(1))
     }
 
-    /// Node hosting `party`.
-    pub fn node_of(&self, party: PartyId) -> usize {
-        self.placement[party]
+    /// Node hosting `party`, or `None` for an unplaced id.
+    pub fn node_of(&self, party: PartyId) -> Option<usize> {
+        self.placement.get(party).copied()
+    }
+
+    /// Both endpoints' hosting nodes, checked.
+    fn endpoints(&self, msg: &TraceMessage) -> Result<(usize, usize), SimError> {
+        let parties = self.placement.len();
+        let src = self.node_of(msg.from).ok_or(SimError::UnknownParty {
+            party: msg.from,
+            parties,
+        })?;
+        let dst = self.node_of(msg.to).ok_or(SimError::UnknownParty {
+            party: msg.to,
+            parties,
+        })?;
+        Ok((src, dst))
     }
 
     /// Bytes on the wire for a payload, including per-segment headers.
@@ -109,7 +163,13 @@ impl NetworkSim {
     /// Within a round, messages contend for links in FIFO order of
     /// arrival; each hop costs serialization (`bytes·8 / bandwidth`) plus
     /// propagation latency, per direction of the duplex link.
-    pub fn simulate(&self, rounds: &[Vec<TraceMessage>]) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownParty`] for a message naming an unplaced party,
+    /// [`SimError::Unreachable`] if the topology has no path between the
+    /// hosting nodes.
+    pub fn simulate(&self, rounds: &[Vec<TraceMessage>]) -> Result<SimReport, SimError> {
         // next_free[edge][direction]: earliest time the link half is idle.
         let mut next_free = vec![[0.0f64; 2]; self.topology.edge_count()];
         let mut clock = 0.0f64;
@@ -124,12 +184,11 @@ impl NetworkSim {
                 if msg.from == msg.to {
                     continue;
                 }
-                let src = self.placement[msg.from];
-                let dst = self.placement[msg.to];
-                let path = self
-                    .topology
-                    .route(src, dst)
-                    .expect("topology is connected");
+                let (src, dst) = self.endpoints(msg)?;
+                let path = self.topology.route(src, dst).ok_or(SimError::Unreachable {
+                    src_node: src,
+                    dst_node: dst,
+                })?;
                 let bytes = self.wire_bytes(msg.bytes);
                 let tx_time = bytes as f64 * 8.0 / self.config.bandwidth_bps;
                 let mut t = round_start;
@@ -153,17 +212,21 @@ impl NetworkSim {
             slowest_round = slowest_round.max(round_end - round_start);
             clock = round_end;
         }
-        SimReport {
+        Ok(SimReport {
             completion_s: clock,
             messages,
             link_bytes,
             slowest_round_s: slowest_round,
-        }
+        })
     }
 
     /// Converts a [`TrafficLog`] into a round-barrier trace and simulates
     /// it.
-    pub fn simulate_log(&self, log: &TrafficLog) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate`](Self::simulate).
+    pub fn simulate_log(&self, log: &TrafficLog) -> Result<SimReport, SimError> {
         let records = log.records();
         let max_round = records.iter().map(|r| r.round).max().map_or(0, |r| r + 1);
         let mut rounds: Vec<Vec<TraceMessage>> = vec![Vec::new(); max_round as usize];
@@ -191,11 +254,13 @@ mod tests {
     #[test]
     fn single_message_time_is_tx_plus_latency() {
         let sim = line_sim();
-        let report = sim.simulate(&[vec![TraceMessage {
-            from: 0,
-            to: 1,
-            bytes: 1000,
-        }]]);
+        let report = sim
+            .simulate(&[vec![TraceMessage {
+                from: 0,
+                to: 1,
+                bytes: 1000,
+            }]])
+            .unwrap();
         // 1000 payload + 1 header(40) = 1040 B → 8320 bits / 2 Mbps = 4.16 ms; + 50 ms.
         let expect = 8320.0 / 2_000_000.0 + 0.050;
         assert!(
@@ -214,8 +279,11 @@ mod tests {
             to: 1,
             bytes: 1000,
         };
-        let one = sim.simulate(&[vec![msg.clone()]]).completion_s;
-        let two = sim.simulate(&[vec![msg.clone(), msg.clone()]]).completion_s;
+        let one = sim.simulate(&[vec![msg.clone()]]).unwrap().completion_s;
+        let two = sim
+            .simulate(&[vec![msg.clone(), msg.clone()]])
+            .unwrap()
+            .completion_s;
         // Second message waits for serialization of the first, but latency overlaps.
         let tx = 8320.0 / 2_000_000.0;
         assert!((two - (one + tx)).abs() < 1e-9);
@@ -234,8 +302,8 @@ mod tests {
             to: 0,
             bytes: 1000,
         };
-        let both = sim.simulate(&[vec![a.clone(), b]]).completion_s;
-        let alone = sim.simulate(&[vec![a]]).completion_s;
+        let both = sim.simulate(&[vec![a.clone(), b]]).unwrap().completion_s;
+        let alone = sim.simulate(&[vec![a]]).unwrap().completion_s;
         assert!(
             (both - alone).abs() < 1e-12,
             "duplex halves are independent"
@@ -250,9 +318,13 @@ mod tests {
             to: 1,
             bytes: 1000,
         };
-        let one_round = sim.simulate(&[vec![msg.clone(), msg.clone()]]).completion_s;
+        let one_round = sim
+            .simulate(&[vec![msg.clone(), msg.clone()]])
+            .unwrap()
+            .completion_s;
         let two_rounds = sim
             .simulate(&[vec![msg.clone()], vec![msg.clone()]])
+            .unwrap()
             .completion_s;
         // Across a barrier, latency cannot be overlapped → strictly slower.
         assert!(two_rounds > one_round);
@@ -264,11 +336,13 @@ mod tests {
         let mut sim = NetworkSim::new(topo, 3, SimConfig::default(), 1);
         // Force placement party i → node i for determinism.
         sim.placement = vec![0, 1, 2];
-        let r = sim.simulate(&[vec![TraceMessage {
-            from: 0,
-            to: 2,
-            bytes: 100,
-        }]]);
+        let r = sim
+            .simulate(&[vec![TraceMessage {
+                from: 0,
+                to: 2,
+                bytes: 100,
+            }]])
+            .unwrap();
         let tx = (100.0 + 40.0) * 8.0 / 2_000_000.0;
         let expect = 2.0 * (tx + 0.050);
         assert!((r.completion_s - expect).abs() < 1e-9);
@@ -283,7 +357,7 @@ mod tests {
             to: 24,
             bytes: 4096,
         }]];
-        let r = sim.simulate(&trace);
+        let r = sim.simulate(&trace).unwrap();
         assert!(r.completion_s > 0.05, "at least one hop of latency");
         assert!(r.completion_s < 5.0, "sane upper bound");
     }
@@ -294,7 +368,7 @@ mod tests {
         let log = TrafficLog::new();
         log.record(0, 0, 1, 500, "a");
         log.record(1, 1, 0, 500, "b");
-        let r = sim.simulate_log(&log);
+        let r = sim.simulate_log(&log).unwrap();
         assert_eq!(r.messages, 2);
         assert!(r.slowest_round_s > 0.0);
     }
@@ -303,11 +377,63 @@ mod tests {
     fn segmentation_overhead_counted() {
         let sim = line_sim();
         // 3000 B payload → 3 segments → 120 B headers.
-        let r = sim.simulate(&[vec![TraceMessage {
-            from: 0,
-            to: 1,
-            bytes: 3000,
-        }]]);
+        let r = sim
+            .simulate(&[vec![TraceMessage {
+                from: 0,
+                to: 1,
+                bytes: 3000,
+            }]])
+            .unwrap();
         assert_eq!(r.link_bytes, 3120);
+    }
+
+    #[test]
+    fn unknown_party_is_a_typed_error() {
+        let sim = line_sim();
+        let err = sim
+            .simulate(&[vec![TraceMessage {
+                from: 0,
+                to: 7,
+                bytes: 10,
+            }]])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnknownParty {
+                party: 7,
+                parties: 2
+            }
+        );
+    }
+
+    #[test]
+    fn disconnected_topology_is_a_typed_error() {
+        // Two components: {0,1} and {2,3}; parties placed across the cut.
+        let topo = Topology::from_edges(4, vec![(0, 1), (2, 3)]);
+        let mut sim = NetworkSim::new(topo, 4, SimConfig::default(), 1);
+        sim.placement = vec![0, 1, 2, 3];
+        let err = sim
+            .simulate(&[vec![TraceMessage {
+                from: 0,
+                to: 2,
+                bytes: 10,
+            }]])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Unreachable {
+                src_node: 0,
+                dst_node: 2
+            }
+        );
+        // Messages within a component still work on the same sim.
+        let ok = sim
+            .simulate(&[vec![TraceMessage {
+                from: 2,
+                to: 3,
+                bytes: 10,
+            }]])
+            .unwrap();
+        assert_eq!(ok.messages, 1);
     }
 }

@@ -3,6 +3,7 @@
 //! in the directions physics dictates.
 
 use ppgr_net::sim::{NetworkSim, SimConfig, Topology, TraceMessage};
+use ppgr_net::TrafficLog;
 use proptest::prelude::*;
 
 fn line(nodes: usize) -> Topology {
@@ -28,8 +29,8 @@ proptest! {
     fn more_bandwidth_never_slower(bytes in 100usize..1_000_000) {
         let slow = sim_with(line(2), 2, SimConfig { bandwidth_bps: 1e6, ..Default::default() });
         let fast = sim_with(line(2), 2, SimConfig { bandwidth_bps: 1e7, ..Default::default() });
-        let t_slow = slow.simulate(&one_msg(bytes)).completion_s;
-        let t_fast = fast.simulate(&one_msg(bytes)).completion_s;
+        let t_slow = slow.simulate(&one_msg(bytes)).unwrap().completion_s;
+        let t_fast = fast.simulate(&one_msg(bytes)).unwrap().completion_s;
         prop_assert!(t_fast < t_slow);
     }
 
@@ -39,15 +40,15 @@ proptest! {
         let config = SimConfig { latency_s: 0.050 + extra_ms as f64 / 1000.0, ..Default::default() };
         let laggy = sim_with(line(2), 2, config);
         prop_assert!(
-            laggy.simulate(&one_msg(1000)).completion_s
-                > base.simulate(&one_msg(1000)).completion_s
+            laggy.simulate(&one_msg(1000)).unwrap().completion_s
+                > base.simulate(&one_msg(1000)).unwrap().completion_s
         );
     }
 
     #[test]
     fn bigger_payload_is_slower(a in 100usize..10_000, b in 10_001usize..1_000_000) {
         let sim = sim_with(line(2), 2, SimConfig::default());
-        prop_assert!(sim.simulate(&one_msg(b)).completion_s > sim.simulate(&one_msg(a)).completion_s);
+        prop_assert!(sim.simulate(&one_msg(b)).unwrap().completion_s > sim.simulate(&one_msg(a)).unwrap().completion_s);
     }
 
     #[test]
@@ -67,7 +68,7 @@ proptest! {
                     bytes: 500,
                 }))
                 .collect();
-            sim.simulate(&[round]).completion_s
+            sim.simulate(&[round]).unwrap().completion_s
         };
         prop_assert!(mk(long) > mk(short));
     }
@@ -77,10 +78,67 @@ proptest! {
         let sim = sim_with(line(2), 2, SimConfig::default());
         let round: Vec<TraceMessage> =
             (0..msgs).map(|_| TraceMessage { from: 0, to: 1, bytes: 5000 }).collect();
-        let one = sim.simulate(std::slice::from_ref(&round)).to_owned();
-        let double = sim.simulate(&[round.clone(), round]).to_owned();
+        let one = sim.simulate(std::slice::from_ref(&round)).unwrap();
+        let double = sim.simulate(&[round.clone(), round]).unwrap();
         prop_assert!(double.completion_s > one.completion_s);
         prop_assert_eq!(double.link_bytes, 2 * one.link_bytes);
         prop_assert_eq!(double.messages, 2 * one.messages);
     }
+
+    #[test]
+    fn simulate_log_never_panics(seeds in prop::collection::vec(any::<u64>(), 0..40)) {
+        // Arbitrary log contents — self-messages, out-of-range party ids,
+        // zero-byte payloads, sparse rounds — must come back as `Ok` or a
+        // typed `SimError`, never a panic. One sim has a connected line,
+        // the other a split topology, so both error variants are live.
+        let log = TrafficLog::new();
+        for s in &seeds {
+            let round = (s % 10) as u32;
+            let from = (s >> 8) as usize % 8;
+            let to = (s >> 16) as usize % 8;
+            let bytes = (s >> 24) as usize % 50_000;
+            log.record(round, from, to, bytes, "fuzz");
+        }
+        let connected = sim_with(line(4), 3, SimConfig::default());
+        let split = NetworkSim::new(
+            Topology::from_edges(4, vec![(0, 1), (2, 3)]),
+            4,
+            SimConfig::default(),
+            1,
+        );
+        // The Result is the property: reaching these lines means no panic.
+        let _ = connected.simulate_log(&log);
+        let _ = split.simulate_log(&log);
+    }
+}
+
+/// Regression pin for multi-hop congestion: a full-mesh round over a
+/// 3-node line forces the endpoint pair through the middle node, so both
+/// links carry forwarded traffic on top of their own.
+///
+/// Wire math: 2000 payload bytes span two 1460-byte segments, so each
+/// message puts 2000 + 2·40 = 2080 bytes on every link it crosses. Per
+/// direction the three node pairs cost 1 + 1 + 2 hops, and a full mesh
+/// uses both directions: 8 link crossings, placement-independent.
+#[test]
+fn three_node_line_congestion_is_pinned() {
+    let sim = sim_with(line(3), 3, SimConfig::default());
+    let round: Vec<TraceMessage> = (0..3)
+        .flat_map(|i| {
+            (0..3).filter(move |&j| j != i).map(move |j| TraceMessage {
+                from: i,
+                to: j,
+                bytes: 2000,
+            })
+        })
+        .collect();
+    let report = sim.simulate(&[round]).unwrap();
+    assert_eq!(report.messages, 6);
+    assert_eq!(report.link_bytes, 8 * 2080);
+    // Exact f64 pin (seed 1 placement, FIFO by trace order): the slowest
+    // delivery accumulates 4 serialization slots (2080·8/2e6 s each —
+    // queueing behind same-direction traffic included) plus the 2×50 ms
+    // propagation of its two hops.
+    assert_eq!(report.slowest_round_s, 0.13328);
+    assert_eq!(report.completion_s, report.slowest_round_s);
 }

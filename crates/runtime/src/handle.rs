@@ -1,12 +1,15 @@
 //! Completion handles for submitted sessions.
 
 use ppgr_core::{Outcome, RunError};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// One-shot result mailbox shared between a pool task and its handle.
 pub(crate) struct Slot {
     result: Mutex<Option<Result<Outcome, RunError>>>,
     ready: Condvar,
+    /// Cooperative cancellation: checked by the worker between steps.
+    cancelled: AtomicBool,
 }
 
 impl Slot {
@@ -14,6 +17,7 @@ impl Slot {
         Arc::new(Slot {
             result: Mutex::new(None),
             ready: Condvar::new(),
+            cancelled: AtomicBool::new(false),
         })
     }
 
@@ -24,6 +28,14 @@ impl Slot {
         debug_assert!(guard.is_none(), "slot filled twice");
         *guard = Some(result);
         self.ready.notify_all();
+    }
+
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
     }
 
     fn wait(&self) -> Result<Outcome, RunError> {
@@ -57,9 +69,20 @@ impl SessionHandle {
     ///
     /// Whatever [`RunError`] the session itself produced (e.g.
     /// [`RunError::MissingPopulation`] for a ranking submitted without a
-    /// population).
+    /// population), [`RunError::Cancelled`] after a successful
+    /// [`cancel`](Self::cancel), or [`RunError::DeadlineExceeded`] for a
+    /// session that outlived its wall-clock budget.
     pub fn join(self) -> Result<Outcome, RunError> {
         self.slot.wait()
+    }
+
+    /// Requests cooperative cancellation: the worker abandons the session
+    /// at the next step boundary (a step in flight is never interrupted)
+    /// and the join resolves to [`RunError::Cancelled`], reclaiming the
+    /// worker for other sessions. A session that already completed is
+    /// unaffected — its result stands.
+    pub fn cancel(&self) {
+        self.slot.cancel();
     }
 
     /// Whether the session has already completed (non-blocking).

@@ -11,7 +11,10 @@
 //! a time, so its steps can never run concurrently with each other.
 
 use crate::handle::{SessionHandle, Slot};
-use ppgr_core::{FrameworkParams, GroupRanking, SessionMachine, SessionStatus, SortOptions};
+use ppgr_core::{
+    FrameworkParams, GroupRanking, RunError, SessionMachine, SessionStatus, SortOptions,
+};
+use ppgr_net::Deadline;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -27,6 +30,11 @@ const IDLE_PARK: Duration = Duration::from_millis(1);
 pub struct RuntimeConfig {
     /// Worker threads in the pool (`0` = one per available core).
     pub workers: usize,
+    /// Default wall-clock budget per session (`None` = unbounded). A
+    /// session past its budget is abandoned at the next step boundary
+    /// with [`RunError::DeadlineExceeded`], reclaiming its worker — a
+    /// wedged session cannot hold a pool thread forever.
+    pub session_budget: Option<Duration>,
 }
 
 impl RuntimeConfig {
@@ -45,6 +53,8 @@ impl RuntimeConfig {
 struct Task {
     machine: SessionMachine,
     slot: Arc<Slot>,
+    /// Wall-clock expiry; checked between steps (never mid-step).
+    deadline: Option<Deadline>,
 }
 
 /// State shared by the submitters and every worker.
@@ -64,9 +74,13 @@ struct Shared {
 ///
 /// Dropping the runtime drains it: workers finish every submitted session
 /// before exiting, so handles joined after the drop still resolve.
+/// Cancelled or deadline-expired sessions also resolve — with
+/// [`RunError::Cancelled`] / [`RunError::DeadlineExceeded`] — so a drain
+/// can never hang on a wedged session.
 pub struct Runtime {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    session_budget: Option<Duration>,
 }
 
 impl Runtime {
@@ -92,12 +106,16 @@ impl Runtime {
         Runtime {
             shared,
             workers: handles,
+            session_budget: config.session_budget,
         }
     }
 
     /// Starts a pool with exactly `workers` threads (`0` = one per core).
     pub fn with_workers(workers: usize) -> Self {
-        Runtime::new(RuntimeConfig { workers })
+        Runtime::new(RuntimeConfig {
+            workers,
+            ..RuntimeConfig::default()
+        })
     }
 
     /// The number of worker threads in the pool.
@@ -115,11 +133,29 @@ impl Runtime {
         self.submit_ranking(GroupRanking::new(params).with_random_population())
     }
 
+    /// Submits a session with an explicit wall-clock budget, overriding
+    /// the pool default (`None` = unbounded for this session).
+    pub fn submit_with_budget(
+        &self,
+        params: FrameworkParams,
+        budget: Option<Duration>,
+    ) -> SessionHandle {
+        self.submit_ranking_with_budget(GroupRanking::new(params).with_random_population(), budget)
+    }
+
     /// Submits a fully configured orchestrator (custom population etc.).
     ///
     /// Configuration errors surface on [`SessionHandle::join`], keeping the
     /// submit path non-blocking and uniform.
     pub fn submit_ranking(&self, ranking: GroupRanking) -> SessionHandle {
+        self.submit_ranking_with_budget(ranking, self.session_budget)
+    }
+
+    fn submit_ranking_with_budget(
+        &self,
+        ranking: GroupRanking,
+        budget: Option<Duration>,
+    ) -> SessionHandle {
         let options = SortOptions {
             threads: 1,
             ..SortOptions::default()
@@ -129,7 +165,11 @@ impl Runtime {
             slot: Arc::clone(&slot),
         };
         match ranking.into_machine_with(options) {
-            Ok(machine) => self.inject(Task { machine, slot }),
+            Ok(machine) => self.inject(Task {
+                machine,
+                slot,
+                deadline: budget.map(Deadline::after),
+            }),
             Err(e) => slot.fill(Err(e)),
         }
         handle
@@ -142,7 +182,11 @@ impl Runtime {
         let handle = SessionHandle {
             slot: Arc::clone(&slot),
         };
-        self.inject(Task { machine, slot });
+        self.inject(Task {
+            machine,
+            slot,
+            deadline: self.session_budget.map(Deadline::after),
+        });
         handle
     }
 
@@ -183,6 +227,18 @@ impl std::fmt::Debug for Runtime {
 fn worker_loop(shared: &Shared, me: usize) {
     loop {
         if let Some(mut task) = find_task(shared, me) {
+            // Cancellation and deadlines are enforced at step boundaries:
+            // the machine is abandoned (not interrupted), the slot resolves
+            // with a typed error, and this worker moves on — a wedged or
+            // unwanted session never pins a pool thread.
+            if task.slot.is_cancelled() {
+                task.slot.fill(Err(RunError::Cancelled));
+                continue;
+            }
+            if task.deadline.is_some_and(|d| d.expired()) {
+                task.slot.fill(Err(RunError::DeadlineExceeded));
+                continue;
+            }
             match task.machine.step() {
                 Ok(SessionStatus::Pending) => {
                     // Back of our own deque: we pop LIFO, so we keep
@@ -193,7 +249,7 @@ fn worker_loop(shared: &Shared, me: usize) {
                         .push_back(task);
                 }
                 Ok(SessionStatus::Done) => {
-                    let Task { machine, slot } = task;
+                    let Task { machine, slot, .. } = task;
                     let outcome = machine.into_outcome().expect("machine reported Done");
                     slot.fill(Ok(outcome));
                 }
@@ -313,6 +369,59 @@ mod tests {
         for handle in handles {
             assert!(handle.is_finished());
             assert!(handle.join().is_ok());
+        }
+    }
+
+    #[test]
+    fn cancelled_queued_session_resolves_without_running() {
+        let runtime = Runtime::with_workers(1);
+        // The single worker drives the first session LIFO until done, so
+        // the second sits queued long enough for the cancel to land.
+        let busy = runtime.submit(small_params(3, 61));
+        let doomed = runtime.submit(small_params(3, 62));
+        doomed.cancel();
+        assert_eq!(doomed.join().unwrap_err(), RunError::Cancelled);
+        assert!(busy.join().is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_reclaims_the_worker_for_later_sessions() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 1,
+            session_budget: Some(Duration::ZERO),
+        });
+        // Already expired at the first step boundary → abandoned, typed.
+        let wedged = runtime.submit(small_params(3, 71));
+        assert_eq!(wedged.join().unwrap_err(), RunError::DeadlineExceeded);
+        // The worker is free again: an unbounded session completes.
+        let healthy = runtime.submit_with_budget(small_params(3, 72), None);
+        assert_eq!(healthy.join().unwrap().ranks().len(), 3);
+    }
+
+    #[test]
+    fn drop_drains_with_crashed_sessions_mixed_in() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 2,
+            session_budget: None,
+        });
+        let healthy: Vec<_> = (0..2)
+            .map(|i| runtime.submit(small_params(2, 400 + i)))
+            .collect();
+        // A session dead-on-arrival (zero budget) and a cancelled one.
+        let dead = runtime.submit_with_budget(small_params(2, 410), Some(Duration::ZERO));
+        let cancelled = runtime.submit(small_params(2, 411));
+        cancelled.cancel();
+        drop(runtime); // drain must resolve *every* slot, failures included
+        assert_eq!(dead.join().unwrap_err(), RunError::DeadlineExceeded);
+        // The cancel races the workers: either it landed in time or the
+        // session completed first — both resolve, neither hangs the drain.
+        match cancelled.join() {
+            Err(RunError::Cancelled) | Ok(_) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        for h in healthy {
+            assert!(h.is_finished());
+            assert_eq!(h.join().unwrap().ranks().len(), 2);
         }
     }
 

@@ -68,8 +68,14 @@ const AMBIENT: &[&str] = &[
 /// Modules sanctioned to read the wall clock / ambient entropy: the
 /// benchmark harness (measures real time by definition), the shared timing
 /// ledger, and this analyzer.
-const DETERMINISM_SANCTIONED: &[&str] =
-    &["crates/bench/", "crates/tidy/", "crates/core/src/timing.rs"];
+const DETERMINISM_SANCTIONED: &[&str] = &[
+    "crates/bench/",
+    "crates/tidy/",
+    "crates/core/src/timing.rs",
+    // Deadlines are liveness-only: wall-clock reads here never feed
+    // protocol state or randomness (see docs/FAULTS.md).
+    "crates/net/src/deadline.rs",
+];
 
 /// Crates whose non-test code forms the protocol surface and must be
 /// panic-free (typed errors instead).
@@ -81,6 +87,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "crates/smc/",
     "crates/anon/",
     "crates/core/",
+    "crates/net/",
 ];
 
 /// Formatting macros through which a secret could reach a log line, a

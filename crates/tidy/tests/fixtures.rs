@@ -37,8 +37,17 @@ fn panic_good_is_silent() {
 fn panic_outside_protocol_crates_is_not_checked() {
     // The same bad source in a non-protocol crate (e.g. the bench harness)
     // does not fire the panic rule.
-    let rules = rules_for("crates/net/src/fixture.rs", fixture!("panic_bad.rs"));
+    let rules = rules_for("crates/bench/src/fixture.rs", fixture!("panic_bad.rs"));
     assert!(rules.is_empty());
+}
+
+#[test]
+fn panic_in_the_transport_crate_is_checked() {
+    // The mesh/deadline/fault-injection layer is protocol surface: a panic
+    // there takes a party down mid-session, which the fault-tolerance
+    // layer must instead surface as a typed, blamed error.
+    let rules = rules_for("crates/net/src/fixture.rs", fixture!("panic_bad.rs"));
+    assert_eq!(rules, vec!["panic", "panic", "panic"]);
 }
 
 #[test]

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outcome = runner.run()?;
 
         let sim = NetworkSim::paper_setup(n + 1, 42);
-        let report = sim.simulate_log(&log);
+        let report = sim.simulate_log(&log)?;
         println!(
             "{kind}: {} msgs, {:>10} payload bytes → network completion {:.2} s (slowest round {:.2} s)",
             outcome.traffic().messages,

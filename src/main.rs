@@ -227,7 +227,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let log = runner.traffic_log();
     let outcome = runner.run().map_err(|e| e.to_string())?;
     let sim = NetworkSim::paper_setup(n + 1, 7);
-    let report = sim.simulate_log(&log);
+    let report = sim.simulate_log(&log).map_err(|e| e.to_string())?;
     println!(
         "protocol: {} msgs / {} bytes; simulated completion on the paper's network: {:.2} s",
         outcome.traffic().messages,

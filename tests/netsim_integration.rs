@@ -20,7 +20,9 @@ fn run_and_simulate(kind: GroupKind, n: usize, seed: u64) -> f64 {
     let log = runner.traffic_log();
     runner.run().unwrap();
     let sim = NetworkSim::paper_setup(n + 1, 7);
-    sim.simulate_log(&log).completion_s
+    sim.simulate_log(&log)
+        .expect("recorded log is well formed")
+        .completion_s
 }
 
 #[test]
@@ -62,7 +64,7 @@ fn custom_topology_latency_dominates_small_messages() {
     let runner = GroupRanking::new(params).with_random_population();
     let log = runner.traffic_log();
     runner.run().unwrap();
-    let report = sim.simulate_log(&log);
+    let report = sim.simulate_log(&log).expect("recorded log is well formed");
     // At least the chain hops × at least one 50 ms link each.
     assert!(report.completion_s > 0.4, "got {}", report.completion_s);
     assert!(report.messages > 20);

@@ -39,6 +39,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error for [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, Eq, PartialEq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout.
+        Timeout,
+        /// Queue empty and all senders gone.
+        Disconnected,
+    }
+
     /// The sending half of an unbounded channel.
     #[derive(Debug)]
     pub struct Sender<T> {
@@ -87,6 +96,21 @@ pub mod channel {
             self.inner.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Waits at most `timeout` for a message.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] if nothing arrived in time,
+        /// [`RecvTimeoutError::Disconnected`] once every sender is dropped
+        /// and the queue drained. Queued messages are always delivered
+        /// before a disconnect is reported.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
         }
 
