@@ -549,6 +549,11 @@ fn initiator_thread(
             try_wire!(ctx, j, r.done());
             continue; // decline
         }
+        // A rank beyond the participant count is unsatisfiable; reject it
+        // here instead of letting the claim ride into verification.
+        if claimed > n {
+            return Err(ctx.protocol(j, format!("claimed rank {claimed} exceeds n = {n}")));
+        }
         let count = try_wire!(ctx, j, r.len());
         let mut values = Vec::with_capacity(count);
         for _ in 0..count {

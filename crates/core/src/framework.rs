@@ -2,6 +2,7 @@
 
 use crate::attrs::{InfoVector, InitiatorProfile, VectorError};
 use crate::gain::{run_gain_phase, GainPhaseOutput};
+use crate::offline::{OfflineStock, StockFingerprint};
 use crate::params::FrameworkParams;
 use crate::sorting::{SortError, SortMachine, SortOptions, SortStatus};
 use crate::submit::{honest_submissions, verify_submissions, AcceptedSubmission};
@@ -230,7 +231,8 @@ impl GroupRanking {
             sort_options,
             rng,
             log: self.log,
-            phase: SessionPhase::Gain,
+            phase: SessionPhase::Offline,
+            offline: None,
             gain_timer: PartyTimer::new(n + 1),
             sort_timer: PartyTimer::new(n + 1),
             submit_timer: PartyTimer::new(n + 1),
@@ -255,6 +257,9 @@ pub enum SessionStatus {
 /// Which phase a [`SessionMachine`] is in.
 #[derive(Clone, Copy, Debug, Eq, PartialEq)]
 enum SessionPhase {
+    /// Offline precompute: acquire (or generate cold) the session's
+    /// randomness stock before any online phase runs.
+    Offline,
     /// Phase 1: secure gain computation (one step).
     Gain,
     /// Phase 2: unlinkable sorting (one step per [`SortMachine`] unit).
@@ -284,6 +289,7 @@ pub struct SessionMachine {
     rng: HashDrbg,
     log: TrafficLog,
     phase: SessionPhase,
+    offline: Option<OfflineStock>,
     gain_timer: PartyTimer,
     sort_timer: PartyTimer,
     submit_timer: PartyTimer,
@@ -304,6 +310,36 @@ impl SessionMachine {
         &self.params
     }
 
+    /// The fingerprint of the offline stock this session expects — what a
+    /// precompute pool must generate ([`OfflineStock::generate`]) for
+    /// [`SessionMachine::attach_offline_stock`] to accept it.
+    pub fn offline_fingerprint(&self) -> StockFingerprint {
+        StockFingerprint {
+            seed: self.params.seed(),
+            participants: self.params.participants(),
+            bits: self.params.beta_bits(),
+            group: self.params.group(),
+        }
+    }
+
+    /// Hands the session a pool-generated offline stock, so its offline
+    /// step finds the randomness ready instead of generating it inline.
+    ///
+    /// Returns `false` — leaving the session to generate cold, which
+    /// produces bit-identical transcripts — if the offline step has
+    /// already run or the stock's fingerprint does not match
+    /// [`SessionMachine::offline_fingerprint`] exactly.
+    pub fn attach_offline_stock(&mut self, stock: OfflineStock) -> bool {
+        if self.phase != SessionPhase::Offline
+            || self.offline.is_some()
+            || stock.fingerprint() != Some(&self.offline_fingerprint())
+        {
+            return false;
+        }
+        self.offline = Some(stock);
+        true
+    }
+
     /// The outcome, once [`SessionMachine::step`] has returned
     /// [`SessionStatus::Done`]. Consumes the machine; returns `None` if
     /// the session has not finished.
@@ -318,6 +354,17 @@ impl SessionMachine {
     /// See [`RunError`].
     pub fn step(&mut self) -> Result<SessionStatus, RunError> {
         match self.phase {
+            SessionPhase::Offline => {
+                // Cold fallback: generate the stock from the session's own
+                // dedicated offline stream. A pool-attached stock comes
+                // from the same stream, so transcripts do not depend on
+                // which side did the work.
+                if self.offline.is_none() {
+                    self.offline = Some(OfflineStock::generate(self.offline_fingerprint()));
+                }
+                self.phase = SessionPhase::Gain;
+                Ok(SessionStatus::Pending)
+            }
             SessionPhase::Gain => {
                 // Phase 1: secure gain computation.
                 let gain_out = run_gain_phase(
@@ -331,13 +378,20 @@ impl SessionMachine {
                 );
                 // Phase 2 setup: the sort machine validates inputs now.
                 let group = self.params.group().group();
-                let sort = SortMachine::new(
+                let mut sort = SortMachine::new(
                     &group,
                     &gain_out.betas,
                     self.params.beta_bits(),
                     self.sort_options,
                     2,
                 )?;
+                let stock = self
+                    .offline
+                    .take()
+                    .ok_or(RunError::Internal("no offline stock after Offline phase"))?;
+                if !sort.attach_offline_stock(stock) {
+                    return Err(RunError::Internal("offline stock rejected by sort machine"));
+                }
                 self.gain_out = Some(gain_out);
                 self.sort = Some(sort);
                 self.phase = SessionPhase::Sort;

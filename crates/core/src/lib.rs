@@ -58,6 +58,7 @@ pub mod distributed;
 mod framework;
 pub mod gain;
 pub mod games;
+pub mod offline;
 mod params;
 pub mod sorting;
 pub mod submit;
@@ -74,6 +75,7 @@ pub use distributed::{
     DistributedOutcome,
 };
 pub use framework::{GroupRanking, Outcome, PhaseTimings, RunError, SessionMachine, SessionStatus};
+pub use offline::{OfflineStock, StockFingerprint};
 pub use params::{bit_length, FrameworkParams, FrameworkParamsBuilder, ParamError};
 pub use sorting::{unlinkable_sort, SortError, SortMachine, SortOptions, SortOutcome, SortStatus};
 pub use timing::PartyTimer;

@@ -1,0 +1,281 @@
+//! Offline/online phase split — the deterministic precompute stock.
+//!
+//! The sorting protocol's online latency is dominated by exponentiations,
+//! but a sizeable slice of them does not depend on anything another party
+//! sends: the Schnorr commitment `g^r` of the proof of key knowledge, the
+//! fixed-base half `g^r` of every bitwise encryption, and the per-hop
+//! plaintext randomizers (plain nonzero scalars). All of that can be
+//! computed *before* the session's inputs — or even its parties' keys —
+//! exist, leaving only the key-dependent work (`y^r`, partial decryptions,
+//! comparisons) online.
+//!
+//! [`OfflineStock`] is one session's worth of that material. Its shape is a
+//! pure function of `(n, l)` — hop randomizers are generated even when a
+//! run disables randomization — so a precompute pool can stock sessions
+//! knowing only their parameters, not their options or inputs.
+//!
+//! Determinism: a stock for a session seeded `s` is drawn from
+//! `HashDrbg::seed_from_u64(s).fork(b"offline")` — a stream disjoint from
+//! the session's `b"protocol"` fork — so a session that receives a
+//! pool-generated stock ([`generate`](OfflineStock::generate)) and one that
+//! builds its own cold are bit-identical, transcript and ranks alike.
+
+use ppgr_elgamal::EncRandomizer;
+use ppgr_group::{Group, GroupKind, Scalar};
+use ppgr_hash::HashDrbg;
+use ppgr_zkp::SchnorrNonce;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The session shape a DRBG-generated stock was built for.
+///
+/// A precompute pool keys its lanes by this; a session accepts an offered
+/// stock only if the fingerprint matches its own parameters exactly.
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub struct StockFingerprint {
+    /// The session's master seed.
+    pub seed: u64,
+    /// Number of sorting parties `n`.
+    pub participants: usize,
+    /// The masked-gain bit length `l`.
+    pub bits: usize,
+    /// The group instantiation.
+    pub group: GroupKind,
+}
+
+/// One session's worth of precomputed randomness (see the module docs).
+///
+/// Consumed front-to-back by a [`SortMachine`](crate::sorting::SortMachine)
+/// in exact protocol order: first the `n` Schnorr nonces (party order),
+/// then the `n` per-party encryption randomizer rows (bits
+/// least-significant-first), then the hop randomizer sets (hop by hop,
+/// foreign sets in ascending owner order).
+pub struct OfflineStock {
+    nonces: VecDeque<SchnorrNonce>,
+    enc: VecDeque<Vec<EncRandomizer>>,
+    hops: VecDeque<Vec<Scalar>>,
+    fingerprint: Option<StockFingerprint>,
+}
+
+impl fmt::Debug for OfflineStock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OfflineStock")
+            .field("nonces", &self.nonces.len())
+            .field("enc_rows", &self.enc.len())
+            .field("hop_sets", &self.hops.len())
+            .field("fingerprint", &self.fingerprint)
+            .finish()
+    }
+}
+
+impl OfflineStock {
+    /// Draws a full stock for an `n`-party, `l`-bit session from `rng`.
+    ///
+    /// This is the cold path: a machine with no pool-supplied stock draws
+    /// one from its own stream at its offline step. The draw order is
+    /// fixed (nonces, then encryption rows, then hop sets) regardless of
+    /// the run's options.
+    pub fn draw_from<R: Rng + ?Sized>(group: &Group, n: usize, l: usize, rng: &mut R) -> Self {
+        // A `false` cancellation hook never fires, so generation completes.
+        Self::draw_cancellable_from(group, n, l, rng, &mut || false)
+            // tidy:allow(panic) — the never-cancelling hook makes None unreachable
+            .expect("generation with a never-cancelling hook always completes")
+    }
+
+    /// Generates the stock a session with fingerprint `fp` expects.
+    ///
+    /// Derives the session's dedicated offline stream
+    /// (`HashDrbg::seed_from_u64(seed).fork(b"offline")`) and draws from
+    /// it, so the result is identical to what the session itself would
+    /// build cold.
+    pub fn generate(fp: StockFingerprint) -> Self {
+        // See `draw_from`: the hook never fires.
+        Self::generate_cancellable(fp, &mut || false)
+            // tidy:allow(panic) — the never-cancelling hook makes None unreachable
+            .expect("generation with a never-cancelling hook always completes")
+    }
+
+    /// [`OfflineStock::generate`] with a cancellation hook for background
+    /// refill workers: `cancel` is polled between parties and between hop
+    /// sets; once it returns `true`, generation stops and `None` is
+    /// returned. A completed generation is bit-identical to
+    /// [`OfflineStock::generate`].
+    pub fn generate_cancellable(
+        fp: StockFingerprint,
+        cancel: &mut dyn FnMut() -> bool,
+    ) -> Option<Self> {
+        let group = fp.group.group();
+        let mut rng = HashDrbg::seed_from_u64(fp.seed).fork(b"offline");
+        let mut stock =
+            Self::draw_cancellable_from(&group, fp.participants, fp.bits, &mut rng, cancel)?;
+        stock.fingerprint = Some(fp);
+        Some(stock)
+    }
+
+    fn draw_cancellable_from<R: Rng + ?Sized>(
+        group: &Group,
+        n: usize,
+        l: usize,
+        rng: &mut R,
+        cancel: &mut dyn FnMut() -> bool,
+    ) -> Option<Self> {
+        let mut nonces = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            if cancel() {
+                return None;
+            }
+            nonces.push_back(SchnorrNonce::draw(group, rng));
+        }
+        let mut enc = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            if cancel() {
+                return None;
+            }
+            enc.push_back((0..l).map(|_| EncRandomizer::draw(group, rng)).collect());
+        }
+        // n hops, each touching the n−1 foreign sets (ascending owner) of
+        // (n−1)·l ciphertexts each. Hop randomizers must be nonzero — a
+        // zero multiplier would erase a plaintext, forging a rank.
+        let set_len = (n - 1) * l;
+        let mut hops = VecDeque::with_capacity(n * (n - 1));
+        for _hop in 0..n {
+            for _set in 0..n - 1 {
+                if cancel() {
+                    return None;
+                }
+                hops.push_back(
+                    (0..set_len)
+                        .map(|_| group.random_nonzero_scalar(rng))
+                        .collect(),
+                );
+            }
+        }
+        Some(OfflineStock {
+            nonces,
+            enc,
+            hops,
+            fingerprint: None,
+        })
+    }
+
+    /// The fingerprint this stock was generated for (`None` for stocks
+    /// drawn ad hoc with [`OfflineStock::draw_from`]).
+    pub fn fingerprint(&self) -> Option<&StockFingerprint> {
+        self.fingerprint.as_ref()
+    }
+
+    /// Whether the stock holds exactly an `n`-party, `l`-bit session's
+    /// worth of unconsumed material for `group`.
+    pub fn matches_shape(&self, group: &Group, n: usize, l: usize) -> bool {
+        if let Some(fp) = &self.fingerprint {
+            if fp.group != group.kind() {
+                return false;
+            }
+        }
+        self.nonces.len() == n
+            && self.enc.len() == n
+            && self.enc.iter().all(|row| row.len() == l)
+            && self.hops.len() == n * (n - 1)
+            && self.hops.iter().all(|set| set.len() == (n - 1) * l)
+    }
+
+    /// The next party's Schnorr commitment nonce, or `None` if exhausted.
+    pub(crate) fn take_nonce(&mut self) -> Option<SchnorrNonce> {
+        self.nonces.pop_front()
+    }
+
+    /// The next party's encryption randomizer row, or `None` if exhausted.
+    pub(crate) fn take_enc_row(&mut self) -> Option<Vec<EncRandomizer>> {
+        self.enc.pop_front()
+    }
+
+    /// The next hop randomizer set, or `None` if exhausted.
+    pub(crate) fn take_hop_set(&mut self) -> Option<Vec<Scalar>> {
+        self.hops.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn fp(seed: u64) -> StockFingerprint {
+        StockFingerprint {
+            seed,
+            participants: 3,
+            bits: 4,
+            group: GroupKind::Ecc160,
+        }
+    }
+
+    #[test]
+    fn generated_stock_has_the_declared_shape() {
+        let group = GroupKind::Ecc160.group();
+        let stock = OfflineStock::generate(fp(7));
+        assert!(stock.matches_shape(&group, 3, 4));
+        assert!(!stock.matches_shape(&group, 4, 4));
+        assert!(!stock.matches_shape(&group, 3, 5));
+        assert!(!stock.matches_shape(&GroupKind::Dl1024.group(), 3, 4));
+        assert_eq!(stock.fingerprint(), Some(&fp(7)));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_fingerprint() {
+        let a = OfflineStock::generate(fp(9));
+        let b = OfflineStock::generate(fp(9));
+        let c = OfflineStock::generate(fp(10));
+        let commitments = |s: &OfflineStock| -> Vec<_> {
+            s.nonces.iter().map(|n| n.commitment().clone()).collect()
+        };
+        assert_eq!(commitments(&a), commitments(&b));
+        assert_ne!(commitments(&a), commitments(&c));
+        assert_eq!(a.hops, b.hops);
+        assert_ne!(a.hops, c.hops);
+    }
+
+    #[test]
+    fn cancellable_generation_matches_uncancelled() {
+        let a = OfflineStock::generate(fp(11));
+        let b = OfflineStock::generate_cancellable(fp(11), &mut || false).unwrap();
+        assert_eq!(a.hops, b.hops);
+        assert_eq!(
+            a.nonces.front().map(|n| n.commitment().clone()),
+            b.nonces.front().map(|n| n.commitment().clone())
+        );
+    }
+
+    #[test]
+    fn cancellation_stops_generation() {
+        assert!(OfflineStock::generate_cancellable(fp(12), &mut || true).is_none());
+        // Cancel part-way through: after a few polls the worker gives up.
+        let mut polls = 0usize;
+        let out = OfflineStock::generate_cancellable(fp(12), &mut || {
+            polls += 1;
+            polls > 4
+        });
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn draws_consume_front_to_back_until_exhausted() {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stock = OfflineStock::draw_from(&group, 2, 3, &mut rng);
+        assert!(stock.fingerprint().is_none());
+        assert!(stock.matches_shape(&group, 2, 3));
+        for _ in 0..2 {
+            assert!(stock.take_nonce().is_some());
+        }
+        assert!(stock.take_nonce().is_none());
+        for _ in 0..2 {
+            assert_eq!(stock.take_enc_row().map(|r| r.len()), Some(3));
+        }
+        assert!(stock.take_enc_row().is_none());
+        for _ in 0..2 {
+            assert_eq!(stock.take_hop_set().map(|s| s.len()), Some(3));
+        }
+        assert!(stock.take_hop_set().is_none());
+    }
+}

@@ -142,6 +142,14 @@ impl FrameworkParams {
         self.seed
     }
 
+    /// The same parameters with a different master seed — how a precompute
+    /// pool derives per-session parameters from a registered template
+    /// without rebuilding (and revalidating) them each time.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// The masked-gain bit length `l` (see [`bit_length`] for the formula
     /// and for how it relates to the paper's Sec. V expression).
     pub fn beta_bits(&self) -> usize {

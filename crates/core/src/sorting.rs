@@ -22,9 +22,10 @@
 //!    and counts zeros: `rank = zeros + 1`.
 
 use crate::circuit::compare_encrypted;
+use crate::offline::OfflineStock;
 use crate::timing::PartyTimer;
 use ppgr_bigint::BigUint;
-use ppgr_elgamal::{encrypt_bits_prepared, Ciphertext, ExpElGamal, JointKey, KeyPair};
+use ppgr_elgamal::{encrypt_bits_with_precomputed, Ciphertext, ExpElGamal, JointKey, KeyPair};
 use ppgr_group::{Element, Group, Scalar};
 use ppgr_net::TrafficLog;
 use ppgr_zkp::{verify_batch, MultiVerifierProof, SchnorrTranscript};
@@ -261,6 +262,9 @@ pub enum SortStatus {
 /// Where a [`SortMachine`] currently stands in the protocol.
 #[derive(Clone, Copy, Debug, Eq, PartialEq)]
 enum SortState {
+    /// Offline phase: acquire (or draw cold) the precomputed randomness
+    /// stock — Schnorr nonces, encryption randomizers, hop randomizers.
+    Offline,
     /// Step 5: key generation + proofs of knowledge (all parties).
     KeyGen,
     /// Step 6: bitwise encryption under the joint key (all parties).
@@ -316,6 +320,9 @@ pub struct SortMachine {
     /// chain's dominant loop reuses two buffers per set instead of
     /// allocating and cloning fresh vectors every hop.
     hop_scratch: Vec<Ciphertext>,
+    /// Precomputed randomness, attached warm by a pool or drawn cold at the
+    /// offline step; consumed front-to-back in protocol order.
+    stock: Option<OfflineStock>,
     result: Option<(SortOutcome, SortTrace)>,
 }
 
@@ -352,7 +359,7 @@ impl SortMachine {
             options,
             n,
             workers: resolve_threads(options.threads),
-            state: SortState::KeyGen,
+            state: SortState::Offline,
             round: round_base,
             keys: Vec::new(),
             key_table: None,
@@ -360,8 +367,27 @@ impl SortMachine {
             sets: Vec::new(),
             opponent_order: Vec::new(),
             hop_scratch: Vec::new(),
+            stock: None,
             result: None,
         })
+    }
+
+    /// Attaches a pool-generated [`OfflineStock`] before the machine's
+    /// offline step runs, so the step finds its randomness ready instead of
+    /// drawing it cold.
+    ///
+    /// Returns `false` — leaving the machine to draw cold — if the offline
+    /// step has already run or the stock's shape does not match this
+    /// session (`n` parties, `l` bits, same group).
+    pub fn attach_offline_stock(&mut self, stock: OfflineStock) -> bool {
+        if self.state != SortState::Offline
+            || self.stock.is_some()
+            || !stock.matches_shape(&self.group, self.n, self.l)
+        {
+            return false;
+        }
+        self.stock = Some(stock);
+        true
     }
 
     /// Whether the protocol has completed.
@@ -393,13 +419,24 @@ impl SortMachine {
         timer: &mut PartyTimer,
     ) -> Result<SortStatus, SortError> {
         match self.state {
+            SortState::Offline => {
+                // Cold fallback: no pool attached a stock, so draw it from
+                // the protocol stream here. Warm machines skip the draws
+                // entirely. Offline work is charged to nobody's online
+                // ledger — that is the point of the split.
+                if self.stock.is_none() {
+                    self.stock = Some(OfflineStock::draw_from(&self.group, self.n, self.l, rng));
+                }
+                self.state = SortState::KeyGen;
+                Ok(SortStatus::Pending)
+            }
             SortState::KeyGen => {
                 self.step_keygen(rng, log, timer)?;
                 self.state = SortState::Encrypt;
                 Ok(SortStatus::Pending)
             }
             SortState::Encrypt => {
-                self.step_encrypt(rng, log, timer);
+                self.step_encrypt(log, timer)?;
                 self.state = SortState::Compare { idx: 0 };
                 Ok(SortStatus::Pending)
             }
@@ -414,7 +451,7 @@ impl SortMachine {
                 Ok(SortStatus::Pending)
             }
             SortState::Hop { idx } => {
-                self.step_hop(idx, rng, log, timer);
+                self.step_hop(idx, rng, log, timer)?;
                 self.state = if idx + 1 < self.n {
                     SortState::Hop { idx: idx + 1 }
                 } else {
@@ -463,8 +500,22 @@ impl SortMachine {
         let mut proofs: Vec<SchnorrTranscript> = Vec::with_capacity(n);
         for (idx, kp) in keys.iter().enumerate() {
             let party = idx + 1;
+            // The commitment exponentiation was done offline; online the
+            // prover only draws challenges and answers with scalar
+            // arithmetic.
+            let pre = self
+                .stock
+                .as_mut()
+                .and_then(OfflineStock::take_nonce)
+                .ok_or(SortError::Internal("offline nonce stock exhausted"))?;
             let transcript = timer.time(party, || {
-                MultiVerifierProof::run(&self.group, kp.secret_key(), n - 1, rng)
+                MultiVerifierProof::run_with_precomputed(
+                    &self.group,
+                    kp.secret_key(),
+                    pre,
+                    n - 1,
+                    rng,
+                )
             });
             // Commitment broadcast, n−1 challenge shares, response broadcast.
             for other in 1..=n {
@@ -499,12 +550,10 @@ impl SortMachine {
     }
 
     /// Step 6: bitwise encryption under the joint key, published to all.
-    fn step_encrypt<R: Rng + ?Sized>(
-        &mut self,
-        rng: &mut R,
-        log: &TrafficLog,
-        timer: &mut PartyTimer,
-    ) {
+    ///
+    /// The fixed-base halves (`g^r`) come from the offline stock; only the
+    /// key-dependent `y^r` batch runs online, through the prepared table.
+    fn step_encrypt(&mut self, log: &TrafficLog, timer: &mut PartyTimer) -> Result<(), SortError> {
         let n = self.n;
         let shares: Vec<_> = self.keys.iter().map(|k| k.public_key().clone()).collect();
         let joint = JointKey::combine(&self.group, &shares);
@@ -513,28 +562,34 @@ impl SortMachine {
         // shares, so its (small, amortized) cost is not charged to any
         // single party's ledger.
         let key_table = self.scheme.prepare_key(joint.public_key());
-        // The prepared-table batch path draws the per-bit randomness in the
-        // same order as per-bit `encrypt_bits`, so transcripts are
-        // unchanged.
+        let mut stock = self
+            .stock
+            .take()
+            .ok_or(SortError::Internal("no offline stock at encrypt"))?;
         self.encrypted_bits = self
             .values
             .iter()
             .enumerate()
             .map(|(idx, v)| {
                 let party = idx + 1;
+                let row = stock
+                    .take_enc_row()
+                    .ok_or(SortError::Internal("offline encryption stock exhausted"))?;
                 let cts = timer.time(party, || {
-                    encrypt_bits_prepared(&self.scheme, &key_table, v, self.l, rng)
+                    encrypt_bits_with_precomputed(&self.scheme, &key_table, v, self.l, row)
                 });
                 for other in 1..=n {
                     if other != party {
                         log.record(self.round, party, other, self.l * self.ct_len, "sort/bits");
                     }
                 }
-                cts
+                Ok(cts)
             })
-            .collect();
+            .collect::<Result<_, SortError>>()?;
+        self.stock = Some(stock);
         self.round += 1;
         self.key_table = Some(key_table);
+        Ok(())
     }
 
     /// Step 7 for one party: she compares her plaintext value against every
@@ -567,9 +622,9 @@ impl SortMachine {
 
     /// Step 8 for one party: her hop of the shuffle-decrypt chain
     /// P₁ → P₂ → … → P_n. Within the hop the n−1 foreign sets are
-    /// independent; the randomness (plaintext randomizers, then the shuffle
-    /// permutation, per set) is pre-drawn in the serial order so the
-    /// transcript is identical for any thread count, then the
+    /// independent; the plaintext randomizers come from the offline stock
+    /// and the shuffle permutations are pre-drawn in the serial order, so
+    /// the transcript is identical for any thread count, then the
     /// exponentiations run batched — the fused decrypt-and-randomize hop
     /// costs ~1.7 exponentiations per ciphertext instead of 3, and the
     /// shuffle is fused into result placement so no permutation pass (or
@@ -580,13 +635,20 @@ impl SortMachine {
         rng: &mut R,
         log: &TrafficLog,
         timer: &mut PartyTimer,
-    ) {
+    ) -> Result<(), SortError> {
         let party = idx + 1;
         // tidy:allow(determinism) — wall-clock used for timing accounting only, never protocol state
         let start = Instant::now();
         // tidy:allow(determinism) — wall-clock used for timing accounting only, never protocol state
         let draw_start = Instant::now();
-        // (owner, randomizers, shuffle permutation) per foreign set.
+        let mut stock = self
+            .stock
+            .take()
+            .ok_or(SortError::Internal("no offline stock at hop"))?;
+        // (owner, randomizers, shuffle permutation) per foreign set. The
+        // stock always holds a randomizer set per (hop, foreign set) —
+        // its shape is options-independent — so a non-randomizing run
+        // simply leaves them unconsumed.
         let jobs: Vec<(usize, Vec<Scalar>, Option<Vec<usize>>)> = self
             .sets
             .iter()
@@ -594,9 +656,13 @@ impl SortMachine {
             .filter(|&(owner, _)| owner != idx) // never her own set
             .map(|(owner, set)| {
                 let rs: Vec<Scalar> = if self.options.randomize {
-                    set.iter()
-                        .map(|_| self.group.random_nonzero_scalar(rng))
-                        .collect()
+                    let rs = stock
+                        .take_hop_set()
+                        .ok_or(SortError::Internal("offline hop stock exhausted"))?;
+                    if rs.len() != set.len() {
+                        return Err(SortError::Internal("offline hop stock shape mismatch"));
+                    }
+                    rs
                 } else {
                     Vec::new()
                 };
@@ -608,9 +674,10 @@ impl SortMachine {
                     p.shuffle(rng);
                     p
                 });
-                (owner, rs, perm)
+                Ok((owner, rs, perm))
             })
-            .collect();
+            .collect::<Result<_, SortError>>()?;
+        self.stock = Some(stock);
         let draw_cpu = draw_start.elapsed();
         let Self {
             sets,
@@ -673,6 +740,7 @@ impl SortMachine {
             log.record(self.round, party, party + 1, v_bytes, "sort/chain");
             self.round += 1;
         }
+        Ok(())
     }
 
     /// Return traffic + step 9: each owner strips her own layer and counts

@@ -293,10 +293,21 @@ impl Reader {
     }
 
     /// Reads a `u32` length/count.
+    ///
+    /// The claimed count is clamped against the bytes actually present in
+    /// the frame: every length-prefixed element occupies at least one byte,
+    /// so a count exceeding the remaining payload is malformed on its face.
+    /// Without this bound an attacker-claimed count drives
+    /// `Vec::with_capacity` in the decoders — a 4-byte frame asking the
+    /// receiver to allocate gigabytes.
     #[allow(clippy::len_without_is_empty)] // decodes a length prefix, not a container size
     pub fn len(&mut self) -> Result<usize, WireError> {
         self.need(4, "truncated length")?;
-        Ok(self.buf.get_u32() as usize)
+        let n = self.buf.get_u32() as usize;
+        if n > self.buf.remaining() {
+            return Err(WireError::new("length prefix exceeds frame"));
+        }
+        Ok(n)
     }
 
     /// Reads one field element.
@@ -474,6 +485,35 @@ mod tests {
         assert!(parse_frame(&Bytes::from(vec![TAG_ABORT, 0, 0, 0, 3, 99, 0])).is_err());
         // Abort with trailing bytes.
         assert!(parse_frame(&Bytes::from(vec![TAG_ABORT, 0, 0, 0, 3, 0, 0, 9])).is_err());
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected_before_allocation() {
+        // Regression: a 4-byte frame claiming u32::MAX elements used to
+        // reach `Vec::with_capacity(u32::MAX)` in the decoders. The count
+        // must be bounded by the bytes actually present.
+        let field = default_field();
+        let group = GroupKind::Ecc160.group();
+        let mut huge = BytesMut::new();
+        huge.put_u32(u32::MAX);
+        let bytes = huge.freeze();
+        assert!(Reader::new(bytes.clone()).len().is_err());
+        assert!(Reader::new(bytes.clone()).fp_vec(&field).is_err());
+        assert!(Reader::new(bytes).ciphertexts(&group).is_err());
+
+        // One element short of the claim is still malformed.
+        let mut short = BytesMut::new();
+        short.put_u32(3);
+        short.put_slice(&[0u8; 2]);
+        assert!(Reader::new(short.freeze()).len().is_err());
+
+        // A count covered by the payload still decodes.
+        let mut w = Writer::new();
+        w.put_fp_vec(&[field.from_u64(1), field.from_u64(2)])
+            .unwrap();
+        let mut r = Reader::new(w.finish());
+        assert_eq!(r.fp_vec(&field).unwrap().len(), 2);
+        r.done().unwrap();
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! We store bits least-significant-first internally; the comparison circuit
 //! in `ppgr-core` indexes them accordingly.
 
-use crate::cipher::{Ciphertext, ExpElGamal};
+use crate::cipher::{Ciphertext, EncRandomizer, ExpElGamal};
 use ppgr_bigint::BigUint;
 use ppgr_group::{Element, FixedBaseTable, Scalar};
 use rand::Rng;
@@ -78,6 +78,48 @@ pub fn encrypt_bits_prepared<R: Rng + ?Sized>(
         .collect()
 }
 
+/// [`encrypt_bits_prepared`] with the fixed-base exponentiations done ahead
+/// of time: `randomizers[i]` carries `(r_i, g^{r_i})` for bit `i`
+/// (least-significant first), so only the key-dependent `y^{r_i}` batch
+/// remains online.
+///
+/// Consumes the randomizers: each is single-use. For randomizers drawn from
+/// the same stream positions the inline path would have used, the output is
+/// bit-identical to [`encrypt_bits_prepared`].
+///
+/// # Panics
+///
+/// Panics if `value` does not fit in `l` bits or if `randomizers` does not
+/// hold exactly `l` entries.
+pub fn encrypt_bits_with_precomputed(
+    scheme: &ExpElGamal,
+    key_table: &FixedBaseTable,
+    value: &BigUint,
+    l: usize,
+    randomizers: Vec<EncRandomizer>,
+) -> Vec<Ciphertext> {
+    assert!(value.bits() <= l, "value exceeds the declared bit length l");
+    assert_eq!(randomizers.len(), l, "one randomizer per bit");
+    let group = scheme.group();
+    let rs: Vec<Scalar> = randomizers.iter().map(|p| p.scalar().clone()).collect();
+    let masks = group.exp_prepared_batch(key_table, &rs); // y^r_i
+    let g1 = group.generator();
+    masks
+        .into_iter()
+        .zip(randomizers)
+        .enumerate()
+        .map(|(i, (mask, pre))| {
+            let (_r, beta) = pre.into_parts();
+            let alpha = if value.bit(i) {
+                group.op(g1, &mask)
+            } else {
+                mask
+            };
+            Ciphertext { alpha, beta }
+        })
+        .collect()
+}
+
 /// Decrypts a bitwise encryption back to the integer (test helper: requires
 /// the full secret key, which no protocol party ever holds).
 pub fn decrypt_bits(scheme: &ExpElGamal, secret_key: &Scalar, bits: &[Ciphertext]) -> BigUint {
@@ -128,6 +170,27 @@ mod tests {
         let batched = encrypt_bits_prepared(&scheme, &table, &v, 12, &mut rng_b);
         assert_eq!(serial, batched);
         assert_eq!(decrypt_bits(&scheme, kp.secret_key(), &batched), v);
+    }
+
+    #[test]
+    fn precomputed_randomizers_match_prepared_encryption() {
+        // Same stream position → bit-identical ciphertexts, which is what
+        // lets the offline pool swap in without changing any wire bytes.
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(6);
+        let kp = KeyPair::generate(&group, &mut rng);
+        let scheme = ExpElGamal::new(group.clone());
+        let table = scheme.prepare_key(kp.public_key());
+        let v = BigUint::from(0b0110_0101u64);
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let inline = encrypt_bits_prepared(&scheme, &table, &v, 10, &mut rng_a);
+        let stock: Vec<EncRandomizer> = (0..10)
+            .map(|_| EncRandomizer::draw(&group, &mut rng_b))
+            .collect();
+        let warm = encrypt_bits_with_precomputed(&scheme, &table, &v, 10, stock);
+        assert_eq!(inline, warm);
+        assert_eq!(decrypt_bits(&scheme, kp.secret_key(), &warm), v);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Standard and exponential ElGamal ciphertexts and their homomorphic ops.
 
+use ppgr_bigint::Secret;
 use ppgr_group::{Element, FixedBaseTable, Group, Scalar};
 use rand::Rng;
+use std::fmt;
 
 /// An ElGamal ciphertext `(α, β)`.
 ///
@@ -26,6 +28,60 @@ impl Ciphertext {
         let mut out = group.encode(&self.alpha);
         out.extend_from_slice(&group.encode(&self.beta));
         out
+    }
+}
+
+/// A precomputed encryption randomizer `(r, β = g^r)` for the
+/// offline/online phase split.
+///
+/// The fixed-base half of an encryption or re-randomization — `g^r` — does
+/// not depend on the public key, so it can be computed before the session's
+/// joint key even exists. The key-dependent half (`y^r`) stays online,
+/// where it runs through the prepared joint-key table.
+///
+/// A randomizer is strictly single-use — re-using `r` across two
+/// ciphertexts gives them identical `β` components, visibly linking them —
+/// so consuming APIs take it by value.
+pub struct EncRandomizer {
+    r: Secret<Scalar>,
+    beta: Element,
+}
+
+impl EncRandomizer {
+    /// Draws a fresh randomizer and computes `g^r` (the offline work).
+    ///
+    /// Draws exactly one scalar from `rng` — the same single draw the
+    /// inline encryption paths perform — so a precomputed encryption fed
+    /// from the same randomness stream is bit-identical to an inline one.
+    pub fn draw<R: Rng + ?Sized>(group: &Group, rng: &mut R) -> Self {
+        let r = group.random_scalar(rng);
+        let beta = group.exp_gen(&r);
+        EncRandomizer {
+            r: Secret::new(r),
+            beta,
+        }
+    }
+
+    /// The public component `β = g^r`.
+    pub fn beta(&self) -> &Element {
+        &self.beta
+    }
+
+    pub(crate) fn scalar(&self) -> &Scalar {
+        self.r.expose()
+    }
+
+    pub(crate) fn into_parts(self) -> (Secret<Scalar>, Element) {
+        (self.r, self.beta)
+    }
+}
+
+impl fmt::Debug for EncRandomizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EncRandomizer")
+            .field("r", &self.r)
+            .field("beta", &self.beta)
+            .finish()
     }
 }
 
@@ -209,6 +265,29 @@ impl ExpElGamal {
                 .group
                 .op(&a.alpha, &self.group.exp_prepared(key_table, &r)),
             beta: self.group.op(&a.beta, &self.group.exp_gen(&r)),
+        }
+    }
+
+    /// [`ExpElGamal::rerandomize_prepared`] with the fixed-base
+    /// exponentiation done ahead of time: `pre` carries `(r, g^r)` from the
+    /// offline phase, so only the key-dependent `y^r` (through the prepared
+    /// table) remains online.
+    ///
+    /// For a `pre` drawn from the same stream position the inline path
+    /// would have used, the output is bit-identical to
+    /// [`ExpElGamal::rerandomize_prepared`].
+    pub fn rerandomize_with_precomputed(
+        &self,
+        key_table: &FixedBaseTable,
+        a: &Ciphertext,
+        pre: EncRandomizer,
+    ) -> Ciphertext {
+        let (r, gr) = pre.into_parts();
+        Ciphertext {
+            alpha: self
+                .group
+                .op(&a.alpha, &self.group.exp_prepared(key_table, r.expose())),
+            beta: self.group.op(&a.beta, &gr),
         }
     }
 
@@ -706,6 +785,36 @@ mod tests {
         let b2 = scheme.rerandomize_prepared(&table, &b, &mut rng3);
         assert_eq!(a2, b2);
         assert_eq!(scheme.decrypt_small(kp.secret_key(), &b2, 100), Some(6));
+    }
+
+    #[test]
+    fn precomputed_rerandomization_matches_prepared_path() {
+        let (scheme, kp, mut rng) = setup();
+        let g = scheme.group().clone();
+        let table = scheme.prepare_key(kp.public_key());
+        let ct = scheme.encrypt(kp.public_key(), &g.scalar_from_u64(6), &mut rng);
+        // Same seed → same stream → identical outputs.
+        let mut rng_a = StdRng::seed_from_u64(55);
+        let mut rng_b = StdRng::seed_from_u64(55);
+        let inline = scheme.rerandomize_prepared(&table, &ct, &mut rng_a);
+        let pre = EncRandomizer::draw(&g, &mut rng_b);
+        let warm = scheme.rerandomize_with_precomputed(&table, &ct, pre);
+        assert_eq!(inline, warm);
+        assert_eq!(scheme.decrypt_small(kp.secret_key(), &warm, 100), Some(6));
+    }
+
+    #[test]
+    fn randomizer_debug_redacts_scalar() {
+        let (scheme, _kp, mut rng) = setup();
+        let g = scheme.group().clone();
+        let pre = EncRandomizer::draw(&g, &mut rng);
+        let digits = pre.scalar().to_string();
+        let dump = format!("{:?}", pre);
+        assert!(dump.contains("Secret(<redacted>)"), "got: {dump}");
+        assert!(
+            !dump.contains(&digits),
+            "randomizer scalar leaked through Debug: {dump}"
+        );
     }
 
     #[test]

@@ -64,22 +64,30 @@ impl fmt::Display for Phase {
 ///
 /// Thin wrapper over [`Instant`] so higher layers can wait against a fixed
 /// point in time without re-deriving remaining budgets themselves.
+///
+/// A budget too large to represent as an `Instant` (e.g.
+/// `Duration::MAX`) saturates to "never expires" instead of panicking:
+/// such a deadline is unreachable within the process lifetime anyway.
 #[derive(Clone, Copy, Debug, Eq, PartialEq)]
 pub struct Deadline {
-    at: Instant,
+    /// `None` = unreachable (the budget overflowed the clock's range).
+    at: Option<Instant>,
 }
 
 impl Deadline {
     /// A deadline `budget` from now.
     pub fn after(budget: Duration) -> Self {
         Deadline {
-            at: Instant::now() + budget,
+            at: Instant::now().checked_add(budget),
         }
     }
 
     /// Time left until expiry (zero once expired).
     pub fn remaining(&self) -> Duration {
-        self.at.saturating_duration_since(Instant::now())
+        match self.at {
+            Some(at) => at.saturating_duration_since(Instant::now()),
+            None => Duration::MAX,
+        }
     }
 
     /// Whether the deadline has passed.
@@ -148,13 +156,22 @@ impl PhaseBudget {
     /// of all phase allowances with the hop allowance scaled by the chain
     /// length. The initiator's submission gather waits against this (its
     /// first receive legitimately spans the participants' whole phase 2).
+    ///
+    /// Saturates at [`Duration::MAX`] for extreme budgets (e.g.
+    /// `PhaseBudget::uniform(Duration::MAX)`): an effectively unbounded
+    /// wait, never an arithmetic panic.
     pub fn session_total(&self, n: usize) -> Duration {
+        let hops = self.hop.saturating_mul(
+            u32::try_from(n.max(1))
+                .unwrap_or(u32::MAX)
+                .saturating_add(1),
+        );
         self.gain
-            + self.keygen
-            + self.encrypt
-            + self.compare
-            + self.hop * (n.max(1) as u32).saturating_add(1)
-            + self.submit
+            .saturating_add(self.keygen)
+            .saturating_add(self.encrypt)
+            .saturating_add(self.compare)
+            .saturating_add(hops)
+            .saturating_add(self.submit)
     }
 }
 
@@ -179,6 +196,25 @@ mod tests {
         let far = Deadline::after(Duration::from_secs(3600));
         assert!(!far.expired());
         assert!(far.remaining() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn extreme_budgets_saturate_instead_of_panicking() {
+        // Regression: `Instant::now() + Duration::MAX` and the unchecked
+        // sums in `session_total` both used to panic.
+        let never = Deadline::after(Duration::MAX);
+        assert!(!never.expired());
+        assert_eq!(never.remaining(), Duration::MAX);
+
+        let b = PhaseBudget::uniform(Duration::MAX);
+        assert_eq!(b.session_total(0), Duration::MAX);
+        assert_eq!(b.session_total(8), Duration::MAX);
+        assert_eq!(b.session_total(usize::MAX), Duration::MAX);
+        assert!(!b.deadline(Phase::Hop).expired());
+
+        // Near-max but representable budgets stay exact.
+        let almost = PhaseBudget::uniform(Duration::from_secs(u64::MAX / 16));
+        assert_eq!(almost.session_total(usize::MAX), Duration::MAX);
     }
 
     #[test]

@@ -54,7 +54,7 @@ struct DropFault {
 /// Build explicitly via the combinators, or derive a single-crash plan
 /// from a seed with [`FaultPlan::seeded`]. Plans contain no ambient
 /// randomness, so a failing seed reproduces exactly.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Eq, PartialEq)]
 pub struct FaultPlan {
     crashes: Vec<(usize, Phase, FaultKind)>,
     delays: Vec<DelayFault>,
@@ -105,7 +105,13 @@ impl FaultPlan {
     /// `1..=participants`) crashing at a seed-chosen phase, alternating
     /// crash-stop / silent-stall. The derivation is a fixed xorshift — no
     /// ambient entropy — so a seed names one reproducible failure.
+    ///
+    /// With zero participants there is nobody to crash, so the plan is
+    /// empty (rather than naming the out-of-range victim id `1`).
     pub fn seeded(seed: u64, participants: usize) -> Self {
+        if participants == 0 {
+            return FaultPlan::new();
+        }
         let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = || {
             x ^= x << 13;
@@ -113,7 +119,7 @@ impl FaultPlan {
             x ^= x << 17;
             x
         };
-        let victim = 1 + (next() as usize) % participants.max(1);
+        let victim = 1 + (next() as usize) % participants;
         let phase = Phase::ALL[(next() as usize) % Phase::ALL.len()];
         let plan = FaultPlan::new();
         if next() & 1 == 0 {
@@ -449,6 +455,17 @@ mod tests {
         let (h0, h1, _stash) = pair(FaultPlan::new().delay(0, 1, 0, Duration::from_millis(30)));
         h0.send(1, 7).unwrap();
         assert_eq!(h1.recv_from_timeout(0, Duration::from_secs(2)), Ok(7));
+    }
+
+    #[test]
+    fn seeded_with_zero_participants_is_empty() {
+        // Regression: this used to fabricate victim id 1 out of thin air
+        // (`1 + x % max(0, 1)`), a party that cannot exist.
+        for seed in 0..16u64 {
+            let plan = FaultPlan::seeded(seed, 0);
+            assert_eq!(plan.crashes().count(), 0, "seed {seed} invented a victim");
+            assert_eq!(plan, FaultPlan::new());
+        }
     }
 
     #[test]

@@ -56,6 +56,8 @@
 
 mod handle;
 mod pool;
+mod precompute;
 
 pub use handle::SessionHandle;
 pub use pool::{Runtime, RuntimeConfig};
+pub use precompute::{GroupId, PrecomputeConfig};

@@ -11,6 +11,7 @@
 //! a time, so its steps can never run concurrently with each other.
 
 use crate::handle::{SessionHandle, Slot};
+use crate::precompute::{GroupId, PrecomputeConfig, PrecomputePool};
 use ppgr_core::{
     FrameworkParams, GroupRanking, RunError, SessionMachine, SessionStatus, SortOptions,
 };
@@ -35,6 +36,9 @@ pub struct RuntimeConfig {
     /// with [`RunError::DeadlineExceeded`], reclaiming its worker — a
     /// wedged session cannot hold a pool thread forever.
     pub session_budget: Option<Duration>,
+    /// The offline precompute pool serving
+    /// [`Runtime::register_group`] / [`Runtime::submit_group`].
+    pub precompute: PrecomputeConfig,
 }
 
 impl RuntimeConfig {
@@ -81,6 +85,7 @@ pub struct Runtime {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     session_budget: Option<Duration>,
+    precompute: PrecomputePool,
 }
 
 impl Runtime {
@@ -107,6 +112,7 @@ impl Runtime {
             shared,
             workers: handles,
             session_budget: config.session_budget,
+            precompute: PrecomputePool::new(config.precompute),
         }
     }
 
@@ -175,6 +181,65 @@ impl Runtime {
         handle
     }
 
+    /// Registers a recurring group: opens a precompute lane for its
+    /// parameter template (and warms the group's fixed-base comb tables).
+    /// Background refill workers immediately start stocking the lane's
+    /// upcoming sessions' offline randomness.
+    pub fn register_group(&self, params: FrameworkParams) -> GroupId {
+        self.precompute.register(params)
+    }
+
+    /// Submits the next session of a registered group: session `k` runs
+    /// with seed `base_seed + k` and, when the refill workers got there in
+    /// time, starts warm from its precomputed offline stock. A session the
+    /// pool could not stock in time runs cold — same transcript and ranks,
+    /// only more online work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` was not issued by this runtime.
+    pub fn submit_group(&self, gid: GroupId) -> SessionHandle {
+        let (params, stock) = self.precompute.take(gid);
+        let options = SortOptions {
+            threads: 1,
+            ..SortOptions::default()
+        };
+        let slot = Slot::new();
+        let handle = SessionHandle {
+            slot: Arc::clone(&slot),
+        };
+        match GroupRanking::new(params)
+            .with_random_population()
+            .into_machine_with(options)
+        {
+            Ok(mut machine) => {
+                if let Some(stock) = stock {
+                    // The pool generated the stock for exactly this
+                    // fingerprint; a rejected attach degrades to a cold
+                    // (still bit-identical) run rather than an error.
+                    let _ = machine.attach_offline_stock(stock);
+                }
+                self.inject(Task {
+                    machine,
+                    slot,
+                    deadline: self.session_budget.map(Deadline::after),
+                });
+            }
+            Err(e) => slot.fill(Err(e)),
+        }
+        handle
+    }
+
+    /// How many offline stocks are ready for group `gid` right now
+    /// (between 0 and the configured precompute depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` was not issued by this runtime.
+    pub fn precomputed(&self, gid: GroupId) -> usize {
+        self.precompute.ready(gid)
+    }
+
     /// Submits an already-built [`SessionMachine`] (full control over sort
     /// options; a partially stepped machine resumes where it stood).
     pub fn submit_session(&self, machine: SessionMachine) -> SessionHandle {
@@ -208,6 +273,10 @@ impl Default for Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
+        // Refill first: a half-generated stock aborts at its next
+        // cancellation poll, so the drain below never waits on offline
+        // work nobody will consume.
+        self.precompute.shutdown();
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.wake.notify_all();
         for handle in self.workers.drain(..) {
@@ -389,6 +458,7 @@ mod tests {
         let runtime = Runtime::new(RuntimeConfig {
             workers: 1,
             session_budget: Some(Duration::ZERO),
+            ..RuntimeConfig::default()
         });
         // Already expired at the first step boundary → abandoned, typed.
         let wedged = runtime.submit(small_params(3, 71));
@@ -403,6 +473,7 @@ mod tests {
         let runtime = Runtime::new(RuntimeConfig {
             workers: 2,
             session_budget: None,
+            ..RuntimeConfig::default()
         });
         let healthy: Vec<_> = (0..2)
             .map(|i| runtime.submit(small_params(2, 400 + i)))

@@ -35,7 +35,17 @@ impl FileCtx<'_> {
 /// Types that directly hold raw secret material. Deriving `Debug` on them
 /// would print limbs; they must carry a hand-written redacting impl (or
 /// wrap their fields in `ppgr_bigint::Secret`).
-const SECRET_TYPES: &[&str] = &["KeyPair", "SchnorrProver", "SenderState", "Secret"];
+const SECRET_TYPES: &[&str] = &[
+    "KeyPair",
+    "SchnorrProver",
+    "SenderState",
+    "Secret",
+    // Offline-precomputed material: a pooled Schnorr nonce or encryption
+    // randomizer is exactly as sensitive as the live value it stands in
+    // for (recovering r from a transcript recovers the witness/plaintext).
+    "SchnorrNonce",
+    "EncRandomizer",
+];
 
 /// Identifier names that, by workspace convention, bind secret values:
 /// ElGamal secret exponents and shares, Schnorr witnesses and nonces, the
@@ -55,19 +65,22 @@ const SECRET_IDENTS: &[&str] = &[
     "shuffle_perm",
 ];
 
-/// Ambient entropy / wall-clock identifiers that break the transcript
-/// determinism the pooled runtime's bit-identical guarantee rests on.
-const AMBIENT: &[&str] = &[
-    "thread_rng",
-    "from_entropy",
-    "OsRng",
-    "SystemTime",
-    "Instant",
-];
+/// Wall-clock identifiers that break the transcript determinism the pooled
+/// runtime's bit-identical guarantee rests on. Sanctioned timing modules
+/// are exempt — measuring real time is their job.
+const AMBIENT_CLOCK: &[&str] = &["SystemTime", "Instant"];
 
-/// Modules sanctioned to read the wall clock / ambient entropy: the
-/// benchmark harness (measures real time by definition), the shared timing
-/// ledger, and this analyzer.
+/// Ambient entropy identifiers. Unlike the clock these have **no**
+/// sanctioned modules: every random draw in the workspace — including the
+/// precompute pool's background refill of offline stocks — must flow from
+/// a seeded, injected `Rng`, or a warm session's transcript could never be
+/// bit-identical to its cold fallback.
+const AMBIENT_ENTROPY: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
+
+/// Modules sanctioned to read the wall clock: the benchmark harness
+/// (measures real time by definition), the shared timing ledger, and this
+/// analyzer. Ambient *entropy* is not excused here — see
+/// [`AMBIENT_ENTROPY`].
 const DETERMINISM_SANCTIONED: &[&str] = &[
     "crates/bench/",
     "crates/tidy/",
@@ -163,27 +176,37 @@ fn has_inner_lint(toks: &[Tok], attr: &str, ident: &str) -> bool {
 // Rule: determinism
 // ---------------------------------------------------------------------------
 
-/// All protocol randomness must flow from an injected `Rng`; wall-clock
-/// reads are confined to sanctioned timing modules.
+/// All protocol randomness must flow from an injected `Rng` — everywhere,
+/// sanctioned modules included; wall-clock reads are confined to
+/// sanctioned timing modules.
 pub fn check_determinism(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if DETERMINISM_SANCTIONED
+    let clock_sanctioned = DETERMINISM_SANCTIONED
         .iter()
-        .any(|p| ctx.rel_path.starts_with(p) || ctx.rel_path.ends_with(p))
-    {
-        return;
-    }
+        .any(|p| ctx.rel_path.starts_with(p) || ctx.rel_path.ends_with(p));
     for (i, t) in ctx.toks.iter().enumerate() {
         if ctx.test_mask[i] || t.kind != TokKind::Ident {
             continue;
         }
-        if AMBIENT.contains(&t.text.as_str()) {
+        if AMBIENT_ENTROPY.contains(&t.text.as_str()) {
             ctx.emit(
                 out,
                 t.line,
                 "determinism",
                 format!(
-                    "`{}` breaks transcript determinism: protocol randomness must come from an \
-                     injected Rng, and wall-clock reads belong in sanctioned timing modules",
+                    "`{}` is ambient entropy: every draw — offline precompute refills \
+                     included — must come from a seeded, injected Rng, or warm and cold \
+                     transcripts diverge",
+                    t.text
+                ),
+            );
+        } else if !clock_sanctioned && AMBIENT_CLOCK.contains(&t.text.as_str()) {
+            ctx.emit(
+                out,
+                t.line,
+                "determinism",
+                format!(
+                    "`{}` breaks transcript determinism: wall-clock reads belong in \
+                     sanctioned timing modules",
                     t.text
                 ),
             );

@@ -88,12 +88,19 @@ fn determinism_good_is_silent() {
 }
 
 #[test]
-fn determinism_sanctioned_modules_are_exempt() {
+fn sanctioned_modules_are_exempt_from_the_clock_rule_only() {
+    // Wall-clock reads are the timing modules' job — silent there, flagged
+    // on the protocol surface.
+    let clock = fixture!("determinism_clock_only.rs");
+    assert!(rules_for("crates/bench/src/fixture.rs", clock).is_empty());
+    assert_eq!(rules_for(PROTO, clock), vec!["determinism"]);
+    // Ambient entropy has no sanctioned modules: the same bad source in a
+    // timing module still fires for its `thread_rng` (but not its clock).
     let rules = rules_for(
         "crates/bench/src/fixture.rs",
         fixture!("determinism_bad.rs"),
     );
-    assert!(rules.is_empty());
+    assert_eq!(rules, vec!["determinism"]);
 }
 
 #[test]
@@ -117,6 +124,13 @@ fn headers_only_checked_on_crate_roots() {
 fn derived_debug_on_secret_type_fires() {
     let rules = rules_for(PROTO, fixture!("secret_derive_bad.rs"));
     assert_eq!(rules, vec!["secret-hygiene"]);
+}
+
+#[test]
+fn derived_debug_on_pooled_secret_types_fires() {
+    // Precomputed nonces/randomizers are as sensitive as live ones.
+    let rules = rules_for(PROTO, fixture!("secret_pool_derive_bad.rs"));
+    assert_eq!(rules, vec!["secret-hygiene", "secret-hygiene"]);
 }
 
 #[test]

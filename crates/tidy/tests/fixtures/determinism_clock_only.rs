@@ -1,0 +1,7 @@
+//! Wall-clock reads only — no ambient entropy. Silent in sanctioned
+//! timing modules, flagged on the protocol surface.
+
+pub fn measure() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

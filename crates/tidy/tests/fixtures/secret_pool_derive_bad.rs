@@ -1,0 +1,11 @@
+//! Bad: derived Debug on offline-precomputed secret material.
+
+#[derive(Clone, Debug)]
+pub struct SchnorrNonce {
+    pub nonce: [u64; 4],
+}
+
+#[derive(Debug)]
+pub struct EncRandomizer {
+    pub r: [u64; 4],
+}

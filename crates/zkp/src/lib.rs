@@ -30,4 +30,6 @@ pub mod schnorr;
 
 pub use batch::{verify_batch, verify_multi_batch};
 pub use multi::{MultiVerifierProof, MultiVerifierTranscript};
-pub use schnorr::{extract_witness, simulate_transcript, SchnorrProver, SchnorrTranscript};
+pub use schnorr::{
+    extract_witness, simulate_transcript, SchnorrNonce, SchnorrProver, SchnorrTranscript,
+};

@@ -10,7 +10,7 @@
 //! Special soundness carries over: two accepting transcripts with the same
 //! commitment and different challenge *sums* yield the witness.
 
-use crate::schnorr::SchnorrTranscript;
+use crate::schnorr::{SchnorrNonce, SchnorrTranscript};
 use ppgr_group::{Element, Group, Scalar};
 use rand::Rng;
 
@@ -46,11 +46,36 @@ impl MultiVerifierProof {
         rng: &mut R,
     ) -> MultiVerifierTranscript {
         assert!(verifiers > 0, "need at least one verifier");
-        let nonce = group.random_scalar(rng);
-        let commitment = group.exp_gen(&nonce);
+        let pre = SchnorrNonce::draw(group, rng);
+        Self::run_with_precomputed(group, witness, pre, verifiers, rng)
+    }
+
+    /// [`MultiVerifierProof::run`] with the commitment exponentiation done
+    /// ahead of time: `pre` carries `(r, g^r)` from the offline phase, so
+    /// the online work is the challenge draws and one scalar
+    /// multiply-add — no exponentiation at all.
+    ///
+    /// For a `pre` drawn from the same stream position the inline path
+    /// would have used, the transcript is bit-identical to [`run`]
+    /// (pinned by a unit test below).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `verifiers == 0`.
+    ///
+    /// [`run`]: MultiVerifierProof::run
+    pub fn run_with_precomputed<R: Rng + ?Sized>(
+        group: &Group,
+        witness: &Scalar,
+        pre: SchnorrNonce,
+        verifiers: usize,
+        rng: &mut R,
+    ) -> MultiVerifierTranscript {
+        assert!(verifiers > 0, "need at least one verifier");
+        let (r, commitment) = pre.into_parts();
         let challenges: Vec<Scalar> = (0..verifiers).map(|_| group.random_scalar(rng)).collect();
         let total = Self::challenge_sum(group, &challenges);
-        let response = group.scalar_add(&nonce, &group.scalar_mul(witness, &total));
+        let response = group.scalar_add(r.expose(), &group.scalar_mul(witness, &total));
         MultiVerifierTranscript {
             commitment,
             challenges,
@@ -102,6 +127,31 @@ mod tests {
             let t = MultiVerifierProof::run(&group, &x, n, &mut rng);
             assert_eq!(t.challenges.len(), n);
             assert!(t.verify(&group, &y), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn precomputed_nonce_matches_inline_run() {
+        // Same stream position → bit-identical transcripts, which is what
+        // lets the offline pool swap in without changing any wire bytes.
+        let group = GroupKind::Ecc160.group();
+        let x = {
+            let mut rng = StdRng::seed_from_u64(31);
+            group.random_scalar(&mut rng)
+        };
+        let y = group.exp_gen(&x);
+        for n in [1usize, 3, 7] {
+            let mut inline_rng = StdRng::seed_from_u64(32);
+            let inline = MultiVerifierProof::run(&group, &x, n, &mut inline_rng);
+
+            let mut warm_rng = StdRng::seed_from_u64(32);
+            let pre = SchnorrNonce::draw(&group, &mut warm_rng);
+            let warm = MultiVerifierProof::run_with_precomputed(&group, &x, pre, n, &mut warm_rng);
+
+            assert_eq!(inline.commitment, warm.commitment, "n = {n}");
+            assert_eq!(inline.challenges, warm.challenges, "n = {n}");
+            assert_eq!(inline.response, warm.response, "n = {n}");
+            assert!(warm.verify(&group, &y), "n = {n}");
         }
     }
 

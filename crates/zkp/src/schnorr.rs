@@ -48,6 +48,52 @@ impl fmt::Debug for SchnorrProver {
     }
 }
 
+/// A precomputed commitment nonce `(r, h = g^r)` for the offline/online
+/// phase split: the exponentiation happens ahead of time (offline), the
+/// online proof only performs scalar arithmetic on `r`.
+///
+/// A nonce is strictly single-use — answering two different challenges
+/// with the same `r` surrenders the witness (see [`extract_witness`]) —
+/// so consuming APIs take it by value.
+pub struct SchnorrNonce {
+    nonce: Secret<Scalar>,
+    commitment: Element,
+}
+
+impl SchnorrNonce {
+    /// Draws a fresh nonce and computes its commitment (the offline work).
+    ///
+    /// Draws exactly one scalar from `rng` — the same single draw the
+    /// inline proof paths perform — so a precomputed proof fed from the
+    /// same randomness stream is bit-identical to an inline one.
+    pub fn draw<R: Rng + ?Sized>(group: &Group, rng: &mut R) -> Self {
+        let r = group.random_scalar(rng);
+        let commitment = group.exp_gen(&r);
+        SchnorrNonce {
+            nonce: Secret::new(r),
+            commitment,
+        }
+    }
+
+    /// The public commitment `h = g^r`.
+    pub fn commitment(&self) -> &Element {
+        &self.commitment
+    }
+
+    pub(crate) fn into_parts(self) -> (Secret<Scalar>, Element) {
+        (self.nonce, self.commitment)
+    }
+}
+
+impl fmt::Debug for SchnorrNonce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchnorrNonce")
+            .field("nonce", &self.nonce)
+            .field("commitment", &self.commitment)
+            .finish()
+    }
+}
+
 /// A complete transcript `(h, c, z)`; verification is stateless.
 #[derive(Clone, Debug)]
 pub struct SchnorrTranscript {
