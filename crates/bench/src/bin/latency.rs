@@ -1,19 +1,22 @@
 //! Cold-vs-warm session latency benchmark for the offline/online split.
 //!
-//! Runs N independent ranking sessions two ways — *cold* (the session
-//! generates its offline stock inline, on the clock) and *warm* (the stock
-//! is generated before the clock starts and attached, exactly what a
-//! session drawn from the runtime's precompute pool receives) — asserts
-//! the warm outcomes are bit-identical to the cold runs, and writes
+//! Runs N independent ranking sessions three ways — *cold* (the session
+//! generates its offline stock inline, on the clock), *warm-masks* (a
+//! masks-only stock: scalars and `g^r` halves precomputed, keygen and
+//! `y^r` halves still online) and *warm-keygen* (the full keygen tier:
+//! pooled joint keys, assembled Schnorr proofs and `y^r` mask halves,
+//! exactly what the runtime's precompute lanes now mint) — asserts all
+//! three outcomes are bit-identical per seed, and writes
 //! machine-readable results to `BENCH_latency.json`
 //! (schema: `crates/bench/schema/BENCH_latency.schema.json`).
 //!
-//! The warm stock comes from [`OfflineStock::generate`] on the machine's
-//! own fingerprint — the same code path the runtime's background refill
-//! lane runs — so the warm measurement is the online latency of a
-//! pool-served session without the scheduler noise of measuring through
-//! the pool itself (on a single-core host, a concurrent refill would
-//! contend with the very session it serves).
+//! The warm stocks come from [`OfflineStock::generate_masks_only`] /
+//! [`OfflineStock::generate`] on the machine's own fingerprint — the
+//! same code paths the runtime's background refill lane runs — so the
+//! warm measurements are the online latency of a pool-served session
+//! without the scheduler noise of measuring through the pool itself (on
+//! a single-core host, a concurrent refill would contend with the very
+//! session it serves).
 //!
 //! ```text
 //! cargo run --release -p ppgr-bench --bin latency
@@ -107,63 +110,83 @@ fn median(durations: &[Duration]) -> Duration {
     sorted[sorted.len() / 2]
 }
 
+/// The three measured lanes, in their canonical (JSON) order.
+const LANES: usize = 3;
+const COLD: usize = 0;
+const WARM_MASKS: usize = 1;
+const WARM_KEYGEN: usize = 2;
+const LANE_NAMES: [&str; LANES] = ["cold", "warm_masks", "warm_keygen"];
+
 fn main() {
     let cfg = parse_args();
     eprintln!(
-        "latency: {} sessions, ECC-160 n={}, cold (inline offline) vs warm (precomputed stock)",
+        "latency: {} sessions, ECC-160 n={}, cold vs warm-masks vs warm-keygen",
         cfg.sessions, cfg.participants
     );
 
-    // Cold: the Offline phase generates the stock inline, on the clock.
-    // Warm: the stock is generated and attached before the clock starts —
-    // the same `OfflineStock::generate` the pool's refill lane runs.
+    // Cold: the Offline phase generates the full stock inline, on the
+    // clock. Warm-masks: scalars and `g^r` halves attached off the clock;
+    // keygen and `y^r` halves stay online. Warm-keygen: the full tier —
+    // pooled keys, assembled proofs, both mask halves — attached off the
+    // clock; online work is reduced to exchanging shares, batch-verifying
+    // proofs and the inherently-online variable-base hop exponentiations.
     //
-    // The two lanes run interleaved as per-seed pairs with alternating
-    // order, so slow drift in the host's clock speed (shared CPU, thermal
-    // throttle) lands on both lanes equally instead of biasing whichever
-    // lane ran last; the medians then resolve a gap well below the
-    // run-to-run noise of a single session.
-    let run_cold = |k: usize| run_clocked(machine_for(cfg.participants, k as u64));
-    let run_warm = |k: usize| {
+    // The lanes run interleaved per seed with a rotating order, so slow
+    // drift in the host's clock speed (shared CPU, thermal throttle)
+    // lands on every lane equally instead of biasing whichever lane ran
+    // last; the medians then resolve gaps well below the run-to-run noise
+    // of a single session.
+    let run_lane = |lane: usize, k: usize| {
         let mut machine = machine_for(cfg.participants, k as u64);
-        let stock = OfflineStock::generate(machine.offline_fingerprint());
-        assert!(
-            machine.attach_offline_stock(stock),
-            "stock fingerprint must match the machine that minted it"
-        );
+        match lane {
+            COLD => {}
+            _ => {
+                let fp = machine.offline_fingerprint();
+                let stock = if lane == WARM_MASKS {
+                    OfflineStock::generate_masks_only(fp)
+                } else {
+                    OfflineStock::generate(fp)
+                };
+                assert!(
+                    machine.attach_offline_stock(stock),
+                    "stock fingerprint must match the machine that minted it"
+                );
+            }
+        }
         run_clocked(machine)
     };
-    let mut cold = Vec::with_capacity(cfg.sessions);
-    let mut cold_outcomes = Vec::with_capacity(cfg.sessions);
-    let mut warm = Vec::with_capacity(cfg.sessions);
-    let mut warm_outcomes = Vec::with_capacity(cfg.sessions);
+    let mut durations: [Vec<Duration>; LANES] = Default::default();
+    let mut outcomes: [Vec<Outcome>; LANES] = Default::default();
     for k in 0..cfg.sessions {
-        let ((cd, co), (wd, wo)) = if k % 2 == 0 {
-            let c = run_cold(k);
-            (c, run_warm(k))
-        } else {
-            let w = run_warm(k);
-            (run_cold(k), w)
-        };
-        cold.push(cd);
-        cold_outcomes.push(co);
-        warm.push(wd);
-        warm_outcomes.push(wo);
+        for step in 0..LANES {
+            let lane = (k + step) % LANES;
+            let (d, o) = run_lane(lane, k);
+            durations[lane].push(d);
+            outcomes[lane].push(o);
+        }
     }
 
     let mut identical = true;
-    for (i, (w, c)) in warm_outcomes.iter().zip(&cold_outcomes).enumerate() {
-        if w.ranks() != c.ranks() || w.traffic() != c.traffic() {
-            identical = false;
-            eprintln!("session {i}: warm outcome diverged from cold run!");
+    for lane in [WARM_MASKS, WARM_KEYGEN] {
+        for (k, (w, c)) in outcomes[lane].iter().zip(&outcomes[COLD]).enumerate() {
+            if w.ranks() != c.ranks() || w.traffic() != c.traffic() {
+                identical = false;
+                eprintln!(
+                    "session {k}: {} outcome diverged from cold run!",
+                    LANE_NAMES[lane]
+                );
+            }
         }
     }
     assert!(identical, "warm sessions must match cold runs bit-for-bit");
 
-    let (cold_median, warm_median) = (median(&cold), median(&warm));
-    let speedup = cold_median.as_secs_f64() / warm_median.as_secs_f64();
+    let medians: Vec<Duration> = durations.iter().map(|lane| median(lane)).collect();
+    let speedup_masks = medians[COLD].as_secs_f64() / medians[WARM_MASKS].as_secs_f64();
+    let speedup_keygen = medians[COLD].as_secs_f64() / medians[WARM_KEYGEN].as_secs_f64();
     eprintln!(
-        "cold median: {cold_median:.2?} | warm median: {warm_median:.2?} | speedup {speedup:.2}x"
+        "cold median: {:.2?} | warm-masks median: {:.2?} ({speedup_masks:.2}x) | \
+         warm-keygen median: {:.2?} ({speedup_keygen:.2}x)",
+        medians[COLD], medians[WARM_MASKS], medians[WARM_KEYGEN]
     );
 
     let lane_json = |durs: &[Duration]| {
@@ -177,16 +200,19 @@ fn main() {
     };
     let json = format!(
         "{{\n  \"schema\": \"crates/bench/schema/BENCH_latency.schema.json\",\n  \
-         \"version\": 1,\n  \"config\": {{\n    \"group\": \"Ecc160\",\n    \
+         \"version\": 2,\n  \"config\": {{\n    \"group\": \"Ecc160\",\n    \
          \"participants\": {},\n    \"sessions\": {},\n    \"smoke\": {}\n  }},\n  \
-         \"cold\": {},\n  \"warm\": {},\n  \
-         \"speedup\": {:.6},\n  \"outcomes_identical\": {}\n}}\n",
+         \"cold\": {},\n  \"warm_masks\": {},\n  \"warm_keygen\": {},\n  \
+         \"speedup_masks\": {:.6},\n  \"speedup_keygen\": {:.6},\n  \
+         \"outcomes_identical\": {}\n}}\n",
         cfg.participants,
         cfg.sessions,
         cfg.smoke,
-        lane_json(&cold),
-        lane_json(&warm),
-        speedup,
+        lane_json(&durations[COLD]),
+        lane_json(&durations[WARM_MASKS]),
+        lane_json(&durations[WARM_KEYGEN]),
+        speedup_masks,
+        speedup_keygen,
         identical
     );
     std::fs::write(&cfg.out, &json).expect("write BENCH_latency.json");
@@ -197,16 +223,21 @@ fn main() {
     // deliberately NOT asserted here — CI machines are too noisy; the
     // committed full-size run is where warm < cold is demonstrated.
     assert!(
-        warm_median.as_secs_f64() > 0.0 && speedup.is_finite(),
+        medians.iter().all(|m| m.as_secs_f64() > 0.0)
+            && speedup_masks.is_finite()
+            && speedup_keygen.is_finite(),
         "degenerate timing"
     );
     for field in [
         "\"schema\"",
+        "\"version\": 2",
         "\"config\"",
         "\"cold\"",
-        "\"warm\"",
+        "\"warm_masks\"",
+        "\"warm_keygen\"",
         "\"median_seconds\"",
-        "\"speedup\"",
+        "\"speedup_masks\"",
+        "\"speedup_keygen\"",
         "\"outcomes_identical\": true",
     ] {
         assert!(json.contains(field), "JSON missing {field}");

@@ -37,6 +37,7 @@ pub mod ct;
 mod fp;
 pub mod modular;
 mod montgomery;
+mod montgomery4;
 pub mod prime;
 mod random;
 pub mod secret;
@@ -45,6 +46,7 @@ mod uint;
 pub use ct::{ct_eq_limbs, ct_select_limb, ct_select_limbs};
 pub use fp::{Fp, FpCtx};
 pub use montgomery::{MontElem, Montgomery};
+pub use montgomery4::{MontElem4, Montgomery4};
 pub use random::{random_below, random_bits, random_nbit};
 pub use secret::{Secret, Wipe};
 pub use uint::{BigUint, ParseBigUintError};

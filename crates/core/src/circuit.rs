@@ -17,6 +17,7 @@
 
 use ppgr_bigint::BigUint;
 use ppgr_elgamal::{Ciphertext, ExpElGamal};
+use ppgr_group::{Element, Scalar};
 
 /// Computes the encrypted `τ` vector for one comparison.
 ///
@@ -24,6 +25,23 @@ use ppgr_elgamal::{Ciphertext, ExpElGamal};
 /// * `other_bits` — `E(β_i)` bitwise, LSB first, exactly `l` ciphertexts.
 ///
 /// Returns `l` ciphertexts `E(τ^1) … E(τ^l)` (LSB-position first).
+///
+/// The circuit is evaluated entirely through the group's batch entry
+/// points: expanding `τ^t` per own-bit case gives
+///
+/// ```text
+/// own bit 0:  τ = (−w)·E(β) + E(w) + S        (w = l − t + 1)
+/// own bit 1:  τ =   w ·E(β) + E(1) + S
+/// ```
+///
+/// so one [`ppgr_group::Group::exp_batch`] powers every ciphertext
+/// component by its weight, one [`ppgr_group::Group::op_scan`] per
+/// component accumulates the suffix sums `S^t` with a single shared
+/// normalization, and two [`ppgr_group::Group::op_batch`] rounds fold in
+/// the plaintext constants and suffixes. On the elliptic-curve family
+/// this replaces the per-operation field inversion (hundreds per call)
+/// with roughly half a dozen; the produced group elements — and thus the
+/// published transcript bytes — are identical to the per-op evaluation.
 ///
 /// # Panics
 ///
@@ -36,48 +54,88 @@ pub fn compare_encrypted(
 ) -> Vec<Ciphertext> {
     assert_eq!(other_bits.len(), l, "bitwise encryption length mismatch");
     assert!(own.bits() <= l, "own value exceeds l bits");
-    let group = scheme.group().clone();
-    let one = group.scalar_from_u64(1);
+    let group = scheme.group();
 
-    // γ^t, each a ciphertext: own bit 0 → E(β_i^t); own bit 1 → E(1 − β_i^t).
-    let gammas: Vec<Ciphertext> = (0..l)
+    // Plaintext constants g^c used by the τ formula: c = 1 for own bit 1,
+    // c = weight for own bit 0; weights span 1..=l, so tabulate them all.
+    let const_scalars: Vec<Scalar> = (1..=l as u64).map(|v| group.scalar_from_u64(v)).collect();
+    let gen_pows = group.exp_gen_batch(&const_scalars);
+
+    // γ^t components: own bit 0 → (α, β); own bit 1 → (g·α⁻¹, β⁻¹) — the
+    // plaintext lives in α, so only the α products need group work, shared
+    // across one batch; inversion is cheap in both families.
+    let mut bit1 = Vec::new();
+    let mut inv_alphas = Vec::new();
+    let gamma_betas: Vec<Element> = (0..l)
         .map(|idx| {
             if own.bit(idx) {
-                scheme.add_plaintext(&scheme.neg(&other_bits[idx]), &one)
+                bit1.push(idx);
+                inv_alphas.push(group.inv(&other_bits[idx].alpha));
+                group.inv(&other_bits[idx].beta)
             } else {
-                other_bits[idx].clone()
+                other_bits[idx].beta.clone()
+            }
+        })
+        .collect();
+    let alpha_pairs: Vec<(&Element, &Element)> =
+        inv_alphas.iter().map(|a| (a, &gen_pows[0])).collect();
+    let bit1_alphas = group.op_batch(&alpha_pairs);
+    let mut gamma_alphas: Vec<Element> = other_bits.iter().map(|ct| ct.alpha.clone()).collect();
+    for (k, &idx) in bit1.iter().enumerate() {
+        gamma_alphas[idx] = bit1_alphas[k].clone();
+    }
+
+    // Suffix sums S^t = Σ_{v>t} γ^v: one scan per component over
+    // γ^l, …, γ^2 (MSB down), so suffix[idx] = scan[l − 2 − idx].
+    let rev_alphas: Vec<&Element> = gamma_alphas[1..].iter().rev().collect();
+    let rev_betas: Vec<&Element> = gamma_betas[1..].iter().rev().collect();
+    let scan_alphas = group.op_scan(&rev_alphas);
+    let scan_betas = group.op_scan(&rev_betas);
+
+    // Every ciphertext component raised to its position weight.
+    let exp_pairs: Vec<(&Element, &Scalar)> = (0..l)
+        .flat_map(|idx| {
+            let w = &const_scalars[l - idx - 1];
+            [(&other_bits[idx].alpha, w), (&other_bits[idx].beta, w)]
+        })
+        .collect();
+    let powered = group.exp_batch(&exp_pairs);
+    let signed: Vec<(Element, Element)> = (0..l)
+        .map(|idx| {
+            let (pa, pb) = (&powered[2 * idx], &powered[2 * idx + 1]);
+            if own.bit(idx) {
+                (pa.clone(), pb.clone())
+            } else {
+                (group.inv(pa), group.inv(pb))
             }
         })
         .collect();
 
-    // Suffix sums S^t = Σ_{v>t} γ^v, computed MSB-down.
-    let zero_ct = Ciphertext {
-        alpha: group.identity(),
-        beta: group.identity(),
-    };
-    let mut suffix = vec![zero_ct; l];
-    for idx in (0..l.saturating_sub(1)).rev() {
-        suffix[idx] = scheme.add(&suffix[idx + 1], &gammas[idx + 1]);
-    }
-
-    // τ^t = (l − t + 1)(1 − γ^t) + S^t + β_j^t, with t = idx + 1.
-    (0..l)
+    // α picks up its plaintext constant, then both components add the
+    // suffix; the final position's suffix is the empty sum.
+    let alpha_consts: Vec<(&Element, &Element)> = (0..l)
         .map(|idx| {
-            // weight = l − t + 1. The term (l−t+1) − (l−t+1)·γ^t scales by
-            // the small weight first and negates the ciphertext afterwards,
-            // keeping the exponent at ⌈log₂ l⌉ bits instead of a full-width
-            // scalar `q − weight`, which the group backends exponentiate
-            // orders of magnitude faster; the two orderings yield identical
-            // group elements.
-            let weight = (l - idx) as u64;
-            let neg_scaled =
-                scheme.neg(&scheme.scalar_mul(&gammas[idx], &group.scalar_from_u64(weight)));
-            let mut tau = scheme.add_plaintext(&neg_scaled, &group.scalar_from_u64(weight));
-            tau = scheme.add(&tau, &suffix[idx]);
-            if own.bit(idx) {
-                tau = scheme.add_plaintext(&tau, &one);
-            }
-            tau
+            let c = if own.bit(idx) { 1 } else { l - idx };
+            (&signed[idx].0, &gen_pows[c - 1])
+        })
+        .collect();
+    let alpha_mid = group.op_batch(&alpha_consts);
+    let identity = group.identity();
+    let final_pairs: Vec<(&Element, &Element)> = (0..l)
+        .flat_map(|idx| {
+            let (sa, sb) = if idx + 1 < l {
+                (&scan_alphas[l - 2 - idx], &scan_betas[l - 2 - idx])
+            } else {
+                (&identity, &identity)
+            };
+            [(&alpha_mid[idx], sa), (&signed[idx].1, sb)]
+        })
+        .collect();
+    let combined = group.op_batch(&final_pairs);
+    (0..l)
+        .map(|idx| Ciphertext {
+            alpha: combined[2 * idx].clone(),
+            beta: combined[2 * idx + 1].clone(),
         })
         .collect()
 }

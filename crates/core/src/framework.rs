@@ -314,12 +314,12 @@ impl SessionMachine {
     /// precompute pool must generate ([`OfflineStock::generate`]) for
     /// [`SessionMachine::attach_offline_stock`] to accept it.
     pub fn offline_fingerprint(&self) -> StockFingerprint {
-        StockFingerprint {
-            seed: self.params.seed(),
-            participants: self.params.participants(),
-            bits: self.params.beta_bits(),
-            group: self.params.group(),
-        }
+        StockFingerprint::new(
+            self.params.seed(),
+            self.params.participants(),
+            self.params.beta_bits(),
+            self.params.group(),
+        )
     }
 
     /// Hands the session a pool-generated offline stock, so its offline
@@ -389,7 +389,7 @@ impl SessionMachine {
                     .offline
                     .take()
                     .ok_or(RunError::Internal("no offline stock after Offline phase"))?;
-                if !sort.attach_offline_stock(stock) {
+                if sort.attach_offline_stock(stock).is_err() {
                     return Err(RunError::Internal("offline stock rejected by sort machine"));
                 }
                 self.gain_out = Some(gain_out);

@@ -75,7 +75,7 @@ pub use distributed::{
     DistributedOutcome,
 };
 pub use framework::{GroupRanking, Outcome, PhaseTimings, RunError, SessionMachine, SessionStatus};
-pub use offline::{OfflineStock, StockFingerprint};
+pub use offline::{KeyStock, OfflineStock, StockFingerprint, StockTier, STOCK_LAYOUT};
 pub use params::{bit_length, FrameworkParams, FrameworkParamsBuilder, ParamError};
 pub use sorting::{unlinkable_sort, SortError, SortMachine, SortOptions, SortOutcome, SortStatus};
 pub use timing::PartyTimer;

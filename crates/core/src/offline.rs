@@ -1,32 +1,53 @@
 //! Offline/online phase split — the deterministic precompute stock.
 //!
 //! The sorting protocol's online latency is dominated by exponentiations,
-//! but a sizeable slice of them does not depend on anything another party
-//! sends: the Schnorr commitment `g^r` of the proof of key knowledge, the
-//! fixed-base half `g^r` of every bitwise encryption, and the per-hop
-//! plaintext randomizers (plain nonzero scalars). All of that can be
-//! computed *before* the session's inputs — or even its parties' keys —
-//! exist, leaving only the key-dependent work (`y^r`, partial decryptions,
-//! comparisons) online.
+//! and almost none of them depend on anything another party *sends*: the
+//! distributed key shares are party randomness (paper Sec. IV — the joint
+//! ElGamal key is minted before any preference is encrypted), the proof of
+//! key knowledge is honest-verifier (so its challenge shares are just more
+//! pool randomness), and every encryption/rerandomization mask `(g^r, y^r)`
+//! follows from the key. What is irreducibly online is the variable-base
+//! work on other parties' ciphertexts: partial decryptions `β^{-x}` and the
+//! per-hop plaintext randomizers applied to foreign τ sets.
 //!
-//! [`OfflineStock`] is one session's worth of that material. Its shape is a
-//! pure function of `(n, l)` — hop randomizers are generated even when a
-//! run disables randomization — so a precompute pool can stock sessions
-//! knowing only their parameters, not their options or inputs.
+//! [`OfflineStock`] is one session's worth of precomputed material. Its
+//! shape is a pure function of `(n, l)` — hop randomizers are generated
+//! even when a run disables randomization — so a precompute pool can stock
+//! sessions knowing only their parameters, not their options or inputs.
+//! A stock comes in two tiers built from **one canonical scalar stream**:
+//!
+//! * **masks tier** ([`generate_masks_only`](OfflineStock::generate_masks_only)):
+//!   key-independent work only — key-share seeds, Schnorr nonces and
+//!   challenge shares, the fixed-base `g^r` half of every mask, hop
+//!   scalars. Keygen, the joint-key table and the `y^r` halves stay online.
+//! * **keygen tier** ([`generate`](OfflineStock::generate)): the masks tier
+//!   plus minted [`KeyPair`]s, assembled key-knowledge proofs, the combined
+//!   [`JointKey`] with its prepared comb table, and the `y^r` half of every
+//!   mask. The online keygen round reduces to exchanging shares and
+//!   batch-verifying the proofs.
+//!
+//! The tiers draw *identical* scalars at *identical* stream positions —
+//! they differ only in how much exponentiation is done ahead of time — so
+//! cold, masks-warm and keygen-warm sessions are bit-identical, transcript
+//! and ranks alike.
 //!
 //! Determinism: a stock for a session seeded `s` is drawn from
 //! `HashDrbg::seed_from_u64(s).fork(b"offline")` — a stream disjoint from
 //! the session's `b"protocol"` fork — so a session that receives a
-//! pool-generated stock ([`generate`](OfflineStock::generate)) and one that
-//! builds its own cold are bit-identical, transcript and ranks alike.
+//! pool-generated stock and one that builds its own cold are bit-identical.
 
-use ppgr_elgamal::EncRandomizer;
-use ppgr_group::{Group, GroupKind, Scalar};
+use ppgr_bigint::Secret;
+use ppgr_elgamal::{ExpElGamal, JointKey, KeyPair, MaskPair};
+use ppgr_group::{Element, FixedBaseTable, Group, GroupKind, HopScalars, Scalar};
 use ppgr_hash::HashDrbg;
-use ppgr_zkp::SchnorrNonce;
+use ppgr_zkp::{verify_multi_batch, MultiVerifierProof, MultiVerifierTranscript, SchnorrNonce};
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::fmt;
+
+/// The draw-order layout this module currently mints (see
+/// [`StockFingerprint::layout`]).
+pub const STOCK_LAYOUT: u32 = 2;
 
 /// The session shape a DRBG-generated stock was built for.
 ///
@@ -42,27 +63,178 @@ pub struct StockFingerprint {
     pub bits: usize,
     /// The group instantiation.
     pub group: GroupKind,
+    /// The canonical draw-order version the stock follows. Sessions and
+    /// pools built from the same crate always agree ([`STOCK_LAYOUT`]); the
+    /// field exists so a persisted or cross-version stock whose scalar
+    /// stream was laid out differently can never be mistaken for a match —
+    /// attaching it would silently break the warm == cold bit-identity.
+    pub layout: u32,
+}
+
+impl StockFingerprint {
+    /// A fingerprint for the current draw-order layout.
+    pub fn new(seed: u64, participants: usize, bits: usize, group: GroupKind) -> Self {
+        StockFingerprint {
+            seed,
+            participants,
+            bits,
+            group,
+            layout: STOCK_LAYOUT,
+        }
+    }
+}
+
+/// How much of a stock's exponentiation was done ahead of time.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum StockTier {
+    /// Key-independent material only; keygen and `y^r` halves stay online.
+    Masks,
+    /// Keys, proofs, the joint-key table and every `y^r` half are minted.
+    Keygen,
+}
+
+/// The keygen slice of a stock: every party's key material and proof of
+/// key knowledge, either as raw seeds (masks tier) or fully minted (keygen
+/// tier). Both forms carry secret exponents; `{:?}` redacts through the
+/// inner [`Secret`]/[`KeyPair`] wrappers.
+pub struct KeyStock(pub(crate) KeyMaterial);
+
+/// What [`OfflineStock::take_keys`] hands the sorting machine.
+pub(crate) enum KeyMaterial {
+    /// Masks tier: the scalars are drawn but nothing is exponentiated.
+    Seeds {
+        /// Per-party secret key shares `x_j`, party order.
+        secrets: Vec<Secret<Scalar>>,
+        /// Per-party Schnorr commitment nonces, party order.
+        nonces: Vec<SchnorrNonce>,
+        /// Per-prover honest-verifier challenge shares (`n − 1` each).
+        challenges: Vec<Vec<Scalar>>,
+    },
+    /// Keygen tier: keys and proofs are minted, the joint key is combined
+    /// and its comb table prepared.
+    Minted {
+        /// Per-party key pairs, party order.
+        pairs: Vec<KeyPair>,
+        /// Per-party key-knowledge proofs, party order.
+        proofs: Vec<MultiVerifierTranscript>,
+        /// The combined joint key.
+        joint: JointKey,
+        /// Prepared fixed-base table for the joint public key.
+        table: FixedBaseTable,
+        /// Whether every party's batch verification of the others' proofs
+        /// was run at minting time and passed. The proofs are a pure
+        /// function of offline material, so checking them is offline work
+        /// too; a session consuming a verified stock skips the online
+        /// verification round entirely. The field is crate-private (as is
+        /// the whole enum), so externally supplied material can never claim
+        /// it without going through the minting path.
+        verified: bool,
+    },
+}
+
+impl KeyStock {
+    fn parties(&self) -> usize {
+        match &self.0 {
+            KeyMaterial::Seeds { secrets, .. } => secrets.len(),
+            KeyMaterial::Minted { pairs, .. } => pairs.len(),
+        }
+    }
+
+    fn matches_shape(&self, n: usize) -> bool {
+        match &self.0 {
+            KeyMaterial::Seeds {
+                secrets,
+                nonces,
+                challenges,
+            } => {
+                secrets.len() == n
+                    && nonces.len() == n
+                    && challenges.len() == n
+                    && challenges.iter().all(|c| c.len() == n - 1)
+            }
+            KeyMaterial::Minted {
+                pairs,
+                proofs,
+                joint,
+                ..
+            } => {
+                pairs.len() == n
+                    && proofs.len() == n
+                    && proofs.iter().all(|p| p.challenges.len() == n - 1)
+                    && joint.parties() == n
+            }
+        }
+    }
+}
+
+impl fmt::Debug for KeyStock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tier = match &self.0 {
+            KeyMaterial::Seeds { .. } => StockTier::Masks,
+            KeyMaterial::Minted { .. } => StockTier::Keygen,
+        };
+        f.debug_struct("KeyStock")
+            .field("parties", &self.parties())
+            .field("tier", &tier)
+            .finish()
+    }
+}
+
+/// One hop's randomizers for a single foreign τ set.
+///
+/// Drawn as raw nonzero scalars; the keygen tier — which knows every hop
+/// secret — upgrades each set in place with the `−x·r` partial-decryption
+/// products and the signed-digit recodings the hop ladder consumes, moving
+/// that scalar arithmetic off the session clock. The masks tier (and cold
+/// sessions) keep the raw form and pay for the recoding online; both forms
+/// drive the exponentiation to bit-identical outputs.
+pub(crate) enum HopSet {
+    /// Raw randomizers as drawn from the stream.
+    Raw(Vec<Scalar>),
+    /// Keygen-tier form with precomputed `−x·r` and recodings.
+    Prepared(Vec<HopScalars>),
+}
+
+impl HopSet {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            HopSet::Raw(rs) => rs.len(),
+            HopSet::Prepared(ps) => ps.len(),
+        }
+    }
+
+    /// The underlying randomizer scalars, tier-independent (tests compare
+    /// stocks across tiers through this view).
+    #[cfg(test)]
+    fn randomizers(&self) -> Vec<Scalar> {
+        match self {
+            HopSet::Raw(rs) => rs.clone(),
+            HopSet::Prepared(ps) => ps.iter().map(|p| p.randomizer().clone()).collect(),
+        }
+    }
 }
 
 /// One session's worth of precomputed randomness (see the module docs).
 ///
 /// Consumed front-to-back by a [`SortMachine`](crate::sorting::SortMachine)
-/// in exact protocol order: first the `n` Schnorr nonces (party order),
-/// then the `n` per-party encryption randomizer rows (bits
-/// least-significant-first), then the hop randomizer sets (hop by hop,
-/// foreign sets in ascending owner order).
+/// in exact protocol order: the key stock at keygen, then the `n` per-party
+/// encryption mask rows (bits least-significant-first), then the `n`
+/// per-party comparison-set rerandomization rows, then the hop randomizer
+/// sets (hop by hop, foreign sets in ascending owner order).
 pub struct OfflineStock {
-    nonces: VecDeque<SchnorrNonce>,
-    enc: VecDeque<Vec<EncRandomizer>>,
-    hops: VecDeque<Vec<Scalar>>,
+    keys: Option<KeyStock>,
+    enc: VecDeque<Vec<MaskPair>>,
+    compare: VecDeque<Vec<MaskPair>>,
+    hops: VecDeque<HopSet>,
     fingerprint: Option<StockFingerprint>,
 }
 
 impl fmt::Debug for OfflineStock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("OfflineStock")
-            .field("nonces", &self.nonces.len())
+            .field("keys", &self.keys)
             .field("enc_rows", &self.enc.len())
+            .field("compare_rows", &self.compare.len())
             .field("hop_sets", &self.hops.len())
             .field("fingerprint", &self.fingerprint)
             .finish()
@@ -70,20 +242,23 @@ impl fmt::Debug for OfflineStock {
 }
 
 impl OfflineStock {
-    /// Draws a full stock for an `n`-party, `l`-bit session from `rng`.
+    /// Draws a full keygen-tier stock for an `n`-party, `l`-bit session
+    /// from `rng`.
     ///
     /// This is the cold path: a machine with no pool-supplied stock draws
-    /// one from its own stream at its offline step. The draw order is
-    /// fixed (nonces, then encryption rows, then hop sets) regardless of
-    /// the run's options.
+    /// one from its own stream at its offline step, paying the minting cost
+    /// on the session clock. The scalar draw order is fixed regardless of
+    /// the run's options (see the module docs).
     pub fn draw_from<R: Rng + ?Sized>(group: &Group, n: usize, l: usize, rng: &mut R) -> Self {
         // A `false` cancellation hook never fires, so generation completes.
-        Self::draw_cancellable_from(group, n, l, rng, &mut || false)
+        Self::draw_cancellable_from(group, n, l, rng, &mut || false, StockTier::Keygen)
             // tidy:allow(panic) — the never-cancelling hook makes None unreachable
             .expect("generation with a never-cancelling hook always completes")
     }
 
-    /// Generates the stock a session with fingerprint `fp` expects.
+    /// Generates the keygen-tier stock a session with fingerprint `fp`
+    /// expects: keys, proofs, joint-key table and every `(g^r, y^r)` pair
+    /// fully minted.
     ///
     /// Derives the session's dedicated offline stream
     /// (`HashDrbg::seed_from_u64(seed).fork(b"offline")`) and draws from
@@ -96,19 +271,50 @@ impl OfflineStock {
             .expect("generation with a never-cancelling hook always completes")
     }
 
+    /// [`OfflineStock::generate`] stopped at the masks tier: the same
+    /// scalar stream, but only the key-independent exponentiations (`g^r`
+    /// halves, Schnorr commitments) are done. Keygen, the joint-key table
+    /// and the `y^r` halves remain online work for the session.
+    ///
+    /// Exists so the bench harness can measure the two tiers against the
+    /// same cold baseline; a session consuming this stock is bit-identical
+    /// to one consuming the keygen tier.
+    pub fn generate_masks_only(fp: StockFingerprint) -> Self {
+        let group = fp.group.group();
+        let mut rng = HashDrbg::seed_from_u64(fp.seed).fork(b"offline");
+        let mut stock = Self::draw_cancellable_from(
+            &group,
+            fp.participants,
+            fp.bits,
+            &mut rng,
+            &mut || false,
+            StockTier::Masks,
+        )
+        // tidy:allow(panic) — the never-cancelling hook makes None unreachable
+        .expect("generation with a never-cancelling hook always completes");
+        stock.fingerprint = Some(fp);
+        stock
+    }
+
     /// [`OfflineStock::generate`] with a cancellation hook for background
-    /// refill workers: `cancel` is polled between parties and between hop
-    /// sets; once it returns `true`, generation stops and `None` is
-    /// returned. A completed generation is bit-identical to
-    /// [`OfflineStock::generate`].
+    /// refill workers: `cancel` is polled between parties, between hop
+    /// sets and between minting batches; once it returns `true`, generation
+    /// stops and `None` is returned. A completed generation is
+    /// bit-identical to [`OfflineStock::generate`].
     pub fn generate_cancellable(
         fp: StockFingerprint,
         cancel: &mut dyn FnMut() -> bool,
     ) -> Option<Self> {
         let group = fp.group.group();
         let mut rng = HashDrbg::seed_from_u64(fp.seed).fork(b"offline");
-        let mut stock =
-            Self::draw_cancellable_from(&group, fp.participants, fp.bits, &mut rng, cancel)?;
+        let mut stock = Self::draw_cancellable_from(
+            &group,
+            fp.participants,
+            fp.bits,
+            &mut rng,
+            cancel,
+            StockTier::Keygen,
+        )?;
         stock.fingerprint = Some(fp);
         Some(stock)
     }
@@ -119,41 +325,147 @@ impl OfflineStock {
         l: usize,
         rng: &mut R,
         cancel: &mut dyn FnMut() -> bool,
+        tier: StockTier,
     ) -> Option<Self> {
-        let mut nonces = VecDeque::with_capacity(n);
+        // ---- canonical scalar stream -----------------------------------
+        // Both tiers draw exactly this sequence; they differ only in how
+        // much is exponentiated afterwards. Any change here is a new
+        // STOCK_LAYOUT.
+        let mut secrets = Vec::with_capacity(n);
         for _ in 0..n {
             if cancel() {
                 return None;
             }
-            nonces.push_back(SchnorrNonce::draw(group, rng));
+            secrets.push(Secret::new(group.random_nonzero_scalar(rng)));
         }
-        let mut enc = VecDeque::with_capacity(n);
+        let mut nonces = Vec::with_capacity(n);
+        let mut challenges: Vec<Vec<Scalar>> = Vec::with_capacity(n);
         for _ in 0..n {
             if cancel() {
                 return None;
             }
-            enc.push_back((0..l).map(|_| EncRandomizer::draw(group, rng)).collect());
+            nonces.push(SchnorrNonce::draw(group, rng));
+            challenges.push((0..n - 1).map(|_| group.random_scalar(rng)).collect());
+        }
+        let mut enc: VecDeque<Vec<MaskPair>> = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            if cancel() {
+                return None;
+            }
+            enc.push_back((0..l).map(|_| MaskPair::draw(group, rng)).collect());
+        }
+        // One rerandomization mask per comparison-set ciphertext: each
+        // party's τ set is a deterministic homomorphic combination of
+        // published bit encryptions, so it must be re-randomized before it
+        // is contributed to the chain.
+        let set_len = (n - 1) * l;
+        let mut compare: VecDeque<Vec<MaskPair>> = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            if cancel() {
+                return None;
+            }
+            compare.push_back((0..set_len).map(|_| MaskPair::draw(group, rng)).collect());
         }
         // n hops, each touching the n−1 foreign sets (ascending owner) of
         // (n−1)·l ciphertexts each. Hop randomizers must be nonzero — a
-        // zero multiplier would erase a plaintext, forging a rank.
-        let set_len = (n - 1) * l;
+        // zero multiplier would erase a plaintext, forging a rank. They
+        // stay plain scalars: the hop applies them to *foreign* ciphertexts
+        // with variable bases, which no table can precompute.
         let mut hops = VecDeque::with_capacity(n * (n - 1));
         for _hop in 0..n {
             for _set in 0..n - 1 {
                 if cancel() {
                     return None;
                 }
-                hops.push_back(
+                hops.push_back(HopSet::Raw(
                     (0..set_len)
                         .map(|_| group.random_nonzero_scalar(rng))
                         .collect(),
-                );
+                ));
             }
         }
+        // ---- tier-dependent minting (no further stream draws) ----------
+        let keys = match tier {
+            StockTier::Masks => KeyStock(KeyMaterial::Seeds {
+                secrets,
+                nonces,
+                challenges,
+            }),
+            StockTier::Keygen => {
+                if cancel() {
+                    return None;
+                }
+                let pairs: Vec<KeyPair> = secrets
+                    .iter()
+                    .map(|s| KeyPair::from_secret(group, s.expose().clone()))
+                    .collect();
+                let shares: Vec<Element> = pairs.iter().map(|p| p.public_key().clone()).collect();
+                let joint = JointKey::combine(group, &shares);
+                let table = ExpElGamal::new(group.clone()).prepare_key(joint.public_key());
+                let proofs: Vec<MultiVerifierTranscript> = pairs
+                    .iter()
+                    .zip(nonces)
+                    .zip(challenges)
+                    .map(|((pair, nonce), chals)| {
+                        MultiVerifierProof::assemble(group, pair.secret_key(), nonce, chals)
+                    })
+                    .collect();
+                for row in enc.iter_mut() {
+                    if cancel() {
+                        return None;
+                    }
+                    MaskPair::fill_key_halves(group, &table, row);
+                }
+                for row in compare.iter_mut() {
+                    if cancel() {
+                        return None;
+                    }
+                    MaskPair::fill_key_halves(group, &table, row);
+                }
+                // Every verifier's batch check over the other parties'
+                // proofs (paper Sec. IV keygen round) reads only material
+                // minted above, so it is offline work: run it now and
+                // record the verdict. Honest minting always passes; the
+                // `false` arm keeps the online verification (and its
+                // per-prover blame scan) alive as a defence in depth.
+                if cancel() {
+                    return None;
+                }
+                let verified = (0..n).all(|vidx| {
+                    let foreign: Vec<(&Element, &MultiVerifierTranscript)> = (0..n)
+                        .filter(|&p| p != vidx)
+                        .map(|p| (pairs[p].public_key(), &proofs[p]))
+                        .collect();
+                    verify_multi_batch(group, &foreign).is_ok()
+                });
+                // Hop h is run by party h with her own secret share, and
+                // both the keygen tier above and the sorting machine are
+                // the same stock, so the `−x_h·r` partial-decryption
+                // products and the hop ladder's signed-digit recodings are
+                // a pure function of offline material: fold them into the
+                // sets now. Sets were drawn hop-major, `n − 1` per hop.
+                for (idx, set) in hops.iter_mut().enumerate() {
+                    if cancel() {
+                        return None;
+                    }
+                    if let HopSet::Raw(rs) = set {
+                        let secret = pairs[idx / (n - 1)].secret_key();
+                        *set = HopSet::Prepared(group.prepare_hop_scalars(secret, rs));
+                    }
+                }
+                KeyStock(KeyMaterial::Minted {
+                    pairs,
+                    proofs,
+                    joint,
+                    table,
+                    verified,
+                })
+            }
+        };
         Some(OfflineStock {
-            nonces,
+            keys: Some(keys),
             enc,
+            compare,
             hops,
             fingerprint: None,
         })
@@ -165,6 +477,15 @@ impl OfflineStock {
         self.fingerprint.as_ref()
     }
 
+    /// The tier the unconsumed key stock was minted at (`None` once the
+    /// keygen step has taken it).
+    pub fn tier(&self) -> Option<StockTier> {
+        self.keys.as_ref().map(|k| match &k.0 {
+            KeyMaterial::Seeds { .. } => StockTier::Masks,
+            KeyMaterial::Minted { .. } => StockTier::Keygen,
+        })
+    }
+
     /// Whether the stock holds exactly an `n`-party, `l`-bit session's
     /// worth of unconsumed material for `group`.
     pub fn matches_shape(&self, group: &Group, n: usize, l: usize) -> bool {
@@ -173,25 +494,33 @@ impl OfflineStock {
                 return false;
             }
         }
-        self.nonces.len() == n
+        self.keys.as_ref().is_some_and(|k| k.matches_shape(n))
             && self.enc.len() == n
             && self.enc.iter().all(|row| row.len() == l)
+            && self.compare.len() == n
+            && self.compare.iter().all(|row| row.len() == (n - 1) * l)
             && self.hops.len() == n * (n - 1)
             && self.hops.iter().all(|set| set.len() == (n - 1) * l)
     }
 
-    /// The next party's Schnorr commitment nonce, or `None` if exhausted.
-    pub(crate) fn take_nonce(&mut self) -> Option<SchnorrNonce> {
-        self.nonces.pop_front()
+    /// The whole keygen slice, or `None` if already taken.
+    pub(crate) fn take_keys(&mut self) -> Option<KeyMaterial> {
+        self.keys.take().map(|k| k.0)
     }
 
-    /// The next party's encryption randomizer row, or `None` if exhausted.
-    pub(crate) fn take_enc_row(&mut self) -> Option<Vec<EncRandomizer>> {
+    /// The next party's encryption mask row, or `None` if exhausted.
+    pub(crate) fn take_enc_row(&mut self) -> Option<Vec<MaskPair>> {
         self.enc.pop_front()
     }
 
+    /// The next party's comparison-set rerandomization row, or `None` if
+    /// exhausted.
+    pub(crate) fn take_compare_row(&mut self) -> Option<Vec<MaskPair>> {
+        self.compare.pop_front()
+    }
+
     /// The next hop randomizer set, or `None` if exhausted.
-    pub(crate) fn take_hop_set(&mut self) -> Option<Vec<Scalar>> {
+    pub(crate) fn take_hop_set(&mut self) -> Option<HopSet> {
         self.hops.pop_front()
     }
 }
@@ -202,12 +531,20 @@ mod tests {
     use rand::rngs::StdRng;
 
     fn fp(seed: u64) -> StockFingerprint {
-        StockFingerprint {
-            seed,
-            participants: 3,
-            bits: 4,
-            group: GroupKind::Ecc160,
-        }
+        StockFingerprint::new(seed, 3, 4, GroupKind::Ecc160)
+    }
+
+    /// Tier-independent view of a stock's hop randomizers.
+    fn hop_rs(s: &OfflineStock) -> Vec<Vec<Scalar>> {
+        s.hops.iter().map(HopSet::randomizers).collect()
+    }
+
+    #[test]
+    fn fingerprint_constructor_pins_the_current_layout() {
+        assert_eq!(fp(1).layout, STOCK_LAYOUT);
+        let mut stale = fp(1);
+        stale.layout = STOCK_LAYOUT - 1;
+        assert_ne!(stale, fp(1));
     }
 
     #[test]
@@ -219,6 +556,11 @@ mod tests {
         assert!(!stock.matches_shape(&group, 3, 5));
         assert!(!stock.matches_shape(&GroupKind::Dl1024.group(), 3, 4));
         assert_eq!(stock.fingerprint(), Some(&fp(7)));
+        assert_eq!(stock.tier(), Some(StockTier::Keygen));
+
+        let masks = OfflineStock::generate_masks_only(fp(7));
+        assert!(masks.matches_shape(&group, 3, 4));
+        assert_eq!(masks.tier(), Some(StockTier::Masks));
     }
 
     #[test]
@@ -226,24 +568,94 @@ mod tests {
         let a = OfflineStock::generate(fp(9));
         let b = OfflineStock::generate(fp(9));
         let c = OfflineStock::generate(fp(10));
-        let commitments = |s: &OfflineStock| -> Vec<_> {
-            s.nonces.iter().map(|n| n.commitment().clone()).collect()
+        let joint = |s: &OfflineStock| match &s.keys.as_ref().unwrap().0 {
+            KeyMaterial::Minted { joint, .. } => joint.public_key().clone(),
+            KeyMaterial::Seeds { .. } => panic!("keygen tier expected"),
         };
-        assert_eq!(commitments(&a), commitments(&b));
-        assert_ne!(commitments(&a), commitments(&c));
-        assert_eq!(a.hops, b.hops);
-        assert_ne!(a.hops, c.hops);
+        assert_eq!(joint(&a), joint(&b));
+        assert_ne!(joint(&a), joint(&c));
+        assert_eq!(hop_rs(&a), hop_rs(&b));
+        assert_ne!(hop_rs(&a), hop_rs(&c));
+    }
+
+    #[test]
+    fn tiers_share_one_scalar_stream() {
+        // The masks tier and the keygen tier must draw identical scalars at
+        // identical stream positions — that is what makes cold, masks-warm
+        // and keygen-warm sessions bit-identical.
+        let full = OfflineStock::generate(fp(13));
+        let masks = OfflineStock::generate_masks_only(fp(13));
+        assert_eq!(hop_rs(&full), hop_rs(&masks));
+        // The keygen tier also carries the hops in prepared form; the
+        // masks tier leaves them raw for the session to recode.
+        assert!(full
+            .hops
+            .iter()
+            .all(|set| matches!(set, HopSet::Prepared(_))));
+        assert!(masks.hops.iter().all(|set| matches!(set, HopSet::Raw(_))));
+        let g_rs = |s: &OfflineStock| -> Vec<_> {
+            s.enc
+                .iter()
+                .chain(s.compare.iter())
+                .flatten()
+                .map(|p| p.g_r().clone())
+                .collect()
+        };
+        assert_eq!(g_rs(&full), g_rs(&masks));
+        // Full tier carries every key half; masks tier carries none.
+        assert!(full
+            .enc
+            .iter()
+            .chain(full.compare.iter())
+            .flatten()
+            .all(MaskPair::has_key_half));
+        assert!(!masks
+            .enc
+            .iter()
+            .chain(masks.compare.iter())
+            .flatten()
+            .any(MaskPair::has_key_half));
+        // The minted keys are exactly the masks tier's seeds, exponentiated.
+        let group = GroupKind::Ecc160.group();
+        let (pairs, proofs, joint) = match full.keys.unwrap().0 {
+            KeyMaterial::Minted {
+                pairs,
+                proofs,
+                joint,
+                ..
+            } => (pairs, proofs, joint),
+            KeyMaterial::Seeds { .. } => panic!("keygen tier expected"),
+        };
+        let (secrets, nonces, challenges) = match masks.keys.unwrap().0 {
+            KeyMaterial::Seeds {
+                secrets,
+                nonces,
+                challenges,
+            } => (secrets, nonces, challenges),
+            KeyMaterial::Minted { .. } => panic!("masks tier expected"),
+        };
+        for (pair, secret) in pairs.iter().zip(&secrets) {
+            assert_eq!(pair.public_key(), &group.exp_gen(secret.expose()));
+        }
+        for (((proof, nonce), chals), pair) in proofs.iter().zip(nonces).zip(challenges).zip(&pairs)
+        {
+            assert_eq!(&proof.commitment, nonce.commitment());
+            assert_eq!(proof.challenges, chals);
+            assert!(proof.verify(&group, pair.public_key()));
+        }
+        assert_eq!(joint.parties(), 3);
     }
 
     #[test]
     fn cancellable_generation_matches_uncancelled() {
         let a = OfflineStock::generate(fp(11));
         let b = OfflineStock::generate_cancellable(fp(11), &mut || false).unwrap();
-        assert_eq!(a.hops, b.hops);
-        assert_eq!(
-            a.nonces.front().map(|n| n.commitment().clone()),
-            b.nonces.front().map(|n| n.commitment().clone())
-        );
+        assert_eq!(hop_rs(&a), hop_rs(&b));
+        let joint = |s: &OfflineStock| match &s.keys.as_ref().unwrap().0 {
+            KeyMaterial::Minted { joint, .. } => joint.public_key().clone(),
+            KeyMaterial::Seeds { .. } => panic!("keygen tier expected"),
+        };
+        assert_eq!(joint(&a), joint(&b));
     }
 
     #[test]
@@ -256,6 +668,13 @@ mod tests {
             polls > 4
         });
         assert!(out.is_none());
+        // Cancel during the minting batches at the end.
+        let mut polls = 0usize;
+        let out = OfflineStock::generate_cancellable(fp(12), &mut || {
+            polls += 1;
+            polls > 20
+        });
+        assert!(out.is_none());
     }
 
     #[test]
@@ -265,14 +684,17 @@ mod tests {
         let mut stock = OfflineStock::draw_from(&group, 2, 3, &mut rng);
         assert!(stock.fingerprint().is_none());
         assert!(stock.matches_shape(&group, 2, 3));
-        for _ in 0..2 {
-            assert!(stock.take_nonce().is_some());
-        }
-        assert!(stock.take_nonce().is_none());
+        assert!(stock.take_keys().is_some());
+        assert!(stock.take_keys().is_none());
+        assert_eq!(stock.tier(), None);
         for _ in 0..2 {
             assert_eq!(stock.take_enc_row().map(|r| r.len()), Some(3));
         }
         assert!(stock.take_enc_row().is_none());
+        for _ in 0..2 {
+            assert_eq!(stock.take_compare_row().map(|r| r.len()), Some(3));
+        }
+        assert!(stock.take_compare_row().is_none());
         for _ in 0..2 {
             assert_eq!(stock.take_hop_set().map(|s| s.len()), Some(3));
         }

@@ -22,13 +22,13 @@
 //!    and counts zeros: `rank = zeros + 1`.
 
 use crate::circuit::compare_encrypted;
-use crate::offline::OfflineStock;
+use crate::offline::{HopSet, KeyMaterial, OfflineStock};
 use crate::timing::PartyTimer;
 use ppgr_bigint::BigUint;
 use ppgr_elgamal::{encrypt_bits_with_precomputed, Ciphertext, ExpElGamal, JointKey, KeyPair};
-use ppgr_group::{Element, Group, Scalar};
+use ppgr_group::{Element, Group, GroupKind};
 use ppgr_net::TrafficLog;
-use ppgr_zkp::{verify_batch, MultiVerifierProof, SchnorrTranscript};
+use ppgr_zkp::{verify_multi_batch, MultiVerifierProof, MultiVerifierTranscript};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::error::Error;
@@ -54,6 +54,15 @@ pub enum SortError {
         /// The accused prover (1-based).
         party: usize,
     },
+    /// A pool offered an offline stock minted for a different group
+    /// instantiation. Silently regenerating would hide a mis-keyed pool
+    /// lane, so the mismatch is surfaced instead.
+    StockGroupMismatch {
+        /// The session's group.
+        expected: GroupKind,
+        /// The stock fingerprint's group.
+        got: GroupKind,
+    },
     /// A sort-machine invariant was violated (state out of sync).
     /// Reaching this indicates a bug in the driver, not bad input.
     Internal(&'static str),
@@ -68,6 +77,12 @@ impl fmt::Display for SortError {
             }
             SortError::ProofRejected { party } => {
                 write!(f, "party {party} failed the proof of key knowledge")
+            }
+            SortError::StockGroupMismatch { expected, got } => {
+                write!(
+                    f,
+                    "offline stock was minted for group {got:?}, session uses {expected:?}"
+                )
             }
             SortError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
@@ -262,8 +277,9 @@ pub enum SortStatus {
 /// Where a [`SortMachine`] currently stands in the protocol.
 #[derive(Clone, Copy, Debug, Eq, PartialEq)]
 enum SortState {
-    /// Offline phase: acquire (or draw cold) the precomputed randomness
-    /// stock — Schnorr nonces, encryption randomizers, hop randomizers.
+    /// Offline phase: acquire (or draw cold) the precomputed stock — key
+    /// material with proofs, encryption and comparison mask pairs, hop
+    /// randomizers.
     Offline,
     /// Step 5: key generation + proofs of knowledge (all parties).
     KeyGen,
@@ -376,18 +392,33 @@ impl SortMachine {
     /// offline step runs, so the step finds its randomness ready instead of
     /// drawing it cold.
     ///
-    /// Returns `false` — leaving the machine to draw cold — if the offline
-    /// step has already run or the stock's shape does not match this
-    /// session (`n` parties, `l` bits, same group).
-    pub fn attach_offline_stock(&mut self, stock: OfflineStock) -> bool {
-        if self.state != SortState::Offline
-            || self.stock.is_some()
-            || !stock.matches_shape(&self.group, self.n, self.l)
-        {
-            return false;
+    /// # Errors
+    ///
+    /// [`SortError::StockGroupMismatch`] if the stock's fingerprint names a
+    /// different group instantiation than this session — a mis-keyed pool
+    /// lane that silently regenerating cold would hide.
+    /// [`SortError::Internal`] if the offline step has already run, a stock
+    /// is already attached, or the stock's shape does not match this
+    /// session (`n` parties, `l` bits).
+    pub fn attach_offline_stock(&mut self, stock: OfflineStock) -> Result<(), SortError> {
+        if let Some(fp) = stock.fingerprint() {
+            if fp.group != self.group.kind() {
+                return Err(SortError::StockGroupMismatch {
+                    expected: self.group.kind(),
+                    got: fp.group,
+                });
+            }
+        }
+        if self.state != SortState::Offline || self.stock.is_some() {
+            return Err(SortError::Internal(
+                "offline stock attached after the offline step",
+            ));
+        }
+        if !stock.matches_shape(&self.group, self.n, self.l) {
+            return Err(SortError::Internal("offline stock shape mismatch"));
         }
         self.stock = Some(stock);
-        true
+        Ok(())
     }
 
     /// Whether the protocol has completed.
@@ -420,10 +451,11 @@ impl SortMachine {
     ) -> Result<SortStatus, SortError> {
         match self.state {
             SortState::Offline => {
-                // Cold fallback: no pool attached a stock, so draw it from
-                // the protocol stream here. Warm machines skip the draws
-                // entirely. Offline work is charged to nobody's online
-                // ledger — that is the point of the split.
+                // Cold fallback: no pool attached a stock, so draw and mint
+                // the whole keygen tier from the protocol stream here, on
+                // the session clock. Warm machines skip this entirely.
+                // Offline work is charged to nobody's per-party ledger —
+                // that is the point of the split.
                 if self.stock.is_none() {
                     self.stock = Some(OfflineStock::draw_from(&self.group, self.n, self.l, rng));
                 }
@@ -431,7 +463,7 @@ impl SortMachine {
                 Ok(SortStatus::Pending)
             }
             SortState::KeyGen => {
-                self.step_keygen(rng, log, timer)?;
+                self.step_keygen(log, timer)?;
                 self.state = SortState::Encrypt;
                 Ok(SortStatus::Pending)
             }
@@ -441,7 +473,7 @@ impl SortMachine {
                 Ok(SortStatus::Pending)
             }
             SortState::Compare { idx } => {
-                self.step_compare(idx, log, timer);
+                self.step_compare(idx, log, timer)?;
                 self.state = if idx + 1 < self.n {
                     SortState::Compare { idx: idx + 1 }
                 } else {
@@ -468,26 +500,74 @@ impl SortMachine {
         }
     }
 
-    /// Step 5: key generation + proofs of knowledge.
+    /// Step 5: key generation + proofs of knowledge, fed entirely from the
+    /// offline stock.
     ///
-    /// Proof *generation* (and all its wire traffic) runs prover by
-    /// prover in protocol order, so the RNG draw sequence and the logged
-    /// transcript are byte-identical to per-proof verification.
-    /// Verification is then batched per verifier: each party collapses
-    /// her n−1 foreign checks into one aggregate multi-exponentiation
-    /// ([`ppgr_zkp::verify_batch`]); on rejection a per-prover rescan in
-    /// protocol order reproduces exactly the attribution the old
+    /// Keys are party randomness, not inputs, so the stock carries them:
+    /// a keygen-tier stock hands over minted key pairs, assembled proofs
+    /// and the prepared joint-key table, leaving online only the share
+    /// exchange and proof verification; a masks-tier stock hands over the
+    /// raw seeds and the minting runs here, on the clock. Both paths
+    /// produce byte-identical transcripts.
+    ///
+    /// Verification is batched per verifier: each party collapses her n−1
+    /// foreign checks into one aggregate multi-exponentiation
+    /// ([`ppgr_zkp::verify_multi_batch`]); on rejection a per-prover rescan
+    /// in protocol order reproduces exactly the attribution the old
     /// verify-as-you-go loop gave.
-    fn step_keygen<R: Rng + ?Sized>(
-        &mut self,
-        rng: &mut R,
-        log: &TrafficLog,
-        timer: &mut PartyTimer,
-    ) -> Result<(), SortError> {
+    fn step_keygen(&mut self, log: &TrafficLog, timer: &mut PartyTimer) -> Result<(), SortError> {
         let n = self.n;
-        let keys: Vec<KeyPair> = (1..=n)
-            .map(|party| timer.time(party, || KeyPair::generate(&self.group, rng)))
-            .collect();
+        let material = self
+            .stock
+            .as_mut()
+            .and_then(OfflineStock::take_keys)
+            .ok_or(SortError::Internal("offline key stock exhausted"))?;
+        let (keys, proofs, pre_verified) = match material {
+            KeyMaterial::Minted {
+                pairs,
+                proofs,
+                joint: _,
+                table,
+                verified,
+            } => {
+                // Fully warm: the shares, proofs and the joint-key comb
+                // table were minted offline; nothing here exponentiates.
+                // A stock whose proofs were already batch-verified at
+                // minting time carries the verdict, so the online round
+                // below is skipped too.
+                self.key_table = Some(table);
+                (pairs, proofs, verified)
+            }
+            KeyMaterial::Seeds {
+                secrets,
+                nonces,
+                challenges,
+            } => {
+                // Masks tier / cold-adjacent: mint from the stocked seeds
+                // on the clock, charged to each party.
+                let keys: Vec<KeyPair> = secrets
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, s)| {
+                        timer.time(idx + 1, || {
+                            KeyPair::from_secret(&self.group, s.expose().clone())
+                        })
+                    })
+                    .collect();
+                let proofs: Vec<MultiVerifierTranscript> = keys
+                    .iter()
+                    .zip(nonces)
+                    .zip(challenges)
+                    .enumerate()
+                    .map(|(idx, ((kp, nonce), chals))| {
+                        timer.time(idx + 1, || {
+                            MultiVerifierProof::assemble(&self.group, kp.secret_key(), nonce, chals)
+                        })
+                    })
+                    .collect();
+                (keys, proofs, false)
+            }
+        };
         for party in 1..=n {
             // Publish y_j.
             for other in 1..=n {
@@ -497,26 +577,7 @@ impl SortMachine {
             }
         }
         self.round += 1;
-        let mut proofs: Vec<SchnorrTranscript> = Vec::with_capacity(n);
-        for (idx, kp) in keys.iter().enumerate() {
-            let party = idx + 1;
-            // The commitment exponentiation was done offline; online the
-            // prover only draws challenges and answers with scalar
-            // arithmetic.
-            let pre = self
-                .stock
-                .as_mut()
-                .and_then(OfflineStock::take_nonce)
-                .ok_or(SortError::Internal("offline nonce stock exhausted"))?;
-            let transcript = timer.time(party, || {
-                MultiVerifierProof::run_with_precomputed(
-                    &self.group,
-                    kp.secret_key(),
-                    pre,
-                    n - 1,
-                    rng,
-                )
-            });
+        for party in 1..=n {
             // Commitment broadcast, n−1 challenge shares, response broadcast.
             for other in 1..=n {
                 if other != party {
@@ -525,14 +586,21 @@ impl SortMachine {
                     log.record(self.round + 2, party, other, self.scalar_len, "sort/zkp");
                 }
             }
-            proofs.push(transcript.as_single(&self.group));
         }
+        // Skipped when the stock already ran every verifier's batch check
+        // at minting time (the proofs are offline material, so verifying
+        // them is offline work — see `KeyMaterial::Minted::verified`).
         for vidx in 0..n {
-            let foreign: Vec<(&Element, &SchnorrTranscript)> = (0..n)
+            if pre_verified {
+                break;
+            }
+            let foreign: Vec<(&Element, &MultiVerifierTranscript)> = (0..n)
                 .filter(|&p| p != vidx)
                 .map(|p| (keys[p].public_key(), &proofs[p]))
                 .collect();
-            let ok = timer.time(vidx + 1, || verify_batch(&self.group, &foreign).is_ok());
+            let ok = timer.time(vidx + 1, || {
+                verify_multi_batch(&self.group, &foreign).is_ok()
+            });
             if !ok {
                 // Rescan over *all* provers in protocol order so the error
                 // names the first dishonest one, exactly as the old
@@ -551,17 +619,24 @@ impl SortMachine {
 
     /// Step 6: bitwise encryption under the joint key, published to all.
     ///
-    /// The fixed-base halves (`g^r`) come from the offline stock; only the
-    /// key-dependent `y^r` batch runs online, through the prepared table.
+    /// A keygen-tier stock delivered the joint key's prepared comb table
+    /// (and every mask's `y^r` half) at the keygen step, so nothing here
+    /// exponentiates beyond one group operation per set bit; otherwise the
+    /// table is derived now and the `y^r` batch runs online through it.
     fn step_encrypt(&mut self, log: &TrafficLog, timer: &mut PartyTimer) -> Result<(), SortError> {
         let n = self.n;
-        let shares: Vec<_> = self.keys.iter().map(|k| k.public_key().clone()).collect();
-        let joint = JointKey::combine(&self.group, &shares);
-        // The fixed-base table for the joint key `y` is public
-        // precomputation: every party derives it from the published key
-        // shares, so its (small, amortized) cost is not charged to any
-        // single party's ledger.
-        let key_table = self.scheme.prepare_key(joint.public_key());
+        let key_table = match self.key_table.take() {
+            Some(table) => table,
+            None => {
+                let shares: Vec<_> = self.keys.iter().map(|k| k.public_key().clone()).collect();
+                let joint = JointKey::combine(&self.group, &shares);
+                // The fixed-base table for the joint key `y` is public
+                // precomputation: every party derives it from the published
+                // key shares, so its (small, amortized) cost is not charged
+                // to any single party's ledger.
+                self.scheme.prepare_key(joint.public_key())
+            }
+        };
         let mut stock = self
             .stock
             .take()
@@ -596,7 +671,22 @@ impl SortMachine {
     /// other party's encrypted bits; her set is the concatenation in
     /// `opponent_order`. The n−1 comparisons are independent and consume no
     /// randomness, so they may fan out across worker threads.
-    fn step_compare(&mut self, idx: usize, log: &TrafficLog, timer: &mut PartyTimer) {
+    ///
+    /// Before the set leaves her hands she re-randomizes every ciphertext
+    /// with a stocked `(g^s, y^s)` pair. The raw τ set is a *deterministic*
+    /// homomorphic combination of the published bit encryptions, keyed only
+    /// by her `l`-bit plaintext — anyone who sees it before its first chain
+    /// randomization (P₁ on collection, the next hop for P₁'s own set)
+    /// could confirm a guess of her value by recomputing the combination.
+    /// Re-randomization makes the set's bytes independent of everything
+    /// published, closing that hole; the plaintexts (and so the ranks and
+    /// zero counts) are untouched.
+    fn step_compare(
+        &mut self,
+        idx: usize,
+        log: &TrafficLog,
+        timer: &mut PartyTimer,
+    ) -> Result<(), SortError> {
         let party = idx + 1;
         let opponents: Vec<usize> = (0..self.n).filter(|&i| i != idx).collect();
         let value = &self.values[idx];
@@ -606,7 +696,23 @@ impl SortMachine {
             compare_encrypted(&self.scheme, value, &self.encrypted_bits[opp], self.l)
         });
         timer.record(party, start.elapsed(), cpu);
-        let set: Vec<Ciphertext> = chunks.into_iter().flatten().collect();
+        let raw: Vec<Ciphertext> = chunks.into_iter().flatten().collect();
+        let row = self
+            .stock
+            .as_mut()
+            .and_then(OfflineStock::take_compare_row)
+            .ok_or(SortError::Internal("offline compare stock exhausted"))?;
+        if row.len() != raw.len() {
+            return Err(SortError::Internal("offline compare stock shape mismatch"));
+        }
+        let key_table = self
+            .key_table
+            .as_ref()
+            .ok_or(SortError::Internal("no key table at compare"))?;
+        let set = timer.time(party, || {
+            self.scheme
+                .rerandomize_batch_with_precomputed(key_table, &raw, row)
+        });
         if party != 1 {
             log.record(
                 self.round,
@@ -618,6 +724,7 @@ impl SortMachine {
         }
         self.sets.push(set);
         self.opponent_order.push(opponents);
+        Ok(())
     }
 
     /// Step 8 for one party: her hop of the shuffle-decrypt chain
@@ -649,13 +756,13 @@ impl SortMachine {
         // stock always holds a randomizer set per (hop, foreign set) —
         // its shape is options-independent — so a non-randomizing run
         // simply leaves them unconsumed.
-        let jobs: Vec<(usize, Vec<Scalar>, Option<Vec<usize>>)> = self
+        let jobs: Vec<(usize, HopSet, Option<Vec<usize>>)> = self
             .sets
             .iter()
             .enumerate()
             .filter(|&(owner, _)| owner != idx) // never her own set
             .map(|(owner, set)| {
-                let rs: Vec<Scalar> = if self.options.randomize {
+                let rs: HopSet = if self.options.randomize {
                     let rs = stock
                         .take_hop_set()
                         .ok_or(SortError::Internal("offline hop stock exhausted"))?;
@@ -664,7 +771,7 @@ impl SortMachine {
                     }
                     rs
                 } else {
-                    Vec::new()
+                    HopSet::Raw(Vec::new())
                 };
                 // A permutation shuffled with the same draws the in-place
                 // `shuffle` would consume (Fisher–Yates swaps depend only
@@ -694,18 +801,33 @@ impl SortMachine {
             // Serial fast path: reuse one scratch buffer for every hop of
             // the whole chain — the output is written straight into its
             // shuffled order and swapped with the live set.
-            for (owner, rs, perm) in &jobs {
+            for (owner, hop_set, perm) in &jobs {
                 let set = &sets[*owner];
-                if randomize {
-                    scheme.partial_decrypt_randomize_gather_into(
+                match (randomize, hop_set) {
+                    // Keygen-tier stock: `−x·r` and the recodings came
+                    // precomputed; the stored secret products already bind
+                    // to this party's share (the keygen step installed the
+                    // same stock's key pairs).
+                    (true, HopSet::Prepared(prep)) => scheme
+                        .partial_decrypt_randomize_prepared_gather_into(
+                            set,
+                            prep,
+                            perm.as_deref(),
+                            hop_scratch,
+                        ),
+                    (true, HopSet::Raw(rs)) => scheme.partial_decrypt_randomize_gather_into(
                         set,
                         secret,
                         rs,
                         perm.as_deref(),
                         hop_scratch,
-                    );
-                } else {
-                    scheme.partial_decrypt_gather_into(set, secret, perm.as_deref(), hop_scratch);
+                    ),
+                    (false, _) => scheme.partial_decrypt_gather_into(
+                        set,
+                        secret,
+                        perm.as_deref(),
+                        hop_scratch,
+                    ),
                 }
                 std::mem::swap(&mut sets[*owner], hop_scratch);
             }
@@ -713,19 +835,27 @@ impl SortMachine {
             let elapsed = start.elapsed();
             timer.record(party, elapsed, elapsed);
         } else {
-            let (processed, cpu) = parallel_map(&jobs, *workers, |(owner, rs, perm)| {
+            let (processed, cpu) = parallel_map(&jobs, *workers, |(owner, hop_set, perm)| {
                 let set = &sets[*owner];
                 let mut out = Vec::with_capacity(set.len());
-                if randomize {
-                    scheme.partial_decrypt_randomize_gather_into(
+                match (randomize, hop_set) {
+                    (true, HopSet::Prepared(prep)) => scheme
+                        .partial_decrypt_randomize_prepared_gather_into(
+                            set,
+                            prep,
+                            perm.as_deref(),
+                            &mut out,
+                        ),
+                    (true, HopSet::Raw(rs)) => scheme.partial_decrypt_randomize_gather_into(
                         set,
                         secret,
                         rs,
                         perm.as_deref(),
                         &mut out,
-                    );
-                } else {
-                    scheme.partial_decrypt_gather_into(set, secret, perm.as_deref(), &mut out);
+                    ),
+                    (false, _) => {
+                        scheme.partial_decrypt_gather_into(set, secret, perm.as_deref(), &mut out)
+                    }
                 }
                 out
             });
@@ -763,11 +893,24 @@ impl SortMachine {
             // tidy:allow(determinism) — wall-clock used for timing accounting only, never protocol state
             let start = Instant::now();
             let secret = self.keys[idx].secret_key();
-            let (flags, cpu) = parallel_map(&self.sets[idx], self.workers, |ct| {
-                self.scheme.decrypts_to_zero(secret, ct)
-            });
-            timer.record(party, start.elapsed(), cpu);
-            let zeros = flags.into_iter().filter(|&zero| zero).count();
+            // One gathered partial decryption strips the owner's layer from
+            // the whole set — the key share's digit recoding is done once
+            // and the masks share a single inversion — then the zero test
+            // is an identity check on each exposed `α·β^{−x}`. This is
+            // RNG-free and wire-free, so the transcript is unchanged.
+            self.scheme.partial_decrypt_gather_into(
+                &self.sets[idx],
+                secret,
+                None,
+                &mut self.hop_scratch,
+            );
+            let zeros = self
+                .hop_scratch
+                .iter()
+                .filter(|ct| self.group.is_identity(&ct.alpha))
+                .count();
+            let elapsed = start.elapsed();
+            timer.record(party, elapsed, elapsed);
             ranks.push(zeros + 1);
         }
         let trace = SortTrace {

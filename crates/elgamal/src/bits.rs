@@ -5,7 +5,7 @@
 //! We store bits least-significant-first internally; the comparison circuit
 //! in `ppgr-core` indexes them accordingly.
 
-use crate::cipher::{Ciphertext, EncRandomizer, ExpElGamal};
+use crate::cipher::{Ciphertext, ExpElGamal, MaskPair};
 use ppgr_bigint::BigUint;
 use ppgr_group::{Element, FixedBaseTable, Scalar};
 use rand::Rng;
@@ -78,40 +78,60 @@ pub fn encrypt_bits_prepared<R: Rng + ?Sized>(
         .collect()
 }
 
-/// [`encrypt_bits_prepared`] with the fixed-base exponentiations done ahead
-/// of time: `randomizers[i]` carries `(r_i, g^{r_i})` for bit `i`
-/// (least-significant first), so only the key-dependent `y^{r_i}` batch
-/// remains online.
+/// [`encrypt_bits_prepared`] with the exponentiations done ahead of time:
+/// `masks[i]` carries `(r_i, g^{r_i})` — and, when the offline phase knew
+/// the joint key, `y^{r_i}` — for bit `i` (least-significant first). With
+/// full pairs the online cost is one group operation per set bit; any
+/// missing `y^{r_i}` halves are computed in one batch through `key_table`.
 ///
-/// Consumes the randomizers: each is single-use. For randomizers drawn from
-/// the same stream positions the inline path would have used, the output is
+/// Consumes the masks: each is single-use. For masks drawn from the same
+/// stream positions the inline path would have used, the output is
 /// bit-identical to [`encrypt_bits_prepared`].
 ///
 /// # Panics
 ///
-/// Panics if `value` does not fit in `l` bits or if `randomizers` does not
-/// hold exactly `l` entries.
+/// Panics if `value` does not fit in `l` bits or if `masks` does not hold
+/// exactly `l` entries.
 pub fn encrypt_bits_with_precomputed(
     scheme: &ExpElGamal,
     key_table: &FixedBaseTable,
     value: &BigUint,
     l: usize,
-    randomizers: Vec<EncRandomizer>,
+    mut masks: Vec<MaskPair>,
 ) -> Vec<Ciphertext> {
     assert!(value.bits() <= l, "value exceeds the declared bit length l");
-    assert_eq!(randomizers.len(), l, "one randomizer per bit");
+    assert_eq!(masks.len(), l, "one mask pair per bit");
     let group = scheme.group();
-    let rs: Vec<Scalar> = randomizers.iter().map(|p| p.scalar().clone()).collect();
-    let masks = group.exp_prepared_batch(key_table, &rs); // y^r_i
+    MaskPair::fill_key_halves(group, key_table, &mut masks);
     let g1 = group.generator();
-    masks
+    let parts: Vec<(Element, Element)> = masks
         .into_iter()
-        .zip(randomizers)
+        .map(|pre| {
+            let (r, beta, yr) = pre.into_parts();
+            let mask = match yr {
+                // `fill_key_halves` above makes this the only live arm.
+                Some(m) => m,
+                None => group.exp_prepared(key_table, r.expose()),
+            };
+            (mask, beta)
+        })
+        .collect();
+    // The set bits' `g·y^r` products share one batched affine conversion
+    // instead of paying a field inversion per one-bit.
+    let set_pairs: Vec<(&Element, &Element)> = parts
+        .iter()
         .enumerate()
-        .map(|(i, (mask, pre))| {
-            let (_r, beta) = pre.into_parts();
+        .filter(|(i, _)| value.bit(*i))
+        .map(|(_, (mask, _))| (g1, mask))
+        .collect();
+    let mut set_alphas = group.op_batch(&set_pairs).into_iter();
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, (mask, beta))| {
             let alpha = if value.bit(i) {
-                group.op(g1, &mask)
+                // tidy:allow(panic) — one batched product was queued above for every set bit, so the iterator cannot run dry
+                set_alphas.next().expect("one product per set bit")
             } else {
                 mask
             };
@@ -173,9 +193,11 @@ mod tests {
     }
 
     #[test]
-    fn precomputed_randomizers_match_prepared_encryption() {
+    fn precomputed_masks_match_prepared_encryption() {
         // Same stream position → bit-identical ciphertexts, which is what
         // lets the offline pool swap in without changing any wire bytes.
+        // Half pairs (g^r only) and full pairs (y^r minted offline) must
+        // both reproduce the inline path exactly.
         let group = GroupKind::Ecc160.group();
         let mut rng = StdRng::seed_from_u64(6);
         let kp = KeyPair::generate(&group, &mut rng);
@@ -184,13 +206,21 @@ mod tests {
         let v = BigUint::from(0b0110_0101u64);
         let mut rng_a = StdRng::seed_from_u64(77);
         let mut rng_b = StdRng::seed_from_u64(77);
+        let mut rng_c = StdRng::seed_from_u64(77);
         let inline = encrypt_bits_prepared(&scheme, &table, &v, 10, &mut rng_a);
-        let stock: Vec<EncRandomizer> = (0..10)
-            .map(|_| EncRandomizer::draw(&group, &mut rng_b))
+        let half: Vec<MaskPair> = (0..10)
+            .map(|_| MaskPair::draw(&group, &mut rng_b))
             .collect();
-        let warm = encrypt_bits_with_precomputed(&scheme, &table, &v, 10, stock);
-        assert_eq!(inline, warm);
-        assert_eq!(decrypt_bits(&scheme, kp.secret_key(), &warm), v);
+        let mut full: Vec<MaskPair> = (0..10)
+            .map(|_| MaskPair::draw(&group, &mut rng_c))
+            .collect();
+        MaskPair::fill_key_halves(&group, &table, &mut full);
+        assert!(full.iter().all(MaskPair::has_key_half));
+        let warm_half = encrypt_bits_with_precomputed(&scheme, &table, &v, 10, half);
+        let warm_full = encrypt_bits_with_precomputed(&scheme, &table, &v, 10, full);
+        assert_eq!(inline, warm_half);
+        assert_eq!(inline, warm_full);
+        assert_eq!(decrypt_bits(&scheme, kp.secret_key(), &warm_full), v);
     }
 
     #[test]

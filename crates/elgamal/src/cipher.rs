@@ -1,7 +1,7 @@
 //! Standard and exponential ElGamal ciphertexts and their homomorphic ops.
 
 use ppgr_bigint::Secret;
-use ppgr_group::{Element, FixedBaseTable, Group, Scalar};
+use ppgr_group::{Element, FixedBaseTable, Group, HopScalars, Scalar};
 use rand::Rng;
 use std::fmt;
 
@@ -31,56 +31,89 @@ impl Ciphertext {
     }
 }
 
-/// A precomputed encryption randomizer `(r, β = g^r)` for the
-/// offline/online phase split.
+/// A precomputed encryption mask `(r, g^r, y^r)` for the offline/online
+/// phase split.
 ///
 /// The fixed-base half of an encryption or re-randomization — `g^r` — does
-/// not depend on the public key, so it can be computed before the session's
-/// joint key even exists. The key-dependent half (`y^r`) stays online,
-/// where it runs through the prepared joint-key table.
+/// not depend on the public key, so it can always be computed before the
+/// session's joint key even exists. The key-dependent half `y^r` can join
+/// it once the joint key is known: a pool that mints keys offline fills it
+/// in ([`MaskPair::fill_key_halves`]), leaving the online consumer nothing
+/// but group multiplications. A half pair (`y^r` absent) still works — the
+/// consuming APIs compute the missing halves through the prepared key
+/// table, batched.
 ///
-/// A randomizer is strictly single-use — re-using `r` across two
-/// ciphertexts gives them identical `β` components, visibly linking them —
-/// so consuming APIs take it by value.
-pub struct EncRandomizer {
+/// A mask is strictly single-use — re-using `r` across two ciphertexts
+/// gives them identical `β` components, visibly linking them — so
+/// consuming APIs take it by value.
+pub struct MaskPair {
     r: Secret<Scalar>,
-    beta: Element,
+    g_r: Element,
+    y_r: Option<Element>,
 }
 
-impl EncRandomizer {
-    /// Draws a fresh randomizer and computes `g^r` (the offline work).
+impl MaskPair {
+    /// Draws a fresh mask and computes `g^r` (the key-independent offline
+    /// work); `y^r` is left for [`MaskPair::fill_key_halves`] or the
+    /// online consumer.
     ///
     /// Draws exactly one scalar from `rng` — the same single draw the
     /// inline encryption paths perform — so a precomputed encryption fed
     /// from the same randomness stream is bit-identical to an inline one.
     pub fn draw<R: Rng + ?Sized>(group: &Group, rng: &mut R) -> Self {
         let r = group.random_scalar(rng);
-        let beta = group.exp_gen(&r);
-        EncRandomizer {
+        let g_r = group.exp_gen(&r);
+        MaskPair {
             r: Secret::new(r),
-            beta,
+            g_r,
+            y_r: None,
         }
     }
 
-    /// The public component `β = g^r`.
-    pub fn beta(&self) -> &Element {
-        &self.beta
+    /// The fixed-base component `g^r` (a ciphertext's `β`).
+    pub fn g_r(&self) -> &Element {
+        &self.g_r
     }
 
+    /// Whether the key-dependent half `y^r` has been filled in.
+    pub fn has_key_half(&self) -> bool {
+        self.y_r.is_some()
+    }
+
+    /// Fills the `y^r` halves of every mask in `pairs` through the
+    /// prepared table for `y`, one batch (elliptic-curve results share a
+    /// single field inversion). Masks that already carry their key half
+    /// are left untouched, so the call is idempotent.
+    pub fn fill_key_halves(group: &Group, key_table: &FixedBaseTable, pairs: &mut [MaskPair]) {
+        let todo: Vec<usize> = (0..pairs.len())
+            .filter(|&i| pairs[i].y_r.is_none())
+            .collect();
+        if todo.is_empty() {
+            return;
+        }
+        let rs: Vec<Scalar> = todo.iter().map(|&i| pairs[i].r.expose().clone()).collect();
+        let masks = group.exp_prepared_batch(key_table, &rs);
+        for (&i, y_r) in todo.iter().zip(masks) {
+            pairs[i].y_r = Some(y_r);
+        }
+    }
+
+    #[cfg(test)]
     pub(crate) fn scalar(&self) -> &Scalar {
         self.r.expose()
     }
 
-    pub(crate) fn into_parts(self) -> (Secret<Scalar>, Element) {
-        (self.r, self.beta)
+    pub(crate) fn into_parts(self) -> (Secret<Scalar>, Element, Option<Element>) {
+        (self.r, self.g_r, self.y_r)
     }
 }
 
-impl fmt::Debug for EncRandomizer {
+impl fmt::Debug for MaskPair {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("EncRandomizer")
+        f.debug_struct("MaskPair")
             .field("r", &self.r)
-            .field("beta", &self.beta)
+            .field("g_r", &self.g_r)
+            .field("y_r", &self.y_r)
             .finish()
     }
 }
@@ -268,27 +301,78 @@ impl ExpElGamal {
         }
     }
 
-    /// [`ExpElGamal::rerandomize_prepared`] with the fixed-base
-    /// exponentiation done ahead of time: `pre` carries `(r, g^r)` from the
-    /// offline phase, so only the key-dependent `y^r` (through the prepared
-    /// table) remains online.
+    /// [`ExpElGamal::rerandomize_prepared`] with the exponentiations done
+    /// ahead of time: `pre` carries `(r, g^r)` — and, if the offline phase
+    /// knew the key, `y^r` — so the online work is two group
+    /// multiplications for a full pair, or one prepared exponentiation plus
+    /// the multiplications for a half pair.
     ///
     /// For a `pre` drawn from the same stream position the inline path
     /// would have used, the output is bit-identical to
-    /// [`ExpElGamal::rerandomize_prepared`].
+    /// [`ExpElGamal::rerandomize_prepared`] either way.
     pub fn rerandomize_with_precomputed(
         &self,
         key_table: &FixedBaseTable,
         a: &Ciphertext,
-        pre: EncRandomizer,
+        pre: MaskPair,
     ) -> Ciphertext {
-        let (r, gr) = pre.into_parts();
+        let (r, gr, yr) = pre.into_parts();
+        let mask = match yr {
+            Some(m) => m,
+            None => self.group.exp_prepared(key_table, r.expose()),
+        };
         Ciphertext {
-            alpha: self
-                .group
-                .op(&a.alpha, &self.group.exp_prepared(key_table, r.expose())),
+            alpha: self.group.op(&a.alpha, &mask),
             beta: self.group.op(&a.beta, &gr),
         }
+    }
+
+    /// Batch [`ExpElGamal::rerandomize_with_precomputed`] over a ciphertext
+    /// set: `pres[i]` re-randomizes `cts[i]`. Any missing `y^r` halves are
+    /// computed first in one batch through the prepared table (shared
+    /// affine conversion); full pairs reduce the whole call to `2·n` group
+    /// multiplications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cts` and `pres` have different lengths.
+    pub fn rerandomize_batch_with_precomputed(
+        &self,
+        key_table: &FixedBaseTable,
+        cts: &[Ciphertext],
+        mut pres: Vec<MaskPair>,
+    ) -> Vec<Ciphertext> {
+        assert_eq!(cts.len(), pres.len(), "one mask per ciphertext");
+        MaskPair::fill_key_halves(&self.group, key_table, &mut pres);
+        let parts: Vec<(Element, Element)> = pres
+            .into_iter()
+            .map(|pre| {
+                let (r, gr, yr) = pre.into_parts();
+                let mask = match yr {
+                    // `fill_key_halves` above makes this the only live arm.
+                    Some(m) => m,
+                    None => self.group.exp_prepared(key_table, r.expose()),
+                };
+                (mask, gr)
+            })
+            .collect();
+        // One batched multiply for all 2·n component products: on the EC
+        // family that is one shared affine conversion instead of a field
+        // inversion per component.
+        let pairs: Vec<(&Element, &Element)> = cts
+            .iter()
+            .zip(&parts)
+            .flat_map(|(ct, (mask, gr))| [(&ct.alpha, mask), (&ct.beta, gr)])
+            .collect();
+        let mut prods = self.group.op_batch(&pairs).into_iter();
+        let mut out = Vec::with_capacity(cts.len());
+        // `op_batch` returns exactly one element per input pair, and two
+        // pairs were pushed per ciphertext, so the iterator yields pairs
+        // until it is exhausted.
+        while let (Some(alpha), Some(beta)) = (prods.next(), prods.next()) {
+            out.push(Ciphertext { alpha, beta });
+        }
+        out
     }
 
     /// Strips one layer of a joint-key encryption: `α ← α / β^{x_j}`.
@@ -316,12 +400,14 @@ impl ExpElGamal {
     /// shuffle into the output placement, so no separate permutation pass
     /// (and none of its per-ciphertext clones) is needed.
     ///
-    /// The whole set shares one exponent: every mask is computed as
-    /// `β^{q−x_j}` through [`Group::exp_same_batch`], so the key share's
-    /// digit recoding is done once per hop (not once per ciphertext),
-    /// elliptic-curve masks share a single field inversion, and the DL
-    /// family drops the per-ciphertext division (a Fermat inversion)
-    /// entirely — `α·β^{−x}` and `α/β^{x}` are the same group element.
+    /// The whole set shares one exponent: every new `α` is computed as
+    /// `α·β^{q−x_j}` through [`Group::exp_same_mul_batch`], so the key
+    /// share's digit recoding is done once per hop (not once per
+    /// ciphertext), the multiply by `α` is fused into the batched ladder
+    /// (no per-ciphertext affine addition, hence no per-ciphertext field
+    /// inversion on the EC family), and the DL family drops the division
+    /// (a Fermat inversion) entirely — `α·β^{−x}` and `α/β^{x}` are the
+    /// same group element.
     ///
     /// # Panics
     ///
@@ -338,17 +424,20 @@ impl ExpElGamal {
         }
         let neg_share = self.group.scalar_neg(secret_share);
         let idx = |j: usize| order.map_or(j, |o| o[j]);
+        let alphas: Vec<&Element> = (0..cts.len()).map(|j| &cts[idx(j)].alpha).collect();
         let betas: Vec<&Element> = (0..cts.len()).map(|j| &cts[idx(j)].beta).collect();
-        let masks = self.group.exp_same_batch(&betas, &neg_share);
+        let new_alphas = self.group.exp_same_mul_batch(&alphas, &betas, &neg_share);
         out.clear();
         out.reserve(cts.len());
-        out.extend(masks.into_iter().enumerate().map(|(j, mask)| {
-            let i = idx(j);
-            Ciphertext {
-                alpha: self.group.op(&cts[i].alpha, &mask),
-                beta: cts[i].beta.clone(),
-            }
-        }));
+        out.extend(
+            new_alphas
+                .into_iter()
+                .enumerate()
+                .map(|(j, alpha)| Ciphertext {
+                    alpha,
+                    beta: cts[idx(j)].beta.clone(),
+                }),
+        );
     }
 
     /// Multiplies the plaintext by `r` by raising both components:
@@ -467,26 +556,63 @@ impl ExpElGamal {
                     .scalar_neg(&self.group.scalar_mul(secret_share, &rs[idx(j)]))
             })
             .collect();
-        let dual_items: Vec<(&Element, &Scalar, &Element, &Scalar)> = (0..cts.len())
+        // One fused kernel per hop: `(α^r·β^{−xr}, β^r)` share the wNAF
+        // recoding of `r` and the precomputed table of `β`, so the hop
+        // costs one dual ladder plus one single ladder over *shared*
+        // tables instead of a dual batch plus an unrelated single batch.
+        let items: Vec<(&Element, &Scalar, &Element, &Scalar)> = (0..cts.len())
             .map(|j| {
                 let i = idx(j);
                 (&cts[i].alpha, &rs[i], &cts[i].beta, &neg_xrs[j])
             })
             .collect();
-        let alphas = self.group.exp_dual_batch(&dual_items);
-        let beta_pairs: Vec<(&Element, &Scalar)> = (0..cts.len())
-            .map(|j| {
-                let i = idx(j);
-                (&cts[i].beta, &rs[i])
-            })
-            .collect();
-        let betas = self.group.exp_batch(&beta_pairs);
         out.clear();
         out.reserve(cts.len());
         out.extend(
-            alphas
+            self.group
+                .exp_hop_batch(&items)
                 .into_iter()
-                .zip(betas)
+                .map(|(alpha, beta)| Ciphertext { alpha, beta }),
+        );
+    }
+
+    /// [`ExpElGamal::partial_decrypt_randomize_gather_into`] over hop
+    /// scalars prepared ahead of time with
+    /// [`ppgr_group::Group::prepare_hop_scalars`]: the `−x·r` products and
+    /// the curve-side recodings were paid when the preparation was built,
+    /// so this call is nothing but the fused variable-base ladders.
+    /// Results are element-for-element identical to the unprepared form
+    /// called with the same randomizers and the secret share the
+    /// preparation was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prep` (or `order`, when given) is not the same length as
+    /// `cts`.
+    pub fn partial_decrypt_randomize_prepared_gather_into(
+        &self,
+        cts: &[Ciphertext],
+        prep: &[HopScalars],
+        order: Option<&[usize]>,
+        out: &mut Vec<Ciphertext>,
+    ) {
+        assert_eq!(cts.len(), prep.len(), "one preparation per ciphertext");
+        if let Some(o) = order {
+            assert_eq!(o.len(), cts.len(), "one output slot per ciphertext");
+        }
+        let idx = |j: usize| order.map_or(j, |o| o[j]);
+        let items: Vec<(&Element, &HopScalars, &Element)> = (0..cts.len())
+            .map(|j| {
+                let i = idx(j);
+                (&cts[i].alpha, &prep[i], &cts[i].beta)
+            })
+            .collect();
+        out.clear();
+        out.reserve(cts.len());
+        out.extend(
+            self.group
+                .exp_hop_prepared_batch(&items)
+                .into_iter()
                 .map(|(alpha, beta)| Ciphertext { alpha, beta }),
         );
     }
@@ -797,23 +923,59 @@ mod tests {
         let mut rng_a = StdRng::seed_from_u64(55);
         let mut rng_b = StdRng::seed_from_u64(55);
         let inline = scheme.rerandomize_prepared(&table, &ct, &mut rng_a);
-        let pre = EncRandomizer::draw(&g, &mut rng_b);
+        let pre = MaskPair::draw(&g, &mut rng_b);
         let warm = scheme.rerandomize_with_precomputed(&table, &ct, pre);
         assert_eq!(inline, warm);
         assert_eq!(scheme.decrypt_small(kp.secret_key(), &warm, 100), Some(6));
+        // A full pair (y^r minted offline) must land on the same bytes.
+        let mut rng_c = StdRng::seed_from_u64(55);
+        let mut full = vec![MaskPair::draw(&g, &mut rng_c)];
+        MaskPair::fill_key_halves(&g, &table, &mut full);
+        let warm_full = full
+            .pop()
+            .map(|p| scheme.rerandomize_with_precomputed(&table, &ct, p));
+        assert_eq!(Some(inline), warm_full);
     }
 
     #[test]
-    fn randomizer_debug_redacts_scalar() {
+    fn batch_rerandomization_matches_singles() {
+        let (scheme, kp, mut rng) = setup();
+        let g = scheme.group().clone();
+        let table = scheme.prepare_key(kp.public_key());
+        let cts: Vec<Ciphertext> = (0..4)
+            .map(|m| scheme.encrypt(kp.public_key(), &g.scalar_from_u64(m), &mut rng))
+            .collect();
+        let mut rng_a = StdRng::seed_from_u64(91);
+        let mut rng_b = StdRng::seed_from_u64(91);
+        let singles: Vec<Ciphertext> = cts
+            .iter()
+            .map(|ct| {
+                let pre = MaskPair::draw(&g, &mut rng_a);
+                scheme.rerandomize_with_precomputed(&table, ct, pre)
+            })
+            .collect();
+        let pres: Vec<MaskPair> = (0..4).map(|_| MaskPair::draw(&g, &mut rng_b)).collect();
+        let batch = scheme.rerandomize_batch_with_precomputed(&table, &cts, pres);
+        assert_eq!(singles, batch);
+        for (m, ct) in batch.iter().enumerate() {
+            assert_eq!(
+                scheme.decrypt_small(kp.secret_key(), ct, 100),
+                Some(m as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn mask_pair_debug_redacts_scalar() {
         let (scheme, _kp, mut rng) = setup();
         let g = scheme.group().clone();
-        let pre = EncRandomizer::draw(&g, &mut rng);
+        let pre = MaskPair::draw(&g, &mut rng);
         let digits = pre.scalar().to_string();
         let dump = format!("{:?}", pre);
         assert!(dump.contains("Secret(<redacted>)"), "got: {dump}");
         assert!(
             !dump.contains(&digits),
-            "randomizer scalar leaked through Debug: {dump}"
+            "mask scalar leaked through Debug: {dump}"
         );
     }
 

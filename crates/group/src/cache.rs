@@ -183,6 +183,37 @@ mod tests {
     }
 
     #[test]
+    fn joint_key_churn_at_real_geometry_never_evicts_the_generator() {
+        // The comb cache's deployed geometry (see `EcGroup::COMB_CACHE_*`):
+        // a long-lived session keeps hitting the generator's table while
+        // the keygen-offline pool mints a fresh joint key per stocked
+        // session. Far more distinct joint keys than total capacity must
+        // not push the generator's table out mid-session.
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(
+            crate::ec::EcGroup::COMB_CACHE_SHARDS,
+            crate::ec::EcGroup::COMB_CACHE_CAP,
+        );
+        let generator = 0u64;
+        let mut generator_builds = 0u32;
+        for joint_key in 1..=512u64 {
+            cache.get_or_insert_with(&generator, || {
+                generator_builds += 1;
+                0
+            });
+            cache.get_or_insert_with(&joint_key, || joint_key);
+        }
+        assert_eq!(
+            generator_builds, 1,
+            "generator table must be built exactly once"
+        );
+        assert!(cache.contains(&generator));
+        assert!(
+            cache.len()
+                <= crate::ec::EcGroup::COMB_CACHE_SHARDS * crate::ec::EcGroup::COMB_CACHE_CAP
+        );
+    }
+
+    #[test]
     fn shards_bound_capacity_independently() {
         let cache: ShardedLru<u64, u64> = ShardedLru::new(4, 2);
         for k in 0..64 {

@@ -9,7 +9,7 @@
 use crate::cache::ShardedLru;
 use crate::traits::DecodeElementError;
 use crate::Element;
-use ppgr_bigint::{modular, BigUint, MontElem, Montgomery};
+use ppgr_bigint::{modular, BigUint, MontElem4, Montgomery4};
 
 /// Parameters of a named curve.
 #[derive(Clone, Debug)]
@@ -116,13 +116,31 @@ impl std::fmt::Debug for EcPoint {
     }
 }
 
+/// A signed-wNAF plan entry: the recoded digits of one scalar plus the
+/// index of its base's odd-multiple table (`None` when the term is the
+/// identity and contributes nothing).
+type WnafPlan = Option<(Vec<i64>, usize)>;
+
 /// A Jacobian point with Montgomery-form coordinates: `(X : Y : Z)`,
 /// representing affine `(X/Z², Y/Z³)`; `Z = 0` is infinity.
 #[derive(Clone, Debug)]
 pub(crate) struct Jacobian {
-    pub(crate) x: MontElem,
-    pub(crate) y: MontElem,
-    pub(crate) z: MontElem,
+    pub(crate) x: MontElem4,
+    pub(crate) y: MontElem4,
+    pub(crate) z: MontElem4,
+}
+
+/// An affine point with coordinates still *in* the Montgomery domain
+/// (never infinity). Adding one of these to a Jacobian point is a mixed
+/// addition — `Z₂ = 1` drops four multiplications and a squaring from the
+/// general formula — and a whole batch of wNAF tables can be normalized
+/// to this form with a single shared field inversion, so the batch
+/// multiplication ladders get mixed-addition pricing without paying an
+/// inversion per table entry.
+#[derive(Clone)]
+struct MontAffine {
+    x: MontElem4,
+    y: MontElem4,
 }
 
 /// A fixed-base comb table for one curve point: `rows[i][d] = (d·16^i)·P`.
@@ -141,9 +159,9 @@ pub struct EcComb {
 #[derive(Debug)]
 pub struct EcGroup {
     params: CurveParams,
-    fp: Montgomery,
+    fp: Montgomery4,
     /// `a` in Montgomery form.
-    a_m: MontElem,
+    a_m: MontElem4,
     /// All shipped curves have `a = p − 3`, enabling the faster doubling
     /// `M = 3(X − Z²)(X + Z²)`.
     a_is_minus3: bool,
@@ -166,7 +184,7 @@ impl EcGroup {
     /// Panics if the base point does not satisfy the curve equation
     /// (defensive check on the constants).
     pub fn new(params: CurveParams) -> Self {
-        let fp = Montgomery::new(params.p.clone());
+        let fp = Montgomery4::new(params.p.clone());
         let a_m = fp.enter(&params.a);
         let a_is_minus3 = {
             let three = BigUint::from(3u64);
@@ -273,7 +291,7 @@ impl EcGroup {
         let finite: Vec<usize> = (0..points.len())
             .filter(|&i| !f.is_zero_elem(&points[i].z))
             .collect();
-        let zs: Vec<MontElem> = finite.iter().map(|&i| points[i].z.clone()).collect();
+        let zs: Vec<MontElem4> = finite.iter().map(|&i| points[i].z).collect();
         let z_invs = f.batch_minv(&zs);
         let mut out = vec![EcPoint::infinity(); points.len()];
         for (&i, zi) in finite.iter().zip(&z_invs) {
@@ -539,28 +557,156 @@ impl EcGroup {
         self.to_affine_batch(&jacs)
     }
 
-    /// Batch variable-base multiplication with one shared field inversion.
+    /// Batch variable-base multiplication: signed wNAF digits against
+    /// batch-normalized [`MontAffine`] tables (mixed additions), all
+    /// results sharing one final field inversion. The table normalization
+    /// itself shares a second inversion across *every table of the batch*,
+    /// which is what lets the ladder use 7M+3S mixed additions instead of
+    /// 12M+4S general ones without per-point inversion overhead.
     pub fn scalar_mul_batch(&self, pairs: &[(&EcPoint, &BigUint)]) -> Vec<EcPoint> {
-        let jacs: Vec<Jacobian> = pairs
+        let mut bases: Vec<Jacobian> = Vec::new();
+        let plan: Vec<Option<(Vec<i64>, usize)>> = pairs
             .iter()
-            .map(|(p, k)| self.scalar_mul_jac(&self.to_jacobian(p), &(*k % &self.params.n)))
+            .map(|(p, k)| {
+                let k = *k % &self.params.n;
+                if k.is_zero() || p.is_infinity() {
+                    return None;
+                }
+                bases.push(self.to_jacobian(p));
+                Some((crate::msm::wnaf_digits(&k, 4), bases.len() - 1))
+            })
+            .collect();
+        let tables = self.wnaf_tables(&bases);
+        let jacs: Vec<Jacobian> = plan
+            .iter()
+            .map(|entry| match entry {
+                None => self.jac_infinity(),
+                Some((digits, t)) => self.wnaf_mul_jac(digits, &tables[*t]),
+            })
             .collect();
         self.to_affine_batch(&jacs)
     }
 
-    /// Batch double-base multiplication `k₁·P + k₂·Q` per entry, sharing
-    /// one field inversion across all results.
+    /// Batch double-base multiplication `k₁·P + k₂·Q` per entry: one
+    /// shared doubling ladder per entry (Shamir), signed-wNAF mixed
+    /// additions, tables and results each normalized through one batched
+    /// field inversion.
     pub fn scalar_mul_dual_batch(
         &self,
         items: &[(&EcPoint, &BigUint, &EcPoint, &BigUint)],
     ) -> Vec<EcPoint> {
-        let jacs: Vec<Jacobian> = items
+        let mut bases: Vec<Jacobian> = Vec::new();
+        let plan: Vec<[WnafPlan; 2]> = {
+            let mut side = |pt: &EcPoint, k: &BigUint| -> WnafPlan {
+                let k = k % &self.params.n;
+                if k.is_zero() || pt.is_infinity() {
+                    return None;
+                }
+                bases.push(self.to_jacobian(pt));
+                Some((crate::msm::wnaf_digits(&k, 4), bases.len() - 1))
+            };
+            items
+                .iter()
+                .map(|(p, k1, q, k2)| [side(p, k1), side(q, k2)])
+                .collect()
+        };
+        let tables = self.wnaf_tables(&bases);
+        let jacs: Vec<Jacobian> = plan
             .iter()
-            .map(|(p, k1, q, k2)| {
-                self.dual_mul_jac(p, &(*k1 % &self.params.n), q, &(*k2 % &self.params.n))
+            .map(|entry| match entry {
+                [None, None] => self.jac_infinity(),
+                [Some((d, t)), None] | [None, Some((d, t))] => self.wnaf_mul_jac(d, &tables[*t]),
+                [Some((d1, t1)), Some((d2, t2))] => {
+                    self.wnaf_dual_mul_jac(d1, &tables[*t1], d2, &tables[*t2])
+                }
             })
             .collect();
         self.to_affine_batch(&jacs)
+    }
+
+    /// Fused hop batch: for each `(a, k₁, b, k₂)` computes the pair
+    /// `(a^{k₁}·b^{k₂}, b^{k₁})` — the shape of a re-randomized partial
+    /// decryption, whose new `β = b^{k₁}` reuses both the wNAF recoding of
+    /// `k₁` and the odd-multiple table of `b` that the double-base half
+    /// already paid for. Versus composing [`EcGroup::scalar_mul_dual_batch`]
+    /// with [`EcGroup::scalar_mul_batch`], each entry saves one table build,
+    /// one recoding, and a share of two batch inversions.
+    pub fn scalar_mul_hop_batch(
+        &self,
+        items: &[(&EcPoint, &BigUint, &EcPoint, &BigUint)],
+    ) -> Vec<(EcPoint, EcPoint)> {
+        let recode = |k: &BigUint| {
+            let k = k % &self.params.n;
+            if k.is_zero() {
+                Vec::new()
+            } else {
+                crate::msm::wnaf_digits(&k, 4)
+            }
+        };
+        let digits: Vec<(Vec<i64>, Vec<i64>)> = items
+            .iter()
+            .map(|(_, k1, _, k2)| (recode(k1), recode(k2)))
+            .collect();
+        let with_digits: Vec<(&EcPoint, &[i64], &EcPoint, &[i64])> = items
+            .iter()
+            .zip(&digits)
+            .map(|((a, _, b, _), (d1, d2))| (*a, d1.as_slice(), *b, d2.as_slice()))
+            .collect();
+        self.scalar_mul_hop_digits_batch(&with_digits)
+    }
+
+    /// [`EcGroup::scalar_mul_hop_batch`] over pre-recoded scalars: each
+    /// entry is `(a, wnaf(k₁), b, wnaf(k₂))` with empty digit vectors
+    /// encoding zero scalars. An offline phase that knows the hop's
+    /// randomizers (but not its ciphertexts) can pay the order reductions
+    /// and recodings ahead of time and hand the digits in here.
+    pub fn scalar_mul_hop_digits_batch(
+        &self,
+        items: &[(&EcPoint, &[i64], &EcPoint, &[i64])],
+    ) -> Vec<(EcPoint, EcPoint)> {
+        struct Hop {
+            a: Option<usize>,
+            b: Option<usize>,
+        }
+        let mut bases: Vec<Jacobian> = Vec::new();
+        let plan: Vec<Hop> = items
+            .iter()
+            .map(|(a, d1, b, d2)| {
+                let a_idx = (!a.is_infinity() && !d1.is_empty()).then(|| {
+                    bases.push(self.to_jacobian(a));
+                    bases.len() - 1
+                });
+                let b_idx = (!b.is_infinity() && (!d1.is_empty() || !d2.is_empty())).then(|| {
+                    bases.push(self.to_jacobian(b));
+                    bases.len() - 1
+                });
+                Hop { a: a_idx, b: b_idx }
+            })
+            .collect();
+        let tables = self.wnaf_tables(&bases);
+        let mut jacs = Vec::with_capacity(items.len() * 2);
+        for (hop, (_, d1, _, d2)) in plan.iter().zip(items) {
+            jacs.push(match (hop.a, hop.b) {
+                (Some(ta), Some(tb)) if !d2.is_empty() => {
+                    self.wnaf_dual_mul_jac(d1, &tables[ta], d2, &tables[tb])
+                }
+                (Some(ta), _) => self.wnaf_mul_jac(d1, &tables[ta]),
+                (None, Some(tb)) if !d2.is_empty() => self.wnaf_mul_jac(d2, &tables[tb]),
+                _ => self.jac_infinity(),
+            });
+            jacs.push(match hop.b {
+                Some(tb) if !d1.is_empty() => self.wnaf_mul_jac(d1, &tables[tb]),
+                _ => self.jac_infinity(),
+            });
+        }
+        let mut pts = self.to_affine_batch(&jacs).into_iter();
+        items
+            .iter()
+            .map(|_| {
+                // tidy:allow(panic) — two Jacobians were pushed per item above, so the iterator cannot run dry
+                (pts.next().expect("paired"), pts.next().expect("paired"))
+            })
+            .collect()
     }
 
     /// Returns (building and caching on first use) the comb table for `p`.
@@ -597,15 +743,124 @@ impl EcGroup {
         self.scalar_mul_comb_batch(self.gen_comb(), ks)
     }
 
-    /// Jacobian negation: `(X, −Y, Z)`. Free compared to a field
-    /// inversion — this is what makes signed (wNAF) digit recodings pay
-    /// off on the curve side.
-    pub(crate) fn jac_neg(&self, p: &Jacobian) -> Jacobian {
-        Jacobian {
-            x: p.x.clone(),
-            y: self.fp.msub(&self.fp.zero_elem(), &p.y),
-            z: p.z.clone(),
+    /// Mixed addition `P + Q` (or `P − Q` with `negate_q`) of a Jacobian
+    /// point and a normalized [`MontAffine`] point: `Z₂ = 1` reduces the
+    /// general 12M+4S addition to 7M+3S. Negating `Q` costs one field
+    /// subtraction, which is what makes signed (wNAF) digits free here.
+    fn jac_add_mixed(&self, p: &Jacobian, q: &MontAffine, negate_q: bool) -> Jacobian {
+        let f = &self.fp;
+        let qy = if negate_q {
+            f.msub(&f.zero_elem(), &q.y)
+        } else {
+            q.y
+        };
+        if f.is_zero_elem(&p.z) {
+            return Jacobian {
+                x: q.x,
+                y: qy,
+                z: f.one_elem(),
+            };
         }
+        let z1z1 = f.msqr(&p.z);
+        let u2 = f.mmul(&q.x, &z1z1);
+        let s2 = f.mmul(&f.mmul(&qy, &p.z), &z1z1);
+        let h = f.msub(&u2, &p.x);
+        let r = f.msub(&s2, &p.y);
+        if f.is_zero_elem(&h) {
+            if f.is_zero_elem(&r) {
+                return self.jac_double(p);
+            }
+            return self.jac_infinity();
+        }
+        let hh = f.msqr(&h);
+        let hhh = f.mmul(&h, &hh);
+        let v = f.mmul(&p.x, &hh);
+        let x3 = f.msub(&f.msub(&f.msqr(&r), &hhh), &f.mdbl(&v));
+        let y3 = f.msub(&f.mmul(&r, &f.msub(&v, &x3)), &f.mmul(&p.y, &hhh));
+        let z3 = f.mmul(&p.z, &h);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Builds width-4 wNAF odd-multiple tables `{1·P, 3·P, …, 15·P}` for
+    /// every base at once, normalized to [`MontAffine`] form with ONE
+    /// shared field inversion across all entries of all tables. Bases must
+    /// be finite; every entry is then a nonzero multiple `d·P` with
+    /// `d < n`, so none is infinity and the batch inversion is total.
+    fn wnaf_tables(&self, bases: &[Jacobian]) -> Vec<Vec<MontAffine>> {
+        let f = &self.fp;
+        let mut jacs: Vec<Jacobian> = Vec::with_capacity(bases.len() * 8);
+        for base in bases {
+            let twice = self.jac_double(base);
+            jacs.push(base.clone());
+            for _ in 1..8 {
+                let next = self.jac_add(&jacs[jacs.len() - 1], &twice);
+                jacs.push(next);
+            }
+        }
+        let zs: Vec<MontElem4> = jacs.iter().map(|p| p.z).collect();
+        let z_invs = f.batch_minv(&zs);
+        let mut out = Vec::with_capacity(bases.len());
+        for b in 0..bases.len() {
+            let mut table = Vec::with_capacity(8);
+            for i in 0..8 {
+                let (p, zi) = (&jacs[b * 8 + i], &z_invs[b * 8 + i]);
+                let zi2 = f.msqr(zi);
+                let zi3 = f.mmul(&zi2, zi);
+                table.push(MontAffine {
+                    x: f.mmul(&p.x, &zi2),
+                    y: f.mmul(&p.y, &zi3),
+                });
+            }
+            out.push(table);
+        }
+        out
+    }
+
+    /// Replays LSB-first wNAF digits against a normalized odd-multiple
+    /// table: doublings on the Jacobian accumulator, mixed additions for
+    /// nonzero digits (negative digits negate the table entry for free).
+    fn wnaf_mul_jac(&self, digits: &[i64], table: &[MontAffine]) -> Jacobian {
+        let mut acc = self.jac_infinity();
+        for &d in digits.iter().rev() {
+            acc = self.jac_double(&acc);
+            if d != 0 {
+                acc = self.jac_add_mixed(&acc, &table[d.unsigned_abs() as usize / 2], d < 0);
+            }
+        }
+        acc
+    }
+
+    /// Double-base wNAF ladder (Shamir's trick with mixed additions): both
+    /// digit strings share one doubling chain, each nonzero digit costs a
+    /// mixed addition against its own table.
+    fn wnaf_dual_mul_jac(
+        &self,
+        d1: &[i64],
+        t1: &[MontAffine],
+        d2: &[i64],
+        t2: &[MontAffine],
+    ) -> Jacobian {
+        let len = d1.len().max(d2.len());
+        let mut acc = self.jac_infinity();
+        for i in (0..len).rev() {
+            acc = self.jac_double(&acc);
+            for (d, t) in [(&d1, &t1), (&d2, &t2)] {
+                if let Some(&digit) = d.get(i) {
+                    if digit != 0 {
+                        acc = self.jac_add_mixed(
+                            &acc,
+                            &t[digit.unsigned_abs() as usize / 2],
+                            digit < 0,
+                        );
+                    }
+                }
+            }
+        }
+        acc
     }
 
     /// Shared-recoding batch multiplication: every point times the *same*
@@ -626,39 +881,109 @@ impl EcGroup {
             return vec![EcPoint::infinity(); points.len()];
         }
         let digits = crate::msm::wnaf_digits(&k, 4);
-        let jacs: Vec<Jacobian> = points
+        let mut bases: Vec<Jacobian> = Vec::new();
+        let idxs: Vec<Option<usize>> = points
             .iter()
             .map(|p| {
                 if p.is_infinity() {
-                    return self.jac_infinity();
+                    return None;
                 }
-                let base = self.to_jacobian(p);
-                let twice = self.jac_double(&base);
-                let mut odd = Vec::with_capacity(8);
-                odd.push(base);
-                for i in 1..8 {
-                    let next = self.jac_add(&odd[i - 1], &twice);
-                    odd.push(next);
+                bases.push(self.to_jacobian(p));
+                Some(bases.len() - 1)
+            })
+            .collect();
+        let tables = self.wnaf_tables(&bases);
+        let jacs: Vec<Jacobian> = idxs
+            .iter()
+            .map(|t| match t {
+                Some(t) => self.wnaf_mul_jac(&digits, &tables[*t]),
+                None => self.jac_infinity(),
+            })
+            .collect();
+        self.to_affine_batch(&jacs)
+    }
+
+    /// [`EcGroup::scalar_mul_same_batch`] with a fused affine addend:
+    /// `out[i] = c[i] + k·p[i]`. The addend lands as one mixed addition on
+    /// the Jacobian accumulator *before* the shared normalization, so it
+    /// replaces a separate affine addition — and the full field inversion
+    /// that affine addition would pay per point — with three field
+    /// multiplications. This is the shape of a gathered partial
+    /// decryption: `α · β^{−x}` across a whole ciphertext set.
+    pub fn scalar_mul_same_mul_batch(
+        &self,
+        addends: &[&EcPoint],
+        points: &[&EcPoint],
+        k: &BigUint,
+    ) -> Vec<EcPoint> {
+        assert_eq!(addends.len(), points.len(), "one addend per point");
+        let k = k % &self.params.n;
+        let digits = if k.is_zero() {
+            Vec::new()
+        } else {
+            crate::msm::wnaf_digits(&k, 4)
+        };
+        let mut bases: Vec<Jacobian> = Vec::new();
+        let idxs: Vec<Option<usize>> = points
+            .iter()
+            .map(|p| {
+                if digits.is_empty() || p.is_infinity() {
+                    return None;
                 }
-                let mut acc: Option<Jacobian> = None;
-                for &d in digits.iter().rev() {
-                    if let Some(a) = acc.as_mut() {
-                        *a = self.jac_double(a);
-                    }
-                    if d != 0 {
-                        let entry = &odd[d.unsigned_abs() as usize / 2];
-                        let term = if d > 0 {
-                            entry.clone()
-                        } else {
-                            self.jac_neg(entry)
-                        };
-                        acc = Some(match acc {
-                            None => term,
-                            Some(a) => self.jac_add(&a, &term),
-                        });
-                    }
+                bases.push(self.to_jacobian(p));
+                Some(bases.len() - 1)
+            })
+            .collect();
+        let tables = self.wnaf_tables(&bases);
+        let jacs: Vec<Jacobian> = idxs
+            .iter()
+            .zip(addends)
+            .map(|(t, addend)| {
+                let acc = match t {
+                    Some(t) => self.wnaf_mul_jac(&digits, &tables[*t]),
+                    None => self.jac_infinity(),
+                };
+                match addend.xy() {
+                    Some((x, y)) => self.jac_add_mixed(
+                        &acc,
+                        &MontAffine {
+                            x: self.fp.enter(x),
+                            y: self.fp.enter(y),
+                        },
+                        false,
+                    ),
+                    None => acc,
                 }
-                acc.unwrap_or_else(|| self.jac_infinity())
+            })
+            .collect();
+        self.to_affine_batch(&jacs)
+    }
+
+    /// Batch affine addition: every `p + q` is computed in Jacobian form
+    /// and all results share one field inversion for the final conversion,
+    /// versus one inversion *per pair* when calling [`EcGroup::add`] in a
+    /// loop. Homomorphic ciphertext algebra (re-randomization, gate
+    /// outputs) is made of exactly these adds.
+    pub fn add_batch(&self, pairs: &[(&EcPoint, &EcPoint)]) -> Vec<EcPoint> {
+        let jacs: Vec<Jacobian> = pairs
+            .iter()
+            .map(|(p, q)| self.jac_add(&self.to_jacobian(p), &self.to_jacobian(q)))
+            .collect();
+        self.to_affine_batch(&jacs)
+    }
+
+    /// Running sums (inclusive prefix scan): `out[i] = p₀ + … + pᵢ`. The
+    /// accumulator stays in Jacobian form between steps and every prefix
+    /// shares one field inversion, versus one inversion per prefix when a
+    /// caller chains [`EcGroup::add`]. The comparison circuit's suffix
+    /// sums are exactly this shape.
+    pub fn add_scan(&self, points: &[&EcPoint]) -> Vec<EcPoint> {
+        let mut acc = self.jac_infinity();
+        let jacs: Vec<Jacobian> = points
+            .iter()
+            .map(|p| {
+                acc = self.jac_add(&acc, &self.to_jacobian(p));
+                acc.clone()
             })
             .collect();
         self.to_affine_batch(&jacs)

@@ -47,4 +47,4 @@ pub use dl::{DlComb, DlGroup, DlParams};
 pub use ec::{CurveParams, EcComb, EcGroup, EcPoint};
 pub use kind::{GroupKind, SecurityLevel};
 pub use scalar::Scalar;
-pub use traits::{DecodeElementError, Element, FixedBaseTable, Group, GroupError};
+pub use traits::{DecodeElementError, Element, FixedBaseTable, Group, GroupError, HopScalars};

@@ -115,34 +115,68 @@ pub(crate) fn plan(n: usize, bits: usize) -> Plan {
 /// consecutive positions. Shared by the same-scalar batch paths, which
 /// recode once and replay the digits for every base.
 pub(crate) fn wnaf_digits(k: &BigUint, w: u32) -> Vec<i64> {
+    // Recoding runs twice per hop ciphertext, so it works on a flat limb
+    // copy with word-level window extraction instead of per-bit `BigUint`
+    // arithmetic (which allocates on every subtraction/shift).
+    let src = k.limbs();
+    let mut limbs = Vec::with_capacity(src.len() + 1);
+    limbs.extend_from_slice(src);
+    // Headroom: a negative digit adds 2^{w+1} back at the current position,
+    // whose carry can run one limb past the original top.
+    limbs.push(0);
     let modulus = 1u64 << (w + 1);
+    let mask = modulus - 1;
     let half = 1u64 << w;
-    let mut k = k.clone();
-    let mut digits = Vec::with_capacity(k.bits() + 1);
-    while !k.is_zero() {
-        if k.bit(0) {
-            // Lowest w+1 bits as an unsigned value.
-            let mut low = 0u64;
-            for b in 0..=w {
-                low |= (k.bit(b as usize) as u64) << b;
-            }
-            let d = if low >= half {
-                // Negative digit: add its magnitude back so the borrow
-                // propagates as a carry.
-                let mag = modulus - low;
-                k = &k + &BigUint::from(mag);
-                -(mag as i64)
-            } else {
-                k = k
-                    .checked_sub(&BigUint::from(low))
-                    .unwrap_or_else(BigUint::zero);
-                low as i64
-            };
-            digits.push(d);
-        } else {
-            digits.push(0);
+    let wu = w as usize;
+    let mut digits = Vec::with_capacity(64 * src.len() + 1);
+    let mut pos = 0usize;
+    let mut top = limbs.len(); // exclusive index of the highest live limb
+    loop {
+        while top > 0 && limbs[top - 1] == 0 {
+            top -= 1;
         }
-        k = k.shr(1);
+        if pos >= 64 * top {
+            break;
+        }
+        let li = pos / 64;
+        let off = pos % 64;
+        if (limbs[li] >> off) & 1 == 0 {
+            digits.push(0);
+            pos += 1;
+            continue;
+        }
+        // Lowest w+1 bits at `pos` as an unsigned value.
+        let mut window = limbs[li] >> off;
+        if off > 0 && li + 1 < limbs.len() {
+            window |= limbs[li + 1] << (64 - off);
+        }
+        let low = window & mask;
+        // Clear bits pos..=pos+w (both digit signs zero them).
+        limbs[li] &= !(mask << off);
+        if off + wu + 1 > 64 && li + 1 < limbs.len() {
+            limbs[li + 1] &= !(mask >> (64 - off));
+        }
+        if low >= half {
+            // Negative digit: add its magnitude back so the borrow
+            // propagates as a carry (2^{w+1} at the current position).
+            digits.push(low as i64 - modulus as i64);
+            let cpos = pos + wu + 1;
+            let mut ci = cpos / 64;
+            let mut add = 1u64 << (cpos % 64);
+            loop {
+                let (v, carried) = limbs[ci].overflowing_add(add);
+                limbs[ci] = v;
+                if !carried {
+                    break;
+                }
+                ci += 1;
+                add = 1;
+            }
+            top = top.max(ci + 1);
+        } else {
+            digits.push(low as i64);
+        }
+        pos += 1;
     }
     digits
 }

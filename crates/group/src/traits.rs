@@ -94,6 +94,27 @@ enum TableImpl {
     Ec(Arc<crate::ec::EcComb>),
 }
 
+/// A hop's `(r, −x·r)` scalar pair with the scalar-only work — the order
+/// reduction and the curve family's wNAF recoding — done ahead of time by
+/// [`Group::prepare_hop_scalars`]. Feeding these to
+/// [`Group::exp_hop_prepared_batch`] makes the online hop a pure
+/// variable-base ladder evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HopScalars {
+    pub(crate) r: Scalar,
+    pub(crate) neg_xr: Scalar,
+    /// wNAF recodings of `(r, −x·r)` on the elliptic-curve family; an
+    /// empty digit vector encodes the zero scalar.
+    pub(crate) digits: Option<(Vec<i64>, Vec<i64>)>,
+}
+
+impl HopScalars {
+    /// The hop randomizer `r` this preparation was built from.
+    pub fn randomizer(&self) -> &Scalar {
+        &self.r
+    }
+}
+
 impl FixedBaseTable {
     /// The base this table exponentiates.
     pub fn base(&self) -> &Element {
@@ -469,6 +490,318 @@ impl Group {
         }
     }
 
+    /// Batch [`Group::op`]: elliptic-curve sums stay in Jacobian form and
+    /// share a single field inversion for the final affine conversion,
+    /// versus one inversion per call when looping over [`Group::op`]. The
+    /// DL family has no per-op inversion to amortize, so there it is just
+    /// the loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element belongs to the other group family.
+    pub fn op_batch(&self, pairs: &[(&Element, &Element)]) -> Vec<Element> {
+        match &self.inner {
+            GroupImpl::Dl(g) => pairs
+                .iter()
+                .map(|(a, b)| match (a, b) {
+                    (Element::Dl(a), Element::Dl(b)) => Element::Dl(g.mul(a, b)),
+                    // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                    _ => panic!(
+                        "{}",
+                        GroupError::FamilyMismatch {
+                            operation: "op_batch"
+                        }
+                    ),
+                })
+                .collect(),
+            GroupImpl::Ec(g) => {
+                let pts: Vec<(&EcPoint, &EcPoint)> = pairs
+                    .iter()
+                    .map(|(a, b)| match (a, b) {
+                        (Element::Ec(a), Element::Ec(b)) => (a, b),
+                        // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                        _ => panic!(
+                            "{}",
+                            GroupError::FamilyMismatch {
+                                operation: "op_batch"
+                            }
+                        ),
+                    })
+                    .collect();
+                g.add_batch(&pts).into_iter().map(Element::Ec).collect()
+            }
+        }
+    }
+
+    /// Running products (inclusive prefix scan): `out[i] = a₀ ∘ … ∘ aᵢ`.
+    /// The elliptic-curve accumulator stays in Jacobian form and all
+    /// prefixes share one field inversion; chaining [`Group::op`] pays one
+    /// inversion per prefix. The DL family has nothing to amortize, so
+    /// there it is just the loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element belongs to the other group family.
+    pub fn op_scan(&self, items: &[&Element]) -> Vec<Element> {
+        match &self.inner {
+            GroupImpl::Dl(g) => {
+                let mut acc = BigUint::one();
+                items
+                    .iter()
+                    .map(|a| match a {
+                        Element::Dl(a) => {
+                            acc = g.mul(&acc, a);
+                            Element::Dl(acc.clone())
+                        }
+                        // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                        _ => panic!(
+                            "{}",
+                            GroupError::FamilyMismatch {
+                                operation: "op_scan"
+                            }
+                        ),
+                    })
+                    .collect()
+            }
+            GroupImpl::Ec(g) => {
+                let pts: Vec<&EcPoint> = items
+                    .iter()
+                    .map(|a| match a {
+                        Element::Ec(a) => a,
+                        // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                        _ => panic!(
+                            "{}",
+                            GroupError::FamilyMismatch {
+                                operation: "op_scan"
+                            }
+                        ),
+                    })
+                    .collect();
+                g.add_scan(&pts).into_iter().map(Element::Ec).collect()
+            }
+        }
+    }
+
+    /// Fused multiply-and-exponentiate by one shared scalar:
+    /// `out[i] = cᵢ · aᵢ^s`. On the elliptic-curve family the multiply is
+    /// one mixed addition folded into the batched ladder *before* the
+    /// shared affine conversion, so the whole composition costs one field
+    /// inversion per batch instead of one per element. This is the shape
+    /// of a gathered partial decryption: `α · β^{−x}` across a ciphertext
+    /// set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or any element belongs to the
+    /// other group family.
+    pub fn exp_same_mul_batch(
+        &self,
+        factors: &[&Element],
+        bases: &[&Element],
+        s: &Scalar,
+    ) -> Vec<Element> {
+        assert_eq!(factors.len(), bases.len(), "one factor per base");
+        match &self.inner {
+            GroupImpl::Dl(g) => {
+                let bs: Vec<&BigUint> = bases
+                    .iter()
+                    .map(|a| match a {
+                        Element::Dl(a) => a,
+                        // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                        _ => panic!(
+                            "{}",
+                            GroupError::FamilyMismatch {
+                                operation: "exp_same_mul_batch"
+                            }
+                        ),
+                    })
+                    .collect();
+                g.pow_same_batch(&bs, &s.0)
+                    .into_iter()
+                    .zip(factors)
+                    .map(|(p, c)| match c {
+                        Element::Dl(c) => Element::Dl(g.mul(c, &p)),
+                        // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                        _ => panic!(
+                            "{}",
+                            GroupError::FamilyMismatch {
+                                operation: "exp_same_mul_batch"
+                            }
+                        ),
+                    })
+                    .collect()
+            }
+            GroupImpl::Ec(g) => {
+                let unwrap = |a: &&Element| match a {
+                    Element::Ec(a) => {
+                        // The closure can't return a reference into its
+                        // argument, so clone; points are a few words.
+                        a.clone()
+                    }
+                    // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                    _ => panic!(
+                        "{}",
+                        GroupError::FamilyMismatch {
+                            operation: "exp_same_mul_batch"
+                        }
+                    ),
+                };
+                let cs: Vec<EcPoint> = factors.iter().map(unwrap).collect();
+                let ps: Vec<EcPoint> = bases.iter().map(unwrap).collect();
+                let cs_refs: Vec<&EcPoint> = cs.iter().collect();
+                let ps_refs: Vec<&EcPoint> = ps.iter().collect();
+                g.scalar_mul_same_mul_batch(&cs_refs, &ps_refs, &s.0)
+                    .into_iter()
+                    .map(Element::Ec)
+                    .collect()
+            }
+        }
+    }
+
+    /// Fused hop batch: for each `(a, s, b, t)` returns the pair
+    /// `(a^s·b^t, b^s)` — a re-randomized partial decryption and its new
+    /// `β` in one call. The elliptic-curve kernel reuses the recoding of
+    /// `s` and the precomputed table of `b` across both halves and shares
+    /// the affine conversions batch-wide; composing [`Group::exp_dual_batch`]
+    /// with [`Group::exp_batch`] pays for both again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element belongs to the other group family.
+    pub fn exp_hop_batch(
+        &self,
+        items: &[(&Element, &Scalar, &Element, &Scalar)],
+    ) -> Vec<(Element, Element)> {
+        match &self.inner {
+            GroupImpl::Dl(g) => items
+                .iter()
+                .map(|(a, s, b, t)| match (a, b) {
+                    (Element::Dl(a), Element::Dl(b)) => (
+                        Element::Dl(g.pow_dual(a, &s.0, b, &t.0)),
+                        Element::Dl(g.pow(b, &s.0)),
+                    ),
+                    // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                    _ => panic!(
+                        "{}",
+                        GroupError::FamilyMismatch {
+                            operation: "exp_hop_batch"
+                        }
+                    ),
+                })
+                .collect(),
+            GroupImpl::Ec(g) => {
+                let pts: Vec<(&EcPoint, &BigUint, &EcPoint, &BigUint)> = items
+                    .iter()
+                    .map(|(a, s, b, t)| match (a, b) {
+                        (Element::Ec(a), Element::Ec(b)) => (a, &s.0, b, &t.0),
+                        _ => {
+                            // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                            panic!(
+                                "{}",
+                                GroupError::FamilyMismatch {
+                                    operation: "exp_hop_batch"
+                                }
+                            )
+                        }
+                    })
+                    .collect();
+                g.scalar_mul_hop_batch(&pts)
+                    .into_iter()
+                    .map(|(x, y)| (Element::Ec(x), Element::Ec(y)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Prepares a hop's scalar pair ahead of time: for each randomizer `r`
+    /// the product `−x·r` with the hop owner's secret share, plus the
+    /// curve-side order reduction and wNAF recoding of both scalars. All
+    /// of this depends only on the scalars — never on the ciphertexts the
+    /// hop will eventually touch — so a precompute phase can run it before
+    /// any input exists and [`Group::exp_hop_prepared_batch`] can skip it
+    /// online.
+    pub fn prepare_hop_scalars(&self, secret: &Scalar, rs: &[Scalar]) -> Vec<HopScalars> {
+        rs.iter()
+            .map(|r| {
+                let neg_xr = self.scalar_neg(&self.scalar_mul(secret, r));
+                let digits = match &self.inner {
+                    GroupImpl::Dl(_) => None,
+                    GroupImpl::Ec(g) => {
+                        let recode = |k: &BigUint| {
+                            let k = k % g.order();
+                            if k.is_zero() {
+                                Vec::new()
+                            } else {
+                                crate::msm::wnaf_digits(&k, 4)
+                            }
+                        };
+                        Some((recode(&r.0), recode(&neg_xr.0)))
+                    }
+                };
+                HopScalars {
+                    r: r.clone(),
+                    neg_xr,
+                    digits,
+                }
+            })
+            .collect()
+    }
+
+    /// [`Group::exp_hop_batch`] over scalars prepared by
+    /// [`Group::prepare_hop_scalars`]: for each `(a, prep, b)` returns
+    /// `(a^r·b^{−xr}, b^r)`, reusing the stored recodings instead of
+    /// reducing and recoding every scalar inside the call. Results are
+    /// element-for-element identical to the unprepared batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element belongs to the other group family, or if the
+    /// preparation was done by a group of the other family.
+    pub fn exp_hop_prepared_batch(
+        &self,
+        items: &[(&Element, &HopScalars, &Element)],
+    ) -> Vec<(Element, Element)> {
+        match &self.inner {
+            GroupImpl::Dl(g) => items
+                .iter()
+                .map(|(a, hs, b)| match (a, b) {
+                    (Element::Dl(a), Element::Dl(b)) => (
+                        Element::Dl(g.pow_dual(a, &hs.r.0, b, &hs.neg_xr.0)),
+                        Element::Dl(g.pow(b, &hs.r.0)),
+                    ),
+                    // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                    _ => panic!(
+                        "{}",
+                        GroupError::FamilyMismatch {
+                            operation: "exp_hop_prepared_batch"
+                        }
+                    ),
+                })
+                .collect(),
+            GroupImpl::Ec(g) => {
+                let pts: Vec<(&EcPoint, &[i64], &EcPoint, &[i64])> = items
+                    .iter()
+                    .map(|(a, hs, b)| match (a, hs.digits.as_ref(), b) {
+                        (Element::Ec(a), Some((d1, d2)), Element::Ec(b)) => {
+                            (a, d1.as_slice(), b, d2.as_slice())
+                        }
+                        // tidy:allow(panic) — documented family-mismatch contract; mixing families is a caller bug, not input
+                        _ => panic!(
+                            "{}",
+                            GroupError::FamilyMismatch {
+                                operation: "exp_hop_prepared_batch"
+                            }
+                        ),
+                    })
+                    .collect();
+                g.scalar_mul_hop_digits_batch(&pts)
+                    .into_iter()
+                    .map(|(x, y)| (Element::Ec(x), Element::Ec(y)))
+                    .collect()
+            }
+        }
+    }
+
     /// Builds (or fetches from the per-group cache) a fixed-base comb table
     /// for `base`, enabling [`Group::exp_prepared`].
     ///
@@ -794,5 +1127,54 @@ mod tests {
         let gen_batch = g.exp_gen_batch(&[s.clone(), t]);
         assert_eq!(gen_batch[0], g.exp_gen(&s));
         assert!(g.is_identity(&gen_batch[1]));
+    }
+
+    #[test]
+    fn fused_batch_apis_match_compositions() {
+        for kind in [GroupKind::Ecc160, GroupKind::Dl1024] {
+            let g = kind.group();
+            let mut rng = StdRng::seed_from_u64(45);
+            let a = g.exp_gen(&g.random_scalar(&mut rng));
+            let b = g.exp_gen(&g.random_scalar(&mut rng));
+            let id = g.identity();
+            let s = g.random_scalar(&mut rng);
+            let t = g.random_scalar(&mut rng);
+            let zero = g.scalar_from_u64(0);
+
+            let ops = g.op_batch(&[(&a, &b), (&a, &id), (&id, &id)]);
+            assert_eq!(ops[0], g.op(&a, &b));
+            assert_eq!(ops[1], a);
+            assert!(g.is_identity(&ops[2]));
+
+            let fused = g.exp_same_mul_batch(&[&a, &id, &b], &[&b, &b, &id], &s);
+            assert_eq!(fused[0], g.op(&a, &g.exp(&b, &s)));
+            assert_eq!(fused[1], g.exp(&b, &s));
+            assert_eq!(fused[2], b);
+            let by_zero = g.exp_same_mul_batch(&[&a], &[&b], &zero);
+            assert_eq!(by_zero[0], a);
+
+            // Every degenerate hop shape: live, zero scalars, identity bases.
+            let hops = g.exp_hop_batch(&[
+                (&a, &s, &b, &t),
+                (&a, &zero, &b, &t),
+                (&a, &s, &b, &zero),
+                (&a, &s, &id, &t),
+                (&id, &s, &b, &t),
+            ]);
+            for (item, out) in [
+                (&a, &s, &b, &t),
+                (&a, &zero, &b, &t),
+                (&a, &s, &b, &zero),
+                (&a, &s, &id, &t),
+                (&id, &s, &b, &t),
+            ]
+            .iter()
+            .zip(&hops)
+            {
+                let (x, s, y, t) = *item;
+                assert_eq!(out.0, g.op(&g.exp(x, s), &g.exp(y, t)), "{kind:?}");
+                assert_eq!(out.1, g.exp(y, s), "{kind:?}");
+            }
+        }
     }
 }

@@ -131,10 +131,15 @@ impl PrecomputePool {
     /// Opens a lane for `params` and warms the group's fixed-base comb
     /// tables (generator exponentiations are behind a process-wide cache,
     /// so the first session no longer pays the build).
+    ///
+    /// Warming is deduplicated by group kind: registering many lanes over
+    /// the same group builds the generator tables once, instead of
+    /// re-walking the (cheap but not free) cache probe-and-build path on
+    /// every registration.
     pub(crate) fn register(&self, params: FrameworkParams) -> GroupId {
-        let group = params.group().group();
-        let _ = group.prepare_base(group.generator());
+        let kind = params.group();
         let mut lanes = self.shared.lanes.lock().expect("lanes mutex");
+        let known_kind = lanes.iter().any(|lane| lane.params.group() == kind);
         let id = GroupId(lanes.len());
         lanes.push(Lane {
             params,
@@ -144,6 +149,12 @@ impl PrecomputePool {
             ready: VecDeque::new(),
         });
         drop(lanes);
+        if !known_kind {
+            // Outside the lanes lock: table construction is the expensive
+            // part and must not serialize concurrent registrations.
+            let group = kind.group();
+            let _ = group.prepare_base(group.generator());
+        }
         self.shared.wake.notify_all();
         id
     }
@@ -236,12 +247,12 @@ fn reserve(shared: &PoolShared, depth: usize) -> Option<(GroupId, u64, StockFing
             .params
             .clone()
             .with_seed(lane.params.seed().wrapping_add(seq));
-        let fp = StockFingerprint {
-            seed: params.seed(),
-            participants: params.participants(),
-            bits: params.beta_bits(),
-            group: params.group(),
-        };
+        let fp = StockFingerprint::new(
+            params.seed(),
+            params.participants(),
+            params.beta_bits(),
+            params.group(),
+        );
         return Some((GroupId(idx), seq, fp));
     }
     None

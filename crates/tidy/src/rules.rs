@@ -40,11 +40,13 @@ const SECRET_TYPES: &[&str] = &[
     "SchnorrProver",
     "SenderState",
     "Secret",
-    // Offline-precomputed material: a pooled Schnorr nonce or encryption
-    // randomizer is exactly as sensitive as the live value it stands in
-    // for (recovering r from a transcript recovers the witness/plaintext).
+    // Offline-precomputed material: a pooled Schnorr nonce, mask pair or
+    // key stock is exactly as sensitive as the live value it stands in for
+    // (recovering r from a transcript recovers the witness/plaintext; a
+    // key stock holds every party's secret exponent outright).
     "SchnorrNonce",
-    "EncRandomizer",
+    "MaskPair",
+    "KeyStock",
 ];
 
 /// Identifier names that, by workspace convention, bind secret values:

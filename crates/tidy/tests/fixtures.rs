@@ -128,9 +128,12 @@ fn derived_debug_on_secret_type_fires() {
 
 #[test]
 fn derived_debug_on_pooled_secret_types_fires() {
-    // Precomputed nonces/randomizers are as sensitive as live ones.
+    // Precomputed nonces/mask pairs/key stocks are as sensitive as live ones.
     let rules = rules_for(PROTO, fixture!("secret_pool_derive_bad.rs"));
-    assert_eq!(rules, vec!["secret-hygiene", "secret-hygiene"]);
+    assert_eq!(
+        rules,
+        vec!["secret-hygiene", "secret-hygiene", "secret-hygiene"]
+    );
 }
 
 #[test]

@@ -6,6 +6,11 @@ pub struct SchnorrNonce {
 }
 
 #[derive(Debug)]
-pub struct EncRandomizer {
+pub struct MaskPair {
     pub r: [u64; 4],
+}
+
+#[derive(Debug)]
+pub struct KeyStock {
+    pub secrets: Vec<[u64; 4]>,
 }

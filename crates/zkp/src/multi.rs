@@ -72,8 +72,31 @@ impl MultiVerifierProof {
         rng: &mut R,
     ) -> MultiVerifierTranscript {
         assert!(verifiers > 0, "need at least one verifier");
-        let (r, commitment) = pre.into_parts();
         let challenges: Vec<Scalar> = (0..verifiers).map(|_| group.random_scalar(rng)).collect();
+        Self::assemble(group, witness, pre, challenges)
+    }
+
+    /// Assembles a transcript from fully precomputed material: the nonce
+    /// *and* the honest-verifier challenge shares were drawn offline, so no
+    /// randomness source is needed at all — only the response multiply-add
+    /// runs here. This is the fully-warm path: an offline key stock mints
+    /// the entire proof before the session starts.
+    ///
+    /// For a nonce and challenges drawn from the same stream positions
+    /// [`MultiVerifierProof::run`] would have used, the transcript is
+    /// bit-identical to the inline run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `challenges` is empty.
+    pub fn assemble(
+        group: &Group,
+        witness: &Scalar,
+        pre: SchnorrNonce,
+        challenges: Vec<Scalar>,
+    ) -> MultiVerifierTranscript {
+        assert!(!challenges.is_empty(), "need at least one verifier");
+        let (r, commitment) = pre.into_parts();
         let total = Self::challenge_sum(group, &challenges);
         let response = group.scalar_add(r.expose(), &group.scalar_mul(witness, &total));
         MultiVerifierTranscript {
@@ -147,6 +170,33 @@ mod tests {
             let mut warm_rng = StdRng::seed_from_u64(32);
             let pre = SchnorrNonce::draw(&group, &mut warm_rng);
             let warm = MultiVerifierProof::run_with_precomputed(&group, &x, pre, n, &mut warm_rng);
+
+            assert_eq!(inline.commitment, warm.commitment, "n = {n}");
+            assert_eq!(inline.challenges, warm.challenges, "n = {n}");
+            assert_eq!(inline.response, warm.response, "n = {n}");
+            assert!(warm.verify(&group, &y), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn assembled_transcript_matches_inline_run() {
+        // Nonce *and* challenges drawn offline from the same stream → the
+        // assembled proof is bit-identical to the inline protocol run.
+        let group = GroupKind::Ecc160.group();
+        let x = {
+            let mut rng = StdRng::seed_from_u64(41);
+            group.random_scalar(&mut rng)
+        };
+        let y = group.exp_gen(&x);
+        for n in [1usize, 3, 7] {
+            let mut inline_rng = StdRng::seed_from_u64(42);
+            let inline = MultiVerifierProof::run(&group, &x, n, &mut inline_rng);
+
+            let mut warm_rng = StdRng::seed_from_u64(42);
+            let pre = SchnorrNonce::draw(&group, &mut warm_rng);
+            let challenges: Vec<Scalar> =
+                (0..n).map(|_| group.random_scalar(&mut warm_rng)).collect();
+            let warm = MultiVerifierProof::assemble(&group, &x, pre, challenges);
 
             assert_eq!(inline.commitment, warm.commitment, "n = {n}");
             assert_eq!(inline.challenges, warm.challenges, "n = {n}");
