@@ -87,6 +87,7 @@ pub fn decrypt(
     if expect != ct.tag {
         return Err(HybridError::BadTag);
     }
+    // tidy:allow(secret-escape) — decrypt's contract: the recovered plaintext returns to the caller; the pad and session key never leave this frame
     Ok(ct.body.iter().zip(&stream).map(|(c, k)| c ^ k).collect())
 }
 

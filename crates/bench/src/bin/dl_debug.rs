@@ -1,5 +1,8 @@
 //! Step-by-step DL-1024 diagnostic (hunting a hang in the framework path).
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
 use ppgr_bigint::BigUint;
 use ppgr_core::{unlinkable_sort, PartyTimer};
 use ppgr_elgamal::{encrypt_bits, ExpElGamal, JointKey, KeyPair};

@@ -24,6 +24,9 @@
 //! cargo run --release -p ppgr-bench --bin latency -- --smoke   # CI: small + self-check
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
 use ppgr_core::{
     FrameworkParams, GroupRanking, OfflineStock, Outcome, Questionnaire, SessionMachine,
 };

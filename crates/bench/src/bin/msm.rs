@@ -18,6 +18,9 @@
 //! cargo run --release -p ppgr-bench --bin msm -- --smoke   # CI: small + self-check
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
 use ppgr_group::{Element, Group, GroupKind, Scalar};
 use ppgr_zkp::{verify_batch, SchnorrProver, SchnorrTranscript};
 use rand::rngs::StdRng;

@@ -1,6 +1,9 @@
 //! Quick per-exponentiation timing probe for all six groups
 //! (the minimal version of what `reproduce`'s calibration does).
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
 use ppgr_group::{Group, GroupKind};
 use rand::SeedableRng;
 use std::time::Instant;

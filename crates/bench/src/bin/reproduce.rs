@@ -13,6 +13,9 @@
 //! would take hours on one core). Fig. 3(b) runs the discrete-event
 //! network simulator on exact synthetic wire traces.
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
 use ppgr_bench::calibrate::Calibration;
 use ppgr_bench::model::{self, framework_participant_time, ss_participant_time, PaperDefaults};
 use ppgr_bench::table::{fmt_bytes, fmt_duration, Table};

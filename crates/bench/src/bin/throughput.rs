@@ -12,6 +12,9 @@
 //! cargo run --release -p ppgr-bench --bin throughput -- --smoke   # CI: small + self-check
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
 use ppgr_core::{FrameworkParams, GroupRanking, Outcome, Questionnaire};
 use ppgr_group::GroupKind;
 use ppgr_runtime::Runtime;

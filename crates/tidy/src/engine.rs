@@ -18,6 +18,11 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-oriented explanation.
     pub message: String,
+    /// Stable 16-hex-char fingerprint (FNV-1a over rule, path, message,
+    /// and the per-file occurrence index of identical findings — line
+    /// numbers deliberately excluded so unrelated edits don't churn it).
+    /// Filled in by the engine after a file's rules run.
+    pub fingerprint: String,
 }
 
 impl fmt::Display for Diagnostic {
@@ -232,6 +237,21 @@ pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     rules::check_panic(&ctx, &mut raw);
     rules::check_secret_hygiene(&ctx, &mut raw);
 
+    // Dataflow rules run over the parsed AST (parsed once per file);
+    // test-only functions are exempt, same as the token rules.
+    for f in &crate::parser::parse_file(&toks) {
+        if test_mask.get(f.tok_index).copied().unwrap_or(false) {
+            continue;
+        }
+        crate::flow::check_fn(rel_path, f, &mut raw);
+    }
+
+    // Fingerprints are assigned over the *unwaived* finding list in line
+    // order, so adding an inline waiver never shifts a neighbour's
+    // occurrence counter.
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    assign_fingerprints(&mut raw);
+
     // Apply waivers.
     let mut out = Vec::new();
     for d in raw {
@@ -254,6 +274,7 @@ pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
                 message: "waiver without a reason: document why the rule is safe to \
                           silence here"
                     .to_string(),
+                fingerprint: String::new(),
             });
         } else if !w.used {
             out.push(Diagnostic {
@@ -264,11 +285,42 @@ pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
                     "unused waiver for ({}): nothing fires on the covered line — remove it",
                     w.rules.join(", ")
                 ),
+                fingerprint: String::new(),
             });
         }
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    assign_fingerprints(&mut out); // fills the waiver-hygiene entries
     out
+}
+
+/// 64-bit FNV-1a over `bytes`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fills the `fingerprint` of every diagnostic that doesn't have one yet:
+/// FNV-1a over `(rule, path, message, k)` where `k` is the occurrence
+/// index of identical triples within this list. Line numbers are
+/// deliberately excluded so a fingerprint — and the waiver pinned to it —
+/// survives unrelated edits above the finding.
+fn assign_fingerprints(diags: &mut [Diagnostic]) {
+    let mut seen: std::collections::HashMap<(String, &'static str, String), u32> =
+        std::collections::HashMap::new();
+    for d in diags.iter_mut() {
+        let key = (d.path.clone(), d.rule, d.message.clone());
+        let k = seen.entry(key).or_insert(0);
+        if d.fingerprint.is_empty() {
+            let input = format!("{}\u{1}{}\u{1}{}\u{1}{}", d.rule, d.path, d.message, *k);
+            d.fingerprint = format!("{:016x}", fnv1a64(input.as_bytes()));
+        }
+        *k += 1;
+    }
 }
 
 /// Directories never scanned: vendored code, build output, and test-only
@@ -325,6 +377,10 @@ pub fn analyze_workspace(root: &Path) -> Vec<Diagnostic> {
             .replace('\\', "/");
         out.extend(analyze_source(&rel, &source));
     }
+    // Fingerprint-pinned waivers from `tidy.waivers` apply workspace-wide
+    // (inline waivers were already applied per-file above).
+    let mut out = crate::waivers::apply_file_waivers(root, out);
+    assign_fingerprints(&mut out); // fills the waiver-file hygiene entries
     out.sort_by_key(|d| (d.path.clone(), d.line));
     out
 }

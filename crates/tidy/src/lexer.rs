@@ -14,8 +14,10 @@
 pub enum TokKind {
     /// An identifier or keyword.
     Ident,
-    /// Punctuation; multi-character only for `==` and `!=` (the two
-    /// operators the rules care about).
+    /// Punctuation; multi-character for the operators the parser and the
+    /// rules care about: `==`, `!=`, `&&`, `||`, `<=`, `>=`, `->`, `=>`,
+    /// `::`. Everything else (including `<<`/`>>`, whose merging would
+    /// desynchronize generic-argument scanning) stays single-character.
     Punct,
     /// A string or byte-string literal; `text` holds the literal contents
     /// (escapes unprocessed, quotes and raw-string hashes stripped).
@@ -189,16 +191,34 @@ pub fn lex(source: &str) -> Vec<Tok> {
             });
             continue;
         }
-        // `==` and `!=` are the only multi-character operators the rules
-        // inspect; everything else is single-character punctuation.
-        if (c == '=' || c == '!') && i + 1 < n && chars[i + 1] == '=' {
-            toks.push(Tok {
-                line,
-                kind: TokKind::Punct,
-                text: if c == '=' { "==".into() } else { "!=".into() },
-            });
-            i += 2;
-            continue;
+        // Multi-character operators the parser and the rules inspect.
+        // Deliberately absent: `<<` and `>>` (merging them would break
+        // balanced scanning of nested generics like `Vec<Vec<u8>>`) and
+        // the compound assignments (`+=`, `<<=`, …), which the parser
+        // reassembles from adjacent tokens. Anything not listed degrades
+        // to single-character punctuation.
+        if i + 1 < n {
+            let pair = match (c, chars[i + 1]) {
+                ('=', '=') => Some("=="),
+                ('!', '=') => Some("!="),
+                ('&', '&') => Some("&&"),
+                ('|', '|') => Some("||"),
+                ('<', '=') => Some("<="),
+                ('>', '=') => Some(">="),
+                ('-', '>') => Some("->"),
+                ('=', '>') => Some("=>"),
+                (':', ':') => Some("::"),
+                _ => None,
+            };
+            if let Some(p) = pair {
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct,
+                    text: p.to_string(),
+                });
+                i += 2;
+                continue;
+            }
         }
         toks.push(Tok {
             line,
@@ -391,6 +411,58 @@ mod tests {
             .map(|(_, t)| t.as_str())
             .collect();
         assert_eq!(puncts, vec!["==", "!=", "="]);
+    }
+
+    #[test]
+    fn multi_char_operators_merge() {
+        let toks = texts("a && b || c <= d >= e -> f => g :: h");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["&&", "||", "<=", ">=", "->", "=>", "::"]);
+    }
+
+    #[test]
+    fn shifts_and_compound_assignments_stay_single_chars() {
+        // `>>` must not merge (it closes nested generics); `+=`-style
+        // compound assignments are reassembled by the parser instead.
+        let toks = texts("Vec<Vec<u8>> x += y <<= z");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        // `<<=` lexes as `<` + `<=` — the parser reassembles shift-assign
+        // from that adjacency.
+        assert_eq!(puncts, vec!["<", "<", ">", ">", "+", "=", "<", "<="]);
+    }
+
+    #[test]
+    fn adjacent_singles_degrade_without_merging_past_pairs() {
+        // `&&&` = `&&` + `&`; `::::` = `::` + `::`; `<=>` = `<=` + `>`.
+        assert_eq!(
+            texts("&&&")
+                .iter()
+                .map(|(_, t)| t.as_str())
+                .collect::<Vec<_>>(),
+            vec!["&&", "&"]
+        );
+        assert_eq!(
+            texts("::::")
+                .iter()
+                .map(|(_, t)| t.as_str())
+                .collect::<Vec<_>>(),
+            vec!["::", "::"]
+        );
+        assert_eq!(
+            texts("<=>")
+                .iter()
+                .map(|(_, t)| t.as_str())
+                .collect::<Vec<_>>(),
+            vec!["<=", ">"]
+        );
     }
 
     #[test]

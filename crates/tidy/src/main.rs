@@ -1,8 +1,18 @@
 //! The `ppgr-tidy` binary: analyze the workspace, print `file:line`
-//! diagnostics, exit non-zero if any rule fires.
+//! diagnostics (with their stable fingerprints, ready to pin in
+//! `tidy.waivers`), optionally write JSON / SARIF reports, exit non-zero
+//! if any rule fires.
 //!
-//! Usage: `ppgr-tidy [workspace-root]` (default: walk up from the current
-//! directory to the first `Cargo.toml` containing `[workspace]`).
+//! Usage:
+//!
+//! ```text
+//! ppgr-tidy [--json PATH] [--sarif PATH] [--summary-only] [workspace-root]
+//! ```
+//!
+//! Default root: walk up from the current directory to the first
+//! `Cargo.toml` containing `[workspace]`. `--summary-only` replaces the
+//! per-finding dump with the diff-friendly per-rule summary (CI uses it;
+//! the full detail still lands in the JSON/SARIF artifacts).
 
 #![forbid(unsafe_code)]
 #![deny(unused_must_use)]
@@ -25,30 +35,95 @@ fn find_workspace_root() -> Option<PathBuf> {
     }
 }
 
-fn main() -> ExitCode {
-    let root = match std::env::args_os().nth(1) {
-        Some(p) => PathBuf::from(p),
-        None => match find_workspace_root() {
-            Some(r) => r,
-            None => {
-                eprintln!("ppgr-tidy: no workspace root found (pass one explicitly)");
-                return ExitCode::from(2);
+struct Opts {
+    json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
+    summary_only: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        json: None,
+        sarif: None,
+        summary_only: false,
+        root: None,
+    };
+    let mut args = std::env::args_os().skip(1);
+    while let Some(a) = args.next() {
+        match a.to_str() {
+            Some("--json") => {
+                opts.json = Some(PathBuf::from(
+                    args.next().ok_or("--json needs a path argument")?,
+                ));
             }
-        },
+            Some("--sarif") => {
+                opts.sarif = Some(PathBuf::from(
+                    args.next().ok_or("--sarif needs a path argument")?,
+                ));
+            }
+            Some("--summary-only") => opts.summary_only = true,
+            Some(s) if s.starts_with("--") => {
+                return Err(format!("unknown flag {s}"));
+            }
+            _ => {
+                if opts.root.is_some() {
+                    return Err("more than one workspace root given".to_string());
+                }
+                opts.root = Some(PathBuf::from(a));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ppgr-tidy: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("ppgr-tidy: no workspace root found (pass one explicitly)");
+            return ExitCode::from(2);
+        }
     };
     if !root.is_dir() {
         eprintln!("ppgr-tidy: {} is not a directory", root.display());
         return ExitCode::from(2);
     }
     let diags = ppgr_tidy::analyze_workspace(&root);
-    for d in &diags {
-        println!("{d}");
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, ppgr_tidy::report::to_json(&diags)) {
+            eprintln!("ppgr-tidy: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = std::fs::write(path, ppgr_tidy::report::to_sarif(&diags)) {
+            eprintln!("ppgr-tidy: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.summary_only {
+        print!("{}", ppgr_tidy::report::summary(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}  [fp:{}]", d.fingerprint);
+        }
+        if diags.is_empty() {
+            println!("ppgr-tidy: workspace clean");
+        } else {
+            println!("ppgr-tidy: {} diagnostic(s)", diags.len());
+        }
     }
     if diags.is_empty() {
-        println!("ppgr-tidy: workspace clean");
         ExitCode::SUCCESS
     } else {
-        println!("ppgr-tidy: {} diagnostic(s)", diags.len());
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,1876 @@
+//! A lightweight structural parser over the [`lexer`](crate::lexer)
+//! token stream — just enough shape for dataflow analysis: function
+//! items, blocks, `let`/assignment, the control-flow constructs
+//! (`if`/`match`/`while`/`for`/`loop`), `?`, short-circuit operators,
+//! calls, method calls, field access, and indexing.
+//!
+//! It is **not** a Rust parser. Generic arguments, lifetimes, trait
+//! bounds, and attributes are skipped; types are kept only as flattened
+//! text (enough to ask "does this mention `Secret`"); patterns are
+//! reduced to the identifiers they bind. Anything the parser does not
+//! understand degrades to [`Expr::Unknown`] and the scan continues.
+//!
+//! Like the lexer, the parser is total: it never panics, whatever token
+//! stream it is fed (pinned by `tests/parser_total.rs`). Totality is
+//! enforced by two mechanisms: every parse function consumes at least
+//! one token before recursing or returning, and recursion carries an
+//! explicit depth budget — when it runs out, the parser consumes a
+//! single token and yields [`Expr::Unknown`] instead of recursing.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Recursion budget for nested expressions. Beyond this depth the parser
+/// degrades to [`Expr::Unknown`]; real workspace code nests far shallower,
+/// and proptest soup (`"((((("…`) must not overflow the stack.
+const MAX_DEPTH: u32 = 64;
+
+/// One `fn` item found anywhere in the file (top level, `impl` blocks,
+/// or nested inside another function — each gets its own entry).
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Index of the `fn` token in the lexed stream (for test-mask lookup).
+    pub tok_index: usize,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Flattened return-type text (tokens joined with spaces), if any.
+    pub ret: Option<String>,
+    /// Function body.
+    pub body: Block,
+}
+
+/// One parameter: the names its pattern binds plus flattened type text.
+#[derive(Debug)]
+pub struct Param {
+    /// Identifiers bound by the parameter pattern (usually one).
+    pub names: Vec<String>,
+    /// Flattened type text (`"& mut Secret < Scalar >"`); `"Self"` for
+    /// `self` receivers.
+    pub ty: String,
+}
+
+/// A `{ … }` block: a statement list (the tail expression, if any, is the
+/// final [`Stmt::Expr`] with `semi == false`).
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat>(: <ty>)? (= <init>)? (else { … })?;`
+    Let {
+        /// Identifiers the pattern binds.
+        names: Vec<String>,
+        /// Flattened type annotation, if present.
+        ty: Option<String>,
+        /// Initializer, if present.
+        init: Option<Expr>,
+        /// `let … else { … }` diverging block, if present.
+        else_block: Option<Block>,
+        /// 1-based line of the `let`.
+        line: u32,
+    },
+    /// An expression statement; `semi` records whether it was terminated
+    /// by `;` (the block tail is the last statement with `semi == false`).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Whether a `;` followed.
+        semi: bool,
+    },
+}
+
+/// An expression, reduced to what taint analysis needs.
+#[derive(Debug)]
+pub enum Expr {
+    /// A plain identifier (including `self`).
+    Ident(String, u32),
+    /// A `::`-joined path (`"a::b::c"`, turbofish stripped).
+    Path(String, u32),
+    /// Any literal (number, string, char, lifetime).
+    Lit(u32),
+    /// `callee(args…)`
+    Call {
+        /// Callee expression (usually a path).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `recv.name(args…)`
+    Method {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `base.name` (also numeric tuple fields, name = `"0"`).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `base[index]`
+    Index {
+        /// Indexed expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// Prefix `&`/`&mut`/`*`/`!`/`-`.
+    Unary {
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `lhs <op> rhs` for every binary operator (incl. `&&`/`||`).
+    Binary {
+        /// Operator text.
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `target = value` and compound assignments (`+=`, `<<=`, …).
+    Assign {
+        /// Assignment target.
+        target: Box<Expr>,
+        /// Assigned value.
+        value: Box<Expr>,
+        /// True for compound (`op=`) forms, which read the target too.
+        compound: bool,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `if cond { … } (else …)?` — `if let` records the bound names.
+    If {
+        /// Condition (for `if let`, the scrutinee).
+        cond: Box<Expr>,
+        /// Names bound by an `if let` pattern (empty otherwise).
+        let_bound: Vec<String>,
+        /// Then-block.
+        then: Block,
+        /// Else branch: a block or a chained `if`.
+        els: Option<Box<Expr>>,
+        /// 1-based line of the `if`.
+        line: u32,
+    },
+    /// `match scrutinee { arms… }`
+    Match {
+        /// Scrutinee.
+        scrutinee: Box<Expr>,
+        /// Arms in order.
+        arms: Vec<Arm>,
+        /// 1-based line of the `match`.
+        line: u32,
+    },
+    /// `while cond { … }` — `while let` records the bound names.
+    While {
+        /// Condition (for `while let`, the scrutinee).
+        cond: Box<Expr>,
+        /// Names bound by a `while let` pattern (empty otherwise).
+        let_bound: Vec<String>,
+        /// Loop body.
+        body: Block,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `for pat in iter { … }`
+    For {
+        /// Names bound by the loop pattern.
+        bound: Vec<String>,
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Loop body.
+        body: Block,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `loop { … }`
+    Loop {
+        /// Loop body.
+        body: Block,
+    },
+    /// A nested `{ … }` block in expression position.
+    BlockExpr(Block),
+    /// `return (value)?`
+    Return {
+        /// Returned value, if any.
+        value: Option<Box<Expr>>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `break (value)?` / `continue` (value only for `break`).
+    Break {
+        /// Break value, if any.
+        value: Option<Box<Expr>>,
+    },
+    /// `expr?`
+    Try {
+        /// Inner expression.
+        expr: Box<Expr>,
+    },
+    /// `expr as Type` (type text dropped).
+    Cast {
+        /// Inner expression.
+        expr: Box<Expr>,
+    },
+    /// `|params| body` / `move |params| body`
+    Closure {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Closure body.
+        body: Box<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// Tuple or array literal (`(a, b)`, `[a, b]`, `[x; n]`).
+    Tuple {
+        /// Element expressions.
+        items: Vec<Expr>,
+    },
+    /// `Path { field: expr, … }`
+    StructLit {
+        /// Struct path text.
+        path: String,
+        /// `(field-name, value)` pairs; shorthand fields get an
+        /// [`Expr::Ident`] of the same name.
+        fields: Vec<(String, Expr)>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `lo .. hi` / `lo ..= hi` (either side optional).
+    Range {
+        /// Lower bound.
+        lo: Option<Box<Expr>>,
+        /// Upper bound.
+        hi: Option<Box<Expr>>,
+    },
+    /// `name!(…)` — contents are not parsed; the identifiers inside are
+    /// collected for taint inspection.
+    Macro {
+        /// Macro name (last path segment).
+        name: String,
+        /// Identifier tokens appearing inside the delimiters.
+        idents: Vec<(String, u32)>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// Anything the parser could not shape; the token is consumed and
+    /// analysis continues.
+    Unknown(u32),
+}
+
+/// One `match` arm.
+#[derive(Debug)]
+pub struct Arm {
+    /// Identifiers the arm pattern binds.
+    pub bound: Vec<String>,
+    /// Guard expression (`pat if guard =>`), if present.
+    pub guard: Option<Expr>,
+    /// Arm body.
+    pub body: Expr,
+    /// 1-based line of the pattern.
+    pub line: u32,
+}
+
+/// Keywords that begin an item the statement parser skips wholesale.
+const ITEM_KEYWORDS: &[&str] = &[
+    "struct",
+    "enum",
+    "union",
+    "impl",
+    "trait",
+    "mod",
+    "use",
+    "static",
+    "const",
+    "type",
+    "extern",
+    "macro_rules",
+];
+
+/// Words never collected as pattern bindings.
+const NON_BINDING: &[&str] = &[
+    "mut", "ref", "box", "self", "Self", "true", "false", "_", "if", "in",
+];
+
+/// Names captured inline by a format string: for each `{…}` hole, the
+/// leading identifier (terminated by `}`, `:`, or `.`) if there is one.
+/// `{{` escapes and positional/numeric holes yield nothing. Treating
+/// every string inside a macro as a format string over-collects, but a
+/// non-format string contributes names that are almost never bound — and
+/// over-collection only makes the taint analysis more conservative.
+fn inline_format_captures(lit: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = lit.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] != '{' {
+            i += 1;
+            continue;
+        }
+        if chars.get(i + 1) == Some(&'{') {
+            i += 2; // escaped `{{`
+            continue;
+        }
+        i += 1;
+        let start = i;
+        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+        let name: String = chars[start..i].iter().collect();
+        let terminated = matches!(chars.get(i), Some('}') | Some(':') | Some('.'));
+        let is_ident = name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_');
+        if terminated && is_ident {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// Parses every `fn` item in the token stream, including functions nested
+/// inside other functions (each gets its own [`FnItem`]).
+pub fn parse_file(toks: &[Tok]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            if let Some((item, body_open)) = parse_fn(toks, i) {
+                // Resume just *inside* the body so nested `fn`s are found
+                // and parsed as their own items too.
+                i = body_open + 1;
+                fns.push(item);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Parses the `fn` starting at `start` (which must hold the `fn` token).
+/// Returns the item plus the index of its body-opening `{`, or `None` for
+/// bodyless declarations (trait methods) and unparseable signatures.
+fn parse_fn(toks: &[Tok], start: usize) -> Option<(FnItem, usize)> {
+    let name_tok = toks.get(start + 1)?;
+    let mut i = start + 2;
+    // Generic parameters: skip balanced `<…>`. `->`/`=>`/`<=`/`>=` are
+    // single tokens, so only bare `<`/`>` move the depth.
+    if toks.get(i).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0i64;
+        while i < toks.len() {
+            if toks[i].is_punct("<") {
+                depth += 1;
+            } else if toks[i].is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            } else if toks[i].is_punct("{") || toks[i].is_punct(";") {
+                return None; // signature never closed its generics
+            }
+            i += 1;
+        }
+    }
+    if !toks.get(i).is_some_and(|t| t.is_punct("(")) {
+        return None;
+    }
+    let params_close = crate::engine::matching(toks, i, "(", ")")?;
+    let params = parse_params(&toks[i + 1..params_close]);
+    i = params_close + 1;
+    // Return type: everything up to the body `{`, a `where` clause, or `;`.
+    let mut ret = None;
+    if toks.get(i).is_some_and(|t| t.is_punct("->")) {
+        i += 1;
+        let ret_start = i;
+        while i < toks.len()
+            && !toks[i].is_punct("{")
+            && !toks[i].is_punct(";")
+            && !toks[i].is_ident("where")
+        {
+            i += 1;
+        }
+        ret = Some(flatten(&toks[ret_start..i]));
+    }
+    // `where` clause: skip to the body.
+    if toks.get(i).is_some_and(|t| t.is_ident("where")) {
+        while i < toks.len() && !toks[i].is_punct("{") && !toks[i].is_punct(";") {
+            i += 1;
+        }
+    }
+    if !toks.get(i).is_some_and(|t| t.is_punct("{")) {
+        return None; // bodyless declaration
+    }
+    let body_open = i;
+    let mut p = Parser {
+        toks,
+        pos: body_open,
+    };
+    let body = p.parse_block(MAX_DEPTH);
+    Some((
+        FnItem {
+            name: name_tok.text.clone(),
+            line: toks[start].line,
+            tok_index: start,
+            params,
+            ret,
+            body,
+        },
+        body_open,
+    ))
+}
+
+/// Splits a parameter-list token range at top-level commas and extracts
+/// `(bound-names, type-text)` per parameter.
+fn parse_params(toks: &[Tok]) -> Vec<Param> {
+    let mut params = Vec::new();
+    for group in split_top_level(toks, ",") {
+        if group.is_empty() {
+            continue;
+        }
+        // First top-level single `:` separates pattern from type.
+        let mut depth = 0i64;
+        let mut colon = None;
+        for (j, t) in group.iter().enumerate() {
+            match t.text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                ":" if depth == 0 && t.kind == TokKind::Punct => {
+                    colon = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match colon {
+            Some(c) => params.push(Param {
+                names: pattern_bindings(&group[..c]),
+                ty: flatten(&group[c + 1..]),
+            }),
+            None => {
+                // `self` / `&self` / `&mut self`.
+                if group.iter().any(|t| t.is_ident("self")) {
+                    params.push(Param {
+                        names: vec!["self".to_string()],
+                        ty: "Self".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    params
+}
+
+/// Splits `toks` at top-level occurrences of the punct `sep` (depth over
+/// `(`/`[`/`{`/`<`).
+fn split_top_level<'a>(toks: &'a [Tok], sep: &str) -> Vec<&'a [Tok]> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    for (j, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            s if s == sep && depth == 0 => {
+                out.push(&toks[start..j]);
+                start = j + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < toks.len() {
+        out.push(&toks[start..]);
+    }
+    out
+}
+
+/// The identifiers a pattern fragment binds: lowercase-start identifiers
+/// that are not keywords and not path segments (`a::b`).
+fn pattern_bindings(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (j, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let starts_lower = t
+            .text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_');
+        if !starts_lower || NON_BINDING.contains(&t.text.as_str()) || t.text == "_" {
+            continue;
+        }
+        let path_adjacent = (j > 0 && toks[j - 1].is_punct("::"))
+            || toks.get(j + 1).is_some_and(|n| n.is_punct("::"));
+        if path_adjacent {
+            continue;
+        }
+        if !out.contains(&t.text) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Joins token texts with single spaces (flattened type text).
+fn flatten(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&'a Tok> {
+        self.toks.get(self.pos + n)
+    }
+
+    fn line(&self) -> u32 {
+        self.peek()
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(p))
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(s))
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes one token and yields `Unknown` — the universal fallback;
+    /// guarantees progress.
+    fn unknown(&mut self) -> Expr {
+        let line = self.line();
+        self.bump();
+        Expr::Unknown(line)
+    }
+
+    /// Skips tokens through the matching close bracket (the open bracket
+    /// must be the current token). Collects any identifier tokens seen.
+    fn skip_balanced(&mut self, open: &str, close: &str, idents: &mut Vec<(String, u32)>) {
+        let mut depth = 0i64;
+        while let Some(t) = self.peek() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth <= 0 {
+                    self.pos += 1;
+                    return;
+                }
+            } else if t.kind == TokKind::Ident {
+                idents.push((t.text.clone(), t.line));
+            } else if t.kind == TokKind::Str {
+                // Inline format captures (`"x = {name}"`, `"{name:08x}"`)
+                // name bindings from inside the literal — surface them so
+                // the taint rules see `println!("{sk}")` like
+                // `println!("{}", sk)`.
+                let line = t.line;
+                for cap in inline_format_captures(&t.text) {
+                    idents.push((cap, line));
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parses a `{ … }` block. The current token must be `{` (if not, an
+    /// empty block is returned without consuming anything).
+    fn parse_block(&mut self, depth: u32) -> Block {
+        let mut block = Block::default();
+        if !self.eat_punct("{") {
+            return block;
+        }
+        if depth == 0 {
+            // Out of budget: consume the block blindly so the caller
+            // still makes progress.
+            let mut sink = Vec::new();
+            self.pos -= 1;
+            self.skip_balanced("{", "}", &mut sink);
+            return block;
+        }
+        while let Some(t) = self.peek() {
+            if t.is_punct("}") {
+                self.pos += 1;
+                break;
+            }
+            if t.is_punct(";") {
+                self.pos += 1;
+                continue;
+            }
+            // Attributes on statements: skip.
+            if t.is_punct("#") && self.peek_at(1).is_some_and(|n| n.is_punct("[")) {
+                self.pos += 1;
+                let mut sink = Vec::new();
+                self.skip_balanced("[", "]", &mut sink);
+                continue;
+            }
+            if t.is_ident("let") {
+                let stmt = self.parse_let(depth - 1);
+                block.stmts.push(stmt);
+                continue;
+            }
+            if t.kind == TokKind::Ident && ITEM_KEYWORDS.contains(&t.text.as_str()) {
+                self.skip_item();
+                continue;
+            }
+            if t.is_ident("fn") {
+                // Nested fn: skipped here; `parse_file` finds it again and
+                // parses it as its own item.
+                self.skip_item();
+                continue;
+            }
+            let before = self.pos;
+            let expr = self.parse_expr(depth - 1, true);
+            let semi = self.eat_punct(";");
+            block.stmts.push(Stmt::Expr { expr, semi });
+            if self.pos == before {
+                // Defensive: an expression must consume tokens; if it ever
+                // did not, drop one to avoid looping.
+                self.pos += 1;
+            }
+        }
+        block
+    }
+
+    /// Skips one item (to its `;` or through its balanced `{ … }` body).
+    fn skip_item(&mut self) {
+        let mut sink = Vec::new();
+        while let Some(t) = self.peek() {
+            if t.is_punct(";") {
+                self.pos += 1;
+                return;
+            }
+            if t.is_punct("{") {
+                self.skip_balanced("{", "}", &mut sink);
+                return;
+            }
+            if t.is_punct("}") {
+                return; // enclosing block closes — malformed item
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parses `let <pat>(: <ty>)? (= <init>)? (else { … })? ;`.
+    fn parse_let(&mut self, depth: u32) -> Stmt {
+        let line = self.line();
+        self.bump(); // `let`
+                     // Pattern: up to a top-level `:`, `=`, or `;`.
+        let pat_start = self.pos;
+        let mut pat_depth = 0i64;
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" | "<" => pat_depth += 1,
+                    ")" | "]" | "}" | ">" => {
+                        if pat_depth == 0 {
+                            break; // enclosing bracket — malformed
+                        }
+                        pat_depth -= 1;
+                    }
+                    ":" | "=" | ";" if pat_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+        let names = pattern_bindings(&self.toks[pat_start..self.pos]);
+        // Optional type annotation.
+        let mut ty = None;
+        if self.eat_punct(":") {
+            let ty_start = self.pos;
+            let mut ty_depth = 0i64;
+            while let Some(t) = self.peek() {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "<" => ty_depth += 1,
+                        ")" | "]" => {
+                            if ty_depth == 0 {
+                                break;
+                            }
+                            ty_depth -= 1;
+                        }
+                        ">" => ty_depth -= 1,
+                        "=" | ";" if ty_depth <= 0 => break,
+                        "}" => break,
+                        _ => {}
+                    }
+                }
+                self.pos += 1;
+            }
+            ty = Some(flatten(&self.toks[ty_start..self.pos]));
+        }
+        // Optional initializer.
+        let mut init = None;
+        if self.eat_punct("=") {
+            init = Some(self.parse_expr(depth, true));
+        }
+        // Optional `else { … }` (let-else).
+        let mut else_block = None;
+        if self.at_ident("else") {
+            self.bump();
+            if self.at_punct("{") {
+                else_block = Some(self.parse_block(depth));
+            }
+        }
+        self.eat_punct(";");
+        Stmt::Let {
+            names,
+            ty,
+            init,
+            else_block,
+            line,
+        }
+    }
+
+    /// Full expression parse (assignment level).
+    fn parse_expr(&mut self, depth: u32, allow_struct: bool) -> Expr {
+        if depth == 0 {
+            return self.unknown();
+        }
+        let line = self.line();
+        let lhs = self.parse_range(depth - 1, allow_struct);
+        // Plain assignment.
+        if self.at_punct("=") {
+            self.bump();
+            let value = self.parse_expr(depth - 1, allow_struct);
+            return Expr::Assign {
+                target: Box::new(lhs),
+                value: Box::new(value),
+                compound: false,
+                line,
+            };
+        }
+        // Compound assignment: `<op> =` as adjacent tokens, plus the
+        // shift forms `< <=` / `> >=` the lexer produces for `<<=`/`>>=`.
+        let compound = match (self.peek(), self.peek_at(1)) {
+            (Some(a), Some(b))
+                if a.kind == TokKind::Punct
+                    && matches!(
+                        a.text.as_str(),
+                        "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+                    )
+                    && b.is_punct("=") =>
+            {
+                Some(2)
+            }
+            (Some(a), Some(b))
+                if (a.is_punct("<") && b.is_punct("<="))
+                    || (a.is_punct(">") && b.is_punct(">=")) =>
+            {
+                Some(2)
+            }
+            _ => None,
+        };
+        if let Some(n) = compound {
+            self.pos += n;
+            let value = self.parse_expr(depth - 1, allow_struct);
+            return Expr::Assign {
+                target: Box::new(lhs),
+                value: Box::new(value),
+                compound: true,
+                line,
+            };
+        }
+        lhs
+    }
+
+    /// Range level: `a .. b`, `a ..= b`, `..`, `.. b`.
+    fn parse_range(&mut self, depth: u32, allow_struct: bool) -> Expr {
+        if depth == 0 {
+            return self.unknown();
+        }
+        // Prefix range.
+        if self.at_punct(".") && self.peek_at(1).is_some_and(|t| t.is_punct(".")) {
+            self.pos += 2;
+            self.eat_punct("=");
+            let hi = if self.range_bound_follows() {
+                Some(Box::new(self.parse_or(depth - 1, allow_struct)))
+            } else {
+                None
+            };
+            return Expr::Range { lo: None, hi };
+        }
+        let lo = self.parse_or(depth - 1, allow_struct);
+        if self.at_punct(".") && self.peek_at(1).is_some_and(|t| t.is_punct(".")) {
+            self.pos += 2;
+            self.eat_punct("=");
+            let hi = if self.range_bound_follows() {
+                Some(Box::new(self.parse_or(depth - 1, allow_struct)))
+            } else {
+                None
+            };
+            return Expr::Range {
+                lo: Some(Box::new(lo)),
+                hi,
+            };
+        }
+        lo
+    }
+
+    /// Whether the current token can begin a range bound.
+    fn range_bound_follows(&self) -> bool {
+        match self.peek() {
+            None => false,
+            Some(t) => {
+                !(t.is_punct("{")
+                    || t.is_punct("}")
+                    || t.is_punct(")")
+                    || t.is_punct("]")
+                    || t.is_punct(",")
+                    || t.is_punct(";")
+                    || t.is_punct("=>"))
+            }
+        }
+    }
+
+    fn parse_or(&mut self, depth: u32, allow_struct: bool) -> Expr {
+        self.parse_binary_level(depth, allow_struct, 0)
+    }
+
+    /// Binary-operator precedence climbing. Levels (loosest first):
+    /// `||`, `&&`, comparisons, `|`, `^`, `&`, shifts, `+ -`, `* / %`.
+    fn parse_binary_level(&mut self, depth: u32, allow_struct: bool, level: usize) -> Expr {
+        if depth == 0 {
+            return self.unknown();
+        }
+        const LEVELS: &[&[&str]] = &[
+            &["||"],
+            &["&&"],
+            &["==", "!=", "<", ">", "<=", ">="],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["<<", ">>"], // assembled from adjacent `<`/`>` below
+            &["+", "-"],
+            &["*", "/", "%"],
+        ];
+        if level >= LEVELS.len() {
+            return self.parse_unary(depth - 1, allow_struct);
+        }
+        let mut lhs = self.parse_binary_level(depth - 1, allow_struct, level + 1);
+        loop {
+            let line = self.line();
+            // Shift operators arrive as two adjacent tokens.
+            if LEVELS[level].contains(&"<<") {
+                let double = match (self.peek(), self.peek_at(1)) {
+                    (Some(a), Some(b)) if a.is_punct("<") && b.is_punct("<") => Some("<<"),
+                    (Some(a), Some(b)) if a.is_punct(">") && b.is_punct(">") => Some(">>"),
+                    _ => None,
+                };
+                if let Some(op) = double {
+                    self.pos += 2;
+                    let rhs = self.parse_binary_level(depth - 1, allow_struct, level + 1);
+                    lhs = Expr::Binary {
+                        op: op.to_string(),
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        line,
+                    };
+                    continue;
+                }
+                return lhs;
+            }
+            let Some(t) = self.peek() else { return lhs };
+            if t.kind != TokKind::Punct || !LEVELS[level].contains(&t.text.as_str()) {
+                return lhs;
+            }
+            // Compound assignment (`+=` arrives as `+` `=`; `<<=` as `<`
+            // `<=`): leave it for the assignment level.
+            let next = self.peek_at(1);
+            let is_compound_assign = next.is_some_and(|n| n.is_punct("="))
+                || (t.is_punct("<") && next.is_some_and(|n| n.is_punct("<=")))
+                || (t.is_punct(">") && next.is_some_and(|n| n.is_punct(">=")));
+            if is_compound_assign {
+                return lhs;
+            }
+            let op = t.text.clone();
+            self.pos += 1;
+            let rhs = self.parse_binary_level(depth - 1, allow_struct, level + 1);
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+    }
+
+    fn parse_unary(&mut self, depth: u32, allow_struct: bool) -> Expr {
+        if depth == 0 {
+            return self.unknown();
+        }
+        let Some(t) = self.peek() else {
+            return self.unknown();
+        };
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "&" | "*" | "!" | "-" => {
+                    self.pos += 1;
+                    if self.at_ident("mut") {
+                        self.pos += 1;
+                    }
+                    let inner = self.parse_unary(depth - 1, allow_struct);
+                    return Expr::Unary {
+                        expr: Box::new(inner),
+                    };
+                }
+                // `&&x` — a double reference, not the and-operator.
+                "&&" => {
+                    self.pos += 1;
+                    if self.at_ident("mut") {
+                        self.pos += 1;
+                    }
+                    let inner = self.parse_unary(depth - 1, allow_struct);
+                    return Expr::Unary {
+                        expr: Box::new(inner),
+                    };
+                }
+                _ => {}
+            }
+        }
+        self.parse_postfix(depth - 1, allow_struct)
+    }
+
+    fn parse_postfix(&mut self, depth: u32, allow_struct: bool) -> Expr {
+        if depth == 0 {
+            return self.unknown();
+        }
+        let mut expr = self.parse_primary(depth - 1, allow_struct);
+        loop {
+            let line = self.line();
+            if self.at_punct("?") {
+                self.pos += 1;
+                expr = Expr::Try {
+                    expr: Box::new(expr),
+                };
+                continue;
+            }
+            if self.at_punct("(") {
+                let args = self.parse_args(depth - 1);
+                expr = Expr::Call {
+                    callee: Box::new(expr),
+                    args,
+                    line,
+                };
+                continue;
+            }
+            if self.at_punct("[") {
+                self.pos += 1;
+                let index = self.parse_expr(depth - 1, true);
+                // Recover to the closing bracket.
+                let mut sink = Vec::new();
+                if !self.eat_punct("]") {
+                    self.pos = self.pos.saturating_sub(1);
+                    self.skip_balanced("[", "]", &mut sink);
+                }
+                expr = Expr::Index {
+                    base: Box::new(expr),
+                    index: Box::new(index),
+                    line,
+                };
+                continue;
+            }
+            if self.at_ident("as") {
+                self.bump();
+                self.skip_type();
+                expr = Expr::Cast {
+                    expr: Box::new(expr),
+                };
+                continue;
+            }
+            if self.at_punct(".") {
+                // `..` is a range — leave it for the range level.
+                if self.peek_at(1).is_some_and(|t| t.is_punct(".")) {
+                    return expr;
+                }
+                match self.peek_at(1) {
+                    Some(n) if n.kind == TokKind::Ident => {
+                        let name = n.text.clone();
+                        self.pos += 2;
+                        // Turbofish: `.collect::<Vec<_>>()`.
+                        if self.at_punct("::") {
+                            self.pos += 1;
+                            if self.at_punct("<") {
+                                self.skip_angle_brackets();
+                            }
+                        }
+                        if self.at_punct("(") {
+                            let args = self.parse_args(depth - 1);
+                            expr = Expr::Method {
+                                recv: Box::new(expr),
+                                name,
+                                args,
+                                line,
+                            };
+                        } else {
+                            expr = Expr::Field {
+                                base: Box::new(expr),
+                                name,
+                                line,
+                            };
+                        }
+                        continue;
+                    }
+                    Some(n) if n.kind == TokKind::Num => {
+                        let name = n.text.clone();
+                        self.pos += 2;
+                        expr = Expr::Field {
+                            base: Box::new(expr),
+                            name,
+                            line,
+                        };
+                        continue;
+                    }
+                    _ => {
+                        // Stray `.` — consume it and stop.
+                        self.pos += 1;
+                        return expr;
+                    }
+                }
+            }
+            return expr;
+        }
+    }
+
+    /// Parses a `( … )` argument list; the current token must be `(`.
+    fn parse_args(&mut self, depth: u32) -> Vec<Expr> {
+        let mut args = Vec::new();
+        self.bump(); // `(`
+        loop {
+            if self.at_punct(")") {
+                self.pos += 1;
+                return args;
+            }
+            if self.peek().is_none() {
+                return args;
+            }
+            if self.eat_punct(",") {
+                continue;
+            }
+            let before = self.pos;
+            let e = self.parse_expr(depth, true);
+            args.push(e);
+            if self.pos == before {
+                self.pos += 1; // defensive progress
+            }
+        }
+    }
+
+    /// Greedily skips type-shaped tokens after `as`.
+    fn skip_type(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.kind == TokKind::Ident {
+                if NON_BINDING.contains(&t.text.as_str()) && !t.is_ident("Self") {
+                    // `as` types never contain `mut`-like words except in
+                    // pointer types, which are fine to consume too.
+                }
+                self.pos += 1;
+                continue;
+            }
+            if t.is_punct("::") || t.is_punct("&") || t.is_punct("*") {
+                self.pos += 1;
+                continue;
+            }
+            if t.is_punct("<") {
+                self.skip_angle_brackets();
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Skips a balanced `<…>` group; the current token must be `<`.
+    fn skip_angle_brackets(&mut self) {
+        let mut depth = 0i64;
+        while let Some(t) = self.peek() {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+                if depth <= 0 {
+                    self.pos += 1;
+                    return;
+                }
+            } else if t.is_punct("(") || t.is_punct("{") || t.is_punct(";") {
+                // Angle brackets never span these in type position; bail
+                // rather than eat the rest of the file.
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn parse_primary(&mut self, depth: u32, allow_struct: bool) -> Expr {
+        if depth == 0 {
+            return self.unknown();
+        }
+        let Some(t) = self.peek() else {
+            return self.unknown();
+        };
+        let line = t.line;
+        match t.kind {
+            TokKind::Num | TokKind::Str | TokKind::Char | TokKind::Lifetime => {
+                self.pos += 1;
+                Expr::Lit(line)
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "(" => {
+                    self.pos += 1;
+                    let mut items = Vec::new();
+                    let mut is_tuple = false;
+                    loop {
+                        if self.at_punct(")") {
+                            self.pos += 1;
+                            break;
+                        }
+                        if self.peek().is_none() {
+                            break;
+                        }
+                        if self.eat_punct(",") {
+                            is_tuple = true;
+                            continue;
+                        }
+                        let before = self.pos;
+                        items.push(self.parse_expr(depth - 1, true));
+                        if self.pos == before {
+                            self.pos += 1;
+                        }
+                    }
+                    if items.len() == 1 && !is_tuple {
+                        items.pop().unwrap_or(Expr::Unknown(line))
+                    } else {
+                        Expr::Tuple { items }
+                    }
+                }
+                "[" => {
+                    self.pos += 1;
+                    let mut items = Vec::new();
+                    loop {
+                        if self.at_punct("]") {
+                            self.pos += 1;
+                            break;
+                        }
+                        if self.peek().is_none() {
+                            break;
+                        }
+                        if self.eat_punct(",") || self.eat_punct(";") {
+                            continue;
+                        }
+                        let before = self.pos;
+                        items.push(self.parse_expr(depth - 1, true));
+                        if self.pos == before {
+                            self.pos += 1;
+                        }
+                    }
+                    Expr::Tuple { items }
+                }
+                "{" => Expr::BlockExpr(self.parse_block(depth - 1)),
+                "|" | "||" => self.parse_closure(depth - 1),
+                _ => self.unknown(),
+            },
+            TokKind::Ident => match t.text.as_str() {
+                "if" => self.parse_if(depth - 1),
+                "match" => self.parse_match(depth - 1),
+                "while" => self.parse_while(depth - 1),
+                "for" => self.parse_for(depth - 1),
+                "loop" => {
+                    self.bump();
+                    Expr::Loop {
+                        body: self.parse_block(depth - 1),
+                    }
+                }
+                "return" => {
+                    self.bump();
+                    let value = if self.expr_follows() {
+                        Some(Box::new(self.parse_expr(depth - 1, allow_struct)))
+                    } else {
+                        None
+                    };
+                    Expr::Return { value, line }
+                }
+                "break" => {
+                    self.bump();
+                    // Skip a loop label if present.
+                    if self.peek().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                        self.pos += 1;
+                    }
+                    let value = if self.expr_follows() {
+                        Some(Box::new(self.parse_expr(depth - 1, allow_struct)))
+                    } else {
+                        None
+                    };
+                    Expr::Break { value }
+                }
+                "continue" => {
+                    self.bump();
+                    if self.peek().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                        self.pos += 1;
+                    }
+                    Expr::Break { value: None }
+                }
+                "move" => {
+                    self.bump();
+                    if self.at_punct("|") || self.at_punct("||") {
+                        self.parse_closure(depth - 1)
+                    } else {
+                        Expr::Unknown(line)
+                    }
+                }
+                "unsafe" => {
+                    self.bump();
+                    if self.at_punct("{") {
+                        Expr::BlockExpr(self.parse_block(depth - 1))
+                    } else {
+                        Expr::Unknown(line)
+                    }
+                }
+                _ => self.parse_path_like(depth - 1, allow_struct),
+            },
+        }
+    }
+
+    /// Whether the current token can begin an expression (after `return` /
+    /// `break`).
+    fn expr_follows(&self) -> bool {
+        match self.peek() {
+            None => false,
+            Some(t) => {
+                !(t.is_punct(";")
+                    || t.is_punct("}")
+                    || t.is_punct(")")
+                    || t.is_punct("]")
+                    || t.is_punct(",")
+                    || t.is_punct("=>"))
+            }
+        }
+    }
+
+    /// Identifier-led expression: a path, a macro invocation, a struct
+    /// literal, or a plain identifier.
+    fn parse_path_like(&mut self, depth: u32, allow_struct: bool) -> Expr {
+        let first = match self.bump() {
+            Some(t) => t,
+            None => return Expr::Unknown(0),
+        };
+        let line = first.line;
+        let mut segments = vec![first.text.clone()];
+        // Macro?
+        if self.at_punct("!") {
+            let delim_ok = matches!(
+                self.peek_at(1).map(|t| t.text.as_str()),
+                Some("(") | Some("[") | Some("{")
+            );
+            if delim_ok {
+                self.pos += 1; // `!`
+                let (open, close) = match self.peek().map(|t| t.text.as_str()) {
+                    Some("(") => ("(", ")"),
+                    Some("[") => ("[", "]"),
+                    _ => ("{", "}"),
+                };
+                let mut idents = Vec::new();
+                self.skip_balanced(open, close, &mut idents);
+                return Expr::Macro {
+                    name: segments.pop().unwrap_or_default(),
+                    idents,
+                    line,
+                };
+            }
+        }
+        // Path segments (turbofish stripped).
+        while self.at_punct("::") {
+            match self.peek_at(1) {
+                Some(n) if n.kind == TokKind::Ident => {
+                    segments.push(n.text.clone());
+                    self.pos += 2;
+                }
+                Some(n) if n.is_punct("<") => {
+                    self.pos += 1;
+                    self.skip_angle_brackets();
+                }
+                _ => {
+                    self.pos += 1;
+                    break;
+                }
+            }
+        }
+        // Macro at the end of a path (`core::todo!(…)`)?
+        if self.at_punct("!") {
+            let delim_ok = matches!(
+                self.peek_at(1).map(|t| t.text.as_str()),
+                Some("(") | Some("[") | Some("{")
+            );
+            if delim_ok {
+                self.pos += 1;
+                let (open, close) = match self.peek().map(|t| t.text.as_str()) {
+                    Some("(") => ("(", ")"),
+                    Some("[") => ("[", "]"),
+                    _ => ("{", "}"),
+                };
+                let mut idents = Vec::new();
+                self.skip_balanced(open, close, &mut idents);
+                return Expr::Macro {
+                    name: segments.pop().unwrap_or_default(),
+                    idents,
+                    line,
+                };
+            }
+        }
+        // Struct literal? Only when allowed, and only for paths whose last
+        // segment is capitalized (rules out `if x {`-style blocks).
+        let last_capitalized = segments
+            .last()
+            .and_then(|s| s.chars().next())
+            .is_some_and(|c| c.is_uppercase());
+        if allow_struct && last_capitalized && self.at_punct("{") {
+            return self.parse_struct_lit(depth, segments.join("::"), line);
+        }
+        if segments.len() == 1 {
+            let only = segments.pop().unwrap_or_default();
+            Expr::Ident(only, line)
+        } else {
+            Expr::Path(segments.join("::"), line)
+        }
+    }
+
+    /// Parses `{ field: expr, .. }` after a struct path.
+    fn parse_struct_lit(&mut self, depth: u32, path: String, line: u32) -> Expr {
+        self.bump(); // `{`
+        let mut fields = Vec::new();
+        loop {
+            if self.at_punct("}") {
+                self.pos += 1;
+                break;
+            }
+            if self.peek().is_none() {
+                break;
+            }
+            if self.eat_punct(",") {
+                continue;
+            }
+            // `..base` functional update.
+            if self.at_punct(".") && self.peek_at(1).is_some_and(|t| t.is_punct(".")) {
+                self.pos += 2;
+                let base = self.parse_expr(depth, true);
+                fields.push(("..".to_string(), base));
+                continue;
+            }
+            let Some(name_tok) = self.peek() else { break };
+            if name_tok.kind != TokKind::Ident {
+                self.pos += 1; // defensive progress
+                continue;
+            }
+            let fname = name_tok.text.clone();
+            let fline = name_tok.line;
+            self.pos += 1;
+            if self.eat_punct(":") {
+                let value = self.parse_expr(depth, true);
+                fields.push((fname, value));
+            } else {
+                // Shorthand `Foo { name }`.
+                let value = Expr::Ident(fname.clone(), fline);
+                fields.push((fname, value));
+            }
+        }
+        Expr::StructLit { path, fields, line }
+    }
+
+    fn parse_closure(&mut self, depth: u32) -> Expr {
+        let line = self.line();
+        let mut params = Vec::new();
+        if self.at_punct("||") {
+            self.pos += 1;
+        } else {
+            self.pos += 1; // first `|`
+            let start = self.pos;
+            let mut pdepth = 0i64;
+            while let Some(t) = self.peek() {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "<" => pdepth += 1,
+                        ")" | "]" | ">" => pdepth -= 1,
+                        "|" if pdepth <= 0 => break,
+                        "{" | ";" => break, // malformed — bail
+                        _ => {}
+                    }
+                }
+                self.pos += 1;
+            }
+            for group in split_top_level(&self.toks[start..self.pos], ",") {
+                // Bindings are the pattern part (before any `:` type).
+                let pat_end = group
+                    .iter()
+                    .position(|t| t.is_punct(":"))
+                    .unwrap_or(group.len());
+                params.extend(pattern_bindings(&group[..pat_end]));
+            }
+            self.eat_punct("|");
+        }
+        // Optional return type.
+        if self.at_punct("->") {
+            self.pos += 1;
+            while let Some(t) = self.peek() {
+                if t.is_punct("{") || t.is_punct(",") || t.is_punct(";") || t.is_punct(")") {
+                    break;
+                }
+                if t.is_punct("<") {
+                    self.skip_angle_brackets();
+                    continue;
+                }
+                self.pos += 1;
+            }
+        }
+        let body = self.parse_expr(depth, true);
+        Expr::Closure {
+            params,
+            body: Box::new(body),
+            line,
+        }
+    }
+
+    fn parse_if(&mut self, depth: u32) -> Expr {
+        let line = self.line();
+        self.bump(); // `if`
+        let (cond, let_bound) = self.parse_condition(depth);
+        let then = self.parse_block(depth);
+        let els = if self.at_ident("else") {
+            self.bump();
+            if self.at_ident("if") {
+                Some(Box::new(self.parse_if(depth)))
+            } else {
+                Some(Box::new(Expr::BlockExpr(self.parse_block(depth))))
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            let_bound,
+            then,
+            els,
+            line,
+        }
+    }
+
+    fn parse_while(&mut self, depth: u32) -> Expr {
+        let line = self.line();
+        self.bump(); // `while`
+        let (cond, let_bound) = self.parse_condition(depth);
+        let body = self.parse_block(depth);
+        Expr::While {
+            cond: Box::new(cond),
+            let_bound,
+            body,
+            line,
+        }
+    }
+
+    /// Parses an `if`/`while` condition, handling the `let <pat> = <expr>`
+    /// form. Returns the condition/scrutinee and any pattern bindings.
+    fn parse_condition(&mut self, depth: u32) -> (Expr, Vec<String>) {
+        if self.at_ident("let") {
+            self.bump();
+            let pat_start = self.pos;
+            let mut pdepth = 0i64;
+            while let Some(t) = self.peek() {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "<" => pdepth += 1,
+                        ")" | "]" | ">" => pdepth -= 1,
+                        "=" if pdepth <= 0 => break,
+                        "{" | ";" => break,
+                        _ => {}
+                    }
+                }
+                self.pos += 1;
+            }
+            let bound = pattern_bindings(&self.toks[pat_start..self.pos]);
+            self.eat_punct("=");
+            let cond = self.parse_expr(depth, false);
+            (cond, bound)
+        } else {
+            (self.parse_expr(depth, false), Vec::new())
+        }
+    }
+
+    fn parse_for(&mut self, depth: u32) -> Expr {
+        let line = self.line();
+        self.bump(); // `for`
+        let pat_start = self.pos;
+        while let Some(t) = self.peek() {
+            if t.is_ident("in") || t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            self.pos += 1;
+        }
+        let bound = pattern_bindings(&self.toks[pat_start..self.pos]);
+        if self.at_ident("in") {
+            self.bump();
+        }
+        let iter = self.parse_expr(depth, false);
+        let body = self.parse_block(depth);
+        Expr::For {
+            bound,
+            iter: Box::new(iter),
+            body,
+            line,
+        }
+    }
+
+    fn parse_match(&mut self, depth: u32) -> Expr {
+        let line = self.line();
+        self.bump(); // `match`
+        let scrutinee = self.parse_expr(depth, false);
+        let mut arms = Vec::new();
+        if !self.eat_punct("{") {
+            return Expr::Match {
+                scrutinee: Box::new(scrutinee),
+                arms,
+                line,
+            };
+        }
+        loop {
+            if self.at_punct("}") {
+                self.pos += 1;
+                break;
+            }
+            if self.peek().is_none() {
+                break;
+            }
+            if self.eat_punct(",") {
+                continue;
+            }
+            // Pattern: up to a top-level `=>` or `if` guard.
+            let arm_line = self.line();
+            let pat_start = self.pos;
+            let mut pdepth = 0i64;
+            let mut has_guard = false;
+            while let Some(t) = self.peek() {
+                if t.is_ident("if") && pdepth == 0 {
+                    has_guard = true;
+                    break;
+                }
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" | "<" => pdepth += 1,
+                        ")" | "]" | ">" => pdepth -= 1,
+                        "}" => {
+                            if pdepth == 0 {
+                                break; // enclosing close — malformed arm
+                            }
+                            pdepth -= 1;
+                        }
+                        "=>" if pdepth <= 0 => break,
+                        _ => {}
+                    }
+                }
+                self.pos += 1;
+            }
+            let bound = pattern_bindings(&self.toks[pat_start..self.pos]);
+            let guard = if has_guard {
+                self.bump(); // `if`
+                Some(self.parse_expr(depth, false))
+            } else {
+                None
+            };
+            if !self.eat_punct("=>") {
+                // Malformed arm: consume one token and retry.
+                if self.bump().is_none() {
+                    break;
+                }
+                continue;
+            }
+            let body = self.parse_expr(depth, true);
+            arms.push(Arm {
+                bound,
+                guard,
+                body,
+                line: arm_line,
+            });
+        }
+        Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        parse_file(&lex(src))
+    }
+
+    fn only_fn(src: &str) -> FnItem {
+        let mut fns = parse(src);
+        assert_eq!(fns.len(), 1, "expected one fn in {src}");
+        fns.pop().unwrap()
+    }
+
+    #[test]
+    fn fn_signature_is_extracted() {
+        let f = only_fn("fn scale(x: &Secret<Scalar>, n: u64) -> Vec<u8> { }");
+        assert_eq!(f.name, "scale");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].names, vec!["x"]);
+        assert!(f.params[0].ty.contains("Secret"));
+        assert_eq!(f.ret.as_deref(), Some("Vec < u8 >"));
+    }
+
+    #[test]
+    fn self_and_generics_are_handled() {
+        let f = only_fn("fn go<T: Fn() -> u8>(&mut self, k: T) -> bool where T: Clone { true }");
+        assert_eq!(f.name, "go");
+        assert_eq!(f.params[0].names, vec!["self"]);
+        assert_eq!(f.params[1].names, vec!["k"]);
+        assert_eq!(f.ret.as_deref(), Some("bool"));
+    }
+
+    #[test]
+    fn let_and_tail_are_separated() {
+        let f = only_fn("fn f() -> u8 { let x = 1; x }");
+        assert_eq!(f.body.stmts.len(), 2);
+        assert!(matches!(
+            &f.body.stmts[0],
+            Stmt::Let { names, init: Some(_), .. } if names == &["x"]
+        ));
+        assert!(matches!(&f.body.stmts[1], Stmt::Expr { semi: false, .. }));
+    }
+
+    #[test]
+    fn control_flow_shapes_parse() {
+        let f = only_fn(
+            "fn f(s: u8) { if s > 0 { g(); } else { h(); } \
+             while s < 9 { t(); } \
+             for i in 0..s { u(i); } \
+             match s { 0 => a(), n if n > 3 => b(n), _ => c(), } }",
+        );
+        let kinds: Vec<&str> = f
+            .body
+            .stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Expr {
+                    expr: Expr::If { .. },
+                    ..
+                } => "if",
+                Stmt::Expr {
+                    expr: Expr::While { .. },
+                    ..
+                } => "while",
+                Stmt::Expr {
+                    expr: Expr::For { .. },
+                    ..
+                } => "for",
+                Stmt::Expr {
+                    expr: Expr::Match { .. },
+                    ..
+                } => "match",
+                _ => "?",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["if", "while", "for", "match"]);
+        if let Stmt::Expr {
+            expr: Expr::Match { arms, .. },
+            ..
+        } = &f.body.stmts[3]
+        {
+            assert_eq!(arms.len(), 3);
+            assert_eq!(arms[1].bound, vec!["n"]);
+            assert!(arms[1].guard.is_some());
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn method_chains_calls_and_indexing() {
+        let f =
+            only_fn("fn f(v: Vec<u8>, i: usize) -> u8 { v.iter().map(|x| x + 1).count(); v[i] }");
+        // Tail is the index expression.
+        let Some(Stmt::Expr {
+            expr: Expr::Index { index, .. },
+            semi: false,
+        }) = f.body.stmts.last()
+        else {
+            unreachable!("tail should be an index expr: {:?}", f.body.stmts.last())
+        };
+        assert!(matches!(index.as_ref(), Expr::Ident(n, _) if n == "i"));
+    }
+
+    #[test]
+    fn if_let_and_let_else_bind_names() {
+        let f = only_fn(
+            "fn f(o: Option<u8>) { if let Some(x) = o { g(x); } \
+             let Some(y) = o else { return; }; h(y); }",
+        );
+        let Stmt::Expr {
+            expr: Expr::If { let_bound, .. },
+            ..
+        } = &f.body.stmts[0]
+        else {
+            unreachable!()
+        };
+        assert_eq!(let_bound, &["x"]);
+        let Stmt::Let {
+            names, else_block, ..
+        } = &f.body.stmts[1]
+        else {
+            unreachable!()
+        };
+        assert_eq!(names, &["y"]);
+        assert!(else_block.is_some());
+    }
+
+    #[test]
+    fn struct_literals_and_blocks_disambiguate() {
+        let f = only_fn(
+            "fn f(c: bool) -> Foo { if c { return Foo { a: 1, b: 2 }; } Foo { a: 3, b: 4 } }",
+        );
+        let Some(Stmt::Expr {
+            expr: Expr::StructLit { path, fields, .. },
+            semi: false,
+        }) = f.body.stmts.last()
+        else {
+            unreachable!("tail should be a struct literal")
+        };
+        assert_eq!(path, "Foo");
+        assert_eq!(fields.len(), 2);
+    }
+
+    #[test]
+    fn nested_fns_get_their_own_items() {
+        let fns = parse("fn outer() { fn inner(sk: u64) { use_it(sk); } inner(1); }");
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn macros_collect_inner_idents() {
+        let f = only_fn("fn f(sk: u64) { println!(\"v {}\", sk); }");
+        let Stmt::Expr {
+            expr: Expr::Macro { name, idents, .. },
+            ..
+        } = &f.body.stmts[0]
+        else {
+            unreachable!()
+        };
+        assert_eq!(name, "println");
+        assert!(idents.iter().any(|(n, _)| n == "sk"));
+    }
+
+    #[test]
+    fn closures_and_shifts_parse() {
+        let f = only_fn("fn f(a: u64) -> u64 { let g = |x: u64| x << 2; g(a >> 1) }");
+        assert_eq!(f.body.stmts.len(), 2);
+        let Stmt::Let {
+            init: Some(init), ..
+        } = &f.body.stmts[0]
+        else {
+            unreachable!()
+        };
+        assert!(matches!(init, Expr::Closure { params, .. } if params == &["x"]));
+    }
+
+    #[test]
+    fn compound_assignment_parses() {
+        let f = only_fn("fn f(mut a: u64, b: u64) { a += b; a <<= 1; a = b; }");
+        let compounds: Vec<bool> = f
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Expr {
+                    expr: Expr::Assign { compound, .. },
+                    ..
+                } => Some(*compound),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(compounds, vec![true, true, false]);
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_skipped() {
+        let fns = parse("trait T { fn a(&self) -> u8; fn b(&self) { body(); } }");
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["b"]);
+    }
+
+    #[test]
+    fn deep_nesting_degrades_instead_of_overflowing() {
+        let mut src = String::from("fn f() { let x = ");
+        for _ in 0..500 {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..500 {
+            src.push(')');
+        }
+        src.push_str("; }");
+        let _ = parse(&src); // must not panic or overflow
+    }
+}

@@ -1,0 +1,218 @@
+//! Machine-readable output: JSON, SARIF 2.1.0, and the per-rule summary.
+//!
+//! Both serializers are hand-rolled (the analyzer stays dependency-free);
+//! the SARIF document carries the minimal structure CI code-scanning
+//! uploads need — `tool.driver.rules`, per-result `ruleId` / `message` /
+//! `physicalLocation`, and the stable fingerprint under
+//! `partialFingerprints` so re-runs update findings instead of
+//! duplicating them.
+
+use crate::engine::Diagnostic;
+
+/// Rule catalogue: id and a one-line description, in report order.
+/// Mirrors the registries in [`crate::rules`] / [`crate::flow`] and the
+/// catalogue in `docs/ANALYSIS.md` — keep the three in sync.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "headers",
+        "crate roots keep #![forbid(unsafe_code)] and #![deny(unused_must_use)]",
+    ),
+    (
+        "determinism",
+        "no ambient clock or entropy outside sanctioned modules; randomness flows from injected Rngs",
+    ),
+    (
+        "panic",
+        "protocol-surface crates return typed errors instead of panicking on reachable input",
+    ),
+    (
+        "secret-hygiene",
+        "secrets never reach Debug/Display formatting or a variable-time ==",
+    ),
+    (
+        "secret-branch",
+        "no control flow (if/match/while/for/let-else) on secret-tainted data",
+    ),
+    (
+        "secret-index",
+        "no array/slice/table index derived from secret-tainted data",
+    ),
+    (
+        "secret-escape",
+        "tainted values reach no clone, non-secret return, or format macro without declassification",
+    ),
+    (
+        "waiver",
+        "waivers carry a reason and an expiry, and match a current finding",
+    ),
+];
+
+/// JSON string escape (quotes, backslashes, control characters).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-rule counts of firing rules, in [`RULES`] order.
+fn counts(diags: &[Diagnostic]) -> Vec<(&'static str, usize)> {
+    let mut out: Vec<(&'static str, usize)> = Vec::new();
+    for &(id, _) in RULES {
+        let n = diags.iter().filter(|d| d.rule == id).count();
+        if n > 0 {
+            out.push((id, n));
+        }
+    }
+    out
+}
+
+/// Renders the finding list as a JSON report.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"diagnostics\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"fingerprint\": \"{}\", \"message\": \"{}\"}}{}\n",
+            esc(d.rule),
+            esc(&d.path),
+            d.line,
+            esc(&d.fingerprint),
+            esc(&d.message),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"counts\": {");
+    let cs = counts(diags);
+    for (i, (rule, n)) in cs.iter().enumerate() {
+        s.push_str(&format!(
+            "\"{rule}\": {n}{}",
+            if i + 1 < cs.len() { ", " } else { "" }
+        ));
+    }
+    s.push_str(&format!("}},\n  \"total\": {}\n}}\n", diags.len()));
+    s
+}
+
+/// Renders the finding list as a SARIF 2.1.0 document.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut s = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"ppgr-tidy\",\n          \
+         \"informationUri\": \"https://example.invalid/ppgr-tidy\",\n          \
+         \"rules\": [\n",
+    );
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            esc(id),
+            esc(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        s.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\", \"uriBaseId\": \"SRCROOT\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}], \
+             \"partialFingerprints\": {{\"ppgrTidy/v1\": \"{}\"}}}}{}\n",
+            esc(d.rule),
+            esc(&d.message),
+            esc(&d.path),
+            d.line.max(1),
+            esc(&d.fingerprint),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+/// Diff-friendly per-rule summary: one `rule: count` line per firing
+/// rule, then the total — stable ordering, no volatile detail, so two CI
+/// runs diff cleanly.
+pub fn summary(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "ppgr-tidy: workspace clean\n".to_string();
+    }
+    let mut s = String::from("ppgr-tidy findings by rule:\n");
+    for (rule, n) in counts(diags) {
+        s.push_str(&format!("  {rule}: {n}\n"));
+    }
+    s.push_str(&format!("  total: {}\n", diags.len()));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                path: "crates/core/src/a.rs".to_string(),
+                line: 3,
+                rule: "secret-branch",
+                message: "a \"quoted\" message\nwith a newline".to_string(),
+                fingerprint: "0123456789abcdef".to_string(),
+            },
+            Diagnostic {
+                path: "crates/core/src/b.rs".to_string(),
+                line: 7,
+                rule: "secret-index",
+                message: "plain".to_string(),
+                fingerprint: "fedcba9876543210".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = to_json(&sample());
+        assert!(j.contains("\\\"quoted\\\""), "{j}");
+        assert!(j.contains("\\n"), "{j}");
+        assert!(j.contains("\"secret-branch\": 1"), "{j}");
+        assert!(j.contains("\"total\": 2"), "{j}");
+    }
+
+    #[test]
+    fn sarif_has_required_structure() {
+        let s = to_sarif(&sample());
+        for needle in [
+            "\"version\": \"2.1.0\"",
+            "\"name\": \"ppgr-tidy\"",
+            "\"ruleId\": \"secret-branch\"",
+            "\"startLine\": 3",
+            "\"uri\": \"crates/core/src/a.rs\"",
+            "\"ppgrTidy/v1\": \"0123456789abcdef\"",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+        // Every catalogued rule appears in the driver rules array.
+        for (id, _) in RULES {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "{id}");
+        }
+    }
+
+    #[test]
+    fn summary_is_stable_and_totalled() {
+        let s = summary(&sample());
+        assert_eq!(
+            s,
+            "ppgr-tidy findings by rule:\n  secret-branch: 1\n  secret-index: 1\n  total: 2\n"
+        );
+        assert_eq!(summary(&[]), "ppgr-tidy: workspace clean\n");
+    }
+}

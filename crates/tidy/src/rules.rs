@@ -24,6 +24,7 @@ impl FileCtx<'_> {
             line,
             rule,
             message,
+            fingerprint: String::new(),
         });
     }
 }
@@ -35,7 +36,7 @@ impl FileCtx<'_> {
 /// Types that directly hold raw secret material. Deriving `Debug` on them
 /// would print limbs; they must carry a hand-written redacting impl (or
 /// wrap their fields in `ppgr_bigint::Secret`).
-const SECRET_TYPES: &[&str] = &[
+pub(crate) const SECRET_TYPES: &[&str] = &[
     "KeyPair",
     "SchnorrProver",
     "SenderState",
@@ -53,7 +54,7 @@ const SECRET_TYPES: &[&str] = &[
 /// ElGamal secret exponents and shares, Schnorr witnesses and nonces, the
 /// initiator's ρ/ρ_j masks, and shuffle permutations. Formatting them or
 /// comparing them with `==`/`!=` is forbidden.
-const SECRET_IDENTS: &[&str] = &[
+pub(crate) const SECRET_IDENTS: &[&str] = &[
     "secret",
     "secret_key",
     "secret_share",
@@ -107,7 +108,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
 
 /// Formatting macros through which a secret could reach a log line, a
 /// panic message, or a debugger transcript.
-const FMT_MACROS: &[&str] = &[
+pub(crate) const FMT_MACROS: &[&str] = &[
     "format",
     "print",
     "println",
@@ -137,8 +138,13 @@ const FMT_MACROS: &[&str] = &[
 /// Every crate root keeps `#![forbid(unsafe_code)]` and
 /// `#![deny(unused_must_use)]`: no unsafe in a from-scratch crypto
 /// workspace, and no silently dropped `Result` on the protocol surface.
+/// Binary crate roots (`src/main.rs`, `src/bin/*.rs`) are crate roots
+/// too — a bench or CLI binary without the headers would quietly reopen
+/// both holes for everything it links.
 pub fn check_headers(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if !ctx.rel_path.ends_with("src/lib.rs") {
+    let is_bin_root = ctx.rel_path.ends_with("src/main.rs")
+        || (ctx.rel_path.ends_with(".rs") && ctx.rel_path.contains("src/bin/"));
+    if !ctx.rel_path.ends_with("src/lib.rs") && !is_bin_root {
         return;
     }
     for (attr, ident, header) in [
@@ -415,7 +421,7 @@ fn check_variable_time_eq(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
             matches!(t.kind, TokKind::Ident | TokKind::Num)
                 || matches!(
                     t.text.as_str(),
-                    "." | "(" | ")" | "[" | "]" | "&" | "*" | ":" | "?"
+                    "." | "(" | ")" | "[" | "]" | "&" | "*" | ":" | "::" | "?"
                 )
         };
         for j in (i.saturating_sub(8)..i).rev() {

@@ -1,0 +1,302 @@
+//! The workspace waiver file: reasoned, *expiring* suppressions pinned to
+//! diagnostic fingerprints.
+//!
+//! Inline `// tidy:allow(rule) — reason` comments (see [`crate::engine`])
+//! suit one-line sites; findings that argue from protocol properties — "z
+//! = r + c·x is uniformly masked by the one-time nonce" — belong in one
+//! reviewable place: `tidy.waivers` at the workspace root. Format, one
+//! entry per line (`#` comments and blank lines ignored):
+//!
+//! ```text
+//! <fingerprint> <rule> <YYYY-MM-DD> <reason…>
+//! ```
+//!
+//! * `fingerprint` — the 16-hex-char stable fingerprint printed with the
+//!   diagnostic (line-number independent, so the entry survives
+//!   unrelated edits);
+//! * `rule` — cross-checked against the finding's rule, so a fingerprint
+//!   collision can never silence a different class of hazard;
+//! * `YYYY-MM-DD` — expiry. Waivers are arguments about today's code;
+//!   the date forces a periodic re-review instead of letting the
+//!   argument rot;
+//! * `reason` — mandatory free text.
+//!
+//! Hygiene is enforced the same way as for inline waivers: malformed
+//! entries, entries matching no current finding, and expired entries are
+//! themselves `waiver` diagnostics, so the file can only shrink the
+//! finding set while it is accurate.
+
+use crate::engine::Diagnostic;
+use std::path::Path;
+
+/// File name looked up at the workspace root.
+pub const WAIVER_FILE: &str = "tidy.waivers";
+
+/// One parsed `tidy.waivers` entry.
+#[derive(Debug)]
+pub struct FileWaiver {
+    /// 16-hex-char fingerprint of the finding this entry silences.
+    pub fingerprint: String,
+    /// Rule the finding must belong to.
+    pub rule: String,
+    /// Expiry as days since the Unix epoch.
+    pub expires_days: i64,
+    /// Expiry as written (`YYYY-MM-DD`), for messages.
+    pub date: String,
+    /// Why the finding is safe.
+    pub reason: String,
+    /// 1-based line in the waiver file.
+    pub line: u32,
+}
+
+/// Days since the Unix epoch for a civil date (Howard Hinnant's
+/// `days_from_civil`; exact over the proleptic Gregorian calendar).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = i64::from((m + 9) % 12);
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Today as days since the Unix epoch. `crates/tidy/` is in the
+/// determinism-sanctioned list: expiry checking is exactly the wall-clock
+/// read the rule carves out for this analyzer.
+fn today_days() -> i64 {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    (secs / 86_400) as i64
+}
+
+fn malformed(line: u32, detail: &str) -> Diagnostic {
+    Diagnostic {
+        path: WAIVER_FILE.to_string(),
+        line,
+        rule: "waiver",
+        message: format!(
+            "malformed waiver entry ({detail}): expected \
+             `<fingerprint> <rule> <YYYY-MM-DD> <reason…>`"
+        ),
+        fingerprint: String::new(),
+    }
+}
+
+/// Parses waiver-file text into entries plus diagnostics for malformed
+/// lines.
+pub fn parse(text: &str) -> (Vec<FileWaiver>, Vec<Diagnostic>) {
+    let mut entries = Vec::new();
+    let mut diags = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, char::is_whitespace);
+        let (Some(fp), Some(rule), Some(date)) = (parts.next(), parts.next(), parts.next()) else {
+            diags.push(malformed(line_no, "fewer than four fields"));
+            continue;
+        };
+        let reason = parts.next().map(str::trim).unwrap_or("");
+        if fp.len() != 16 || !fp.bytes().all(|b| b.is_ascii_hexdigit()) {
+            diags.push(malformed(line_no, "fingerprint is not 16 hex chars"));
+            continue;
+        }
+        let mut ymd = date.splitn(3, '-');
+        let parsed = (
+            ymd.next().and_then(|s| s.parse::<i64>().ok()),
+            ymd.next().and_then(|s| s.parse::<u32>().ok()),
+            ymd.next().and_then(|s| s.parse::<u32>().ok()),
+        );
+        let (Some(y), Some(m), Some(d)) = parsed else {
+            diags.push(malformed(line_no, "expiry is not YYYY-MM-DD"));
+            continue;
+        };
+        if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+            diags.push(malformed(line_no, "expiry is not a calendar date"));
+            continue;
+        }
+        if reason.is_empty() {
+            diags.push(malformed(line_no, "missing reason"));
+            continue;
+        }
+        entries.push(FileWaiver {
+            fingerprint: fp.to_string(),
+            rule: rule.to_string(),
+            expires_days: days_from_civil(y, m, d),
+            date: date.to_string(),
+            reason: reason.to_string(),
+            line: line_no,
+        });
+    }
+    (entries, diags)
+}
+
+/// Applies `root/tidy.waivers` to a finding list: silences findings with
+/// a live matching entry and appends `waiver` diagnostics for malformed,
+/// expired, and no-longer-matching entries.
+pub fn apply_file_waivers(root: &Path, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    apply_at(root, diags, today_days())
+}
+
+/// [`apply_file_waivers`] with an injected "today" (tested directly; the
+/// binary path uses the real clock).
+fn apply_at(root: &Path, diags: Vec<Diagnostic>, today: i64) -> Vec<Diagnostic> {
+    let path = root.join(WAIVER_FILE);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return diags;
+    };
+    let (entries, mut extra) = parse(&text);
+    let mut used = vec![false; entries.len()];
+    let mut out = Vec::new();
+    for d in diags {
+        let hit = entries
+            .iter()
+            .position(|w| w.fingerprint == d.fingerprint && w.rule == d.rule);
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                if entries[i].expires_days < today {
+                    // Expired: the finding comes back (below, the entry
+                    // itself is also flagged for re-review).
+                    out.push(d);
+                }
+            }
+            None => out.push(d),
+        }
+    }
+    for (i, w) in entries.iter().enumerate() {
+        if w.expires_days < today {
+            extra.push(Diagnostic {
+                path: WAIVER_FILE.to_string(),
+                line: w.line,
+                rule: "waiver",
+                message: format!(
+                    "expired waiver for {} ({}, expired {}): re-review the argument — \
+                     renew the date or fix the finding",
+                    w.rule, w.fingerprint, w.date
+                ),
+                fingerprint: String::new(),
+            });
+        } else if !used[i] {
+            extra.push(Diagnostic {
+                path: WAIVER_FILE.to_string(),
+                line: w.line,
+                rule: "waiver",
+                message: format!(
+                    "waiver for {} ({}) matches no current finding — remove it",
+                    w.rule, w.fingerprint
+                ),
+                fingerprint: String::new(),
+            });
+        }
+    }
+    out.extend(extra);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, fp: &str) -> Diagnostic {
+        Diagnostic {
+            path: "crates/core/src/x.rs".to_string(),
+            line: 1,
+            rule,
+            message: "m".to_string(),
+            fingerprint: fp.to_string(),
+        }
+    }
+
+    fn with_file(name: &str, content: &str, f: impl FnOnce(&Path)) {
+        let dir = std::env::temp_dir().join(format!("tidy-waiver-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(WAIVER_FILE), content).unwrap();
+        f(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_entry_silences_matching_finding() {
+        with_file(
+            "live",
+            "00112233aabbccdd secret-branch 2999-01-01 loop bound is the public bit length\n",
+            |root| {
+                let out = apply_at(
+                    root,
+                    vec![diag("secret-branch", "00112233aabbccdd")],
+                    days_from_civil(2026, 8, 9),
+                );
+                assert!(out.is_empty(), "{out:?}");
+            },
+        );
+    }
+
+    #[test]
+    fn rule_mismatch_does_not_silence() {
+        with_file(
+            "rule-mismatch",
+            "00112233aabbccdd secret-index 2999-01-01 reason text\n",
+            |root| {
+                let out = apply_at(
+                    root,
+                    vec![diag("secret-branch", "00112233aabbccdd")],
+                    days_from_civil(2026, 8, 9),
+                );
+                // The finding survives and the entry reads as unused.
+                assert_eq!(out.len(), 2, "{out:?}");
+                assert!(out.iter().any(|d| d.rule == "secret-branch"));
+                assert!(out
+                    .iter()
+                    .any(|d| d.rule == "waiver" && d.message.contains("no current finding")));
+            },
+        );
+    }
+
+    #[test]
+    fn expired_entry_resurfaces_finding_and_flags_itself() {
+        with_file(
+            "expired",
+            "00112233aabbccdd secret-branch 2020-01-01 was valid back then\n",
+            |root| {
+                let out = apply_at(
+                    root,
+                    vec![diag("secret-branch", "00112233aabbccdd")],
+                    days_from_civil(2026, 8, 9),
+                );
+                assert_eq!(out.len(), 2, "{out:?}");
+                assert!(out
+                    .iter()
+                    .any(|d| d.rule == "waiver" && d.message.contains("expired")));
+                assert!(out.iter().any(|d| d.rule == "secret-branch"));
+            },
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_flagged() {
+        let (entries, diags) = parse(
+            "# comment\n\
+             \n\
+             not-a-fingerprint secret-branch 2999-01-01 reason\n\
+             00112233aabbccdd secret-branch tomorrow reason\n\
+             00112233aabbccdd secret-branch 2999-01-01\n\
+             00112233aabbccdd secret-branch 2999-13-01 reason\n",
+        );
+        assert!(entries.is_empty(), "{entries:?}");
+        assert_eq!(diags.len(), 4, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "waiver"));
+    }
+
+    #[test]
+    fn civil_date_conversion_matches_known_anchors() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(2000, 3, 1), 11017);
+        assert_eq!(days_from_civil(2026, 8, 9), 20674);
+    }
+}

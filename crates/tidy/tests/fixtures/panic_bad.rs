@@ -11,3 +11,15 @@ pub fn decode2(input: Option<u32>) -> u32 {
 pub fn never() {
     unreachable!()
 }
+
+pub fn later() {
+    todo!()
+}
+
+pub fn missing() {
+    unimplemented!()
+}
+
+pub fn blow_up() {
+    panic!("boom");
+}

@@ -1,0 +1,37 @@
+//! Bad: secret-tainted values deciding control flow — each construct is
+//! variable-time in secret bits.
+
+/// Two-step flow: the token rules can't see this; the dataflow engine can.
+pub fn bit_scan(sk: u64, hits: &mut u32) {
+    let masked = sk & 0xff;
+    let digit = masked >> 4;
+    if digit > 7 {
+        *hits += 1;
+    }
+}
+
+/// Loop trip count derived from a secret exponent.
+pub fn ladder(group: &Group, base: &Element, sk: u64) -> Element {
+    let mut acc = group.identity();
+    for _ in 0..sk {
+        acc = group.op(&acc, base);
+    }
+    acc
+}
+
+/// Match on a secret scrutinee, and a guard comparing against a secret.
+pub fn classify(witness: u64, probe: u64, sink: &mut u32) {
+    match witness {
+        0 => *sink = 0,
+        w if w > probe => *sink = 1,
+        _ => *sink = 2,
+    }
+}
+
+/// `while` on an exposed secret.
+pub fn drain(counter: &Secret<u64>) {
+    let mut left = *counter.expose();
+    while left > 0 {
+        left -= 1;
+    }
+}

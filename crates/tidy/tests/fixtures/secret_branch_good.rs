@@ -1,0 +1,30 @@
+//! Good: the same shapes kept branch-free or branching only on
+//! declassified values.
+
+/// Branch-free digit selection: arithmetic masking instead of `if`.
+/// The derived bit is still secret-dependent, so it stays wrapped.
+pub fn bit_scan(sk: u64) -> Secret<u64> {
+    let masked = sk & 0xff;
+    let digit = masked >> 4;
+    // 1 if digit > 7 else 0, computed without a branch.
+    Secret::new((digit.wrapping_sub(8) >> 63) ^ 1)
+}
+
+/// Loop bound is the *public* bit length, not the secret value.
+pub fn ladder(group: &Group, base: &Element, sk: &Scalar) -> Element {
+    let mut acc = group.identity();
+    for _ in 0..sk.bit_len() {
+        acc = group.op(&acc, base);
+    }
+    acc
+}
+
+/// Branching on a declassified verdict (exp is one-way under DL).
+pub fn check(group: &Group, sk: &Scalar) -> u32 {
+    let y = group.exp_gen(sk);
+    if group.is_identity(&y) {
+        1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,14 @@
+//! Bad: secret-derived table indices — the accessed address leaks
+//! through the cache.
+
+/// The classic comb-table lookup keyed by secret digits.
+pub fn comb_lookup(table: &[Element], sk: u64) -> Element {
+    let digit = (sk >> 4) & 0xf;
+    table[digit as usize].clone()
+}
+
+/// Index computed from an exposed pooled nonce.
+pub fn pick(table: &[u64], nonce: &Secret<u64>) -> u64 {
+    let i = (*nonce.expose() as usize) % table.len();
+    table[i]
+}

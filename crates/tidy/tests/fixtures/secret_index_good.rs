@@ -1,0 +1,27 @@
+//! Good: constant-time scan instead of a secret-addressed load, and
+//! public indices into secret tables.
+
+/// Constant-time gather: every slot is touched; selection is arithmetic.
+pub fn ct_lookup(table: &[u64], sk: u64) -> u64 {
+    let want = sk & 0xf;
+    let mut out = 0u64;
+    for (i, v) in table.iter().enumerate() {
+        let hit = ct_eq(i as u64, want);
+        out = ct_select_limb(hit, *v, out);
+    }
+    out
+}
+
+/// Indexing a secret-typed table with a *public* loop index is fine —
+/// the address depends only on `i`.
+pub fn sum_pool(pool: &[MaskPair], count: usize) -> usize {
+    let mut n = 0;
+    for i in 0..count {
+        // Presence of the precomputed half is scheduler state (conceded
+        // structural query), so the branch is on declassified data.
+        if pool[i].y_r.is_some() {
+            n += 1;
+        }
+    }
+    n
+}

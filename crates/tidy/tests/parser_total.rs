@@ -1,0 +1,100 @@
+//! The structural parser is fed whatever the lexer produces — including
+//! token streams from files that aren't Rust at all. Property: `parse_file`
+//! never panics on arbitrary token soup, and the dataflow pass is total on
+//! whatever function skeletons the parser recovers.
+
+use ppgr_tidy::lexer::{Tok, TokKind};
+use ppgr_tidy::parser::parse_file;
+use proptest::prelude::*;
+
+/// Lexemes biased toward what trips recursive-descent parsers: half-open
+/// delimiters, keywords out of position, operators with missing operands.
+const ROUGH_LEXEMES: &[(&str, TokKind)] = &[
+    ("fn", TokKind::Ident),
+    ("let", TokKind::Ident),
+    ("if", TokKind::Ident),
+    ("else", TokKind::Ident),
+    ("match", TokKind::Ident),
+    ("while", TokKind::Ident),
+    ("for", TokKind::Ident),
+    ("in", TokKind::Ident),
+    ("return", TokKind::Ident),
+    ("move", TokKind::Ident),
+    ("mut", TokKind::Ident),
+    ("sk", TokKind::Ident),
+    ("x", TokKind::Ident),
+    ("Secret", TokKind::Ident),
+    ("(", TokKind::Punct),
+    (")", TokKind::Punct),
+    ("{", TokKind::Punct),
+    ("}", TokKind::Punct),
+    ("[", TokKind::Punct),
+    ("]", TokKind::Punct),
+    ("<", TokKind::Punct),
+    (">", TokKind::Punct),
+    (",", TokKind::Punct),
+    (";", TokKind::Punct),
+    (":", TokKind::Punct),
+    ("::", TokKind::Punct),
+    ("->", TokKind::Punct),
+    ("=>", TokKind::Punct),
+    ("=", TokKind::Punct),
+    ("==", TokKind::Punct),
+    ("&&", TokKind::Punct),
+    ("||", TokKind::Punct),
+    ("<=", TokKind::Punct),
+    (">=", TokKind::Punct),
+    ("&", TokKind::Punct),
+    ("|", TokKind::Punct),
+    ("?", TokKind::Punct),
+    (".", TokKind::Punct),
+    ("!", TokKind::Punct),
+    ("#", TokKind::Punct),
+    ("..", TokKind::Punct),
+    ("0", TokKind::Num),
+    ("42u64", TokKind::Num),
+    ("{sk}", TokKind::Str),
+    ("plain", TokKind::Str),
+    ("a", TokKind::Char),
+    ("a", TokKind::Lifetime),
+];
+
+fn rough_tokens(max: usize) -> impl Strategy<Value = Vec<Tok>> {
+    prop::collection::vec(0usize..ROUGH_LEXEMES.len(), 0..max).prop_map(|idx| {
+        idx.into_iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let (text, kind) = ROUGH_LEXEMES[j];
+                Tok {
+                    line: (i / 8) as u32 + 1,
+                    kind,
+                    text: text.to_string(),
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn parse_file_is_total_on_arbitrary_token_streams(toks in rough_tokens(512)) {
+        let _ = parse_file(&toks);
+    }
+
+    #[test]
+    fn flow_pass_is_total_on_recovered_skeletons(toks in rough_tokens(512)) {
+        // Whatever `fn` skeletons the parser salvages from the soup must
+        // also survive the taint walk.
+        let mut out = Vec::new();
+        for item in parse_file(&toks) {
+            ppgr_tidy::flow::check_fn("crates/core/src/soup.rs", &item, &mut out);
+        }
+    }
+
+    #[test]
+    fn parse_file_is_total_on_lexed_rough_text(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let toks = ppgr_tidy::lexer::lex(&source);
+        let _ = parse_file(&toks);
+    }
+}

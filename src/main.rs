@@ -9,6 +9,9 @@
 //! ppgr info
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+
 use ppgr::bigint::BigUint;
 use ppgr::core::{
     run_distributed, unlinkable_sort, AttributeKind, FrameworkParams, GroupRanking, PartyTimer,
