@@ -251,9 +251,54 @@ impl OfflineStock {
     /// the run's options (see the module docs).
     pub fn draw_from<R: Rng + ?Sized>(group: &Group, n: usize, l: usize, rng: &mut R) -> Self {
         // A `false` cancellation hook never fires, so generation completes.
-        Self::draw_cancellable_from(group, n, l, rng, &mut || false, StockTier::Keygen)
+        Self::draw_cancellable_from(group, n, l, rng, &mut || false, StockTier::Keygen, true)
             // tidy:allow(panic) — the never-cancelling hook makes None unreachable
             .expect("generation with a never-cancelling hook always completes")
+    }
+
+    /// [`OfflineStock::draw_from`] with the minting-time proof verification
+    /// skipped, leaving the stock's `verified` verdict `false`.
+    ///
+    /// Verification reads only minted material and draws nothing from the
+    /// stream, so the stock is bit-identical to [`OfflineStock::draw_from`]
+    /// output — only the verdict differs. Used by deferred-verification
+    /// sessions (see [`SortOptions::defer_verify`]), which stash the keygen
+    /// proof check as a [`KeygenVerifyJob`] for a cross-session batch
+    /// instead of paying for it at draw time.
+    ///
+    /// [`SortOptions::defer_verify`]: crate::sorting::SortOptions
+    /// [`KeygenVerifyJob`]: crate::sorting::KeygenVerifyJob
+    pub(crate) fn draw_from_deferred<R: Rng + ?Sized>(
+        group: &Group,
+        n: usize,
+        l: usize,
+        rng: &mut R,
+    ) -> Self {
+        // See `draw_from`: the hook never fires.
+        Self::draw_cancellable_from(group, n, l, rng, &mut || false, StockTier::Keygen, false)
+            // tidy:allow(panic) — the never-cancelling hook makes None unreachable
+            .expect("generation with a never-cancelling hook always completes")
+    }
+
+    /// Invalidates `party`'s key-knowledge proof in a minted (keygen-tier)
+    /// stock by bumping its response scalar, and clears the stock's
+    /// `verified` verdict so consumers re-check it.
+    ///
+    /// Test-harness hook: lets attribution tests feed a session a stock
+    /// whose proof `party` must be rejected — by the online verification
+    /// loop or by a deferred cross-session batch — without forging wire
+    /// bytes. No-op on a masks-tier stock or when keys were already taken.
+    #[doc(hidden)]
+    pub fn corrupt_key_proof(&mut self, group: &Group, party: usize) {
+        if let Some(KeyStock(KeyMaterial::Minted {
+            proofs, verified, ..
+        })) = self.keys.as_mut()
+        {
+            if let Some(proof) = proofs.get_mut(party) {
+                proof.response = group.scalar_add(&proof.response, &group.scalar_from_u64(1));
+                *verified = false;
+            }
+        }
     }
 
     /// Generates the keygen-tier stock a session with fingerprint `fp`
@@ -269,6 +314,29 @@ impl OfflineStock {
         Self::generate_cancellable(fp, &mut || false)
             // tidy:allow(panic) — the never-cancelling hook makes None unreachable
             .expect("generation with a never-cancelling hook always completes")
+    }
+
+    /// [`OfflineStock::generate`] with the minting-time proof verification
+    /// skipped (`verified` stays `false`), for deferred-verification
+    /// sessions generating their stock cold. Stock bytes are identical to
+    /// [`OfflineStock::generate`] output — see
+    /// [`OfflineStock::draw_from_deferred`].
+    pub(crate) fn generate_deferred(fp: StockFingerprint) -> Self {
+        let group = fp.group.group();
+        let mut rng = HashDrbg::seed_from_u64(fp.seed).fork(b"offline");
+        let mut stock = Self::draw_cancellable_from(
+            &group,
+            fp.participants,
+            fp.bits,
+            &mut rng,
+            &mut || false,
+            StockTier::Keygen,
+            false,
+        )
+        // tidy:allow(panic) — the never-cancelling hook makes None unreachable
+        .expect("generation with a never-cancelling hook always completes");
+        stock.fingerprint = Some(fp);
+        stock
     }
 
     /// [`OfflineStock::generate`] stopped at the masks tier: the same
@@ -289,6 +357,7 @@ impl OfflineStock {
             &mut rng,
             &mut || false,
             StockTier::Masks,
+            true,
         )
         // tidy:allow(panic) — the never-cancelling hook makes None unreachable
         .expect("generation with a never-cancelling hook always completes");
@@ -314,11 +383,13 @@ impl OfflineStock {
             &mut rng,
             cancel,
             StockTier::Keygen,
+            true,
         )?;
         stock.fingerprint = Some(fp);
         Some(stock)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn draw_cancellable_from<R: Rng + ?Sized>(
         group: &Group,
         n: usize,
@@ -326,6 +397,7 @@ impl OfflineStock {
         rng: &mut R,
         cancel: &mut dyn FnMut() -> bool,
         tier: StockTier,
+        verify_at_mint: bool,
     ) -> Option<Self> {
         // ---- canonical scalar stream -----------------------------------
         // Both tiers draw exactly this sequence; they differ only in how
@@ -428,16 +500,21 @@ impl OfflineStock {
                 // record the verdict. Honest minting always passes; the
                 // `false` arm keeps the online verification (and its
                 // per-prover blame scan) alive as a defence in depth.
+                // Deferred-verification sessions skip the check here too
+                // (`verify_at_mint == false`): it draws nothing from the
+                // stream, so the stock stays bit-identical, and the unset
+                // verdict routes the check into a cross-session batch.
                 if cancel() {
                     return None;
                 }
-                let verified = (0..n).all(|vidx| {
-                    let foreign: Vec<(&Element, &MultiVerifierTranscript)> = (0..n)
-                        .filter(|&p| p != vidx)
-                        .map(|p| (pairs[p].public_key(), &proofs[p]))
-                        .collect();
-                    verify_multi_batch(group, &foreign).is_ok()
-                });
+                let verified = verify_at_mint
+                    && (0..n).all(|vidx| {
+                        let foreign: Vec<(&Element, &MultiVerifierTranscript)> = (0..n)
+                            .filter(|&p| p != vidx)
+                            .map(|p| (pairs[p].public_key(), &proofs[p]))
+                            .collect();
+                        verify_multi_batch(group, &foreign).is_ok()
+                    });
                 // Hop h is run by party h with her own secret share, and
                 // both the keygen tier above and the sorting machine are
                 // the same stock, so the `−x_h·r` partial-decryption

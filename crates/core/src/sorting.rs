@@ -28,7 +28,10 @@ use ppgr_bigint::BigUint;
 use ppgr_elgamal::{encrypt_bits_with_precomputed, Ciphertext, ExpElGamal, JointKey, KeyPair};
 use ppgr_group::{Element, Group, GroupKind};
 use ppgr_net::TrafficLog;
-use ppgr_zkp::{verify_multi_batch, MultiVerifierProof, MultiVerifierTranscript};
+use ppgr_zkp::{
+    verify_multi_batch, verify_multi_batch_all, verify_sessions_multi_batch, MultiVerifierProof,
+    MultiVerifierTranscript,
+};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::error::Error;
@@ -119,6 +122,16 @@ pub struct SortOptions {
     /// hops would let a party observe pre-shuffle sets and break
     /// unlinkability.
     pub threads: usize,
+    /// Detach the keygen proof verification from the step stream: instead
+    /// of checking the proofs of key knowledge inside the keygen step, the
+    /// machine stashes them as a [`KeygenVerifyJob`] for the driver to
+    /// collect (see [`SortMachine::take_pending_verify`]) and batch across
+    /// concurrent sessions through one aggregate multi-exponentiation.
+    /// Verification is RNG-free and sends no bytes, so deferring it leaves
+    /// transcripts and ranks bit-identical to the inline check; a driver
+    /// that takes a job **must** run it (or fail the session) before
+    /// trusting the outcome.
+    pub defer_verify: bool,
 }
 
 impl Default for SortOptions {
@@ -127,8 +140,110 @@ impl Default for SortOptions {
             shuffle: true,
             randomize: true,
             threads: 0,
+            defer_verify: false,
         }
     }
+}
+
+/// One session's keygen proof check, detached from its step stream by
+/// [`SortOptions::defer_verify`].
+///
+/// Carries the published key shares (the statements) and the parties'
+/// proofs of key knowledge in protocol order. Checking each proof once is
+/// equivalent to the online round's `n` per-verifier batches — every
+/// verifier checks the same `n − 1` foreign transcripts against the same
+/// public keys — so a driver may fold many sessions' jobs into one
+/// aggregate equation ([`verify_deferred_jobs`]) without changing any
+/// session's verdict or blame.
+#[derive(Debug)]
+pub struct KeygenVerifyJob {
+    group: Group,
+    statements: Vec<Element>,
+    proofs: Vec<MultiVerifierTranscript>,
+}
+
+impl KeygenVerifyJob {
+    /// The group instantiation the proofs live in. Jobs may only be batched
+    /// with jobs of the same kind; [`verify_deferred_jobs`] partitions by
+    /// this internally.
+    pub fn group_kind(&self) -> GroupKind {
+        self.group.kind()
+    }
+
+    /// Number of proofs (= parties) in the job.
+    pub fn proofs(&self) -> usize {
+        self.proofs.len()
+    }
+
+    fn items(&self) -> Vec<(&Element, &MultiVerifierTranscript)> {
+        self.statements.iter().zip(self.proofs.iter()).collect()
+    }
+
+    /// Verifies this job alone, without cross-session batching.
+    ///
+    /// The fallback for drivers whose batch window is degenerate (size one)
+    /// or that must settle a job immediately (e.g. at shutdown).
+    ///
+    /// # Errors
+    ///
+    /// [`SortError::ProofRejected`] naming the first dishonest party in
+    /// protocol order — the same blame the inline keygen check assigns.
+    pub fn verify_inline(&self) -> Result<(), SortError> {
+        verify_multi_batch_all(&self.group, &self.items()).map_err(|rejected| {
+            SortError::ProofRejected {
+                // `verify_multi_batch_all` only errs with a non-empty,
+                // ascending rejection list; the fallback party 1 is
+                // unreachable but keeps the mapping total.
+                party: rejected.first().map_or(1, |&p| p + 1),
+            }
+        })
+    }
+}
+
+/// Settles a batch of deferred keygen proof checks in one aggregate
+/// multi-exponentiation per group instantiation, returning one verdict per
+/// job in input order.
+///
+/// This is the cross-session amortization lever: `k` sessions of `n`
+/// parties collapse into a single `k·n`-term aggregate equation instead of
+/// `k·n` per-verifier batches. On aggregate failure the authoritative
+/// per-proof rescan attributes every rejection to its session and party
+/// ([`ppgr_zkp::verify_sessions_multi_batch`]), so each failed session's
+/// error names exactly the party its solo run would have blamed; sessions
+/// whose proofs all hold still verify `Ok` in the same call.
+pub fn verify_deferred_jobs(jobs: &[KeygenVerifyJob]) -> Vec<Result<(), SortError>> {
+    let mut verdicts: Vec<Result<(), SortError>> = (0..jobs.len()).map(|_| Ok(())).collect();
+    // Partition by group kind, preserving submission order within each
+    // partition (the combiner derivation is order-sensitive, but every
+    // ordering is sound — this one just keeps reruns deterministic).
+    let mut kinds: Vec<GroupKind> = Vec::new();
+    for job in jobs {
+        if !kinds.contains(&job.group.kind()) {
+            kinds.push(job.group.kind());
+        }
+    }
+    for kind in kinds {
+        let indices: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.group.kind() == kind)
+            .map(|(i, _)| i)
+            .collect();
+        let group = &jobs[indices[0]].group;
+        let per_job: Vec<Vec<(&Element, &MultiVerifierTranscript)>> =
+            indices.iter().map(|&i| jobs[i].items()).collect();
+        let sessions: Vec<&[(&Element, &MultiVerifierTranscript)]> =
+            per_job.iter().map(Vec::as_slice).collect();
+        if let Err(rejections) = verify_sessions_multi_batch(group, &sessions) {
+            for r in rejections {
+                if let Some(&first) = r.proofs.first() {
+                    verdicts[indices[r.session]] =
+                        Err(SortError::ProofRejected { party: first + 1 });
+                }
+            }
+        }
+    }
+    verdicts
 }
 
 /// Resolves [`SortOptions::threads`] to a concrete worker count.
@@ -339,6 +454,9 @@ pub struct SortMachine {
     /// Precomputed randomness, attached warm by a pool or drawn cold at the
     /// offline step; consumed front-to-back in protocol order.
     stock: Option<OfflineStock>,
+    /// The keygen proof check stashed by a `defer_verify` run, awaiting
+    /// collection via [`SortMachine::take_pending_verify`].
+    pending_verify: Option<KeygenVerifyJob>,
     result: Option<(SortOutcome, SortTrace)>,
 }
 
@@ -384,6 +502,7 @@ impl SortMachine {
             opponent_order: Vec::new(),
             hop_scratch: Vec::new(),
             stock: None,
+            pending_verify: None,
             result: None,
         })
     }
@@ -419,6 +538,37 @@ impl SortMachine {
         }
         self.stock = Some(stock);
         Ok(())
+    }
+
+    /// Takes the keygen proof check a [`SortOptions::defer_verify`] run
+    /// stashed, if any.
+    ///
+    /// Returns `Some` exactly once, after the keygen step of a deferred run
+    /// whose stock was not already verified at minting time. The caller
+    /// owns the session's soundness from that point: it must settle the job
+    /// — [`KeygenVerifyJob::verify_inline`] or a [`verify_deferred_jobs`]
+    /// batch — and discard the session's outcome if the verdict is `Err`.
+    pub fn take_pending_verify(&mut self) -> Option<KeygenVerifyJob> {
+        self.pending_verify.take()
+    }
+
+    /// Donates a recycled hop output buffer so the chain's dominant loop
+    /// starts with warm capacity instead of growing a fresh allocation.
+    ///
+    /// The buffer is cleared and fully overwritten before any use, so its
+    /// prior contents never influence the protocol — transcripts stay
+    /// bit-identical whether the scratch arrived empty, donated, or
+    /// pre-sized. Call before stepping; a later call simply replaces the
+    /// current buffer.
+    pub fn adopt_scratch(&mut self, mut scratch: Vec<Ciphertext>) {
+        scratch.clear();
+        self.hop_scratch = scratch;
+    }
+
+    /// Takes the hop output buffer back (e.g. after [`SortStatus::Done`])
+    /// so a pool can hand its capacity to the next session.
+    pub fn take_scratch(&mut self) -> Vec<Ciphertext> {
+        std::mem::take(&mut self.hop_scratch)
     }
 
     /// Whether the protocol has completed.
@@ -457,7 +607,15 @@ impl SortMachine {
                 // Offline work is charged to nobody's per-party ledger —
                 // that is the point of the split.
                 if self.stock.is_none() {
-                    self.stock = Some(OfflineStock::draw_from(&self.group, self.n, self.l, rng));
+                    // A defer-verify run must not pay for minting-time proof
+                    // verification here either — the check belongs to the
+                    // cross-session batch. The deferred draw skips only the
+                    // verdict; the stock bytes are identical.
+                    self.stock = Some(if self.options.defer_verify {
+                        OfflineStock::draw_from_deferred(&self.group, self.n, self.l, rng)
+                    } else {
+                        OfflineStock::draw_from(&self.group, self.n, self.l, rng)
+                    });
                 }
                 self.state = SortState::KeyGen;
                 Ok(SortStatus::Pending)
@@ -590,26 +748,43 @@ impl SortMachine {
         // Skipped when the stock already ran every verifier's batch check
         // at minting time (the proofs are offline material, so verifying
         // them is offline work — see `KeyMaterial::Minted::verified`).
-        for vidx in 0..n {
-            if pre_verified {
-                break;
-            }
-            let foreign: Vec<(&Element, &MultiVerifierTranscript)> = (0..n)
-                .filter(|&p| p != vidx)
-                .map(|p| (keys[p].public_key(), &proofs[p]))
-                .collect();
-            let ok = timer.time(vidx + 1, || {
-                verify_multi_batch(&self.group, &foreign).is_ok()
+        if !pre_verified && self.options.defer_verify {
+            // Deferred: hand the statements and proofs to the driver as a
+            // job for a cross-session batch instead of checking them here.
+            // Nothing is charged to any party's ledger — like the offline
+            // split, moving the check off the session clock is the point —
+            // and no bytes move, so the transcript is unchanged. Checking
+            // each proof once (what the job does) is equivalent to the
+            // per-verifier loop below: every verifier checks the same
+            // foreign transcripts against the same keys.
+            self.pending_verify = Some(KeygenVerifyJob {
+                group: self.group.clone(),
+                statements: keys.iter().map(|k| k.public_key().clone()).collect(),
+                proofs,
             });
-            if !ok {
-                // Rescan over *all* provers in protocol order so the error
-                // names the first dishonest one, exactly as the old
-                // verify-as-you-go loop did (a verifier's own batch skips
-                // her own proof, so the batch index alone is not enough).
-                let party = (0..n)
-                    .find(|&p| !proofs[p].verify(&self.group, keys[p].public_key()))
-                    .map_or(vidx + 1, |p| p + 1);
-                return Err(SortError::ProofRejected { party });
+        } else {
+            for vidx in 0..n {
+                if pre_verified {
+                    break;
+                }
+                let foreign: Vec<(&Element, &MultiVerifierTranscript)> = (0..n)
+                    .filter(|&p| p != vidx)
+                    .map(|p| (keys[p].public_key(), &proofs[p]))
+                    .collect();
+                let ok = timer.time(vidx + 1, || {
+                    verify_multi_batch(&self.group, &foreign).is_ok()
+                });
+                if !ok {
+                    // Rescan over *all* provers in protocol order so the
+                    // error names the first dishonest one, exactly as the
+                    // old verify-as-you-go loop did (a verifier's own batch
+                    // skips her own proof, so the batch index alone is not
+                    // enough).
+                    let party = (0..n)
+                        .find(|&p| !proofs[p].verify(&self.group, keys[p].public_key()))
+                        .map_or(vidx + 1, |p| p + 1);
+                    return Err(SortError::ProofRejected { party });
+                }
             }
         }
         self.round += 3;
@@ -934,6 +1109,7 @@ pub fn plain_ranks(values: &[BigUint]) -> Vec<usize> {
 mod tests {
     use super::*;
     use ppgr_group::GroupKind;
+    use ppgr_net::TrafficSummary;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -1088,5 +1264,177 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.ranks, vec![1, 3, 2]);
+    }
+
+    /// Drives one machine to completion, harvesting any deferred verify
+    /// job along the way.
+    fn drive(
+        options: SortOptions,
+        seed: u64,
+    ) -> (
+        Result<(SortOutcome, SortTrace), SortError>,
+        TrafficSummary,
+        Option<KeygenVerifyJob>,
+    ) {
+        let group = GroupKind::Ecc160.group();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<BigUint> = [13u64, 200, 78, 200]
+            .iter()
+            .map(|&v| BigUint::from(v))
+            .collect();
+        let log = TrafficLog::new();
+        let mut timer = PartyTimer::new(values.len() + 1);
+        let mut machine = SortMachine::new(&group, &values, 8, options, 0).unwrap();
+        let mut job = None;
+        let outcome = loop {
+            match machine.step(&mut rng, &log, &mut timer) {
+                Ok(SortStatus::Pending) => {
+                    if let Some(j) = machine.take_pending_verify() {
+                        job = Some(j);
+                    }
+                }
+                Ok(SortStatus::Done) => {
+                    break machine
+                        .into_result()
+                        .ok_or(SortError::Internal("done without result"))
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        (outcome, log.summary(), job)
+    }
+
+    #[test]
+    fn deferred_verification_is_bit_identical_and_yields_a_passing_job() {
+        let inline = drive(
+            SortOptions {
+                threads: 1,
+                ..SortOptions::default()
+            },
+            31,
+        );
+        let deferred = drive(
+            SortOptions {
+                threads: 1,
+                defer_verify: true,
+                ..SortOptions::default()
+            },
+            31,
+        );
+        assert!(inline.2.is_none(), "inline run must not stash a job");
+        let job = deferred.2.expect("deferred cold run must stash a job");
+        assert_eq!(job.group_kind(), GroupKind::Ecc160);
+        assert_eq!(job.proofs(), 4);
+        assert_eq!(job.verify_inline(), Ok(()));
+        // Deferring reorders work, never bytes: same ranks, same traffic.
+        let (inline_out, _) = inline.0.unwrap();
+        let (deferred_out, _) = deferred.0.unwrap();
+        assert_eq!(inline_out, deferred_out);
+        assert_eq!(inline.1, deferred.1);
+    }
+
+    #[test]
+    fn deferred_job_blames_the_party_the_inline_check_blames() {
+        let group = GroupKind::Ecc160.group();
+        let values: Vec<BigUint> = [9u64, 2, 5].iter().map(|&v| BigUint::from(v)).collect();
+        let run = |defer: bool| {
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut stock_rng = StdRng::seed_from_u64(77);
+            let log = TrafficLog::new();
+            let mut timer = PartyTimer::new(values.len() + 1);
+            let options = SortOptions {
+                threads: 1,
+                defer_verify: defer,
+                ..SortOptions::default()
+            };
+            let mut machine = SortMachine::new(&group, &values, 4, options, 0).unwrap();
+            let mut stock = OfflineStock::draw_from(&group, 3, 4, &mut stock_rng);
+            stock.corrupt_key_proof(&group, 1);
+            machine.attach_offline_stock(stock).unwrap();
+            let mut job = None;
+            let verdict = loop {
+                match machine.step(&mut rng, &log, &mut timer) {
+                    Ok(SortStatus::Pending) => {
+                        if let Some(j) = machine.take_pending_verify() {
+                            job = Some(j);
+                        }
+                    }
+                    Ok(SortStatus::Done) => break Ok(()),
+                    Err(e) => break Err(e),
+                }
+            };
+            (verdict, job)
+        };
+        let (inline_verdict, inline_job) = run(false);
+        assert!(inline_job.is_none());
+        assert_eq!(
+            inline_verdict,
+            Err(SortError::ProofRejected { party: 2 }),
+            "inline check must blame the corrupted party"
+        );
+        // The deferred run sails past keygen (no bytes differ) but its job
+        // carries the rejection, attributed to the same party.
+        let (deferred_verdict, deferred_job) = run(true);
+        assert_eq!(deferred_verdict, Ok(()));
+        let job = deferred_job.expect("deferred run must stash a job");
+        assert_eq!(
+            job.verify_inline(),
+            Err(SortError::ProofRejected { party: 2 })
+        );
+    }
+
+    #[test]
+    fn batched_jobs_settle_with_per_session_verdicts() {
+        let group = GroupKind::Ecc160.group();
+        let values: Vec<BigUint> = [9u64, 2, 5].iter().map(|&v| BigUint::from(v)).collect();
+        let job_for = |seed: u64, corrupt: Option<usize>| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut stock_rng = StdRng::seed_from_u64(seed ^ 0xa5);
+            let log = TrafficLog::new();
+            let mut timer = PartyTimer::new(values.len() + 1);
+            let options = SortOptions {
+                threads: 1,
+                defer_verify: true,
+                ..SortOptions::default()
+            };
+            let mut machine = SortMachine::new(&group, &values, 4, options, 0).unwrap();
+            // The deferred draw leaves the stock's `verified` verdict unset
+            // (a `draw_from` stock is batch-checked at minting time and
+            // would make the session skip verification entirely, parking no
+            // job). Bytes are identical either way.
+            let mut stock = OfflineStock::draw_from_deferred(&group, 3, 4, &mut stock_rng);
+            if let Some(party) = corrupt {
+                stock.corrupt_key_proof(&group, party);
+            }
+            machine.attach_offline_stock(stock).unwrap();
+            loop {
+                let status = machine.step(&mut rng, &log, &mut timer).unwrap();
+                if let Some(job) = machine.take_pending_verify() {
+                    return job;
+                }
+                assert_ne!(
+                    status,
+                    SortStatus::Done,
+                    "deferred session finished without parking a verify job"
+                );
+            }
+        };
+        let jobs = vec![
+            job_for(1, None),
+            job_for(2, Some(2)),
+            job_for(3, None),
+            job_for(4, Some(0)),
+        ];
+        let verdicts = verify_deferred_jobs(&jobs);
+        assert_eq!(
+            verdicts,
+            vec![
+                Ok(()),
+                Err(SortError::ProofRejected { party: 3 }),
+                Ok(()),
+                Err(SortError::ProofRejected { party: 1 }),
+            ],
+            "one aggregate settle must attribute each rejection to its session and party"
+        );
     }
 }

@@ -35,11 +35,33 @@ struct Entry<K, V> {
     stamp: AtomicU64,
 }
 
+/// Point-in-time hit/miss/eviction counters for a [`ShardedLru`],
+/// scrape-ready for a metrics snapshot.
+///
+/// Counters are monotonically increasing over the cache's lifetime
+/// (`entries` excepted — it is the current population). They are updated
+/// with relaxed atomics: exact under quiescence, approximate only while
+/// racing writers are mid-flight, which is all a scrape needs.
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the value.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently cached across all shards.
+    pub entries: u64,
+}
+
 /// A sharded LRU map from `K` to `Arc<V>` with per-shard capacity bounds.
 pub struct ShardedLru<K, V> {
     shards: Vec<RwLock<Vec<Entry<K, V>>>>,
     cap_per_shard: usize,
     clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
@@ -56,6 +78,20 @@ impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
             shards: (0..shards).map(|_| RwLock::new(Vec::new())).collect(),
             cap_per_shard,
             clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Current [`CacheStats`] — hit/miss/eviction counters plus the live
+    /// entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
         }
     }
 
@@ -79,16 +115,24 @@ impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
         {
             let guard = shard.read();
             if let Some(e) = guard.iter().find(|e| &e.key == key) {
-                e.stamp.store(self.tick(), Ordering::Relaxed);
+                // fetch_max, not store: two hits racing under the read lock
+                // can draw ticks in one order and write them in the other —
+                // a plain store would let the older tick overwrite the
+                // newer one, aging an entry that was just touched (and
+                // making it an eviction candidate it should not be).
+                e.stamp.fetch_max(self.tick(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return e.value.clone();
             }
         }
         let mut guard = shard.write();
         // Another thread may have inserted while we waited for the lock.
         if let Some(e) = guard.iter().find(|e| &e.key == key) {
-            e.stamp.store(self.tick(), Ordering::Relaxed);
+            e.stamp.fetch_max(self.tick(), Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return e.value.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(build());
         if guard.len() >= self.cap_per_shard {
             if let Some(oldest) = guard
@@ -98,6 +142,7 @@ impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
                 .map(|(i, _)| i)
             {
                 guard.swap_remove(oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         guard.push(Entry {
@@ -221,6 +266,49 @@ mod tests {
         }
         assert!(cache.len() <= 4 * 2);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn stats_count_hits_misses_and_evictions() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(1, 2);
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.get_or_insert_with(&1, || 1); // miss
+        cache.get_or_insert_with(&1, || unreachable!()); // hit
+        cache.get_or_insert_with(&2, || 2); // miss
+        cache.get_or_insert_with(&3, || 3); // miss + eviction (cap 2)
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn racing_hits_never_regress_a_recency_stamp() {
+        // The regression the instrumentation uncovered: two hits racing
+        // under the read lock could `store` their ticks out of draw order,
+        // leaving the entry's stamp *older* than a hit that already
+        // happened. With fetch_max the stamp is monotone: after any storm
+        // of concurrent hits on one key, a subsequent one-shot insert must
+        // never evict the hot key.
+        let cache: Arc<ShardedLru<u64, u64>> = Arc::new(ShardedLru::new(1, 2));
+        cache.get_or_insert_with(&0, || 0); // the hot key
+        cache.get_or_insert_with(&1, || 1); // the fill key
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        cache.get_or_insert_with(&0, || unreachable!());
+                    }
+                });
+            }
+        });
+        // Insert a new key: the untouched fill key is the LRU entry and
+        // must be the one evicted — the hot key's stamp must still
+        // dominate despite the racing hits.
+        cache.get_or_insert_with(&2, || 2);
+        assert!(cache.contains(&0), "hot key evicted: stamp regressed");
     }
 
     #[test]

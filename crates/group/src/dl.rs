@@ -135,6 +135,12 @@ impl DlGroup {
         self.comb_cache.get_or_insert_with(a, || self.build_comb(a))
     }
 
+    /// Hit/miss/eviction counters for the comb-table cache (scrape-ready;
+    /// the process-wide group singleton makes these cross-session totals).
+    pub fn comb_cache_stats(&self) -> crate::cache::CacheStats {
+        self.comb_cache.stats()
+    }
+
     /// Builds a fixed-base comb table for `a` (an element below `p`).
     pub fn build_comb(&self, a: &BigUint) -> DlComb {
         let rows = self.q.bits().div_ceil(4);

@@ -718,6 +718,12 @@ impl EcGroup {
         self.comb_cache.get_or_insert_with(p, || self.build_comb(p))
     }
 
+    /// Hit/miss/eviction counters for the comb-table cache (scrape-ready;
+    /// the process-wide group singleton makes these cross-session totals).
+    pub fn comb_cache_stats(&self) -> crate::cache::CacheStats {
+        self.comb_cache.stats()
+    }
+
     /// Shards of the per-group comb-table cache.
     pub const COMB_CACHE_SHARDS: usize = 4;
     /// Per-shard capacity of the comb-table cache (LRU eviction).

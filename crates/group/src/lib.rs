@@ -42,7 +42,7 @@ mod msm;
 mod scalar;
 mod traits;
 
-pub use cache::ShardedLru;
+pub use cache::{CacheStats, ShardedLru};
 pub use dl::{DlComb, DlGroup, DlParams};
 pub use ec::{CurveParams, EcComb, EcGroup, EcPoint};
 pub use kind::{GroupKind, SecurityLevel};

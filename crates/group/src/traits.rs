@@ -144,6 +144,18 @@ impl Group {
         self.kind
     }
 
+    /// Hit/miss/eviction counters for this group's fixed-base comb-table
+    /// cache ([`crate::ShardedLru`]). [`GroupKind::group`] hands every
+    /// session the same process-wide instantiation, so these are
+    /// cross-session totals — a service scrapes them to observe how well
+    /// warm tables amortize across its traffic.
+    pub fn comb_cache_stats(&self) -> crate::cache::CacheStats {
+        match &self.inner {
+            GroupImpl::Dl(g) => g.comb_cache_stats(),
+            GroupImpl::Ec(g) => g.comb_cache_stats(),
+        }
+    }
+
     /// The prime group order `q`.
     pub fn order(&self) -> &BigUint {
         match &self.inner {

@@ -33,4 +33,4 @@ pub mod sim;
 pub use deadline::{Deadline, Phase, PhaseBudget};
 pub use fault::{CrashStash, FaultKind, FaultPlan, FaultyMesh};
 pub use mesh::{LocalMesh, MeshError, PartyHandle};
-pub use metrics::{PartyId, TrafficLog, TrafficSummary};
+pub use metrics::{CacheCounters, MetricsSnapshot, PartyId, TrafficLog, TrafficSummary};

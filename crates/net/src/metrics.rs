@@ -104,6 +104,155 @@ pub struct TrafficSummary {
     pub bytes_by_phase: BTreeMap<&'static str, u64>,
 }
 
+/// Counters for one named cache surfaced in a [`MetricsSnapshot`].
+///
+/// Kept dependency-free on purpose: the concrete caches live in higher
+/// crates (e.g. the group crate's comb-table LRU); whoever assembles the
+/// snapshot converts its native stats into this wire shape.
+#[derive(Clone, Debug, Default, Eq, PartialEq)]
+pub struct CacheCounters {
+    /// Stable cache identifier, e.g. `"ecc160/comb"`.
+    pub label: String,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that built the value.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+}
+
+/// A point-in-time, scrape-ready export of a ranking service's counters.
+///
+/// Field names are part of the wire contract — [`MetricsSnapshot::FIELDS`]
+/// pins them (and their order in [`MetricsSnapshot::to_json`]), and a unit
+/// test below fails if the struct and the pinned list ever drift. Renaming
+/// a field is a breaking change to every scraper; add fields at the end
+/// instead.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Sessions accepted by admission control.
+    pub sessions_admitted: u64,
+    /// Sessions shed because a shard's in-flight window was full.
+    pub sessions_rejected_saturated: u64,
+    /// Sessions shed because their projected completion exceeded the
+    /// admission horizon.
+    pub sessions_rejected_deadline: u64,
+    /// Admitted sessions that completed with a ranking.
+    pub sessions_completed: u64,
+    /// Admitted sessions that resolved with an error.
+    pub sessions_failed: u64,
+    /// Sessions admitted but not yet resolved.
+    pub sessions_in_flight: u64,
+    /// Worker-group shards serving the session stream.
+    pub shards: u64,
+    /// Worker threads across all shards.
+    pub workers: u64,
+    /// Cross-session verify-batch flushes (one aggregate MSM each).
+    pub verify_flushes: u64,
+    /// Sessions whose proofs went through a batched flush.
+    pub verify_batched_sessions: u64,
+    /// Individual proofs folded into batched flushes.
+    pub verify_batched_proofs: u64,
+    /// Sessions that started with a pooled hop-scratch buffer.
+    pub scratch_reused: u64,
+    /// Wire messages across all completed sessions.
+    pub wire_messages: u64,
+    /// Wire payload bytes across all completed sessions.
+    pub wire_bytes: u64,
+    /// Per-cache counters (comb/wNAF table caches etc.).
+    pub caches: Vec<CacheCounters>,
+}
+
+impl MetricsSnapshot {
+    /// The scrape contract: every field of the snapshot, in the order
+    /// [`MetricsSnapshot::to_json`] emits them.
+    pub const FIELDS: [&'static str; 15] = [
+        "sessions_admitted",
+        "sessions_rejected_saturated",
+        "sessions_rejected_deadline",
+        "sessions_completed",
+        "sessions_failed",
+        "sessions_in_flight",
+        "shards",
+        "workers",
+        "verify_flushes",
+        "verify_batched_sessions",
+        "verify_batched_proofs",
+        "scratch_reused",
+        "wire_messages",
+        "wire_bytes",
+        "caches",
+    ];
+
+    /// The per-cache object fields, in emission order.
+    pub const CACHE_FIELDS: [&'static str; 5] = ["label", "hits", "misses", "evictions", "entries"];
+
+    /// Folds one session's [`TrafficSummary`] into the wire totals.
+    pub fn absorb_traffic(&mut self, summary: &TrafficSummary) {
+        self.wire_messages = self.wire_messages.saturating_add(summary.messages);
+        self.wire_bytes = self.wire_bytes.saturating_add(summary.total_bytes);
+    }
+
+    /// Serializes the snapshot as one stable-field-order JSON object
+    /// (hand-rolled — the workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        let scalars: [(&str, u64); 14] = [
+            ("sessions_admitted", self.sessions_admitted),
+            (
+                "sessions_rejected_saturated",
+                self.sessions_rejected_saturated,
+            ),
+            (
+                "sessions_rejected_deadline",
+                self.sessions_rejected_deadline,
+            ),
+            ("sessions_completed", self.sessions_completed),
+            ("sessions_failed", self.sessions_failed),
+            ("sessions_in_flight", self.sessions_in_flight),
+            ("shards", self.shards),
+            ("workers", self.workers),
+            ("verify_flushes", self.verify_flushes),
+            ("verify_batched_sessions", self.verify_batched_sessions),
+            ("verify_batched_proofs", self.verify_batched_proofs),
+            ("scratch_reused", self.scratch_reused),
+            ("wire_messages", self.wire_messages),
+            ("wire_bytes", self.wire_bytes),
+        ];
+        for (name, value) in scalars {
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+            out.push(',');
+        }
+        out.push_str("\"caches\":[");
+        for (i, cache) in self.caches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":\"");
+            for ch in cache.label.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push_str(&format!(
+                "\",\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}}",
+                cache.hits, cache.misses, cache.evictions, cache.entries
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +287,91 @@ mod tests {
         assert_eq!(s.messages, 0);
         assert_eq!(s.rounds, 0);
         assert!(s.bytes_sent_by_party.is_empty());
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        // A full struct literal: if a field is added, removed or renamed,
+        // this stops compiling — forcing FIELDS (the scrape contract)
+        // to be revisited in the same change.
+        MetricsSnapshot {
+            sessions_admitted: 10,
+            sessions_rejected_saturated: 2,
+            sessions_rejected_deadline: 1,
+            sessions_completed: 8,
+            sessions_failed: 1,
+            sessions_in_flight: 1,
+            shards: 2,
+            workers: 4,
+            verify_flushes: 3,
+            verify_batched_sessions: 7,
+            verify_batched_proofs: 21,
+            scratch_reused: 6,
+            wire_messages: 1234,
+            wire_bytes: 98765,
+            caches: vec![CacheCounters {
+                label: "ecc160/comb".into(),
+                hits: 40,
+                misses: 5,
+                evictions: 1,
+                entries: 4,
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_field_names_are_pinned_in_order() {
+        let json = sample_snapshot().to_json();
+        // Every pinned field appears as a JSON key, in contract order.
+        let mut cursor = 0;
+        for field in MetricsSnapshot::FIELDS {
+            let key = format!("\"{field}\":");
+            let at = json[cursor..]
+                .find(&key)
+                .unwrap_or_else(|| panic!("field {field} missing or out of order"));
+            cursor += at + key.len();
+        }
+        let mut cursor = json.find("\"caches\"").expect("caches key");
+        for field in MetricsSnapshot::CACHE_FIELDS {
+            let key = format!("\"{field}\":");
+            let at = json[cursor..]
+                .find(&key)
+                .unwrap_or_else(|| panic!("cache field {field} missing or out of order"));
+            cursor += at + key.len();
+        }
+    }
+
+    #[test]
+    fn snapshot_json_carries_the_values() {
+        let json = sample_snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"sessions_admitted\":10"));
+        assert!(json.contains("\"verify_batched_proofs\":21"));
+        assert!(json.contains("\"label\":\"ecc160/comb\""));
+        assert!(json.contains("\"entries\":4"));
+        // No trailing comma before the closing brackets.
+        assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    #[test]
+    fn snapshot_escapes_cache_labels() {
+        let mut snap = MetricsSnapshot::default();
+        snap.caches.push(CacheCounters {
+            label: "we\"ird\\label".into(),
+            ..CacheCounters::default()
+        });
+        let json = snap.to_json();
+        assert!(json.contains(r#""label":"we\"ird\\label""#));
+    }
+
+    #[test]
+    fn snapshot_absorbs_traffic_summaries() {
+        let log = TrafficLog::new();
+        log.record(0, 1, 2, 100, "setup");
+        log.record(1, 2, 1, 50, "submit");
+        let mut snap = MetricsSnapshot::default();
+        snap.absorb_traffic(&log.summary());
+        snap.absorb_traffic(&log.summary());
+        assert_eq!(snap.wire_messages, 4);
+        assert_eq!(snap.wire_bytes, 300);
     }
 }

@@ -4,12 +4,20 @@ use ppgr_core::{Outcome, RunError};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+/// A completion callback attached to a slot at submit time (see
+/// [`Runtime::submit_session_observed`](crate::Runtime::submit_session_observed)).
+pub(crate) type Observer = Box<dyn FnOnce(&Result<Outcome, RunError>) + Send>;
+
 /// One-shot result mailbox shared between a pool task and its handle.
 pub(crate) struct Slot {
     result: Mutex<Option<Result<Outcome, RunError>>>,
     ready: Condvar,
     /// Cooperative cancellation: checked by the worker between steps.
     cancelled: AtomicBool,
+    /// Fired exactly once, inside [`Slot::fill`] before the result is
+    /// stored, so an observer (e.g. an admission controller's in-flight
+    /// accounting) sees the completion no later than any joiner does.
+    observer: Mutex<Option<Observer>>,
 }
 
 impl Slot {
@@ -18,12 +26,23 @@ impl Slot {
             result: Mutex::new(None),
             ready: Condvar::new(),
             cancelled: AtomicBool::new(false),
+            observer: Mutex::new(None),
         })
+    }
+
+    /// Attaches the completion observer. Must be called before the task is
+    /// injected (the worker that fills the slot takes it exactly once).
+    pub(crate) fn observe(&self, f: Observer) {
+        *self.observer.lock().expect("slot observer mutex") = Some(f);
     }
 
     /// Deposits the session result and wakes any joiner. Called exactly
     /// once per slot (by the worker that finished or failed the session).
     pub(crate) fn fill(&self, result: Result<Outcome, RunError>) {
+        let observer = self.observer.lock().expect("slot observer mutex").take();
+        if let Some(observer) = observer {
+            observer(&result);
+        }
         let mut guard = self.result.lock().expect("slot mutex");
         debug_assert!(guard.is_none(), "slot filled twice");
         *guard = Some(result);

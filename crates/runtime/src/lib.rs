@@ -59,5 +59,5 @@ mod pool;
 mod precompute;
 
 pub use handle::SessionHandle;
-pub use pool::{Runtime, RuntimeConfig};
+pub use pool::{Runtime, RuntimeConfig, RuntimeStats};
 pub use precompute::{GroupId, PrecomputeConfig};

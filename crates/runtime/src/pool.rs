@@ -10,14 +10,15 @@
 //! is preserved structurally: a session is owned by exactly one worker at
 //! a time, so its steps can never run concurrently with each other.
 
-use crate::handle::{SessionHandle, Slot};
+use crate::handle::{Observer, SessionHandle, Slot};
 use crate::precompute::{GroupId, PrecomputeConfig, PrecomputePool};
 use ppgr_core::{
-    FrameworkParams, GroupRanking, RunError, SessionMachine, SessionStatus, SortOptions,
+    verify_deferred_jobs, Ciphertext, FrameworkParams, GroupRanking, KeygenVerifyJob, RunError,
+    SessionMachine, SessionStatus, SortOptions,
 };
 use ppgr_net::Deadline;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -39,6 +40,18 @@ pub struct RuntimeConfig {
     /// The offline precompute pool serving
     /// [`Runtime::register_group`] / [`Runtime::submit_group`].
     pub precompute: PrecomputeConfig,
+    /// Cross-session verify batch window (`0` or `1` = disabled). When
+    /// `> 1`, sessions this pool builds run with
+    /// [`SortOptions::defer_verify`]: their keygen proof checks are parked
+    /// in a pool-wide collector and settled — up to `verify_batch` sessions
+    /// at a time — through one aggregate multi-exponentiation
+    /// ([`ppgr_core::verify_deferred_jobs`]), with per-session blame
+    /// preserved. The collector flushes when the window fills and whenever
+    /// a worker goes idle, so a lone session is never held hostage waiting
+    /// for peers. Verification is RNG-free and sends no bytes, so batching
+    /// reorders work, never bytes: transcripts and ranks stay bit-identical
+    /// to solo runs.
+    pub verify_batch: usize,
 }
 
 impl RuntimeConfig {
@@ -61,6 +74,37 @@ struct Task {
     deadline: Option<Deadline>,
 }
 
+/// A session parked in the verify collector: its deferred keygen check
+/// plus the task itself, which resumes only after the check passes.
+struct Parked {
+    job: KeygenVerifyJob,
+    task: Task,
+}
+
+/// Amortization counters, maintained with relaxed atomics (monotonic
+/// telemetry, never synchronization).
+#[derive(Default)]
+struct Counters {
+    verify_flushes: AtomicU64,
+    verify_batched_sessions: AtomicU64,
+    verify_batched_proofs: AtomicU64,
+    scratch_reused: AtomicU64,
+}
+
+/// A point-in-time copy of a pool's cross-session amortization counters
+/// ([`Runtime::stats`]).
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub struct RuntimeStats {
+    /// Aggregate verify flushes run (batched settles of the collector).
+    pub verify_flushes: u64,
+    /// Sessions whose keygen checks were settled in those flushes.
+    pub verify_batched_sessions: u64,
+    /// Individual proofs folded into the aggregate equations.
+    pub verify_batched_proofs: u64,
+    /// Sessions that started with a recycled hop scratch buffer.
+    pub scratch_reused: u64,
+}
+
 /// State shared by the submitters and every worker.
 struct Shared {
     /// Global FIFO that `submit` feeds; workers drain it when their own
@@ -72,6 +116,46 @@ struct Shared {
     gate: Mutex<()>,
     wake: Condvar,
     shutdown: AtomicBool,
+    /// [`RuntimeConfig::verify_batch`].
+    verify_batch: usize,
+    /// Sessions parked awaiting a batched keygen verify.
+    pending_verify: Mutex<Vec<Parked>>,
+    /// Recycled hop scratch buffers, donated to incoming sessions so one
+    /// allocation's capacity serves many sessions in turn.
+    scratch_pool: Mutex<Vec<Vec<Ciphertext>>>,
+    stats: Counters,
+}
+
+impl Shared {
+    fn inject(&self, task: Task) {
+        self.injector
+            .lock()
+            .expect("injector mutex")
+            .push_back(task);
+        self.wake.notify_all();
+    }
+
+    /// Hands out a recycled scratch buffer, if any.
+    fn donate_scratch(&self) -> Option<Vec<Ciphertext>> {
+        let buf = self.scratch_pool.lock().expect("scratch pool mutex").pop();
+        if buf.is_some() {
+            self.stats.scratch_reused.fetch_add(1, Ordering::Relaxed);
+        }
+        buf
+    }
+
+    /// Returns a finished session's scratch buffer to the pool. Bounded by
+    /// the worker count — more buffers than workers can never be in use at
+    /// once, so the excess would only pin memory.
+    fn recycle_scratch(&self, buf: Vec<Ciphertext>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.scratch_pool.lock().expect("scratch pool mutex");
+        if pool.len() < self.locals.len() {
+            pool.push(buf);
+        }
+    }
 }
 
 /// A persistent pool executing many ranking sessions concurrently.
@@ -98,6 +182,10 @@ impl Runtime {
             gate: Mutex::new(()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            verify_batch: config.verify_batch,
+            pending_verify: Mutex::new(Vec::new()),
+            scratch_pool: Mutex::new(Vec::new()),
+            stats: Counters::default(),
         });
         let handles = (0..workers)
             .map(|me| {
@@ -127,6 +215,36 @@ impl Runtime {
     /// The number of worker threads in the pool.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// A point-in-time copy of the pool's cross-session amortization
+    /// counters.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            verify_flushes: self.shared.stats.verify_flushes.load(Ordering::Relaxed),
+            verify_batched_sessions: self
+                .shared
+                .stats
+                .verify_batched_sessions
+                .load(Ordering::Relaxed),
+            verify_batched_proofs: self
+                .shared
+                .stats
+                .verify_batched_proofs
+                .load(Ordering::Relaxed),
+            scratch_reused: self.shared.stats.scratch_reused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The sort options this pool builds sessions with: single-threaded
+    /// (the pool supplies the parallelism) and, when a verify window is
+    /// configured, deferred keygen checks for cross-session batching.
+    fn session_options(&self) -> SortOptions {
+        SortOptions {
+            threads: 1,
+            defer_verify: self.shared.verify_batch > 1,
+            ..SortOptions::default()
+        }
     }
 
     /// Submits a session for `params` with its seeded random population —
@@ -162,20 +280,21 @@ impl Runtime {
         ranking: GroupRanking,
         budget: Option<Duration>,
     ) -> SessionHandle {
-        let options = SortOptions {
-            threads: 1,
-            ..SortOptions::default()
-        };
         let slot = Slot::new();
         let handle = SessionHandle {
             slot: Arc::clone(&slot),
         };
-        match ranking.into_machine_with(options) {
-            Ok(machine) => self.inject(Task {
-                machine,
-                slot,
-                deadline: budget.map(Deadline::after),
-            }),
+        match ranking.into_machine_with(self.session_options()) {
+            Ok(mut machine) => {
+                if let Some(buf) = self.shared.donate_scratch() {
+                    machine.adopt_hop_scratch(buf);
+                }
+                self.inject(Task {
+                    machine,
+                    slot,
+                    deadline: budget.map(Deadline::after),
+                });
+            }
             Err(e) => slot.fill(Err(e)),
         }
         handle
@@ -200,17 +319,13 @@ impl Runtime {
     /// Panics if `gid` was not issued by this runtime.
     pub fn submit_group(&self, gid: GroupId) -> SessionHandle {
         let (params, stock) = self.precompute.take(gid);
-        let options = SortOptions {
-            threads: 1,
-            ..SortOptions::default()
-        };
         let slot = Slot::new();
         let handle = SessionHandle {
             slot: Arc::clone(&slot),
         };
         match GroupRanking::new(params)
             .with_random_population()
-            .into_machine_with(options)
+            .into_machine_with(self.session_options())
         {
             Ok(mut machine) => {
                 if let Some(stock) = stock {
@@ -218,6 +333,9 @@ impl Runtime {
                     // fingerprint; a rejected attach degrades to a cold
                     // (still bit-identical) run rather than an error.
                     let _ = machine.attach_offline_stock(stock);
+                }
+                if let Some(buf) = self.shared.donate_scratch() {
+                    machine.adopt_hop_scratch(buf);
                 }
                 self.inject(Task {
                     machine,
@@ -243,25 +361,50 @@ impl Runtime {
     /// Submits an already-built [`SessionMachine`] (full control over sort
     /// options; a partially stepped machine resumes where it stood).
     pub fn submit_session(&self, machine: SessionMachine) -> SessionHandle {
+        self.submit_machine(machine, self.session_budget, None)
+    }
+
+    /// [`Runtime::submit_session`] with an explicit wall-clock budget and a
+    /// completion observer, fired exactly once — before any joiner can see
+    /// the result — with the session's outcome or error. This is the entry
+    /// point for admission controllers (e.g. `ppgr-service`) that track
+    /// in-flight counts: the observer runs on the worker that settles the
+    /// session, whether it completed, failed, was cancelled or expired.
+    pub fn submit_session_observed(
+        &self,
+        machine: SessionMachine,
+        budget: Option<Duration>,
+        on_settle: impl FnOnce(&Result<ppgr_core::Outcome, RunError>) + Send + 'static,
+    ) -> SessionHandle {
+        self.submit_machine(machine, budget, Some(Box::new(on_settle)))
+    }
+
+    fn submit_machine(
+        &self,
+        mut machine: SessionMachine,
+        budget: Option<Duration>,
+        observer: Option<Observer>,
+    ) -> SessionHandle {
         let slot = Slot::new();
+        if let Some(observer) = observer {
+            slot.observe(observer);
+        }
         let handle = SessionHandle {
             slot: Arc::clone(&slot),
         };
+        if let Some(buf) = self.shared.donate_scratch() {
+            machine.adopt_hop_scratch(buf);
+        }
         self.inject(Task {
             machine,
             slot,
-            deadline: self.session_budget.map(Deadline::after),
+            deadline: budget.map(Deadline::after),
         });
         handle
     }
 
     fn inject(&self, task: Task) {
-        self.shared
-            .injector
-            .lock()
-            .expect("injector mutex")
-            .push_back(task);
-        self.shared.wake.notify_all();
+        self.shared.inject(task);
     }
 }
 
@@ -310,15 +453,39 @@ fn worker_loop(shared: &Shared, me: usize) {
             }
             match task.machine.step() {
                 Ok(SessionStatus::Pending) => {
-                    // Back of our own deque: we pop LIFO, so we keep
-                    // driving this session unless a thief takes it first.
-                    shared.locals[me]
-                        .lock()
-                        .expect("local deque mutex")
-                        .push_back(task);
+                    // Collect a deferred keygen check *unconditionally* —
+                    // even a machine the user built with `defer_verify` and
+                    // submitted to a pool with no batch window must have
+                    // its proofs settled, or the deferral would silently
+                    // skip verification.
+                    if let Some(job) = task.machine.take_pending_verify() {
+                        if shared.verify_batch > 1 {
+                            park_for_verify(shared, Parked { job, task });
+                        } else {
+                            // Degenerate window: settle immediately inline.
+                            match job.verify_inline() {
+                                Ok(()) => shared.locals[me]
+                                    .lock()
+                                    .expect("local deque mutex")
+                                    .push_back(task),
+                                Err(e) => task.slot.fill(Err(RunError::Sort(e))),
+                            }
+                        }
+                    } else {
+                        // Back of our own deque: we pop LIFO, so we keep
+                        // driving this session unless a thief takes it
+                        // first.
+                        shared.locals[me]
+                            .lock()
+                            .expect("local deque mutex")
+                            .push_back(task);
+                    }
                 }
                 Ok(SessionStatus::Done) => {
-                    let Task { machine, slot, .. } = task;
+                    let Task {
+                        mut machine, slot, ..
+                    } = task;
+                    shared.recycle_scratch(machine.take_hop_scratch());
                     let outcome = machine.into_outcome().expect("machine reported Done");
                     slot.fill(Ok(outcome));
                 }
@@ -326,11 +493,17 @@ fn worker_loop(shared: &Shared, me: usize) {
             }
             continue;
         }
+        // No runnable task: settle any parked verifies before idling, so a
+        // partial window never strands its sessions (and, on shutdown, the
+        // drain below sees their resumed tasks).
+        if flush_verify(shared) {
+            continue;
+        }
         // Nothing anywhere. Exit only on shutdown — and because a pending
-        // task is always either in some deque or held by the worker that
-        // will immediately re-enqueue it to its own deque, every submitted
-        // session still completes before the last busy worker exits
-        // (drain-on-shutdown).
+        // task is always either in some deque, held by the worker that
+        // will immediately re-enqueue it to its own deque, or parked in the
+        // verify collector (flushed above), every submitted session still
+        // completes before the last busy worker exits (drain-on-shutdown).
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -343,6 +516,76 @@ fn worker_loop(shared: &Shared, me: usize) {
             .wait_timeout(guard, IDLE_PARK)
             .expect("gate condvar");
     }
+}
+
+/// Parks a session awaiting its batched keygen verify; flushes the
+/// collector if this filled the window.
+fn park_for_verify(shared: &Shared, parked: Parked) {
+    let full = {
+        let mut pending = shared
+            .pending_verify
+            .lock()
+            .expect("verify collector mutex");
+        pending.push(parked);
+        pending.len() >= shared.verify_batch
+    };
+    if full {
+        let _ = flush_verify(shared);
+    }
+}
+
+/// Settles every parked keygen check in one aggregate settle
+/// ([`verify_deferred_jobs`] — one multi-exponentiation per group kind),
+/// failing rejected sessions with the same per-party blame their solo runs
+/// would assign and re-enqueueing the survivors. Returns whether anything
+/// was flushed.
+fn flush_verify(shared: &Shared) -> bool {
+    let batch: Vec<Parked> = {
+        let mut pending = shared
+            .pending_verify
+            .lock()
+            .expect("verify collector mutex");
+        std::mem::take(&mut *pending)
+        // Lock released before the expensive aggregate below; a concurrent
+        // flush simply takes whatever parked in the meantime.
+    };
+    if batch.is_empty() {
+        return false;
+    }
+    // Settle cancellations and expiries first — their verdicts are moot.
+    let mut live: Vec<Parked> = Vec::with_capacity(batch.len());
+    for parked in batch {
+        if parked.task.slot.is_cancelled() {
+            parked.task.slot.fill(Err(RunError::Cancelled));
+        } else if parked.task.deadline.is_some_and(|d| d.expired()) {
+            parked.task.slot.fill(Err(RunError::DeadlineExceeded));
+        } else {
+            live.push(parked);
+        }
+    }
+    if live.is_empty() {
+        return true;
+    }
+    let (jobs, tasks): (Vec<KeygenVerifyJob>, Vec<Task>) =
+        live.into_iter().map(|p| (p.job, p.task)).unzip();
+    let proofs: u64 = jobs.iter().map(|j| j.proofs() as u64).sum();
+    let verdicts = verify_deferred_jobs(&jobs);
+    shared.stats.verify_flushes.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .verify_batched_sessions
+        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .verify_batched_proofs
+        .fetch_add(proofs, Ordering::Relaxed);
+    for (task, verdict) in tasks.into_iter().zip(verdicts) {
+        match verdict {
+            Ok(()) => shared.inject(task),
+            Err(e) => task.slot.fill(Err(RunError::Sort(e))),
+        }
+    }
+    true
 }
 
 /// Own deque first (LIFO), then the global injector, then steal round-robin
@@ -494,6 +737,139 @@ mod tests {
             assert!(h.is_finished());
             assert_eq!(h.join().unwrap().ranks().len(), 2);
         }
+    }
+
+    #[test]
+    fn batched_verify_sessions_match_solo_runs() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 2,
+            verify_batch: 3,
+            ..RuntimeConfig::default()
+        });
+        let handles: Vec<_> = (0..5)
+            .map(|i| runtime.submit(small_params(3, 9000 + i)))
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let pooled = handle.join().unwrap();
+            let solo = GroupRanking::new(small_params(3, 9000 + i as u64))
+                .with_random_population()
+                .run()
+                .unwrap();
+            assert_eq!(pooled.ranks(), solo.ranks());
+            assert_eq!(pooled.traffic(), solo.traffic());
+        }
+        let stats = runtime.stats();
+        assert_eq!(
+            stats.verify_batched_sessions, 5,
+            "every cold deferred session must pass through the collector"
+        );
+        assert_eq!(stats.verify_batched_proofs, 15);
+        assert!(
+            stats.verify_flushes >= 1 && stats.verify_flushes <= 5,
+            "flushes happen per window or on idle, got {}",
+            stats.verify_flushes
+        );
+    }
+
+    #[test]
+    fn corrupted_proof_is_blamed_through_the_batch() {
+        use ppgr_core::{OfflineStock, SortError, SortOptions};
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 2,
+            verify_batch: 4,
+            ..RuntimeConfig::default()
+        });
+        let options = SortOptions {
+            threads: 1,
+            defer_verify: true,
+            ..SortOptions::default()
+        };
+        let mut bad = GroupRanking::new(small_params(3, 880))
+            .with_random_population()
+            .into_machine_with(options)
+            .unwrap();
+        let mut stock = OfflineStock::generate(bad.offline_fingerprint());
+        stock.corrupt_key_proof(&GroupKind::Ecc160.group(), 1);
+        assert!(bad.attach_offline_stock(stock));
+        let bad_handle = runtime.submit_session(bad);
+        let good: Vec<_> = (0..3)
+            .map(|i| runtime.submit(small_params(3, 881 + i)))
+            .collect();
+        assert_eq!(
+            bad_handle.join().unwrap_err(),
+            RunError::Sort(SortError::ProofRejected { party: 2 }),
+            "the batch must attribute the rejection to the corrupted session and party"
+        );
+        for (i, handle) in good.into_iter().enumerate() {
+            let pooled = handle.join().unwrap();
+            let solo = GroupRanking::new(small_params(3, 881 + i as u64))
+                .with_random_population()
+                .run()
+                .unwrap();
+            assert_eq!(pooled.ranks(), solo.ranks(), "good sessions are unaffected");
+        }
+    }
+
+    #[test]
+    fn defer_built_machine_is_still_verified_on_a_non_batching_pool() {
+        use ppgr_core::{OfflineStock, SortError, SortOptions};
+        // verify_batch 0: the worker must settle the stashed job inline —
+        // a deferral must never silently skip verification.
+        let runtime = Runtime::with_workers(1);
+        let options = SortOptions {
+            threads: 1,
+            defer_verify: true,
+            ..SortOptions::default()
+        };
+        let mut bad = GroupRanking::new(small_params(3, 890))
+            .with_random_population()
+            .into_machine_with(options)
+            .unwrap();
+        let mut stock = OfflineStock::generate(bad.offline_fingerprint());
+        stock.corrupt_key_proof(&GroupKind::Ecc160.group(), 0);
+        assert!(bad.attach_offline_stock(stock));
+        assert_eq!(
+            runtime.submit_session(bad).join().unwrap_err(),
+            RunError::Sort(SortError::ProofRejected { party: 1 })
+        );
+    }
+
+    #[test]
+    fn observer_fires_before_join_resolves() {
+        use std::sync::atomic::AtomicU64;
+        let runtime = Runtime::with_workers(1);
+        let seen = Arc::new(AtomicU64::new(0));
+        let machine = GroupRanking::new(small_params(2, 895))
+            .with_random_population()
+            .into_machine()
+            .unwrap();
+        let observed = Arc::clone(&seen);
+        let handle = runtime.submit_session_observed(machine, None, move |result| {
+            if result.is_ok() {
+                observed.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        let outcome = handle.join().unwrap();
+        assert_eq!(outcome.ranks().len(), 2);
+        assert_eq!(
+            seen.load(Ordering::SeqCst),
+            1,
+            "observer must have fired before join returned"
+        );
+    }
+
+    #[test]
+    fn scratch_buffers_recycle_across_sessions() {
+        let runtime = Runtime::with_workers(1);
+        // Serial on one worker: the first session's buffer is recycled
+        // into later ones.
+        for i in 0..3 {
+            runtime.submit(small_params(2, 900 + i)).join().unwrap();
+        }
+        assert!(
+            runtime.stats().scratch_reused >= 1,
+            "later sessions must reuse the first session's hop buffer"
+        );
     }
 
     #[test]

@@ -179,6 +179,31 @@ fn deterministic_msm_batch_shape_is_silent() {
     }
 }
 
+#[test]
+fn pooled_verify_collector_shape_is_silent() {
+    // The cross-session verify collector parks only published values —
+    // key statements and their transcripts — so it needs no secret
+    // registry entries; the shape is clean on the runtime and core paths.
+    for path in [
+        "crates/runtime/src/fixture.rs",
+        "crates/core/src/fixture.rs",
+    ] {
+        assert!(rules_for(path, fixture!("verify_pool_good.rs")).is_empty());
+    }
+}
+
+#[test]
+fn service_crate_is_not_clock_sanctioned() {
+    // The front door's admission projection must stay clock-free: the
+    // service crate is deliberately absent from DETERMINISM_SANCTIONED,
+    // so a wall-clock read in a projection fires the determinism rule.
+    let rules = rules_for(
+        "crates/service/src/fixture.rs",
+        fixture!("service_clock_bad.rs"),
+    );
+    assert_eq!(rules, vec!["determinism"; 2], "{rules:?}");
+}
+
 // ---------------------------------------------------------------------------
 // Dataflow rule families (secret-branch / secret-index / secret-escape)
 // ---------------------------------------------------------------------------

@@ -1,0 +1,11 @@
+//! Bad: an admission projection that reads the wall clock. The service
+//! crate is deliberately absent from the clock-sanctioned registry — its
+//! projection must reason over phase budgets and queue depths only, so
+//! this `Instant` read fires the determinism rule.
+
+use std::time::Instant;
+
+pub fn projected_completion(started: Instant, queued_ahead: usize) -> u64 {
+    let elapsed = started.elapsed().as_millis() as u64;
+    elapsed * (queued_ahead as u64 + 1)
+}

@@ -1,0 +1,35 @@
+//! Good: the shape of the cross-session verify collector — parked jobs
+//! carry only *published* protocol values (key statements and their
+//! proof transcripts), settle through a typed verdict, and never read
+//! the clock. Nothing here belongs in a secret registry.
+
+pub struct ParkedJob {
+    pub statements: Vec<Vec<u8>>,
+    pub transcripts: Vec<Vec<u8>>,
+}
+
+pub struct Collector {
+    window: usize,
+    pending: Vec<ParkedJob>,
+}
+
+impl Collector {
+    pub fn park(&mut self, job: ParkedJob) -> bool {
+        self.pending.push(job);
+        self.pending.len() >= self.window
+    }
+
+    pub fn flush(&mut self) -> Vec<Result<(), usize>> {
+        let batch = std::mem::take(&mut self.pending);
+        batch
+            .iter()
+            .map(|job| {
+                if job.statements.len() == job.transcripts.len() {
+                    Ok(())
+                } else {
+                    Err(job.statements.len())
+                }
+            })
+            .collect()
+    }
+}

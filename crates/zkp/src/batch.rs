@@ -27,6 +27,16 @@
 //! always learns *which* proof failed (`SortError::ProofRejected` in
 //! `ppgr-core` still names the culprit party). The individual checks are
 //! authoritative; the aggregate equation is purely an accelerator.
+//!
+//! Two granularities of attribution are offered. The `*_all` variants
+//! ([`verify_batch_all`], [`verify_multi_batch_all`]) report **every**
+//! rejected proof in protocol order, not just the first culprit — when an
+//! aggregate mixes proofs from many protocol sessions, the first failing
+//! index alone cannot blame more than one session. On top of them,
+//! [`verify_sessions_multi_batch`] collapses *many sessions'* proof sets
+//! into one MSM and, on rejection, hands back a per-session rejection
+//! list, so cross-session amortization never blurs which session (and
+//! which prover inside it) cheated.
 
 use crate::multi::MultiVerifierTranscript;
 use crate::schnorr::SchnorrTranscript;
@@ -53,42 +63,162 @@ const COMBINER_BYTES: usize = 16;
 /// malformed inputs are handled like any rejection: the fallback scan
 /// attributes them.
 pub fn verify_batch(group: &Group, items: &[(&Element, &SchnorrTranscript)]) -> Result<(), usize> {
+    verify_batch_all(group, items).map_err(|rejected| rejected[0])
+}
+
+/// [`verify_batch`] with full attribution: on rejection, `Err` carries
+/// **every** failing index in protocol (input) order, never just the
+/// first. The list is established by the authoritative per-proof rescan
+/// and is always non-empty.
+///
+/// # Errors
+///
+/// `Err(rejected)` with the sorted indices of all individually failing
+/// proofs.
+pub fn verify_batch_all(
+    group: &Group,
+    items: &[(&Element, &SchnorrTranscript)],
+) -> Result<(), Vec<usize>> {
     if items.is_empty() {
         return Ok(());
     }
     if items.len() == 1 {
         let (y, t) = items[0];
-        return if t.verify(group, y) { Ok(()) } else { Err(0) };
+        return if t.verify(group, y) {
+            Ok(())
+        } else {
+            Err(vec![0])
+        };
     }
     if batch_equation_holds(group, items) == Some(true) {
         return Ok(());
     }
-    scan(group, items)
+    scan_all(group, items)
 }
 
 /// Verifies `k` multi-verifier transcripts in one aggregate equation by
 /// first collapsing each to its single-verifier form (summed challenge).
+///
+/// # Errors
+///
+/// `Err(i)` with the index of the first failing proof — the first element
+/// of the full rejection list [`verify_multi_batch_all`] would report.
 pub fn verify_multi_batch(
     group: &Group,
     items: &[(&Element, &MultiVerifierTranscript)],
 ) -> Result<(), usize> {
+    verify_multi_batch_all(group, items).map_err(|rejected| rejected[0])
+}
+
+/// [`verify_multi_batch`] with full attribution: on rejection, `Err`
+/// carries every failing index in protocol order (see
+/// [`verify_batch_all`]).
+///
+/// # Errors
+///
+/// `Err(rejected)` with the sorted indices of all individually failing
+/// proofs.
+pub fn verify_multi_batch_all(
+    group: &Group,
+    items: &[(&Element, &MultiVerifierTranscript)],
+) -> Result<(), Vec<usize>> {
     let singles: Vec<SchnorrTranscript> = items.iter().map(|(_, t)| t.as_single(group)).collect();
     let refs: Vec<(&Element, &SchnorrTranscript)> = items
         .iter()
         .zip(&singles)
         .map(|((y, _), t)| (*y, t))
         .collect();
-    verify_batch(group, &refs)
+    verify_batch_all(group, &refs)
 }
 
-/// Per-proof fallback: authoritative, names the first failing index.
-/// Finding none is possible only on a combiner collision (`≤ 2⁻¹²⁸`) or
-/// after a transient aggregate mismatch that individual checks refute —
-/// either way the individual verdicts win.
-fn scan(group: &Group, items: &[(&Element, &SchnorrTranscript)]) -> Result<(), usize> {
-    match items.iter().position(|(y, t)| !t.verify(group, y)) {
-        Some(i) => Err(i),
-        None => Ok(()),
+/// All proofs one session contributed that failed individual
+/// verification, reported by [`verify_sessions_multi_batch`].
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct SessionRejections {
+    /// Index of the session in the submitted slice.
+    pub session: usize,
+    /// Indices of the rejected proofs *within that session's set*, in
+    /// protocol order. Never empty.
+    pub proofs: Vec<usize>,
+}
+
+/// Cross-session aggregate verification: every session's multi-verifier
+/// proof set, collapsed and folded into **one** aggregate equation (a
+/// single `2·Σkᵢ`-term multi-exponentiation), so concurrent sessions
+/// amortize their Schnorr verification into one MSM call.
+///
+/// The combiners are derived from the flat concatenation of all sessions'
+/// transcripts under the same domain tag as [`verify_batch`] — still
+/// deterministic, and a prover in one session cannot influence another
+/// session's combiner without changing the hash input she must satisfy.
+///
+/// On rejection, the authoritative per-proof rescan attributes **all**
+/// failing proofs back to their sessions, in submission order, with each
+/// session's rejections in protocol order — per-session first-culprit
+/// attribution survives batching by taking `proofs[0]` of that session's
+/// entry.
+///
+/// # Errors
+///
+/// `Err(rejections)` with one [`SessionRejections`] entry per session
+/// that contributed at least one individually failing proof.
+pub fn verify_sessions_multi_batch(
+    group: &Group,
+    sessions: &[&[(&Element, &MultiVerifierTranscript)]],
+) -> Result<(), Vec<SessionRejections>> {
+    let singles: Vec<SchnorrTranscript> = sessions
+        .iter()
+        .flat_map(|items| items.iter().map(|(_, t)| t.as_single(group)))
+        .collect();
+    let flat: Vec<(&Element, &SchnorrTranscript)> = sessions
+        .iter()
+        .flat_map(|items| items.iter().map(|(y, _)| *y))
+        .zip(&singles)
+        .collect();
+    if flat.is_empty() {
+        return Ok(());
+    }
+    if flat.len() > 1 && batch_equation_holds(group, &flat) == Some(true) {
+        return Ok(());
+    }
+    // Aggregate failed (or was degenerate): rescan each proof individually
+    // and fold the verdicts back onto session boundaries.
+    let mut rejections = Vec::new();
+    let mut offset = 0;
+    for (session, items) in sessions.iter().enumerate() {
+        let proofs: Vec<usize> = (0..items.len())
+            .filter(|i| {
+                let (y, t) = flat[offset + i];
+                !t.verify(group, y)
+            })
+            .collect();
+        if !proofs.is_empty() {
+            rejections.push(SessionRejections { session, proofs });
+        }
+        offset += items.len();
+    }
+    if rejections.is_empty() {
+        Ok(())
+    } else {
+        Err(rejections)
+    }
+}
+
+/// Per-proof fallback: authoritative, names every failing index in input
+/// order. Finding none is possible only on a combiner collision
+/// (`≤ 2⁻¹²⁸`) or after a transient aggregate mismatch that individual
+/// checks refute — either way the individual verdicts win.
+fn scan_all(group: &Group, items: &[(&Element, &SchnorrTranscript)]) -> Result<(), Vec<usize>> {
+    let rejected: Vec<usize> = items
+        .iter()
+        .enumerate()
+        .filter(|(_, (y, t))| !t.verify(group, y))
+        .map(|(i, _)| i)
+        .collect();
+    if rejected.is_empty() {
+        Ok(())
+    } else {
+        Err(rejected)
     }
 }
 

@@ -28,7 +28,10 @@ pub mod multi;
 pub mod nizk;
 pub mod schnorr;
 
-pub use batch::{verify_batch, verify_multi_batch};
+pub use batch::{
+    verify_batch, verify_batch_all, verify_multi_batch, verify_multi_batch_all,
+    verify_sessions_multi_batch, SessionRejections,
+};
 pub use multi::{MultiVerifierProof, MultiVerifierTranscript};
 pub use schnorr::{
     extract_witness, simulate_transcript, SchnorrNonce, SchnorrProver, SchnorrTranscript,

@@ -16,6 +16,9 @@
 //! * [`runtime`] — the multi-session throughput runtime: a persistent
 //!   work-stealing worker pool executing many ranking sessions
 //!   concurrently with cross-session hop pipelining.
+//! * [`service`] — the ranking-as-a-service front door: sharded session
+//!   routing, budget-driven admission control, and cross-session crypto
+//!   amortization on top of the runtime.
 //! * [`smc`] — the Shamir/BGW secret-sharing baseline (“SS framework”).
 //! * [`net`] — in-memory transports, traffic metrics, and the NS2-substitute
 //!   discrete-event network simulator.
@@ -67,5 +70,6 @@ pub use ppgr_hash as hash;
 pub use ppgr_net as net;
 pub use ppgr_paillier as paillier;
 pub use ppgr_runtime as runtime;
+pub use ppgr_service as service;
 pub use ppgr_smc as smc;
 pub use ppgr_zkp as zkp;

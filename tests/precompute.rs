@@ -94,6 +94,7 @@ proptest! {
         let runtime = Runtime::new(RuntimeConfig {
             workers,
             session_budget: None,
+            verify_batch: 0,
             precompute: PrecomputeConfig { depth: 2, refill_workers: 1 },
         });
         let gid = runtime.register_group(params_for(n, base));
@@ -115,6 +116,7 @@ fn runtime_drop_cancels_in_progress_refills() {
     let runtime = Runtime::new(RuntimeConfig {
         workers: 1,
         session_budget: None,
+        verify_batch: 0,
         precompute: PrecomputeConfig {
             depth: 4,
             refill_workers: 2,
