@@ -33,13 +33,15 @@ use bytes::Bytes;
 use ppgr_bigint::Fp;
 use ppgr_dotprod::{default_field, DotProduct, Round1Message, Round2Message};
 use ppgr_elgamal::{encrypt_bits, Ciphertext, ExpElGamal, JointKey, KeyPair};
-use ppgr_group::Group;
-use ppgr_hash::HashDrbg;
+use ppgr_group::{Group, Scalar};
+use ppgr_hash::{HashDrbg, Sha256};
 use ppgr_net::{
     CrashStash, FaultPlan, FaultyMesh, LocalMesh, MeshError, Phase, PhaseBudget, TrafficLog,
 };
 use ppgr_zkp::{verify_batch, SchnorrProver, SchnorrTranscript};
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -80,6 +82,35 @@ pub enum DistributedError {
         /// What was wrong.
         what: String,
     },
+    /// Secondhand blame adopted from a peer's abort frame. Unlike the
+    /// first-hand variants above, nothing here was observed directly —
+    /// the frame is unauthenticated hearsay, which is why consensus blame
+    /// ranks it below every first-hand observation
+    /// (see [`consensus_primary`]).
+    Reported {
+        /// The party the frame blames.
+        party: usize,
+        /// The phase the frame says the failure was observed in.
+        phase: Phase,
+        /// The kind of failure the frame reports.
+        kind: AbortKind,
+        /// The party that originated the accusation.
+        reporter: usize,
+        /// The lane that delivered the (possibly relayed) frame.
+        via: usize,
+    },
+    /// This party — alive and processing messages — received an abort
+    /// frame blaming *itself*. Being alive to read the frame is evidence
+    /// against the accusation, so blame turns back on the accuser:
+    /// `party` is the frame's claimed reporter.
+    FalselyAccused {
+        /// The accuser (the frame's reporter field), now blamed.
+        party: usize,
+        /// The phase this party was in when the frame arrived.
+        phase: Phase,
+        /// The lane that delivered the frame.
+        via: usize,
+    },
     /// This party was stopped by injected fault (test harnesses only; a
     /// crashed party blames itself and stays silent).
     Crashed {
@@ -96,6 +127,8 @@ impl DistributedError {
             | DistributedError::Disconnected { party, .. }
             | DistributedError::ProofRejected { party }
             | DistributedError::Protocol { party, .. }
+            | DistributedError::Reported { party, .. }
+            | DistributedError::FalselyAccused { party, .. }
             | DistributedError::Crashed { party } => *party,
         }
     }
@@ -116,6 +149,26 @@ impl fmt::Display for DistributedError {
             DistributedError::Protocol { party, what } => {
                 write!(f, "party {party} violated the protocol: {what}")
             }
+            DistributedError::Reported {
+                party,
+                phase,
+                kind,
+                reporter,
+                via,
+            } => {
+                write!(
+                    f,
+                    "party {party} blamed for {kind} in {phase} \
+                     (reported by party {reporter}, frame via party {via})"
+                )
+            }
+            DistributedError::FalselyAccused { party, phase, via } => {
+                write!(
+                    f,
+                    "party {party} falsely accused a live party in {phase} \
+                     (frame via party {via})"
+                )
+            }
             DistributedError::Crashed { party } => {
                 write!(f, "party {party} was crashed by fault injection")
             }
@@ -129,8 +182,10 @@ impl Error for DistributedError {}
 /// (the consensus blame) plus what every individual thread observed.
 #[derive(Clone, Debug)]
 pub struct DistributedFailure {
-    /// The consensus failure: the first non-[`Crashed`]
-    /// (`DistributedError::Crashed`) observation in party order.
+    /// The consensus failure: the best-ranked observation across all
+    /// threads — first-hand misbehavior evidence before refuted
+    /// accusations before liveness failures before hearsay (see
+    /// [`consensus_primary`] for the full ranking).
     pub primary: DistributedError,
     /// `(observer, error)` for every thread that failed, in party order.
     /// Surviving threads that completed cleanly do not appear.
@@ -178,6 +233,25 @@ struct Ctx {
     /// Number of participants (the mesh holds `n + 1` parties).
     n: usize,
     budget: PhaseBudget,
+    /// Seen-abort latch: the first abort frame this party accepted, with
+    /// the lane that delivered it. Only the first frame is re-broadcast
+    /// and only the first frame determines this party's exit error —
+    /// later frames (replays, forgeries, echoes of our own re-broadcast)
+    /// can neither ping-pong between survivors nor overwrite earlier,
+    /// correct blame.
+    seen: RefCell<Option<(AbortFrame, usize)>>,
+}
+
+impl Ctx {
+    fn new(net: Net, me: usize, n: usize, budget: PhaseBudget) -> Self {
+        Ctx {
+            net,
+            me,
+            n,
+            budget,
+            seen: RefCell::new(None),
+        }
+    }
 }
 
 impl Ctx {
@@ -197,22 +271,29 @@ impl Ctx {
                 blamed: *party,
                 phase: *phase,
                 kind: AbortKind::Timeout,
+                reporter: self.me,
             }),
             DistributedError::Disconnected { party, phase } => Some(AbortFrame {
                 blamed: *party,
                 phase: *phase,
                 kind: AbortKind::Disconnected,
+                reporter: self.me,
             }),
             DistributedError::ProofRejected { party } => Some(AbortFrame {
                 blamed: *party,
                 phase: self.net.phase(),
                 kind: AbortKind::ProofRejected,
+                reporter: self.me,
             }),
             DistributedError::Protocol { party, .. } => Some(AbortFrame {
                 blamed: *party,
                 phase: self.net.phase(),
                 kind: AbortKind::Protocol,
+                reporter: self.me,
             }),
+            // Secondhand errors re-broadcast the *original* frame at
+            // adoption time (inside `adopt`), never a rewritten one.
+            DistributedError::Reported { .. } | DistributedError::FalselyAccused { .. } => None,
             // A crashed party is dead: it must not speak.
             DistributedError::Crashed { .. } => None,
         };
@@ -222,27 +303,55 @@ impl Ctx {
         e
     }
 
-    /// Adopts a received abort frame: re-broadcasts it (so parties waiting
-    /// on *this* party's lanes learn the original blame rather than
-    /// blaming this party's exit) and converts it to the typed error.
-    fn adopt(&self, frame: AbortFrame) -> DistributedError {
-        let _ = self.net.broadcast(&frame.encode());
-        match frame.kind {
-            AbortKind::Timeout => DistributedError::Timeout {
-                party: frame.blamed,
-                phase: frame.phase,
-            },
-            AbortKind::Disconnected => DistributedError::Disconnected {
-                party: frame.blamed,
-                phase: frame.phase,
-            },
-            AbortKind::ProofRejected => DistributedError::ProofRejected {
-                party: frame.blamed,
-            },
-            AbortKind::Protocol => DistributedError::Protocol {
-                party: frame.blamed,
-                what: format!("protocol violation reported in {}", frame.phase),
-            },
+    /// Adopts an abort frame received on lane `via`.
+    ///
+    /// The first frame a party accepts is latched and re-broadcast
+    /// *verbatim, exactly once* (so parties waiting on this party's lanes
+    /// learn the original blame rather than blaming this party's exit —
+    /// and so a replayed frame cannot ping-pong between survivors). Any
+    /// later frame is discarded: the exit error always derives from the
+    /// latched first frame.
+    ///
+    /// A frame blaming *this* party is refuted by the fact that this
+    /// party is alive to read it, so it converts to
+    /// [`DistributedError::FalselyAccused`] naming the frame's reporter;
+    /// any other frame becomes hearsay
+    /// ([`DistributedError::Reported`]).
+    fn adopt(&self, frame: AbortFrame, via: usize) -> DistributedError {
+        // Unauthenticated ids are still range-checked: a frame naming an
+        // impossible party, or one whose reporter accuses itself, cannot
+        // have been built by honest code — blame whoever delivered it.
+        if frame.blamed > self.n || frame.reporter > self.n || frame.blamed == frame.reporter {
+            return self.protocol(via, "abort frame with impossible ids");
+        }
+        let first = {
+            let mut seen = self.seen.borrow_mut();
+            if seen.is_none() {
+                *seen = Some((frame, via));
+                true
+            } else {
+                false
+            }
+        };
+        if first {
+            let _ = self.net.broadcast(&frame.encode());
+        }
+        // The latched first frame wins; the fallback arm is unreachable
+        // (the latch was set above if it was empty).
+        let (frame, via) = (*self.seen.borrow()).unwrap_or((frame, via));
+        if frame.blamed == self.me {
+            return DistributedError::FalselyAccused {
+                party: frame.reporter,
+                phase: self.net.phase(),
+                via,
+            };
+        }
+        DistributedError::Reported {
+            party: frame.blamed,
+            phase: frame.phase,
+            kind: frame.kind,
+            reporter: frame.reporter,
+            via,
         }
     }
 
@@ -276,7 +385,7 @@ impl Ctx {
             })?;
         match parse_frame(&raw) {
             Ok(Frame::Data(payload)) => Ok(payload),
-            Ok(Frame::Abort(frame)) => Err(self.adopt(frame)),
+            Ok(Frame::Abort(frame)) => Err(self.adopt(frame, from)),
             Err(e) => Err(self.protocol(from, e)),
         }
     }
@@ -293,14 +402,45 @@ impl Ctx {
         self.recv_scaled(from, 1)
     }
 
-    /// Sends `bytes` to `to`; a torn-down peer is blamed immediately.
+    /// Drains a torn-down peer's inbound lane looking for its final abort
+    /// frame — a failing party broadcasts one *before* dropping its mesh,
+    /// so by the time a send to it errors, any explanation it had is
+    /// already queued. Skips over stale data frames (the session is dead
+    /// either way). `None` means the peer died silently (a crash).
+    ///
+    /// This is what keeps an honest party that aborted early — because it
+    /// caught a third party misbehaving — from being blamed for
+    /// "disconnecting" by peers that were mid-broadcast to it: its last
+    /// words name the real culprit.
+    fn last_words(&self, peer: usize) -> Option<AbortFrame> {
+        loop {
+            let raw = self
+                .net
+                .recv_from_timeout(peer, Duration::from_millis(25))
+                .ok()?;
+            if let Ok(Frame::Abort(frame)) = parse_frame(&raw) {
+                return Some(frame);
+            }
+        }
+    }
+
+    /// Converts a failed send to `peer` into blame: the peer's queued
+    /// abort frame if it left one (adopting the original accusation),
+    /// otherwise a first-hand disconnect observation.
+    fn send_failure(&self, peer: usize, phase: Phase) -> DistributedError {
+        match self.last_words(peer) {
+            Some(frame) => self.adopt(frame, peer),
+            None => self.fail(DistributedError::Disconnected { party: peer, phase }),
+        }
+    }
+
+    /// Sends `bytes` to `to`; a torn-down peer is blamed immediately
+    /// (after adopting any abort frame it left behind).
     fn send(&self, to: usize, bytes: Bytes) -> Result<(), DistributedError> {
         let phase = self.net.phase();
         self.net.send(to, bytes).map_err(|e| match e {
             MeshError::Crashed => DistributedError::Crashed { party: self.me },
-            MeshError::Disconnected { peer } => {
-                self.fail(DistributedError::Disconnected { party: peer, phase })
-            }
+            MeshError::Disconnected { peer } => self.send_failure(peer, phase),
             other => self.fail(DistributedError::Protocol {
                 party: self.me,
                 what: other.to_string(),
@@ -309,7 +449,8 @@ impl Ctx {
     }
 
     /// Broadcasts to every *participant* (not the initiator), attempting
-    /// all peers; the first torn-down peer is blamed.
+    /// all peers; the first torn-down peer is blamed (after adopting any
+    /// abort frame it left behind).
     fn bcast_participants(&self, bytes: &Bytes) -> Result<(), DistributedError> {
         let phase = self.net.phase();
         let mut failed = Vec::new();
@@ -327,7 +468,7 @@ impl Ctx {
         }
         match failed.first() {
             None => Ok(()),
-            Some(&party) => Err(self.fail(DistributedError::Disconnected { party, phase })),
+            Some(&party) => Err(self.send_failure(party, phase)),
         }
     }
 }
@@ -449,32 +590,57 @@ pub fn run_distributed_with(
     if let (Some(report), true) = (report, observations.is_empty()) {
         return Ok(DistributedOutcome { ranks, report });
     }
-    // Primary blame: the observation closest to the root cause. Direct
-    // evidence of misbehaviour (`ProofRejected` / `Protocol`) outranks
-    // liveness failures, and among timeouts/disconnects the earliest
-    // phase wins — a party wedged in `encrypt` also strands the
-    // initiator's `submit` gather, but `encrypt` is where it died.
-    // `Crashed` is a thread's own exit marker, never blame evidence.
-    let phase_rank = |e: &DistributedError| match e {
-        DistributedError::ProofRejected { .. } | DistributedError::Protocol { .. } => -1i32,
-        DistributedError::Timeout { phase, .. } | DistributedError::Disconnected { phase, .. } => {
-            Phase::ALL.iter().position(|p| p == phase).unwrap_or(0) as i32
-        }
-        DistributedError::Crashed { .. } => i32::MAX,
-    };
-    let primary = observations
-        .iter()
-        .enumerate()
-        .min_by_key(|(order, (_, e))| (phase_rank(e), *order))
-        .map(|(_, (_, e))| e.clone())
-        .unwrap_or(DistributedError::Protocol {
-            party: 0,
-            what: "session failed with no observations".into(),
-        });
+    let primary = consensus_primary(&observations).unwrap_or(DistributedError::Protocol {
+        party: 0,
+        what: "session failed with no observations".into(),
+    });
     Err(DistributedFailure {
         primary,
         observations,
     })
+}
+
+/// Picks the consensus primary — the observation closest to the root
+/// cause — from every thread's exit error.
+///
+/// Ranking, best first:
+///
+/// 1. **First-hand misbehavior evidence** ([`DistributedError::ProofRejected`],
+///    [`DistributedError::Protocol`]): the observer held the bad bytes.
+/// 2. **A refuted accusation** ([`DistributedError::FalselyAccused`]): a
+///    party alive to read a frame blaming itself. A *genuine* accusation
+///    always coexists with its accuser's first-hand evidence (which
+///    outranks this), so a `FalselyAccused` winning the pick means the
+///    frame was forged — and its claimed reporter is the culprit.
+/// 3. **First-hand liveness evidence** ([`DistributedError::Timeout`],
+///    [`DistributedError::Disconnected`]), earliest phase first — a party
+///    wedged in `encrypt` also strands the initiator's `submit` gather,
+///    but `encrypt` is where it died.
+/// 4. **Hearsay** ([`DistributedError::Reported`]): blame adopted from an
+///    unauthenticated abort frame. Ranking hearsay below *every*
+///    first-hand observation is what stops a misbehaving party's forged
+///    self-serving frames — adopted by low-id survivors — from outranking
+///    a high-id victim's direct evidence.
+/// 5. [`DistributedError::Crashed`]: a thread's own injected-fault exit
+///    marker, never blame evidence.
+///
+/// Ties break by observation order (party order). Returns `None` only for
+/// an empty observation list.
+pub fn consensus_primary(observations: &[(usize, DistributedError)]) -> Option<DistributedError> {
+    let rank = |e: &DistributedError| match e {
+        DistributedError::ProofRejected { .. } | DistributedError::Protocol { .. } => 0i64,
+        DistributedError::FalselyAccused { .. } => 1,
+        DistributedError::Timeout { phase, .. } | DistributedError::Disconnected { phase, .. } => {
+            2 + Phase::ALL.iter().position(|p| p == phase).unwrap_or(0) as i64
+        }
+        DistributedError::Reported { .. } => 100,
+        DistributedError::Crashed { .. } => i64::MAX,
+    };
+    observations
+        .iter()
+        .enumerate()
+        .min_by_key(|(order, (_, e))| (rank(e), *order))
+        .map(|(_, (_, e))| e.clone())
 }
 
 /// The initiator (`P₀`): answers dot-product rounds, then collects and
@@ -487,7 +653,7 @@ fn initiator_thread(
 ) -> Result<VerificationReport, DistributedError> {
     let me = 0usize;
     let n = params.participants();
-    let ctx = Ctx { net, me, n, budget };
+    let ctx = Ctx::new(net, me, n, budget);
     let field = default_field();
     let proto = DotProduct::new(field.clone());
     let mut rng = HashDrbg::seed_from_u64(params.seed()).fork(b"party-0");
@@ -592,7 +758,7 @@ fn participant_thread(
 ) -> Result<usize, DistributedError> {
     let me = net.id(); // 1..=n
     let n = params.participants();
-    let ctx = Ctx { net, me, n, budget };
+    let ctx = Ctx::new(net, me, n, budget);
     let l = params.beta_bits();
     let group: Group = params.group().group();
     let scheme = ExpElGamal::new(group.clone());
@@ -656,11 +822,34 @@ fn participant_thread(
     }
 
     // Sequential proofs, prover order 1..=n. Verifier challenge shares are
-    // broadcast so every verifier can form the same challenge sum.
+    // broadcast so every verifier can form the same challenge sum, and
+    // every share is immediately echoed (a broadcast digest binding the
+    // share to its sender and round): a verifier that equivocates — one
+    // receiver gets different share bytes than everyone else — is caught
+    // by the receiver comparing bytes against the sender's own public
+    // claim, *before* the mismatched challenge sums could wreck the
+    // prover's verification and get an honest prover blamed.
     // Transcripts are collected as they arrive and verified in one batch
     // (a single aggregate multi-exponentiation) after the round; on
     // rejection the fallback scan inside `verify_batch` runs in prover
     // order, so the first dishonest prover is still the one named.
+    let recv_share_echoed = |ctx: &Ctx, prover: usize, j: usize| {
+        let bytes = ctx.recv(j)?;
+        let mut r = Reader::new(bytes);
+        let share = try_wire!(ctx, j, r.scalar(&group));
+        try_wire!(ctx, j, r.done());
+        let bytes = ctx.recv(j)?;
+        let mut r = Reader::new(bytes);
+        let echo = try_wire!(ctx, j, r.take(32));
+        try_wire!(ctx, j, r.done());
+        if echo[..] != share_digest(&group, prover, j, &share)[..] {
+            return Err(ctx.protocol(
+                j,
+                "challenge share inconsistent with its echo (equivocating broadcast)",
+            ));
+        }
+        Ok(share)
+    };
     let mut foreign_proofs: Vec<(usize, SchnorrTranscript)> = Vec::with_capacity(n - 1);
     #[allow(clippy::needless_range_loop)] // protocol round over 1-based party IDs
     for prover in 1..=n {
@@ -671,10 +860,8 @@ fn participant_thread(
             ctx.bcast_participants(&w_out.finish())?;
             let mut total = group.scalar_from_u64(0);
             for j in participants_except(n, me) {
-                let bytes = ctx.recv(j)?;
-                let mut r = Reader::new(bytes);
-                total = group.scalar_add(&total, &try_wire!(ctx, j, r.scalar(&group)));
-                try_wire!(ctx, j, r.done());
+                let share = recv_share_echoed(&ctx, prover, j)?;
+                total = group.scalar_add(&total, &share);
             }
             let transcript = st.respond(&total, commitment);
             let mut w_out = Writer::framed();
@@ -685,21 +872,22 @@ fn participant_thread(
             let mut r = Reader::new(bytes);
             let commitment = try_wire!(ctx, prover, r.element(&group));
             try_wire!(ctx, prover, r.done());
-            // My challenge share, broadcast to everyone.
+            // My challenge share, broadcast to everyone, then its echo.
             let c_mine = group.random_scalar(&mut rng);
             let mut w_out = Writer::framed();
             w_out.put_scalar(&group, &c_mine);
             ctx.bcast_participants(&w_out.finish())?;
-            // Gather the other verifiers' shares.
+            let mut w_out = Writer::framed();
+            w_out.put_raw(&share_digest(&group, prover, me, &c_mine));
+            ctx.bcast_participants(&w_out.finish())?;
+            // Gather the other verifiers' shares (with their echoes).
             let mut total = c_mine;
             for j in participants_except(n, me) {
                 if j == prover {
                     continue;
                 }
-                let bytes = ctx.recv(j)?;
-                let mut r = Reader::new(bytes);
-                total = group.scalar_add(&total, &try_wire!(ctx, j, r.scalar(&group)));
-                try_wire!(ctx, j, r.done());
+                let share = recv_share_echoed(&ctx, prover, j)?;
+                total = group.scalar_add(&total, &share);
             }
             let bytes = ctx.recv(prover)?;
             let mut r = Reader::new(bytes);
@@ -757,6 +945,9 @@ fn participant_thread(
                 ),
             ));
         }
+        if has_duplicate(&group, &all_bits[j]) {
+            return Err(ctx.protocol(j, "duplicate ciphertext in encrypted bit vector"));
+        }
     }
 
     // ---- Step 7: comparisons against every opponent. --------------------
@@ -800,6 +991,7 @@ fn participant_thread(
             let mut r = Reader::new(bytes);
             sets[j - 1] = try_wire!(ctx, j, r.ciphertexts(&group));
             try_wire!(ctx, j, r.done());
+            check_set(&ctx, &group, &sets[j - 1], j, (n - 1) * l)?;
         }
         process(&mut sets, &mut rng);
         if n >= 2 {
@@ -811,6 +1003,7 @@ fn participant_thread(
         let mut r = Reader::new(bytes);
         my_final_set = try_wire!(ctx, n, r.ciphertexts(&group));
         try_wire!(ctx, n, r.done());
+        check_set(&ctx, &group, &my_final_set, n, (n - 1) * l)?;
     } else {
         // Send my comparison set to P₁ first.
         let mut w_out = Writer::framed();
@@ -829,6 +1022,9 @@ fn participant_thread(
             sets.push(try_wire!(ctx, me - 1, r.ciphertexts(&group)));
         }
         try_wire!(ctx, me - 1, r.done());
+        for set in &sets {
+            check_set(&ctx, &group, set, me - 1, (n - 1) * l)?;
+        }
         process(&mut sets, &mut rng);
         if me < n {
             let encoded = try_wire!(ctx, me, encode_sets(&sets));
@@ -838,6 +1034,7 @@ fn participant_thread(
             let mut r = Reader::new(bytes);
             my_final_set = try_wire!(ctx, n, r.ciphertexts(&group));
             try_wire!(ctx, n, r.done());
+            check_set(&ctx, &group, &my_final_set, n, (n - 1) * l)?;
         } else {
             // I am P_n: return every set to its owner; keep mine.
             for owner in 1..n {
@@ -874,6 +1071,75 @@ fn participant_thread(
     ctx.send(0, w_out.finish())?;
 
     Ok(rank)
+}
+
+/// Domain-separated digest binding a keygen challenge share to its prover
+/// round and sender. Broadcast as an echo right after the share itself, so
+/// every receiver can check that the share bytes it was handed match the
+/// sender's public claim — an equivocating verifier (different shares down
+/// different lanes) is caught by whoever got the minority bytes, with
+/// first-hand evidence against the sender.
+///
+/// Hashing consumes no randomness, so fault-free transcripts are
+/// unaffected. Caveat (see `docs/FAULTS.md`): a *wire-level* adversary
+/// that tampers both the share and its echo on the same lane defeats this
+/// attribution; frames are unsigned, so the mesh lane itself is trusted.
+fn share_digest(group: &Group, prover: usize, sender: usize, share: &Scalar) -> [u8; 32] {
+    let mut w = Writer::new();
+    w.put_u64(prover as u64);
+    w.put_u64(sender as u64);
+    w.put_scalar(group, share);
+    let mut h = Sha256::new();
+    h.update(b"ppgr keygen echo v1");
+    h.update(&w.finish());
+    h.finalize()
+}
+
+/// True when two ciphertexts in `set` serialise identically. Honest
+/// parties re-randomize every element they produce or forward, so a
+/// repeat happens with negligible probability — an observed duplicate is
+/// a scripted inconsistent shuffle (an element copied over another to
+/// bias the zero count).
+fn has_duplicate(group: &Group, set: &[Ciphertext]) -> bool {
+    let mut seen = HashSet::with_capacity(set.len());
+    for ct in set {
+        let mut key = group.encode(&ct.alpha);
+        key.extend_from_slice(&group.encode(&ct.beta));
+        if !seen.insert(key) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Structural integrity of a received comparison set: advertised
+/// cardinality and no duplicated ciphertext. Every hop re-encrypts and
+/// re-shuffles each set it forwards, so honest relays always pass — a
+/// violation always implicates the immediate sender `from`, never an
+/// upstream party whose bytes were merely relayed.
+fn check_set(
+    ctx: &Ctx,
+    group: &Group,
+    set: &[Ciphertext],
+    from: usize,
+    expected: usize,
+) -> Result<(), DistributedError> {
+    if set.len() != expected {
+        return Err(ctx.protocol(
+            from,
+            format!(
+                "comparison set carries {} ciphertexts, expected {expected}",
+                set.len()
+            ),
+        ));
+    }
+    if has_duplicate(group, set) {
+        return Err(ctx.protocol(
+            from,
+            "duplicate ciphertext in a comparison set (inconsistent shuffle)",
+        ));
+    }
+    Ok(())
 }
 
 /// Participant ids `1..=n` except `me`.
@@ -971,5 +1237,242 @@ mod tests {
             1
         );
         assert_eq!(DistributedError::Crashed { party: 4 }.blamed(), 4);
+        assert_eq!(
+            DistributedError::Reported {
+                party: 2,
+                phase: Phase::Encrypt,
+                kind: AbortKind::Protocol,
+                reporter: 1,
+                via: 3,
+            }
+            .blamed(),
+            2
+        );
+        assert_eq!(
+            DistributedError::FalselyAccused {
+                party: 3,
+                phase: Phase::KeyGen,
+                via: 3,
+            }
+            .blamed(),
+            3
+        );
+    }
+
+    #[test]
+    fn seen_abort_latch_keeps_the_first_frame_and_rebroadcasts_once() {
+        use ppgr_net::LocalMesh;
+        let mut handles = LocalMesh::new::<Bytes>(2);
+        let peer = FaultyMesh::passthrough(handles.pop().unwrap());
+        let net = FaultyMesh::passthrough(handles.pop().unwrap());
+        let ctx = Ctx::new(net, 0, 1, PhaseBudget::uniform(Duration::from_secs(1)));
+        let first = AbortFrame {
+            blamed: 1,
+            phase: Phase::KeyGen,
+            kind: AbortKind::Protocol,
+            reporter: 0,
+        };
+        let replay = AbortFrame {
+            blamed: 0,
+            phase: Phase::Encrypt,
+            kind: AbortKind::Timeout,
+            reporter: 1,
+        };
+        let e1 = ctx.adopt(first, 1);
+        // The replay blames us and would convert to FalselyAccused if it
+        // were honored — the latch must keep deriving from `first`.
+        let e2 = ctx.adopt(replay, 1);
+        for e in [&e1, &e2] {
+            assert!(
+                matches!(e, DistributedError::Reported { party: 1, .. }),
+                "latched frame must win: {e}"
+            );
+        }
+        // Exactly one re-broadcast reached the peer (the first adoption).
+        let echoed = peer
+            .recv_from_timeout(0, Duration::from_millis(200))
+            .unwrap();
+        assert_eq!(parse_frame(&echoed), Ok(Frame::Abort(first)));
+        assert!(peer
+            .recv_from_timeout(0, Duration::from_millis(100))
+            .is_err());
+    }
+
+    #[test]
+    fn adopt_rejects_frames_with_impossible_ids() {
+        use ppgr_net::LocalMesh;
+        let mut handles = LocalMesh::new::<Bytes>(2);
+        let _peer = FaultyMesh::<Bytes>::passthrough(handles.pop().unwrap());
+        let net = FaultyMesh::passthrough(handles.pop().unwrap());
+        let ctx = Ctx::new(net, 0, 1, PhaseBudget::uniform(Duration::from_secs(1)));
+        // blamed == reporter cannot come from honest code (a party never
+        // accuses itself): blame lands on the delivering lane.
+        let bogus = AbortFrame {
+            blamed: 1,
+            phase: Phase::Gain,
+            kind: AbortKind::Timeout,
+            reporter: 1,
+        };
+        let e = ctx.adopt(bogus, 1);
+        assert!(
+            matches!(e, DistributedError::Protocol { party: 1, .. }),
+            "{e}"
+        );
+        let out_of_range = AbortFrame {
+            blamed: 9,
+            phase: Phase::Gain,
+            kind: AbortKind::Timeout,
+            reporter: 0,
+        };
+        let e = ctx.adopt(out_of_range, 1);
+        assert!(
+            matches!(e, DistributedError::Protocol { party: 1, .. }),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn consensus_prefers_direct_evidence_over_hearsay_regardless_of_order() {
+        // A low-id survivor adopting a forged frame (hearsay blaming an
+        // honest party) must lose the pick to a high-id victim's
+        // first-hand evidence, even though the hearsay observation comes
+        // first in party order.
+        let obs = vec![
+            (
+                1,
+                DistributedError::Reported {
+                    party: 3,
+                    phase: Phase::KeyGen,
+                    kind: AbortKind::Protocol,
+                    reporter: 2,
+                    via: 2,
+                },
+            ),
+            (3, DistributedError::ProofRejected { party: 2 }),
+        ];
+        assert_eq!(
+            consensus_primary(&obs),
+            Some(DistributedError::ProofRejected { party: 2 })
+        );
+    }
+
+    #[test]
+    fn consensus_prefers_direct_evidence_over_liveness() {
+        // The initiator times out waiting on a wedged phase long after the
+        // culprit's neighbour caught the bad bytes; the protocol violation
+        // is the root cause.
+        let obs = vec![
+            (
+                0,
+                DistributedError::Timeout {
+                    party: 1,
+                    phase: Phase::Submit,
+                },
+            ),
+            (
+                2,
+                DistributedError::Protocol {
+                    party: 1,
+                    what: "bad bytes".into(),
+                },
+            ),
+        ];
+        assert_eq!(consensus_primary(&obs).unwrap().blamed(), 1);
+        assert!(matches!(
+            consensus_primary(&obs),
+            Some(DistributedError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn consensus_falsely_accused_beats_liveness_and_hearsay() {
+        // A forged frame blames party 2; party 2 is alive to refute it and
+        // names the frame's claimed reporter. Everyone else saw only
+        // hearsay and timeouts — the refutation wins.
+        let obs = vec![
+            (
+                1,
+                DistributedError::Reported {
+                    party: 2,
+                    phase: Phase::Encrypt,
+                    kind: AbortKind::Timeout,
+                    reporter: 3,
+                    via: 3,
+                },
+            ),
+            (
+                2,
+                DistributedError::FalselyAccused {
+                    party: 3,
+                    phase: Phase::Encrypt,
+                    via: 3,
+                },
+            ),
+            (
+                0,
+                DistributedError::Timeout {
+                    party: 1,
+                    phase: Phase::Submit,
+                },
+            ),
+        ];
+        assert_eq!(consensus_primary(&obs).unwrap().blamed(), 3);
+    }
+
+    #[test]
+    fn consensus_liveness_picks_earliest_phase_then_order() {
+        let obs = vec![
+            (
+                0,
+                DistributedError::Timeout {
+                    party: 2,
+                    phase: Phase::Submit,
+                },
+            ),
+            (
+                1,
+                DistributedError::Disconnected {
+                    party: 3,
+                    phase: Phase::Encrypt,
+                },
+            ),
+            (
+                2,
+                DistributedError::Timeout {
+                    party: 3,
+                    phase: Phase::Encrypt,
+                },
+            ),
+        ];
+        assert_eq!(
+            consensus_primary(&obs),
+            Some(DistributedError::Disconnected {
+                party: 3,
+                phase: Phase::Encrypt,
+            })
+        );
+    }
+
+    #[test]
+    fn consensus_hearsay_beats_only_crash_markers() {
+        let obs = vec![
+            (2, DistributedError::Crashed { party: 2 }),
+            (
+                1,
+                DistributedError::Reported {
+                    party: 2,
+                    phase: Phase::Hop,
+                    kind: AbortKind::Disconnected,
+                    reporter: 1,
+                    via: 1,
+                },
+            ),
+        ];
+        assert_eq!(consensus_primary(&obs).unwrap().blamed(), 2);
+        assert!(matches!(
+            consensus_primary(&obs),
+            Some(DistributedError::Reported { .. })
+        ));
+        assert_eq!(consensus_primary(&[]), None);
     }
 }

@@ -49,6 +49,22 @@ impl fmt::Display for RunError {
     }
 }
 
+impl RunError {
+    /// The party this failure blames, when the underlying error carries
+    /// an attribution: a rejected proof of key knowledge or an over-wide
+    /// submitted value names its 1-based prover. Driver-side failures
+    /// (cancellation, deadlines, invariant bugs, malformed input vectors)
+    /// have no culprit and return `None`, so a runtime surfacing blame
+    /// never pins an infrastructure fault on a session participant.
+    pub fn blamed(&self) -> Option<usize> {
+        match self {
+            RunError::Sort(SortError::ProofRejected { party })
+            | RunError::Sort(SortError::ValueTooWide { party }) => Some(*party),
+            _ => None,
+        }
+    }
+}
+
 impl Error for RunError {}
 
 impl From<VectorError> for RunError {

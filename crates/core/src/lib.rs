@@ -71,8 +71,8 @@ pub use attrs::{
     VectorError, WeightVector,
 };
 pub use distributed::{
-    run_distributed, run_distributed_with, DistributedConfig, DistributedError, DistributedFailure,
-    DistributedOutcome,
+    consensus_primary, run_distributed, run_distributed_with, DistributedConfig, DistributedError,
+    DistributedFailure, DistributedOutcome,
 };
 pub use framework::{GroupRanking, Outcome, PhaseTimings, RunError, SessionMachine, SessionStatus};
 pub use offline::{KeyStock, OfflineStock, StockFingerprint, StockTier, STOCK_LAYOUT};

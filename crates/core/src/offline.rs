@@ -295,7 +295,7 @@ impl OfflineStock {
         })) = self.keys.as_mut()
         {
             if let Some(proof) = proofs.get_mut(party) {
-                proof.response = group.scalar_add(&proof.response, &group.scalar_from_u64(1));
+                ppgr_zkp::tamper::bump_multi_response(group, proof);
                 *verified = false;
             }
         }

@@ -26,19 +26,29 @@ pub const TAG_ABORT: u8 = 0x02;
 
 /// Decoding failure.
 #[derive(Clone, Debug, Eq, PartialEq)]
-pub struct WireError {
-    what: &'static str,
+pub enum WireError {
+    /// The bytes do not parse as the expected structure.
+    Malformed(&'static str),
+    /// A frame decoded cleanly but left bytes unconsumed. Trailing bytes
+    /// are rejected, not ignored: a forged frame could otherwise smuggle
+    /// garbage past every structural check.
+    Trailing(usize),
 }
 
 impl WireError {
     fn new(what: &'static str) -> Self {
-        WireError { what }
+        WireError::Malformed(what)
     }
 }
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "malformed wire message: {}", self.what)
+        match self {
+            WireError::Malformed(what) => write!(f, "malformed wire message: {what}"),
+            WireError::Trailing(n) => {
+                write!(f, "malformed wire message: {n} unconsumed trailing byte(s)")
+            }
+        }
     }
 }
 
@@ -117,6 +127,13 @@ fn phase_from_u8(v: u8) -> Result<Phase, WireError> {
 
 /// The poison pill a failing party broadcasts before unwinding, so every
 /// survivor exits within one deadline instead of a cascade of timeouts.
+///
+/// `reporter` names the *original accuser* — the party that observed the
+/// failure first-hand. Relays forward frames verbatim, so the reporter
+/// survives any number of hops; an accused-but-alive party uses it to
+/// point back at whoever framed it. Nothing authenticates the field (the
+/// frames are unsigned), which is exactly why hearsay derived from a
+/// frame ranks below first-hand evidence in consensus blame.
 #[derive(Clone, Copy, Debug, Eq, PartialEq)]
 pub struct AbortFrame {
     /// The party held responsible for the failure.
@@ -125,16 +142,22 @@ pub struct AbortFrame {
     pub phase: Phase,
     /// What kind of failure was observed.
     pub kind: AbortKind,
+    /// The party that originated the accusation (not the relayer).
+    pub reporter: usize,
 }
 
 impl AbortFrame {
+    /// Encoded size, tag included.
+    pub const ENCODED_LEN: usize = 11;
+
     /// Encodes the frame, tag included.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(7);
+        let mut buf = BytesMut::with_capacity(Self::ENCODED_LEN);
         buf.put_u8(TAG_ABORT);
         buf.put_u32(self.blamed as u32);
         buf.put_u8(phase_to_u8(self.phase));
         buf.put_u8(self.kind.to_u8());
+        buf.put_u32(self.reporter as u32);
         buf.freeze()
     }
 }
@@ -160,15 +183,17 @@ pub fn parse_frame(bytes: &Bytes) -> Result<Frame, WireError> {
         Some(&TAG_DATA) => Ok(Frame::Data(bytes.slice(1..))),
         Some(&TAG_ABORT) => {
             let mut r = Reader::new(bytes.slice(1..));
-            r.need(6, "truncated abort frame")?;
+            r.need(AbortFrame::ENCODED_LEN - 1, "truncated abort frame")?;
             let blamed = r.buf.get_u32() as usize;
             let phase = phase_from_u8(r.buf.get_u8())?;
             let kind = AbortKind::from_u8(r.buf.get_u8())?;
+            let reporter = r.buf.get_u32() as usize;
             r.done()?;
             Ok(Frame::Abort(AbortFrame {
                 blamed,
                 phase,
                 kind,
+                reporter,
             }))
         }
         Some(_) => Err(WireError::new("unknown frame tag")),
@@ -265,6 +290,12 @@ impl Writer {
     /// Appends a `u64`.
     pub fn put_u64(&mut self, v: u64) {
         self.buf.put_u64(v);
+    }
+
+    /// Appends raw bytes with no length prefix (fixed-width payloads such
+    /// as the keygen echo digests; the reader must know the width).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
     }
 
     /// Finishes, returning the frozen byte buffer.
@@ -370,12 +401,26 @@ impl Reader {
         Ok(self.buf.get_u64())
     }
 
-    /// Asserts the buffer was fully consumed.
+    /// Reads exactly `n` raw bytes (fixed-width payloads written with
+    /// [`Writer::put_raw`]).
+    pub fn take(&mut self, n: usize) -> Result<Bytes, WireError> {
+        self.need(n, "truncated raw bytes")?;
+        Ok(self.buf.copy_to_bytes(n))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Asserts the buffer was fully consumed; the error carries how many
+    /// bytes were left over, so decoders can report exactly how much
+    /// garbage trailed the frame.
     pub fn done(&self) -> Result<(), WireError> {
-        if self.buf.has_remaining() {
-            return Err(WireError::new("trailing bytes"));
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::Trailing(n)),
         }
-        Ok(())
     }
 }
 
@@ -468,8 +513,10 @@ mod tests {
                     blamed: 3,
                     phase,
                     kind,
+                    reporter: 2,
                 };
                 let bytes = frame.encode();
+                assert_eq!(bytes.len(), AbortFrame::ENCODED_LEN);
                 assert_eq!(parse_frame(&bytes).unwrap(), Frame::Abort(frame));
             }
         }
@@ -479,12 +526,18 @@ mod tests {
     fn malformed_frames_rejected() {
         assert!(parse_frame(&Bytes::new()).is_err());
         assert!(parse_frame(&Bytes::from(vec![0x7f, 0, 0])).is_err());
-        // Abort with a truncated body.
+        // Abort with a truncated body (the old 7-byte v1 layout included).
         assert!(parse_frame(&Bytes::from(vec![TAG_ABORT, 0, 0])).is_err());
+        assert!(parse_frame(&Bytes::from(vec![TAG_ABORT, 0, 0, 0, 3, 0, 0])).is_err());
         // Abort with an unknown phase.
-        assert!(parse_frame(&Bytes::from(vec![TAG_ABORT, 0, 0, 0, 3, 99, 0])).is_err());
-        // Abort with trailing bytes.
-        assert!(parse_frame(&Bytes::from(vec![TAG_ABORT, 0, 0, 0, 3, 0, 0, 9])).is_err());
+        assert!(parse_frame(&Bytes::from(vec![TAG_ABORT, 0, 0, 0, 3, 99, 0, 0, 0, 0, 1])).is_err());
+        // Abort with trailing bytes: the garbage count is reported.
+        assert_eq!(
+            parse_frame(&Bytes::from(vec![
+                TAG_ABORT, 0, 0, 0, 3, 0, 0, 0, 0, 0, 1, 9, 9
+            ])),
+            Err(WireError::Trailing(2))
+        );
     }
 
     #[test]
@@ -517,12 +570,28 @@ mod tests {
     }
 
     #[test]
-    fn trailing_bytes_detected() {
+    fn trailing_bytes_detected_and_counted() {
         let mut w = Writer::new();
         w.put_u64(1);
         w.put_u64(2);
         let mut r = Reader::new(w.finish());
         let _ = r.u64().unwrap();
-        assert!(r.done().is_err());
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.done(), Err(WireError::Trailing(8)));
+        let _ = r.u64().unwrap();
+        assert_eq!(r.remaining(), 0);
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn raw_bytes_round_trip() {
+        let mut w = Writer::new();
+        w.put_raw(&[7; 32]);
+        w.put_raw(&[8; 32]);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(r.take(32).unwrap(), Bytes::from(vec![7u8; 32]));
+        assert_eq!(r.take(32).unwrap(), Bytes::from(vec![8u8; 32]));
+        assert!(r.take(1).is_err());
+        r.done().unwrap();
     }
 }

@@ -1,0 +1,124 @@
+//! Property tests for the abort-frame wire format: encoding round-trips
+//! exactly, and *no* byte-level derangement of a frame — truncation,
+//! oversizing, bit flips — may ever panic the parser. A hostile peer owns
+//! every byte it sends; the parser's only moves are a typed value or a
+//! typed [`WireError`].
+
+use ppgr_core::wire::{parse_frame, AbortFrame, AbortKind, Frame};
+use ppgr_net::Phase;
+use proptest::prelude::*;
+
+fn phase_from_index(i: usize) -> Phase {
+    Phase::ALL[i % Phase::ALL.len()]
+}
+
+fn kind_from_index(i: usize) -> AbortKind {
+    [
+        AbortKind::Timeout,
+        AbortKind::Disconnected,
+        AbortKind::ProofRejected,
+        AbortKind::Protocol,
+    ][i % 4]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_parse_round_trips(
+        blamed in 0u32..=u32::MAX,
+        phase_idx in 0usize..6,
+        kind_idx in 0usize..4,
+        reporter in 0u32..=u32::MAX,
+    ) {
+        let frame = AbortFrame {
+            blamed: blamed as usize,
+            phase: phase_from_index(phase_idx),
+            kind: kind_from_index(kind_idx),
+            reporter: reporter as usize,
+        };
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), AbortFrame::ENCODED_LEN);
+        prop_assert_eq!(parse_frame(&bytes), Ok(Frame::Abort(frame)));
+    }
+
+    #[test]
+    fn truncated_frames_error_without_panicking(
+        blamed in 0u32..1000,
+        phase_idx in 0usize..6,
+        kind_idx in 0usize..4,
+        reporter in 0u32..1000,
+        keep in 0usize..11,
+    ) {
+        let frame = AbortFrame {
+            blamed: blamed as usize,
+            phase: phase_from_index(phase_idx),
+            kind: kind_from_index(kind_idx),
+            reporter: reporter as usize,
+        };
+        let bytes = frame.encode().slice(..keep);
+        // Every strict prefix must fail with a typed error — a truncated
+        // abort tag must never half-parse into blame.
+        prop_assert!(parse_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_frames_error_without_panicking(
+        blamed in 0u32..1000,
+        phase_idx in 0usize..6,
+        kind_idx in 0usize..4,
+        reporter in 0u32..1000,
+        extra in prop::collection::vec(0u8..=255, 1..8),
+    ) {
+        let frame = AbortFrame {
+            blamed: blamed as usize,
+            phase: phase_from_index(phase_idx),
+            kind: kind_from_index(kind_idx),
+            reporter: reporter as usize,
+        };
+        let mut bytes = frame.encode().to_vec();
+        bytes.extend_from_slice(&extra);
+        // Trailing garbage after a complete frame is rejected, not
+        // silently dropped (the remaining-byte check in `Reader::done`).
+        prop_assert!(parse_frame(&bytes::Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_frames_parse_or_error_but_never_panic(
+        blamed in 0u32..1000,
+        phase_idx in 0usize..6,
+        kind_idx in 0usize..4,
+        reporter in 0u32..1000,
+        flip_at in 0usize..11,
+        flip_mask in 1u8..=255,
+    ) {
+        let frame = AbortFrame {
+            blamed: blamed as usize,
+            phase: phase_from_index(phase_idx),
+            kind: kind_from_index(kind_idx),
+            reporter: reporter as usize,
+        };
+        let mut bytes = frame.encode().to_vec();
+        bytes[flip_at] ^= flip_mask;
+        // A flipped id byte may still parse (ids are unauthenticated
+        // integers); a flipped tag, phase, or kind byte must error. In
+        // either case: no panic, and an accepted frame re-encodes to the
+        // exact bytes that were parsed.
+        match parse_frame(&bytes::Bytes::from(bytes.clone())) {
+            Ok(Frame::Abort(f)) => prop_assert_eq!(f.encode().to_vec(), bytes),
+            Ok(Frame::Data(_)) => {
+                // The tag byte flipped into TAG_DATA: fine, the payload
+                // is opaque at this layer.
+                prop_assert_eq!(bytes[0], ppgr_core::wire::TAG_DATA);
+            }
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(
+        raw in prop::collection::vec(0u8..=255, 0..24),
+    ) {
+        let _ = parse_frame(&bytes::Bytes::from(raw));
+    }
+}

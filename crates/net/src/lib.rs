@@ -8,8 +8,10 @@
 //!   bounded by a [`Deadline`] so a crashed peer cannot hang the session;
 //!   [`PhaseBudget`] assigns each lockstep [`Phase`] its allowance.
 //! * [`FaultyMesh`] — a deterministic fault-injection wrapper around a
-//!   party's mesh handle, driven by a [`FaultPlan`] (crash-stop, silent
-//!   stall, message delay, message drop) for liveness testing.
+//!   party's mesh handle, driven by a [`FaultPlan`]: liveness faults
+//!   (crash-stop, silent stall, message delay, message drop) plus scripted
+//!   *misbehavior* — byte [`Tamper`]s, per-lane equivocation and forged
+//!   frame injection — for malicious-security testing.
 //! * [`TrafficLog`] — a shared recorder of `(round, from, to, bytes)`
 //!   tuples; the framework logs every wire message here so the harness can
 //!   account bandwidth exactly.
@@ -31,6 +33,6 @@ mod metrics;
 pub mod sim;
 
 pub use deadline::{Deadline, Phase, PhaseBudget};
-pub use fault::{CrashStash, FaultKind, FaultPlan, FaultyMesh};
+pub use fault::{CrashStash, FaultKind, FaultPlan, FaultyMesh, Tamper, TamperBytes};
 pub use mesh::{LocalMesh, MeshError, PartyHandle};
 pub use metrics::{CacheCounters, MetricsSnapshot, PartyId, TrafficLog, TrafficSummary};

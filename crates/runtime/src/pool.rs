@@ -795,10 +795,16 @@ mod tests {
         let good: Vec<_> = (0..3)
             .map(|i| runtime.submit(small_params(3, 881 + i)))
             .collect();
+        let err = bad_handle.join().unwrap_err();
         assert_eq!(
-            bad_handle.join().unwrap_err(),
+            err,
             RunError::Sort(SortError::ProofRejected { party: 2 }),
             "the batch must attribute the rejection to the corrupted session and party"
+        );
+        assert_eq!(
+            err.blamed(),
+            Some(2),
+            "session-level blame surfaces the prover"
         );
         for (i, handle) in good.into_iter().enumerate() {
             let pooled = handle.join().unwrap();
@@ -828,10 +834,11 @@ mod tests {
         let mut stock = OfflineStock::generate(bad.offline_fingerprint());
         stock.corrupt_key_proof(&GroupKind::Ecc160.group(), 0);
         assert!(bad.attach_offline_stock(stock));
-        assert_eq!(
-            runtime.submit_session(bad).join().unwrap_err(),
-            RunError::Sort(SortError::ProofRejected { party: 1 })
-        );
+        let err = runtime.submit_session(bad).join().unwrap_err();
+        assert_eq!(err, RunError::Sort(SortError::ProofRejected { party: 1 }));
+        assert_eq!(err.blamed(), Some(1));
+        assert_eq!(RunError::Cancelled.blamed(), None);
+        assert_eq!(RunError::DeadlineExceeded.blamed(), None);
     }
 
     #[test]

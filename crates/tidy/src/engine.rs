@@ -235,6 +235,7 @@ pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     rules::check_headers(&ctx, &mut raw);
     rules::check_determinism(&ctx, &mut raw);
     rules::check_panic(&ctx, &mut raw);
+    rules::check_fault_surface(&ctx, &mut raw);
     rules::check_secret_hygiene(&ctx, &mut raw);
 
     // Dataflow rules run over the parsed AST (parsed once per file);

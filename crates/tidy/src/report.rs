@@ -30,6 +30,10 @@ pub const RULES: &[(&str, &str)] = &[
         "secrets never reach Debug/Display formatting or a variable-time ==",
     ),
     (
+        "fault-surface",
+        "misbehaviour hooks (tamper/equivocate/forge/…) stay pinned to the fault-injection surface and test code",
+    ),
+    (
         "secret-branch",
         "no control flow (if/match/while/for/let-else) on secret-tainted data",
     ),

@@ -106,6 +106,35 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "crates/net/",
 ];
 
+/// Misbehaviour hooks: the identifiers through which a test scripts an
+/// active adversary (byte tampering, per-lane equivocation, forged abort
+/// frames, corrupted proofs). They exist *only* so the byzantine matrix
+/// can exercise the blame machinery; reachable from ordinary protocol
+/// code they would be a built-in backdoor.
+pub(crate) const FAULT_HOOKS: &[&str] = &[
+    "Tamper",
+    "TamperBytes",
+    "tamper",
+    "equivocate",
+    "forge",
+    "corrupt_key_proof",
+    "bump_response",
+    "bump_multi_response",
+    "swap_responses",
+    "forged_response_bytes",
+];
+
+/// Files sanctioned to define (or re-export) the fault-injection surface.
+/// The crate roots appear because they declare/re-export the injector
+/// module — they may name the hooks, not call them into the protocol.
+const FAULT_SURFACE_SANCTIONED: &[&str] = &[
+    "crates/net/src/fault.rs",
+    "crates/net/src/lib.rs",
+    "crates/zkp/src/tamper.rs",
+    "crates/zkp/src/lib.rs",
+    "crates/core/src/offline.rs",
+];
+
 /// Formatting macros through which a secret could reach a log line, a
 /// panic message, or a debugger transcript.
 pub(crate) const FMT_MACROS: &[&str] = &[
@@ -254,6 +283,38 @@ pub fn check_panic(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                 format!(
                     "`{}` on the protocol surface: return a typed error \
                      (ProtocolError/GroupError/…) or waive a provably-unreachable case",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: fault-surface
+// ---------------------------------------------------------------------------
+
+/// Misbehaviour hooks stay pinned to the fault-injection surface: non-test
+/// code outside the sanctioned injector files must not touch them. Tests
+/// (the byzantine matrix, pool fixtures) are exempt like everywhere else.
+pub fn check_fault_surface(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if FAULT_SURFACE_SANCTIONED.contains(&ctx.rel_path) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.test_mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if FAULT_HOOKS.contains(&t.text.as_str()) {
+            ctx.emit(
+                out,
+                t.line,
+                "fault-surface",
+                format!(
+                    "`{}` is a scripted-misbehaviour hook: it belongs to the \
+                     fault-injection surface (crates/net/src/fault.rs, \
+                     crates/zkp/src/tamper.rs) and test code only — reachable \
+                     from the protocol path it is a backdoor",
                     t.text
                 ),
             );

@@ -193,6 +193,33 @@ fn pooled_verify_collector_shape_is_silent() {
 }
 
 #[test]
+fn fault_surface_bad_fires_per_hook() {
+    // tamper + Tamper::Truncate + forge + corrupt_key_proof + equivocate.
+    let rules = rules_for(PROTO, fixture!("fault_surface_bad.rs"));
+    assert_eq!(rules, vec!["fault-surface"; 5], "{rules:?}");
+}
+
+#[test]
+fn fault_surface_hooks_in_test_code_are_silent() {
+    let rules = rules_for(PROTO, fixture!("fault_surface_good.rs"));
+    assert!(rules.is_empty(), "{rules:?}");
+}
+
+#[test]
+fn fault_surface_sanctioned_files_are_exempt() {
+    // The injector, the proof-tamper helpers, and the offline stock's test
+    // hook define the surface — the rule is silent where it lives.
+    for path in [
+        "crates/net/src/fault.rs",
+        "crates/zkp/src/tamper.rs",
+        "crates/core/src/offline.rs",
+    ] {
+        let rules = rules_for(path, fixture!("fault_surface_bad.rs"));
+        assert!(rules.is_empty(), "{path}: {rules:?}");
+    }
+}
+
+#[test]
 fn service_crate_is_not_clock_sanctioned() {
     // The front door's admission projection must stay clock-free: the
     // service crate is deliberately absent from DETERMINISM_SANCTIONED,

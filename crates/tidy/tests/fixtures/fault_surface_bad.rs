@@ -1,0 +1,12 @@
+//! Fixture: misbehaviour hooks reached from ordinary (non-test) protocol
+//! code — every hook identifier fires once.
+
+pub fn sabotage(plan: &mut FaultPlan, stock: &mut OfflineStock, group: &Group) {
+    plan.tamper(2, Phase::Encrypt, 0, Tamper::Truncate(6));
+    plan.forge(3, Phase::Encrypt, frame_bytes());
+    stock.corrupt_key_proof(group, 1);
+}
+
+pub fn split_view(plan: &mut FaultPlan) {
+    plan.equivocate(3, 1, Phase::KeyGen, 1, byte_flip());
+}

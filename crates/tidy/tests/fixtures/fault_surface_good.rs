@@ -1,0 +1,17 @@
+//! Fixture: the same misbehaviour hooks inside test code are fine —
+//! scripting an adversary is exactly what the byzantine matrix does.
+
+pub fn run(values: &[u64]) -> usize {
+    values.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scripted_adversary() {
+        let mut plan = FaultPlan::default();
+        plan.tamper(2, Phase::Encrypt, 0, Tamper::Truncate(6));
+        plan.equivocate(3, 1, Phase::KeyGen, 1, Tamper::FlipByte { offset: 10, mask: 2 });
+        plan.forge(3, Phase::Encrypt, vec![0x02]);
+    }
+}

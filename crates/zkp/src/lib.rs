@@ -27,6 +27,8 @@ pub mod batch;
 pub mod multi;
 pub mod nizk;
 pub mod schnorr;
+#[doc(hidden)]
+pub mod tamper;
 
 pub use batch::{
     verify_batch, verify_batch_all, verify_multi_batch, verify_multi_batch_all,
